@@ -1,0 +1,128 @@
+/// Micro-benchmarks (google-benchmark) of the hot kernels: Euclidean
+/// distance, early abandoning, banded DTW, LB_Keogh, envelopes, FFT, and
+/// wedge-tree construction. These measure wall-clock of the
+/// implementations themselves, complementing the implementation-free step
+/// counts used by the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/random.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/distance/lcss.h"
+#include "src/envelope/wedge_tree.h"
+#include "src/fourier/fft.h"
+#include "src/fourier/spectral.h"
+#include "src/search/lower_bound.h"
+
+namespace rotind {
+namespace {
+
+Series MakeSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Series s(n);
+  for (double& v : s) v = rng.Gaussian(0.0, 1.0);
+  return s;
+}
+
+void BM_Euclidean(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Series a = MakeSeries(n, 1);
+  const Series b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredEuclidean(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n));
+}
+BENCHMARK(BM_Euclidean)->Arg(251)->Arg(1024);
+
+void BM_EarlyAbandonEuclideanTightLimit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Series a = MakeSeries(n, 1);
+  const Series b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EarlyAbandonEuclidean(a.data(), b.data(), n, 0.5));
+  }
+}
+BENCHMARK(BM_EarlyAbandonEuclideanTightLimit)->Arg(251)->Arg(1024);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const int band = static_cast<int>(state.range(1));
+  const Series a = MakeSeries(n, 3);
+  const Series b = MakeSeries(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(a.data(), b.data(), n, band));
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(DtwCellCount(n, band)));
+}
+BENCHMARK(BM_DtwBanded)->Args({251, 5})->Args({1024, 5})->Args({251, 25});
+
+void BM_Lcss(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Series a = MakeSeries(n, 5);
+  const Series b = MakeSeries(n, 6);
+  LcssOptions opts;
+  opts.delta = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LcssLength(a.data(), b.data(), n, opts));
+  }
+}
+BENCHMARK(BM_Lcss)->Arg(251);
+
+void BM_LbKeogh(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Envelope env = Envelope::FromSeries(MakeSeries(n, 7));
+  env.MergeSeries(MakeSeries(n, 8).data(), n);
+  const Series q = MakeSeries(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbKeogh(q.data(), env));
+  }
+}
+BENCHMARK(BM_LbKeogh)->Arg(251)->Arg(1024);
+
+void BM_EnvelopeDtwExpansion(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Envelope env = Envelope::FromSeries(MakeSeries(n, 10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.ExpandedForDtw(5));
+  }
+}
+BENCHMARK(BM_EnvelopeDtwExpansion)->Arg(1024);
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Series s = MakeSeries(n, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FftReal(s));
+  }
+}
+// 1024 exercises radix-2; 251 (prime) exercises Bluestein.
+BENCHMARK(BM_Fft)->Arg(251)->Arg(1024);
+
+void BM_SpectralSignature(benchmark::State& state) {
+  const Series s = MakeSeries(1024, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeSpectralSignature(s, 16));
+  }
+}
+BENCHMARK(BM_SpectralSignature);
+
+void BM_WedgeTreeBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Series q = MakeSeries(n, 13);
+  for (auto _ : state) {
+    StepCounter counter;
+    WedgeTree tree(q, {}, 0, &counter);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_WedgeTreeBuild)->Arg(251)->Arg(512);
+
+}  // namespace
+}  // namespace rotind
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/// Reproduces Table 8: leave-one-out 1-NN classification error of
+/// rotation-invariant Euclidean distance (zero parameters) vs
+/// rotation-invariant DTW (one parameter, the band R, learned from the
+/// data) on ten datasets.
+///
+/// The datasets are the synthetic stand-ins documented in DESIGN.md;
+/// absolute error rates are generator-dependent, but the paper's
+/// qualitative findings must hold: DTW error <= ED error on most rows,
+/// with the largest gaps on the leaf-like (warped) rows, and near-ties
+/// elsewhere. Instance counts default to ~8% of the paper's
+/// (ROTIND_BENCH_SCALE=full restores them; expect a long run).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/datasets/synthetic.h"
+#include "src/eval/classify.h"
+
+namespace rotind::bench {
+namespace {
+
+int Run() {
+  const bool full = FullScale();
+  const double scale = full ? 1.0 : 0.08;
+  const std::vector<int> candidate_bands = {1, 2, 4};  // % of n, see below
+
+  std::printf("Table 8: 1-NN leave-one-out error, Euclidean vs DTW\n");
+  std::printf("(synthetic stand-ins at %.0f%% of paper instance counts%s)\n\n",
+              scale * 100.0, full ? "" : "; ROTIND_BENCH_SCALE=full for 100%");
+  std::printf("%-15s %8s %10s  %12s  %14s\n", "Name", "Classes", "Instances",
+              "Euclidean(%)", "DTW(%) {R}");
+
+  for (const SyntheticDatasetSpec& spec : Table8Specs(scale)) {
+    const Dataset ds = MakeTable8Dataset(spec);
+
+    const ClassificationResult ed = LeaveOneOutOneNnRotationInvariant(
+        ds, DistanceKind::kEuclidean, 0);
+
+    // Learn R on a training subsample (paper: "learned by looking only at
+    // the training data"); candidates are small percentages of the series
+    // length. Striding keeps the subsample class-balanced.
+    std::vector<int> bands;
+    for (int pct : candidate_bands) {
+      bands.push_back(
+          std::max(1, static_cast<int>(ds.length()) * pct / 100));
+    }
+    Dataset train;
+    const std::size_t stride = std::max<std::size_t>(1, ds.size() / 120);
+    for (std::size_t i = 0; i < ds.size(); i += stride) {
+      train.items.push_back(ds.items[i]);
+      train.labels.push_back(ds.labels[i]);
+    }
+    const int band = LearnBestBand(train, bands);
+    const ClassificationResult dtw =
+        LeaveOneOutOneNnRotationInvariant(ds, DistanceKind::kDtw, band);
+
+    std::printf("%-15s %8d %10zu  %12.2f  %11.2f {%d}\n", spec.name.c_str(),
+                spec.num_classes, ds.size(), 100.0 * ed.error_rate(),
+                100.0 * dtw.error_rate(), band);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rotind::bench
+
+int main() { return rotind::bench::Run(); }

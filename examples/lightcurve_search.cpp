@@ -1,0 +1,60 @@
+/// Star light curve indexing (paper Section 2.4): folded periods of
+/// periodic variable stars have no natural starting point, so finding
+/// similar stars means comparing every circular shift — the same problem
+/// as rotation-invariant shape matching, solved by the same index.
+///
+/// This example builds a disk-backed index over a synthetic survey,
+/// queries it with new observations, and reports class hits plus how
+/// little of the "disk" was touched.
+
+#include <cstdio>
+
+#include "src/core/random.h"
+#include "src/index/candidate_scan.h"
+#include "src/lightcurve/lightcurve.h"
+
+int main() {
+  using namespace rotind;
+  const std::size_t n = 256;
+  const std::size_t per_class = 200;
+
+  // A labelled "survey": 600 stars of three variability classes, each
+  // folded at a random phase.
+  LightCurveOptions gen;
+  gen.noise_sigma = 0.03;
+  gen.shape_jitter = 0.03;
+  const Dataset survey = MakeLightCurveDataset(per_class, n, /*seed=*/2006, gen);
+
+  RotationInvariantIndex::Options options;
+  options.dims = 16;  // FFT-magnitude signature dimensionality
+  options.kind = DistanceKind::kEuclidean;
+  RotationInvariantIndex index(survey.items, options);
+
+  std::printf("indexed %zu light curves (n=%zu, D=%zu)\n\n", index.size(), n,
+              options.dims);
+  std::printf("%-18s %-18s %10s %14s\n", "query class", "matched class",
+              "distance", "disk fraction");
+
+  Rng rng(99);
+  const VariableStarClass classes[] = {VariableStarClass::kEclipsingBinary,
+                                       VariableStarClass::kRrLyrae,
+                                       VariableStarClass::kCepheid};
+  int correct = 0;
+  const int num_queries = 9;
+  for (int q = 0; q < num_queries; ++q) {
+    const VariableStarClass cls = classes[q % 3];
+    const Series query = GenerateLightCurve(cls, n, &rng, gen);
+    const auto result = index.NearestNeighbor(query);
+    const int matched_label =
+        survey.labels[static_cast<std::size_t>(result.best_index)];
+    std::printf("%-18s %-18s %10.4f %13.1f%%\n", ToString(cls).c_str(),
+                survey.names[static_cast<std::size_t>(result.best_index)]
+                    .substr(0, 15)
+                    .c_str(),
+                result.best_distance, 100.0 * result.fetch_fraction);
+    if (matched_label == q % 3) ++correct;
+  }
+  std::printf("\n%d / %d queries matched a star of their own class\n",
+              correct, num_queries);
+  return correct >= 8 ? 0 : 1;
+}

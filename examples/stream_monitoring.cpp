@@ -1,0 +1,92 @@
+/// Streaming query filtering ("Atomic Wedgie", the paper's reference [40]):
+/// monitor a live feed for occurrences of registered patterns, phase-
+/// independently, using one hierarchal wedge filter over all patterns and
+/// all their rotations.
+///
+/// Scenario: a telescope produces a continuous brightness stream; we want
+/// an alert whenever the last n samples look like a known variable-star
+/// signature — at ANY phase, which is exactly the rotation-invariance
+/// problem (paper Section 2.4).
+
+#include <cstdio>
+
+#include "src/core/random.h"
+#include "src/lightcurve/lightcurve.h"
+#include "src/stream/monitor.h"
+
+int main() {
+  using namespace rotind;
+  const std::size_t n = 96;
+  Rng rng(2006);
+
+  // Registered patterns: one clean template per variable-star class.
+  const std::vector<Series> patterns = {
+      LightCurveTemplate(VariableStarClass::kEclipsingBinary, n),
+      LightCurveTemplate(VariableStarClass::kRrLyrae, n),
+      LightCurveTemplate(VariableStarClass::kCepheid, n),
+  };
+  const char* names[] = {"EclipsingBinary", "RRLyrae", "Cepheid"};
+
+  StreamMonitor::Options options;
+  options.distance_threshold = 3.0;
+  options.rotation_invariant = true;  // any phase
+  options.wedges = 6;
+  StreamMonitor monitor(patterns, options);
+
+  // Build the stream: noise with three star signatures embedded at
+  // arbitrary phases.
+  Series stream;
+  auto noise = [&](int count) {
+    for (int i = 0; i < count; ++i) stream.push_back(rng.Gaussian(0.0, 1.0));
+  };
+  std::vector<std::pair<std::size_t, int>> truth;  // (end position, class)
+  LightCurveOptions gen;
+  gen.noise_sigma = 0.05;
+  gen.shape_jitter = 0.02;
+  noise(150);
+  for (int cls = 0; cls < 3; ++cls) {
+    const Series obs = GenerateLightCurve(
+        static_cast<VariableStarClass>(cls), n, &rng, gen);
+    stream.insert(stream.end(), obs.begin(), obs.end());
+    truth.emplace_back(stream.size() - 1, cls);
+    noise(120);
+  }
+
+  StepCounter counter;
+  const auto hits = monitor.PushAll(stream, &counter);
+
+  std::printf("stream of %zu samples, %zu raw hits\n\n", stream.size(),
+              hits.size());
+  // Collapse runs of hits into detections (windows overlap, so a pattern
+  // match fires for several consecutive end positions).
+  int detections = 0;
+  std::int64_t last_end = -1000;
+  int matched_truth = 0;
+  for (const auto& hit : hits) {
+    if (hit.end_position - last_end < static_cast<std::int64_t>(n) / 2) {
+      last_end = hit.end_position;
+      continue;
+    }
+    last_end = hit.end_position;
+    ++detections;
+    std::printf("detection @%6lld  pattern=%-16s phase-shift=%3d  d=%.3f\n",
+                static_cast<long long>(hit.end_position),
+                names[hit.pattern], hit.shift, hit.distance);
+    for (const auto& [pos, cls] : truth) {
+      if (hit.end_position >= static_cast<std::int64_t>(pos) - 4 &&
+          hit.end_position <= static_cast<std::int64_t>(pos) + 4 &&
+          hit.pattern == cls) {
+        ++matched_truth;
+      }
+    }
+  }
+
+  const double steps_per_sample =
+      static_cast<double>(counter.steps) /
+      static_cast<double>(stream.size());
+  std::printf("\n%d detections, %d aligned with embedded signatures\n",
+              detections, matched_truth);
+  std::printf("filter cost: %.1f steps/sample (brute force would be %zu)\n",
+              steps_per_sample, 3 * n * n);
+  return matched_truth >= 3 ? 0 : 1;
+}

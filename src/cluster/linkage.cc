@@ -1,0 +1,230 @@
+#include "src/cluster/linkage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Lance-Williams distance update between the merge of (a, b) and another
+/// cluster c. For Ward, the matrix holds SQUARED distances.
+double LanceWilliams(Linkage linkage, double d_ac, double d_bc, double d_ab,
+                     int size_a, int size_b, int size_c) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(d_ac, d_bc);
+    case Linkage::kComplete:
+      return std::max(d_ac, d_bc);
+    case Linkage::kAverage: {
+      const double na = size_a;
+      const double nb = size_b;
+      return (na * d_ac + nb * d_bc) / (na + nb);
+    }
+    case Linkage::kWard: {
+      const double na = size_a;
+      const double nb = size_b;
+      const double nc = size_c;
+      const double total = na + nb + nc;
+      return ((na + nc) * d_ac + (nb + nc) * d_bc - nc * d_ab) / total;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace
+
+std::vector<int> Dendrogram::LeavesUnder(int node) const {
+  std::vector<int> out;
+  std::vector<int> stack = {node};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (IsLeaf(id)) {
+      out.push_back(id);
+    } else {
+      // Push right first so that left leaves come out first.
+      stack.push_back(nodes[id].right);
+      stack.push_back(nodes[id].left);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Dendrogram::CutIntoK(int k) const {
+  k = std::max(1, std::min(k, num_leaves));
+  std::vector<int> roots = {root()};
+  while (static_cast<int>(roots.size()) < k) {
+    // Split the cluster with the largest merge height; leaves cannot split.
+    int best = -1;
+    double best_height = -kInf;
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const int id = roots[i];
+      if (!IsLeaf(id) && nodes[id].height >= best_height) {
+        // ">=" with a linear scan prefers the most recently created merge on
+        // ties, which matches undoing merges in reverse creation order.
+        if (nodes[id].height > best_height ||
+            (best >= 0 && id > roots[static_cast<std::size_t>(best)])) {
+          best_height = nodes[id].height;
+          best = static_cast<int>(i);
+        }
+      }
+    }
+    if (best < 0) break;  // all singleton leaves already
+    const int id = roots[static_cast<std::size_t>(best)];
+    roots[static_cast<std::size_t>(best)] = nodes[id].left;
+    roots.push_back(nodes[id].right);
+  }
+  return roots;
+}
+
+std::vector<int> Dendrogram::ClusterLabels(int k) const {
+  const std::vector<int> roots = CutIntoK(k);
+  std::vector<int> labels(static_cast<std::size_t>(num_leaves), 0);
+  for (std::size_t c = 0; c < roots.size(); ++c) {
+    for (int leaf : LeavesUnder(roots[c])) {
+      labels[static_cast<std::size_t>(leaf)] = static_cast<int>(c);
+    }
+  }
+  return labels;
+}
+
+std::string Dendrogram::ToText(const std::vector<std::string>& labels) const {
+  std::ostringstream out;
+  // Recursive pretty-printer: right subtree above, left below, heights shown
+  // at internal nodes.
+  std::function<void(int, std::string, bool)> emit = [&](int id,
+                                                         std::string prefix,
+                                                         bool is_last) {
+    out << prefix << (is_last ? "`-- " : "|-- ");
+    if (IsLeaf(id)) {
+      if (static_cast<std::size_t>(id) < labels.size()) {
+        out << labels[static_cast<std::size_t>(id)];
+      } else {
+        out << "leaf " << id;
+      }
+      out << "\n";
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "(h=%.4f)", nodes[id].height);
+    out << buf << "\n";
+    const std::string child_prefix = prefix + (is_last ? "    " : "|   ");
+    emit(nodes[id].left, child_prefix, false);
+    emit(nodes[id].right, child_prefix, true);
+  };
+  emit(root(), "", true);
+  return out.str();
+}
+
+Dendrogram AgglomerativeCluster(int n,
+                                const std::function<double(int, int)>& dist,
+                                Linkage linkage) {
+  assert(n >= 1);
+  Dendrogram dg;
+  dg.num_leaves = n;
+  dg.nodes.resize(static_cast<std::size_t>(n));
+  if (n == 1) return dg;
+
+  const bool squared = (linkage == Linkage::kWard);
+
+  // Slot-based distance matrix: slot i initially holds leaf i; when (a, b)
+  // merge, the merged cluster takes slot min(a, b) and slot max(a, b) dies.
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::vector<double> d(un * un, 0.0);
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t j = i + 1; j < un; ++j) {
+      double v = dist(static_cast<int>(i), static_cast<int>(j));
+      if (squared) v *= v;
+      d[i * un + j] = v;
+      d[j * un + i] = v;
+    }
+  }
+
+  std::vector<bool> active(un, true);
+  std::vector<int> node_of_slot(un);
+  std::vector<int> size_of_slot(un, 1);
+  for (std::size_t i = 0; i < un; ++i) node_of_slot[i] = static_cast<int>(i);
+
+  std::vector<int> chain;
+  chain.reserve(un);
+  int merges_done = 0;
+
+  auto nearest = [&](int slot, int prefer) -> int {
+    double best = kInf;
+    int best_slot = -1;
+    for (std::size_t j = 0; j < un; ++j) {
+      if (!active[j] || static_cast<int>(j) == slot) continue;
+      const double v = d[static_cast<std::size_t>(slot) * un + j];
+      if (v < best ||
+          (v == best && static_cast<int>(j) == prefer)) {
+        best = v;
+        best_slot = static_cast<int>(j);
+      }
+    }
+    return best_slot;
+  };
+
+  while (merges_done < n - 1) {
+    if (chain.empty()) {
+      for (std::size_t i = 0; i < un; ++i) {
+        if (active[i]) {
+          chain.push_back(static_cast<int>(i));
+          break;
+        }
+      }
+    }
+    const int top = chain.back();
+    const int prev = chain.size() >= 2 ? chain[chain.size() - 2] : -1;
+    const int nn = nearest(top, prev);
+    assert(nn >= 0);
+    if (nn == prev) {
+      // Reciprocal nearest neighbours: merge top and prev.
+      chain.pop_back();
+      chain.pop_back();
+      const int a = std::min(top, prev);
+      const int b = std::max(top, prev);
+      const double d_ab =
+          d[static_cast<std::size_t>(a) * un + static_cast<std::size_t>(b)];
+
+      Dendrogram::Node node;
+      node.left = node_of_slot[static_cast<std::size_t>(a)];
+      node.right = node_of_slot[static_cast<std::size_t>(b)];
+      node.height = squared ? std::sqrt(std::max(0.0, d_ab)) : d_ab;
+      node.size = size_of_slot[static_cast<std::size_t>(a)] +
+                  size_of_slot[static_cast<std::size_t>(b)];
+      dg.nodes.push_back(node);
+      const int new_node_id = static_cast<int>(dg.nodes.size()) - 1;
+
+      for (std::size_t c = 0; c < un; ++c) {
+        if (!active[c] || static_cast<int>(c) == a ||
+            static_cast<int>(c) == b) {
+          continue;
+        }
+        const double d_ac = d[static_cast<std::size_t>(a) * un + c];
+        const double d_bc = d[static_cast<std::size_t>(b) * un + c];
+        const double v = LanceWilliams(
+            linkage, d_ac, d_bc, d_ab, size_of_slot[static_cast<std::size_t>(a)],
+            size_of_slot[static_cast<std::size_t>(b)],
+            size_of_slot[c]);
+        d[static_cast<std::size_t>(a) * un + c] = v;
+        d[c * un + static_cast<std::size_t>(a)] = v;
+      }
+      active[static_cast<std::size_t>(b)] = false;
+      node_of_slot[static_cast<std::size_t>(a)] = new_node_id;
+      size_of_slot[static_cast<std::size_t>(a)] = node.size;
+      ++merges_done;
+    } else {
+      chain.push_back(nn);
+    }
+  }
+  return dg;
+}
+
+}  // namespace rotind

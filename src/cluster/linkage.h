@@ -1,0 +1,64 @@
+#ifndef ROTIND_CLUSTER_LINKAGE_H_
+#define ROTIND_CLUSTER_LINKAGE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rotind {
+
+/// Linkage criteria for agglomerative hierarchical clustering. The paper
+/// uses group average linkage both for its dendrogram figures (Figures 9,
+/// 16, 17, 18) and to derive wedge sets (Section 4.1).
+enum class Linkage {
+  kSingle,
+  kComplete,
+  kAverage,  ///< group average (UPGMA) — the paper's choice
+  kWard,
+};
+
+/// A full merge tree over n leaves: nodes[0..n) are the leaves, each
+/// subsequent node records one merge. nodes.back() is the root.
+struct Dendrogram {
+  struct Node {
+    int left = -1;    ///< child node id, -1 for leaves
+    int right = -1;   ///< child node id, -1 for leaves
+    double height = 0.0;  ///< linkage distance at which the merge happened
+    int size = 1;     ///< number of leaves underneath
+  };
+
+  std::vector<Node> nodes;
+  int num_leaves = 0;
+
+  int root() const { return static_cast<int>(nodes.size()) - 1; }
+  bool IsLeaf(int id) const { return id < num_leaves; }
+
+  /// Leaf ids under `node`, in tree order.
+  std::vector<int> LeavesUnder(int node) const;
+
+  /// Partitions the leaves into k clusters by repeatedly splitting the
+  /// current cluster with the largest merge height (paper Figure 10: wedge
+  /// sets of every size are nested cuts of the dendrogram). Returns the node
+  /// ids of the k subtree roots. k is clamped to [1, num_leaves].
+  std::vector<int> CutIntoK(int k) const;
+
+  /// Flat cluster labels (0..k-1 per leaf) for the CutIntoK partition.
+  std::vector<int> ClusterLabels(int k) const;
+
+  /// ASCII rendering of the tree (for the clustering "sanity check"
+  /// examples that stand in for the paper's dendrogram figures). `labels`
+  /// may be empty, in which case leaf indices are printed.
+  std::string ToText(const std::vector<std::string>& labels) const;
+};
+
+/// Agglomerative clustering of n items with pairwise distances given by
+/// `dist` (called O(n^2) times up front). Uses the nearest-neighbor-chain
+/// algorithm with Lance-Williams updates: O(n^2) time, O(n^2) memory. All
+/// four supported linkages are reducible, which NN-chain requires.
+Dendrogram AgglomerativeCluster(int n,
+                                const std::function<double(int, int)>& dist,
+                                Linkage linkage);
+
+}  // namespace rotind
+
+#endif  // ROTIND_CLUSTER_LINKAGE_H_

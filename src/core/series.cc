@@ -1,0 +1,87 @@
+#include "src/core/series.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rotind {
+
+double Mean(const Series& s) {
+  if (s.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : s) sum += v;
+  return sum / static_cast<double>(s.size());
+}
+
+double StdDev(const Series& s) {
+  if (s.empty()) return 0.0;
+  const double mu = Mean(s);
+  double acc = 0.0;
+  for (double v : s) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(s.size()));
+}
+
+void ZNormalize(Series* s) {
+  if (s == nullptr || s->empty()) return;
+  const double mu = Mean(*s);
+  const double sigma = StdDev(*s);
+  if (sigma < kFlatEpsilon) {
+    for (double& v : *s) v -= mu;
+    return;
+  }
+  const double inv = 1.0 / sigma;
+  for (double& v : *s) v = (v - mu) * inv;
+}
+
+Series ZNormalized(const Series& s) {
+  Series out = s;
+  ZNormalize(&out);
+  return out;
+}
+
+Series RotateLeft(const Series& s, long shift) {
+  const long n = static_cast<long>(s.size());
+  if (n == 0) return {};
+  long k = shift % n;
+  if (k < 0) k += n;
+  Series out(s.size());
+  for (long i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>((i + k) % n)];
+  }
+  return out;
+}
+
+Series Reversed(const Series& s) {
+  return Series(s.rbegin(), s.rend());
+}
+
+Series Doubled(const Series& s) {
+  Series out;
+  out.reserve(s.size() * 2);
+  out.insert(out.end(), s.begin(), s.end());
+  out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+Series ResampleLinear(const Series& s, std::size_t m) {
+  const std::size_t n = s.size();
+  if (n == 0 || m == 0) return {};
+  if (n == m) return s;
+  Series out(m);
+  // Treat s as one period of a periodic function sampled at i/n; sample the
+  // linear interpolant at j/m, wrapping the final segment back to s[0].
+  for (std::size_t j = 0; j < m; ++j) {
+    const double pos = static_cast<double>(j) * static_cast<double>(n) /
+                       static_cast<double>(m);
+    const std::size_t i0 = static_cast<std::size_t>(pos) % n;
+    const std::size_t i1 = (i0 + 1) % n;
+    const double frac = pos - std::floor(pos);
+    out[j] = s[i0] * (1.0 - frac) + s[i1] * frac;
+  }
+  return out;
+}
+
+}  // namespace rotind

@@ -1,0 +1,67 @@
+#ifndef ROTIND_CORE_SERIES_H_
+#define ROTIND_CORE_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rotind {
+
+/// A univariate time series. Shapes enter the library as centroid-distance
+/// profiles, star light curves as phase-folded brightness curves; both are
+/// plain real-valued series whose circular shifts correspond to rotations
+/// (shapes) or phase offsets (light curves).
+using Series = std::vector<double>;
+
+/// A labelled collection of series, all of the same length. This is the
+/// in-memory "database" type used by scans, classification, and indexing.
+struct Dataset {
+  std::vector<Series> items;
+  std::vector<int> labels;            ///< Optional; empty when unlabelled.
+  std::vector<std::string> names;     ///< Optional per-item names.
+
+  std::size_t size() const { return items.size(); }
+  bool empty() const { return items.empty(); }
+  /// Length of the series (0 when empty). All items must share this length.
+  std::size_t length() const { return items.empty() ? 0 : items[0].size(); }
+};
+
+/// Arithmetic mean of `s`. Returns 0 for an empty series.
+double Mean(const Series& s);
+
+/// Population standard deviation of `s`. Returns 0 for an empty series.
+double StdDev(const Series& s);
+
+/// Z-normalises `s` in place: zero mean, unit variance. Series whose standard
+/// deviation is below `kFlatEpsilon` are shifted to zero mean only (a flat
+/// series carries no shape information; dividing by ~0 would explode noise).
+void ZNormalize(Series* s);
+
+/// Returns a z-normalised copy of `s`.
+Series ZNormalized(const Series& s);
+
+/// Standard deviations below this are treated as "flat" by ZNormalize.
+inline constexpr double kFlatEpsilon = 1e-12;
+
+/// Returns `s` circularly shifted left by `shift` positions:
+/// result[i] = s[(i + shift) mod n]. Shift may be any integer; negative
+/// shifts rotate right.
+Series RotateLeft(const Series& s, long shift);
+
+/// Returns `s` reversed. Together with rotation this generates the mirror
+/// (enantiomorphic) matches discussed in the paper's Section 3.
+Series Reversed(const Series& s);
+
+/// Returns `s` concatenated with itself. Rotations of `s` are then the
+/// contiguous windows doubled[j .. j+n); this is the zero-copy backing store
+/// used by rotation sets and wedge trees.
+Series Doubled(const Series& s);
+
+/// Linearly resamples `s` (interpreted as samples of a periodic function at
+/// uniform spacing) to `m` points. Used to bring profiles of different
+/// contour lengths to a common dimensionality.
+Series ResampleLinear(const Series& s, std::size_t m);
+
+}  // namespace rotind
+
+#endif  // ROTIND_CORE_SERIES_H_

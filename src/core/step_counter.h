@@ -1,0 +1,56 @@
+#ifndef ROTIND_CORE_STEP_COUNTER_H_
+#define ROTIND_CORE_STEP_COUNTER_H_
+
+#include <cstdint>
+
+namespace rotind {
+
+/// Implementation-free cost accounting, following the paper's Section 5.3:
+/// one "step" is one real-value subtraction inside a distance or lower-bound
+/// kernel ("num_steps" in the paper's Tables 1 and 5). Counting subtractions
+/// rather than wall-clock time removes implementation bias when comparing
+/// rival algorithms.
+///
+/// Every kernel takes a nullable `StepCounter*`; passing nullptr disables
+/// accounting with negligible overhead.
+struct StepCounter {
+  /// Real-value subtractions performed by distance/lower-bound kernels.
+  std::uint64_t steps = 0;
+  /// Steps charged to one-off setup work (wedge construction, FFTs of the
+  /// query). Reported separately so benches can show amortisation, but
+  /// included in totals exactly as the paper does.
+  std::uint64_t setup_steps = 0;
+  /// Number of lower-bound evaluations started.
+  std::uint64_t lower_bound_evals = 0;
+  /// Number of full (exact) distance evaluations started.
+  std::uint64_t full_evals = 0;
+  /// Number of evaluations cut short by early abandoning.
+  std::uint64_t early_abandons = 0;
+
+  void Reset() { *this = StepCounter{}; }
+
+  std::uint64_t total_steps() const { return steps + setup_steps; }
+
+  StepCounter& operator+=(const StepCounter& o) {
+    steps += o.steps;
+    setup_steps += o.setup_steps;
+    lower_bound_evals += o.lower_bound_evals;
+    full_evals += o.full_evals;
+    early_abandons += o.early_abandons;
+    return *this;
+  }
+};
+
+/// Adds `n` kernel steps to `c` if non-null.
+inline void AddSteps(StepCounter* c, std::uint64_t n) {
+  if (c != nullptr) c->steps += n;
+}
+
+/// Adds `n` setup steps to `c` if non-null.
+inline void AddSetupSteps(StepCounter* c, std::uint64_t n) {
+  if (c != nullptr) c->setup_steps += n;
+}
+
+}  // namespace rotind
+
+#endif  // ROTIND_CORE_STEP_COUNTER_H_

@@ -1,0 +1,113 @@
+#include "src/distance/dtw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/distance/euclidean.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shared DP core. When `squared_limit` is finite, abandons once a whole row
+/// exceeds it. Returns the squared DTW cost, or kInf when abandoned.
+double DtwCore(const double* q, const double* c, std::size_t n, int band,
+               double squared_limit, StepCounter* counter) {
+  if (n == 0) return 0.0;
+  band = ClampBand(n, band);
+
+  // Two rolling rows over j in [0, n), padded with +inf outside the band.
+  std::vector<double> prev(n, kInf);
+  std::vector<double> curr(n, kInf);
+  std::uint64_t cells = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j_lo =
+        (static_cast<long>(i) - band > 0) ? i - static_cast<std::size_t>(band)
+                                          : 0;
+    const std::size_t j_hi = std::min(n - 1, i + static_cast<std::size_t>(band));
+    double row_min = kInf;
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = q[i] - c[j];
+      const double cost = d * d;
+      ++cells;
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = prev[j];  // insertion (i-1, j)
+        if (j > 0) {
+          best = std::min(best, curr[j - 1]);  // deletion (i, j-1)
+          best = std::min(best, prev[j - 1]);  // match (i-1, j-1)
+        }
+      }
+      curr[j] = best + cost;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > squared_limit) {
+      if (counter != nullptr) {
+        counter->steps += cells;
+        ++counter->early_abandons;
+      }
+      return kInf;
+    }
+    std::swap(prev, curr);
+    std::fill(curr.begin(), curr.end(), kInf);
+  }
+  AddSteps(counter, cells);
+  // Row minima can stay under the limit while the corner cell exceeds it;
+  // enforce the contract that any result above the limit reads as abandoned.
+  if (prev[n - 1] > squared_limit) {
+    if (counter != nullptr) ++counter->early_abandons;
+    return kInf;
+  }
+  return prev[n - 1];
+}
+
+}  // namespace
+
+int ClampBand(std::size_t n, int band) {
+  if (n == 0) return 0;
+  const int max_band = static_cast<int>(n) - 1;
+  if (band < 0) return max_band;  // negative = unconstrained
+  return std::min(band, max_band);
+}
+
+double DtwDistance(const double* q, const double* c, std::size_t n, int band,
+                   StepCounter* counter) {
+  if (counter != nullptr) ++counter->full_evals;
+  return std::sqrt(DtwCore(q, c, n, band, kInf, counter));
+}
+
+double DtwDistance(const Series& q, const Series& c, int band,
+                   StepCounter* counter) {
+  assert(q.size() == c.size());
+  return DtwDistance(q.data(), c.data(), q.size(), band, counter);
+}
+
+double EarlyAbandonDtw(const double* q, const double* c, std::size_t n,
+                       int band, double limit, StepCounter* counter) {
+  if (counter != nullptr) ++counter->full_evals;
+  const double squared_limit = std::isinf(limit) ? kInf : limit * limit;
+  const double sq = DtwCore(q, c, n, band, squared_limit, counter);
+  return std::isinf(sq) ? kAbandoned : std::sqrt(sq);
+}
+
+std::uint64_t DtwCellCount(std::size_t n, int band) {
+  band = ClampBand(n, band);
+  std::uint64_t cells = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j_lo =
+        (static_cast<long>(i) - band > 0) ? i - static_cast<std::size_t>(band)
+                                          : 0;
+    const std::size_t j_hi = std::min(n - 1, i + static_cast<std::size_t>(band));
+    cells += j_hi - j_lo + 1;
+  }
+  return cells;
+}
+
+}  // namespace rotind

@@ -1,0 +1,51 @@
+#ifndef ROTIND_DISTANCE_DTW_H_
+#define ROTIND_DISTANCE_DTW_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/series.h"
+#include "src/core/step_counter.h"
+
+namespace rotind {
+
+/// Sakoe-Chiba banded Dynamic Time Warping.
+///
+/// The warping matrix element (i, j) holds d(q_i, c_j) = (q_i - c_j)^2 and
+/// the path is constrained to |i - j| <= band (paper Figure 12). The
+/// returned distance is the square root of the minimal cumulative path cost,
+/// making it directly comparable to Euclidean distance (band 0 degenerates
+/// to exactly the Euclidean distance).
+///
+/// `band >= n - 1` gives unconstrained (full-matrix) DTW.
+
+/// Full banded DTW with no early abandoning. Charges one step per matrix
+/// cell evaluated (each cell performs one real-value subtraction), matching
+/// the paper's cost model.
+double DtwDistance(const double* q, const double* c, std::size_t n, int band,
+                   StepCounter* counter = nullptr);
+
+/// Convenience overload for equal-length series.
+double DtwDistance(const Series& q, const Series& c, int band,
+                   StepCounter* counter = nullptr);
+
+/// Early-abandoning banded DTW (iterative implementation, paper Section 4.3
+/// footnote: the iterative form can abandon with as few as ~band steps).
+/// After each row, if the minimum cumulative cost in the row already exceeds
+/// `limit`^2 the computation aborts and returns kAbandoned, because every
+/// warping path must pass through at least one cell of every row and cell
+/// costs are non-negative.
+double EarlyAbandonDtw(const double* q, const double* c, std::size_t n,
+                       int band, double limit, StepCounter* counter = nullptr);
+
+/// Number of matrix cells a non-abandoning banded DTW of length-n series
+/// evaluates. This is the exact, data-independent `num_steps` of
+/// DtwDistance; benches use it to cost brute-force rivals in closed form.
+std::uint64_t DtwCellCount(std::size_t n, int band);
+
+/// Clamps a band parameter into [0, n-1].
+int ClampBand(std::size_t n, int band);
+
+}  // namespace rotind
+
+#endif  // ROTIND_DISTANCE_DTW_H_

@@ -1,0 +1,65 @@
+#include "src/distance/lcss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace rotind {
+
+std::size_t LcssLength(const double* q, const double* c, std::size_t n,
+                       const LcssOptions& options, StepCounter* counter) {
+  if (n == 0) return 0;
+  const int delta = options.delta < 0 ? static_cast<int>(n)
+                                      : std::min<int>(options.delta,
+                                                      static_cast<int>(n));
+  if (counter != nullptr) ++counter->full_evals;
+
+  // DP over rows i with columns restricted to |i - j| <= delta. Rows are
+  // stored full-width (n+1) for simplicity; cells outside the band keep the
+  // value carried over from the nearest in-band cell so the recurrence
+  // max(left, up) stays correct at band edges.
+  std::vector<std::size_t> prev(n + 1, 0);
+  std::vector<std::size_t> curr(n + 1, 0);
+  std::uint64_t cells = 0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t j_lo =
+        (static_cast<long>(i) - delta > 1)
+            ? i - static_cast<std::size_t>(delta)
+            : 1;
+    const std::size_t j_hi = std::min(n, i + static_cast<std::size_t>(delta));
+    curr[j_lo - 1] = prev[j_lo - 1];
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double d = q[i - 1] - c[j - 1];
+      ++cells;
+      if (std::fabs(d) <= options.epsilon) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    // Propagate the last in-band value rightwards so row i+1's band edge
+    // sees a consistent "best so far" prefix maximum.
+    for (std::size_t j = j_hi + 1; j <= n; ++j) curr[j] = curr[j_hi];
+    std::swap(prev, curr);
+  }
+  AddSteps(counter, cells);
+  return prev[n];
+}
+
+double LcssSimilarity(const Series& q, const Series& c,
+                      const LcssOptions& options, StepCounter* counter) {
+  assert(q.size() == c.size());
+  if (q.empty()) return 1.0;
+  return static_cast<double>(
+             LcssLength(q.data(), c.data(), q.size(), options, counter)) /
+         static_cast<double>(q.size());
+}
+
+double LcssDistance(const Series& q, const Series& c,
+                    const LcssOptions& options, StepCounter* counter) {
+  return 1.0 - LcssSimilarity(q, c, options, counter);
+}
+
+}  // namespace rotind

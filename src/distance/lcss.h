@@ -1,0 +1,45 @@
+#ifndef ROTIND_DISTANCE_LCSS_H_
+#define ROTIND_DISTANCE_LCSS_H_
+
+#include <cstddef>
+
+#include "src/core/series.h"
+#include "src/core/step_counter.h"
+
+namespace rotind {
+
+/// Longest Common SubSequence matching for real-valued series (paper
+/// Section 4.3). Unlike DTW, LCSS may leave points unmatched, making it
+/// robust to occlusions and missing parts (the paper's Skhul V skull and
+/// broken projectile points). Two points q_i and c_j match when
+/// |q_i - c_j| <= epsilon and |i - j| <= delta.
+struct LcssOptions {
+  /// Value-matching threshold. The paper notes tuning it is non-trivial; a
+  /// common default for z-normalised data is a fraction of sigma.
+  double epsilon = 0.5;
+  /// Temporal matching window (same role as the DTW band). Negative =
+  /// unconstrained.
+  int delta = -1;
+};
+
+/// Length of the longest common subsequence (an integer count, returned as
+/// std::size_t). Charges one step per DP cell (each performs one real-value
+/// subtraction for the epsilon test).
+std::size_t LcssLength(const double* q, const double* c, std::size_t n,
+                       const LcssOptions& options,
+                       StepCounter* counter = nullptr);
+
+/// LCSS similarity in [0, 1]: LcssLength / n.
+double LcssSimilarity(const Series& q, const Series& c,
+                      const LcssOptions& options,
+                      StepCounter* counter = nullptr);
+
+/// LCSS distance in [0, 1]: 1 - similarity. This is the form used when LCSS
+/// stands in for a distance measure in search (smaller is better).
+double LcssDistance(const Series& q, const Series& c,
+                    const LcssOptions& options,
+                    StepCounter* counter = nullptr);
+
+}  // namespace rotind
+
+#endif  // ROTIND_DISTANCE_LCSS_H_

@@ -1,0 +1,105 @@
+#include "src/envelope/candidate_wedge.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/search/lower_bound.h"
+
+namespace rotind {
+
+CandidateWedgeSet::CandidateWedgeSet(std::vector<Series> candidates,
+                                     int dtw_band, StepCounter* counter)
+    : candidates_(std::move(candidates)), dtw_band_(dtw_band) {
+  assert(!candidates_.empty());
+  length_ = candidates_[0].size();
+  for (const Series& c : candidates_) {
+    assert(c.size() == length_);
+    (void)c;
+  }
+
+  const int count = static_cast<int>(candidates_.size());
+  if (count == 1) {
+    dendrogram_.num_leaves = 1;
+    dendrogram_.nodes.resize(1);
+  } else {
+    // Group-average clustering on true pairwise Euclidean distances.
+    // O(P^2) distance evaluations of n steps each; charged as setup.
+    dendrogram_ = AgglomerativeCluster(
+        count,
+        [&](int i, int j) {
+          return EuclideanDistance(candidates_[static_cast<std::size_t>(i)],
+                                   candidates_[static_cast<std::size_t>(j)]);
+        },
+        Linkage::kAverage);
+    AddSetupSteps(counter, static_cast<std::uint64_t>(count) * (count - 1) /
+                               2 * length_);
+  }
+
+  // Envelopes bottom-up; children always precede parents.
+  envelopes_.resize(dendrogram_.nodes.size());
+  for (int id = 0; id < count; ++id) {
+    Envelope env = Envelope::FromSeries(
+        candidates_[static_cast<std::size_t>(id)]);
+    envelopes_[static_cast<std::size_t>(id)] =
+        dtw_band_ > 0 ? env.ExpandedForDtw(dtw_band_) : std::move(env);
+  }
+  for (std::size_t id = static_cast<std::size_t>(count);
+       id < dendrogram_.nodes.size(); ++id) {
+    const auto& node = dendrogram_.nodes[id];
+    envelopes_[id] = Envelope::Merge(
+        envelopes_[static_cast<std::size_t>(node.left)],
+        envelopes_[static_cast<std::size_t>(node.right)]);
+  }
+}
+
+int CandidateWedgeSet::LeftChild(int id) const {
+  return dendrogram_.nodes[static_cast<std::size_t>(id)].left;
+}
+
+int CandidateWedgeSet::RightChild(int id) const {
+  return dendrogram_.nodes[static_cast<std::size_t>(id)].right;
+}
+
+std::vector<int> CandidateWedgeSet::WedgeSetForK(int k) const {
+  return dendrogram_.CutIntoK(k);
+}
+
+std::vector<std::pair<int, double>> CandidateWedgeSet::FilterWithinRadius(
+    const double* q, double radius, const std::vector<int>& wedge_set,
+    StepCounter* counter) const {
+  std::vector<std::pair<int, double>> hits;
+  const double squared_radius = radius * radius;
+
+  std::vector<int> stack(wedge_set.begin(), wedge_set.end());
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+
+    const Envelope& env = EnvelopeOf(id);
+    const double lb_sq = EarlyAbandonLbKeoghSquared(
+        q, env.upper.data(), env.lower.data(), length_, squared_radius,
+        counter);
+    if (std::isinf(lb_sq)) continue;
+
+    if (!IsLeaf(id)) {
+      stack.push_back(LeftChild(id));
+      stack.push_back(RightChild(id));
+      continue;
+    }
+
+    double dist;
+    if (dtw_band_ > 0) {
+      dist = EarlyAbandonDtw(CandidateOf(id).data(), q, length_, dtw_band_,
+                             radius, counter);
+      if (std::isinf(dist)) continue;
+    } else {
+      dist = std::sqrt(lb_sq);  // degenerate wedge: LB IS the distance
+    }
+    if (dist <= radius) hits.emplace_back(id, dist);
+  }
+  return hits;
+}
+
+}  // namespace rotind

@@ -1,0 +1,67 @@
+#ifndef ROTIND_ENVELOPE_CANDIDATE_WEDGE_H_
+#define ROTIND_ENVELOPE_CANDIDATE_WEDGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/cluster/linkage.h"
+#include "src/core/series.h"
+#include "src/core/step_counter.h"
+#include "src/envelope/envelope.h"
+
+namespace rotind {
+
+/// A hierarchal wedge structure over an ARBITRARY set of candidate
+/// sequences — the paper's Section 4.1 in its full generality (the
+/// WedgeTree class specialises this to the rotations of one query, where
+/// the lag trick makes construction O(n^2); this class handles the general
+/// case used for multi-pattern stream filtering, ref [40] "Atomic
+/// Wedgie"). Candidates are clustered with group-average linkage on
+/// Euclidean distance; every node stores the merged envelope.
+class CandidateWedgeSet {
+ public:
+  /// Builds the hierarchy over `candidates` (all the same length).
+  /// `dtw_band` > 0 additionally expands every envelope for DTW/LCSS-style
+  /// windowed matching. Pairwise-distance construction cost (O(P^2 n) for
+  /// P candidates) is charged to counter->setup_steps.
+  CandidateWedgeSet(std::vector<Series> candidates, int dtw_band,
+                    StepCounter* counter);
+
+  std::size_t length() const { return length_; }
+  std::size_t num_candidates() const { return candidates_.size(); }
+  int num_nodes() const { return static_cast<int>(envelopes_.size()); }
+  int root() const { return num_nodes() - 1; }
+
+  bool IsLeaf(int id) const {
+    return id < static_cast<int>(candidates_.size());
+  }
+  int LeftChild(int id) const;
+  int RightChild(int id) const;
+  const Envelope& EnvelopeOf(int id) const {
+    return envelopes_[static_cast<std::size_t>(id)];
+  }
+  const Series& CandidateOf(int id) const {
+    return candidates_[static_cast<std::size_t>(id)];
+  }
+
+  /// The wedge set of size k (nested dendrogram cuts, paper Figure 10).
+  std::vector<int> WedgeSetForK(int k) const;
+
+  /// Range filter: returns every candidate within `radius` of `q` (exact;
+  /// wedges whose early-abandoning LB_Keogh exceeds the radius discard all
+  /// their members at once). Pairs are (candidate index, distance).
+  std::vector<std::pair<int, double>> FilterWithinRadius(
+      const double* q, double radius, const std::vector<int>& wedge_set,
+      StepCounter* counter = nullptr) const;
+
+ private:
+  std::size_t length_ = 0;
+  std::vector<Series> candidates_;
+  int dtw_band_ = 0;
+  Dendrogram dendrogram_;
+  std::vector<Envelope> envelopes_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_ENVELOPE_CANDIDATE_WEDGE_H_

@@ -1,0 +1,104 @@
+#include "src/envelope/envelope.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace rotind {
+
+Envelope Envelope::FromSeries(const double* s, std::size_t n) {
+  Envelope e;
+  e.upper.assign(s, s + n);
+  e.lower.assign(s, s + n);
+  return e;
+}
+
+Envelope Envelope::Merge(const Envelope& a, const Envelope& b) {
+  Envelope out = a;
+  out.MergeInPlace(b);
+  return out;
+}
+
+void Envelope::MergeInPlace(const Envelope& other) {
+  assert(size() == other.size());
+  for (std::size_t i = 0; i < upper.size(); ++i) {
+    upper[i] = std::max(upper[i], other.upper[i]);
+    lower[i] = std::min(lower[i], other.lower[i]);
+  }
+}
+
+void Envelope::MergeSeries(const double* s, std::size_t n) {
+  assert(size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    upper[i] = std::max(upper[i], s[i]);
+    lower[i] = std::min(lower[i], s[i]);
+  }
+}
+
+double Envelope::Area() const {
+  double area = 0.0;
+  for (std::size_t i = 0; i < upper.size(); ++i) area += upper[i] - lower[i];
+  return area;
+}
+
+bool Envelope::Contains(const double* s, std::size_t n,
+                        double tolerance) const {
+  if (n != size()) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (s[i] > upper[i] + tolerance || s[i] < lower[i] - tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+enum class Extremum { kMax, kMin };
+
+Series SlidingExtremum(const Series& s, int band, Extremum which) {
+  const std::size_t n = s.size();
+  if (band <= 0 || n == 0) return s;
+  Series out(n);
+  // Monotonic deque of indices; front always holds the extremum of the
+  // current window [i-band, i+band] (clamped).
+  std::deque<std::size_t> dq;
+  auto beats = [&](double a, double b) {
+    return which == Extremum::kMax ? a >= b : a <= b;
+  };
+  std::size_t next_in = 0;  // next index to admit into the deque
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t win_hi =
+        std::min(n - 1, i + static_cast<std::size_t>(band));
+    while (next_in <= win_hi) {
+      while (!dq.empty() && beats(s[next_in], s[dq.back()])) dq.pop_back();
+      dq.push_back(next_in);
+      ++next_in;
+    }
+    const std::size_t win_lo =
+        (static_cast<long>(i) - band > 0) ? i - static_cast<std::size_t>(band)
+                                          : 0;
+    while (!dq.empty() && dq.front() < win_lo) dq.pop_front();
+    out[i] = s[dq.front()];
+  }
+  return out;
+}
+
+}  // namespace
+
+Series SlidingMax(const Series& s, int band) {
+  return SlidingExtremum(s, band, Extremum::kMax);
+}
+
+Series SlidingMin(const Series& s, int band) {
+  return SlidingExtremum(s, band, Extremum::kMin);
+}
+
+Envelope Envelope::ExpandedForDtw(int band) const {
+  Envelope out;
+  out.upper = SlidingMax(upper, band);
+  out.lower = SlidingMin(lower, band);
+  return out;
+}
+
+}  // namespace rotind

@@ -1,0 +1,59 @@
+#ifndef ROTIND_ENVELOPE_ENVELOPE_H_
+#define ROTIND_ENVELOPE_ENVELOPE_H_
+
+#include <cstddef>
+
+#include "src/core/series.h"
+
+namespace rotind {
+
+/// A time-series wedge W = {U, L} (paper Section 4.1, Figure 6): the
+/// smallest bounding envelope enclosing a set of candidate sequences from
+/// above (U) and below (L), i.e. for every member C of the set and every i,
+/// L_i <= C_i <= U_i.
+struct Envelope {
+  Series upper;
+  Series lower;
+
+  std::size_t size() const { return upper.size(); }
+
+  /// Degenerate wedge of a single sequence (U = L = s).
+  static Envelope FromSeries(const double* s, std::size_t n);
+  static Envelope FromSeries(const Series& s) {
+    return FromSeries(s.data(), s.size());
+  }
+
+  /// Smallest wedge containing both operands (paper's hierarchal nesting,
+  /// Figure 7: W((1,2),3) from W(1,2) and W3).
+  static Envelope Merge(const Envelope& a, const Envelope& b);
+
+  /// Pointwise widening by another envelope.
+  void MergeInPlace(const Envelope& other);
+
+  /// Pointwise widening by a raw series (cheaper than FromSeries + Merge).
+  void MergeSeries(const double* s, std::size_t n);
+
+  /// sum_i (U_i - L_i): the paper's utility heuristic — wedges with small
+  /// area retain pruning power, "fat" wedges do not (Figure 8).
+  double Area() const;
+
+  /// True when L_i <= s_i <= U_i for all i (used by tests and debug checks).
+  bool Contains(const double* s, std::size_t n, double tolerance = 0.0) const;
+
+  /// The DTW envelope of Proposition 2: DTW_U_i = max(U_{i-band..i+band}),
+  /// DTW_L_i = min(L_{i-band..i+band}) (clamped at the ends, matching the
+  /// Sakoe-Chiba constraint |i-j| <= band; indices do not wrap). Computed in
+  /// O(n) with monotonic deques. band = 0 returns a copy.
+  Envelope ExpandedForDtw(int band) const;
+};
+
+/// Sliding-window maximum of `s` with window [i-band, i+band] clamped to the
+/// array. O(n) monotonic-deque implementation, exposed for reuse/testing.
+Series SlidingMax(const Series& s, int band);
+
+/// Sliding-window minimum, same window semantics.
+Series SlidingMin(const Series& s, int band);
+
+}  // namespace rotind
+
+#endif  // ROTIND_ENVELOPE_ENVELOPE_H_

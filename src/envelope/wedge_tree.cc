@@ -1,0 +1,194 @@
+#include "src/envelope/wedge_tree.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+namespace rotind {
+namespace {
+
+/// Lag tables: pairwise Euclidean distances between rotations of one series
+/// depend only on the shift difference (and, with mirrors, the chirality
+/// pair), so the full O(count^2) distance structure is captured by O(n)
+/// values computed in O(n^2) steps. This is the wedge-construction startup
+/// cost the paper's Section 5.3 accounts for.
+struct LagTables {
+  /// same[l] = ED(s, RotateLeft(s, l)); also covers mirrored-vs-mirrored.
+  Series same;
+  /// cross[c] = ED(rotation(a, plain), rotation(b, mirrored)) where
+  /// c = (a - b - 1) mod n. Empty when mirrors are disabled.
+  Series cross;
+};
+
+LagTables ComputeLagTables(const Series& s, bool mirror,
+                           StepCounter* counter) {
+  const std::size_t n = s.size();
+  LagTables t;
+  t.same.resize(n, 0.0);
+  for (std::size_t lag = 0; lag < n; ++lag) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = s[i] - s[(i + lag) % n];
+      acc += d * d;
+    }
+    t.same[lag] = std::sqrt(acc);
+  }
+  AddSetupSteps(counter, static_cast<std::uint64_t>(n) * n);
+  if (mirror) {
+    t.cross.resize(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (std::size_t u = 0; u < n; ++u) {
+        const double d = s[u] - s[(c + n - u) % n];
+        acc += d * d;
+      }
+      t.cross[c] = std::sqrt(acc);
+    }
+    AddSetupSteps(counter, static_cast<std::uint64_t>(n) * n);
+  }
+  return t;
+}
+
+/// Balanced binary hierarchy over contiguous item ranges (ablation
+/// baseline). Heights are set to the range size so that CutIntoK always
+/// splits the largest remaining range.
+Dendrogram ContiguousHierarchy(int count) {
+  Dendrogram dg;
+  dg.num_leaves = count;
+  dg.nodes.resize(static_cast<std::size_t>(count));
+  if (count <= 1) return dg;
+  // Post-order recursive build; children always get smaller ids.
+  std::function<int(int, int)> build = [&](int lo, int hi) -> int {
+    if (hi - lo == 1) return lo;
+    const int mid = lo + (hi - lo) / 2;
+    const int l = build(lo, mid);
+    const int r = build(mid, hi);
+    Dendrogram::Node node;
+    node.left = l;
+    node.right = r;
+    node.size = hi - lo;
+    node.height = static_cast<double>(hi - lo);
+    dg.nodes.push_back(node);
+    return static_cast<int>(dg.nodes.size()) - 1;
+  };
+  build(0, count);
+  return dg;
+}
+
+}  // namespace
+
+WedgeTree::WedgeTree(const Series& query,
+                     const RotationOptions& rotation_options, int dtw_band,
+                     Linkage linkage, WedgeHierarchy hierarchy,
+                     StepCounter* counter)
+    : rotations_(query, rotation_options),
+      dtw_band_(dtw_band) {
+  assert(!query.empty());
+  const int count = static_cast<int>(rotations_.count());
+  const std::size_t n = rotations_.length();
+
+  if (hierarchy == WedgeHierarchy::kContiguous || count <= 2) {
+    dendrogram_ = ContiguousHierarchy(count);
+  } else {
+    const LagTables tables =
+        ComputeLagTables(query, rotation_options.mirror, counter);
+    auto dist = [&](int i, int j) -> double {
+      const int si = rotations_.shift_of(static_cast<std::size_t>(i));
+      const int sj = rotations_.shift_of(static_cast<std::size_t>(j));
+      const bool mi = rotations_.mirrored_of(static_cast<std::size_t>(i));
+      const bool mj = rotations_.mirrored_of(static_cast<std::size_t>(j));
+      const int in = static_cast<int>(n);
+      if (mi == mj) {
+        return tables.same[static_cast<std::size_t>(((sj - si) % in + in) %
+                                                    in)];
+      }
+      // One plain (shift a), one mirrored (shift b): c = (a - b - 1) mod n.
+      const int a = mi ? sj : si;
+      const int b = mi ? si : sj;
+      return tables.cross[static_cast<std::size_t>(((a - b - 1) % in + in) %
+                                                   in)];
+    };
+    dendrogram_ = AgglomerativeCluster(count, dist, linkage);
+  }
+
+  const int num_nodes = static_cast<int>(dendrogram_.nodes.size());
+  left_.resize(static_cast<std::size_t>(num_nodes));
+  right_.resize(static_cast<std::size_t>(num_nodes));
+  counts_.resize(static_cast<std::size_t>(num_nodes));
+  for (int id = 0; id < num_nodes; ++id) {
+    const auto& node = dendrogram_.nodes[static_cast<std::size_t>(id)];
+    left_[static_cast<std::size_t>(id)] = node.left;
+    right_[static_cast<std::size_t>(id)] = node.right;
+    counts_[static_cast<std::size_t>(id)] = node.size;
+  }
+  BuildEnvelopes();
+}
+
+void WedgeTree::BuildEnvelopes() {
+  const int count = static_cast<int>(rotations_.count());
+  const int num_nodes = this->num_nodes();
+  const std::size_t n = rotations_.length();
+  envelopes_.resize(static_cast<std::size_t>(num_nodes));
+
+  if (dtw_band_ > 0) {
+    // DTW mode: leaves get band-expanded degenerate wedges.
+    for (int id = 0; id < count; ++id) {
+      envelopes_[static_cast<std::size_t>(id)] =
+          Envelope::FromSeries(rotations_.rotation(static_cast<std::size_t>(id)),
+                               n)
+              .ExpandedForDtw(dtw_band_);
+    }
+  }
+
+  // Internal nodes: children always have smaller ids, so one forward pass
+  // suffices.
+  for (int id = count; id < num_nodes; ++id) {
+    const int l = LeftChild(id);
+    const int r = RightChild(id);
+    Envelope& env = envelopes_[static_cast<std::size_t>(id)];
+    auto absorb = [&](int child) {
+      if (dtw_band_ == 0 && IsLeaf(child)) {
+        const double* s = rotations_.rotation(static_cast<std::size_t>(child));
+        if (env.size() == 0) {
+          env = Envelope::FromSeries(s, n);
+        } else {
+          env.MergeSeries(s, n);
+        }
+      } else {
+        const Envelope& ce = envelopes_[static_cast<std::size_t>(child)];
+        if (env.size() == 0) {
+          env = ce;
+        } else {
+          env.MergeInPlace(ce);
+        }
+      }
+    };
+    absorb(l);
+    absorb(r);
+  }
+}
+
+const double* WedgeTree::Upper(int id) const {
+  if (dtw_band_ == 0 && IsLeaf(id)) {
+    return rotations_.rotation(static_cast<std::size_t>(id));
+  }
+  return envelopes_[static_cast<std::size_t>(id)].upper.data();
+}
+
+const double* WedgeTree::Lower(int id) const {
+  if (dtw_band_ == 0 && IsLeaf(id)) {
+    return rotations_.rotation(static_cast<std::size_t>(id));
+  }
+  return envelopes_[static_cast<std::size_t>(id)].lower.data();
+}
+
+std::vector<int> WedgeTree::WedgeSetForK(int k) const {
+  return dendrogram_.CutIntoK(k);
+}
+
+double WedgeTree::AreaOf(int id) const {
+  if (dtw_band_ == 0 && IsLeaf(id)) return 0.0;
+  return envelopes_[static_cast<std::size_t>(id)].Area();
+}
+
+}  // namespace rotind

@@ -1,0 +1,102 @@
+#ifndef ROTIND_ENVELOPE_WEDGE_TREE_H_
+#define ROTIND_ENVELOPE_WEDGE_TREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/linkage.h"
+#include "src/core/step_counter.h"
+#include "src/distance/rotation.h"
+#include "src/envelope/envelope.h"
+
+namespace rotind {
+
+/// How the wedge hierarchy over the rotations is derived.
+enum class WedgeHierarchy {
+  /// Agglomerative clustering of the rotations (the paper's method,
+  /// Section 4.1 / Figure 9). Exploits the lag-distance trick: pairwise
+  /// distances between rotations of the same series depend only on the
+  /// shift difference, so the whole distance structure costs O(n^2) steps.
+  kClustered,
+  /// Balanced binary merging of contiguous shift ranges (ablation baseline:
+  /// adjacent rotations are usually the most similar, so this is a cheap
+  /// heuristic hierarchy; benches compare it against kClustered).
+  kContiguous,
+};
+
+/// A hierarchy of wedges over every candidate rotation of a query series
+/// (paper Section 4.1). Node ids follow the dendrogram convention: ids
+/// [0, count) are leaves (one per candidate rotation), higher ids are
+/// merges; the last id is the root enclosing all rotations.
+///
+/// In Euclidean mode (dtw_band == 0) leaf "envelopes" are the rotations
+/// themselves, accessed zero-copy from the RotationSet: LB_Keogh against a
+/// degenerate wedge IS the Euclidean distance, so H-Merge's leaf evaluation
+/// doubles as the exact distance computation. In DTW mode (dtw_band > 0)
+/// every node's envelope, including leaves, is pre-expanded by the band
+/// (Proposition 2), and exact DTW runs against the raw rotation.
+class WedgeTree {
+ public:
+  /// Builds the tree. Charges the O(n^2) lag-distance setup to
+  /// `counter->setup_steps` — this is the startup cost the paper includes
+  /// in its Section 5.3 accounting.
+  WedgeTree(const Series& query, const RotationOptions& rotation_options,
+            int dtw_band, Linkage linkage, WedgeHierarchy hierarchy,
+            StepCounter* counter);
+
+  /// Convenience: clustered, group-average hierarchy.
+  WedgeTree(const Series& query, const RotationOptions& rotation_options,
+            int dtw_band, StepCounter* counter)
+      : WedgeTree(query, rotation_options, dtw_band, Linkage::kAverage,
+                  WedgeHierarchy::kClustered, counter) {}
+
+  std::size_t length() const { return rotations_.length(); }
+  std::size_t num_rotations() const { return rotations_.count(); }
+  int num_nodes() const { return static_cast<int>(counts_.size()); }
+  int root() const { return num_nodes() - 1; }
+  int dtw_band() const { return dtw_band_; }
+  const RotationSet& rotations() const { return rotations_; }
+
+  bool IsLeaf(int id) const {
+    return id < static_cast<int>(rotations_.count());
+  }
+  int LeftChild(int id) const { return left_[static_cast<std::size_t>(id)]; }
+  int RightChild(int id) const { return right_[static_cast<std::size_t>(id)]; }
+  /// Number of rotations enclosed by node `id` (cardinality in Table 6).
+  int CountUnder(int id) const { return counts_[static_cast<std::size_t>(id)]; }
+
+  /// Upper envelope of node `id` (n contiguous doubles).
+  const double* Upper(int id) const;
+  /// Lower envelope of node `id`.
+  const double* Lower(int id) const;
+  /// The raw (un-expanded) rotation series backing leaf `id`.
+  const double* LeafSeries(int id) const { return rotations_.rotation(id); }
+
+  /// The wedge set W of size k: node ids partitioning all rotations (paper
+  /// Figure 10 — nested cuts of the dendrogram). k clamps to
+  /// [1, num_rotations()].
+  std::vector<int> WedgeSetForK(int k) const;
+
+  int max_k() const { return static_cast<int>(rotations_.count()); }
+
+  /// Envelope area of node `id` (pruning-utility heuristic; exposed for the
+  /// ablation benches and tests).
+  double AreaOf(int id) const;
+
+ private:
+  void BuildEnvelopes();
+
+  RotationSet rotations_;
+  int dtw_band_ = 0;
+  Dendrogram dendrogram_;
+  std::vector<int> left_;
+  std::vector<int> right_;
+  std::vector<int> counts_;
+  /// Envelopes for internal nodes always; for leaves only in DTW mode.
+  std::vector<Envelope> envelopes_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_ENVELOPE_WEDGE_TREE_H_

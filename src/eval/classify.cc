@@ -1,0 +1,84 @@
+#include "src/eval/classify.h"
+
+#include <cassert>
+#include <limits>
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ClassificationResult LeaveOneOutOneNn(
+    const Dataset& dataset,
+    const std::function<double(const Series&, const Series&)>& distance) {
+  ClassificationResult result;
+  const std::size_t m = dataset.size();
+  assert(dataset.labels.size() == m);
+  for (std::size_t q = 0; q < m; ++q) {
+    double best = kInf;
+    int best_label = -1;
+    for (std::size_t c = 0; c < m; ++c) {
+      if (c == q) continue;
+      const double d = distance(dataset.items[q], dataset.items[c]);
+      if (d < best) {
+        best = d;
+        best_label = dataset.labels[c];
+      }
+    }
+    ++result.total;
+    if (best_label != dataset.labels[q]) ++result.errors;
+  }
+  return result;
+}
+
+ClassificationResult LeaveOneOutOneNnRotationInvariant(
+    const Dataset& dataset, DistanceKind kind, int band,
+    const RotationOptions& rotation) {
+  ClassificationResult result;
+  const std::size_t m = dataset.size();
+  assert(dataset.labels.size() == m);
+
+  WedgeSearchOptions options;
+  options.kind = kind;
+  options.band = band;
+  options.rotation = rotation;
+
+  for (std::size_t q = 0; q < m; ++q) {
+    WedgeSearcher searcher(dataset.items[q], options, &result.counter);
+    double best = kInf;
+    int best_label = -1;
+    for (std::size_t c = 0; c < m; ++c) {
+      if (c == q) continue;
+      const HMergeResult r =
+          searcher.Distance(dataset.items[c].data(), best, &result.counter);
+      if (!r.abandoned && r.distance < best) {
+        best = r.distance;
+        best_label = dataset.labels[c];
+        searcher.AdaptK(dataset.items[c].data(), best, &result.counter);
+      }
+    }
+    ++result.total;
+    if (best_label != dataset.labels[q]) ++result.errors;
+  }
+  return result;
+}
+
+int LearnBestBand(const Dataset& train, const std::vector<int>& candidates,
+                  const RotationOptions& rotation) {
+  assert(!candidates.empty());
+  int best_band = candidates.front();
+  double best_error = kInf;
+  for (int band : candidates) {
+    const ClassificationResult r = LeaveOneOutOneNnRotationInvariant(
+        train, DistanceKind::kDtw, band, rotation);
+    if (r.error_rate() < best_error) {
+      best_error = r.error_rate();
+      best_band = band;
+    }
+  }
+  return best_band;
+}
+
+}  // namespace rotind

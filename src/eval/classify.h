@@ -1,0 +1,46 @@
+#ifndef ROTIND_EVAL_CLASSIFY_H_
+#define ROTIND_EVAL_CLASSIFY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/step_counter.h"
+#include "src/distance/rotation.h"
+#include "src/search/hmerge.h"
+
+namespace rotind {
+
+/// Outcome of a leave-one-out one-nearest-neighbour evaluation — the
+/// paper's Table 8 protocol.
+struct ClassificationResult {
+  int errors = 0;
+  int total = 0;
+  double error_rate() const {
+    return total == 0 ? 0.0 : static_cast<double>(errors) / total;
+  }
+  /// Work done across all queries (useful for speed comparisons).
+  StepCounter counter;
+};
+
+/// Generic LOO 1-NN with an arbitrary pairwise distance.
+ClassificationResult LeaveOneOutOneNn(
+    const Dataset& dataset,
+    const std::function<double(const Series&, const Series&)>& distance);
+
+/// Rotation-invariant LOO 1-NN using the wedge machinery (exact, fast):
+/// each held-out item becomes a query whose wedge set scans the rest.
+ClassificationResult LeaveOneOutOneNnRotationInvariant(
+    const Dataset& dataset, DistanceKind kind, int band,
+    const RotationOptions& rotation = {});
+
+/// Picks the best DTW band from `candidates` by LOO error on `train`
+/// (ties broken toward the smaller band, as the paper learns R "by looking
+/// only at the training data").
+int LearnBestBand(const Dataset& train, const std::vector<int>& candidates,
+                  const RotationOptions& rotation = {});
+
+}  // namespace rotind
+
+#endif  // ROTIND_EVAL_CLASSIFY_H_

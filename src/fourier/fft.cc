@@ -1,0 +1,131 @@
+#include "src/fourier/fft.h"
+
+#include <cmath>
+
+namespace rotind {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// In-place iterative radix-2 Cooley-Tukey. `invert` flips the transform
+/// direction (without the 1/n scale; callers apply it).
+void FftRadix2(std::vector<Complex>* a, bool invert) {
+  const std::size_t n = a->size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap((*a)[i], (*a)[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = kTwoPi / static_cast<double>(len) * (invert ? 1 : -1);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = (*a)[i + k];
+        const Complex v = (*a)[i + k + len / 2] * w;
+        (*a)[i + k] = u + v;
+        (*a)[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+std::vector<Complex> FftBluestein(const std::vector<Complex>& input,
+                                  bool invert) {
+  const std::size_t n = input.size();
+  const double sign = invert ? 1.0 : -1.0;
+
+  // Chirp c_k = exp(sign * pi * I * k^2 / n). Index k^2 is reduced mod 2n to
+  // keep the trig argument small (k^2 mod 2n preserves the chirp's value).
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = static_cast<std::size_t>(
+        (static_cast<unsigned long long>(k) * k) % (2 * n));
+    const double ang = kTwoPi / 2.0 * static_cast<double>(k2) /
+                       static_cast<double>(n) * sign;
+    chirp[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(chirp[k]);
+  }
+
+  FftRadix2(&a, false);
+  FftRadix2(&b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  FftRadix2(&a, true);
+  const double scale = 1.0 / static_cast<double>(m);
+
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * chirp[k];
+  return out;
+}
+
+std::vector<Complex> Transform(const std::vector<Complex>& input,
+                               bool invert) {
+  if (input.size() <= 1) return input;
+  if (IsPowerOfTwo(input.size())) {
+    std::vector<Complex> a = input;
+    FftRadix2(&a, invert);
+    return a;
+  }
+  return FftBluestein(input, invert);
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::vector<Complex> Fft(const std::vector<Complex>& input) {
+  return Transform(input, /*invert=*/false);
+}
+
+std::vector<Complex> InverseFft(const std::vector<Complex>& input) {
+  std::vector<Complex> out = Transform(input, /*invert=*/true);
+  const double scale =
+      input.empty() ? 1.0 : 1.0 / static_cast<double>(input.size());
+  for (Complex& v : out) v *= scale;
+  return out;
+}
+
+std::vector<Complex> FftReal(const Series& input) {
+  std::vector<Complex> c(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) c[i] = Complex(input[i], 0.0);
+  return Fft(c);
+}
+
+std::vector<Complex> NaiveDft(const std::vector<Complex>& input) {
+  const std::size_t n = input.size();
+  std::vector<Complex> out(n, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ang =
+          -kTwoPi * static_cast<double>(i) * static_cast<double>(k) /
+          static_cast<double>(n);
+      out[k] += input[i] * Complex(std::cos(ang), std::sin(ang));
+    }
+  }
+  return out;
+}
+
+}  // namespace rotind

@@ -1,0 +1,35 @@
+#ifndef ROTIND_FOURIER_FFT_H_
+#define ROTIND_FOURIER_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "src/core/series.h"
+
+namespace rotind {
+
+using Complex = std::complex<double>;
+
+/// Discrete Fourier transform X_k = sum_i x_i * exp(-2*pi*I*i*k/n), computed
+/// with an iterative radix-2 Cooley-Tukey FFT when n is a power of two and
+/// Bluestein's chirp-z algorithm otherwise (so arbitrary series lengths such
+/// as the paper's n = 251 projectile points work without padding tricks).
+/// No external FFT library is used.
+std::vector<Complex> Fft(const std::vector<Complex>& input);
+
+/// Inverse DFT, x_i = (1/n) sum_k X_k * exp(+2*pi*I*i*k/n).
+std::vector<Complex> InverseFft(const std::vector<Complex>& input);
+
+/// Forward DFT of a real series.
+std::vector<Complex> FftReal(const Series& input);
+
+/// O(n^2) reference DFT used by the test suite to validate the FFT.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& input);
+
+/// True if n is a power of two (n >= 1).
+bool IsPowerOfTwo(std::size_t n);
+
+}  // namespace rotind
+
+#endif  // ROTIND_FOURIER_FFT_H_

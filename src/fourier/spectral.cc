@@ -1,0 +1,48 @@
+#include "src/fourier/spectral.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/fourier/fft.h"
+
+namespace rotind {
+
+SpectralSignature MakeSpectralSignature(const Series& s, std::size_t dims) {
+  const std::size_t n = s.size();
+  assert(n >= 2);
+  dims = std::min(dims, n / 2);
+  const std::vector<Complex> spectrum = FftReal(s);
+
+  SpectralSignature sig;
+  sig.values.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::size_t k = d + 1;  // skip DC (zero for z-normalised input)
+    // Conjugate pair k and n-k both appear in Parseval's sum; the Nyquist
+    // bin (k == n/2 for even n) has no distinct pair.
+    const double weight = (2 * k == n) ? 1.0 : 2.0;
+    sig.values[d] =
+        std::abs(spectrum[k]) * std::sqrt(weight / static_cast<double>(n));
+  }
+  return sig;
+}
+
+double SignatureDistance(const SpectralSignature& a,
+                         const SpectralSignature& b, StepCounter* counter) {
+  assert(a.dims() == b.dims());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    const double d = a.values[i] - b.values[i];
+    acc += d * d;
+  }
+  AddSteps(counter, a.values.size());
+  return std::sqrt(acc);
+}
+
+std::uint64_t FftStepCost(std::size_t n) {
+  if (n <= 1) return 1;
+  const double cost = static_cast<double>(n) * std::log2(static_cast<double>(n));
+  return static_cast<std::uint64_t>(std::llround(cost));
+}
+
+}  // namespace rotind

@@ -1,0 +1,213 @@
+#include "src/index/candidate_scan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/fourier/spectral.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+RotationInvariantIndex::RotationInvariantIndex(const std::vector<Series>& db,
+                                               const Options& options)
+    : options_(options), disk_(options.page_size_bytes) {
+  disk_.StoreAll(db);
+  if (options_.kind == DistanceKind::kEuclidean) {
+    spectral_signatures_.reserve(db.size());
+    for (const Series& s : db) {
+      spectral_signatures_.push_back(
+          MakeSpectralSignature(s, options_.dims).values);
+    }
+    vptree_ = std::make_unique<VpTree>(spectral_signatures_, options_.seed);
+  } else {
+    paa_signatures_.reserve(db.size());
+    for (const Series& s : db) {
+      paa_signatures_.push_back(PaaTransform(s, options_.dims));
+    }
+  }
+}
+
+RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighbor(
+    const Series& query) {
+  disk_.ResetCounters();
+  return options_.kind == DistanceKind::kEuclidean
+             ? NearestNeighborEuclidean(query)
+             : NearestNeighborDtw(query);
+}
+
+std::vector<RotationInvariantIndex::KnnEntry>
+RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
+                                          Result* stats) {
+  disk_.ResetCounters();
+  Result local;
+  Result* out = stats != nullptr ? stats : &local;
+  *out = Result{};
+
+  WedgeSearchOptions wopts;
+  wopts.kind = options_.kind;
+  wopts.band = options_.band;
+  wopts.rotation = options_.rotation;
+  WedgeSearcher searcher(query, wopts, &out->counter);
+
+  std::vector<KnnEntry> neighbors;
+  if (options_.kind == DistanceKind::kEuclidean) {
+    const SpectralSignature qsig =
+        MakeSpectralSignature(query, options_.dims);
+    AddSetupSteps(&out->counter, FftStepCost(query.size()));
+    auto refine = [&](int id, double threshold) -> double {
+      const Series& c = disk_.Fetch(id);
+      const HMergeResult r =
+          searcher.Distance(c.data(), threshold, &out->counter);
+      return r.abandoned ? kInf : r.distance;
+    };
+    const VpTree::KnnResult knn =
+        vptree_->KNearestNeighbors(qsig.values, k, refine, &out->counter);
+    for (const auto& [id, distance] : knn.neighbors) {
+      neighbors.push_back({id, distance});
+    }
+  } else {
+    // DTW path: LB-ordered scan with the k-th best as the threshold.
+    const WedgeTree& tree = searcher.tree();
+    const std::vector<int> wedge_ids =
+        tree.WedgeSetForK(std::max(1, options_.lower_bound_wedges));
+    std::vector<PaaEnvelope> envelopes;
+    for (int id : wedge_ids) {
+      Envelope env;
+      env.upper.assign(tree.Upper(id), tree.Upper(id) + tree.length());
+      env.lower.assign(tree.Lower(id), tree.Lower(id) + tree.length());
+      envelopes.push_back(PaaReduceEnvelope(env, options_.dims));
+    }
+    const std::size_t m = paa_signatures_.size();
+    std::vector<std::pair<double, int>> order(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      double lb = kInf;
+      for (const PaaEnvelope& env : envelopes) {
+        lb = std::min(lb, LbPaa(paa_signatures_[i], env, &out->counter));
+      }
+      order[i] = {lb, static_cast<int>(i)};
+    }
+    std::sort(order.begin(), order.end());
+
+    // Max-heap of the best k by true distance.
+    std::vector<std::pair<double, int>> heap;
+    auto threshold = [&]() {
+      return static_cast<int>(heap.size()) < k ? kInf : heap.front().first;
+    };
+    for (const auto& [lb, id] : order) {
+      if (lb >= threshold()) break;
+      const Series& c = disk_.Fetch(id);
+      const HMergeResult r =
+          searcher.Distance(c.data(), threshold(), &out->counter);
+      if (r.abandoned || r.distance >= threshold()) continue;
+      heap.emplace_back(r.distance, id);
+      std::push_heap(heap.begin(), heap.end());
+      if (static_cast<int>(heap.size()) > k) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.pop_back();
+      }
+    }
+    std::sort(heap.begin(), heap.end());
+    for (const auto& [distance, id] : heap) neighbors.push_back({id, distance});
+  }
+
+  out->object_fetches = disk_.object_fetches();
+  out->page_reads = disk_.page_reads();
+  out->fetch_fraction = disk_.FetchFraction();
+  if (!neighbors.empty()) {
+    out->best_index = neighbors[0].index;
+    out->best_distance = neighbors[0].distance;
+  }
+  return neighbors;
+}
+
+RotationInvariantIndex::Result
+RotationInvariantIndex::NearestNeighborEuclidean(const Series& query) {
+  Result result;
+  WedgeSearchOptions wopts;
+  wopts.kind = DistanceKind::kEuclidean;
+  wopts.rotation = options_.rotation;
+  WedgeSearcher searcher(query, wopts, &result.counter);
+
+  const SpectralSignature qsig = MakeSpectralSignature(query, options_.dims);
+  AddSetupSteps(&result.counter, FftStepCost(query.size()));
+
+  auto refine = [&](int id, double threshold) -> double {
+    const Series& c = disk_.Fetch(id);
+    const HMergeResult r =
+        searcher.Distance(c.data(), threshold, &result.counter);
+    if (r.abandoned) return kInf;
+    searcher.AdaptK(c.data(), r.distance, &result.counter);
+    return r.distance;
+  };
+
+  const VpTree::Result vp =
+      vptree_->NearestNeighbor(qsig.values, refine, &result.counter);
+  result.best_index = vp.best_id;
+  result.best_distance = vp.best_distance;
+  result.object_fetches = disk_.object_fetches();
+  result.page_reads = disk_.page_reads();
+  result.fetch_fraction = disk_.FetchFraction();
+  return result;
+}
+
+RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighborDtw(
+    const Series& query) {
+  Result result;
+  WedgeSearchOptions wopts;
+  wopts.kind = DistanceKind::kDtw;
+  wopts.band = options_.band;
+  wopts.rotation = options_.rotation;
+  WedgeSearcher searcher(query, wopts, &result.counter);
+
+  // PAA-reduce the band-expanded envelopes of a small wedge set over the
+  // query's rotations. LB(object) = min over wedges of LB_PAA, which
+  // lower-bounds the rotation-invariant DTW distance (refs [16][37]).
+  const WedgeTree& tree = searcher.tree();
+  const std::vector<int> wedge_ids = tree.WedgeSetForK(
+      std::max(1, options_.lower_bound_wedges));
+  std::vector<PaaEnvelope> envelopes;
+  envelopes.reserve(wedge_ids.size());
+  for (int id : wedge_ids) {
+    Envelope env;
+    env.upper.assign(tree.Upper(id), tree.Upper(id) + tree.length());
+    env.lower.assign(tree.Lower(id), tree.Lower(id) + tree.length());
+    envelopes.push_back(PaaReduceEnvelope(env, options_.dims));
+  }
+
+  // Lower bounds for every object, visited in ascending order.
+  const std::size_t m = paa_signatures_.size();
+  std::vector<std::pair<double, int>> order(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double lb = kInf;
+    for (const PaaEnvelope& env : envelopes) {
+      lb = std::min(lb, LbPaa(paa_signatures_[i], env, &result.counter));
+    }
+    order[i] = {lb, static_cast<int>(i)};
+  }
+  std::sort(order.begin(), order.end());
+
+  double best = kInf;
+  for (const auto& [lb, id] : order) {
+    if (lb >= best) break;  // every further bound is at least as large
+    const Series& c = disk_.Fetch(id);
+    const HMergeResult r = searcher.Distance(c.data(), best, &result.counter);
+    if (!r.abandoned && r.distance < best) {
+      best = r.distance;
+      result.best_index = id;
+      searcher.AdaptK(c.data(), best, &result.counter);
+    }
+  }
+  result.best_distance = best;
+  result.object_fetches = disk_.object_fetches();
+  result.page_reads = disk_.page_reads();
+  result.fetch_fraction = disk_.FetchFraction();
+  return result;
+}
+
+}  // namespace rotind

@@ -1,0 +1,93 @@
+#ifndef ROTIND_INDEX_CANDIDATE_SCAN_H_
+#define ROTIND_INDEX_CANDIDATE_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/step_counter.h"
+#include "src/index/disk.h"
+#include "src/index/paa.h"
+#include "src/index/vptree.h"
+#include "src/search/hmerge.h"
+
+namespace rotind {
+
+/// Disk-aware exact rotation-invariant index (paper Section 4.2 / 5.4).
+///
+/// Full series live on a SimulatedDisk; only D-dimensional signatures stay
+/// in memory. A query is answered by (a) pruning in signature space with a
+/// lower bound of the true rotation-invariant distance, and (b) fetching
+/// and refining the survivors with H-Merge. Both paths are exact (no false
+/// dismissals):
+///
+///  * Euclidean: FFT-magnitude signatures (rotation-invariant, metric, and
+///    a lower bound of RED) pruned with a VP-tree — the paper's Table 7.
+///  * DTW: FFT magnitudes do NOT lower-bound DTW, so this path uses the
+///    classic exact-DTW-indexing machinery the paper cites ([16][37]): PAA
+///    signatures of the objects against PAA-reduced, band-expanded wedge
+///    envelopes of the query, visited in ascending lower-bound order.
+class RotationInvariantIndex {
+ public:
+  struct Options {
+    std::size_t dims = 16;  ///< signature dimensionality D
+    DistanceKind kind = DistanceKind::kEuclidean;
+    int band = 5;  ///< Sakoe-Chiba band for kDtw
+    RotationOptions rotation;
+    std::size_t page_size_bytes = 4096;
+    std::uint64_t seed = 42;
+    /// Number of wedges whose PAA envelopes are used for the DTW lower
+    /// bound (min over wedges). More wedges = tighter bound, more bound
+    /// evaluations.
+    int lower_bound_wedges = 64;
+  };
+
+  RotationInvariantIndex(const std::vector<Series>& db, const Options& options);
+
+  struct Result {
+    int best_index = -1;
+    double best_distance = 0.0;
+    /// Objects fetched from disk for refinement.
+    std::uint64_t object_fetches = 0;
+    /// object_fetches / database size — Figure 24's y-axis.
+    double fetch_fraction = 0.0;
+    std::uint64_t page_reads = 0;
+    StepCounter counter;
+  };
+
+  /// Exact rotation-invariant 1-NN.
+  Result NearestNeighbor(const Series& query);
+
+  /// One entry of a k-NN result.
+  struct KnnEntry {
+    int index = -1;
+    double distance = 0.0;
+  };
+
+  /// Exact rotation-invariant k-NN (ascending by distance; fewer than k
+  /// entries when the database is smaller). `stats`, if given, receives
+  /// the same accounting fields as NearestNeighbor's Result.
+  std::vector<KnnEntry> KNearestNeighbors(const Series& query, int k,
+                                          Result* stats = nullptr);
+
+  std::size_t size() const { return disk_.num_objects(); }
+  const SimulatedDisk& disk() const { return disk_; }
+
+ private:
+  Result NearestNeighborEuclidean(const Series& query);
+  Result NearestNeighborDtw(const Series& query);
+
+  Options options_;
+  SimulatedDisk disk_;
+  /// Euclidean path: spectral signatures + VP-tree.
+  std::unique_ptr<VpTree> vptree_;
+  std::vector<std::vector<double>> spectral_signatures_;
+  /// DTW path: PAA signatures.
+  std::vector<PaaPoint> paa_signatures_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_INDEX_CANDIDATE_SCAN_H_

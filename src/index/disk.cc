@@ -1,0 +1,40 @@
+#include "src/index/disk.h"
+
+#include <cassert>
+
+namespace rotind {
+
+SimulatedDisk::SimulatedDisk(std::size_t page_size_bytes)
+    : page_size_bytes_(page_size_bytes == 0 ? 4096 : page_size_bytes) {}
+
+int SimulatedDisk::Store(const Series& s) {
+  objects_.push_back(s);
+  return static_cast<int>(objects_.size()) - 1;
+}
+
+void SimulatedDisk::StoreAll(const std::vector<Series>& db) {
+  objects_.reserve(objects_.size() + db.size());
+  for (const Series& s : db) objects_.push_back(s);
+}
+
+const Series& SimulatedDisk::Fetch(int id) {
+  assert(id >= 0 && static_cast<std::size_t>(id) < objects_.size());
+  const Series& s = objects_[static_cast<std::size_t>(id)];
+  ++object_fetches_;
+  const std::size_t bytes = s.size() * sizeof(double);
+  page_reads_ += (bytes + page_size_bytes_ - 1) / page_size_bytes_;
+  return s;
+}
+
+double SimulatedDisk::FetchFraction() const {
+  if (objects_.empty()) return 0.0;
+  return static_cast<double>(object_fetches_) /
+         static_cast<double>(objects_.size());
+}
+
+void SimulatedDisk::ResetCounters() {
+  object_fetches_ = 0;
+  page_reads_ = 0;
+}
+
+}  // namespace rotind

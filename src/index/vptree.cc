@@ -1,0 +1,199 @@
+#include "src/index/vptree.h"
+
+#include <algorithm>
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/core/random.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double L2(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+VpTree::VpTree(std::vector<std::vector<double>> points, std::uint64_t seed,
+               std::size_t leaf_size)
+    : points_(std::move(points)), leaf_size_(std::max<std::size_t>(1, leaf_size)) {
+  if (points_.empty()) return;
+  std::vector<int> ids(points_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  Rng rng(seed);
+  root_ = BuildRecursive(&ids, 0, ids.size(), &rng);
+}
+
+int VpTree::BuildRecursive(std::vector<int>* ids, std::size_t lo,
+                           std::size_t hi, Rng* rng) {
+  Node node;
+  const std::size_t count = hi - lo;
+  if (count <= leaf_size_) {
+    node.is_leaf = true;
+    node.bucket.assign(ids->begin() + static_cast<long>(lo),
+                       ids->begin() + static_cast<long>(hi));
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Pick a random vantage point and move it to the front.
+  const std::size_t pick = lo + rng->NextBounded(count);
+  std::swap((*ids)[lo], (*ids)[pick]);
+  const int vp = (*ids)[lo];
+
+  // Partition the remainder by distance to the vantage point.
+  const std::size_t mid = lo + 1 + (count - 1) / 2;
+  std::nth_element(ids->begin() + static_cast<long>(lo) + 1,
+                   ids->begin() + static_cast<long>(mid),
+                   ids->begin() + static_cast<long>(hi), [&](int a, int b) {
+                     return L2(points_[static_cast<std::size_t>(a)],
+                               points_[static_cast<std::size_t>(vp)]) <
+                            L2(points_[static_cast<std::size_t>(b)],
+                               points_[static_cast<std::size_t>(vp)]);
+                   });
+  node.vantage = vp;
+  node.median = L2(points_[static_cast<std::size_t>((*ids)[mid])],
+                   points_[static_cast<std::size_t>(vp)]);
+
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  const int left = BuildRecursive(ids, lo + 1, mid + 1, rng);
+  const int right = (mid + 1 < hi) ? BuildRecursive(ids, mid + 1, hi, rng)
+                                   : -1;
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+/// Shared search state: a bounded max-heap of the best k (true-distance)
+/// hits plus work counters.
+struct KnnState {
+  std::vector<std::pair<double, int>> heap;  // max-heap on distance
+  int k = 1;
+  std::uint64_t metric_evals = 0;
+  std::uint64_t refine_calls = 0;
+
+  double threshold() const {
+    return static_cast<int>(heap.size()) < k
+               ? std::numeric_limits<double>::infinity()
+               : heap.front().first;
+  }
+  void Offer(double distance, int id) {
+    if (distance >= threshold()) return;
+    heap.emplace_back(distance, id);
+    std::push_heap(heap.begin(), heap.end());
+    if (static_cast<int>(heap.size()) > k) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.pop_back();
+    }
+  }
+};
+
+double VpTree::Metric(const std::vector<double>& a,
+                      const std::vector<double>& b, KnnState* state,
+                      StepCounter* counter) const {
+  ++state->metric_evals;
+  AddSteps(counter, a.size());
+  return L2(a, b);
+}
+
+VpTree::Result VpTree::NearestNeighbor(
+    const std::vector<double>& query,
+    const std::function<double(int, double)>& refine,
+    StepCounter* counter) const {
+  const KnnResult knn = KNearestNeighbors(query, 1, refine, counter);
+  Result result;
+  result.metric_evals = knn.metric_evals;
+  result.refine_calls = knn.refine_calls;
+  if (knn.neighbors.empty()) {
+    result.best_distance = kInf;
+    return result;
+  }
+  result.best_id = knn.neighbors[0].first;
+  result.best_distance = knn.neighbors[0].second;
+  return result;
+}
+
+VpTree::KnnResult VpTree::KNearestNeighbors(
+    const std::vector<double>& query, int k,
+    const std::function<double(int, double)>& refine,
+    StepCounter* counter) const {
+  KnnResult result;
+  if (root_ < 0 || k < 1) return result;
+  assert(query.size() == dims());
+  KnnState state;
+  state.k = k;
+  SearchRecursive(root_, query, refine, k, &state, counter);
+  result.metric_evals = state.metric_evals;
+  result.refine_calls = state.refine_calls;
+  std::sort(state.heap.begin(), state.heap.end());
+  result.neighbors.reserve(state.heap.size());
+  for (const auto& [distance, id] : state.heap) {
+    result.neighbors.emplace_back(id, distance);
+  }
+  return result;
+}
+
+void VpTree::SearchRecursive(
+    int node_id, const std::vector<double>& query,
+    const std::function<double(int, double)>& refine, int k, KnnState* state,
+    StepCounter* counter) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+
+  if (node.is_leaf) {
+    // Table 7 leaf handling: compute signature lower bounds, visit in
+    // ascending order, and refine only entries whose bound beats the
+    // current k-th best.
+    std::vector<std::pair<double, int>> order;
+    order.reserve(node.bucket.size());
+    for (int id : node.bucket) {
+      order.emplace_back(
+          Metric(points_[static_cast<std::size_t>(id)], query, state,
+                 counter),
+          id);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [lb, id] : order) {
+      if (lb >= state->threshold()) break;
+      ++state->refine_calls;
+      state->Offer(refine(id, state->threshold()), id);
+    }
+    return;
+  }
+
+  const double d_vp =
+      Metric(points_[static_cast<std::size_t>(node.vantage)], query, state,
+             counter);
+  if (d_vp < state->threshold()) {
+    ++state->refine_calls;
+    state->Offer(refine(node.vantage, state->threshold()), node.vantage);
+  }
+
+  // Triangle-inequality pruning via |d_vp - d(vp, p)|: the near side is
+  // always reachable (bound 0); the far side only if the query sits within
+  // threshold of the splitting shell. Since the metric lower-bounds the
+  // true distance, a pruned subtree cannot improve the result set.
+  const bool near_left = d_vp <= node.median;
+  const int first = near_left ? node.left : node.right;
+  const int second = near_left ? node.right : node.left;
+  const double second_bound =
+      near_left ? node.median - d_vp : d_vp - node.median;
+
+  SearchRecursive(first, query, refine, k, state, counter);
+  if (second_bound < state->threshold()) {
+    SearchRecursive(second, query, refine, k, state, counter);
+  }
+}
+
+}  // namespace rotind

@@ -1,0 +1,93 @@
+#ifndef ROTIND_INDEX_VPTREE_H_
+#define ROTIND_INDEX_VPTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/step_counter.h"
+
+namespace rotind {
+
+/// A vantage-point tree over D-dimensional points under the L2 metric
+/// (paper Table 7, adapted from reference [38]). The points are compressed
+/// in-memory signatures (FFT magnitudes); the *true* rotation-invariant
+/// distance is only available by fetching the full object from disk, which
+/// the caller provides as a `refine` callback.
+///
+/// Exactness contract: the L2 metric between signatures must lower-bound
+/// the true distance. Then any subtree whose metric lower bound (via the
+/// triangle inequality around its vantage point) reaches best-so-far can be
+/// pruned without false dismissals.
+class VpTree {
+ public:
+  /// Builds the tree over `points` (object id = position). `seed` drives
+  /// vantage-point selection; `leaf_size` bounds bucket size.
+  VpTree(std::vector<std::vector<double>> points, std::uint64_t seed = 42,
+         std::size_t leaf_size = 8);
+
+  struct Result {
+    int best_id = -1;
+    double best_distance = 0.0;
+    /// Signature-metric evaluations performed.
+    std::uint64_t metric_evals = 0;
+    /// Refine calls issued (== objects fetched from disk by the caller).
+    std::uint64_t refine_calls = 0;
+  };
+
+  /// Exact nearest neighbor under the caller's true distance.
+  /// `refine(id, threshold)` must return the exact true distance of object
+  /// `id` when it is < threshold, or +infinity otherwise (early abandoning
+  /// inside refine is fine). `counter`, if given, is charged `dims` steps
+  /// per metric evaluation.
+  Result NearestNeighbor(
+      const std::vector<double>& query,
+      const std::function<double(int, double)>& refine,
+      StepCounter* counter = nullptr) const;
+
+  struct KnnResult {
+    /// Ascending by distance; fewer than k entries when size() < k.
+    std::vector<std::pair<int, double>> neighbors;
+    std::uint64_t metric_evals = 0;
+    std::uint64_t refine_calls = 0;
+  };
+
+  /// Exact k-nearest-neighbors; the k-th best true distance plays the
+  /// pruning role best-so-far plays for k = 1.
+  KnnResult KNearestNeighbors(
+      const std::vector<double>& query, int k,
+      const std::function<double(int, double)>& refine,
+      StepCounter* counter = nullptr) const;
+
+  std::size_t size() const { return points_.size(); }
+  std::size_t dims() const { return points_.empty() ? 0 : points_[0].size(); }
+
+ private:
+  struct Node {
+    int vantage = -1;      ///< object id of the vantage point
+    double median = 0.0;   ///< split radius
+    int left = -1;         ///< subtree of points with d(vp, p) <= median
+    int right = -1;        ///< subtree of points with d(vp, p) > median
+    std::vector<int> bucket;  ///< leaf entries (empty for internal nodes)
+    bool is_leaf = false;
+  };
+
+  int BuildRecursive(std::vector<int>* ids, std::size_t lo, std::size_t hi,
+                     class Rng* rng);
+  void SearchRecursive(int node_id, const std::vector<double>& query,
+                       const std::function<double(int, double)>& refine,
+                       int k, struct KnnState* state, StepCounter* counter)
+      const;
+  double Metric(const std::vector<double>& a, const std::vector<double>& b,
+                struct KnnState* state, StepCounter* counter) const;
+
+  std::vector<std::vector<double>> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  std::size_t leaf_size_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_INDEX_VPTREE_H_

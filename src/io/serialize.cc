@@ -1,0 +1,154 @@
+#include "src/io/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace rotind {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'I', 'N', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  std::uint32_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  if (size > (1u << 20)) return false;  // sanity cap on name length
+  s->resize(size);
+  in.read(s->data(), size);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveDatasetBinary(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<std::uint64_t>(dataset.size()));
+  WritePod(out, static_cast<std::uint64_t>(dataset.length()));
+  const std::uint8_t has_labels = dataset.labels.empty() ? 0 : 1;
+  const std::uint8_t has_names = dataset.names.empty() ? 0 : 1;
+  WritePod(out, has_labels);
+  WritePod(out, has_names);
+  for (const Series& s : dataset.items) {
+    if (s.size() != dataset.length()) return false;
+    out.write(reinterpret_cast<const char*>(s.data()),
+              static_cast<std::streamsize>(s.size() * sizeof(double)));
+  }
+  if (has_labels != 0) {
+    for (int label : dataset.labels) {
+      WritePod(out, static_cast<std::int32_t>(label));
+    }
+  }
+  if (has_names != 0) {
+    for (const std::string& name : dataset.names) WriteString(out, name);
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadDatasetBinary(const std::string& path, Dataset* out) {
+  if (out == nullptr) return false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) return false;
+  std::uint64_t count = 0;
+  std::uint64_t length = 0;
+  std::uint8_t has_labels = 0;
+  std::uint8_t has_names = 0;
+  if (!ReadPod(in, &count) || !ReadPod(in, &length) ||
+      !ReadPod(in, &has_labels) || !ReadPod(in, &has_names)) {
+    return false;
+  }
+
+  Dataset ds;
+  ds.items.resize(count, Series(length));
+  for (Series& s : ds.items) {
+    in.read(reinterpret_cast<char*>(s.data()),
+            static_cast<std::streamsize>(length * sizeof(double)));
+    if (!in) return false;
+  }
+  if (has_labels != 0) {
+    ds.labels.resize(count);
+    for (int& label : ds.labels) {
+      std::int32_t v = 0;
+      if (!ReadPod(in, &v)) return false;
+      label = v;
+    }
+  }
+  if (has_names != 0) {
+    ds.names.resize(count);
+    for (std::string& name : ds.names) {
+      if (!ReadString(in, &name)) return false;
+    }
+  }
+  *out = std::move(ds);
+  return true;
+}
+
+bool SaveDatasetUcr(const Dataset& dataset, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const int label = i < dataset.labels.size() ? dataset.labels[i] : 0;
+    out << label;
+    for (double v : dataset.items[i]) out << delimiter << v;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadDatasetUcr(const std::string& path, Dataset* out) {
+  if (out == nullptr) return false;
+  std::ifstream in(path);
+  if (!in) return false;
+
+  Dataset ds;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Normalise separators: commas and tabs become spaces.
+    for (char& c : line) {
+      if (c == ',' || c == '\t' || c == '\r') c = ' ';
+    }
+    std::istringstream fields(line);
+    double label = 0.0;
+    if (!(fields >> label)) return false;  // malformed line
+    Series s;
+    double v = 0.0;
+    while (fields >> v) s.push_back(v);
+    if (s.empty()) return false;
+    if (!ds.items.empty() && s.size() != ds.length()) return false;
+    ds.items.push_back(std::move(s));
+    ds.labels.push_back(static_cast<int>(label));
+  }
+  if (ds.items.empty()) return false;
+  *out = std::move(ds);
+  return true;
+}
+
+}  // namespace rotind

@@ -1,0 +1,38 @@
+#ifndef ROTIND_IO_SERIALIZE_H_
+#define ROTIND_IO_SERIALIZE_H_
+
+#include <string>
+
+#include "src/core/series.h"
+
+namespace rotind {
+
+/// Dataset persistence. Two formats:
+///
+///  * Binary: a compact versioned container (magic "RIND", version,
+///    counts, raw doubles). Fast; intended for caches and tools.
+///  * UCR text: the de-facto standard exchange format of the UCR time
+///    series archive — one series per line, class label first, values
+///    separated by commas (or whitespace). Loading this format means the
+///    paper's REAL datasets (Face, Yoga, ...) can be used with this
+///    library wherever the synthetic stand-ins appear; see DESIGN.md.
+///
+/// All functions return false (and leave outputs untouched or partially
+/// written files behind) on I/O or format errors; no exceptions.
+
+bool SaveDatasetBinary(const Dataset& dataset, const std::string& path);
+bool LoadDatasetBinary(const std::string& path, Dataset* out);
+
+/// Writes "label,v1,v2,...\n" per item (label 0 when the dataset is
+/// unlabelled).
+bool SaveDatasetUcr(const Dataset& dataset, const std::string& path,
+                    char delimiter = ',');
+
+/// Reads a UCR-format file. Lines may be comma-, space- or tab-separated;
+/// the first field is the integer class label. Requires every series to
+/// have the same length.
+bool LoadDatasetUcr(const std::string& path, Dataset* out);
+
+}  // namespace rotind
+
+#endif  // ROTIND_IO_SERIALIZE_H_

@@ -1,0 +1,127 @@
+#include "src/lightcurve/lightcurve.h"
+
+#include <cmath>
+
+#include "src/shape/generate.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Smooth dip of the given fractional width centred at `center` (phases in
+/// [0, 1)), shaped like a Gaussian eclipse.
+double Dip(double phase, double center, double width, double depth) {
+  double d = phase - center;
+  d -= std::round(d);  // wrap to [-0.5, 0.5)
+  return -depth * std::exp(-(d * d) / (2.0 * width * width));
+}
+
+Series RawTemplate(VariableStarClass cls, std::size_t n, double jitter,
+                   Rng* rng) {
+  auto jit = [&](double v, double scale) {
+    return rng == nullptr ? v : v + rng->Gaussian(0.0, jitter * scale);
+  };
+  Series out(n, 0.0);
+  switch (cls) {
+    case VariableStarClass::kEclipsingBinary: {
+      const double primary_depth = jit(1.0, 0.3);
+      const double secondary_depth = jit(0.45, 0.2);
+      const double width = std::max(0.01, jit(0.035, 0.02));
+      const double separation = jit(0.5, 0.05);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double phase =
+            static_cast<double>(i) / static_cast<double>(n);
+        out[i] = Dip(phase, 0.25, width, primary_depth) +
+                 Dip(phase, 0.25 + separation, width, secondary_depth);
+      }
+      break;
+    }
+    case VariableStarClass::kRrLyrae: {
+      // Fast linear rise over ~15% of the period, then exponential decline.
+      const double rise = std::max(0.05, jit(0.15, 0.4));
+      const double tau = std::max(0.1, jit(0.35, 0.7));
+      for (std::size_t i = 0; i < n; ++i) {
+        const double phase =
+            static_cast<double>(i) / static_cast<double>(n);
+        if (phase < rise) {
+          out[i] = phase / rise;
+        } else {
+          out[i] = std::exp(-(phase - rise) / tau);
+        }
+      }
+      break;
+    }
+    case VariableStarClass::kCepheid: {
+      // Asymmetric pulsation: fundamental plus strong overtones (the
+      // classic skewed saw-tooth Cepheid light curve; a pure sinusoid
+      // would make every phase shift a near-match, which real Cepheids
+      // are not).
+      const double skew = jit(0.45, 0.5);
+      const double o3 = jit(0.25, 0.08);
+      const double o4 = jit(0.12, 0.05);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double phase = kTwoPi * static_cast<double>(i) /
+                             static_cast<double>(n);
+        out[i] = std::sin(phase) + skew * std::sin(2.0 * phase + 0.8) +
+                 o3 * std::sin(3.0 * phase + 1.9) +
+                 o4 * std::sin(4.0 * phase + 2.4);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(VariableStarClass cls) {
+  switch (cls) {
+    case VariableStarClass::kEclipsingBinary:
+      return "EclipsingBinary";
+    case VariableStarClass::kRrLyrae:
+      return "RRLyrae";
+    case VariableStarClass::kCepheid:
+      return "Cepheid";
+  }
+  return "Unknown";
+}
+
+Series LightCurveTemplate(VariableStarClass cls, std::size_t n) {
+  Series out = RawTemplate(cls, n, 0.0, nullptr);
+  ZNormalize(&out);
+  return out;
+}
+
+Series GenerateLightCurve(VariableStarClass cls, std::size_t n, Rng* rng,
+                          const LightCurveOptions& options) {
+  Series s = RawTemplate(cls, n, options.shape_jitter, rng);
+  if (options.random_phase) {
+    s = RotateLeft(s, static_cast<long>(rng->NextBounded(n)));
+  }
+  s = AddNoise(s, rng, options.noise_sigma);
+  ZNormalize(&s);
+  return s;
+}
+
+Dataset MakeLightCurveDataset(std::size_t per_class, std::size_t n,
+                              std::uint64_t seed,
+                              const LightCurveOptions& options) {
+  Dataset ds;
+  Rng rng(seed);
+  const VariableStarClass classes[] = {VariableStarClass::kEclipsingBinary,
+                                       VariableStarClass::kRrLyrae,
+                                       VariableStarClass::kCepheid};
+  for (int label = 0; label < 3; ++label) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      ds.items.push_back(
+          GenerateLightCurve(classes[label], n, &rng, options));
+      ds.labels.push_back(label);
+      ds.names.push_back(ToString(classes[label]) + "-" +
+                         std::to_string(i));
+    }
+  }
+  return ds;
+}
+
+}  // namespace rotind

@@ -1,0 +1,52 @@
+#ifndef ROTIND_LIGHTCURVE_LIGHTCURVE_H_
+#define ROTIND_LIGHTCURVE_LIGHTCURVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/core/random.h"
+#include "src/core/series.h"
+
+namespace rotind {
+
+/// Star light curves (paper Section 2.4): brightness of a periodic variable
+/// star as a function of phase. A folded period has "no natural starting
+/// point", so matching requires comparing every circular shift — exactly
+/// the rotation-invariance problem. These generators stand in for the
+/// OGLE / Harvard Time Series Center data (see DESIGN.md substitutions);
+/// the three classes mirror the 3-class hand-labelled set of the paper's
+/// Table 8 "Light-Curve" row.
+enum class VariableStarClass {
+  kEclipsingBinary,  ///< two dips per period (primary + secondary eclipse)
+  kRrLyrae,          ///< sawtooth: fast rise, slow exponential-ish decline
+  kCepheid,          ///< smooth asymmetric sinusoidal pulsation
+};
+
+/// Human-readable class name ("EclipsingBinary", ...).
+std::string ToString(VariableStarClass cls);
+
+/// Noise-free phase-folded template, sampled at n phases, z-normalised.
+Series LightCurveTemplate(VariableStarClass cls, std::size_t n);
+
+/// Parameters of one synthetic observation.
+struct LightCurveOptions {
+  double noise_sigma = 0.15;      ///< photometric noise after z-norm
+  double shape_jitter = 0.1;      ///< per-star template parameter jitter
+  bool random_phase = true;       ///< random fold origin (circular shift)
+};
+
+/// One synthetic star: jittered template + noise + random phase,
+/// z-normalised.
+Series GenerateLightCurve(VariableStarClass cls, std::size_t n, Rng* rng,
+                          const LightCurveOptions& options = {});
+
+/// A labelled light-curve dataset with `per_class` stars of each of the
+/// three classes (labels 0..2).
+Dataset MakeLightCurveDataset(std::size_t per_class, std::size_t n,
+                              std::uint64_t seed,
+                              const LightCurveOptions& options = {});
+
+}  // namespace rotind
+
+#endif  // ROTIND_LIGHTCURVE_LIGHTCURVE_H_

@@ -1,0 +1,168 @@
+#include "src/mining/motif.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/fourier/spectral.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+MotifResult FindMotifPairEuclidean(const std::vector<Series>& db,
+                                   const MiningOptions& options) {
+  MotifResult result;
+  const std::size_t m = db.size();
+  const std::size_t n = db[0].size();
+
+  // Rotation-invariant lower bounds for every pair from FFT-magnitude
+  // signatures, then exact evaluation in ascending-bound order until the
+  // next bound cannot beat the best exact distance.
+  std::vector<SpectralSignature> sigs;
+  sigs.reserve(m);
+  for (const Series& s : db) {
+    sigs.push_back(MakeSpectralSignature(s, options.signature_dims));
+    AddSetupSteps(&result.counter, FftStepCost(n));
+  }
+
+  struct Pair {
+    double bound;
+    int a;
+    int b;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(m * (m - 1) / 2);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      pairs.push_back({SignatureDistance(sigs[i], sigs[j], &result.counter),
+                       static_cast<int>(i), static_cast<int>(j)});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& x, const Pair& y) { return x.bound < y.bound; });
+
+  double best = kInf;
+  for (const Pair& pair : pairs) {
+    if (pair.bound >= best) break;  // all remaining bounds are larger
+    RotationSet rots(db[static_cast<std::size_t>(pair.a)], options.rotation);
+    const RotationMatch match = EarlyAbandonRotationEuclidean(
+        rots, db[static_cast<std::size_t>(pair.b)].data(), best,
+        &result.counter);
+    if (!match.abandoned && match.distance < best) {
+      best = match.distance;
+      result.first = pair.a;
+      result.second = pair.b;
+      result.distance = match.distance;
+      result.shift = rots.shift_of(match.rotation_index);
+      result.mirrored = rots.mirrored_of(match.rotation_index);
+    }
+  }
+  return result;
+}
+
+MotifResult FindMotifPairDtw(const std::vector<Series>& db,
+                             const MiningOptions& options) {
+  MotifResult result;
+  const std::size_t m = db.size();
+
+  WedgeSearchOptions wopts;
+  wopts.kind = DistanceKind::kDtw;
+  wopts.band = options.band;
+  wopts.rotation = options.rotation;
+
+  double best = kInf;
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    WedgeSearcher searcher(db[i], wopts, &result.counter);
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const HMergeResult r =
+          searcher.Distance(db[j].data(), best, &result.counter);
+      if (!r.abandoned && r.distance < best) {
+        best = r.distance;
+        result.first = static_cast<int>(i);
+        result.second = static_cast<int>(j);
+        result.distance = r.distance;
+        const RotationSet& rots = searcher.tree().rotations();
+        result.shift = rots.shift_of(r.rotation_index);
+        result.mirrored = rots.mirrored_of(r.rotation_index);
+        searcher.AdaptK(db[j].data(), best, &result.counter);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+MotifResult FindMotifPair(const std::vector<Series>& db,
+                          const MiningOptions& options) {
+  assert(db.size() >= 2);
+  return options.kind == DistanceKind::kEuclidean
+             ? FindMotifPairEuclidean(db, options)
+             : FindMotifPairDtw(db, options);
+}
+
+DiscordResult FindDiscord(const std::vector<Series>& db,
+                          const MiningOptions& options) {
+  assert(db.size() >= 2);
+  DiscordResult result;
+  const std::size_t m = db.size();
+
+  WedgeSearchOptions wopts;
+  wopts.kind = options.kind;
+  wopts.band = options.band;
+  wopts.rotation = options.rotation;
+
+  double best_discord = -1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    WedgeSearcher searcher(db[i], wopts, &result.counter);
+    double nn = kInf;
+    int nn_index = -1;
+    bool alive = true;
+    for (std::size_t j = 0; j < m && alive; ++j) {
+      if (j == i) continue;
+      const HMergeResult r =
+          searcher.Distance(db[j].data(), nn, &result.counter);
+      if (!r.abandoned && r.distance < nn) {
+        nn = r.distance;
+        nn_index = static_cast<int>(j);
+        // Classic discord pruning: once some neighbour is closer than the
+        // best discord distance so far, candidate i cannot be the discord.
+        if (nn <= best_discord) alive = false;
+      }
+    }
+    if (alive && nn > best_discord && nn_index >= 0) {
+      best_discord = nn;
+      result.index = static_cast<int>(i);
+      result.distance = nn;
+      result.nearest_neighbor = nn_index;
+    }
+  }
+  return result;
+}
+
+std::vector<double> PairwiseDistanceMatrix(const std::vector<Series>& db,
+                                           const MiningOptions& options,
+                                           StepCounter* counter) {
+  const std::size_t m = db.size();
+  std::vector<double> condensed(m * (m - 1) / 2, 0.0);
+
+  WedgeSearchOptions wopts;
+  wopts.kind = options.kind;
+  wopts.band = options.band;
+  wopts.rotation = options.rotation;
+
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    WedgeSearcher searcher(db[i], wopts, counter);
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const HMergeResult r = searcher.Distance(db[j].data(), kInf, counter);
+      condensed[pos++] = r.distance;
+    }
+  }
+  return condensed;
+}
+
+}  // namespace rotind

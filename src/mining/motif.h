@@ -1,0 +1,74 @@
+#ifndef ROTIND_MINING_MOTIF_H_
+#define ROTIND_MINING_MOTIF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/step_counter.h"
+#include "src/distance/rotation.h"
+#include "src/search/hmerge.h"
+
+namespace rotind {
+
+/// Shape data mining on top of the rotation-invariant machinery — the
+/// applications the paper motivates: motif discovery (Section 6 future
+/// work: "cluster, classify and discover motifs in ... anthropological
+/// datasets") and discord/outlier discovery (Section 2.4 and ref [29]:
+/// "researchers discover unusual light curves ... by finding the examples
+/// with the least similarity to other objects"). Both are EXACT.
+
+/// The closest pair of objects under the rotation-invariant distance.
+struct MotifResult {
+  int first = -1;
+  int second = -1;
+  double distance = 0.0;
+  /// Rotation aligning `first` onto `second`.
+  int shift = 0;
+  bool mirrored = false;
+  StepCounter counter;
+};
+
+struct MiningOptions {
+  DistanceKind kind = DistanceKind::kEuclidean;
+  int band = 5;                  ///< Sakoe-Chiba band for kDtw
+  RotationOptions rotation;
+  /// Spectral signature dimensionality for the Euclidean pair-ordering
+  /// bound (ignored for DTW).
+  std::size_t signature_dims = 16;
+};
+
+/// Finds the motif pair. Euclidean mode orders candidate pairs by the
+/// rotation-invariant FFT-magnitude lower bound and stops as soon as the
+/// bound of the next pair reaches the best exact distance (no false
+/// dismissals: the bound never overestimates). DTW mode runs one wedge
+/// searcher per object with global best-so-far propagation.
+MotifResult FindMotifPair(const std::vector<Series>& db,
+                          const MiningOptions& options = {});
+
+/// The discord: the object whose rotation-invariant nearest-neighbour
+/// distance is LARGEST (the "most unusual" object, ref [29]).
+struct DiscordResult {
+  int index = -1;
+  /// Its nearest-neighbour distance.
+  double distance = 0.0;
+  int nearest_neighbor = -1;
+  StepCounter counter;
+};
+
+/// Exact discord discovery with best-so-far pruning: a candidate is
+/// abandoned as soon as any neighbour lands closer than the best discord
+/// distance found so far (the classic discord-search optimisation).
+DiscordResult FindDiscord(const std::vector<Series>& db,
+                          const MiningOptions& options = {});
+
+/// All-pairs rotation-invariant distance matrix (condensed, row-major
+/// upper triangle) — building block for the clustering sanity checks and
+/// external tools. O(m^2) exact distances; wedge-accelerated per row.
+std::vector<double> PairwiseDistanceMatrix(const std::vector<Series>& db,
+                                           const MiningOptions& options = {},
+                                           StepCounter* counter = nullptr);
+
+}  // namespace rotind
+
+#endif  // ROTIND_MINING_MOTIF_H_

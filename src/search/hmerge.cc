@@ -1,0 +1,148 @@
+#include "src/search/hmerge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/search/lower_bound.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+HMergeResult HMerge(const double* c, const WedgeTree& tree,
+                    const std::vector<int>& wedge_set, double best_so_far,
+                    StepCounter* counter) {
+  const std::size_t n = tree.length();
+  const int band = tree.dtw_band();
+
+  HMergeResult result;
+  double limit = best_so_far;
+  double squared_limit = std::isinf(limit) ? kInf : limit * limit;
+
+  std::vector<int> stack(wedge_set.begin(), wedge_set.end());
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+
+    const double lb_sq = EarlyAbandonLbKeoghSquared(
+        c, tree.Upper(id), tree.Lower(id), n, squared_limit, counter);
+    if (std::isinf(lb_sq)) continue;  // the whole wedge is pruned
+
+    if (!tree.IsLeaf(id)) {
+      stack.push_back(tree.LeftChild(id));
+      stack.push_back(tree.RightChild(id));
+      continue;
+    }
+
+    double dist_sq;
+    if (band == 0) {
+      // Degenerate wedge: the lower bound IS the squared Euclidean distance.
+      dist_sq = lb_sq;
+    } else {
+      const double d =
+          EarlyAbandonDtw(tree.LeafSeries(id), c, n, band, limit, counter);
+      if (std::isinf(d)) continue;
+      dist_sq = d * d;
+    }
+    if (dist_sq < squared_limit) {
+      squared_limit = dist_sq;
+      limit = std::sqrt(dist_sq);
+      result.distance = limit;
+      result.rotation_index = static_cast<std::size_t>(id);
+      result.abandoned = false;
+    }
+  }
+  if (result.abandoned) result.distance = kAbandoned;
+  return result;
+}
+
+WedgeSearcher::WedgeSearcher(const Series& query,
+                             const WedgeSearchOptions& options,
+                             StepCounter* counter)
+    : options_(options),
+      tree_(query, options.rotation,
+            options.kind == DistanceKind::kDtw ? std::max(1, options.band) : 0,
+            options.linkage, options.hierarchy, counter) {
+  SetK(options_.dynamic_k ? options_.initial_k : options_.fixed_k);
+}
+
+void WedgeSearcher::SetK(int k) {
+  k = std::max(1, std::min(k, tree_.max_k()));
+  current_k_ = k;
+  wedge_set_ = tree_.WedgeSetForK(k);
+}
+
+HMergeResult WedgeSearcher::Distance(const double* c, double best_so_far,
+                                     StepCounter* counter) {
+  // Reservoir of typical objects for dynamic-K probing: sample sparsely so
+  // the copies are negligible next to the distance work.
+  if (options_.dynamic_k && (distance_calls_ % kReservoirSampleEvery) == 0) {
+    Series copy(c, c + tree_.length());
+    if (probe_reservoir_.size() < kReservoirSize) {
+      probe_reservoir_.push_back(std::move(copy));
+    } else {
+      probe_reservoir_[(distance_calls_ / kReservoirSampleEvery) %
+                       kReservoirSize] = std::move(copy);
+    }
+  }
+  ++distance_calls_;
+  return HMerge(c, tree_, wedge_set_, best_so_far, counter);
+}
+
+void WedgeSearcher::AdaptK(const double* trigger_object, double best_so_far,
+                           StepCounter* counter) {
+  if (!options_.dynamic_k) return;
+  // Throttle: the optimal K shifts with the magnitude of the threshold, not
+  // with every small improvement. Re-probing only when best-so-far has
+  // dropped by >=10% keeps probe overhead logarithmic in practice while
+  // tracking the same schedule (bestSoFar changes ~log(m) times anyway).
+  if (last_probe_best_ > 0.0 && best_so_far > 0.9 * last_probe_best_) return;
+  last_probe_best_ = best_so_far;
+  const int max_k = tree_.max_k();
+  const int intervals = std::max(1, options_.probe_intervals);
+
+  // Candidate Ks: even divisions of [1, current_K] and [current_K, max_K].
+  std::vector<int> candidates;
+  auto add_range = [&](int lo, int hi) {
+    for (int i = 0; i <= intervals; ++i) {
+      const int k = lo + (hi - lo) * i / intervals;
+      candidates.push_back(std::max(1, std::min(k, max_k)));
+    }
+  };
+  add_range(1, current_k_);
+  add_range(current_k_, max_k);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Probe workload: the reservoir of typical objects (falling back to the
+  // trigger when nothing has been sampled yet).
+  std::vector<const double*> probes;
+  for (const Series& s : probe_reservoir_) probes.push_back(s.data());
+  if (probes.empty()) probes.push_back(trigger_object);
+
+  int best_k = current_k_;
+  std::uint64_t best_steps = std::numeric_limits<std::uint64_t>::max();
+  for (int k : candidates) {
+    StepCounter probe;
+    const std::vector<int> wedge_set = tree_.WedgeSetForK(k);
+    for (const double* c : probes) {
+      HMerge(c, tree_, wedge_set, best_so_far, &probe);
+    }
+    if (probe.steps < best_steps) {
+      best_steps = probe.steps;
+      best_k = k;
+    }
+    // The paper includes the adaptation overhead in all reported counts.
+    if (counter != nullptr) counter->steps += probe.steps;
+  }
+  SetK(best_k);
+}
+
+}  // namespace rotind

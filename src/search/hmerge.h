@@ -1,0 +1,119 @@
+#ifndef ROTIND_SEARCH_HMERGE_H_
+#define ROTIND_SEARCH_HMERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/step_counter.h"
+#include "src/envelope/wedge_tree.h"
+
+namespace rotind {
+
+/// Which exact distance a rotation-invariant search is computing.
+enum class DistanceKind {
+  kEuclidean,
+  kDtw,
+};
+
+/// Result of comparing one database object against a query's wedge set.
+struct HMergeResult {
+  /// Exact rotation-invariant distance, or kAbandoned (+inf) when every
+  /// wedge/rotation was pruned against best_so_far.
+  double distance = 0.0;
+  /// Index (into the WedgeTree's RotationSet) of the winning rotation.
+  std::size_t rotation_index = 0;
+  bool abandoned = true;
+};
+
+/// The paper's H-Merge (Table 6), generalised over ED and DTW by the tree's
+/// dtw_band. Pops wedges off a stack; each is tested with early-abandoning
+/// LB_Keogh against the current threshold. A pruned wedge discards every
+/// rotation under it in one evaluation; a surviving internal wedge pushes
+/// its children; a surviving leaf yields an exact distance (for ED the
+/// degenerate-wedge LB *is* the Euclidean distance; for DTW an
+/// early-abandoning banded DTW runs against the raw rotation). The
+/// threshold tightens as better rotations are found.
+///
+/// Returns the exact min-over-rotations distance if it is < best_so_far,
+/// otherwise an abandoned result. Exactness: LB_Keogh never overestimates
+/// (Propositions 1 and 2), so no rotation that could beat best_so_far is
+/// ever discarded.
+HMergeResult HMerge(const double* c, const WedgeTree& tree,
+                    const std::vector<int>& wedge_set, double best_so_far,
+                    StepCounter* counter = nullptr);
+
+/// Tuning knobs for wedge-based search.
+struct WedgeSearchOptions {
+  DistanceKind kind = DistanceKind::kEuclidean;
+  /// Sakoe-Chiba band for kDtw (ignored for kEuclidean).
+  int band = 5;
+  RotationOptions rotation;
+  Linkage linkage = Linkage::kAverage;
+  WedgeHierarchy hierarchy = WedgeHierarchy::kClustered;
+  /// Adapt K on every best-so-far improvement (paper Section 4.1). When
+  /// false, `fixed_k` is used throughout (ablation).
+  bool dynamic_k = true;
+  int initial_k = 2;
+  /// Number of intervals probed on each side of the current K. The paper
+  /// uses 5 and reports <4% sensitivity anywhere in [3, 20].
+  int probe_intervals = 5;
+  int fixed_k = 2;
+};
+
+/// Per-query engine: owns the wedge tree over the query's rotations and the
+/// dynamically adapted wedge set. Intended use, mirroring the paper's
+/// Table 3 driver:
+///
+///   WedgeSearcher searcher(query, options, &counter);
+///   for each database object C:
+///     auto r = searcher.Distance(C.data(), best_so_far, &counter);
+///     if (!r.abandoned) { best_so_far = r.distance; searcher.AdaptK(C.data(),
+///                         best_so_far, &counter); }
+class WedgeSearcher {
+ public:
+  /// Builds the rotation set, hierarchy, and envelopes; setup cost is
+  /// charged to counter->setup_steps.
+  WedgeSearcher(const Series& query, const WedgeSearchOptions& options,
+                StepCounter* counter);
+
+  /// Exact rotation-invariant distance to `c` (length() doubles), pruned
+  /// against best_so_far. Also feeds the dynamic-K probe reservoir (a small
+  /// sample of recently seen objects).
+  HMergeResult Distance(const double* c, double best_so_far,
+                        StepCounter* counter);
+
+  /// Dynamic-K re-probe (paper Section 4.1): evaluates candidate K values
+  /// that evenly divide [1, K] and [K, max_K] into probe_intervals pieces by
+  /// replaying a small reservoir of recently seen objects (typical, mostly
+  /// prunable work — probing only the triggering near-match would optimise
+  /// for the rare case), and adopts the cheapest K. Probe steps are charged
+  /// to `counter` — the paper includes this overhead in all its experiments.
+  void AdaptK(const double* trigger_object, double best_so_far,
+              StepCounter* counter);
+
+  int current_k() const { return current_k_; }
+  const WedgeTree& tree() const { return tree_; }
+  std::size_t length() const { return tree_.length(); }
+  const std::vector<int>& wedge_set() const { return wedge_set_; }
+
+ private:
+  void SetK(int k);
+
+  WedgeSearchOptions options_;
+  WedgeTree tree_;
+  std::vector<int> wedge_set_;
+  int current_k_ = 1;
+
+  /// Reservoir of recently compared objects used by AdaptK probes.
+  static constexpr std::size_t kReservoirSize = 3;
+  static constexpr std::size_t kReservoirSampleEvery = 16;
+  std::vector<Series> probe_reservoir_;
+  std::size_t distance_calls_ = 0;
+  /// Best-so-far at the last probe; re-probe only after a >=10% drop.
+  double last_probe_best_ = 0.0;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_SEARCH_HMERGE_H_

@@ -1,0 +1,66 @@
+#include "src/search/lower_bound.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/distance/euclidean.h"
+
+namespace rotind {
+
+double LbKeogh(const double* q, const Envelope& wedge, StepCounter* counter) {
+  const std::size_t n = wedge.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (q[i] > wedge.upper[i]) {
+      const double d = q[i] - wedge.upper[i];
+      acc += d * d;
+    } else if (q[i] < wedge.lower[i]) {
+      const double d = q[i] - wedge.lower[i];
+      acc += d * d;
+    }
+  }
+  AddSteps(counter, n);
+  if (counter != nullptr) ++counter->lower_bound_evals;
+  return std::sqrt(acc);
+}
+
+double EarlyAbandonLbKeoghSquared(const double* q, const double* upper,
+                                  const double* lower, std::size_t n,
+                                  double squared_limit,
+                                  StepCounter* counter) {
+  if (counter != nullptr) ++counter->lower_bound_evals;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Each point performs (at most) one real-value subtraction that feeds
+    // the accumulator; the comparisons against U/L mirror the paper's
+    // Table 5 structure.
+    if (q[i] > upper[i]) {
+      const double d = q[i] - upper[i];
+      acc += d * d;
+    } else if (q[i] < lower[i]) {
+      const double d = q[i] - lower[i];
+      acc += d * d;
+    }
+    if (acc > squared_limit) {
+      if (counter != nullptr) {
+        counter->steps += i + 1;
+        ++counter->early_abandons;
+      }
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  AddSteps(counter, n);
+  return acc;
+}
+
+double EarlyAbandonLbKeogh(const double* q, const Envelope& wedge,
+                           double limit, StepCounter* counter) {
+  const double squared_limit =
+      std::isinf(limit) ? limit : limit * limit;
+  const double sq = EarlyAbandonLbKeoghSquared(
+      q, wedge.upper.data(), wedge.lower.data(), wedge.size(), squared_limit,
+      counter);
+  return std::isinf(sq) ? kAbandoned : std::sqrt(sq);
+}
+
+}  // namespace rotind

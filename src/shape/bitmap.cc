@@ -1,0 +1,125 @@
+#include "src/shape/bitmap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rotind {
+
+Bitmap::Bitmap(int width, int height)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, 0) {
+  assert(width > 0 && height > 0);
+}
+
+void Bitmap::set(int x, int y, bool value) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+  pixels_[static_cast<std::size_t>(y) * width_ + x] = value ? 1 : 0;
+}
+
+std::size_t Bitmap::ForegroundCount() const {
+  std::size_t count = 0;
+  for (std::uint8_t p : pixels_) count += p;
+  return count;
+}
+
+Bitmap Bitmap::FromPolygon(const std::vector<Point2>& polygon, int size,
+                           double margin) {
+  assert(polygon.size() >= 3);
+  Bitmap out(size, size);
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = min_x;
+  double max_x = -min_x;
+  double max_y = -min_x;
+  for (const Point2& p : polygon) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span = std::max(max_x - min_x, max_y - min_y);
+  const double usable = size * (1.0 - 2.0 * margin);
+  const double scale = span > 0 ? usable / span : 1.0;
+  const double off_x =
+      size * margin + (usable - (max_x - min_x) * scale) / 2.0;
+  const double off_y =
+      size * margin + (usable - (max_y - min_y) * scale) / 2.0;
+
+  std::vector<Point2> pts(polygon.size());
+  for (std::size_t i = 0; i < polygon.size(); ++i) {
+    pts[i].x = (polygon[i].x - min_x) * scale + off_x;
+    pts[i].y = (polygon[i].y - min_y) * scale + off_y;
+  }
+
+  // Even-odd scanline fill at pixel centres.
+  for (int y = 0; y < size; ++y) {
+    const double cy = y + 0.5;
+    std::vector<double> crossings;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Point2& a = pts[i];
+      const Point2& b = pts[(i + 1) % pts.size()];
+      if ((a.y <= cy && b.y > cy) || (b.y <= cy && a.y > cy)) {
+        const double t = (cy - a.y) / (b.y - a.y);
+        crossings.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(crossings.begin(), crossings.end());
+    for (std::size_t k = 0; k + 1 < crossings.size(); k += 2) {
+      const int x_lo = static_cast<int>(std::ceil(crossings[k] - 0.5));
+      const int x_hi = static_cast<int>(std::floor(crossings[k + 1] - 0.5));
+      for (int x = x_lo; x <= x_hi; ++x) out.set(x, y, true);
+    }
+  }
+  return out;
+}
+
+Bitmap Bitmap::Rotated(double radians) const {
+  Bitmap out(width_, height_);
+  const double cx = width_ / 2.0;
+  const double cy = height_ / 2.0;
+  const double c = std::cos(-radians);
+  const double s = std::sin(-radians);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      // Inverse map the destination pixel centre into the source.
+      const double dx = (x + 0.5) - cx;
+      const double dy = (y + 0.5) - cy;
+      const int sx = static_cast<int>(std::floor(cx + dx * c - dy * s));
+      const int sy = static_cast<int>(std::floor(cy + dx * s + dy * c));
+      if (at(sx, sy)) out.set(x, y, true);
+    }
+  }
+  return out;
+}
+
+Point2 Bitmap::Centroid() const {
+  double sx = 0.0;
+  double sy = 0.0;
+  std::size_t count = 0;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      if (at(x, y)) {
+        sx += x + 0.5;
+        sy += y + 0.5;
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return {width_ / 2.0, height_ / 2.0};
+  return {sx / static_cast<double>(count), sy / static_cast<double>(count)};
+}
+
+std::string Bitmap::ToAscii() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(height_) * (width_ + 1));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) out.push_back(at(x, y) ? '#' : '.');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rotind

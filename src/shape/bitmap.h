@@ -1,0 +1,59 @@
+#ifndef ROTIND_SHAPE_BITMAP_H_
+#define ROTIND_SHAPE_BITMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rotind {
+
+/// A 2-D point in image coordinates (x right, y down).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A binary raster image: the representation shapes arrive in before being
+/// converted to time series (paper Figure 2 A).
+class Bitmap {
+ public:
+  Bitmap(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  bool at(int x, int y) const {
+    if (x < 0 || y < 0 || x >= width_ || y >= height_) return false;
+    return pixels_[static_cast<std::size_t>(y) * width_ + x] != 0;
+  }
+  void set(int x, int y, bool value);
+
+  std::size_t ForegroundCount() const;
+
+  /// Rasterises a closed polygon (even-odd scanline fill) into a square
+  /// bitmap of side `size`, scaling the polygon to fit with a fractional
+  /// `margin` of blank border.
+  static Bitmap FromPolygon(const std::vector<Point2>& polygon, int size,
+                            double margin = 0.1);
+
+  /// Rotates the image by `radians` about its centre (inverse nearest-
+  /// neighbour mapping). Used by the tests and examples to verify that a
+  /// rotated bitmap yields a circularly shifted profile.
+  Bitmap Rotated(double radians) const;
+
+  /// Centroid of the foreground pixels.
+  Point2 Centroid() const;
+
+  /// ASCII rendering ('#' foreground), for examples and debugging.
+  std::string ToAscii() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_SHAPE_BITMAP_H_

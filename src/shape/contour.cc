@@ -1,0 +1,144 @@
+#include "src/shape/contour.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace rotind {
+namespace {
+
+/// Clockwise Moore neighbourhood starting at West (image coords, y down).
+constexpr int kDx[8] = {-1, -1, 0, 1, 1, 1, 0, -1};
+constexpr int kDy[8] = {0, -1, -1, -1, 0, 1, 1, 1};
+
+/// Flood-fills 8-connected components and returns a mask containing only
+/// the largest one, so noise specks cannot hijack the trace.
+Bitmap LargestComponentMask(const Bitmap& bitmap) {
+  const int w = bitmap.width();
+  const int h = bitmap.height();
+  std::vector<int> component(static_cast<std::size_t>(w) * h, -1);
+  int best_component = -1;
+  std::size_t best_size = 0;
+  int next_id = 0;
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (!bitmap.at(x, y) ||
+          component[static_cast<std::size_t>(y) * w + x] >= 0) {
+        continue;
+      }
+      std::size_t size = 0;
+      std::queue<Pixel> frontier;
+      frontier.push({x, y});
+      component[static_cast<std::size_t>(y) * w + x] = next_id;
+      while (!frontier.empty()) {
+        const Pixel p = frontier.front();
+        frontier.pop();
+        ++size;
+        for (int d = 0; d < 8; ++d) {
+          const int nx = p.x + kDx[d];
+          const int ny = p.y + kDy[d];
+          if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+          if (!bitmap.at(nx, ny)) continue;
+          int& c = component[static_cast<std::size_t>(ny) * w + nx];
+          if (c < 0) {
+            c = next_id;
+            frontier.push({nx, ny});
+          }
+        }
+      }
+      if (size > best_size) {
+        best_size = size;
+        best_component = next_id;
+      }
+      ++next_id;
+    }
+  }
+
+  Bitmap mask(w, h);
+  if (best_component < 0) return mask;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (component[static_cast<std::size_t>(y) * w + x] == best_component) {
+        mask.set(x, y, true);
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<Pixel> TraceBoundary(const Bitmap& bitmap) {
+  const Bitmap mask = LargestComponentMask(bitmap);
+  const int w = mask.width();
+  const int h = mask.height();
+
+  // Start pixel: first foreground pixel in row-major order. Scanning this
+  // way guarantees its West neighbour is background.
+  Pixel start{-1, -1};
+  for (int y = 0; y < h && start.x < 0; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (mask.at(x, y)) {
+        start = {x, y};
+        break;
+      }
+    }
+  }
+  if (start.x < 0) return {};
+
+  // Backtrack pixel b: the background pixel we most recently examined. It
+  // is always 8-adjacent to the current pixel (consecutive Moore
+  // neighbours are adjacent to each other).
+  auto dir_from_to = [](const Pixel& from, const Pixel& to) {
+    for (int d = 0; d < 8; ++d) {
+      if (from.x + kDx[d] == to.x && from.y + kDy[d] == to.y) return d;
+    }
+    return 0;  // unreachable for adjacent pixels
+  };
+
+  std::vector<Pixel> boundary;
+  Pixel current = start;
+  Pixel backtrack{start.x - 1, start.y};  // row-major scan => West is bg
+  const Pixel initial_backtrack = backtrack;
+  const std::size_t max_steps = static_cast<std::size_t>(w) * h * 4 + 8;
+
+  boundary.push_back(current);
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const int dir0 = dir_from_to(current, backtrack);
+    Pixel next{-1, -1};
+    Pixel last_background = backtrack;
+    for (int k = 1; k <= 8; ++k) {
+      const int dir = (dir0 + k) % 8;
+      const Pixel c{current.x + kDx[dir], current.y + kDy[dir]};
+      if (mask.at(c.x, c.y)) {
+        next = c;
+        break;
+      }
+      last_background = c;
+    }
+    if (next.x < 0) return boundary;  // isolated single pixel
+
+    backtrack = last_background;
+    current = next;
+    // Jacob's stopping criterion: back at the start, entering the same way.
+    if (current == start && backtrack == initial_backtrack) break;
+    boundary.push_back(current);
+  }
+  return boundary;
+}
+
+double BoundaryLength(const std::vector<Pixel>& boundary) {
+  if (boundary.size() < 2) return 0.0;
+  double length = 0.0;
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    const Pixel& a = boundary[i];
+    const Pixel& b = boundary[(i + 1) % boundary.size()];
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    length += std::sqrt(dx * dx + dy * dy);
+  }
+  return length;
+}
+
+}  // namespace rotind

@@ -1,0 +1,28 @@
+#ifndef ROTIND_SHAPE_CONTOUR_H_
+#define ROTIND_SHAPE_CONTOUR_H_
+
+#include <vector>
+
+#include "src/shape/bitmap.h"
+
+namespace rotind {
+
+/// An integer pixel coordinate on a traced boundary.
+struct Pixel {
+  int x = 0;
+  int y = 0;
+  bool operator==(const Pixel& o) const { return x == o.x && y == o.y; }
+};
+
+/// Traces the outer boundary of the (largest) foreground component of
+/// `bitmap` using Moore-neighbour tracing with Jacob's stopping criterion.
+/// Returns boundary pixels in order (clockwise in image coordinates).
+/// Returns an empty vector when the bitmap has no foreground.
+std::vector<Pixel> TraceBoundary(const Bitmap& bitmap);
+
+/// Total polygonal length of the (closed) boundary.
+double BoundaryLength(const std::vector<Pixel>& boundary);
+
+}  // namespace rotind
+
+#endif  // ROTIND_SHAPE_CONTOUR_H_

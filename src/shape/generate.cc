@@ -1,0 +1,157 @@
+#include "src/shape/generate.h"
+
+#include <cmath>
+
+namespace rotind {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double EvalRadius(const RadialShapeSpec& spec, double theta) {
+  double r = spec.base_radius;
+  for (std::size_t k = 0; k < spec.amplitudes.size(); ++k) {
+    r += spec.amplitudes[k] *
+         std::cos(static_cast<double>(k + 1) * theta + spec.phases[k]);
+  }
+  // Radii must stay positive for the polygon to be star-convex.
+  return std::max(r, 0.05 * spec.base_radius);
+}
+
+}  // namespace
+
+Series RadialProfile(const RadialShapeSpec& spec, std::size_t n) {
+  Series out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = EvalRadius(spec, kTwoPi * static_cast<double>(i) /
+                                  static_cast<double>(n));
+  }
+  return out;
+}
+
+std::vector<Point2> RadialPolygon(const RadialShapeSpec& spec,
+                                  std::size_t points) {
+  std::vector<Point2> out(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double theta =
+        kTwoPi * static_cast<double>(i) / static_cast<double>(points);
+    const double r = EvalRadius(spec, theta);
+    out[i] = {r * std::cos(theta), r * std::sin(theta)};
+  }
+  return out;
+}
+
+RadialShapeSpec RandomShapeSpec(Rng* rng, std::size_t harmonics,
+                                double amp_scale, double decay) {
+  RadialShapeSpec spec;
+  spec.amplitudes.resize(harmonics);
+  spec.phases.resize(harmonics);
+  for (std::size_t k = 0; k < harmonics; ++k) {
+    const double scale =
+        amp_scale / std::pow(static_cast<double>(k + 1), decay);
+    spec.amplitudes[k] = rng->Gaussian(0.0, scale);
+    spec.phases[k] = rng->Uniform(0.0, kTwoPi);
+  }
+  return spec;
+}
+
+RadialShapeSpec PerturbSpec(const RadialShapeSpec& spec, Rng* rng,
+                            double amplitude_jitter, double phase_jitter) {
+  RadialShapeSpec out = spec;
+  for (std::size_t k = 0; k < out.amplitudes.size(); ++k) {
+    out.amplitudes[k] += rng->Gaussian(0.0, amplitude_jitter);
+    out.phases[k] += rng->Gaussian(0.0, phase_jitter);
+  }
+  return out;
+}
+
+Series AddNoise(const Series& s, Rng* rng, double sigma) {
+  Series out = s;
+  if (sigma <= 0.0) return out;
+  for (double& v : out) v += rng->Gaussian(0.0, sigma);
+  return out;
+}
+
+Series SmoothTimeWarp(const Series& s, Rng* rng, double strength) {
+  const std::size_t n = s.size();
+  if (n == 0 || strength <= 0.0) return s;
+
+  // Smooth periodic displacement from the first three harmonics.
+  Series disp(n, 0.0);
+  for (int k = 1; k <= 3; ++k) {
+    const double amp =
+        rng->Gaussian(0.0, strength / static_cast<double>(k));
+    const double phase = rng->Uniform(0.0, kTwoPi);
+    for (std::size_t i = 0; i < n; ++i) {
+      disp[i] += amp * std::sin(kTwoPi * k * static_cast<double>(i) /
+                                    static_cast<double>(n) +
+                                phase);
+    }
+  }
+
+  Series out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Sample position in [0, n), circular.
+    double pos = static_cast<double>(i) +
+                 disp[i] * static_cast<double>(n);
+    pos = std::fmod(pos, static_cast<double>(n));
+    if (pos < 0) pos += static_cast<double>(n);
+    const std::size_t i0 = static_cast<std::size_t>(pos) % n;
+    const std::size_t i1 = (i0 + 1) % n;
+    const double t = pos - std::floor(pos);
+    out[i] = s[i0] * (1.0 - t) + s[i1] * t;
+  }
+  return out;
+}
+
+RadialShapeSpec ProjectilePointSpec(Rng* rng) {
+  // Strong 1st/2nd harmonics produce the elongated, pointed outline of an
+  // arrowhead; higher harmonics add the tang/notch/flaking detail (real
+  // outlines have long spectral tails, which is what makes signature
+  // dimensionality matter for indexing).
+  RadialShapeSpec spec;
+  spec.base_radius = 1.0;
+  spec.amplitudes = {0.45 + rng->Uniform(-0.08, 0.08),
+                     0.28 + rng->Uniform(-0.06, 0.06),
+                     0.10 + rng->Uniform(-0.04, 0.04),
+                     rng->Gaussian(0.0, 0.03),
+                     rng->Gaussian(0.0, 0.02)};
+  spec.phases = {0.0, rng->Uniform(-0.3, 0.3), rng->Uniform(0.0, kTwoPi),
+                 rng->Uniform(0.0, kTwoPi), rng->Uniform(0.0, kTwoPi)};
+  for (int k = 6; k <= 24; ++k) {
+    spec.amplitudes.push_back(
+        rng->Gaussian(0.0, 0.05 / std::pow(static_cast<double>(k), 0.9)));
+    spec.phases.push_back(rng->Uniform(0.0, kTwoPi));
+  }
+  return spec;
+}
+
+RadialShapeSpec SkullSpec(Rng* rng, double jaw, double cranium) {
+  RadialShapeSpec spec;
+  spec.base_radius = 1.0;
+  spec.amplitudes = {jaw, cranium, 0.08 + rng->Gaussian(0.0, 0.01),
+                     rng->Gaussian(0.0, 0.02), rng->Gaussian(0.0, 0.01)};
+  spec.phases = {0.4, 1.1, rng->Uniform(0.0, kTwoPi),
+                 rng->Uniform(0.0, kTwoPi), rng->Uniform(0.0, kTwoPi)};
+  return spec;
+}
+
+RadialShapeSpec ButterflySpec(Rng* rng, double asymmetry) {
+  RadialShapeSpec spec;
+  spec.base_radius = 1.0;
+  // Dominant 4th harmonic: four wing lobes; 2nd harmonic: body elongation;
+  // odd-harmonic term with off-axis phase introduces chirality.
+  spec.amplitudes = {0.10, 0.22, asymmetry, 0.30, rng->Gaussian(0.0, 0.015)};
+  spec.phases = {0.0, 0.0, 0.9, 0.0, rng->Uniform(0.0, kTwoPi)};
+  return spec;
+}
+
+RadialShapeSpec DigitSixSpec() {
+  // A chiral, asymmetric blob: one bulge (the loop of the "6") plus a tail.
+  RadialShapeSpec spec;
+  spec.base_radius = 1.0;
+  spec.amplitudes = {0.35, 0.18, 0.12, 0.06};
+  spec.phases = {0.3, 1.7, 2.9, 4.1};
+  return spec;
+}
+
+}  // namespace rotind

@@ -1,0 +1,81 @@
+#ifndef ROTIND_SHAPE_GENERATE_H_
+#define ROTIND_SHAPE_GENERATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/random.h"
+#include "src/core/series.h"
+#include "src/shape/bitmap.h"
+
+namespace rotind {
+
+/// Parametric shape generators. The paper evaluates on image datasets we do
+/// not have (skulls, leaves, faces, projectile points, ...); these
+/// generators produce the synthetic equivalents documented in DESIGN.md:
+/// star-convex shapes defined by a truncated Fourier radius function
+///
+///   r(theta) = base + sum_k a_k * cos(k*theta + phi_k),
+///
+/// whose centroid-distance profile is exactly the kind of 1-D series the
+/// real datasets produce, with class structure (shared template), intra-
+/// class variation (jitter/noise), rotation (circular shift), articulation
+/// (local time warping), and chirality (mirror) all independently
+/// controllable.
+struct RadialShapeSpec {
+  double base_radius = 1.0;
+  std::vector<double> amplitudes;  ///< a_k for k = 1..H
+  std::vector<double> phases;      ///< phi_k for k = 1..H
+
+  std::size_t harmonics() const { return amplitudes.size(); }
+};
+
+/// Samples r(theta) at n uniform angles (the analytic profile; fast path
+/// that skips rasterisation).
+Series RadialProfile(const RadialShapeSpec& spec, std::size_t n);
+
+/// The closed polygon (x, y) = r(theta) * (cos theta, sin theta).
+std::vector<Point2> RadialPolygon(const RadialShapeSpec& spec,
+                                  std::size_t points);
+
+/// A random shape template: amplitudes a_k ~ N(0, amp_scale / k^decay),
+/// random phases. `decay` > 1 yields smooth organic outlines; lower decay
+/// yields spikier shapes.
+RadialShapeSpec RandomShapeSpec(Rng* rng, std::size_t harmonics,
+                                double amp_scale = 0.25, double decay = 1.3);
+
+/// An intra-class variant: per-harmonic amplitude and phase jitter.
+RadialShapeSpec PerturbSpec(const RadialShapeSpec& spec, Rng* rng,
+                            double amplitude_jitter, double phase_jitter);
+
+/// Adds i.i.d. Gaussian noise.
+Series AddNoise(const Series& s, Rng* rng, double sigma);
+
+/// Smooth circular time warping: resamples `s` at positions
+/// i + w(i) where w is a smooth periodic displacement of up to
+/// `strength` * n samples. Models articulation / feature-proportion
+/// differences (paper Figure 11: homologous features at shifted locations)
+/// — the distortion DTW recovers from and Euclidean distance cannot.
+Series SmoothTimeWarp(const Series& s, Rng* rng, double strength);
+
+/// Named shape families used by the examples and the clustering
+/// sanity-check benches (stand-ins for the paper's figures).
+
+/// Elongated, pointed outline: a projectile-point / arrowhead analogue.
+RadialShapeSpec ProjectilePointSpec(Rng* rng);
+
+/// Rounded cranium with jaw protrusion: a skull-profile analogue.
+RadialShapeSpec SkullSpec(Rng* rng, double jaw, double cranium);
+
+/// Four-lobed outline: a butterfly/moth analogue with controllable wing
+/// asymmetry (nonzero asymmetry makes the shape chiral, exercising mirror
+/// invariance).
+RadialShapeSpec ButterflySpec(Rng* rng, double asymmetry);
+
+/// A chiral "6"-like spec: distinguishable from its mirror/rotations only
+/// by handedness plus orientation (drives the rotation-limited example).
+RadialShapeSpec DigitSixSpec();
+
+}  // namespace rotind
+
+#endif  // ROTIND_SHAPE_GENERATE_H_

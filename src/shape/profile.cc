@@ -1,0 +1,69 @@
+#include "src/shape/profile.h"
+
+#include <cmath>
+
+namespace rotind {
+
+Series CentroidProfile(const std::vector<Pixel>& boundary) {
+  if (boundary.empty()) return {};
+  double cx = 0.0;
+  double cy = 0.0;
+  for (const Pixel& p : boundary) {
+    cx += p.x;
+    cy += p.y;
+  }
+  cx /= static_cast<double>(boundary.size());
+  cy /= static_cast<double>(boundary.size());
+
+  Series out(boundary.size());
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    const double dx = boundary[i].x - cx;
+    const double dy = boundary[i].y - cy;
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+  return out;
+}
+
+Series ResampleByArcLength(const std::vector<Pixel>& boundary,
+                           const Series& profile, std::size_t n) {
+  const std::size_t m = boundary.size();
+  if (m == 0 || n == 0 || profile.size() != m) return {};
+  if (m == 1) return Series(n, profile[0]);
+
+  // Cumulative arc length at each boundary vertex (closing segment wraps).
+  std::vector<double> cum(m + 1, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Pixel& a = boundary[i];
+    const Pixel& b = boundary[(i + 1) % m];
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    cum[i + 1] = cum[i] + std::sqrt(dx * dx + dy * dy);
+  }
+  const double total = cum[m];
+  if (total <= 0.0) return Series(n, profile[0]);
+
+  Series out(n);
+  std::size_t seg = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double target = total * static_cast<double>(j) /
+                          static_cast<double>(n);
+    while (seg + 1 < m && cum[seg + 1] <= target) ++seg;
+    const double seg_len = cum[seg + 1] - cum[seg];
+    const double t = seg_len > 0 ? (target - cum[seg]) / seg_len : 0.0;
+    const double v0 = profile[seg];
+    const double v1 = profile[(seg + 1) % m];
+    out[j] = v0 * (1.0 - t) + v1 * t;
+  }
+  return out;
+}
+
+Series ShapeToSeries(const Bitmap& bitmap, std::size_t n) {
+  const std::vector<Pixel> boundary = TraceBoundary(bitmap);
+  if (boundary.size() < 3) return {};
+  const Series profile = CentroidProfile(boundary);
+  Series out = ResampleByArcLength(boundary, profile, n);
+  ZNormalize(&out);
+  return out;
+}
+
+}  // namespace rotind

@@ -1,0 +1,38 @@
+#ifndef ROTIND_SHAPE_PROFILE_H_
+#define ROTIND_SHAPE_PROFILE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/shape/bitmap.h"
+#include "src/shape/contour.h"
+
+namespace rotind {
+
+/// Converts shapes to time series (paper Figure 2): the distance from every
+/// point on the traced profile to the shape's centre, walked in boundary
+/// order, becomes the series. A rotation of the 2-D shape is then a
+/// circular shift of the series.
+
+/// Raw centroid-distance profile of an ordered boundary (one value per
+/// boundary pixel, centre = centroid of the boundary points).
+Series CentroidProfile(const std::vector<Pixel>& boundary);
+
+/// Resamples a profile to `n` points at equal arc-length spacing along the
+/// boundary (diagonal pixel steps are sqrt(2) long, so index-based
+/// resampling would distort the angular speed).
+Series ResampleByArcLength(const std::vector<Pixel>& boundary,
+                           const Series& profile, std::size_t n);
+
+/// Full pipeline: bitmap -> largest-component boundary -> centroid-distance
+/// profile -> arc-length resampling to n -> z-normalisation. Returns an
+/// empty series when the bitmap has no usable boundary. This is the shape
+/// representation used everywhere in the library; scale invariance comes
+/// from z-normalisation, offset invariance from the centroid, and rotation
+/// becomes a circular shift handled by the search machinery.
+Series ShapeToSeries(const Bitmap& bitmap, std::size_t n);
+
+}  // namespace rotind
+
+#endif  // ROTIND_SHAPE_PROFILE_H_

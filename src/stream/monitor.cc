@@ -1,0 +1,77 @@
+#include "src/stream/monitor.h"
+
+#include <cassert>
+
+namespace rotind {
+
+StreamMonitor::StreamMonitor(std::vector<Series> patterns,
+                             const Options& options)
+    : options_(options) {
+  assert(!patterns.empty());
+  window_size_ = patterns[0].size();
+  ring_.assign(window_size_, 0.0);
+  window_.assign(window_size_, 0.0);
+
+  // Expand patterns into the candidate set (plus rotations when the
+  // monitor is rotation-invariant), remembering where each came from.
+  std::vector<Series> candidates;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    assert(patterns[p].size() == window_size_);
+    Series base = patterns[p];
+    if (options_.znormalize_windows) ZNormalize(&base);
+    if (options_.rotation_invariant) {
+      RotationSet rots(base, options_.rotation);
+      for (std::size_t r = 0; r < rots.count(); ++r) {
+        candidates.push_back(rots.Materialize(r));
+        origins_.push_back({static_cast<int>(p), rots.shift_of(r)});
+      }
+    } else {
+      candidates.push_back(std::move(base));
+      origins_.push_back({static_cast<int>(p), 0});
+    }
+  }
+
+  StepCounter setup;
+  wedges_ = std::make_unique<CandidateWedgeSet>(std::move(candidates),
+                                                options_.dtw_band, &setup);
+  wedge_set_ = wedges_->WedgeSetForK(options_.wedges);
+}
+
+std::vector<StreamMonitor::Hit> StreamMonitor::Push(double value,
+                                                    StepCounter* counter) {
+  ring_[ring_pos_] = value;
+  ring_pos_ = (ring_pos_ + 1) % window_size_;
+  ++samples_seen_;
+
+  std::vector<Hit> hits;
+  if (samples_seen_ < static_cast<std::int64_t>(window_size_)) return hits;
+
+  // Linearise the ring (oldest first) and normalise if requested.
+  for (std::size_t i = 0; i < window_size_; ++i) {
+    window_[i] = ring_[(ring_pos_ + i) % window_size_];
+  }
+  if (options_.znormalize_windows) ZNormalize(&window_);
+
+  const auto matches = wedges_->FilterWithinRadius(
+      window_.data(), options_.distance_threshold, wedge_set_, counter);
+  hits.reserve(matches.size());
+  for (const auto& [candidate, distance] : matches) {
+    const CandidateOrigin& origin =
+        origins_[static_cast<std::size_t>(candidate)];
+    hits.push_back(
+        Hit{samples_seen_ - 1, origin.pattern, origin.shift, distance});
+  }
+  return hits;
+}
+
+std::vector<StreamMonitor::Hit> StreamMonitor::PushAll(const Series& values,
+                                                       StepCounter* counter) {
+  std::vector<Hit> all;
+  for (double v : values) {
+    std::vector<Hit> hits = Push(v, counter);
+    all.insert(all.end(), hits.begin(), hits.end());
+  }
+  return all;
+}
+
+}  // namespace rotind

@@ -1,0 +1,88 @@
+#ifndef ROTIND_STREAM_MONITOR_H_
+#define ROTIND_STREAM_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/step_counter.h"
+#include "src/distance/rotation.h"
+#include "src/envelope/candidate_wedge.h"
+
+namespace rotind {
+
+/// Streaming query filtering ("Atomic Wedgie", the paper's reference [40]
+/// and one of the flagship adoptions of LB_Keogh wedges): a set of pattern
+/// series is monitored against a live stream; every incoming sample slides
+/// an n-point window, and the hierarchal wedge filter reports every
+/// pattern within a distance threshold of the current window — exactly,
+/// at a fraction of the cost of comparing each pattern individually.
+///
+/// With `rotation_invariant` set, every circular shift of every pattern is
+/// enclosed in the wedge hierarchy, so hits are phase-independent (useful
+/// when the monitored quantity is periodic, e.g. light curves arriving
+/// with unknown phase).
+class StreamMonitor {
+ public:
+  struct Options {
+    /// Report a pattern when its (windowed) distance to the current window
+    /// is <= threshold.
+    double distance_threshold = 1.0;
+    /// Sakoe-Chiba band for DTW matching; 0 = Euclidean.
+    int dtw_band = 0;
+    /// Enclose all rotations of each pattern.
+    bool rotation_invariant = false;
+    RotationOptions rotation;
+    /// Wedge-set size used by the filter (dendrogram cut).
+    int wedges = 4;
+    /// Z-normalise each window before matching (patterns must be stored
+    /// z-normalised too, which the constructor enforces).
+    bool znormalize_windows = true;
+  };
+
+  /// All patterns must share one length n (the window size).
+  StreamMonitor(std::vector<Series> patterns, const Options& options);
+
+  /// One reported match.
+  struct Hit {
+    std::int64_t end_position;  ///< stream index of the window's last sample
+    int pattern;                ///< index into the constructor's patterns
+    int shift;                  ///< winning rotation (0 unless invariant)
+    double distance;
+  };
+
+  /// Feeds one sample; returns the hits for the window ending here (empty
+  /// until n samples have arrived).
+  std::vector<Hit> Push(double value, StepCounter* counter = nullptr);
+
+  /// Feeds a batch, concatenating hits.
+  std::vector<Hit> PushAll(const Series& values,
+                           StepCounter* counter = nullptr);
+
+  std::size_t window_size() const { return window_size_; }
+  std::int64_t samples_seen() const { return samples_seen_; }
+
+ private:
+  struct CandidateOrigin {
+    int pattern;
+    int shift;
+  };
+
+  Options options_;
+  std::size_t window_size_ = 0;
+  std::unique_ptr<CandidateWedgeSet> wedges_;
+  std::vector<int> wedge_set_;
+  std::vector<CandidateOrigin> origins_;
+
+  /// Ring buffer of the last n samples.
+  Series ring_;
+  std::size_t ring_pos_ = 0;
+  std::int64_t samples_seen_ = 0;
+  /// Scratch: the linearised, optionally z-normalised current window.
+  Series window_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_STREAM_MONITOR_H_

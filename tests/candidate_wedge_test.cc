@@ -1,0 +1,150 @@
+#include "src/envelope/candidate_wedge.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+
+namespace rotind {
+namespace {
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+std::vector<Series> RandomCandidates(Rng* rng, std::size_t count,
+                                     std::size_t n) {
+  std::vector<Series> out;
+  for (std::size_t i = 0; i < count; ++i) out.push_back(RandomSeries(rng, n));
+  return out;
+}
+
+TEST(CandidateWedgeSetTest, SingleCandidate) {
+  Rng rng(1);
+  StepCounter counter;
+  CandidateWedgeSet set({RandomSeries(&rng, 16)}, 0, &counter);
+  EXPECT_EQ(set.num_candidates(), 1u);
+  EXPECT_EQ(set.num_nodes(), 1);
+  EXPECT_EQ(set.WedgeSetForK(1), std::vector<int>{0});
+}
+
+TEST(CandidateWedgeSetTest, EnvelopesEncloseMembers) {
+  Rng rng(2);
+  StepCounter counter;
+  const auto candidates = RandomCandidates(&rng, 12, 24);
+  CandidateWedgeSet set(candidates, 0, &counter);
+  // Root encloses everything.
+  const Envelope& root = set.EnvelopeOf(set.root());
+  for (const Series& c : candidates) {
+    EXPECT_TRUE(root.Contains(c.data(), c.size(), 1e-12));
+  }
+}
+
+TEST(CandidateWedgeSetTest, WedgeSetsPartition) {
+  Rng rng(3);
+  StepCounter counter;
+  CandidateWedgeSet set(RandomCandidates(&rng, 10, 20), 0, &counter);
+  for (int k = 1; k <= 10; ++k) {
+    const std::vector<int> wedges = set.WedgeSetForK(k);
+    EXPECT_EQ(static_cast<int>(wedges.size()), k);
+    std::set<int> leaves;
+    std::vector<int> stack(wedges.begin(), wedges.end());
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      if (set.IsLeaf(id)) {
+        leaves.insert(id);
+      } else {
+        stack.push_back(set.LeftChild(id));
+        stack.push_back(set.RightChild(id));
+      }
+    }
+    EXPECT_EQ(leaves.size(), 10u) << "k=" << k;
+  }
+}
+
+TEST(CandidateWedgeSetTest, FilterMatchesBruteForceEuclidean) {
+  Rng rng(4);
+  StepCounter counter;
+  const std::size_t n = 32;
+  const auto candidates = RandomCandidates(&rng, 20, n);
+  CandidateWedgeSet set(candidates, 0, &counter);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const Series q = RandomSeries(&rng, n);
+    const double radius = rng.Uniform(4.0, 9.0);
+    auto hits = set.FilterWithinRadius(q.data(), radius, set.WedgeSetForK(4));
+    std::set<int> hit_ids;
+    for (const auto& [id, dist] : hits) {
+      hit_ids.insert(id);
+      EXPECT_NEAR(dist,
+                  EuclideanDistance(q, candidates[static_cast<std::size_t>(
+                                           id)]),
+                  1e-9);
+    }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const bool within = EuclideanDistance(q, candidates[i]) <= radius;
+      EXPECT_EQ(hit_ids.count(static_cast<int>(i)) > 0, within)
+          << "candidate " << i;
+    }
+  }
+}
+
+TEST(CandidateWedgeSetTest, FilterMatchesBruteForceDtw) {
+  Rng rng(5);
+  StepCounter counter;
+  const std::size_t n = 24;
+  const int band = 3;
+  const auto candidates = RandomCandidates(&rng, 12, n);
+  CandidateWedgeSet set(candidates, band, &counter);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const Series q = RandomSeries(&rng, n);
+    const double radius = rng.Uniform(3.0, 7.0);
+    auto hits = set.FilterWithinRadius(q.data(), radius, set.WedgeSetForK(3));
+    std::set<int> hit_ids;
+    for (const auto& [id, dist] : hits) {
+      hit_ids.insert(id);
+      EXPECT_NEAR(dist,
+                  DtwDistance(candidates[static_cast<std::size_t>(id)], q,
+                              band),
+                  1e-9);
+    }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const bool within = DtwDistance(candidates[i], q, band) <= radius;
+      EXPECT_EQ(hit_ids.count(static_cast<int>(i)) > 0, within);
+    }
+  }
+}
+
+TEST(CandidateWedgeSetTest, TightRadiusPrunesCheaply) {
+  Rng rng(6);
+  StepCounter setup;
+  const std::size_t n = 64;
+  // Clustered candidates: copies of one base with small jitter.
+  const Series base = RandomSeries(&rng, n);
+  std::vector<Series> candidates;
+  for (int i = 0; i < 30; ++i) {
+    Series c = base;
+    for (double& v : c) v += rng.Gaussian(0.0, 0.05);
+    candidates.push_back(std::move(c));
+  }
+  CandidateWedgeSet set(candidates, 0, &setup);
+
+  Series far = base;
+  for (double& v : far) v += 10.0;
+  StepCounter counter;
+  const auto hits =
+      set.FilterWithinRadius(far.data(), 0.5, set.WedgeSetForK(1), &counter);
+  EXPECT_TRUE(hits.empty());
+  // One wedge evaluation killed all 30 candidates after ~1 point.
+  EXPECT_LE(counter.steps, 4u);
+}
+
+}  // namespace
+}  // namespace rotind

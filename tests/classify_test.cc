@@ -1,0 +1,111 @@
+#include "src/eval/classify.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/datasets/synthetic.h"
+#include "src/distance/euclidean.h"
+
+namespace rotind {
+namespace {
+
+/// A trivially separable rotated dataset: two very different prototypes,
+/// instances are rotations with tiny noise.
+Dataset EasyRotatedDataset(std::size_t per_class, std::size_t n,
+                           std::uint64_t seed) {
+  Dataset ds;
+  Rng rng(seed);
+  Series proto_a(n), proto_b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    proto_a[i] = std::sin(2 * 3.14159265 * i / static_cast<double>(n));
+    proto_b[i] = (i < n / 2) ? 1.0 : -1.0;  // square wave
+  }
+  for (int label = 0; label < 2; ++label) {
+    const Series& proto = label == 0 ? proto_a : proto_b;
+    for (std::size_t i = 0; i < per_class; ++i) {
+      Series s = RotateLeft(proto, static_cast<long>(rng.NextBounded(n)));
+      for (double& v : s) v += rng.Gaussian(0.0, 0.05);
+      ZNormalize(&s);
+      ds.items.push_back(s);
+      ds.labels.push_back(label);
+    }
+  }
+  return ds;
+}
+
+TEST(ClassifyTest, SeparableDatasetHasZeroErrorWithRotationInvariance) {
+  const Dataset ds = EasyRotatedDataset(10, 64, 1);
+  const ClassificationResult r = LeaveOneOutOneNnRotationInvariant(
+      ds, DistanceKind::kEuclidean, 0);
+  EXPECT_EQ(r.errors, 0);
+  EXPECT_EQ(r.total, 20);
+  EXPECT_DOUBLE_EQ(r.error_rate(), 0.0);
+}
+
+TEST(ClassifyTest, NaiveAlignedDistanceFailsWhereRotationInvariantSucceeds) {
+  // The paper's yoga-dataset lesson: "unless we have the best rotation then
+  // nothing else matters".
+  const Dataset ds = EasyRotatedDataset(12, 64, 2);
+  const ClassificationResult aligned = LeaveOneOutOneNn(
+      ds, [](const Series& a, const Series& b) {
+        return EuclideanDistance(a, b);
+      });
+  const ClassificationResult invariant = LeaveOneOutOneNnRotationInvariant(
+      ds, DistanceKind::kEuclidean, 0);
+  EXPECT_EQ(invariant.errors, 0);
+  EXPECT_GT(aligned.errors, 0);
+}
+
+TEST(ClassifyTest, GenericAndWedgeBasedAgree) {
+  const Dataset ds = MakeSyntheticShapeDataset([] {
+    SyntheticDatasetSpec spec;
+    spec.num_classes = 3;
+    spec.instances_per_class = 6;
+    spec.length = 40;
+    spec.noise_sigma = 0.3;
+    spec.seed = 5;
+    return spec;
+  }());
+  const ClassificationResult generic = LeaveOneOutOneNn(
+      ds, [](const Series& a, const Series& b) {
+        return RotationInvariantEuclidean(a, b);
+      });
+  const ClassificationResult wedge = LeaveOneOutOneNnRotationInvariant(
+      ds, DistanceKind::kEuclidean, 0);
+  EXPECT_EQ(generic.errors, wedge.errors);
+  EXPECT_EQ(generic.total, wedge.total);
+}
+
+TEST(ClassifyTest, DtwClassificationRunsAndBeatsOrMatchesEdOnWarpedData) {
+  SyntheticDatasetSpec spec;
+  spec.num_classes = 4;
+  spec.instances_per_class = 8;
+  spec.length = 64;
+  spec.warp_strength = 0.08;
+  spec.noise_sigma = 0.15;
+  spec.amplitude_jitter = 0.02;
+  spec.seed = 11;
+  const Dataset ds = MakeSyntheticShapeDataset(spec);
+  const ClassificationResult ed = LeaveOneOutOneNnRotationInvariant(
+      ds, DistanceKind::kEuclidean, 0);
+  const ClassificationResult dtw = LeaveOneOutOneNnRotationInvariant(
+      ds, DistanceKind::kDtw, 6);
+  EXPECT_LE(dtw.errors, ed.errors + 1);  // DTW should not be much worse
+}
+
+TEST(ClassifyTest, LearnBestBandReturnsCandidate) {
+  const Dataset ds = EasyRotatedDataset(6, 48, 3);
+  const int band = LearnBestBand(ds, {1, 2, 3});
+  EXPECT_GE(band, 1);
+  EXPECT_LE(band, 3);
+}
+
+TEST(ClassifyTest, ErrorRateOfEmptyDataset) {
+  ClassificationResult r;
+  EXPECT_DOUBLE_EQ(r.error_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,169 @@
+#include "src/cluster/linkage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+
+namespace rotind {
+namespace {
+
+/// 1-D points: distances are |a - b|; easy to reason about.
+std::function<double(int, int)> PointDistance(const std::vector<double>& pts) {
+  return [&pts](int i, int j) {
+    return std::fabs(pts[static_cast<std::size_t>(i)] -
+                     pts[static_cast<std::size_t>(j)]);
+  };
+}
+
+TEST(DendrogramTest, SingleLeaf) {
+  const std::vector<double> pts = {1.0};
+  const Dendrogram dg = AgglomerativeCluster(1, PointDistance(pts),
+                                             Linkage::kAverage);
+  EXPECT_EQ(dg.num_leaves, 1);
+  EXPECT_EQ(dg.nodes.size(), 1u);
+  EXPECT_EQ(dg.CutIntoK(1), std::vector<int>{0});
+}
+
+TEST(DendrogramTest, TwoLeavesMergeAtTheirDistance) {
+  const std::vector<double> pts = {0.0, 3.0};
+  const Dendrogram dg = AgglomerativeCluster(2, PointDistance(pts),
+                                             Linkage::kAverage);
+  ASSERT_EQ(dg.nodes.size(), 3u);
+  EXPECT_DOUBLE_EQ(dg.nodes[2].height, 3.0);
+  EXPECT_EQ(dg.nodes[2].size, 2);
+}
+
+TEST(DendrogramTest, ObviousTwoClusters) {
+  // Points {0, 1, 2} and {100, 101}: every linkage must split there first.
+  const std::vector<double> pts = {0.0, 1.0, 2.0, 100.0, 101.0};
+  for (Linkage linkage : {Linkage::kSingle, Linkage::kComplete,
+                          Linkage::kAverage, Linkage::kWard}) {
+    const Dendrogram dg =
+        AgglomerativeCluster(5, PointDistance(pts), linkage);
+    const std::vector<int> labels = dg.ClusterLabels(2);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[1], labels[2]);
+    EXPECT_EQ(labels[3], labels[4]);
+    EXPECT_NE(labels[0], labels[3]) << "linkage " << static_cast<int>(linkage);
+  }
+}
+
+TEST(DendrogramTest, LeavesUnderRootCoversAll) {
+  const std::vector<double> pts = {5.0, 1.0, 9.0, 2.0, 8.0, 3.0};
+  const Dendrogram dg = AgglomerativeCluster(6, PointDistance(pts),
+                                             Linkage::kAverage);
+  std::vector<int> leaves = dg.LeavesUnder(dg.root());
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_EQ(leaves, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(DendrogramTest, CutsArePartitions) {
+  Rng rng(1);
+  std::vector<double> pts(20);
+  for (double& p : pts) p = rng.Uniform(0.0, 100.0);
+  const Dendrogram dg = AgglomerativeCluster(20, PointDistance(pts),
+                                             Linkage::kAverage);
+  for (int k = 1; k <= 20; ++k) {
+    const std::vector<int> roots = dg.CutIntoK(k);
+    EXPECT_EQ(static_cast<int>(roots.size()), k);
+    std::set<int> all_leaves;
+    int total = 0;
+    for (int root : roots) {
+      const std::vector<int> leaves = dg.LeavesUnder(root);
+      total += static_cast<int>(leaves.size());
+      all_leaves.insert(leaves.begin(), leaves.end());
+    }
+    EXPECT_EQ(total, 20) << "k=" << k;
+    EXPECT_EQ(all_leaves.size(), 20u) << "k=" << k;  // disjoint cover
+  }
+}
+
+TEST(DendrogramTest, CutsAreNested) {
+  // Increasing k only ever splits one existing cluster (paper Figure 10).
+  Rng rng(2);
+  std::vector<double> pts(15);
+  for (double& p : pts) p = rng.Uniform(0.0, 10.0);
+  const Dendrogram dg = AgglomerativeCluster(15, PointDistance(pts),
+                                             Linkage::kAverage);
+  std::vector<int> prev = dg.ClusterLabels(1);
+  for (int k = 2; k <= 15; ++k) {
+    const std::vector<int> curr = dg.ClusterLabels(k);
+    // Nestedness: any two leaves together at level k are together at k-1.
+    for (std::size_t a = 0; a < curr.size(); ++a) {
+      for (std::size_t b = a + 1; b < curr.size(); ++b) {
+        if (curr[a] == curr[b]) EXPECT_EQ(prev[a], prev[b]);
+      }
+    }
+    prev = curr;
+  }
+}
+
+TEST(DendrogramTest, CutIntoKClampsRange) {
+  const std::vector<double> pts = {0.0, 1.0, 5.0};
+  const Dendrogram dg = AgglomerativeCluster(3, PointDistance(pts),
+                                             Linkage::kAverage);
+  EXPECT_EQ(dg.CutIntoK(0).size(), 1u);
+  EXPECT_EQ(dg.CutIntoK(99).size(), 3u);
+}
+
+TEST(DendrogramTest, MergeSizesAccumulate) {
+  Rng rng(3);
+  std::vector<double> pts(12);
+  for (double& p : pts) p = rng.Uniform(0.0, 50.0);
+  const Dendrogram dg = AgglomerativeCluster(12, PointDistance(pts),
+                                             Linkage::kComplete);
+  ASSERT_EQ(dg.nodes.size(), 23u);
+  EXPECT_EQ(dg.nodes.back().size, 12);
+  for (std::size_t id = 12; id < dg.nodes.size(); ++id) {
+    const auto& node = dg.nodes[id];
+    EXPECT_EQ(node.size,
+              dg.nodes[static_cast<std::size_t>(node.left)].size +
+                  dg.nodes[static_cast<std::size_t>(node.right)].size);
+  }
+}
+
+TEST(DendrogramTest, SingleLinkageMatchesMinimumSpanningIntuition) {
+  // Chain 0-1-2-3 with gaps 1, 1, 10: single linkage merges the chain
+  // before bridging the gap.
+  const std::vector<double> pts = {0.0, 1.0, 2.0, 12.0};
+  const Dendrogram dg = AgglomerativeCluster(4, PointDistance(pts),
+                                             Linkage::kSingle);
+  EXPECT_DOUBLE_EQ(dg.nodes.back().height, 10.0);
+}
+
+TEST(DendrogramTest, AverageLinkageHeightIsGroupAverage) {
+  // Clusters {0} and {2, 4}: group-average distance from 0 is (2+4)/2 = 3.
+  const std::vector<double> pts = {0.0, 2.0, 4.0};
+  const Dendrogram dg = AgglomerativeCluster(3, PointDistance(pts),
+                                             Linkage::kAverage);
+  // First merge: {2,4} at height 2; second: {0}+{2,4} at height 3.
+  EXPECT_DOUBLE_EQ(dg.nodes[3].height, 2.0);
+  EXPECT_DOUBLE_EQ(dg.nodes[4].height, 3.0);
+}
+
+TEST(DendrogramTest, ToTextContainsLabels) {
+  const std::vector<double> pts = {0.0, 1.0, 10.0};
+  const Dendrogram dg = AgglomerativeCluster(3, PointDistance(pts),
+                                             Linkage::kAverage);
+  const std::string text = dg.ToText({"alpha", "beta", "gamma"});
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("gamma"), std::string::npos);
+  EXPECT_NE(text.find("h="), std::string::npos);
+}
+
+TEST(DendrogramTest, WardPrefersCompactClusters) {
+  const std::vector<double> pts = {0.0, 0.5, 1.0, 20.0, 20.5, 21.0};
+  const Dendrogram dg = AgglomerativeCluster(6, PointDistance(pts),
+                                             Linkage::kWard);
+  const std::vector<int> labels = dg.ClusterLabels(2);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,96 @@
+#include "src/core/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rotind {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.5, 2.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 2.25);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(RngTest, BoundedOneAlwaysZero) {
+  Rng rng(10);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(12);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, UniformCoversRangeRoughly) {
+  Rng rng(13);
+  int low_half = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.5) ++low_half;
+  }
+  EXPECT_NEAR(static_cast<double>(low_half) / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,129 @@
+#include "src/core/series.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rotind {
+namespace {
+
+TEST(SeriesTest, MeanAndStdDev) {
+  const Series s = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(s), 2.5);
+  EXPECT_NEAR(StdDev(s), std::sqrt(1.25), 1e-12);
+}
+
+TEST(SeriesTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+}
+
+TEST(SeriesTest, ZNormalizeProducesZeroMeanUnitVariance) {
+  Series s = {3.0, 7.0, -2.0, 10.0, 0.5};
+  ZNormalize(&s);
+  EXPECT_NEAR(Mean(s), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(s), 1.0, 1e-12);
+}
+
+TEST(SeriesTest, ZNormalizeFlatSeriesShiftsToZero) {
+  Series s = {4.0, 4.0, 4.0};
+  ZNormalize(&s);
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SeriesTest, ZNormalizeNullIsSafe) { ZNormalize(nullptr); }
+
+TEST(SeriesTest, ZNormalizedLeavesInputIntact) {
+  const Series s = {1.0, 2.0, 3.0};
+  const Series z = ZNormalized(s);
+  EXPECT_EQ(s[0], 1.0);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+}
+
+TEST(SeriesTest, RotateLeftBasic) {
+  const Series s = {0.0, 1.0, 2.0, 3.0};
+  EXPECT_EQ(RotateLeft(s, 1), (Series{1.0, 2.0, 3.0, 0.0}));
+  EXPECT_EQ(RotateLeft(s, 0), s);
+  EXPECT_EQ(RotateLeft(s, 4), s);
+}
+
+TEST(SeriesTest, RotateLeftNegativeShiftRotatesRight) {
+  const Series s = {0.0, 1.0, 2.0, 3.0};
+  EXPECT_EQ(RotateLeft(s, -1), (Series{3.0, 0.0, 1.0, 2.0}));
+  EXPECT_EQ(RotateLeft(s, -5), (Series{3.0, 0.0, 1.0, 2.0}));
+}
+
+TEST(SeriesTest, RotateLeftLargeShiftWraps) {
+  const Series s = {0.0, 1.0, 2.0};
+  EXPECT_EQ(RotateLeft(s, 7), RotateLeft(s, 1));
+}
+
+TEST(SeriesTest, RotateEmptySeries) {
+  EXPECT_TRUE(RotateLeft({}, 3).empty());
+}
+
+TEST(SeriesTest, ReversedReverses) {
+  EXPECT_EQ(Reversed({1.0, 2.0, 3.0}), (Series{3.0, 2.0, 1.0}));
+}
+
+TEST(SeriesTest, DoubledConcatenates) {
+  const Series d = Doubled({1.0, 2.0});
+  EXPECT_EQ(d, (Series{1.0, 2.0, 1.0, 2.0}));
+}
+
+TEST(SeriesTest, DoubledWindowsAreRotations) {
+  const Series s = {5.0, 1.0, 9.0, 2.0};
+  const Series d = Doubled(s);
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    const Series rot = RotateLeft(s, static_cast<long>(k));
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_DOUBLE_EQ(d[k + i], rot[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(SeriesTest, ResampleSameLengthIsIdentity) {
+  const Series s = {1.0, 5.0, 2.0};
+  EXPECT_EQ(ResampleLinear(s, 3), s);
+}
+
+TEST(SeriesTest, ResampleUpInterpolatesPeriodically) {
+  const Series s = {0.0, 1.0};
+  const Series r = ResampleLinear(s, 4);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 0.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[3], 0.5);  // wraps back toward s[0]
+}
+
+TEST(SeriesTest, ResampleDownKeepsRange) {
+  Series s(100);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sin(2 * 3.14159265358979 * i / 100.0);
+  }
+  const Series r = ResampleLinear(s, 25);
+  ASSERT_EQ(r.size(), 25u);
+  for (double v : r) {
+    EXPECT_LE(v, 1.0 + 1e-9);
+    EXPECT_GE(v, -1.0 - 1e-9);
+  }
+}
+
+TEST(SeriesTest, ResampleEmptyOrZero) {
+  EXPECT_TRUE(ResampleLinear({}, 5).empty());
+  EXPECT_TRUE(ResampleLinear({1.0}, 0).empty());
+}
+
+TEST(DatasetTest, LengthAndSize) {
+  Dataset ds;
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.length(), 0u);
+  ds.items.push_back({1.0, 2.0, 3.0});
+  ds.items.push_back({4.0, 5.0, 6.0});
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.length(), 3u);
+}
+
+}  // namespace
+}  // namespace rotind

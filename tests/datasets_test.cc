@@ -1,0 +1,115 @@
+#include "src/datasets/synthetic.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/series.h"
+
+namespace rotind {
+namespace {
+
+TEST(SyntheticShapeDatasetTest, SizesLabelsAndNormalisation) {
+  SyntheticDatasetSpec spec;
+  spec.name = "test";
+  spec.num_classes = 3;
+  spec.instances_per_class = 7;
+  spec.length = 48;
+  const Dataset ds = MakeSyntheticShapeDataset(spec);
+  EXPECT_EQ(ds.size(), 21u);
+  EXPECT_EQ(ds.length(), 48u);
+  std::set<int> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+  for (const Series& s : ds.items) {
+    EXPECT_NEAR(Mean(s), 0.0, 1e-9);
+    EXPECT_NEAR(StdDev(s), 1.0, 1e-9);
+  }
+}
+
+TEST(SyntheticShapeDatasetTest, DeterministicForSeed) {
+  SyntheticDatasetSpec spec;
+  spec.name = "det";
+  spec.seed = 99;
+  const Dataset a = MakeSyntheticShapeDataset(spec);
+  const Dataset b = MakeSyntheticShapeDataset(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.items[i], b.items[i]);
+}
+
+TEST(SyntheticShapeDatasetTest, DifferentSeedsDiffer) {
+  SyntheticDatasetSpec spec;
+  spec.seed = 1;
+  const Dataset a = MakeSyntheticShapeDataset(spec);
+  spec.seed = 2;
+  const Dataset b = MakeSyntheticShapeDataset(spec);
+  EXPECT_NE(a.items[0], b.items[0]);
+}
+
+TEST(Table8SpecsTest, MatchesPaperStructure) {
+  const auto specs = Table8Specs(1.0);
+  ASSERT_EQ(specs.size(), 10u);
+  // Class counts straight from the paper's Table 8.
+  EXPECT_EQ(specs[0].name, "Face");
+  EXPECT_EQ(specs[0].num_classes, 16);
+  EXPECT_EQ(specs[1].num_classes, 15);
+  EXPECT_EQ(specs[5].name, "Diatoms");
+  EXPECT_EQ(specs[5].num_classes, 37);
+  EXPECT_EQ(specs[9].name, "Yoga");
+  EXPECT_EQ(specs[9].num_classes, 2);
+  // Full scale approximates the paper's instance counts.
+  EXPECT_NEAR(specs[0].num_classes * specs[0].instances_per_class, 2240, 120);
+  EXPECT_NEAR(specs[9].num_classes * specs[9].instances_per_class, 3300, 100);
+}
+
+TEST(Table8SpecsTest, ScalingShrinksInstanceCounts) {
+  const auto full = Table8Specs(1.0);
+  const auto small = Table8Specs(0.1);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_LE(small[i].instances_per_class, full[i].instances_per_class);
+    EXPECT_GE(small[i].instances_per_class, 4);  // floor
+  }
+}
+
+TEST(MakeTable8DatasetTest, LightCurveRowUsesThreeStarClasses) {
+  auto specs = Table8Specs(0.05);
+  const auto it = std::find_if(specs.begin(), specs.end(),
+                               [](const SyntheticDatasetSpec& s) {
+                                 return s.name == "LightCurve";
+                               });
+  ASSERT_NE(it, specs.end());
+  const Dataset ds = MakeTable8Dataset(*it);
+  std::set<int> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(ProjectilePointsTest, DatabaseProperties) {
+  const auto db = MakeProjectilePointsDatabase(50, 251, 1);
+  EXPECT_EQ(db.size(), 50u);
+  for (const Series& s : db) {
+    EXPECT_EQ(s.size(), 251u);
+    EXPECT_NEAR(Mean(s), 0.0, 1e-9);
+    EXPECT_NEAR(StdDev(s), 1.0, 1e-9);
+  }
+}
+
+TEST(HeterogeneousTest, DatabaseProperties) {
+  const auto db = MakeHeterogeneousDatabase(20, 128, 2);
+  EXPECT_EQ(db.size(), 20u);
+  for (const Series& s : db) {
+    EXPECT_EQ(s.size(), 128u);
+    EXPECT_NEAR(Mean(s), 0.0, 1e-9);
+  }
+  // Heterogeneity: items should not all look alike; compare a few pairs.
+  EXPECT_NE(db[0], db[1]);
+  EXPECT_NE(db[1], db[2]);
+}
+
+TEST(LightCurveDatabaseTest, RespectsRequestedSize) {
+  EXPECT_EQ(MakeLightCurveDatabase(10, 64, 3).size(), 10u);
+  EXPECT_EQ(MakeLightCurveDatabase(11, 64, 3).size(), 11u);
+  EXPECT_EQ(MakeLightCurveDatabase(0, 64, 3).size(), 0u);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,190 @@
+#include "src/distance/dtw.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/distance/euclidean.h"
+
+namespace rotind {
+namespace {
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+/// O(n^2) reference DTW (full matrix, no band) used to validate the banded
+/// rolling-array implementation.
+double ReferenceDtw(const Series& q, const Series& c) {
+  const std::size_t n = q.size();
+  std::vector<std::vector<double>> dp(
+      n, std::vector<double>(n, std::numeric_limits<double>::infinity()));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double cost = (q[i] - c[j]) * (q[i] - c[j]);
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = std::numeric_limits<double>::infinity();
+        if (i > 0) best = std::min(best, dp[i - 1][j]);
+        if (j > 0) best = std::min(best, dp[i][j - 1]);
+        if (i > 0 && j > 0) best = std::min(best, dp[i - 1][j - 1]);
+      }
+      dp[i][j] = best + cost;
+    }
+  }
+  return std::sqrt(dp[n - 1][n - 1]);
+}
+
+TEST(DtwTest, BandZeroEqualsEuclidean) {
+  Rng rng(1);
+  const Series q = RandomSeries(&rng, 40);
+  const Series c = RandomSeries(&rng, 40);
+  EXPECT_NEAR(DtwDistance(q, c, 0), EuclideanDistance(q, c), 1e-9);
+}
+
+TEST(DtwTest, UnconstrainedMatchesReference) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5 + rng.NextBounded(40);
+    const Series q = RandomSeries(&rng, n);
+    const Series c = RandomSeries(&rng, n);
+    EXPECT_NEAR(DtwDistance(q, c, -1), ReferenceDtw(q, c), 1e-9);
+  }
+}
+
+TEST(DtwTest, IdenticalSeriesZero) {
+  Rng rng(3);
+  const Series q = RandomSeries(&rng, 30);
+  EXPECT_NEAR(DtwDistance(q, q, 5), 0.0, 1e-12);
+}
+
+TEST(DtwTest, SymmetricForEqualLengths) {
+  Rng rng(4);
+  const Series q = RandomSeries(&rng, 25);
+  const Series c = RandomSeries(&rng, 25);
+  EXPECT_NEAR(DtwDistance(q, c, 4), DtwDistance(c, q, 4), 1e-9);
+}
+
+TEST(DtwTest, NonIncreasingInBand) {
+  // A wider band can only find an equal or better warping path.
+  Rng rng(5);
+  const Series q = RandomSeries(&rng, 50);
+  const Series c = RandomSeries(&rng, 50);
+  double prev = DtwDistance(q, c, 0);
+  for (int band : {1, 2, 4, 8, 16, 49}) {
+    const double d = DtwDistance(q, c, band);
+    EXPECT_LE(d, prev + 1e-9) << "band=" << band;
+    prev = d;
+  }
+}
+
+TEST(DtwTest, NeverExceedsEuclidean) {
+  // The diagonal path is always available, so DTW <= ED for any band.
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10 + rng.NextBounded(60);
+    const Series q = RandomSeries(&rng, n);
+    const Series c = RandomSeries(&rng, n);
+    const int band = static_cast<int>(rng.NextBounded(n));
+    EXPECT_LE(DtwDistance(q, c, band),
+              EuclideanDistance(q, c) + 1e-9);
+  }
+}
+
+TEST(DtwTest, RecoverssmallShift) {
+  // A pattern shifted by 2 samples within a band of 2 warps to ~zero cost,
+  // while the Euclidean distance stays large.
+  const std::size_t n = 64;
+  Series q(n, 0.0);
+  Series c(n, 0.0);
+  for (std::size_t i = 20; i < 30; ++i) q[i] = 1.0;
+  for (std::size_t i = 22; i < 32; ++i) c[i] = 1.0;
+  EXPECT_GT(EuclideanDistance(q, c), 1.0);
+  EXPECT_NEAR(DtwDistance(q, c, 2), 0.0, 1e-9);
+}
+
+TEST(DtwTest, KnownTinyExample) {
+  const Series q = {0.0, 1.0, 2.0};
+  const Series c = {0.0, 2.0, 2.0};
+  // Optimal path: (0,0)->(1,0)->(2,1)->(2,2): cost 0 + 1 + 0 + 0 = 1.
+  EXPECT_NEAR(DtwDistance(q, c, -1), 1.0, 1e-12);
+}
+
+TEST(DtwTest, CellCountMatchesCounter) {
+  Rng rng(7);
+  for (int band : {0, 1, 3, 7, 100}) {
+    const std::size_t n = 33;
+    const Series q = RandomSeries(&rng, n);
+    const Series c = RandomSeries(&rng, n);
+    StepCounter counter;
+    DtwDistance(q.data(), c.data(), n, band, &counter);
+    EXPECT_EQ(counter.steps, DtwCellCount(n, band)) << "band=" << band;
+  }
+}
+
+TEST(DtwTest, CellCountClosedForm) {
+  // n(2R+1) - R(R+1) for R <= n-1.
+  EXPECT_EQ(DtwCellCount(10, 0), 10u);
+  EXPECT_EQ(DtwCellCount(10, 2), 10u * 5 - 2 * 3);
+  EXPECT_EQ(DtwCellCount(10, 9), 100u);
+  EXPECT_EQ(DtwCellCount(10, -1), 100u);  // unconstrained
+}
+
+TEST(EarlyAbandonDtwTest, MatchesFullWhenNotAbandoned) {
+  Rng rng(8);
+  const Series q = RandomSeries(&rng, 48);
+  const Series c = RandomSeries(&rng, 48);
+  const double full = DtwDistance(q, c, 5);
+  const double ea = EarlyAbandonDtw(q.data(), c.data(), 48, 5, full + 1.0);
+  EXPECT_NEAR(ea, full, 1e-9);
+}
+
+TEST(EarlyAbandonDtwTest, AbandonsAgainstTightLimit) {
+  Rng rng(9);
+  const Series q = RandomSeries(&rng, 48);
+  Series c = q;
+  for (double& v : c) v += 10.0;  // uniformly far away
+  StepCounter counter;
+  const double ea = EarlyAbandonDtw(q.data(), c.data(), 48, 5, 0.5, &counter);
+  EXPECT_TRUE(std::isinf(ea));
+  EXPECT_EQ(counter.early_abandons, 1u);
+  EXPECT_LT(counter.steps, DtwCellCount(48, 5));
+}
+
+class DtwEarlyAbandonProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtwEarlyAbandonProperty, NeverFalselyAbandons) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 8 + rng.NextBounded(50);
+    const int band = 1 + static_cast<int>(rng.NextBounded(8));
+    const Series q = RandomSeries(&rng, n);
+    const Series c = RandomSeries(&rng, n);
+    const double full = DtwDistance(q, c, band);
+    const double limit = rng.Uniform(0.0, 2.0 * full + 0.1);
+    const double ea = EarlyAbandonDtw(q.data(), c.data(), n, band, limit);
+    if (full > limit) {
+      EXPECT_TRUE(std::isinf(ea));
+    } else {
+      EXPECT_NEAR(ea, full, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtwEarlyAbandonProperty,
+                         ::testing::Range(1, 7));
+
+TEST(ClampBandTest, Clamps) {
+  EXPECT_EQ(ClampBand(10, -1), 9);
+  EXPECT_EQ(ClampBand(10, 3), 3);
+  EXPECT_EQ(ClampBand(10, 99), 9);
+  EXPECT_EQ(ClampBand(0, 5), 0);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,141 @@
+#include "src/envelope/envelope.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+
+namespace rotind {
+namespace {
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+Series NaiveSlidingMax(const Series& s, int band) {
+  const int n = static_cast<int>(s.size());
+  Series out(s.size());
+  for (int i = 0; i < n; ++i) {
+    double m = s[static_cast<std::size_t>(i)];
+    for (int j = std::max(0, i - band); j <= std::min(n - 1, i + band); ++j) {
+      m = std::max(m, s[static_cast<std::size_t>(j)]);
+    }
+    out[static_cast<std::size_t>(i)] = m;
+  }
+  return out;
+}
+
+TEST(EnvelopeTest, FromSeriesIsDegenerate) {
+  const Series s = {1.0, -2.0, 3.0};
+  const Envelope e = Envelope::FromSeries(s);
+  EXPECT_EQ(e.upper, s);
+  EXPECT_EQ(e.lower, s);
+  EXPECT_DOUBLE_EQ(e.Area(), 0.0);
+}
+
+TEST(EnvelopeTest, MergeTakesPointwiseExtremes) {
+  const Envelope a = Envelope::FromSeries({1.0, 5.0, 2.0});
+  const Envelope b = Envelope::FromSeries({3.0, 0.0, 2.0});
+  const Envelope m = Envelope::Merge(a, b);
+  EXPECT_EQ(m.upper, (Series{3.0, 5.0, 2.0}));
+  EXPECT_EQ(m.lower, (Series{1.0, 0.0, 2.0}));
+  EXPECT_DOUBLE_EQ(m.Area(), 2.0 + 5.0 + 0.0);
+}
+
+TEST(EnvelopeTest, MergeSeriesEqualsMergeFromSeries) {
+  Rng rng(1);
+  const Series a = RandomSeries(&rng, 30);
+  const Series b = RandomSeries(&rng, 30);
+  Envelope via_series = Envelope::FromSeries(a);
+  via_series.MergeSeries(b.data(), b.size());
+  const Envelope via_env =
+      Envelope::Merge(Envelope::FromSeries(a), Envelope::FromSeries(b));
+  EXPECT_EQ(via_series.upper, via_env.upper);
+  EXPECT_EQ(via_series.lower, via_env.lower);
+}
+
+TEST(EnvelopeTest, ContainsItsGenerators) {
+  Rng rng(2);
+  std::vector<Series> members;
+  Envelope env = Envelope::FromSeries(RandomSeries(&rng, 40));
+  members.push_back(env.upper);
+  for (int i = 0; i < 10; ++i) {
+    members.push_back(RandomSeries(&rng, 40));
+    env.MergeSeries(members.back().data(), members.back().size());
+  }
+  for (const Series& m : members) {
+    EXPECT_TRUE(env.Contains(m.data(), m.size()));
+  }
+}
+
+TEST(EnvelopeTest, ContainsRejectsOutliers) {
+  const Envelope env = Envelope::FromSeries({0.0, 0.0, 0.0});
+  const Series outside = {0.0, 1.0, 0.0};
+  EXPECT_FALSE(env.Contains(outside.data(), outside.size()));
+  EXPECT_TRUE(env.Contains(outside.data(), outside.size(), /*tolerance=*/1.0));
+}
+
+TEST(EnvelopeTest, ContainsRejectsWrongLength) {
+  const Envelope env = Envelope::FromSeries({0.0, 0.0});
+  const Series s = {0.0};
+  EXPECT_FALSE(env.Contains(s.data(), s.size()));
+}
+
+TEST(SlidingExtremumTest, MatchesNaive) {
+  Rng rng(3);
+  for (int band : {0, 1, 2, 5, 11, 100}) {
+    const Series s = RandomSeries(&rng, 57);
+    const Series fast_max = SlidingMax(s, band);
+    const Series naive_max = NaiveSlidingMax(s, band);
+    EXPECT_EQ(fast_max, naive_max) << "band=" << band;
+
+    Series neg = s;
+    for (double& v : neg) v = -v;
+    Series expect_min = NaiveSlidingMax(neg, band);
+    for (double& v : expect_min) v = -v;
+    EXPECT_EQ(SlidingMin(s, band), expect_min) << "band=" << band;
+  }
+}
+
+TEST(EnvelopeTest, DtwExpansionWidens) {
+  Rng rng(4);
+  Envelope env = Envelope::FromSeries(RandomSeries(&rng, 50));
+  env.MergeSeries(RandomSeries(&rng, 50).data(), 50);
+  const Envelope wide = env.ExpandedForDtw(4);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_GE(wide.upper[i], env.upper[i]);
+    EXPECT_LE(wide.lower[i], env.lower[i]);
+  }
+  EXPECT_GE(wide.Area(), env.Area());
+}
+
+TEST(EnvelopeTest, DtwExpansionBandZeroIsIdentity) {
+  Rng rng(5);
+  const Envelope env = Envelope::FromSeries(RandomSeries(&rng, 20));
+  const Envelope same = env.ExpandedForDtw(0);
+  EXPECT_EQ(same.upper, env.upper);
+  EXPECT_EQ(same.lower, env.lower);
+}
+
+TEST(EnvelopeTest, DtwExpansionContainsShiftedMembers) {
+  // The expanded envelope of s must contain s shifted by up to `band`
+  // samples (within the clamped window) — this is what makes Proposition 2
+  // work.
+  Rng rng(6);
+  const Series s = RandomSeries(&rng, 30);
+  const Envelope wide = Envelope::FromSeries(s).ExpandedForDtw(3);
+  for (int shift = -3; shift <= 3; ++shift) {
+    for (std::size_t i = 0; i < 30; ++i) {
+      const long j = static_cast<long>(i) + shift;
+      if (j < 0 || j >= 30) continue;  // clamped, non-circular window
+      EXPECT_LE(s[static_cast<std::size_t>(j)], wide.upper[i] + 1e-12);
+      EXPECT_GE(s[static_cast<std::size_t>(j)], wide.lower[i] - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,114 @@
+#include "src/distance/euclidean.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+
+namespace rotind {
+namespace {
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+TEST(EuclideanTest, KnownDistance) {
+  const Series a = {0.0, 0.0, 0.0};
+  const Series b = {1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 3.0);
+}
+
+TEST(EuclideanTest, IdenticalSeriesZero) {
+  const Series a = {1.5, -2.0, 3.25};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(EuclideanTest, SquaredMatchesDistance) {
+  Rng rng(1);
+  const Series a = RandomSeries(&rng, 50);
+  const Series b = RandomSeries(&rng, 50);
+  const double d = EuclideanDistance(a, b);
+  const double sq = SquaredEuclidean(a.data(), b.data(), a.size());
+  EXPECT_NEAR(d * d, sq, 1e-9);
+}
+
+TEST(EuclideanTest, CounterChargesOneStepPerPoint) {
+  StepCounter counter;
+  const Series a = {1.0, 2.0, 3.0, 4.0};
+  const Series b = {0.0, 0.0, 0.0, 0.0};
+  EuclideanDistance(a, b, &counter);
+  EXPECT_EQ(counter.steps, 4u);
+}
+
+TEST(EarlyAbandonEuclideanTest, NoAbandonWithInfiniteLimit) {
+  Rng rng(2);
+  const Series a = RandomSeries(&rng, 64);
+  const Series b = RandomSeries(&rng, 64);
+  const double full = EuclideanDistance(a, b);
+  const double ea = EarlyAbandonEuclidean(
+      a.data(), b.data(), a.size(), std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(ea, full, 1e-12);
+}
+
+TEST(EarlyAbandonEuclideanTest, AbandonsWhenLimitExceeded) {
+  const Series a = {10.0, 0.0, 0.0};
+  const Series b = {0.0, 0.0, 0.0};
+  StepCounter counter;
+  const double d = EarlyAbandonEuclidean(a.data(), b.data(), 3, 1.0, &counter);
+  EXPECT_TRUE(std::isinf(d));
+  EXPECT_EQ(counter.steps, 1u);  // abandoned after the first point
+  EXPECT_EQ(counter.early_abandons, 1u);
+}
+
+TEST(EarlyAbandonEuclideanTest, ExactWhenBelowLimit) {
+  const Series a = {1.0, 1.0};
+  const Series b = {0.0, 0.0};
+  const double d = EarlyAbandonEuclidean(a.data(), b.data(), 2, 10.0);
+  EXPECT_NEAR(d, std::sqrt(2.0), 1e-12);
+}
+
+TEST(EarlyAbandonEuclideanTest, LimitEqualToDistanceDoesNotAbandon) {
+  // Abandonment is strict (> limit^2), so distance == limit is returned.
+  const Series a = {3.0, 4.0};
+  const Series b = {0.0, 0.0};
+  const double d = EarlyAbandonEuclidean(a.data(), b.data(), 2, 5.0);
+  EXPECT_NEAR(d, 5.0, 1e-12);
+}
+
+class EarlyAbandonPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EarlyAbandonPropertyTest, AgreesWithFullComputationOrAbandonsCorrectly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 8 + rng.NextBounded(120);
+    const Series a = RandomSeries(&rng, n);
+    const Series b = RandomSeries(&rng, n);
+    const double full = EuclideanDistance(a, b);
+    const double limit = rng.Uniform(0.0, 2.0 * full + 0.1);
+    const double ea =
+        EarlyAbandonEuclidean(a.data(), b.data(), n, limit);
+    if (full > limit) {
+      EXPECT_TRUE(std::isinf(ea)) << "full=" << full << " limit=" << limit;
+    } else {
+      EXPECT_NEAR(ea, full, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarlyAbandonPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(EarlyAbandonEuclideanTest, SquaredVariantMatches) {
+  Rng rng(3);
+  const Series a = RandomSeries(&rng, 32);
+  const Series b = RandomSeries(&rng, 32);
+  const double sq = EarlyAbandonSquaredEuclidean(
+      a.data(), b.data(), 32, std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(std::sqrt(sq), EuclideanDistance(a, b), 1e-12);
+}
+
+}  // namespace
+}  // namespace rotind

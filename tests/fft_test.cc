@@ -1,0 +1,138 @@
+#include "src/fourier/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+
+namespace rotind {
+namespace {
+
+std::vector<Complex> RandomComplex(Rng* rng, std::size_t n) {
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex(rng->Gaussian(0, 1), rng->Gaussian(0, 1));
+  return v;
+}
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+double MaxAbsDiff(const std::vector<Complex>& a,
+                  const std::vector<Complex>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(FftTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(251));
+}
+
+class FftVsNaiveTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsNaiveTest, MatchesNaiveDft) {
+  Rng rng(GetParam());
+  const std::vector<Complex> x = RandomComplex(&rng, GetParam());
+  const std::vector<Complex> fast = Fft(x);
+  const std::vector<Complex> slow = NaiveDft(x);
+  ASSERT_EQ(fast.size(), slow.size());
+  EXPECT_LT(MaxAbsDiff(fast, slow), 1e-7) << "n=" << GetParam();
+}
+
+// Powers of two exercise radix-2; the rest exercise Bluestein, including
+// the paper's projectile-point length 251 (prime).
+INSTANTIATE_TEST_SUITE_P(Lengths, FftVsNaiveTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 12, 16, 31, 64,
+                                           100, 128, 251, 256));
+
+class FftRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTripTest, InverseRecoversInput) {
+  Rng rng(GetParam() + 1000);
+  const std::vector<Complex> x = RandomComplex(&rng, GetParam());
+  const std::vector<Complex> back = InverseFft(Fft(x));
+  EXPECT_LT(MaxAbsDiff(back, x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTripTest,
+                         ::testing::Values(1, 2, 5, 8, 17, 64, 251, 256));
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(5);
+  for (std::size_t n : {16u, 100u, 251u}) {
+    const Series s = RandomSeries(&rng, n);
+    const std::vector<Complex> spec = FftReal(s);
+    double time_energy = 0.0;
+    for (double v : s) time_energy += v * v;
+    double freq_energy = 0.0;
+    for (const Complex& c : spec) freq_energy += std::norm(c);
+    EXPECT_NEAR(time_energy, freq_energy / static_cast<double>(n),
+                1e-7 * time_energy + 1e-9);
+  }
+}
+
+TEST(FftTest, MagnitudesInvariantToCircularShift) {
+  // The core fact behind the FFT rotation lower bound (paper Section 4.2).
+  Rng rng(6);
+  for (std::size_t n : {32u, 61u, 251u}) {
+    const Series s = RandomSeries(&rng, n);
+    const std::vector<Complex> base = FftReal(s);
+    for (long shift : {1L, 7L, static_cast<long>(n / 2)}) {
+      const std::vector<Complex> shifted = FftReal(RotateLeft(s, shift));
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(std::abs(base[k]), std::abs(shifted[k]),
+                    1e-8 * (1.0 + std::abs(base[k])))
+            << "n=" << n << " shift=" << shift << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FftTest, RealSignalHasConjugateSymmetry) {
+  Rng rng(7);
+  const std::size_t n = 24;
+  const Series s = RandomSeries(&rng, n);
+  const std::vector<Complex> spec = FftReal(s);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(std::abs(spec[k] - std::conj(spec[n - k])), 0.0, 1e-8);
+  }
+}
+
+TEST(FftTest, DeltaFunctionFlatSpectrum) {
+  Series s(16, 0.0);
+  s[0] = 1.0;
+  const std::vector<Complex> spec = FftReal(s);
+  for (const Complex& c : spec) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantSignalOnlyDcBin) {
+  Series s(32, 2.5);
+  const std::vector<Complex> spec = FftReal(s);
+  EXPECT_NEAR(std::abs(spec[0]), 2.5 * 32, 1e-9);
+  for (std::size_t k = 1; k < 32; ++k) {
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(FftTest, EmptyAndSingle) {
+  EXPECT_TRUE(Fft({}).empty());
+  const std::vector<Complex> one = {Complex(3.0, -1.0)};
+  EXPECT_EQ(Fft(one)[0], one[0]);
+}
+
+}  // namespace
+}  // namespace rotind

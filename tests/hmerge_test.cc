@@ -1,0 +1,254 @@
+#include "src/search/hmerge.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+Series SmoothRandomSeries(Rng* rng, std::size_t n) {
+  Series s = RandomSeries(rng, n);
+  for (int pass = 0; pass < 2; ++pass) {
+    Series t = s;
+    for (std::size_t i = 0; i < n; ++i) {
+      t[i] = (s[(i + n - 1) % n] + s[i] + s[(i + 1) % n]) / 3.0;
+    }
+    s = t;
+  }
+  return s;
+}
+
+/// The central exactness property (paper Section 4.1): H-Merge returns
+/// exactly the brute-force rotation-invariant distance, for every K, both
+/// hierarchies, with and without mirror candidates.
+class HMergeExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, bool, int>> {};
+
+TEST_P(HMergeExactnessTest, EuclideanMatchesBruteForceForAllK) {
+  const int seed = std::get<0>(GetParam());
+  const bool mirror = std::get<1>(GetParam());
+  const WedgeHierarchy hierarchy =
+      std::get<2>(GetParam()) == 0 ? WedgeHierarchy::kClustered
+                                   : WedgeHierarchy::kContiguous;
+  Rng rng(static_cast<std::uint64_t>(seed) * 1013 + 11);
+  const std::size_t n = 20 + rng.NextBounded(20);
+  const Series q = RandomSeries(&rng, n);
+
+  RotationOptions ropts;
+  ropts.mirror = mirror;
+  StepCounter counter;
+  WedgeTree tree(q, ropts, 0, Linkage::kAverage, hierarchy, &counter);
+  RotationSet rots(q, ropts);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const Series c = RandomSeries(&rng, n);
+    const double expected =
+        RotationInvariantEuclidean(rots, c.data()).distance;
+    for (int k : {1, 2, 3, 5, static_cast<int>(tree.max_k())}) {
+      const HMergeResult r =
+          HMerge(c.data(), tree, tree.WedgeSetForK(k), kInf, &counter);
+      ASSERT_FALSE(r.abandoned) << "k=" << k;
+      EXPECT_NEAR(r.distance, expected, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, HMergeExactnessTest,
+    ::testing::Combine(::testing::Range(1, 5), ::testing::Bool(),
+                       ::testing::Values(0, 1)));
+
+TEST(HMergeTest, DtwMatchesBruteForceForAllK) {
+  Rng rng(42);
+  const std::size_t n = 32;
+  const int band = 3;
+  const Series q = SmoothRandomSeries(&rng, n);
+  StepCounter counter;
+  WedgeTree tree(q, {}, band, &counter);
+  RotationSet rots(q, {});
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const Series c = SmoothRandomSeries(&rng, n);
+    const double expected =
+        RotationInvariantDtw(rots, c.data(), band).distance;
+    for (int k : {1, 2, 4, 8, 32}) {
+      const HMergeResult r =
+          HMerge(c.data(), tree, tree.WedgeSetForK(k), kInf, &counter);
+      ASSERT_FALSE(r.abandoned);
+      EXPECT_NEAR(r.distance, expected, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(HMergeTest, AbandonsWhenBestSoFarUnbeatable) {
+  Rng rng(7);
+  const std::size_t n = 30;
+  const Series q = RandomSeries(&rng, n);
+  StepCounter counter;
+  WedgeTree tree(q, {}, 0, &counter);
+  RotationSet rots(q, {});
+  const Series c = RandomSeries(&rng, n);
+  const double true_dist = RotationInvariantEuclidean(rots, c.data()).distance;
+  const HMergeResult r =
+      HMerge(c.data(), tree, tree.WedgeSetForK(4), true_dist * 0.9, &counter);
+  EXPECT_TRUE(r.abandoned);
+  EXPECT_TRUE(std::isinf(r.distance));
+}
+
+TEST(HMergeTest, ReportsWinningRotation) {
+  Rng rng(8);
+  const std::size_t n = 40;
+  const Series q = RandomSeries(&rng, n);
+  const Series c = RotateLeft(q, 17);
+  StepCounter counter;
+  WedgeTree tree(q, {}, 0, &counter);
+  const HMergeResult r =
+      HMerge(c.data(), tree, tree.WedgeSetForK(2), kInf, &counter);
+  ASSERT_FALSE(r.abandoned);
+  EXPECT_NEAR(r.distance, 0.0, 1e-9);
+  // RotateLeft(q, 17) compared against candidate rotations of q: the
+  // winning candidate must itself be the 17-shift.
+  EXPECT_EQ(tree.rotations().shift_of(r.rotation_index), 17);
+}
+
+TEST(HMergeTest, PruningSavesStepsVersusFlatScan) {
+  Rng rng(9);
+  const std::size_t n = 64;
+  const Series q = SmoothRandomSeries(&rng, n);
+  const Series near_match = RotateLeft(q, 5);
+  StepCounter build;
+  WedgeTree tree(q, {}, 0, &build);
+
+  // With a tight best-so-far, the hierarchal search should examine far
+  // fewer points than the n*n of a full scan.
+  StepCounter counter;
+  HMerge(near_match.data(), tree, tree.WedgeSetForK(2), 0.5, &counter);
+  EXPECT_LT(counter.steps, static_cast<std::uint64_t>(n) * n / 2);
+}
+
+TEST(WedgeSearcherTest, DistanceMatchesBruteForce) {
+  Rng rng(10);
+  const std::size_t n = 28;
+  const Series q = RandomSeries(&rng, n);
+  WedgeSearchOptions options;
+  options.kind = DistanceKind::kEuclidean;
+  StepCounter counter;
+  WedgeSearcher searcher(q, options, &counter);
+  RotationSet rots(q, {});
+  for (int trial = 0; trial < 10; ++trial) {
+    const Series c = RandomSeries(&rng, n);
+    const HMergeResult r = searcher.Distance(c.data(), kInf, &counter);
+    ASSERT_FALSE(r.abandoned);
+    EXPECT_NEAR(r.distance,
+                RotationInvariantEuclidean(rots, c.data()).distance, 1e-9);
+  }
+}
+
+TEST(WedgeSearcherTest, AdaptKStaysInRangeAndKeepsExactness) {
+  Rng rng(11);
+  const std::size_t n = 24;
+  const Series q = RandomSeries(&rng, n);
+  WedgeSearchOptions options;
+  options.dynamic_k = true;
+  options.initial_k = 2;
+  StepCounter counter;
+  WedgeSearcher searcher(q, options, &counter);
+  RotationSet rots(q, {});
+
+  double best = kInf;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Series c = RandomSeries(&rng, n);
+    const double expected =
+        RotationInvariantEuclidean(rots, c.data()).distance;
+    const HMergeResult r = searcher.Distance(c.data(), best, &counter);
+    if (!r.abandoned) {
+      EXPECT_NEAR(r.distance, expected, 1e-9);
+      EXPECT_LE(r.distance, best);
+      best = r.distance;
+      searcher.AdaptK(c.data(), best, &counter);
+      EXPECT_GE(searcher.current_k(), 1);
+      EXPECT_LE(searcher.current_k(), static_cast<int>(n));
+    } else {
+      EXPECT_GE(expected, best - 1e-9);  // never falsely abandons
+    }
+  }
+}
+
+TEST(WedgeSearcherTest, FixedKDisablesAdaptation) {
+  Rng rng(12);
+  const Series q = RandomSeries(&rng, 20);
+  WedgeSearchOptions options;
+  options.dynamic_k = false;
+  options.fixed_k = 4;
+  StepCounter counter;
+  WedgeSearcher searcher(q, options, &counter);
+  EXPECT_EQ(searcher.current_k(), 4);
+  const Series c = RandomSeries(&rng, 20);
+  searcher.AdaptK(c.data(), 1.0, &counter);
+  EXPECT_EQ(searcher.current_k(), 4);
+}
+
+TEST(WedgeSearcherTest, MirrorAndLimitedOptionsAreExact) {
+  Rng rng(13);
+  const std::size_t n = 26;
+  const Series q = RandomSeries(&rng, n);
+  RotationOptions ropts;
+  ropts.mirror = true;
+  ropts.max_shift = 6;
+  WedgeSearchOptions options;
+  options.rotation = ropts;
+  StepCounter counter;
+  WedgeSearcher searcher(q, options, &counter);
+  RotationSet rots(q, ropts);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Series c = RandomSeries(&rng, n);
+    const HMergeResult r = searcher.Distance(c.data(), kInf, &counter);
+    ASSERT_FALSE(r.abandoned);
+    EXPECT_NEAR(r.distance,
+                RotationInvariantEuclidean(rots, c.data()).distance, 1e-9);
+  }
+}
+
+TEST(WedgeSearcherTest, DtwSearcherNeverFalselyAbandons) {
+  Rng rng(14);
+  const std::size_t n = 24;
+  const int band = 2;
+  const Series q = SmoothRandomSeries(&rng, n);
+  WedgeSearchOptions options;
+  options.kind = DistanceKind::kDtw;
+  options.band = band;
+  StepCounter counter;
+  WedgeSearcher searcher(q, options, &counter);
+  RotationSet rots(q, {});
+
+  double best = kInf;
+  for (int trial = 0; trial < 15; ++trial) {
+    const Series c = SmoothRandomSeries(&rng, n);
+    const double expected =
+        RotationInvariantDtw(rots, c.data(), band).distance;
+    const HMergeResult r = searcher.Distance(c.data(), best, &counter);
+    if (!r.abandoned) {
+      EXPECT_NEAR(r.distance, expected, 1e-9);
+      best = r.distance;
+      searcher.AdaptK(c.data(), best, &counter);
+    } else {
+      EXPECT_GE(expected, best - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,112 @@
+/// Exact k-NN on the disk-backed rotation-invariant index, validated
+/// against directly computed distances.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/datasets/synthetic.h"
+#include "src/distance/rotation.h"
+#include "src/index/candidate_scan.h"
+
+namespace rotind {
+namespace {
+
+Series NoisyRotation(const Series& base, Rng* rng) {
+  Series q = RotateLeft(base, static_cast<long>(rng->NextBounded(base.size())));
+  for (double& v : q) v += rng->Gaussian(0.0, 0.05);
+  ZNormalize(&q);
+  return q;
+}
+
+class IndexKnnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexKnnTest, EuclideanKnnMatchesDirectComputation) {
+  const int k = GetParam();
+  const std::size_t n = 48;
+  const std::vector<Series> db = MakeProjectilePointsDatabase(60, n, 31);
+  RotationInvariantIndex::Options opts;
+  opts.dims = 8;
+  RotationInvariantIndex index(db, opts);
+
+  Rng rng(static_cast<std::uint64_t>(k) * 5 + 3);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Series q = NoisyRotation(db[rng.NextBounded(db.size())], &rng);
+
+    std::vector<std::pair<double, int>> ref;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      ref.emplace_back(RotationInvariantEuclidean(q, db[i]),
+                       static_cast<int>(i));
+    }
+    std::sort(ref.begin(), ref.end());
+
+    RotationInvariantIndex::Result stats;
+    const auto knn = index.KNearestNeighbors(q, k, &stats);
+    ASSERT_EQ(knn.size(), static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(knn[static_cast<std::size_t>(i)].distance,
+                  ref[static_cast<std::size_t>(i)].first, 1e-9)
+          << "k=" << k << " i=" << i;
+    }
+    EXPECT_EQ(stats.best_index, knn[0].index);
+    EXPECT_LE(stats.fetch_fraction, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, IndexKnnTest, ::testing::Values(1, 3, 7));
+
+TEST(IndexKnnTest, DtwKnnMatchesDirectComputation) {
+  const std::size_t n = 40;
+  const int band = 3;
+  const std::vector<Series> db = MakeProjectilePointsDatabase(40, n, 32);
+  RotationInvariantIndex::Options opts;
+  opts.dims = 8;
+  opts.kind = DistanceKind::kDtw;
+  opts.band = band;
+  RotationInvariantIndex index(db, opts);
+
+  Rng rng(7);
+  const Series q = NoisyRotation(db[13], &rng);
+
+  std::vector<std::pair<double, int>> ref;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    ref.emplace_back(RotationInvariantDtw(q, db[i], band),
+                     static_cast<int>(i));
+  }
+  std::sort(ref.begin(), ref.end());
+
+  const auto knn = index.KNearestNeighbors(q, 5);
+  ASSERT_EQ(knn.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(knn[static_cast<std::size_t>(i)].distance,
+                ref[static_cast<std::size_t>(i)].first, 1e-9);
+  }
+}
+
+TEST(IndexKnnTest, KLargerThanDatabase) {
+  const std::vector<Series> db = MakeProjectilePointsDatabase(5, 32, 33);
+  RotationInvariantIndex::Options opts;
+  opts.dims = 8;
+  RotationInvariantIndex index(db, opts);
+  const auto knn = index.KNearestNeighbors(db[0], 10);
+  EXPECT_EQ(knn.size(), 5u);
+  EXPECT_EQ(knn[0].index, 0);  // the object itself at distance 0
+}
+
+TEST(IndexKnnTest, KnnOneMatchesNearestNeighbor) {
+  const std::vector<Series> db = MakeProjectilePointsDatabase(50, 40, 34);
+  RotationInvariantIndex::Options opts;
+  opts.dims = 8;
+  RotationInvariantIndex index(db, opts);
+  Rng rng(8);
+  const Series q = NoisyRotation(db[21], &rng);
+  const auto nn = index.NearestNeighbor(q);
+  const auto knn = index.KNearestNeighbors(q, 1);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].index, nn.best_index);
+  EXPECT_NEAR(knn[0].distance, nn.best_distance, 1e-12);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,148 @@
+#include "src/distance/lcss.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+
+namespace rotind {
+namespace {
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+TEST(LcssTest, IdenticalSeriesMatchFully) {
+  const Series s = {1.0, 2.0, 3.0, 4.0};
+  LcssOptions opts;
+  opts.epsilon = 0.1;
+  EXPECT_EQ(LcssLength(s.data(), s.data(), s.size(), opts), 4u);
+  EXPECT_DOUBLE_EQ(LcssSimilarity(s, s, opts), 1.0);
+  EXPECT_DOUBLE_EQ(LcssDistance(s, s, opts), 0.0);
+}
+
+TEST(LcssTest, CompletelyDifferentSeriesMatchNothing) {
+  const Series a = {0.0, 0.0, 0.0};
+  const Series b = {100.0, 100.0, 100.0};
+  LcssOptions opts;
+  opts.epsilon = 0.5;
+  EXPECT_EQ(LcssLength(a.data(), b.data(), 3, opts), 0u);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, opts), 1.0);
+}
+
+TEST(LcssTest, LargeEpsilonMatchesEverything) {
+  Rng rng(1);
+  const Series a = RandomSeries(&rng, 20);
+  const Series b = RandomSeries(&rng, 20);
+  LcssOptions opts;
+  opts.epsilon = 1e9;
+  EXPECT_EQ(LcssLength(a.data(), b.data(), 20, opts), 20u);
+}
+
+TEST(LcssTest, ClassicSubsequence) {
+  // q matches c at values 1, 3 (|diff| <= 0.1) in order.
+  const Series q = {1.0, 2.0, 3.0};
+  const Series c = {1.0, 3.0, 9.0};
+  LcssOptions opts;
+  opts.epsilon = 0.1;
+  EXPECT_EQ(LcssLength(q.data(), c.data(), 3, opts), 2u);
+}
+
+TEST(LcssTest, DeltaWindowRestrictsMatching) {
+  // The matching values sit 3 positions apart; delta=1 forbids the match.
+  const Series q = {5.0, 0.0, 0.0, 0.0};
+  const Series c = {9.0, 9.0, 9.0, 5.0};
+  LcssOptions tight;
+  tight.epsilon = 0.1;
+  tight.delta = 1;
+  EXPECT_EQ(LcssLength(q.data(), c.data(), 4, tight), 0u);
+  LcssOptions loose = tight;
+  loose.delta = 3;
+  EXPECT_EQ(LcssLength(q.data(), c.data(), 4, loose), 1u);
+}
+
+TEST(LcssTest, RobustToOcclusion) {
+  // LCSS's raison d'etre (paper Figure 14): deleting a chunk of the series
+  // (a missing nose / broken tang) only costs the chunk itself.
+  Rng rng(2);
+  Series base = RandomSeries(&rng, 50);
+  Series occluded = base;
+  for (std::size_t i = 20; i < 30; ++i) occluded[i] = 50.0;  // "missing" part
+  LcssOptions opts;
+  opts.epsilon = 0.2;
+  const std::size_t len =
+      LcssLength(base.data(), occluded.data(), 50, opts);
+  EXPECT_GE(len, 40u);
+  EXPECT_LE(len, 50u);
+}
+
+TEST(LcssTest, MonotoneInEpsilon) {
+  Rng rng(3);
+  const Series a = RandomSeries(&rng, 40);
+  const Series b = RandomSeries(&rng, 40);
+  std::size_t prev = 0;
+  for (double eps : {0.01, 0.1, 0.5, 1.0, 3.0}) {
+    LcssOptions opts;
+    opts.epsilon = eps;
+    const std::size_t len = LcssLength(a.data(), b.data(), 40, opts);
+    EXPECT_GE(len, prev);
+    prev = len;
+  }
+}
+
+TEST(LcssTest, MonotoneInDelta) {
+  Rng rng(4);
+  const Series a = RandomSeries(&rng, 40);
+  const Series b = RandomSeries(&rng, 40);
+  std::size_t prev = 0;
+  for (int delta : {0, 1, 2, 5, 10, 39}) {
+    LcssOptions opts;
+    opts.epsilon = 0.5;
+    opts.delta = delta;
+    const std::size_t len = LcssLength(a.data(), b.data(), 40, opts);
+    EXPECT_GE(len, prev) << "delta=" << delta;
+    prev = len;
+  }
+}
+
+TEST(LcssTest, SymmetricForEqualLengths) {
+  Rng rng(5);
+  const Series a = RandomSeries(&rng, 30);
+  const Series b = RandomSeries(&rng, 30);
+  LcssOptions opts;
+  opts.epsilon = 0.4;
+  opts.delta = 5;
+  EXPECT_EQ(LcssLength(a.data(), b.data(), 30, opts),
+            LcssLength(b.data(), a.data(), 30, opts));
+}
+
+TEST(LcssTest, DistanceInUnitInterval) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Series a = RandomSeries(&rng, 25);
+    const Series b = RandomSeries(&rng, 25);
+    LcssOptions opts;
+    opts.epsilon = rng.Uniform(0.05, 1.0);
+    const double d = LcssDistance(a, b, opts);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(LcssTest, CounterCountsCells) {
+  const Series a = {1.0, 2.0, 3.0};
+  const Series b = {1.0, 2.0, 3.0};
+  LcssOptions opts;
+  opts.epsilon = 0.1;
+  StepCounter counter;
+  LcssLength(a.data(), b.data(), 3, opts, &counter);
+  EXPECT_EQ(counter.steps, 9u);  // unconstrained: full 3x3 DP
+  counter.Reset();
+  opts.delta = 1;
+  LcssLength(a.data(), b.data(), 3, opts, &counter);
+  EXPECT_EQ(counter.steps, 7u);  // banded
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,106 @@
+#include "src/lightcurve/lightcurve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/distance/euclidean.h"
+#include "src/distance/rotation.h"
+
+namespace rotind {
+namespace {
+
+TEST(LightCurveTest, TemplatesAreZNormalised) {
+  for (auto cls : {VariableStarClass::kEclipsingBinary,
+                   VariableStarClass::kRrLyrae,
+                   VariableStarClass::kCepheid}) {
+    const Series t = LightCurveTemplate(cls, 256);
+    ASSERT_EQ(t.size(), 256u);
+    EXPECT_NEAR(Mean(t), 0.0, 1e-9) << ToString(cls);
+    EXPECT_NEAR(StdDev(t), 1.0, 1e-9) << ToString(cls);
+  }
+}
+
+TEST(LightCurveTest, TemplatesAreMutuallyDistinct) {
+  const std::size_t n = 128;
+  const Series eb =
+      LightCurveTemplate(VariableStarClass::kEclipsingBinary, n);
+  const Series rr = LightCurveTemplate(VariableStarClass::kRrLyrae, n);
+  const Series cep = LightCurveTemplate(VariableStarClass::kCepheid, n);
+  // Even under best rotation alignment the classes stay well separated.
+  EXPECT_GT(RotationInvariantEuclidean(eb, rr), 3.0);
+  EXPECT_GT(RotationInvariantEuclidean(eb, cep), 3.0);
+  EXPECT_GT(RotationInvariantEuclidean(rr, cep), 3.0);
+}
+
+TEST(LightCurveTest, GeneratedCurveNearItsTemplateUnderRotation) {
+  Rng rng(1);
+  LightCurveOptions opts;
+  opts.noise_sigma = 0.05;
+  opts.shape_jitter = 0.02;
+  const std::size_t n = 128;
+  for (auto cls : {VariableStarClass::kEclipsingBinary,
+                   VariableStarClass::kRrLyrae,
+                   VariableStarClass::kCepheid}) {
+    const Series curve = GenerateLightCurve(cls, n, &rng, opts);
+    const Series tmpl = LightCurveTemplate(cls, n);
+    // The random phase makes the ALIGNED distance large but the
+    // rotation-invariant distance small — the core premise of Section 2.4.
+    EXPECT_LT(RotationInvariantEuclidean(curve, tmpl), 4.0) << ToString(cls);
+  }
+}
+
+TEST(LightCurveTest, RandomPhaseActuallyShifts) {
+  Rng rng(2);
+  LightCurveOptions opts;
+  opts.noise_sigma = 0.0;
+  opts.shape_jitter = 0.0;
+  const std::size_t n = 256;
+  // With many draws, at least one should be visibly misaligned from the
+  // template even though rotation-invariant distance is ~0.
+  bool some_misaligned = false;
+  const Series tmpl = LightCurveTemplate(VariableStarClass::kRrLyrae, n);
+  for (int i = 0; i < 8; ++i) {
+    const Series c =
+        GenerateLightCurve(VariableStarClass::kRrLyrae, n, &rng, opts);
+    if (EuclideanDistance(c, tmpl) > 1.0) some_misaligned = true;
+    EXPECT_LT(RotationInvariantEuclidean(c, tmpl), 0.5);
+  }
+  EXPECT_TRUE(some_misaligned);
+}
+
+TEST(LightCurveDatasetTest, SizesAndLabels) {
+  const Dataset ds = MakeLightCurveDataset(10, 64, 123);
+  EXPECT_EQ(ds.size(), 30u);
+  EXPECT_EQ(ds.length(), 64u);
+  ASSERT_EQ(ds.labels.size(), 30u);
+  int counts[3] = {0, 0, 0};
+  for (int label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LE(label, 2);
+    ++counts[label];
+  }
+  EXPECT_EQ(counts[0], 10);
+  EXPECT_EQ(counts[1], 10);
+  EXPECT_EQ(counts[2], 10);
+  EXPECT_EQ(ds.names.size(), 30u);
+}
+
+TEST(LightCurveDatasetTest, DeterministicForSeed) {
+  const Dataset a = MakeLightCurveDataset(5, 32, 7);
+  const Dataset b = MakeLightCurveDataset(5, 32, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items[i], b.items[i]);
+  }
+}
+
+TEST(ToStringTest, Names) {
+  EXPECT_EQ(ToString(VariableStarClass::kEclipsingBinary), "EclipsingBinary");
+  EXPECT_EQ(ToString(VariableStarClass::kRrLyrae), "RRLyrae");
+  EXPECT_EQ(ToString(VariableStarClass::kCepheid), "Cepheid");
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,181 @@
+#include "src/mining/motif.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/datasets/synthetic.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Series RandomZSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  ZNormalize(&s);
+  return s;
+}
+
+/// Reference all-pairs motif via brute force.
+MotifResult BruteMotif(const std::vector<Series>& db, DistanceKind kind,
+                       int band, const RotationOptions& rotation) {
+  MotifResult best;
+  best.distance = kInf;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    for (std::size_t j = i + 1; j < db.size(); ++j) {
+      const double d =
+          kind == DistanceKind::kEuclidean
+              ? RotationInvariantEuclidean(db[i], db[j], rotation)
+              : RotationInvariantDtw(db[i], db[j], band, rotation);
+      if (d < best.distance) {
+        best.distance = d;
+        best.first = static_cast<int>(i);
+        best.second = static_cast<int>(j);
+      }
+    }
+  }
+  return best;
+}
+
+TEST(MotifTest, FindsPlantedPairEuclidean) {
+  Rng rng(1);
+  const std::size_t n = 48;
+  std::vector<Series> db;
+  for (int i = 0; i < 20; ++i) db.push_back(RandomZSeries(&rng, n));
+  // Plant: 13 is a slightly noisy rotation of 4.
+  Series twin = RotateLeft(db[4], 17);
+  for (double& v : twin) v += rng.Gaussian(0.0, 0.01);
+  ZNormalize(&twin);
+  db[13] = twin;
+
+  const MotifResult r = FindMotifPair(db);
+  EXPECT_EQ(std::min(r.first, r.second), 4);
+  EXPECT_EQ(std::max(r.first, r.second), 13);
+  EXPECT_LT(r.distance, 0.5);
+}
+
+class MotifExactnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MotifExactnessTest, MatchesBruteForceEuclidean) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 13);
+  const std::size_t n = 24 + rng.NextBounded(16);
+  std::vector<Series> db;
+  for (int i = 0; i < 12; ++i) db.push_back(RandomZSeries(&rng, n));
+
+  const MotifResult fast = FindMotifPair(db);
+  const MotifResult brute = BruteMotif(db, DistanceKind::kEuclidean, 0, {});
+  EXPECT_NEAR(fast.distance, brute.distance, 1e-9);
+  EXPECT_EQ(fast.first, brute.first);
+  EXPECT_EQ(fast.second, brute.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MotifExactnessTest, ::testing::Range(1, 7));
+
+TEST(MotifTest, DtwModeMatchesBruteForce) {
+  Rng rng(9);
+  const std::size_t n = 24;
+  std::vector<Series> db;
+  for (int i = 0; i < 8; ++i) db.push_back(RandomZSeries(&rng, n));
+  MiningOptions options;
+  options.kind = DistanceKind::kDtw;
+  options.band = 3;
+  const MotifResult fast = FindMotifPair(db, options);
+  const MotifResult brute = BruteMotif(db, DistanceKind::kDtw, 3, {});
+  EXPECT_NEAR(fast.distance, brute.distance, 1e-9);
+  EXPECT_EQ(fast.first, brute.first);
+  EXPECT_EQ(fast.second, brute.second);
+}
+
+TEST(MotifTest, MirrorMotif) {
+  Rng rng(10);
+  const std::size_t n = 32;
+  std::vector<Series> db;
+  for (int i = 0; i < 10; ++i) db.push_back(RandomZSeries(&rng, n));
+  db[7] = RotateLeft(Reversed(db[2]), 5);
+
+  MiningOptions options;
+  options.rotation.mirror = true;
+  const MotifResult r = FindMotifPair(db, options);
+  EXPECT_EQ(std::min(r.first, r.second), 2);
+  EXPECT_EQ(std::max(r.first, r.second), 7);
+  EXPECT_NEAR(r.distance, 0.0, 1e-9);
+  EXPECT_TRUE(r.mirrored);
+}
+
+TEST(MotifTest, SignatureOrderingSavesWork) {
+  // On clustered data the motif should be confirmed after evaluating only
+  // a few pairs exactly.
+  const std::vector<Series> db = MakeProjectilePointsDatabase(60, 64, 5);
+  const MotifResult r = FindMotifPair(db);
+  EXPECT_GE(r.first, 0);
+  // Full brute force would be 60*59/2 * 64 * 64 steps ~ 7.2M.
+  EXPECT_LT(r.counter.total_steps(), 3000000u);
+}
+
+TEST(DiscordTest, FindsPlantedOutlier) {
+  // The ref [29] scenario: a database of similar light-curve-like series
+  // plus one oddball; the discord must be the oddball.
+  Rng rng(11);
+  const std::size_t n = 48;
+  const Series base = RandomZSeries(&rng, n);
+  std::vector<Series> db;
+  for (int i = 0; i < 15; ++i) {
+    Series c = RotateLeft(base, static_cast<long>(rng.NextBounded(n)));
+    for (double& v : c) v += rng.Gaussian(0.0, 0.05);
+    ZNormalize(&c);
+    db.push_back(std::move(c));
+  }
+  db[9] = RandomZSeries(&rng, n);  // the outlier
+
+  const DiscordResult r = FindDiscord(db);
+  EXPECT_EQ(r.index, 9);
+  EXPECT_GT(r.distance, 1.0);
+  EXPECT_NE(r.nearest_neighbor, 9);
+}
+
+TEST(DiscordTest, MatchesBruteForceDefinition) {
+  Rng rng(12);
+  const std::size_t n = 30;
+  std::vector<Series> db;
+  for (int i = 0; i < 10; ++i) db.push_back(RandomZSeries(&rng, n));
+
+  const DiscordResult fast = FindDiscord(db);
+
+  double best = -1.0;
+  int expected = -1;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    double nn = kInf;
+    for (std::size_t j = 0; j < db.size(); ++j) {
+      if (i == j) continue;
+      nn = std::min(nn, RotationInvariantEuclidean(db[i], db[j]));
+    }
+    if (nn > best) {
+      best = nn;
+      expected = static_cast<int>(i);
+    }
+  }
+  EXPECT_EQ(fast.index, expected);
+  EXPECT_NEAR(fast.distance, best, 1e-9);
+}
+
+TEST(PairwiseDistanceMatrixTest, MatchesDirectDistances) {
+  Rng rng(13);
+  const std::size_t n = 20;
+  std::vector<Series> db;
+  for (int i = 0; i < 7; ++i) db.push_back(RandomZSeries(&rng, n));
+  const std::vector<double> condensed = PairwiseDistanceMatrix(db);
+  ASSERT_EQ(condensed.size(), 21u);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    for (std::size_t j = i + 1; j < db.size(); ++j) {
+      EXPECT_NEAR(condensed[pos++],
+                  RotationInvariantEuclidean(db[i], db[j]), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,221 @@
+#include "src/distance/rotation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+
+namespace rotind {
+namespace {
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+TEST(RotationSetTest, EnumeratesAllRotations) {
+  const Series s = {1.0, 2.0, 3.0, 4.0};
+  RotationSet rots(s, {});
+  EXPECT_EQ(rots.count(), 4u);
+  EXPECT_EQ(rots.length(), 4u);
+  for (std::size_t r = 0; r < rots.count(); ++r) {
+    const Series expected = RotateLeft(s, rots.shift_of(r));
+    const double* p = rots.rotation(r);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(p[i], expected[i]) << "r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST(RotationSetTest, MirrorDoublesTheCandidates) {
+  const Series s = {1.0, 2.0, 3.0};
+  RotationOptions opts;
+  opts.mirror = true;
+  RotationSet rots(s, opts);
+  EXPECT_EQ(rots.count(), 6u);
+  int mirrored = 0;
+  for (std::size_t r = 0; r < rots.count(); ++r) {
+    if (rots.mirrored_of(r)) ++mirrored;
+  }
+  EXPECT_EQ(mirrored, 3);
+}
+
+TEST(RotationSetTest, MirroredCandidatesAreRotationsOfReversal) {
+  const Series s = {1.0, 5.0, 2.0, 8.0};
+  RotationOptions opts;
+  opts.mirror = true;
+  RotationSet rots(s, opts);
+  const Series rev = Reversed(s);
+  for (std::size_t r = 0; r < rots.count(); ++r) {
+    if (!rots.mirrored_of(r)) continue;
+    const Series expected = RotateLeft(rev, rots.shift_of(r));
+    EXPECT_EQ(rots.Materialize(r), expected);
+  }
+}
+
+TEST(RotationSetTest, MaxShiftLimitsCandidates) {
+  const Series s = Series(12, 0.0);
+  RotationOptions opts;
+  opts.max_shift = 2;
+  RotationSet rots(s, opts);
+  // Shifts 0, 1, 2, 10, 11 have circular displacement <= 2.
+  EXPECT_EQ(rots.count(), 5u);
+  for (std::size_t r = 0; r < rots.count(); ++r) {
+    const int k = rots.shift_of(r);
+    EXPECT_LE(std::min(k, 12 - k), 2);
+  }
+}
+
+TEST(RotationSetTest, MaxShiftZeroKeepsIdentityOnly) {
+  const Series s = Series(8, 1.0);
+  RotationOptions opts;
+  opts.max_shift = 0;
+  RotationSet rots(s, opts);
+  EXPECT_EQ(rots.count(), 1u);
+  EXPECT_EQ(rots.shift_of(0), 0);
+}
+
+TEST(RotationInvariantEuclideanTest, FindsPlantedRotation) {
+  Rng rng(1);
+  const Series q = RandomSeries(&rng, 32);
+  const Series c = RotateLeft(q, 7);
+  EXPECT_NEAR(RotationInvariantEuclidean(q, c), 0.0, 1e-12);
+}
+
+TEST(RotationInvariantEuclideanTest, InvariantToRotationOfEitherSide) {
+  Rng rng(2);
+  const Series q = RandomSeries(&rng, 24);
+  const Series c = RandomSeries(&rng, 24);
+  const double base = RotationInvariantEuclidean(q, c);
+  for (long k : {1L, 5L, 13L}) {
+    EXPECT_NEAR(RotationInvariantEuclidean(q, RotateLeft(c, k)), base, 1e-9);
+    EXPECT_NEAR(RotationInvariantEuclidean(RotateLeft(q, k), c), base, 1e-9);
+  }
+}
+
+TEST(RotationInvariantEuclideanTest, NeverExceedsAlignedDistance) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Series q = RandomSeries(&rng, 20);
+    const Series c = RandomSeries(&rng, 20);
+    EXPECT_LE(RotationInvariantEuclidean(q, c),
+              EuclideanDistance(q, c) + 1e-12);
+  }
+}
+
+TEST(RotationInvariantEuclideanTest, MirrorFindsReversedMatch) {
+  Rng rng(4);
+  const Series q = RandomSeries(&rng, 30);
+  const Series c = RotateLeft(Reversed(q), 11);
+  RotationOptions no_mirror;
+  RotationOptions with_mirror;
+  with_mirror.mirror = true;
+  EXPECT_GT(RotationInvariantEuclidean(q, c, no_mirror), 0.5);
+  EXPECT_NEAR(RotationInvariantEuclidean(q, c, with_mirror), 0.0, 1e-12);
+}
+
+TEST(RotationInvariantEuclideanTest, RotationLimitedMissesFarRotation) {
+  Rng rng(5);
+  const Series q = RandomSeries(&rng, 40);
+  const Series c = RotateLeft(q, 20);  // opposite side of the circle
+  RotationOptions limited;
+  limited.max_shift = 3;
+  EXPECT_GT(RotationInvariantEuclidean(q, c, limited), 0.1);
+  limited.max_shift = 20;
+  EXPECT_NEAR(RotationInvariantEuclidean(q, c, limited), 0.0, 1e-12);
+}
+
+TEST(EarlyAbandonRotationEuclideanTest, MatchesFullScan) {
+  Rng rng(6);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Series q = RandomSeries(&rng, 28);
+    const Series c = RandomSeries(&rng, 28);
+    RotationSet rots(q, {});
+    const RotationMatch full = RotationInvariantEuclidean(rots, c.data());
+    const RotationMatch ea = EarlyAbandonRotationEuclidean(
+        rots, c.data(), std::numeric_limits<double>::infinity());
+    ASSERT_FALSE(ea.abandoned);
+    EXPECT_NEAR(ea.distance, full.distance, 1e-9);
+  }
+}
+
+TEST(EarlyAbandonRotationEuclideanTest, AbandonsWhenBestSoFarIsBetter) {
+  Rng rng(7);
+  const Series q = RandomSeries(&rng, 28);
+  const Series c = RandomSeries(&rng, 28);
+  RotationSet rots(q, {});
+  const double full = RotationInvariantEuclidean(rots, c.data()).distance;
+  const RotationMatch ea =
+      EarlyAbandonRotationEuclidean(rots, c.data(), full * 0.5);
+  EXPECT_TRUE(ea.abandoned);
+  EXPECT_TRUE(std::isinf(ea.distance));
+}
+
+TEST(RotationInvariantDtwTest, FindsPlantedRotationUnderWarping) {
+  Rng rng(8);
+  Series q = RandomSeries(&rng, 48);
+  // Smooth the series so small warps are meaningful.
+  for (int pass = 0; pass < 3; ++pass) {
+    Series sm = q;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      sm[i] = (q[i] + q[(i + 1) % q.size()] + q[(i + 47) % q.size()]) / 3.0;
+    }
+    q = sm;
+  }
+  const Series c = RotateLeft(q, 13);
+  EXPECT_NEAR(RotationInvariantDtw(q, c, 3), 0.0, 1e-9);
+}
+
+TEST(RotationInvariantDtwTest, LessOrEqualRotationEuclidean) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Series q = RandomSeries(&rng, 24);
+    const Series c = RandomSeries(&rng, 24);
+    EXPECT_LE(RotationInvariantDtw(q, c, 4),
+              RotationInvariantEuclidean(q, c) + 1e-9);
+  }
+}
+
+TEST(EarlyAbandonRotationDtwTest, MatchesFullScan) {
+  Rng rng(10);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Series q = RandomSeries(&rng, 32);
+    const Series c = RandomSeries(&rng, 32);
+    RotationSet rots(q, {});
+    const RotationMatch full =
+        RotationInvariantDtw(rots, c.data(), /*band=*/4);
+    const RotationMatch ea = EarlyAbandonRotationDtw(
+        rots, c.data(), 4, std::numeric_limits<double>::infinity());
+    ASSERT_FALSE(ea.abandoned);
+    EXPECT_NEAR(ea.distance, full.distance, 1e-9);
+  }
+}
+
+TEST(RotationInvariantLcssTest, PerfectMatchUnderRotation) {
+  Rng rng(11);
+  const Series q = RandomSeries(&rng, 30);
+  const Series c = RotateLeft(q, 9);
+  LcssOptions opts;
+  opts.epsilon = 1e-9;
+  RotationSet rots(q, {});
+  const RotationMatch m = RotationInvariantLcss(rots, c.data(), opts);
+  EXPECT_NEAR(m.distance, 0.0, 1e-12);
+  EXPECT_EQ(rots.shift_of(m.rotation_index), 9);
+}
+
+TEST(RotationInvariantEuclideanTest, StepCountIsRotationsTimesLength) {
+  const std::size_t n = 16;
+  Rng rng(12);
+  const Series q = RandomSeries(&rng, n);
+  const Series c = RandomSeries(&rng, n);
+  StepCounter counter;
+  RotationInvariantEuclidean(q, c, {}, &counter);
+  EXPECT_EQ(counter.steps, n * n);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,151 @@
+#include "src/io/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/datasets/synthetic.h"
+
+namespace rotind {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Dataset SampleDataset() {
+  SyntheticDatasetSpec spec;
+  spec.name = "io";
+  spec.num_classes = 3;
+  spec.instances_per_class = 4;
+  spec.length = 24;
+  spec.seed = 7;
+  return MakeSyntheticShapeDataset(spec);
+}
+
+TEST(BinarySerializeTest, RoundTripPreservesEverything) {
+  const Dataset original = SampleDataset();
+  const std::string path = TempPath("rotind_roundtrip.bin");
+  ASSERT_TRUE(SaveDatasetBinary(original, path));
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetBinary(path, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.length(), original.length());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.items[i], original.items[i]) << i;  // bit-exact
+  }
+  EXPECT_EQ(loaded.labels, original.labels);
+  EXPECT_EQ(loaded.names, original.names);
+  std::remove(path.c_str());
+}
+
+TEST(BinarySerializeTest, UnlabelledDataset) {
+  Dataset ds;
+  ds.items = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::string path = TempPath("rotind_unlabelled.bin");
+  ASSERT_TRUE(SaveDatasetBinary(ds, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetBinary(path, &loaded));
+  EXPECT_TRUE(loaded.labels.empty());
+  EXPECT_TRUE(loaded.names.empty());
+  EXPECT_EQ(loaded.items, ds.items);
+  std::remove(path.c_str());
+}
+
+TEST(BinarySerializeTest, MissingFileFails) {
+  Dataset out;
+  EXPECT_FALSE(LoadDatasetBinary("/nonexistent/rotind.bin", &out));
+  EXPECT_FALSE(LoadDatasetBinary(TempPath("rotind_missing.bin"), nullptr));
+}
+
+TEST(BinarySerializeTest, CorruptMagicFails) {
+  const std::string path = TempPath("rotind_corrupt.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOT A ROTIND FILE", f);
+    std::fclose(f);
+  }
+  Dataset out;
+  EXPECT_FALSE(LoadDatasetBinary(path, &out));
+  std::remove(path.c_str());
+}
+
+TEST(BinarySerializeTest, TruncatedFileFails) {
+  const Dataset original = SampleDataset();
+  const std::string path = TempPath("rotind_trunc.bin");
+  ASSERT_TRUE(SaveDatasetBinary(original, path));
+  std::filesystem::resize_file(path, 40);  // chop mid-payload
+  Dataset out;
+  EXPECT_FALSE(LoadDatasetBinary(path, &out));
+  std::remove(path.c_str());
+}
+
+TEST(UcrSerializeTest, RoundTripValuesAndLabels) {
+  const Dataset original = SampleDataset();
+  const std::string path = TempPath("rotind_ucr.csv");
+  ASSERT_TRUE(SaveDatasetUcr(original, path));
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetUcr(path, &loaded));
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.labels, original.labels);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded.items[i].size(), original.items[i].size());
+    for (std::size_t j = 0; j < original.length(); ++j) {
+      EXPECT_NEAR(loaded.items[i][j], original.items[i][j], 1e-12);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UcrSerializeTest, ParsesWhitespaceAndTabSeparated) {
+  const std::string path = TempPath("rotind_ucr_ws.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1 0.5 -0.25 3.0\n", f);
+    std::fputs("2\t1.0\t2.0\t3.0\n", f);
+    std::fputs("\n", f);  // blank lines are skipped
+    std::fclose(f);
+  }
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetUcr(path, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.labels, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loaded.items[0], (Series{0.5, -0.25, 3.0}));
+  std::remove(path.c_str());
+}
+
+TEST(UcrSerializeTest, RejectsRaggedRows) {
+  const std::string path = TempPath("rotind_ucr_ragged.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("1,0.5,1.5\n", f);
+    std::fputs("2,0.5\n", f);  // different length
+    std::fclose(f);
+  }
+  Dataset loaded;
+  EXPECT_FALSE(LoadDatasetUcr(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(UcrSerializeTest, RejectsEmptyAndMissing) {
+  Dataset loaded;
+  EXPECT_FALSE(LoadDatasetUcr("/nonexistent/rotind.csv", &loaded));
+  const std::string path = TempPath("rotind_ucr_empty.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadDatasetUcr(path, &loaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rotind

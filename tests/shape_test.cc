@@ -1,0 +1,236 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/distance/euclidean.h"
+#include "src/distance/rotation.h"
+#include "src/shape/bitmap.h"
+#include "src/shape/contour.h"
+#include "src/shape/generate.h"
+#include "src/shape/profile.h"
+
+namespace rotind {
+namespace {
+
+std::vector<Point2> SquarePolygon() {
+  return {{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}};
+}
+
+std::vector<Point2> CirclePolygon(double radius, int points) {
+  std::vector<Point2> out;
+  for (int i = 0; i < points; ++i) {
+    const double t = 2 * 3.14159265358979 * i / points;
+    out.push_back({radius * std::cos(t), radius * std::sin(t)});
+  }
+  return out;
+}
+
+TEST(BitmapTest, SetAndGetWithBoundsChecks) {
+  Bitmap b(10, 8);
+  EXPECT_EQ(b.width(), 10);
+  EXPECT_EQ(b.height(), 8);
+  EXPECT_FALSE(b.at(3, 3));
+  b.set(3, 3, true);
+  EXPECT_TRUE(b.at(3, 3));
+  b.set(-1, 0, true);   // silently ignored
+  b.set(100, 0, true);  // silently ignored
+  EXPECT_FALSE(b.at(-1, 0));
+  EXPECT_FALSE(b.at(100, 0));
+}
+
+TEST(BitmapTest, PolygonFillCoversInterior) {
+  const Bitmap b = Bitmap::FromPolygon(SquarePolygon(), 64);
+  EXPECT_GT(b.ForegroundCount(), 1000u);  // a filled square, not an outline
+  const Point2 c = b.Centroid();
+  EXPECT_NEAR(c.x, 32.0, 2.0);
+  EXPECT_NEAR(c.y, 32.0, 2.0);
+  EXPECT_TRUE(b.at(32, 32));
+  EXPECT_FALSE(b.at(1, 1));  // margin is blank
+}
+
+TEST(BitmapTest, RotationPreservesAreaApproximately) {
+  const Bitmap b = Bitmap::FromPolygon(CirclePolygon(1.0, 90), 64);
+  const Bitmap r = b.Rotated(0.7);
+  const double a0 = static_cast<double>(b.ForegroundCount());
+  const double a1 = static_cast<double>(r.ForegroundCount());
+  EXPECT_NEAR(a1 / a0, 1.0, 0.05);
+}
+
+TEST(BitmapTest, AsciiRendering) {
+  Bitmap b(3, 2);
+  b.set(1, 0, true);
+  EXPECT_EQ(b.ToAscii(), ".#.\n...\n");
+}
+
+TEST(ContourTest, SquareBoundaryIsClosedRing) {
+  const Bitmap b = Bitmap::FromPolygon(SquarePolygon(), 40);
+  const std::vector<Pixel> boundary = TraceBoundary(b);
+  ASSERT_GE(boundary.size(), 40u);
+  // Consecutive boundary pixels are 8-adjacent, including the wrap-around.
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    const Pixel& a = boundary[i];
+    const Pixel& c = boundary[(i + 1) % boundary.size()];
+    EXPECT_LE(std::abs(a.x - c.x), 1);
+    EXPECT_LE(std::abs(a.y - c.y), 1);
+    EXPECT_FALSE(a == c);
+  }
+  // Every boundary pixel is foreground.
+  for (const Pixel& p : boundary) EXPECT_TRUE(b.at(p.x, p.y));
+}
+
+TEST(ContourTest, EmptyBitmapGivesEmptyBoundary) {
+  EXPECT_TRUE(TraceBoundary(Bitmap(16, 16)).empty());
+}
+
+TEST(ContourTest, SinglePixel) {
+  Bitmap b(8, 8);
+  b.set(4, 4, true);
+  const std::vector<Pixel> boundary = TraceBoundary(b);
+  ASSERT_EQ(boundary.size(), 1u);
+  EXPECT_EQ(boundary[0], (Pixel{4, 4}));
+}
+
+TEST(ContourTest, LargestComponentWins) {
+  Bitmap b(64, 64);
+  // Big blob.
+  for (int y = 10; y < 40; ++y) {
+    for (int x = 10; x < 40; ++x) b.set(x, y, true);
+  }
+  // Noise speck far away.
+  b.set(60, 60, true);
+  const std::vector<Pixel> boundary = TraceBoundary(b);
+  for (const Pixel& p : boundary) {
+    EXPECT_LT(p.x, 41);
+    EXPECT_LT(p.y, 41);
+  }
+  EXPECT_GT(boundary.size(), 100u);
+}
+
+TEST(ContourTest, BoundaryLengthOfSquare) {
+  Bitmap b(32, 32);
+  for (int y = 8; y < 24; ++y) {
+    for (int x = 8; x < 24; ++x) b.set(x, y, true);
+  }
+  const auto boundary = TraceBoundary(b);
+  // Perimeter of a 16x16 square of pixels: 60 boundary pixels, length 60.
+  EXPECT_NEAR(BoundaryLength(boundary), 60.0, 1.0);
+}
+
+TEST(ProfileTest, CircleProfileIsFlat) {
+  const Bitmap b = Bitmap::FromPolygon(CirclePolygon(1.0, 180), 128);
+  const std::vector<Pixel> boundary = TraceBoundary(b);
+  const Series profile = CentroidProfile(boundary);
+  ASSERT_FALSE(profile.empty());
+  const double mean = Mean(profile);
+  for (double v : profile) EXPECT_NEAR(v, mean, 0.05 * mean);
+}
+
+TEST(ProfileTest, ShapeToSeriesIsZNormalised) {
+  const Bitmap b = Bitmap::FromPolygon(
+      RadialPolygon(DigitSixSpec(), 256), 128);
+  const Series s = ShapeToSeries(b, 64);
+  ASSERT_EQ(s.size(), 64u);
+  EXPECT_NEAR(Mean(s), 0.0, 1e-9);
+  EXPECT_NEAR(StdDev(s), 1.0, 1e-9);
+}
+
+TEST(ProfileTest, EmptyBitmapGivesEmptySeries) {
+  EXPECT_TRUE(ShapeToSeries(Bitmap(32, 32), 64).empty());
+}
+
+TEST(ProfileTest, RotatedBitmapYieldsCircularlyShiftedProfile) {
+  // The foundational claim of the whole pipeline (paper Figure 2): rotating
+  // the image is (approximately) a circular shift of the profile, so the
+  // rotation-invariant distance between a shape and its rotation is small.
+  const Bitmap base =
+      Bitmap::FromPolygon(RadialPolygon(DigitSixSpec(), 360), 160);
+  const Series s0 = ShapeToSeries(base, 128);
+  ASSERT_FALSE(s0.empty());
+  for (double angle : {0.5, 1.2, 2.6}) {
+    const Series s1 = ShapeToSeries(base.Rotated(angle), 128);
+    ASSERT_FALSE(s1.empty());
+    const double aligned = RotationInvariantEuclidean(s0, s1);
+    // Rasterisation noise keeps this from 0, but it must be far below the
+    // typical distance between unrelated shapes (~ sqrt(2n) ~ 16).
+    EXPECT_LT(aligned, 3.0) << "angle=" << angle;
+  }
+}
+
+TEST(GenerateTest, RadialProfilePositive) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RadialShapeSpec spec = RandomShapeSpec(&rng, 8);
+    const Series p = RadialProfile(spec, 100);
+    for (double v : p) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(GenerateTest, PolygonMatchesProfileRadii) {
+  const RadialShapeSpec spec = DigitSixSpec();
+  const Series profile = RadialProfile(spec, 64);
+  const std::vector<Point2> poly = RadialPolygon(spec, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double r = std::sqrt(poly[i].x * poly[i].x + poly[i].y * poly[i].y);
+    EXPECT_NEAR(r, profile[i], 1e-9);
+  }
+}
+
+TEST(GenerateTest, PerturbKeepsStructure) {
+  Rng rng(2);
+  const RadialShapeSpec base = RandomShapeSpec(&rng, 6);
+  const RadialShapeSpec variant = PerturbSpec(base, &rng, 0.01, 0.01);
+  const Series a = ZNormalized(RadialProfile(base, 80));
+  const Series b = ZNormalized(RadialProfile(variant, 80));
+  EXPECT_LT(EuclideanDistance(a, b), 2.0);
+}
+
+TEST(GenerateTest, WarpPreservesValueRange) {
+  Rng rng(3);
+  const Series s = RadialProfile(RandomShapeSpec(&rng, 6), 100);
+  const Series w = SmoothTimeWarp(s, &rng, 0.03);
+  const auto [lo, hi] = std::minmax_element(s.begin(), s.end());
+  for (double v : w) {
+    EXPECT_GE(v, *lo - 1e-9);
+    EXPECT_LE(v, *hi + 1e-9);
+  }
+}
+
+TEST(GenerateTest, WarpedSeriesFavoursDtw) {
+  // The warp generator exists to make DTW matter: after warping, DTW keeps
+  // the pair much closer than rotation-invariant ED does.
+  Rng rng(4);
+  int dtw_wins = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Series s = ZNormalized(RadialProfile(RandomShapeSpec(&rng, 6), 96));
+    Series w = ZNormalized(SmoothTimeWarp(s, &rng, 0.05));
+    const double ed = RotationInvariantEuclidean(s, w);
+    const double dtw = RotationInvariantDtw(s, w, 5);
+    if (dtw < ed * 0.75) ++dtw_wins;
+  }
+  EXPECT_GE(dtw_wins, 6);
+}
+
+TEST(GenerateTest, ButterflyAsymmetryMakesChiralShapes) {
+  Rng rng(5);
+  const Series s =
+      ZNormalized(RadialProfile(ButterflySpec(&rng, 0.15), 128));
+  RotationOptions mirror;
+  mirror.mirror = true;
+  const double self_mirror = RotationInvariantEuclidean(s, Reversed(s), mirror);
+  EXPECT_NEAR(self_mirror, 0.0, 1e-9);  // mirror search finds the reversal
+  const double no_mirror = RotationInvariantEuclidean(s, Reversed(s));
+  EXPECT_GT(no_mirror, 0.3);  // but plain rotations cannot
+}
+
+TEST(GenerateTest, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  const Series s1 = RadialProfile(RandomShapeSpec(&a, 8), 64);
+  const Series s2 = RadialProfile(RandomShapeSpec(&b, 8), 64);
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,129 @@
+#include "src/fourier/spectral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/distance/rotation.h"
+
+namespace rotind {
+namespace {
+
+Series RandomZNormSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  ZNormalize(&s);
+  return s;
+}
+
+TEST(SpectralTest, SignatureDims) {
+  Rng rng(1);
+  const Series s = RandomZNormSeries(&rng, 64);
+  EXPECT_EQ(MakeSpectralSignature(s, 8).dims(), 8u);
+  // Clamped to n/2.
+  EXPECT_EQ(MakeSpectralSignature(s, 999).dims(), 32u);
+}
+
+TEST(SpectralTest, SignatureInvariantToRotation) {
+  Rng rng(2);
+  for (std::size_t n : {40u, 251u}) {
+    const Series s = RandomZNormSeries(&rng, n);
+    const SpectralSignature base = MakeSpectralSignature(s, 16);
+    for (long shift : {3L, 11L, static_cast<long>(n - 1)}) {
+      const SpectralSignature rot =
+          MakeSpectralSignature(RotateLeft(s, shift), 16);
+      EXPECT_NEAR(SignatureDistance(base, rot), 0.0, 1e-7);
+    }
+  }
+}
+
+TEST(SpectralTest, SignatureInvariantToMirror) {
+  // Reversal preserves magnitudes too, so the bound also covers the
+  // enantiomorphic candidates.
+  Rng rng(3);
+  const Series s = RandomZNormSeries(&rng, 48);
+  const SpectralSignature a = MakeSpectralSignature(s, 12);
+  const SpectralSignature b = MakeSpectralSignature(Reversed(s), 12);
+  EXPECT_NEAR(SignatureDistance(a, b), 0.0, 1e-8);
+}
+
+/// The exactness-critical property (paper Section 4.2): signature distance
+/// lower-bounds the rotation-invariant Euclidean distance, at every
+/// dimensionality.
+class SpectralLowerBoundTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(SpectralLowerBoundTest, LowerBoundsRotationInvariantEuclidean) {
+  const std::size_t dims = GetParam();
+  Rng rng(dims * 17 + 5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 16 + rng.NextBounded(100);
+    const Series q = RandomZNormSeries(&rng, n);
+    const Series c = RandomZNormSeries(&rng, n);
+    const SpectralSignature sq = MakeSpectralSignature(q, dims);
+    const SpectralSignature sc = MakeSpectralSignature(c, dims);
+    const double lb = SignatureDistance(sq, sc);
+    const double red = RotationInvariantEuclidean(q, c);
+    EXPECT_LE(lb, red + 1e-7) << "n=" << n << " dims=" << dims;
+
+    // Mirror invariance: the same bound must hold for mirrored matching.
+    RotationOptions mirror;
+    mirror.mirror = true;
+    EXPECT_LE(lb, RotationInvariantEuclidean(q, c, mirror) + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SpectralLowerBoundTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 512));
+
+TEST(SpectralTest, MoreDimsTightenTheBound) {
+  Rng rng(4);
+  const std::size_t n = 128;
+  const Series q = RandomZNormSeries(&rng, n);
+  const Series c = RandomZNormSeries(&rng, n);
+  double prev = 0.0;
+  for (std::size_t dims : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const double lb = SignatureDistance(MakeSpectralSignature(q, dims),
+                                        MakeSpectralSignature(c, dims));
+    EXPECT_GE(lb, prev - 1e-9) << "dims=" << dims;
+    prev = lb;
+  }
+}
+
+TEST(SpectralTest, TriangleInequalityOnSignatures) {
+  // Needed for VP-tree pruning: signature space must be a metric space.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 32;
+    const SpectralSignature a =
+        MakeSpectralSignature(RandomZNormSeries(&rng, n), 8);
+    const SpectralSignature b =
+        MakeSpectralSignature(RandomZNormSeries(&rng, n), 8);
+    const SpectralSignature c =
+        MakeSpectralSignature(RandomZNormSeries(&rng, n), 8);
+    EXPECT_LE(SignatureDistance(a, c),
+              SignatureDistance(a, b) + SignatureDistance(b, c) + 1e-9);
+    EXPECT_NEAR(SignatureDistance(a, b), SignatureDistance(b, a), 1e-12);
+  }
+}
+
+TEST(SpectralTest, FftStepCostModel) {
+  EXPECT_EQ(FftStepCost(1), 1u);
+  EXPECT_EQ(FftStepCost(1024), 1024u * 10);
+  // n log2 n rounded for non-powers of two.
+  EXPECT_EQ(FftStepCost(251),
+            static_cast<std::uint64_t>(std::llround(251 * std::log2(251.0))));
+}
+
+TEST(SpectralTest, CounterChargesDims) {
+  Rng rng(6);
+  const SpectralSignature a =
+      MakeSpectralSignature(RandomZNormSeries(&rng, 64), 16);
+  StepCounter counter;
+  SignatureDistance(a, a, &counter);
+  EXPECT_EQ(counter.steps, 16u);
+}
+
+}  // namespace
+}  // namespace rotind

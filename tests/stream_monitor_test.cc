@@ -1,0 +1,162 @@
+#include "src/stream/monitor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+
+namespace rotind {
+namespace {
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+TEST(StreamMonitorTest, NoHitsBeforeWindowFills) {
+  Rng rng(1);
+  StreamMonitor::Options options;
+  StreamMonitor monitor({RandomSeries(&rng, 16)}, options);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_TRUE(monitor.Push(rng.NextDouble()).empty());
+  }
+  EXPECT_EQ(monitor.samples_seen(), 15);
+  EXPECT_EQ(monitor.window_size(), 16u);
+}
+
+TEST(StreamMonitorTest, DetectsEmbeddedPattern) {
+  Rng rng(2);
+  const std::size_t n = 32;
+  const Series pattern = RandomSeries(&rng, n);
+
+  StreamMonitor::Options options;
+  options.distance_threshold = 0.5;
+  StreamMonitor monitor({pattern}, options);
+
+  // Stream: noise, then the pattern, then noise.
+  Series stream;
+  for (int i = 0; i < 50; ++i) stream.push_back(rng.Gaussian(0.0, 1.0));
+  Series z = ZNormalized(pattern);
+  stream.insert(stream.end(), z.begin(), z.end());
+  for (int i = 0; i < 30; ++i) stream.push_back(rng.Gaussian(0.0, 1.0));
+
+  const auto hits = monitor.PushAll(stream);
+  ASSERT_FALSE(hits.empty());
+  bool found_exact = false;
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.pattern, 0);
+    if (hit.end_position == 50 + static_cast<std::int64_t>(n) - 1 &&
+        hit.distance < 1e-6) {
+      found_exact = true;
+    }
+  }
+  EXPECT_TRUE(found_exact);
+}
+
+TEST(StreamMonitorTest, MultiplePatternsReportedByIndex) {
+  Rng rng(3);
+  const std::size_t n = 24;
+  std::vector<Series> patterns = {RandomSeries(&rng, n), RandomSeries(&rng, n),
+                                  RandomSeries(&rng, n)};
+  StreamMonitor::Options options;
+  options.distance_threshold = 0.25;
+  StreamMonitor monitor(patterns, options);
+
+  Series stream;
+  for (int i = 0; i < 30; ++i) stream.push_back(rng.Gaussian(0.0, 1.0));
+  const Series z1 = ZNormalized(patterns[1]);
+  stream.insert(stream.end(), z1.begin(), z1.end());
+
+  const auto hits = monitor.PushAll(stream);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits.back().pattern, 1);
+  EXPECT_LT(hits.back().distance, 1e-6);
+}
+
+TEST(StreamMonitorTest, RotationInvariantModeMatchesAnyPhase) {
+  Rng rng(4);
+  const std::size_t n = 40;
+  const Series pattern = RandomSeries(&rng, n);
+
+  StreamMonitor::Options plain;
+  plain.distance_threshold = 0.5;
+  StreamMonitor strict(std::vector<Series>{pattern}, plain);
+
+  StreamMonitor::Options invariant = plain;
+  invariant.rotation_invariant = true;
+  StreamMonitor loose(std::vector<Series>{pattern}, invariant);
+
+  // Insert a rotated copy of the pattern.
+  Series stream;
+  for (int i = 0; i < 25; ++i) stream.push_back(rng.Gaussian(0.0, 1.0));
+  const Series rotated = RotateLeft(ZNormalized(pattern), 13);
+  stream.insert(stream.end(), rotated.begin(), rotated.end());
+
+  const auto strict_hits = strict.PushAll(stream);
+  const auto loose_hits = loose.PushAll(stream);
+
+  bool strict_exact = false;
+  for (const auto& h : strict_hits) strict_exact |= h.distance < 1e-6;
+  EXPECT_FALSE(strict_exact);  // a rotation is NOT a plain match
+
+  bool loose_exact = false;
+  int shift = -1;
+  for (const auto& h : loose_hits) {
+    if (h.distance < 1e-6) {
+      loose_exact = true;
+      shift = h.shift;
+    }
+  }
+  EXPECT_TRUE(loose_exact);
+  EXPECT_EQ(shift, 13);
+}
+
+TEST(StreamMonitorTest, DtwModeTolratesLocalWarping) {
+  Rng rng(5);
+  const std::size_t n = 48;
+  // Smooth pattern so a small warp is meaningful.
+  Series pattern(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pattern[i] = std::sin(2 * 3.14159265 * 3.0 * i / n);
+  }
+
+  StreamMonitor::Options dtw;
+  dtw.distance_threshold = 0.8;
+  dtw.dtw_band = 3;
+  StreamMonitor monitor({pattern}, dtw);
+
+  // A locally-stretched rendition of the pattern.
+  Series warped(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pos = i + 1.5 * std::sin(2 * 3.14159265 * i / n);
+    const long j = std::lround(pos);
+    warped[i] = pattern[static_cast<std::size_t>((j % n + n) % n)];
+  }
+  Series stream;
+  for (int i = 0; i < 20; ++i) stream.push_back(rng.Gaussian(0.0, 1.0));
+  const Series z = ZNormalized(warped);
+  stream.insert(stream.end(), z.begin(), z.end());
+
+  const auto hits = monitor.PushAll(stream);
+  bool matched = false;
+  for (const auto& h : hits) {
+    matched |= h.end_position == 20 + static_cast<std::int64_t>(n) - 1;
+  }
+  EXPECT_TRUE(matched);
+}
+
+TEST(StreamMonitorTest, StepCountingAccumulates) {
+  Rng rng(6);
+  StreamMonitor::Options options;
+  options.distance_threshold = 0.1;
+  StreamMonitor monitor({RandomSeries(&rng, 16)}, options);
+  StepCounter counter;
+  monitor.PushAll(RandomSeries(&rng, 64), &counter);
+  EXPECT_GT(counter.steps, 0u);
+  EXPECT_GT(counter.early_abandons, 0u);  // noise windows abandon quickly
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,294 @@
+/// rotind — command-line front end for the rotation-invariant shape/series
+/// search library.
+///
+///   rotind generate --kind projectile|heterogeneous|lightcurve|table8
+///                   --m 1000 --n 251 --seed 1 --out db.csv [--binary]
+///   rotind info     --db db.csv
+///   rotind search   --db db.csv --query-index 5 [--algo wedge|brute|ea|fft]
+///                   [--dtw --band 5] [--mirror] [--max-shift S]
+///   rotind knn      --db db.csv --query-index 5 --k 5 [...]
+///   rotind classify --db db.csv [--dtw --band 5]
+///   rotind motif    --db db.csv [--dtw --band 5]
+///   rotind discord  --db db.csv [--dtw --band 5]
+///
+/// Databases are UCR-format text (label,v1,v2,...) or the binary format
+/// produced with --binary; the loader sniffs the magic bytes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/datasets/synthetic.h"
+#include "src/lightcurve/lightcurve.h"
+#include "src/eval/classify.h"
+#include "src/io/serialize.h"
+#include "src/mining/motif.h"
+#include "src/search/scan.h"
+
+namespace {
+
+using namespace rotind;
+
+struct Args {
+  std::string command;
+  std::string db_path;
+  std::string out_path;
+  std::string kind = "projectile";
+  std::string algo = "wedge";
+  std::size_t m = 1000;
+  std::size_t n = 251;
+  std::uint64_t seed = 1;
+  int query_index = 0;
+  int k = 5;
+  bool dtw = false;
+  int band = 5;
+  bool mirror = false;
+  int max_shift = -1;
+  bool binary = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rotind <generate|info|search|knn|classify|motif|"
+               "discord> [flags]\n  see the header of tools/rotind_cli.cc "
+               "for the flag list\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--db") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->db_path = v;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out_path = v;
+    } else if (flag == "--kind") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->kind = v;
+    } else if (flag == "--algo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->algo = v;
+    } else if (flag == "--m") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->m = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--n") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->n = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--query-index") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->query_index = std::atoi(v);
+    } else if (flag == "--k") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->k = std::atoi(v);
+    } else if (flag == "--band") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->band = std::atoi(v);
+    } else if (flag == "--max-shift") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->max_shift = std::atoi(v);
+    } else if (flag == "--dtw") {
+      args->dtw = true;
+    } else if (flag == "--mirror") {
+      args->mirror = true;
+    } else if (flag == "--binary") {
+      args->binary = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadDb(const std::string& path, Dataset* out) {
+  if (LoadDatasetBinary(path, out)) return true;
+  if (LoadDatasetUcr(path, out)) return true;
+  std::fprintf(stderr, "cannot read database %s\n", path.c_str());
+  return false;
+}
+
+ScanOptions MakeScanOptions(const Args& args) {
+  ScanOptions options;
+  options.kind = args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean;
+  options.band = args.band;
+  options.rotation.mirror = args.mirror;
+  options.rotation.max_shift = args.max_shift;
+  return options;
+}
+
+ScanAlgorithm MakeAlgorithm(const Args& args) {
+  if (args.algo == "brute") {
+    return args.dtw ? ScanAlgorithm::kBruteForceBanded
+                    : ScanAlgorithm::kBruteForce;
+  }
+  if (args.algo == "ea") return ScanAlgorithm::kEarlyAbandon;
+  if (args.algo == "fft") return ScanAlgorithm::kFftLowerBound;
+  return ScanAlgorithm::kWedge;
+}
+
+int CmdGenerate(const Args& args) {
+  Dataset ds;
+  if (args.kind == "projectile") {
+    ds.items = MakeProjectilePointsDatabase(args.m, args.n, args.seed);
+  } else if (args.kind == "heterogeneous") {
+    ds.items = MakeHeterogeneousDatabase(args.m, args.n, args.seed);
+  } else if (args.kind == "lightcurve") {
+    ds = MakeLightCurveDataset((args.m + 2) / 3, args.n, args.seed);
+    ds.items.resize(std::min(ds.items.size(), args.m));
+    ds.labels.resize(ds.items.size());
+    ds.names.resize(ds.items.size());
+  } else if (args.kind == "table8") {
+    // Concatenates all Table 8 stand-ins; mostly useful for inspection.
+    for (const auto& spec : Table8Specs(0.05)) {
+      const Dataset part = MakeTable8Dataset(spec);
+      ds.items.insert(ds.items.end(), part.items.begin(), part.items.end());
+      ds.labels.insert(ds.labels.end(), part.labels.begin(),
+                       part.labels.end());
+    }
+  } else {
+    std::fprintf(stderr, "unknown --kind %s\n", args.kind.c_str());
+    return 2;
+  }
+  if (args.out_path.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+  const bool ok = args.binary ? SaveDatasetBinary(ds, args.out_path)
+                              : SaveDatasetUcr(ds, args.out_path);
+  if (!ok) {
+    std::fprintf(stderr, "write failed: %s\n", args.out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu series of length %zu to %s\n", ds.size(),
+              ds.length(), args.out_path.c_str());
+  return 0;
+}
+
+int CmdInfo(const Dataset& db) {
+  std::printf("series:  %zu\n", db.size());
+  std::printf("length:  %zu\n", db.length());
+  if (!db.labels.empty()) {
+    int max_label = 0;
+    for (int l : db.labels) max_label = std::max(max_label, l);
+    std::printf("labels:  0..%d\n", max_label);
+  }
+  return 0;
+}
+
+int CmdSearch(const Args& args, const Dataset& db) {
+  const std::size_t qi = static_cast<std::size_t>(args.query_index);
+  if (qi >= db.size()) {
+    std::fprintf(stderr, "--query-index out of range\n");
+    return 2;
+  }
+  std::vector<Series> rest;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (i != qi) rest.push_back(db.items[i]);
+  }
+  const ScanResult r = SearchDatabase(rest, db.items[qi], MakeAlgorithm(args),
+                                      MakeScanOptions(args));
+  const int mapped =
+      r.best_index >= args.query_index ? r.best_index + 1 : r.best_index;
+  std::printf("best match: %d  distance=%.6f  shift=%d%s  steps=%llu\n",
+              mapped, r.best_distance, r.best_shift,
+              r.best_mirrored ? " (mirrored)" : "",
+              static_cast<unsigned long long>(r.counter.total_steps()));
+  return 0;
+}
+
+int CmdKnn(const Args& args, const Dataset& db) {
+  const std::size_t qi = static_cast<std::size_t>(args.query_index);
+  if (qi >= db.size()) {
+    std::fprintf(stderr, "--query-index out of range\n");
+    return 2;
+  }
+  std::vector<Series> rest;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (i != qi) rest.push_back(db.items[i]);
+  }
+  const auto knn = KnnSearchDatabase(rest, db.items[qi], args.k,
+                                     MakeAlgorithm(args),
+                                     MakeScanOptions(args));
+  for (const Neighbor& nb : knn) {
+    const int mapped =
+        nb.index >= args.query_index ? nb.index + 1 : nb.index;
+    std::printf("%6d  distance=%.6f  shift=%d%s\n", mapped, nb.distance,
+                nb.shift, nb.mirrored ? " (mirrored)" : "");
+  }
+  return 0;
+}
+
+int CmdClassify(const Args& args, const Dataset& db) {
+  if (db.labels.empty()) {
+    std::fprintf(stderr, "database has no labels\n");
+    return 2;
+  }
+  const ClassificationResult r = LeaveOneOutOneNnRotationInvariant(
+      db, args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean,
+      args.band, MakeScanOptions(args).rotation);
+  std::printf("leave-one-out 1-NN error: %d / %d = %.2f%%\n", r.errors,
+              r.total, 100.0 * r.error_rate());
+  return 0;
+}
+
+int CmdMotif(const Args& args, const Dataset& db, bool discord) {
+  MiningOptions options;
+  options.kind = args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean;
+  options.band = args.band;
+  options.rotation.mirror = args.mirror;
+  options.rotation.max_shift = args.max_shift;
+  if (discord) {
+    const DiscordResult r = FindDiscord(db.items, options);
+    std::printf("discord: %d  nn=%d  nn-distance=%.6f\n", r.index,
+                r.nearest_neighbor, r.distance);
+  } else {
+    const MotifResult r = FindMotifPair(db.items, options);
+    std::printf("motif pair: (%d, %d)  distance=%.6f  shift=%d%s\n", r.first,
+                r.second, r.distance, r.shift,
+                r.mirrored ? " (mirrored)" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+
+  if (args.command == "generate") return CmdGenerate(args);
+
+  Dataset db;
+  if (args.db_path.empty() || !LoadDb(args.db_path, &db)) return Usage();
+
+  if (args.command == "info") return CmdInfo(db);
+  if (args.command == "search") return CmdSearch(args, db);
+  if (args.command == "knn") return CmdKnn(args, db);
+  if (args.command == "classify") return CmdClassify(args, db);
+  if (args.command == "motif") return CmdMotif(args, db, /*discord=*/false);
+  if (args.command == "discord") return CmdMotif(args, db, /*discord=*/true);
+  return Usage();
+}
