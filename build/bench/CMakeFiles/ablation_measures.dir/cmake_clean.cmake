@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_measures.dir/ablation_measures.cc.o"
+  "CMakeFiles/ablation_measures.dir/ablation_measures.cc.o.d"
+  "ablation_measures"
+  "ablation_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

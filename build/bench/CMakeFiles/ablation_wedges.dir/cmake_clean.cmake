@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wedges.dir/ablation_wedges.cc.o"
+  "CMakeFiles/ablation_wedges.dir/ablation_wedges.cc.o.d"
+  "ablation_wedges"
+  "ablation_wedges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wedges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_scaling.dir/complexity_scaling.cc.o"
+  "CMakeFiles/complexity_scaling.dir/complexity_scaling.cc.o.d"
+  "complexity_scaling"
+  "complexity_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

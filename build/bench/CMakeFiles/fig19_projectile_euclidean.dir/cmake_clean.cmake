@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_projectile_euclidean.dir/fig19_projectile_euclidean.cc.o"
+  "CMakeFiles/fig19_projectile_euclidean.dir/fig19_projectile_euclidean.cc.o.d"
+  "fig19_projectile_euclidean"
+  "fig19_projectile_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_projectile_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_projectile_dtw.dir/fig20_projectile_dtw.cc.o"
+  "CMakeFiles/fig20_projectile_dtw.dir/fig20_projectile_dtw.cc.o.d"
+  "fig20_projectile_dtw"
+  "fig20_projectile_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_projectile_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

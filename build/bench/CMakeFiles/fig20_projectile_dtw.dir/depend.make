@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_projectile_dtw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_heterogeneous.dir/fig21_heterogeneous.cc.o"
+  "CMakeFiles/fig21_heterogeneous.dir/fig21_heterogeneous.cc.o.d"
+  "fig21_heterogeneous"
+  "fig21_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_lightcurve_euclidean.dir/fig22_lightcurve_euclidean.cc.o"
+  "CMakeFiles/fig22_lightcurve_euclidean.dir/fig22_lightcurve_euclidean.cc.o.d"
+  "fig22_lightcurve_euclidean"
+  "fig22_lightcurve_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_lightcurve_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_lightcurve_dtw.dir/fig23_lightcurve_dtw.cc.o"
+  "CMakeFiles/fig23_lightcurve_dtw.dir/fig23_lightcurve_dtw.cc.o.d"
+  "fig23_lightcurve_dtw"
+  "fig23_lightcurve_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_lightcurve_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig23_lightcurve_dtw.
+# This may be replaced when dependencies are built.

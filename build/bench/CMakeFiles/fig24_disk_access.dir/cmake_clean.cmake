@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_disk_access.dir/fig24_disk_access.cc.o"
+  "CMakeFiles/fig24_disk_access.dir/fig24_disk_access.cc.o.d"
+  "fig24_disk_access"
+  "fig24_disk_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_disk_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

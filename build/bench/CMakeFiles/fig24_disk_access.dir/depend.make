@@ -1,0 +1,2 @@
+# Empty dependencies file for fig24_disk_access.
+# This may be replaced when dependencies are built.

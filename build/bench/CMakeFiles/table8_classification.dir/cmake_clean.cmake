@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_classification.dir/table8_classification.cc.o"
+  "CMakeFiles/table8_classification.dir/table8_classification.cc.o.d"
+  "table8_classification"
+  "table8_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

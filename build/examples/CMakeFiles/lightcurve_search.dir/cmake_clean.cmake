@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightcurve_search.dir/lightcurve_search.cpp.o"
+  "CMakeFiles/lightcurve_search.dir/lightcurve_search.cpp.o.d"
+  "lightcurve_search"
+  "lightcurve_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightcurve_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotation_limited.dir/rotation_limited.cpp.o"
+  "CMakeFiles/rotation_limited.dir/rotation_limited.cpp.o.d"
+  "rotation_limited"
+  "rotation_limited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotation_limited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rotation_limited.
+# This may be replaced when dependencies are built.

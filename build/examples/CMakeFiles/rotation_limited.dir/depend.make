@@ -1,0 +1,2 @@
+# Empty dependencies file for rotation_limited.
+# This may be replaced when dependencies are built.

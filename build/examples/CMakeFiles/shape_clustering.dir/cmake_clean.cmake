@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_clustering.dir/shape_clustering.cpp.o"
+  "CMakeFiles/shape_clustering.dir/shape_clustering.cpp.o.d"
+  "shape_clustering"
+  "shape_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

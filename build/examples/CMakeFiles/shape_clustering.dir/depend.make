@@ -1,0 +1,2 @@
+# Empty dependencies file for shape_clustering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_monitoring.dir/stream_monitoring.cpp.o"
+  "CMakeFiles/stream_monitoring.dir/stream_monitoring.cpp.o.d"
+  "stream_monitoring"
+  "stream_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

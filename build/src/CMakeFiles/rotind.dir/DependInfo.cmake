@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/linkage.cc" "src/CMakeFiles/rotind.dir/cluster/linkage.cc.o" "gcc" "src/CMakeFiles/rotind.dir/cluster/linkage.cc.o.d"
+  "/root/repo/src/core/random.cc" "src/CMakeFiles/rotind.dir/core/random.cc.o" "gcc" "src/CMakeFiles/rotind.dir/core/random.cc.o.d"
+  "/root/repo/src/core/series.cc" "src/CMakeFiles/rotind.dir/core/series.cc.o" "gcc" "src/CMakeFiles/rotind.dir/core/series.cc.o.d"
+  "/root/repo/src/datasets/synthetic.cc" "src/CMakeFiles/rotind.dir/datasets/synthetic.cc.o" "gcc" "src/CMakeFiles/rotind.dir/datasets/synthetic.cc.o.d"
+  "/root/repo/src/distance/dtw.cc" "src/CMakeFiles/rotind.dir/distance/dtw.cc.o" "gcc" "src/CMakeFiles/rotind.dir/distance/dtw.cc.o.d"
+  "/root/repo/src/distance/euclidean.cc" "src/CMakeFiles/rotind.dir/distance/euclidean.cc.o" "gcc" "src/CMakeFiles/rotind.dir/distance/euclidean.cc.o.d"
+  "/root/repo/src/distance/lcss.cc" "src/CMakeFiles/rotind.dir/distance/lcss.cc.o" "gcc" "src/CMakeFiles/rotind.dir/distance/lcss.cc.o.d"
+  "/root/repo/src/distance/rotation.cc" "src/CMakeFiles/rotind.dir/distance/rotation.cc.o" "gcc" "src/CMakeFiles/rotind.dir/distance/rotation.cc.o.d"
+  "/root/repo/src/envelope/candidate_wedge.cc" "src/CMakeFiles/rotind.dir/envelope/candidate_wedge.cc.o" "gcc" "src/CMakeFiles/rotind.dir/envelope/candidate_wedge.cc.o.d"
+  "/root/repo/src/envelope/envelope.cc" "src/CMakeFiles/rotind.dir/envelope/envelope.cc.o" "gcc" "src/CMakeFiles/rotind.dir/envelope/envelope.cc.o.d"
+  "/root/repo/src/envelope/wedge_tree.cc" "src/CMakeFiles/rotind.dir/envelope/wedge_tree.cc.o" "gcc" "src/CMakeFiles/rotind.dir/envelope/wedge_tree.cc.o.d"
+  "/root/repo/src/eval/classify.cc" "src/CMakeFiles/rotind.dir/eval/classify.cc.o" "gcc" "src/CMakeFiles/rotind.dir/eval/classify.cc.o.d"
+  "/root/repo/src/fourier/fft.cc" "src/CMakeFiles/rotind.dir/fourier/fft.cc.o" "gcc" "src/CMakeFiles/rotind.dir/fourier/fft.cc.o.d"
+  "/root/repo/src/fourier/spectral.cc" "src/CMakeFiles/rotind.dir/fourier/spectral.cc.o" "gcc" "src/CMakeFiles/rotind.dir/fourier/spectral.cc.o.d"
+  "/root/repo/src/index/candidate_scan.cc" "src/CMakeFiles/rotind.dir/index/candidate_scan.cc.o" "gcc" "src/CMakeFiles/rotind.dir/index/candidate_scan.cc.o.d"
+  "/root/repo/src/index/disk.cc" "src/CMakeFiles/rotind.dir/index/disk.cc.o" "gcc" "src/CMakeFiles/rotind.dir/index/disk.cc.o.d"
+  "/root/repo/src/index/paa.cc" "src/CMakeFiles/rotind.dir/index/paa.cc.o" "gcc" "src/CMakeFiles/rotind.dir/index/paa.cc.o.d"
+  "/root/repo/src/index/vptree.cc" "src/CMakeFiles/rotind.dir/index/vptree.cc.o" "gcc" "src/CMakeFiles/rotind.dir/index/vptree.cc.o.d"
+  "/root/repo/src/io/serialize.cc" "src/CMakeFiles/rotind.dir/io/serialize.cc.o" "gcc" "src/CMakeFiles/rotind.dir/io/serialize.cc.o.d"
+  "/root/repo/src/lightcurve/lightcurve.cc" "src/CMakeFiles/rotind.dir/lightcurve/lightcurve.cc.o" "gcc" "src/CMakeFiles/rotind.dir/lightcurve/lightcurve.cc.o.d"
+  "/root/repo/src/mining/motif.cc" "src/CMakeFiles/rotind.dir/mining/motif.cc.o" "gcc" "src/CMakeFiles/rotind.dir/mining/motif.cc.o.d"
+  "/root/repo/src/search/hmerge.cc" "src/CMakeFiles/rotind.dir/search/hmerge.cc.o" "gcc" "src/CMakeFiles/rotind.dir/search/hmerge.cc.o.d"
+  "/root/repo/src/search/lcss_search.cc" "src/CMakeFiles/rotind.dir/search/lcss_search.cc.o" "gcc" "src/CMakeFiles/rotind.dir/search/lcss_search.cc.o.d"
+  "/root/repo/src/search/lower_bound.cc" "src/CMakeFiles/rotind.dir/search/lower_bound.cc.o" "gcc" "src/CMakeFiles/rotind.dir/search/lower_bound.cc.o.d"
+  "/root/repo/src/search/scan.cc" "src/CMakeFiles/rotind.dir/search/scan.cc.o" "gcc" "src/CMakeFiles/rotind.dir/search/scan.cc.o.d"
+  "/root/repo/src/shape/bitmap.cc" "src/CMakeFiles/rotind.dir/shape/bitmap.cc.o" "gcc" "src/CMakeFiles/rotind.dir/shape/bitmap.cc.o.d"
+  "/root/repo/src/shape/contour.cc" "src/CMakeFiles/rotind.dir/shape/contour.cc.o" "gcc" "src/CMakeFiles/rotind.dir/shape/contour.cc.o.d"
+  "/root/repo/src/shape/generate.cc" "src/CMakeFiles/rotind.dir/shape/generate.cc.o" "gcc" "src/CMakeFiles/rotind.dir/shape/generate.cc.o.d"
+  "/root/repo/src/shape/profile.cc" "src/CMakeFiles/rotind.dir/shape/profile.cc.o" "gcc" "src/CMakeFiles/rotind.dir/shape/profile.cc.o.d"
+  "/root/repo/src/stream/monitor.cc" "src/CMakeFiles/rotind.dir/stream/monitor.cc.o" "gcc" "src/CMakeFiles/rotind.dir/stream/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

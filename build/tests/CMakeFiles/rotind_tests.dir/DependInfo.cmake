@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/candidate_wedge_test.cc" "tests/CMakeFiles/rotind_tests.dir/candidate_wedge_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/candidate_wedge_test.cc.o.d"
+  "/root/repo/tests/classify_test.cc" "tests/CMakeFiles/rotind_tests.dir/classify_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/classify_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/rotind_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/core_random_test.cc" "tests/CMakeFiles/rotind_tests.dir/core_random_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/core_random_test.cc.o.d"
+  "/root/repo/tests/core_series_test.cc" "tests/CMakeFiles/rotind_tests.dir/core_series_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/core_series_test.cc.o.d"
+  "/root/repo/tests/cross_feature_test.cc" "tests/CMakeFiles/rotind_tests.dir/cross_feature_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/cross_feature_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "tests/CMakeFiles/rotind_tests.dir/datasets_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/datasets_test.cc.o.d"
+  "/root/repo/tests/dtw_test.cc" "tests/CMakeFiles/rotind_tests.dir/dtw_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/dtw_test.cc.o.d"
+  "/root/repo/tests/envelope_test.cc" "tests/CMakeFiles/rotind_tests.dir/envelope_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/envelope_test.cc.o.d"
+  "/root/repo/tests/euclidean_test.cc" "tests/CMakeFiles/rotind_tests.dir/euclidean_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/euclidean_test.cc.o.d"
+  "/root/repo/tests/fft_test.cc" "tests/CMakeFiles/rotind_tests.dir/fft_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/fft_test.cc.o.d"
+  "/root/repo/tests/hmerge_test.cc" "tests/CMakeFiles/rotind_tests.dir/hmerge_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/hmerge_test.cc.o.d"
+  "/root/repo/tests/index_knn_test.cc" "tests/CMakeFiles/rotind_tests.dir/index_knn_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/index_knn_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/rotind_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/rotind_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/lcss_search_test.cc" "tests/CMakeFiles/rotind_tests.dir/lcss_search_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/lcss_search_test.cc.o.d"
+  "/root/repo/tests/lcss_test.cc" "tests/CMakeFiles/rotind_tests.dir/lcss_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/lcss_test.cc.o.d"
+  "/root/repo/tests/lightcurve_test.cc" "tests/CMakeFiles/rotind_tests.dir/lightcurve_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/lightcurve_test.cc.o.d"
+  "/root/repo/tests/lower_bound_test.cc" "tests/CMakeFiles/rotind_tests.dir/lower_bound_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/lower_bound_test.cc.o.d"
+  "/root/repo/tests/mining_test.cc" "tests/CMakeFiles/rotind_tests.dir/mining_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/mining_test.cc.o.d"
+  "/root/repo/tests/paa_test.cc" "tests/CMakeFiles/rotind_tests.dir/paa_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/paa_test.cc.o.d"
+  "/root/repo/tests/rotation_test.cc" "tests/CMakeFiles/rotind_tests.dir/rotation_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/rotation_test.cc.o.d"
+  "/root/repo/tests/scan_edge_test.cc" "tests/CMakeFiles/rotind_tests.dir/scan_edge_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/scan_edge_test.cc.o.d"
+  "/root/repo/tests/scan_test.cc" "tests/CMakeFiles/rotind_tests.dir/scan_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/scan_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/rotind_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/shape_test.cc" "tests/CMakeFiles/rotind_tests.dir/shape_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/shape_test.cc.o.d"
+  "/root/repo/tests/spectral_test.cc" "tests/CMakeFiles/rotind_tests.dir/spectral_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/spectral_test.cc.o.d"
+  "/root/repo/tests/stream_monitor_test.cc" "tests/CMakeFiles/rotind_tests.dir/stream_monitor_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/stream_monitor_test.cc.o.d"
+  "/root/repo/tests/vptree_test.cc" "tests/CMakeFiles/rotind_tests.dir/vptree_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/vptree_test.cc.o.d"
+  "/root/repo/tests/wedge_tree_test.cc" "tests/CMakeFiles/rotind_tests.dir/wedge_tree_test.cc.o" "gcc" "tests/CMakeFiles/rotind_tests.dir/wedge_tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rotind.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotind_cli.dir/rotind_cli.cc.o"
+  "CMakeFiles/rotind_cli.dir/rotind_cli.cc.o.d"
+  "rotind"
+  "rotind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotind_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
