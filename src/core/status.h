@@ -1,0 +1,178 @@
+#ifndef ROTIND_CORE_STATUS_H_
+#define ROTIND_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rotind {
+
+/// Error taxonomy for the library's fallible boundaries. The general codes
+/// (kInvalidArgument..kInternal) cover public entry-point validation; the
+/// loader codes give file-format failures distinct, testable identities so a
+/// caller (or the fault-injection harness) can assert *why* a file was
+/// rejected, not merely that it was.
+enum class StatusCode {
+  kOk = 0,
+
+  // --- General validation / runtime errors ------------------------------
+  /// Caller passed a structurally invalid input (empty query, mismatched
+  /// series lengths, non-finite values, k < 1, negative radius, ...).
+  kInvalidArgument,
+  /// An id or index is outside the valid range of its container.
+  kOutOfRange,
+  /// A named resource (typically a file) does not exist or cannot be opened.
+  kNotFound,
+  /// An I/O operation failed mid-flight (short write, stream error).
+  kIoError,
+  /// A library invariant was violated; indicates a bug in rotind itself.
+  kInternal,
+
+  // --- Loader-specific errors (binary "RIND" container) -----------------
+  /// The file does not start with the "RIND" magic bytes.
+  kBadMagic,
+  /// The container version is one this build cannot read.
+  kVersionMismatch,
+  /// The file ends before the sections promised by its header.
+  kTruncated,
+  /// Header fields are internally absurd: count/length so large no file of
+  /// the observed size could hold them, count*length overflow, zero length
+  /// with nonzero count, or an over-cap name length.
+  kCorruptHeader,
+
+  // --- Payload / text-format errors (binary and UCR) --------------------
+  /// A payload value is NaN or +/-Inf; distances over such values are
+  /// meaningless, so loaders reject them at the boundary.
+  kBadValue,
+  /// UCR text: a row's value count differs from the first row's.
+  kRaggedRow,
+  /// UCR text: a field failed to parse as a number.
+  kParseError,
+  /// The file contains no series at all.
+  kEmptyDataset,
+};
+
+/// Human-readable name of a StatusCode ("kBadMagic" -> "BAD_MAGIC").
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kBadMagic: return "BAD_MAGIC";
+    case StatusCode::kVersionMismatch: return "VERSION_MISMATCH";
+    case StatusCode::kTruncated: return "TRUNCATED";
+    case StatusCode::kCorruptHeader: return "CORRUPT_HEADER";
+    case StatusCode::kBadValue: return "BAD_VALUE";
+    case StatusCode::kRaggedRow: return "RAGGED_ROW";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kEmptyDataset: return "EMPTY_DATASET";
+  }
+  return "UNKNOWN";
+}
+
+/// A lightweight success-or-error value: a code plus a message. No
+/// exceptions, no allocation on the OK path. Modeled on absl::Status but
+/// self-contained (the container bakes in no abseil).
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "BAD_MAGIC: file does not start with 'RIND'" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+/// Supports move-only T (e.g. std::unique_ptr). `value()` on an error, or
+/// `status()`-less misuse, asserts in debug builds and returns a
+/// default-ish reference in release — callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a non-OK Status (the error path reads naturally:
+  /// `return Status::InvalidArgument(...)`). Constructing from an OK status
+  /// without a value is a programming error and degrades to kInternal.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+  /// Implicit from a value: `return dataset;`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;            ///< OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_CORE_STATUS_H_

@@ -140,6 +140,44 @@ RotationMatch RotationInvariantLcss(const RotationSet& rots, const double* c,
   return best;
 }
 
+Status ValidateRotationPair(const Series& q, const Series& c) {
+  if (q.empty() || c.empty()) {
+    return Status::InvalidArgument("series must be non-empty");
+  }
+  if (q.size() != c.size()) {
+    return Status::InvalidArgument(
+        "length mismatch: q has " + std::to_string(q.size()) + ", c has " +
+        std::to_string(c.size()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<double> RotationInvariantEuclideanChecked(
+    const Series& q, const Series& c, const RotationOptions& options,
+    StepCounter* counter) {
+  Status valid = ValidateRotationPair(q, c);
+  if (!valid.ok()) return valid;
+  return RotationInvariantEuclidean(q, c, options, counter);
+}
+
+StatusOr<double> RotationInvariantDtwChecked(const Series& q, const Series& c,
+                                             int band,
+                                             const RotationOptions& options,
+                                             StepCounter* counter) {
+  Status valid = ValidateRotationPair(q, c);
+  if (!valid.ok()) return valid;
+  return RotationInvariantDtw(q, c, band, options, counter);
+}
+
+StatusOr<double> RotationInvariantLcssChecked(const Series& q, const Series& c,
+                                              const LcssOptions& lcss,
+                                              const RotationOptions& options,
+                                              StepCounter* counter) {
+  Status valid = ValidateRotationPair(q, c);
+  if (!valid.ok()) return valid;
+  return RotationInvariantLcss(q, c, lcss, options, counter);
+}
+
 double RotationInvariantEuclidean(const Series& q, const Series& c,
                                   const RotationOptions& options,
                                   StepCounter* counter) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/series.h"
+#include "src/core/status.h"
 #include "src/core/step_counter.h"
 #include "src/distance/lcss.h"
 
@@ -114,6 +115,22 @@ double RotationInvariantLcss(const Series& q, const Series& c,
                              const LcssOptions& lcss,
                              const RotationOptions& options = {},
                              StepCounter* counter = nullptr);
+
+/// Validates a rotation-invariant comparison pair: both series non-empty
+/// and of equal length. The convenience wrappers above assert this in debug
+/// builds; the Checked variants below return kInvalidArgument instead.
+Status ValidateRotationPair(const Series& q, const Series& c);
+
+/// Validated public entry points over the one-shot wrappers.
+StatusOr<double> RotationInvariantEuclideanChecked(
+    const Series& q, const Series& c, const RotationOptions& options = {},
+    StepCounter* counter = nullptr);
+StatusOr<double> RotationInvariantDtwChecked(
+    const Series& q, const Series& c, int band,
+    const RotationOptions& options = {}, StepCounter* counter = nullptr);
+StatusOr<double> RotationInvariantLcssChecked(
+    const Series& q, const Series& c, const LcssOptions& lcss,
+    const RotationOptions& options = {}, StepCounter* counter = nullptr);
 
 }  // namespace rotind
 

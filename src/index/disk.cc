@@ -1,8 +1,16 @@
 #include "src/index/disk.h"
 
-#include <cassert>
+#include <string>
 
 namespace rotind {
+namespace {
+
+const Series& EmptySeries() {
+  static const Series empty;
+  return empty;
+}
+
+}  // namespace
 
 SimulatedDisk::SimulatedDisk(std::size_t page_size_bytes)
     : page_size_bytes_(page_size_bytes == 0 ? 4096 : page_size_bytes) {}
@@ -17,13 +25,36 @@ void SimulatedDisk::StoreAll(const std::vector<Series>& db) {
   for (const Series& s : db) objects_.push_back(s);
 }
 
-const Series& SimulatedDisk::Fetch(int id) {
-  assert(id >= 0 && static_cast<std::size_t>(id) < objects_.size());
+StatusOr<const Series*> SimulatedDisk::TryFetch(int id) {
+  if (!Contains(id)) {
+    return Status::OutOfRange("object id " + std::to_string(id) +
+                              " not in [0, " + std::to_string(objects_.size()) +
+                              ")");
+  }
   const Series& s = objects_[static_cast<std::size_t>(id)];
   ++object_fetches_;
   const std::size_t bytes = s.size() * sizeof(double);
   page_reads_ += (bytes + page_size_bytes_ - 1) / page_size_bytes_;
-  return s;
+  return &s;
+}
+
+StatusOr<const Series*> SimulatedDisk::TryPeek(int id) const {
+  if (!Contains(id)) {
+    return Status::OutOfRange("object id " + std::to_string(id) +
+                              " not in [0, " + std::to_string(objects_.size()) +
+                              ")");
+  }
+  return &objects_[static_cast<std::size_t>(id)];
+}
+
+const Series& SimulatedDisk::Fetch(int id) {
+  StatusOr<const Series*> s = TryFetch(id);
+  return s.ok() ? **s : EmptySeries();
+}
+
+const Series& SimulatedDisk::Peek(int id) const {
+  StatusOr<const Series*> s = TryPeek(id);
+  return s.ok() ? **s : EmptySeries();
 }
 
 double SimulatedDisk::FetchFraction() const {

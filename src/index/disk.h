@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/core/series.h"
+#include "src/core/status.h"
 
 namespace rotind {
 
@@ -25,11 +26,24 @@ class SimulatedDisk {
   /// Stores a whole database in order.
   void StoreAll(const std::vector<Series>& db);
 
-  /// Reads an object back, counting the access.
-  const Series& Fetch(int id);
+  /// Whether `id` names a stored object.
+  bool Contains(int id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < objects_.size();
+  }
+
+  /// Reads an object back, counting the access. Returns kOutOfRange for an
+  /// invalid id (no access is counted).
+  StatusOr<const Series*> TryFetch(int id);
 
   /// Reads without counting (for test verification / setup).
-  const Series& Peek(int id) const { return objects_[static_cast<std::size_t>(id)]; }
+  StatusOr<const Series*> TryPeek(int id) const;
+
+  /// Reference-returning conveniences for callers that already validated
+  /// `id` (internal index code fetches only ids it stored). Bounds-checked:
+  /// an invalid id returns a reference to a shared empty Series and counts
+  /// nothing — defined behavior, never UB.
+  const Series& Fetch(int id);
+  const Series& Peek(int id) const;
 
   std::size_t num_objects() const { return objects_.size(); }
 

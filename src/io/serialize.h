@@ -1,9 +1,12 @@
 #ifndef ROTIND_IO_SERIALIZE_H_
 #define ROTIND_IO_SERIALIZE_H_
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "src/core/series.h"
+#include "src/core/status.h"
 
 namespace rotind {
 
@@ -17,20 +20,50 @@ namespace rotind {
 ///    paper's REAL datasets (Face, Yoga, ...) can be used with this
 ///    library wherever the synthetic stand-ins appear; see DESIGN.md.
 ///
-/// All functions return false (and leave outputs untouched or partially
-/// written files behind) on I/O or format errors; no exceptions.
+/// Loaders are a TRUST BOUNDARY: file contents are untrusted input. Every
+/// structural defect maps to a distinct StatusCode (see src/core/status.h
+/// and the "Error handling contract" section of DESIGN.md):
+///
+///   kNotFound         file missing / unreadable
+///   kBadMagic         not a RIND container
+///   kVersionMismatch  container version this build cannot read
+///   kTruncated        file ends before the sections its header promises
+///   kCorruptHeader    count/length/name-length fields absurd for the
+///                     observed file size (incl. length==0 with count>0)
+///   kBadValue         NaN or +/-Inf payload values
+///   kRaggedRow        UCR rows of differing lengths
+///   kParseError       UCR field that is not a number
+///   kEmptyDataset     no series in the file
+///
+/// Allocation safety: header counts are validated against the actual file
+/// size BEFORE any allocation, so a malicious 64-byte file cannot request a
+/// multi-GB resize.
 
-bool SaveDatasetBinary(const Dataset& dataset, const std::string& path);
-bool LoadDatasetBinary(const std::string& path, Dataset* out);
+Status SaveDatasetBinaryStatus(const Dataset& dataset, const std::string& path);
+StatusOr<Dataset> LoadDatasetBinaryStatus(const std::string& path);
 
 /// Writes "label,v1,v2,...\n" per item (label 0 when the dataset is
 /// unlabelled).
-bool SaveDatasetUcr(const Dataset& dataset, const std::string& path,
-                    char delimiter = ',');
+Status SaveDatasetUcrStatus(const Dataset& dataset, const std::string& path,
+                            char delimiter = ',');
 
 /// Reads a UCR-format file. Lines may be comma-, space- or tab-separated;
 /// the first field is the integer class label. Requires every series to
 /// have the same length.
+StatusOr<Dataset> LoadDatasetUcrStatus(const std::string& path);
+
+/// In-memory parsers behind the file loaders. These are the fuzzing entry
+/// points (tools/rotind_fuzz_load.cc) and what the fault-injection tests
+/// drive directly; they never touch the filesystem.
+StatusOr<Dataset> ParseDatasetBinary(const char* data, std::size_t size);
+StatusOr<Dataset> ParseDatasetUcr(std::string_view text);
+
+/// Legacy boolean API, kept for call sites that only need a yes/no (the
+/// detailed Status is discarded). Prefer the Status-returning functions.
+bool SaveDatasetBinary(const Dataset& dataset, const std::string& path);
+bool LoadDatasetBinary(const std::string& path, Dataset* out);
+bool SaveDatasetUcr(const Dataset& dataset, const std::string& path,
+                    char delimiter = ',');
 bool LoadDatasetUcr(const std::string& path, Dataset* out);
 
 }  // namespace rotind

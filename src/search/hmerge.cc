@@ -62,6 +62,55 @@ HMergeResult HMerge(const double* c, const WedgeTree& tree,
   return result;
 }
 
+StatusOr<HMergeResult> HMergeChecked(const double* c, std::size_t c_length,
+                                     const WedgeTree& tree,
+                                     const std::vector<int>& wedge_set,
+                                     double best_so_far,
+                                     StepCounter* counter) {
+  if (c == nullptr) {
+    return Status::InvalidArgument("candidate pointer is null");
+  }
+  if (c_length != tree.length()) {
+    return Status::InvalidArgument(
+        "candidate has length " + std::to_string(c_length) +
+        ", wedge tree expects " + std::to_string(tree.length()));
+  }
+  for (int id : wedge_set) {
+    if (id < 0 || id >= tree.num_nodes()) {
+      return Status::OutOfRange("wedge id " + std::to_string(id) +
+                                " not in [0, " +
+                                std::to_string(tree.num_nodes()) + ")");
+    }
+  }
+  if (std::isnan(best_so_far)) {
+    return Status::InvalidArgument("best_so_far is NaN");
+  }
+  return HMerge(c, tree, wedge_set, best_so_far, counter);
+}
+
+Status ValidateWedgeQuery(const Series& query,
+                          const WedgeSearchOptions& options) {
+  (void)options;  // Every knob is clamped to a sane range by SetK/AdaptK.
+  if (query.empty()) {
+    return Status::InvalidArgument("query is empty");
+  }
+  for (std::size_t j = 0; j < query.size(); ++j) {
+    if (!std::isfinite(query[j])) {
+      return Status::InvalidArgument("query value " + std::to_string(j) +
+                                     " is NaN or Inf");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<WedgeSearcher>> WedgeSearcher::Create(
+    const Series& query, const WedgeSearchOptions& options,
+    StepCounter* counter) {
+  Status valid = ValidateWedgeQuery(query, options);
+  if (!valid.ok()) return valid;
+  return std::make_unique<WedgeSearcher>(query, options, counter);
+}
+
 WedgeSearcher::WedgeSearcher(const Series& query,
                              const WedgeSearchOptions& options,
                              StepCounter* counter)

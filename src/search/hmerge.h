@@ -2,9 +2,11 @@
 #define ROTIND_SEARCH_HMERGE_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "src/core/series.h"
+#include "src/core/status.h"
 #include "src/core/step_counter.h"
 #include "src/envelope/wedge_tree.h"
 
@@ -43,6 +45,16 @@ HMergeResult HMerge(const double* c, const WedgeTree& tree,
                     const std::vector<int>& wedge_set, double best_so_far,
                     StepCounter* counter = nullptr);
 
+/// Validated H-Merge entry point: rejects a null candidate, a candidate
+/// length differing from the tree's, and wedge ids outside the tree, with a
+/// Status instead of undefined behavior. `c_length` is the number of doubles
+/// readable at `c`.
+StatusOr<HMergeResult> HMergeChecked(const double* c, std::size_t c_length,
+                                     const WedgeTree& tree,
+                                     const std::vector<int>& wedge_set,
+                                     double best_so_far,
+                                     StepCounter* counter = nullptr);
+
 /// Tuning knobs for wedge-based search.
 struct WedgeSearchOptions {
   DistanceKind kind = DistanceKind::kEuclidean;
@@ -70,12 +82,26 @@ struct WedgeSearchOptions {
 ///     auto r = searcher.Distance(C.data(), best_so_far, &counter);
 ///     if (!r.abandoned) { best_so_far = r.distance; searcher.AdaptK(C.data(),
 ///                         best_so_far, &counter); }
+/// Validates a query/options pair before WedgeSearcher construction: the
+/// query must be non-empty with finite values (an empty query makes the
+/// rotation set, and therefore the wedge tree, degenerate). Option knobs are
+/// clamped by the searcher itself and need no validation.
+Status ValidateWedgeQuery(const Series& query,
+                          const WedgeSearchOptions& options);
+
 class WedgeSearcher {
  public:
   /// Builds the rotation set, hierarchy, and envelopes; setup cost is
   /// charged to counter->setup_steps.
   WedgeSearcher(const Series& query, const WedgeSearchOptions& options,
                 StepCounter* counter);
+
+  /// Validated factory: the library's checked entry point for building a
+  /// per-query wedge engine. Returns kInvalidArgument instead of invoking
+  /// the constructor's (asserted) preconditions on bad input.
+  static StatusOr<std::unique_ptr<WedgeSearcher>> Create(
+      const Series& query, const WedgeSearchOptions& options,
+      StepCounter* counter);
 
   /// Exact rotation-invariant distance to `c` (length() doubles), pruned
   /// against best_so_far. Also feeds the dynamic-K probe reservoir (a small

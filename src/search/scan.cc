@@ -226,6 +226,63 @@ std::vector<Neighbor> RangeSearchDatabase(const std::vector<Series>& db,
   return out;
 }
 
+Status ValidateScanInputs(const std::vector<Series>& db, const Series& query,
+                          const ScanOptions& options) {
+  (void)options;  // All option values currently have defined semantics.
+  if (query.empty()) {
+    return Status::InvalidArgument("query is empty");
+  }
+  for (std::size_t j = 0; j < query.size(); ++j) {
+    if (!std::isfinite(query[j])) {
+      return Status::InvalidArgument("query value " + std::to_string(j) +
+                                     " is NaN or Inf");
+    }
+  }
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (db[i].size() != query.size()) {
+      return Status::InvalidArgument(
+          "db item " + std::to_string(i) + " has length " +
+          std::to_string(db[i].size()) + ", query has length " +
+          std::to_string(query.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<ScanResult> SearchDatabaseChecked(const std::vector<Series>& db,
+                                           const Series& query,
+                                           ScanAlgorithm algorithm,
+                                           const ScanOptions& options) {
+  Status valid = ValidateScanInputs(db, query, options);
+  if (!valid.ok()) return valid;
+  return SearchDatabase(db, query, algorithm, options);
+}
+
+StatusOr<std::vector<Neighbor>> KnnSearchDatabaseChecked(
+    const std::vector<Series>& db, const Series& query, int k,
+    ScanAlgorithm algorithm, const ScanOptions& options,
+    StepCounter* counter) {
+  Status valid = ValidateScanInputs(db, query, options);
+  if (!valid.ok()) return valid;
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
+  }
+  return KnnSearchDatabase(db, query, k, algorithm, options, counter);
+}
+
+StatusOr<std::vector<Neighbor>> RangeSearchDatabaseChecked(
+    const std::vector<Series>& db, const Series& query, double radius,
+    ScanAlgorithm algorithm, const ScanOptions& options,
+    StepCounter* counter) {
+  Status valid = ValidateScanInputs(db, query, options);
+  if (!valid.ok()) return valid;
+  if (!std::isfinite(radius) || radius < 0.0) {
+    return Status::InvalidArgument("radius must be finite and >= 0, got " +
+                                   std::to_string(radius));
+  }
+  return RangeSearchDatabase(db, query, radius, algorithm, options, counter);
+}
+
 std::uint64_t AnalyticBruteForceSteps(std::uint64_t num_objects,
                                       std::size_t length,
                                       std::uint64_t rotations_per_object,

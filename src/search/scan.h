@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/series.h"
+#include "src/core/status.h"
 #include "src/core/step_counter.h"
 #include "src/search/hmerge.h"
 
@@ -82,6 +83,35 @@ std::vector<Neighbor> RangeSearchDatabase(const std::vector<Series>& db,
                                           ScanAlgorithm algorithm,
                                           const ScanOptions& options,
                                           StepCounter* counter = nullptr);
+
+/// Validates the structural preconditions every scan shares: non-empty
+/// query with finite values, and every database item matching the query's
+/// length. Returns kInvalidArgument with an actionable message otherwise.
+/// O(m + n); database VALUES are not scanned (a NaN payload yields defined
+/// but meaningless distances — loaders reject NaN at the file boundary).
+Status ValidateScanInputs(const std::vector<Series>& db, const Series& query,
+                          const ScanOptions& options);
+
+/// Checked variants of the scans below: the library's validated public
+/// entry points. The unchecked functions document their preconditions and
+/// assert them in debug builds; these return a Status instead, making
+/// malformed input a recoverable error rather than undefined behavior.
+StatusOr<ScanResult> SearchDatabaseChecked(const std::vector<Series>& db,
+                                           const Series& query,
+                                           ScanAlgorithm algorithm,
+                                           const ScanOptions& options);
+
+/// Also requires k >= 1.
+StatusOr<std::vector<Neighbor>> KnnSearchDatabaseChecked(
+    const std::vector<Series>& db, const Series& query, int k,
+    ScanAlgorithm algorithm, const ScanOptions& options,
+    StepCounter* counter = nullptr);
+
+/// Also requires a finite radius >= 0.
+StatusOr<std::vector<Neighbor>> RangeSearchDatabaseChecked(
+    const std::vector<Series>& db, const Series& query, double radius,
+    ScanAlgorithm algorithm, const ScanOptions& options,
+    StepCounter* counter = nullptr);
 
 /// Closed-form step counts of the deterministic (data-independent) rivals.
 /// Brute force evaluates every cell of every rotation of every object, so

@@ -1,0 +1,122 @@
+#include "tests/testing/fault_injection.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/io/serialize.h"
+
+namespace rotind {
+namespace {
+
+using ::rotind::testing::BinaryImageOf;
+using ::rotind::testing::CorruptVariant;
+using ::rotind::testing::MakeBinaryCorruptions;
+using ::rotind::testing::MakeUcrCorruptions;
+using ::rotind::testing::WriteTempFile;
+
+/// A small dataset exercising every optional section (labels AND names).
+Dataset SampleDataset() {
+  Dataset ds;
+  for (int i = 0; i < 5; ++i) {
+    Series s;
+    for (int j = 0; j < 8; ++j) s.push_back(0.25 * i + 0.5 * j);
+    ds.items.push_back(std::move(s));
+    ds.labels.push_back(i % 2);
+    ds.names.push_back("item-" + std::to_string(i));
+  }
+  return ds;
+}
+
+std::string SampleUcrText() {
+  return "1,0.5,1.5,2.5\n2,0.25,0.75,1.25\n0,-1.0,0.0,1.0\n";
+}
+
+TEST(FaultInjectionTest, ValidBinaryImageParses) {
+  const std::string image = BinaryImageOf(SampleDataset());
+  ASSERT_FALSE(image.empty());
+  StatusOr<Dataset> parsed = ParseDatasetBinary(image.data(), image.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 5u);
+  EXPECT_EQ(parsed->length(), 8u);
+  EXPECT_EQ(parsed->names[4], "item-4");
+}
+
+TEST(FaultInjectionTest, EveryBinaryCorruptionIsRejectedWithItsCode) {
+  const std::string image = BinaryImageOf(SampleDataset());
+  ASSERT_FALSE(image.empty());
+  const std::vector<CorruptVariant> variants = MakeBinaryCorruptions(image);
+  // The harness must produce meaningful coverage, not a trivial list.
+  ASSERT_GE(variants.size(), 20u);
+  for (const CorruptVariant& v : variants) {
+    StatusOr<Dataset> parsed =
+        ParseDatasetBinary(v.bytes.data(), v.bytes.size());
+    EXPECT_FALSE(parsed.ok()) << v.name << " was accepted";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), v.expected_code)
+          << v.name << ": got " << parsed.status().ToString();
+      EXPECT_FALSE(parsed.status().message().empty()) << v.name;
+    }
+  }
+}
+
+/// The inflated-count/length headers must be rejected BEFORE any allocation
+/// sized from the header. A multi-GB resize would either throw bad_alloc
+/// (crashing the no-exceptions contract) or blow the test's address space;
+/// merely completing these parses quickly is the regression signal, and the
+/// harness pins the rejection to the header-sanity code.
+TEST(FaultInjectionTest, InflatedHeadersRejectedWithoutAllocation) {
+  const std::string image = BinaryImageOf(SampleDataset());
+  ASSERT_FALSE(image.empty());
+  for (const CorruptVariant& v : MakeBinaryCorruptions(image)) {
+    if (v.name != "inflate-count-absurd" && v.name != "inflate-length-absurd") {
+      continue;
+    }
+    StatusOr<Dataset> parsed =
+        ParseDatasetBinary(v.bytes.data(), v.bytes.size());
+    ASSERT_FALSE(parsed.ok()) << v.name;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader) << v.name;
+  }
+}
+
+TEST(FaultInjectionTest, EveryUcrCorruptionIsRejectedWithItsCode) {
+  const std::string text = SampleUcrText();
+  const std::vector<CorruptVariant> variants = MakeUcrCorruptions(text);
+  ASSERT_GE(variants.size(), 8u);
+  for (const CorruptVariant& v : variants) {
+    StatusOr<Dataset> parsed = ParseDatasetUcr(v.bytes);
+    EXPECT_FALSE(parsed.ok()) << v.name << " was accepted";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), v.expected_code)
+          << v.name << ": got " << parsed.status().ToString();
+    }
+  }
+}
+
+/// The file-path loaders surface the same codes as the in-memory parsers.
+TEST(FaultInjectionTest, FileLoadersSurfaceParserCodes) {
+  const std::string image = BinaryImageOf(SampleDataset());
+  ASSERT_FALSE(image.empty());
+  int checked = 0;
+  for (const CorruptVariant& v : MakeBinaryCorruptions(image)) {
+    if (v.name != "flip-magic" && v.name != "version-bump" &&
+        v.name != "inflate-count-absurd") {
+      continue;
+    }
+    const std::string path = WriteTempFile("rotind_fi_" + v.name, v.bytes);
+    StatusOr<Dataset> loaded = LoadDatasetBinaryStatus(path);
+    ASSERT_FALSE(loaded.ok()) << v.name;
+    EXPECT_EQ(loaded.status().code(), v.expected_code) << v.name;
+    std::remove(path.c_str());
+    ++checked;
+  }
+  EXPECT_EQ(checked, 3);
+
+  StatusOr<Dataset> missing = LoadDatasetBinaryStatus("/nonexistent/x.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rotind

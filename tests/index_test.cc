@@ -38,6 +38,29 @@ TEST(SimulatedDiskTest, PeekDoesNotCount) {
   EXPECT_EQ(disk.object_fetches(), 0u);
 }
 
+// Regression: invalid ids used to be straight UB in release builds (the
+// bounds assert compiles out). They must now be rejected (TryFetch/TryPeek)
+// or degrade to a shared empty series (Fetch/Peek), with nothing counted.
+TEST(SimulatedDiskTest, InvalidIdsAreRejectedNotUndefined) {
+  SimulatedDisk disk;
+  disk.Store(Series(4, 1.0));
+  EXPECT_TRUE(disk.Contains(0));
+  EXPECT_FALSE(disk.Contains(-1));
+  EXPECT_FALSE(disk.Contains(1));
+
+  EXPECT_EQ(disk.TryFetch(-1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.TryFetch(1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.TryPeek(99).status().code(), StatusCode::kOutOfRange);
+
+  EXPECT_TRUE(disk.Fetch(-1).empty());
+  EXPECT_TRUE(disk.Peek(1).empty());
+  EXPECT_EQ(disk.object_fetches(), 0u);
+  EXPECT_EQ(disk.page_reads(), 0u);
+
+  EXPECT_EQ(disk.Fetch(0).size(), 4u);
+  EXPECT_EQ(disk.object_fetches(), 1u);
+}
+
 class IndexExactnessTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(IndexExactnessTest, EuclideanIndexMatchesBruteForce) {

@@ -1,5 +1,7 @@
 #include "src/io/serialize.h"
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 
@@ -145,6 +147,103 @@ TEST(UcrSerializeTest, RejectsEmptyAndMissing) {
   }
   EXPECT_FALSE(LoadDatasetUcr(path, &loaded));
   std::remove(path.c_str());
+}
+
+// --- Status-returning API --------------------------------------------------
+
+TEST(UcrSerializeStatusTest, DistinguishesMissingFromEmpty) {
+  StatusOr<Dataset> missing = LoadDatasetUcrStatus("/nonexistent/rotind.csv");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  StatusOr<Dataset> empty = ParseDatasetUcr("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kEmptyDataset);
+}
+
+TEST(UcrSerializeStatusTest, TrailingNewlineAndBlankLinesAreFine) {
+  StatusOr<Dataset> one = ParseDatasetUcr("1,0.5,1.5\n");
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  EXPECT_EQ(one->size(), 1u);
+
+  // Missing final newline, CRLF endings, and interior blank lines all load.
+  StatusOr<Dataset> messy =
+      ParseDatasetUcr("1,0.5,1.5\r\n\n   \n2,2.5,3.5");
+  ASSERT_TRUE(messy.ok()) << messy.status().ToString();
+  ASSERT_EQ(messy->size(), 2u);
+  EXPECT_EQ(messy->labels, (std::vector<int>{1, 2}));
+  EXPECT_EQ(messy->items[1], (Series{2.5, 3.5}));
+}
+
+TEST(UcrSerializeStatusTest, MixedDelimitersWithinOneLine) {
+  StatusOr<Dataset> ds = ParseDatasetUcr("3 0.5,1.5\t2.5\n");
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->labels, (std::vector<int>{3}));
+  EXPECT_EQ(ds->items[0], (Series{0.5, 1.5, 2.5}));
+}
+
+TEST(UcrSerializeStatusTest, RaggedRowsGetRaggedRowCode) {
+  StatusOr<Dataset> ds = ParseDatasetUcr("1,0.5,1.5\n2,0.5\n");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kRaggedRow);
+  // The message pinpoints the offending line.
+  EXPECT_NE(ds.status().message().find("line 2"), std::string::npos)
+      << ds.status().message();
+}
+
+TEST(UcrSerializeStatusTest, NonNumericFieldsGetParseErrorCode) {
+  StatusOr<Dataset> bad_label = ParseDatasetUcr("abc,0.5,1.5\n");
+  ASSERT_FALSE(bad_label.ok());
+  EXPECT_EQ(bad_label.status().code(), StatusCode::kParseError);
+
+  StatusOr<Dataset> bad_field = ParseDatasetUcr("1,0.5,oops\n");
+  ASSERT_FALSE(bad_field.ok());
+  EXPECT_EQ(bad_field.status().code(), StatusCode::kParseError);
+
+  StatusOr<Dataset> label_only = ParseDatasetUcr("1\n");
+  ASSERT_FALSE(label_only.ok());
+  EXPECT_EQ(label_only.status().code(), StatusCode::kParseError);
+}
+
+TEST(UcrSerializeStatusTest, NonFiniteValuesGetBadValueCode) {
+  for (const char* text : {"1,nan,1.0\n", "1,inf,1.0\n", "1,-inf,1.0\n",
+                           "nan,1.0,2.0\n"}) {
+    StatusOr<Dataset> ds = ParseDatasetUcr(text);
+    ASSERT_FALSE(ds.ok()) << text;
+    EXPECT_EQ(ds.status().code(), StatusCode::kBadValue) << text;
+  }
+}
+
+TEST(BinarySerializeStatusTest, LengthZeroHeaderRejected) {
+  // Hand-build a header claiming count=3, length=0.
+  std::string image = "RIND";
+  const auto append_pod = [&image](auto v) {
+    image.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_pod(std::uint32_t{1});   // version
+  append_pod(std::uint64_t{3});   // count
+  append_pod(std::uint64_t{0});   // length
+  append_pod(std::uint8_t{0});    // has_labels
+  append_pod(std::uint8_t{0});    // has_names
+  StatusOr<Dataset> ds = ParseDatasetBinary(image.data(), image.size());
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruptHeader);
+}
+
+TEST(BinarySerializeStatusTest, SaveRejectsRaggedAndNonFinite) {
+  Dataset ragged;
+  ragged.items = {{1.0, 2.0}, {3.0}};
+  const std::string path = TempPath("rotind_bad_save.bin");
+  Status s = SaveDatasetBinaryStatus(ragged, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  Dataset nan_ds;
+  nan_ds.items = {{1.0, std::nan("")}};
+  s = SaveDatasetBinaryStatus(nan_ds, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kBadValue);
+  EXPECT_FALSE(std::filesystem::exists(path));  // rejected before any write
 }
 
 }  // namespace

@@ -1,0 +1,67 @@
+#include "src/core/status.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rotind {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("empty query");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "empty query");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: empty query");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kIoError, StatusCode::kInternal,
+        StatusCode::kBadMagic, StatusCode::kVersionMismatch,
+        StatusCode::kTruncated, StatusCode::kCorruptHeader,
+        StatusCode::kBadValue, StatusCode::kRaggedRow, StatusCode::kParseError,
+        StatusCode::kEmptyDataset}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::OutOfRange("id 9");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, SupportsMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(**v, 7);
+  std::unique_ptr<int> taken = *std::move(v);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrTest, OkStatusWithoutValueDegradesToInternal) {
+  StatusOr<int> v{Status::Ok()};
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace rotind

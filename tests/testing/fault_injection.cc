@@ -1,0 +1,224 @@
+#include "tests/testing/fault_injection.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "src/io/serialize.h"
+
+namespace rotind {
+namespace testing {
+namespace {
+
+// Binary container layout (mirrors src/io/serialize.cc — the harness
+// restates the format on purpose, as an independent check).
+constexpr std::size_t kMagicOffset = 0;
+constexpr std::size_t kVersionOffset = 4;
+constexpr std::size_t kCountOffset = 8;
+constexpr std::size_t kLengthOffset = 16;
+constexpr std::size_t kFlagsOffset = 24;
+constexpr std::size_t kHeaderBytes = 26;
+
+template <typename T>
+T ReadAt(const std::string& image, std::size_t offset) {
+  T v{};
+  std::memcpy(&v, image.data() + offset, sizeof(T));
+  return v;
+}
+
+template <typename T>
+std::string WithValueAt(std::string image, std::size_t offset, T value) {
+  std::memcpy(image.data() + offset, &value, sizeof(T));
+  return image;
+}
+
+/// The loader's documented verdict for a file truncated to `cut` bytes —
+/// the spec of serialize.cc's check order, restated. Headers whose counts
+/// could not fit in the observed size AT ALL are corrupt; plausible headers
+/// with missing payload/label/name bytes are truncated.
+StatusCode ExpectedForTruncation(std::size_t cut, std::uint64_t count,
+                                 std::uint64_t length) {
+  if (cut < kHeaderBytes) return StatusCode::kTruncated;
+  const std::uint64_t remaining = cut - kHeaderBytes;
+  if (count == 0) return StatusCode::kEmptyDataset;
+  if (length == 0) return StatusCode::kCorruptHeader;
+  if (length > remaining / sizeof(double)) return StatusCode::kCorruptHeader;
+  if (count > remaining / sizeof(double)) return StatusCode::kCorruptHeader;
+  if (count * length * sizeof(double) > remaining) {
+    return StatusCode::kTruncated;
+  }
+  return StatusCode::kTruncated;  // short label/name sections
+}
+
+}  // namespace
+
+std::string BinaryImageOf(const Dataset& ds) {
+  const std::string path = WriteTempFile("rotind_fi_image.bin", "");
+  if (!SaveDatasetBinaryStatus(ds, path).ok()) return "";
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  return bytes;
+}
+
+std::vector<CorruptVariant> MakeBinaryCorruptions(const std::string& image) {
+  std::vector<CorruptVariant> out;
+  if (!ParseDatasetBinary(image.data(), image.size()).ok()) return out;
+
+  const auto count = ReadAt<std::uint64_t>(image, kCountOffset);
+  const auto length = ReadAt<std::uint64_t>(image, kLengthOffset);
+  const auto has_labels = ReadAt<std::uint8_t>(image, kFlagsOffset);
+  const auto has_names = ReadAt<std::uint8_t>(image, kFlagsOffset + 1);
+  const std::size_t payload_end =
+      kHeaderBytes + static_cast<std::size_t>(count * length * sizeof(double));
+  const std::size_t labels_end =
+      payload_end + (has_labels != 0 ? static_cast<std::size_t>(count) * 4 : 0);
+
+  // --- Truncation at and inside every section boundary ------------------
+  std::vector<std::size_t> cuts = {
+      0,                              // empty file
+      2,                              // mid-magic
+      4,                              // after magic, no version
+      6,                              // mid-version
+      kCountOffset,                   // after version
+      kCountOffset + 4,               // mid-count
+      kLengthOffset,                  // after count
+      kLengthOffset + 4,              // mid-length
+      kFlagsOffset,                   // after length, no flags
+      kFlagsOffset + 1,               // one flag byte short
+      kHeaderBytes,                   // bare header, zero payload bytes
+      kHeaderBytes + sizeof(double),  // one value of the first row
+      kHeaderBytes +
+          static_cast<std::size_t>(length) * sizeof(double),  // first row only
+      kHeaderBytes + (payload_end - kHeaderBytes) / 2,        // mid-payload
+      payload_end - 1,                // one byte short of full payload
+      image.size() - 1,               // one byte short of the full file
+  };
+  if (has_labels != 0) {
+    cuts.push_back(payload_end);      // payload complete, labels missing
+    cuts.push_back(payload_end + 2);  // mid-label
+  }
+  if (has_names != 0) {
+    cuts.push_back(labels_end);       // labels complete, names missing
+    cuts.push_back(labels_end + 2);   // mid name-length field
+  }
+  for (std::size_t cut : cuts) {
+    if (cut >= image.size()) continue;  // not a truncation of this image
+    out.push_back({"truncate@" + std::to_string(cut), image.substr(0, cut),
+                   ExpectedForTruncation(cut, count, length)});
+  }
+
+  // --- Header field corruption ------------------------------------------
+  {
+    std::string bytes = image;
+    bytes[kMagicOffset] = 'X';
+    out.push_back({"flip-magic", std::move(bytes), StatusCode::kBadMagic});
+  }
+  out.push_back({"version-bump",
+                 WithValueAt<std::uint32_t>(
+                     image, kVersionOffset,
+                     ReadAt<std::uint32_t>(image, kVersionOffset) + 1),
+                 StatusCode::kVersionMismatch});
+  out.push_back({"inflate-count-absurd",
+                 WithValueAt<std::uint64_t>(image, kCountOffset,
+                                            std::uint64_t{1} << 60),
+                 StatusCode::kCorruptHeader});
+  out.push_back({"inflate-count-2x",
+                 WithValueAt<std::uint64_t>(image, kCountOffset, count * 2),
+                 StatusCode::kTruncated});
+  out.push_back({"inflate-length-absurd",
+                 WithValueAt<std::uint64_t>(image, kLengthOffset,
+                                            std::uint64_t{1} << 60),
+                 StatusCode::kCorruptHeader});
+  out.push_back({"zero-length",
+                 WithValueAt<std::uint64_t>(image, kLengthOffset, 0),
+                 StatusCode::kCorruptHeader});
+  out.push_back({"zero-count",
+                 WithValueAt<std::uint64_t>(image, kCountOffset, 0),
+                 StatusCode::kEmptyDataset});
+  out.push_back({"invalid-flag",
+                 WithValueAt<std::uint8_t>(image, kFlagsOffset, 7),
+                 StatusCode::kCorruptHeader});
+
+  // --- Payload corruption ------------------------------------------------
+  out.push_back(
+      {"nan-payload",
+       WithValueAt<double>(image, kHeaderBytes,
+                           std::numeric_limits<double>::quiet_NaN()),
+       StatusCode::kBadValue});
+  out.push_back({"inf-payload",
+                 WithValueAt<double>(image, payload_end - sizeof(double),
+                                     std::numeric_limits<double>::infinity()),
+                 StatusCode::kBadValue});
+  if (has_names != 0) {
+    out.push_back({"name-length-overcap",
+                   WithValueAt<std::uint32_t>(image, labels_end, 0x7FFFFFFFu),
+                   StatusCode::kCorruptHeader});
+  }
+  out.push_back({"trailing-garbage", image + std::string(16, '\xAB'),
+                 StatusCode::kCorruptHeader});
+  return out;
+}
+
+std::vector<CorruptVariant> MakeUcrCorruptions(const std::string& text) {
+  std::vector<CorruptVariant> out;
+  StatusOr<Dataset> parsed = ParseDatasetUcr(text);
+  if (!parsed.ok()) return out;
+  const std::size_t width = parsed->length();
+
+  // A row one value short of the established width.
+  std::string short_row = "9";
+  for (std::size_t i = 0; i + 1 < width; ++i) short_row += ",0.0";
+  out.push_back({"ragged-row", text + short_row + "\n",
+                 StatusCode::kRaggedRow});
+  out.push_back({"non-numeric-label", text + "zebra,1.0\n",
+                 StatusCode::kParseError});
+  {
+    // Garbage in a value field of an otherwise plausible row.
+    std::string row = "9,zebra";
+    for (std::size_t i = 0; i + 1 < width; ++i) row += ",0.0";
+    out.push_back({"non-numeric-field", text + row + "\n",
+                   StatusCode::kParseError});
+  }
+  {
+    std::string row = "9,nan";
+    for (std::size_t i = 0; i + 1 < width; ++i) row += ",0.0";
+    out.push_back({"nan-value", text + row + "\n", StatusCode::kBadValue});
+  }
+  {
+    std::string row = "9,-inf";
+    for (std::size_t i = 0; i + 1 < width; ++i) row += ",0.0";
+    out.push_back({"inf-value", text + row + "\n", StatusCode::kBadValue});
+  }
+  out.push_back({"nan-label", text + "nan,1.0\n", StatusCode::kBadValue});
+  out.push_back({"label-only-line", text + "5\n", StatusCode::kParseError});
+  out.push_back({"empty-file", "", StatusCode::kEmptyDataset});
+  out.push_back({"blank-lines-only", "\n \n\t\n\r\n",
+                 StatusCode::kEmptyDataset});
+  return out;
+}
+
+std::string WriteTempFile(const std::string& name, const std::string& bytes) {
+  // Uniquify per process and call: ctest runs test cases as parallel
+  // processes, and a shared fixed path is a write/read race.
+  static std::atomic<int> counter{0};
+  const std::string unique =
+      std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(counter.fetch_add(1)) + "." + name;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / unique).string();
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+}  // namespace testing
+}  // namespace rotind

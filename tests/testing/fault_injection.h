@@ -1,0 +1,47 @@
+#ifndef ROTIND_TESTS_TESTING_FAULT_INJECTION_H_
+#define ROTIND_TESTS_TESTING_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/status.h"
+
+namespace rotind {
+namespace testing {
+
+/// One systematically corrupted file image plus the Status code the loader
+/// is REQUIRED to reject it with. The expected code restates the loader's
+/// documented error contract (serialize.h / DESIGN.md) independently, so
+/// the fault-injection test cross-checks implementation against spec.
+struct CorruptVariant {
+  std::string name;          ///< e.g. "truncate@12", "inflate-count-absurd".
+  std::string bytes;         ///< The corrupted file image.
+  StatusCode expected_code;  ///< What ParseDataset* must return.
+};
+
+/// Serializes `ds` to the binary container format and returns the raw file
+/// image (via a temp file; the file is removed). Aborts the calling test is
+/// not possible here, so an empty string signals failure.
+std::string BinaryImageOf(const Dataset& ds);
+
+/// Produces corrupted variants of a valid binary container image:
+/// truncation at (and inside) every section boundary, flipped magic, bumped
+/// version, absurd/inflated/zeroed count and length fields, invalid flag
+/// bytes, NaN/Inf payload values, an over-cap name length, and trailing
+/// garbage. `image` must parse cleanly (checked internally; returns empty
+/// on a non-parsing input).
+std::vector<CorruptVariant> MakeBinaryCorruptions(const std::string& image);
+
+/// Produces corrupted variants of a valid UCR text image: ragged rows,
+/// non-numeric labels and fields, NaN/Inf values, a label-only line, an
+/// empty file, and a blank-lines-only file. `text` must parse cleanly.
+std::vector<CorruptVariant> MakeUcrCorruptions(const std::string& text);
+
+/// Writes `bytes` to a unique temp file and returns its path.
+std::string WriteTempFile(const std::string& name, const std::string& bytes);
+
+}  // namespace testing
+}  // namespace rotind
+
+#endif  // ROTIND_TESTS_TESTING_FAULT_INJECTION_H_

@@ -13,10 +13,16 @@
 ///
 /// Databases are UCR-format text (label,v1,v2,...) or the binary format
 /// produced with --binary; the loader sniffs the magic bytes.
+///
+/// Exit codes: 0 success; 1 runtime/I-O failure (e.g. a write failed);
+/// 2 usage error or invalid input (unknown flag, malformed number, value
+/// out of range for the loaded database, unreadable/corrupt database).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -57,6 +63,31 @@ int Usage() {
   return 2;
 }
 
+/// Strict numeric parsing: the whole token must convert, with no silent
+/// truncation (std::atoi("12abc") == 12 and std::atoi("zebra") == 0 both
+/// used to slip through).
+bool ParseInt(const char* flag, const char* text, long min, long max,
+              long* out) {
+  if (text == nullptr || *text == '\0') {
+    std::fprintf(stderr, "%s needs a value\n", flag);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (errno == ERANGE || end != text + std::strlen(text)) {
+    std::fprintf(stderr, "%s: '%s' is not a valid integer\n", flag, text);
+    return false;
+  }
+  if (v < min || v > max) {
+    std::fprintf(stderr, "%s: %ld is out of range [%ld, %ld]\n", flag, v, min,
+                 max);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
   args->command = argv[1];
@@ -65,50 +96,47 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     auto next = [&]() -> const char* {
       return (i + 1 < argc) ? argv[++i] : nullptr;
     };
+    auto next_int = [&](long min, long max, long* out) {
+      return ParseInt(flag.c_str(), next(), min, max, out);
+    };
+    long v = 0;
     if (flag == "--db") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->db_path = v;
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->db_path = value;
     } else if (flag == "--out") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->out_path = v;
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->out_path = value;
     } else if (flag == "--kind") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->kind = v;
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->kind = value;
     } else if (flag == "--algo") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->algo = v;
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->algo = value;
     } else if (flag == "--m") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->m = std::strtoull(v, nullptr, 10);
+      if (!next_int(1, std::numeric_limits<long>::max(), &v)) return false;
+      args->m = static_cast<std::size_t>(v);
     } else if (flag == "--n") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->n = std::strtoull(v, nullptr, 10);
+      if (!next_int(1, std::numeric_limits<long>::max(), &v)) return false;
+      args->n = static_cast<std::size_t>(v);
     } else if (flag == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->seed = std::strtoull(v, nullptr, 10);
+      if (!next_int(0, std::numeric_limits<long>::max(), &v)) return false;
+      args->seed = static_cast<std::uint64_t>(v);
     } else if (flag == "--query-index") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->query_index = std::atoi(v);
+      if (!next_int(0, std::numeric_limits<int>::max(), &v)) return false;
+      args->query_index = static_cast<int>(v);
     } else if (flag == "--k") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->k = std::atoi(v);
+      if (!next_int(1, std::numeric_limits<int>::max(), &v)) return false;
+      args->k = static_cast<int>(v);
     } else if (flag == "--band") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->band = std::atoi(v);
+      if (!next_int(0, std::numeric_limits<int>::max(), &v)) return false;
+      args->band = static_cast<int>(v);
     } else if (flag == "--max-shift") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->max_shift = std::atoi(v);
+      if (!next_int(-1, std::numeric_limits<int>::max(), &v)) return false;
+      args->max_shift = static_cast<int>(v);
     } else if (flag == "--dtw") {
       args->dtw = true;
     } else if (flag == "--mirror") {
@@ -120,14 +148,77 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  if (args->algo != "wedge" && args->algo != "brute" && args->algo != "ea" &&
+      args->algo != "fft") {
+    std::fprintf(stderr,
+                 "--algo must be one of wedge|brute|ea|fft, got '%s'\n",
+                 args->algo.c_str());
+    return false;
+  }
   return true;
 }
 
 bool LoadDb(const std::string& path, Dataset* out) {
-  if (LoadDatasetBinary(path, out)) return true;
-  if (LoadDatasetUcr(path, out)) return true;
-  std::fprintf(stderr, "cannot read database %s\n", path.c_str());
+  StatusOr<Dataset> binary = LoadDatasetBinaryStatus(path);
+  if (binary.ok()) {
+    *out = *std::move(binary);
+    return true;
+  }
+  // Not a binary container at all? Try UCR text; otherwise report the
+  // binary loader's specific verdict (truncated, corrupt header, ...).
+  if (binary.status().code() == StatusCode::kBadMagic ||
+      binary.status().code() == StatusCode::kTruncated) {
+    StatusOr<Dataset> ucr = LoadDatasetUcrStatus(path);
+    if (ucr.ok()) {
+      *out = *std::move(ucr);
+      return true;
+    }
+    std::fprintf(stderr, "cannot read database %s: %s\n", path.c_str(),
+                 ucr.status().ToString().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "cannot read database %s: %s\n", path.c_str(),
+               binary.status().ToString().c_str());
   return false;
+}
+
+/// Checks every flag whose valid range depends on the loaded database.
+/// Returns false (after an actionable message) when any is out of range.
+bool ValidateArgsAgainstDb(const Args& args, const Dataset& db) {
+  const long m = static_cast<long>(db.size());
+  const long n = static_cast<long>(db.length());
+  if (args.command == "search" || args.command == "knn") {
+    if (args.query_index >= m) {
+      std::fprintf(stderr,
+                   "--query-index %d is out of range: database has %ld "
+                   "series (valid: 0..%ld)\n",
+                   args.query_index, m, m - 1);
+      return false;
+    }
+  }
+  if (args.command == "knn") {
+    if (args.k > m - 1) {
+      std::fprintf(stderr,
+                   "--k %d exceeds the %ld available neighbors (database "
+                   "size %ld minus the query)\n",
+                   args.k, m - 1, m);
+      return false;
+    }
+  }
+  if (args.dtw && args.band > n) {
+    std::fprintf(stderr,
+                 "--band %d exceeds the series length %ld; use 0..%ld\n",
+                 args.band, n, n);
+    return false;
+  }
+  if (args.max_shift > n) {
+    std::fprintf(stderr,
+                 "--max-shift %d exceeds the series length %ld; use -1 "
+                 "(unlimited) or 0..%ld\n",
+                 args.max_shift, n, n);
+    return false;
+  }
+  return true;
 }
 
 ScanOptions MakeScanOptions(const Args& args) {
@@ -169,17 +260,22 @@ int CmdGenerate(const Args& args) {
                        part.labels.end());
     }
   } else {
-    std::fprintf(stderr, "unknown --kind %s\n", args.kind.c_str());
+    std::fprintf(stderr,
+                 "unknown --kind %s (use projectile|heterogeneous|"
+                 "lightcurve|table8)\n",
+                 args.kind.c_str());
     return 2;
   }
   if (args.out_path.empty()) {
     std::fprintf(stderr, "--out is required\n");
     return 2;
   }
-  const bool ok = args.binary ? SaveDatasetBinary(ds, args.out_path)
-                              : SaveDatasetUcr(ds, args.out_path);
-  if (!ok) {
-    std::fprintf(stderr, "write failed: %s\n", args.out_path.c_str());
+  const Status ok = args.binary
+                        ? SaveDatasetBinaryStatus(ds, args.out_path)
+                        : SaveDatasetUcrStatus(ds, args.out_path);
+  if (!ok.ok()) {
+    std::fprintf(stderr, "write failed: %s: %s\n", args.out_path.c_str(),
+                 ok.ToString().c_str());
     return 1;
   }
   std::printf("wrote %zu series of length %zu to %s\n", ds.size(),
@@ -200,39 +296,39 @@ int CmdInfo(const Dataset& db) {
 
 int CmdSearch(const Args& args, const Dataset& db) {
   const std::size_t qi = static_cast<std::size_t>(args.query_index);
-  if (qi >= db.size()) {
-    std::fprintf(stderr, "--query-index out of range\n");
-    return 2;
-  }
   std::vector<Series> rest;
   for (std::size_t i = 0; i < db.size(); ++i) {
     if (i != qi) rest.push_back(db.items[i]);
   }
-  const ScanResult r = SearchDatabase(rest, db.items[qi], MakeAlgorithm(args),
-                                      MakeScanOptions(args));
+  const StatusOr<ScanResult> r = SearchDatabaseChecked(
+      rest, db.items[qi], MakeAlgorithm(args), MakeScanOptions(args));
+  if (!r.ok()) {
+    std::fprintf(stderr, "search failed: %s\n", r.status().ToString().c_str());
+    return 2;
+  }
   const int mapped =
-      r.best_index >= args.query_index ? r.best_index + 1 : r.best_index;
+      r->best_index >= args.query_index ? r->best_index + 1 : r->best_index;
   std::printf("best match: %d  distance=%.6f  shift=%d%s  steps=%llu\n",
-              mapped, r.best_distance, r.best_shift,
-              r.best_mirrored ? " (mirrored)" : "",
-              static_cast<unsigned long long>(r.counter.total_steps()));
+              mapped, r->best_distance, r->best_shift,
+              r->best_mirrored ? " (mirrored)" : "",
+              static_cast<unsigned long long>(r->counter.total_steps()));
   return 0;
 }
 
 int CmdKnn(const Args& args, const Dataset& db) {
   const std::size_t qi = static_cast<std::size_t>(args.query_index);
-  if (qi >= db.size()) {
-    std::fprintf(stderr, "--query-index out of range\n");
-    return 2;
-  }
   std::vector<Series> rest;
   for (std::size_t i = 0; i < db.size(); ++i) {
     if (i != qi) rest.push_back(db.items[i]);
   }
-  const auto knn = KnnSearchDatabase(rest, db.items[qi], args.k,
-                                     MakeAlgorithm(args),
-                                     MakeScanOptions(args));
-  for (const Neighbor& nb : knn) {
+  const StatusOr<std::vector<Neighbor>> knn =
+      KnnSearchDatabaseChecked(rest, db.items[qi], args.k, MakeAlgorithm(args),
+                               MakeScanOptions(args));
+  if (!knn.ok()) {
+    std::fprintf(stderr, "knn failed: %s\n", knn.status().ToString().c_str());
+    return 2;
+  }
+  for (const Neighbor& nb : *knn) {
     const int mapped =
         nb.index >= args.query_index ? nb.index + 1 : nb.index;
     std::printf("%6d  distance=%.6f  shift=%d%s\n", mapped, nb.distance,
@@ -255,6 +351,10 @@ int CmdClassify(const Args& args, const Dataset& db) {
 }
 
 int CmdMotif(const Args& args, const Dataset& db, bool discord) {
+  if (db.size() < 2) {
+    std::fprintf(stderr, "motif/discord mining needs at least 2 series\n");
+    return 2;
+  }
   MiningOptions options;
   options.kind = args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean;
   options.band = args.band;
@@ -281,14 +381,24 @@ int main(int argc, char** argv) {
 
   if (args.command == "generate") return CmdGenerate(args);
 
+  if (args.command != "info" && args.command != "search" &&
+      args.command != "knn" && args.command != "classify" &&
+      args.command != "motif" && args.command != "discord") {
+    return Usage();
+  }
+
+  if (args.db_path.empty()) {
+    std::fprintf(stderr, "--db is required for '%s'\n", args.command.c_str());
+    return 2;
+  }
   Dataset db;
-  if (args.db_path.empty() || !LoadDb(args.db_path, &db)) return Usage();
+  if (!LoadDb(args.db_path, &db)) return 2;
+  if (!ValidateArgsAgainstDb(args, db)) return 2;
 
   if (args.command == "info") return CmdInfo(db);
   if (args.command == "search") return CmdSearch(args, db);
   if (args.command == "knn") return CmdKnn(args, db);
   if (args.command == "classify") return CmdClassify(args, db);
   if (args.command == "motif") return CmdMotif(args, db, /*discord=*/false);
-  if (args.command == "discord") return CmdMotif(args, db, /*discord=*/true);
-  return Usage();
+  return CmdMotif(args, db, /*discord=*/true);
 }

@@ -1,0 +1,143 @@
+/// Fuzzing entry point for the dataset loaders — the library's primary
+/// untrusted-input surface. One input image is fed to BOTH parsers (binary
+/// container and UCR text); any crash, sanitizer report, or runaway
+/// allocation is a bug, since every malformed input must map to a Status.
+///
+/// Two build modes:
+///
+///  * Default: a deterministic standalone runner. With file arguments it
+///    replays each file through the parsers (corpus regression mode); with
+///    no arguments it replays a built-in corpus of structurally interesting
+///    images derived from the fault-injection harness's corruption
+///    taxonomy. Exit code 0 means "no crash", which is the entire contract.
+///
+///  * -DROTIND_FUZZER=ON (clang only): links libFuzzer via
+///    -fsanitize=fuzzer and exports LLVMFuzzerTestOneInput for
+///    coverage-guided fuzzing:  ./rotind_fuzz_load corpus_dir/
+///
+/// Parsed datasets are additionally round-tripped through a checked search
+/// call, so a file that parses must also be *usable* without UB.
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/io/serialize.h"
+#include "src/search/scan.h"
+
+namespace {
+
+using namespace rotind;
+
+/// Every parser outcome is acceptable except a crash. When a parse
+/// SUCCEEDS, push the dataset through the validated search boundary too:
+/// accepted files must be fully usable.
+void ExerciseParsers(const std::uint8_t* data, std::size_t size) {
+  const char* bytes = reinterpret_cast<const char*>(data);
+
+  StatusOr<Dataset> binary = ParseDatasetBinary(bytes, size);
+  StatusOr<Dataset> ucr = ParseDatasetUcr(std::string_view(bytes, size));
+  for (StatusOr<Dataset>* parsed : {&binary, &ucr}) {
+    if (!parsed->ok()) continue;
+    const Dataset& ds = **parsed;
+    if (ds.empty() || ds.length() == 0 || ds.length() > 1024 ||
+        ds.size() > 64) {
+      continue;  // keep the search step cheap under fuzzing
+    }
+    ScanOptions options;
+    (void)SearchDatabaseChecked(ds.items, ds.items[0], ScanAlgorithm::kWedge,
+                                options);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ExerciseParsers(data, size);
+  return 0;
+}
+
+#ifndef ROTIND_FUZZER
+
+namespace {
+
+/// Built-in deterministic corpus: a valid image plus hand-picked structural
+/// mutations of it (truncations at every byte, header field extremes, and a
+/// few text-format edge cases). Small enough to run in CI on every commit.
+std::vector<std::string> BuiltInCorpus() {
+  std::vector<std::string> corpus;
+
+  Dataset ds;
+  for (int i = 0; i < 3; ++i) {
+    ds.items.push_back({0.5 * i, 1.0, -2.0, 0.25});
+    ds.labels.push_back(i);
+    ds.names.push_back("c" + std::to_string(i));
+  }
+  // Serialize through a temp file to obtain a genuine container image.
+  const std::string path =
+      "/tmp/rotind_fuzz_seed." + std::to_string(::getpid()) + ".bin";
+  if (SaveDatasetBinaryStatus(ds, path).ok()) {
+    std::ifstream in(path, std::ios::binary);
+    std::string image((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    // Every prefix of the valid image (exhaustive truncation sweep).
+    for (std::size_t cut = 0; cut <= image.size(); ++cut) {
+      corpus.push_back(image.substr(0, cut));
+    }
+    // Every single-byte corruption of the header.
+    for (std::size_t i = 0; i < 26 && i < image.size(); ++i) {
+      std::string mutated = image;
+      mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+      corpus.push_back(std::move(mutated));
+    }
+  }
+
+  corpus.push_back("");
+  corpus.push_back("RIND");
+  corpus.push_back(std::string(4096, '\0'));
+  corpus.push_back("1,2,3\n4,5,6\n");
+  corpus.push_back("1,2,3\n4,5\n");          // ragged
+  corpus.push_back("nan,inf,-inf\n");        // non-finite everywhere
+  corpus.push_back("label,not,numbers\n");   // text garbage
+  corpus.push_back("1e308,1e308,1e308\n");   // near-overflow values
+  corpus.push_back("1,2,3");                 // no trailing newline
+  return corpus;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total = 0;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream in(argv[i], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 2;
+      }
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      ExerciseParsers(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                      bytes.size());
+      ++total;
+    }
+  } else {
+    for (const std::string& input : BuiltInCorpus()) {
+      ExerciseParsers(reinterpret_cast<const std::uint8_t*>(input.data()),
+                      input.size());
+      ++total;
+    }
+  }
+  std::printf("rotind_fuzz_load: %zu inputs, no crashes\n", total);
+  return 0;
+}
+
+#endif  // ROTIND_FUZZER
