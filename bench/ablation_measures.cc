@@ -8,7 +8,6 @@
 
 #include "bench/bench_common.h"
 #include "src/datasets/synthetic.h"
-#include "src/search/lcss_search.h"
 
 namespace rotind::bench {
 namespace {
@@ -53,26 +52,17 @@ int Run() {
     std::printf("  %-22s %12.1f steps/cmp   %.6f of its brute force\n",
                 "DTW (R=5) wedge", wedge, wedge / brute);
   }
-  // LCSS: wedge filter vs brute force, measured directly.
+  // LCSS rides the same engine cascade as ED and DTW now (kind = kLcss):
+  // wedge composition vs its own brute-force rotation scan.
   {
-    LcssOptions lcss;
-    lcss.epsilon = 0.25;
-    lcss.delta = 5;
-    double wedge_steps = 0.0;
-    double brute_steps = 0.0;
-    std::uint64_t comparisons = 0;
-    for (std::size_t qi : queries.query_indices) {
-      const std::vector<Series> subset = Restrict(db, m, qi);
-      const LcssScanResult w =
-          LcssSearchDatabase(subset, db[qi], lcss, {}, /*use_wedges=*/true);
-      const LcssScanResult b =
-          LcssSearchDatabase(subset, db[qi], lcss, {}, /*use_wedges=*/false);
-      wedge_steps += static_cast<double>(w.counter.total_steps());
-      brute_steps += static_cast<double>(b.counter.total_steps());
-      comparisons += subset.size();
-    }
-    wedge_steps /= static_cast<double>(comparisons);
-    brute_steps /= static_cast<double>(comparisons);
+    ScanOptions lcss;
+    lcss.kind = DistanceKind::kLcss;
+    lcss.lcss.epsilon = 0.25;
+    lcss.lcss.delta = 5;
+    const double wedge_steps = AverageStepsPerComparison(
+        db, m, queries, ScanAlgorithm::kWedge, lcss);
+    const double brute_steps = AverageStepsPerComparison(
+        db, m, queries, ScanAlgorithm::kBruteForce, lcss);
     std::printf("  %-22s %12.1f steps/cmp   %.6f of its brute force\n",
                 "LCSS wedge", wedge_steps, wedge_steps / brute_steps);
   }

@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "src/core/flat_dataset.h"
 #include "src/core/random.h"
 #include "src/core/series.h"
+#include "src/search/engine.h"
 #include "src/search/scan.h"
 
 namespace rotind::bench {
@@ -49,33 +51,33 @@ inline QuerySet PickQueries(std::size_t database_size, std::size_t count,
   return qs;
 }
 
-/// Database restricted to the first m objects with `exclude` removed.
-inline std::vector<Series> Restrict(const std::vector<Series>& db,
-                                    std::size_t m, std::size_t exclude) {
-  std::vector<Series> out;
-  out.reserve(m);
-  for (std::size_t i = 0; i < m && i < db.size(); ++i) {
-    if (i == exclude) continue;
-    out.push_back(db[i]);
-  }
+/// FlatDataset over the first m objects of db (contiguous engine storage).
+inline FlatDataset RestrictFlat(const std::vector<Series>& db,
+                                std::size_t m) {
+  FlatDataset out;
+  for (std::size_t i = 0; i < m && i < db.size(); ++i) out.Add(db[i]);
   return out;
 }
 
 /// Average steps per object comparison for one rival algorithm across the
-/// query set, on the first m objects of db.
+/// query set, on the first m objects of db. Runs through the QueryEngine:
+/// the database prefix is stored once as a FlatDataset, and a query drawn
+/// from the prefix is excluded via the engine's leave-one-out scan instead
+/// of copying the database minus one item per query.
 inline double AverageStepsPerComparison(const std::vector<Series>& db,
                                         std::size_t m, const QuerySet& queries,
                                         ScanAlgorithm algorithm,
                                         const ScanOptions& options) {
+  const FlatDataset flat = RestrictFlat(db, m);
+  const QueryEngine engine(flat, EngineOptionsFrom(options, algorithm));
+  const std::size_t no_holdout = flat.size();  // skips nothing
   double total = 0.0;
   std::uint64_t comparisons = 0;
   for (std::size_t qi : queries.query_indices) {
-    const std::size_t exclude = qi < m ? qi : m;  // may be outside prefix
-    const std::vector<Series> subset = Restrict(db, m, exclude);
-    const ScanResult r =
-        SearchDatabase(subset, db[qi], algorithm, options);
+    const std::size_t holdout = qi < m ? qi : no_holdout;
+    const ScanResult r = engine.SearchLeaveOneOut(db[qi], holdout);
     total += static_cast<double>(r.counter.total_steps());
-    comparisons += subset.size();
+    comparisons += flat.size() - (holdout < flat.size() ? 1 : 0);
   }
   return comparisons == 0 ? 0.0 : total / static_cast<double>(comparisons);
 }

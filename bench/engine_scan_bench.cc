@@ -1,0 +1,171 @@
+/// End-to-end scan benchmark with machine-readable output.
+///
+/// Runs every cascade composition (the legacy algorithm set plus the
+/// FFT-filter + wedge pipeline) over a synthetic projectile-points
+/// workload under Euclidean and DTW, then times the batch driver at 1 and
+/// N threads. Results — implementation-free step counts AND wall-clock —
+/// are written as JSON so CI can archive and diff them across commits.
+///
+///   engine_scan_bench [output.json]      (default: BENCH_scan.json)
+///
+/// Scale: ROTIND_BENCH_SCALE=full for paper-sized inputs.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/datasets/synthetic.h"
+#include "src/search/engine.h"
+
+namespace rotind::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Row {
+  std::string name;
+  std::string kind;
+  std::uint64_t total_steps = 0;
+  double wall_seconds = 0.0;
+  std::size_t queries = 0;
+};
+
+/// Runs `queries` leave-one-out 1-NN searches through one engine
+/// configuration and records total steps + wall time.
+Row RunConfig(const std::string& name, const FlatDataset& db,
+              const std::vector<std::size_t>& queries,
+              const EngineOptions& options) {
+  Row row;
+  row.name = name;
+  row.kind = DistanceKindName(options.kind);
+  row.queries = queries.size();
+  const QueryEngine engine(db, options);
+  const auto t0 = Clock::now();
+  for (std::size_t qi : queries) {
+    const ScanResult r = engine.SearchLeaveOneOut(db.Materialize(qi), qi);
+    row.total_steps += r.counter.total_steps();
+  }
+  row.wall_seconds = Seconds(t0, Clock::now());
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scan.json";
+  const bool full = FullScale();
+  const std::size_t n = 251;
+  const std::size_t m = full ? 4000 : 400;
+  const std::size_t num_queries = full ? 20 : 8;
+
+  const FlatDataset db =
+      FlatDataset::FromItems(MakeProjectilePointsDatabase(m, n, 2006));
+  const QuerySet qs = PickQueries(m, num_queries, 42);
+
+  // Every composition the engine can express for each measure. The names
+  // spell out the cascade so the JSON is self-describing.
+  struct Config {
+    const char* name;
+    DistanceKind kind;
+    CascadeSpec cascade;
+  };
+  const std::vector<Config> configs = {
+      {"ed/full-scan", DistanceKind::kEuclidean, {{StageKind::kFullScan}}},
+      {"ed/early-abandon", DistanceKind::kEuclidean,
+       {{StageKind::kExactScan}}},
+      {"ed/fft+early-abandon", DistanceKind::kEuclidean,
+       {{StageKind::kFftMagnitude, StageKind::kExactScan}}},
+      {"ed/wedge", DistanceKind::kEuclidean, {{StageKind::kWedge}}},
+      {"ed/fft+wedge", DistanceKind::kEuclidean,
+       {{StageKind::kFftMagnitude, StageKind::kWedge}}},
+      {"dtw/full-scan-banded", DistanceKind::kDtw,
+       {{StageKind::kFullScanBanded}}},
+      {"dtw/early-abandon", DistanceKind::kDtw, {{StageKind::kExactScan}}},
+      {"dtw/wedge", DistanceKind::kDtw, {{StageKind::kWedge}}},
+  };
+
+  std::vector<Row> rows;
+  for (const Config& c : configs) {
+    EngineOptions options;
+    options.kind = c.kind;
+    options.band = 5;
+    options.cascade = c.cascade;
+    rows.push_back(RunConfig(c.name, db, qs.query_indices, options));
+    std::printf("  %-24s %14llu steps  %8.3f s\n", rows.back().name.c_str(),
+                static_cast<unsigned long long>(rows.back().total_steps),
+                rows.back().wall_seconds);
+  }
+
+  // Batch driver scaling: the same wedge workload at 1 thread vs the
+  // machine's parallelism, with bit-identical results by construction.
+  std::vector<Series> batch_queries;
+  for (std::size_t qi : qs.query_indices) {
+    batch_queries.push_back(db.Materialize(qi));
+  }
+  const QueryEngine engine(db);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int threads = hw > 1 ? hw : 2;
+  const auto t1 = Clock::now();
+  const auto serial = engine.SearchBatch(batch_queries, 1);
+  const auto t2 = Clock::now();
+  const auto parallel = engine.SearchBatch(batch_queries, threads);
+  const auto t3 = Clock::now();
+  const double serial_s = Seconds(t1, t2);
+  const double parallel_s = Seconds(t2, t3);
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].best_index == parallel[i].best_index &&
+                serial[i].best_distance == parallel[i].best_distance &&
+                serial[i].counter.total_steps() ==
+                    parallel[i].counter.total_steps();
+  }
+  std::printf("  batch: %zu queries  1 thread %.3f s, %d threads %.3f s "
+              "(%.2fx, identical=%s)\n",
+              batch_queries.size(), serial_s, threads, parallel_s,
+              parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+              identical ? "yes" : "NO");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"dataset\": {\"generator\": \"projectile-points\", "
+               "\"m\": %zu, \"n\": %zu, \"queries\": %zu},\n",
+               m, n, num_queries);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"kind\": \"%s\", "
+                 "\"total_steps\": %llu, \"wall_seconds\": %.6f, "
+                 "\"queries\": %zu}%s\n",
+                 rows[i].name.c_str(), rows[i].kind.c_str(),
+                 static_cast<unsigned long long>(rows[i].total_steps),
+                 rows[i].wall_seconds, rows[i].queries,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"batch\": {\"queries\": %zu, \"threads\": %d, "
+               "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+               "\"speedup\": %.3f, \"bit_identical\": %s}\n",
+               batch_queries.size(), threads, serial_s, parallel_s,
+               parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+               identical ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rotind::bench
+
+int main(int argc, char** argv) { return rotind::bench::Run(argc, argv); }

@@ -1,18 +1,29 @@
 /// Micro-benchmarks (google-benchmark) of the hot kernels: Euclidean
-/// distance, early abandoning, banded DTW, LB_Keogh, envelopes, FFT, and
-/// wedge-tree construction. These measure wall-clock of the
-/// implementations themselves, complementing the implementation-free step
-/// counts used by the figure benches.
+/// distance, early abandoning, banded DTW, LB_Keogh, envelopes, FFT,
+/// wedge-tree construction, and the QueryEngine layers (contiguous
+/// rotation views, cascade search, batch fan-out). These measure
+/// wall-clock of the implementations themselves, complementing the
+/// implementation-free step counts used by the figure benches.
+///
+/// Machine-readable output: pass --benchmark_out=FILE
+/// --benchmark_out_format=json (CI uploads this as an artifact).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/core/flat_dataset.h"
 #include "src/core/random.h"
+#include "src/datasets/synthetic.h"
 #include "src/distance/dtw.h"
 #include "src/distance/euclidean.h"
 #include "src/distance/lcss.h"
 #include "src/envelope/wedge_tree.h"
 #include "src/fourier/fft.h"
 #include "src/fourier/spectral.h"
+#include "src/search/engine.h"
 #include "src/search/lower_bound.h"
 
 namespace rotind {
@@ -121,6 +132,77 @@ void BM_WedgeTreeBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WedgeTreeBuild)->Arg(251)->Arg(512);
+
+// --- QueryEngine layers ---------------------------------------------------
+
+/// All-rotations Euclidean via the doubled buffer: each shift is a pointer
+/// offset into contiguous storage, no per-rotation copy.
+void BM_RotationScanFlatViews(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  FlatDataset db;
+  db.Add(MakeSeries(n, 14));
+  const Series q = MakeSeries(n, 15);
+  for (auto _ : state) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t shift = 0; shift < n; ++shift) {
+      const SeriesView c = db.rotation(0, shift);
+      best = std::min(best, SquaredEuclidean(q.data(), c.data(), n));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_RotationScanFlatViews)->Arg(251)->Arg(1024);
+
+/// The same scan paying for a materialized copy of every rotation — what
+/// storing plain std::vector<Series> forces on the hot path.
+void BM_RotationScanMaterialized(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Series item = MakeSeries(n, 14);
+  const Series q = MakeSeries(n, 15);
+  for (auto _ : state) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t shift = 0; shift < n; ++shift) {
+      Series rotated(n);
+      for (std::size_t j = 0; j < n; ++j) rotated[j] = item[(j + shift) % n];
+      best = std::min(best, SquaredEuclidean(q.data(), rotated.data(), n));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_RotationScanMaterialized)->Arg(251)->Arg(1024);
+
+/// End-to-end 1-NN through the wedge cascade on contiguous storage.
+void BM_EngineSearchWedge(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 251;
+  const FlatDataset db =
+      FlatDataset::FromItems(MakeProjectilePointsDatabase(m, n, 16));
+  const QueryEngine engine(db);
+  const Series q = db.Materialize(m / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Search(q).best_distance);
+  }
+}
+BENCHMARK(BM_EngineSearchWedge)->Arg(100)->Arg(400);
+
+/// Batch 1-NN over the worker pool; threads is the benchmark argument, so
+/// the scaling curve is visible in one report.
+void BM_EngineSearchBatch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::size_t m = 200;
+  const std::size_t n = 251;
+  const FlatDataset db =
+      FlatDataset::FromItems(MakeProjectilePointsDatabase(m, n, 17));
+  const QueryEngine engine(db);
+  std::vector<Series> queries;
+  for (std::size_t i = 0; i < 16; ++i) queries.push_back(db.Materialize(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.SearchBatch(queries, threads).size());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(queries.size()));
+}
+BENCHMARK(BM_EngineSearchBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace rotind

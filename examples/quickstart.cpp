@@ -2,16 +2,18 @@
 ///
 ///   1. Make (or load) shapes as bitmaps.
 ///   2. Convert them to centroid-distance time series (paper Figure 2).
-///   3. Put the series in a database.
+///   3. Put the series in a contiguous FlatDataset and build a QueryEngine
+///      over it.
 ///   4. Ask for the nearest neighbour of a rotated query with the wedge
-///      search — exact, orders of magnitude faster than brute force.
+///      cascade — exact, orders of magnitude faster than brute force.
 ///   5. Read back which object won, at which rotation, and at what cost.
 
 #include <cstdio>
 
+#include "src/core/flat_dataset.h"
 #include "src/core/random.h"
 #include "src/datasets/synthetic.h"
-#include "src/search/scan.h"
+#include "src/search/engine.h"
 #include "src/shape/generate.h"
 #include "src/shape/profile.h"
 
@@ -23,11 +25,11 @@ int main() {
   // applications would call ShapeToSeries on scanned images; the generator
   // stands in for a scanner here.)
   Rng rng(7);
-  std::vector<Series> database;
+  FlatDataset database;
   for (int i = 0; i < 10; ++i) {
     const RadialShapeSpec spec = RandomShapeSpec(&rng, 7);
     const Bitmap image = Bitmap::FromPolygon(RadialPolygon(spec, 360), 128);
-    database.push_back(ShapeToSeries(image, n));
+    database.Add(ShapeToSeries(image, n));
   }
 
   // 3. The query: object #4, rotated by 100 degrees (as a bitmap!).
@@ -43,10 +45,13 @@ int main() {
   }
   const Series query = ShapeToSeries(query_image, n);
 
-  // 4. Exact rotation-invariant 1-NN with the wedge algorithm.
-  ScanOptions options;  // Euclidean; set options.kind for DTW
-  const ScanResult hit =
-      SearchDatabase(database, query, ScanAlgorithm::kWedge, options);
+  // 4. Exact rotation-invariant 1-NN through the QueryEngine's wedge
+  // cascade. EngineOptions single-source the measure (set options.kind for
+  // DTW) and the pruning pipeline; batches of queries can run over a worker
+  // pool with engine.SearchBatch(queries, num_threads).
+  EngineOptions options;  // Euclidean, cascade = {kWedge} by default
+  const QueryEngine engine(database, options);
+  const ScanResult hit = engine.Search(query);
 
   // 5. Results.
   std::printf("best match: object %d\n", hit.best_index);

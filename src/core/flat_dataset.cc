@@ -1,0 +1,56 @@
+#include "src/core/flat_dataset.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rotind {
+
+FlatDataset FlatDataset::FromItems(const std::vector<Series>& items) {
+  FlatDataset out;
+  if (items.empty()) return out;
+  out.n_ = items[0].size();
+  out.buffer_.reserve(items.size() * 2 * out.n_);
+  for (const Series& s : items) out.Add(s);
+  return out;
+}
+
+FlatDataset FlatDataset::FromDataset(const Dataset& dataset) {
+  FlatDataset out = FromItems(dataset.items);
+  out.labels_ = dataset.labels;
+  out.names_ = dataset.names;
+  return out;
+}
+
+StatusOr<FlatDataset> FlatDataset::FromItemsChecked(
+    const std::vector<Series>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].empty()) {
+      return Status::InvalidArgument("item " + std::to_string(i) +
+                                     " is empty");
+    }
+    if (items[i].size() != items[0].size()) {
+      return Status::InvalidArgument(
+          "item " + std::to_string(i) + " has length " +
+          std::to_string(items[i].size()) + ", item 0 has length " +
+          std::to_string(items[0].size()));
+    }
+  }
+  return FromItems(items);
+}
+
+void FlatDataset::Add(const Series& s) {
+  if (count_ == 0 && n_ == 0) n_ = s.size();
+  assert(s.size() == n_ && "FlatDataset items must share one length");
+  const std::size_t old = buffer_.size();
+  buffer_.resize(old + 2 * n_);
+  std::memcpy(buffer_.data() + old, s.data(), n_ * sizeof(double));
+  std::memcpy(buffer_.data() + old + n_, s.data(), n_ * sizeof(double));
+  ++count_;
+}
+
+Series FlatDataset::Materialize(std::size_t i) const {
+  const double* p = data(i);
+  return Series(p, p + n_);
+}
+
+}  // namespace rotind

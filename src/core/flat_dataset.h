@@ -1,0 +1,87 @@
+#ifndef ROTIND_CORE_FLAT_DATASET_H_
+#define ROTIND_CORE_FLAT_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/status.h"
+
+namespace rotind {
+
+/// Zero-copy view of n contiguous doubles — one series, or one rotation of
+/// one series inside a doubled buffer.
+using SeriesView = std::span<const double>;
+
+/// Contiguous, cache-friendly storage for a database of equal-length series.
+///
+/// Every item is stored DOUBLED (s ++ s) in one flat buffer, so:
+///  * scans walk memory linearly instead of chasing per-item heap
+///    allocations (`std::vector<Series>` costs one indirection and a likely
+///    cache miss per object);
+///  * every rotation of every item is a contiguous window `rotation(i, s)`
+///    — a zero-copy SeriesView, the same trick RotationSet plays for query
+///    rotations, now available database-side.
+///
+/// Labels and names ride along (empty when absent), making FlatDataset a
+/// drop-in for the `Dataset` aggregate in engine-facing code.
+class FlatDataset {
+ public:
+  FlatDataset() = default;
+
+  /// Builds from owned series. All items must share one length; asserted in
+  /// debug builds (use FromItemsChecked at untrusted boundaries).
+  static FlatDataset FromItems(const std::vector<Series>& items);
+
+  /// Builds from a labelled Dataset, carrying labels/names over.
+  static FlatDataset FromDataset(const Dataset& dataset);
+
+  /// Validated builder: rejects ragged or empty-item inputs with a Status.
+  static StatusOr<FlatDataset> FromItemsChecked(
+      const std::vector<Series>& items);
+
+  /// Appends one series. The first Add fixes the length; later mismatches
+  /// are asserted in debug builds.
+  void Add(const Series& s);
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Common length n of every item (0 when empty).
+  std::size_t length() const { return n_; }
+
+  /// Pointer to item i: n contiguous doubles (the first half of its doubled
+  /// region), valid until the next Add.
+  const double* data(std::size_t i) const {
+    return buffer_.data() + i * 2 * n_;
+  }
+
+  /// Item i as a zero-copy view.
+  SeriesView view(std::size_t i) const { return {data(i), n_}; }
+
+  /// Item i circularly left-shifted by `shift` in [0, n), as a zero-copy
+  /// view into the doubled region.
+  SeriesView rotation(std::size_t i, std::size_t shift) const {
+    return {data(i) + shift, n_};
+  }
+
+  /// Item i as an owned Series (for callers that need a value).
+  Series Materialize(std::size_t i) const;
+
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<std::string>& names() const { return names_; }
+  int label(std::size_t i) const { return labels_[i]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t count_ = 0;
+  /// 2n doubles per item: item i occupies [i*2n, (i+1)*2n) as s ++ s.
+  std::vector<double> buffer_;
+  std::vector<int> labels_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_CORE_FLAT_DATASET_H_

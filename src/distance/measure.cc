@@ -1,0 +1,113 @@
+#include "src/distance/measure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+
+namespace rotind {
+namespace {
+
+class EuclideanMeasure final : public Measure {
+ public:
+  DistanceKind kind() const override { return DistanceKind::kEuclidean; }
+
+  double Distance(const double* q, const double* c, std::size_t n,
+                  double limit, StepCounter* counter) const override {
+    return EarlyAbandonEuclidean(q, c, n, limit, counter);
+  }
+
+  double FullDistance(const double* q, const double* c, std::size_t n,
+                      StepCounter* counter) const override {
+    const double sq = SquaredEuclidean(q, c, n, counter);
+    if (counter != nullptr) ++counter->full_evals;
+    return std::sqrt(sq);
+  }
+
+  int envelope_band(std::size_t) const override { return 0; }
+};
+
+class DtwMeasure final : public Measure {
+ public:
+  explicit DtwMeasure(int band) : band_(band) {}
+
+  DistanceKind kind() const override { return DistanceKind::kDtw; }
+
+  double Distance(const double* q, const double* c, std::size_t n,
+                  double limit, StepCounter* counter) const override {
+    return EarlyAbandonDtw(q, c, n, band_, limit, counter);
+  }
+
+  double FullDistance(const double* q, const double* c, std::size_t n,
+                      StepCounter* counter) const override {
+    return DtwDistance(q, c, n, band_, counter);
+  }
+
+  int envelope_band(std::size_t n) const override {
+    return std::max(1, ClampBand(n, band_));
+  }
+
+ private:
+  int band_;
+};
+
+class LcssMeasure final : public Measure {
+ public:
+  explicit LcssMeasure(const LcssOptions& options) : options_(options) {}
+
+  DistanceKind kind() const override { return DistanceKind::kLcss; }
+
+  double Distance(const double* q, const double* c, std::size_t n,
+                  double limit, StepCounter* counter) const override {
+    // The LCSS DP has no row-wise abandoning analogue (matches can appear in
+    // any row), so the full length is computed and thresholded.
+    const double d = FullDistance(q, c, n, counter);
+    return d < limit ? d : kAbandoned;
+  }
+
+  double FullDistance(const double* q, const double* c, std::size_t n,
+                      StepCounter* counter) const override {
+    const std::size_t len = LcssLength(q, c, n, options_, counter);
+    if (counter != nullptr) ++counter->full_evals;
+    return 1.0 -
+           static_cast<double>(len) / static_cast<double>(n == 0 ? 1 : n);
+  }
+
+  int envelope_band(std::size_t n) const override {
+    // Unconstrained delta expands the envelope to the global extrema.
+    return options_.delta < 0 ? static_cast<int>(n) : options_.delta;
+  }
+
+ private:
+  LcssOptions options_;
+};
+
+}  // namespace
+
+const char* DistanceKindName(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kEuclidean:
+      return "euclidean";
+    case DistanceKind::kDtw:
+      return "dtw";
+    case DistanceKind::kLcss:
+      return "lcss";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Measure> MakeMeasure(DistanceKind kind,
+                                     const MeasureParams& params) {
+  switch (kind) {
+    case DistanceKind::kEuclidean:
+      return std::make_unique<EuclideanMeasure>();
+    case DistanceKind::kDtw:
+      return std::make_unique<DtwMeasure>(params.band);
+    case DistanceKind::kLcss:
+      return std::make_unique<LcssMeasure>(params.lcss);
+  }
+  return nullptr;
+}
+
+}  // namespace rotind

@@ -1,0 +1,71 @@
+#ifndef ROTIND_DISTANCE_MEASURE_H_
+#define ROTIND_DISTANCE_MEASURE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "src/core/step_counter.h"
+#include "src/distance/lcss.h"
+
+namespace rotind {
+
+/// Which exact distance a rotation-invariant search is computing. The
+/// paper's central claim is that LB_Keogh wedges index shapes under
+/// *arbitrary* distance measures; this enum names the measures the engine
+/// ships with, and `Measure` below is the seam a new one plugs into.
+enum class DistanceKind {
+  kEuclidean,
+  kDtw,
+  /// LCSS as a distance in [0, 1]: 1 - LcssLength/n (paper Section 4.3).
+  kLcss,
+};
+
+/// Human-readable name ("euclidean", "dtw", "lcss") for logs and benches.
+const char* DistanceKindName(DistanceKind kind);
+
+/// Measure-specific knobs, single-sourced so every layer (wedge tree,
+/// cascade stages, exact kernels) reads the same values.
+struct MeasureParams {
+  /// Sakoe-Chiba band for kDtw (ignored by kEuclidean; kLcss uses
+  /// lcss.delta for the same role).
+  int band = 5;
+  LcssOptions lcss;
+};
+
+/// One early-abandoning pairwise distance measure. All measures are
+/// DISTANCES here (smaller is better); LCSS similarity is wrapped as
+/// 1 - similarity so search code never branches on direction.
+///
+/// Exactness contract shared with the paper's lower-bound machinery:
+/// `Distance` returns the exact value when it is < limit and kAbandoned
+/// otherwise — it never misreports a value below the limit, so search built
+/// on top cannot false-dismiss.
+class Measure {
+ public:
+  virtual ~Measure() = default;
+
+  virtual DistanceKind kind() const = 0;
+
+  /// Early-abandoning distance between two length-n series. Returns the
+  /// exact distance if it is < limit, kAbandoned (+inf) otherwise. `limit`
+  /// may be +inf (never abandons). Charges steps per the paper's model.
+  virtual double Distance(const double* q, const double* c, std::size_t n,
+                          double limit, StepCounter* counter) const = 0;
+
+  /// Full distance, no abandoning (brute-force rivals and reporting).
+  virtual double FullDistance(const double* q, const double* c, std::size_t n,
+                              StepCounter* counter) const = 0;
+
+  /// The DTW-band-like envelope expansion radius this measure requires of a
+  /// wedge tree (Proposition 2): 0 for Euclidean, the band for DTW, the
+  /// delta for LCSS.
+  virtual int envelope_band(std::size_t n) const = 0;
+};
+
+/// Factory over the built-in kinds.
+std::unique_ptr<Measure> MakeMeasure(DistanceKind kind,
+                                     const MeasureParams& params);
+
+}  // namespace rotind
+
+#endif  // ROTIND_DISTANCE_MEASURE_H_

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <limits>
 
+#include "src/core/flat_dataset.h"
+#include "src/search/engine.h"
+
 namespace rotind {
 namespace {
 
@@ -35,30 +38,30 @@ ClassificationResult LeaveOneOutOneNn(
 
 ClassificationResult LeaveOneOutOneNnRotationInvariant(
     const Dataset& dataset, DistanceKind kind, int band,
-    const RotationOptions& rotation) {
+    const RotationOptions& rotation, int num_threads) {
   ClassificationResult result;
   const std::size_t m = dataset.size();
   assert(dataset.labels.size() == m);
 
-  WedgeSearchOptions options;
+  // Contiguous storage + the engine's wedge cascade; each held-out item
+  // becomes a query whose leave-one-out 1-NN scans the rest.
+  const FlatDataset flat = FlatDataset::FromDataset(dataset);
+  EngineOptions options;
   options.kind = kind;
   options.band = band;
   options.rotation = rotation;
+  options.cascade.stages = {StageKind::kWedge};
+  const QueryEngine engine(flat, options);
+
+  std::vector<ScanResult> scans(m);
+  ParallelFor(m, num_threads, [&](std::size_t q) {
+    scans[q] = engine.SearchLeaveOneOut(flat.Materialize(q), q);
+  });
 
   for (std::size_t q = 0; q < m; ++q) {
-    WedgeSearcher searcher(dataset.items[q], options, &result.counter);
-    double best = kInf;
-    int best_label = -1;
-    for (std::size_t c = 0; c < m; ++c) {
-      if (c == q) continue;
-      const HMergeResult r =
-          searcher.Distance(dataset.items[c].data(), best, &result.counter);
-      if (!r.abandoned && r.distance < best) {
-        best = r.distance;
-        best_label = dataset.labels[c];
-        searcher.AdaptK(dataset.items[c].data(), best, &result.counter);
-      }
-    }
+    result.counter += scans[q].counter;
+    const int best_label =
+        scans[q].best_index >= 0 ? dataset.labels[scans[q].best_index] : -1;
     ++result.total;
     if (best_label != dataset.labels[q]) ++result.errors;
   }

@@ -29,11 +29,14 @@ ClassificationResult LeaveOneOutOneNn(
     const Dataset& dataset,
     const std::function<double(const Series&, const Series&)>& distance);
 
-/// Rotation-invariant LOO 1-NN using the wedge machinery (exact, fast):
-/// each held-out item becomes a query whose wedge set scans the rest.
+/// Rotation-invariant LOO 1-NN through the QueryEngine's wedge cascade
+/// (exact, fast): each held-out item becomes a query whose wedge set scans
+/// the rest, over contiguous FlatDataset storage. `num_threads > 1` fans
+/// queries out over a worker pool; results (including the merged
+/// StepCounter) are bit-identical to the single-threaded run.
 ClassificationResult LeaveOneOutOneNnRotationInvariant(
     const Dataset& dataset, DistanceKind kind, int band,
-    const RotationOptions& rotation = {});
+    const RotationOptions& rotation = {}, int num_threads = 1);
 
 /// Picks the best DTW band from `candidates` by LOO error on `train`
 /// (ties broken toward the smaller band, as the paper learns R "by looking

@@ -1,0 +1,703 @@
+#include "src/search/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <thread>
+
+#include "src/distance/euclidean.h"
+#include "src/fourier/spectral.h"
+#include "src/search/lcss_search.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool IsTerminal(StageKind kind) { return kind != StageKind::kFftMagnitude; }
+
+/// Per-candidate outcome of one cascade pass, in the thresholded contract
+/// the drivers expect: found implies distance < the threshold passed in.
+struct CandidateMatch {
+  double distance = kInf;
+  int shift = 0;
+  bool mirrored = false;
+  bool found = false;
+};
+
+/// A cheap lower-bound filter: returns true when the candidate provably
+/// cannot beat `threshold`.
+class FilterStage {
+ public:
+  virtual ~FilterStage() = default;
+  virtual bool Prune(const double* c, double threshold,
+                     StepCounter* counter) const = 0;
+};
+
+/// Rotation-invariant FFT-magnitude lower bound (paper Sections 4.2/5.3):
+/// charged n*log2(n) steps per use; sound for Euclidean only.
+class FftMagnitudeFilter final : public FilterStage {
+ public:
+  FftMagnitudeFilter(const Series& query, StepCounter* counter)
+      : n_(query.size()),
+        signature_(MakeSpectralSignature(query, query.size() / 2)) {
+    AddSetupSteps(counter, FftStepCost(n_));
+  }
+
+  bool Prune(const double* c, double threshold,
+             StepCounter* counter) const override {
+    AddSteps(counter, FftStepCost(n_));
+    if (counter != nullptr) ++counter->lower_bound_evals;
+    const SpectralSignature sig =
+        MakeSpectralSignature(Series(c, c + n_), n_ / 2);
+    return SignatureDistance(signature_, sig, nullptr) >= threshold;
+  }
+
+ private:
+  std::size_t n_;
+  SpectralSignature signature_;
+};
+
+/// The exact terminal evaluator at the end of every cascade.
+class TerminalStage {
+ public:
+  virtual ~TerminalStage() = default;
+  virtual CandidateMatch Evaluate(const double* c, double threshold,
+                                  StepCounter* counter) = 0;
+  /// Hook fired by the driver when the collector's threshold improves
+  /// (dynamic-K re-probing for wedges; no-op otherwise).
+  virtual void NotifyImproved(const double* trigger, double best,
+                              StepCounter* counter) {
+    (void)trigger;
+    (void)best;
+    (void)counter;
+  }
+};
+
+/// LB_Keogh wedge H-Merge for ED/DTW (the paper's contribution).
+class WedgeTerminal final : public TerminalStage {
+ public:
+  WedgeTerminal(const Series& query, const EngineOptions& options,
+                StepCounter* counter)
+      : searcher_(query, MakeWedgeOptions(options), counter) {}
+
+  static WedgeSearchOptions MakeWedgeOptions(const EngineOptions& options) {
+    WedgeSearchOptions w;
+    static_cast<WedgePolicy&>(w) = options.wedge;
+    w.kind = options.kind;
+    w.band = options.band;
+    w.rotation = options.rotation;
+    return w;
+  }
+
+  CandidateMatch Evaluate(const double* c, double threshold,
+                          StepCounter* counter) override {
+    CandidateMatch out;
+    const HMergeResult r = searcher_.Distance(c, threshold, counter);
+    if (!r.abandoned) {
+      const RotationSet& rots = searcher_.tree().rotations();
+      out.distance = r.distance;
+      out.shift = rots.shift_of(r.rotation_index);
+      out.mirrored = rots.mirrored_of(r.rotation_index);
+      out.found = true;
+    }
+    return out;
+  }
+
+  void NotifyImproved(const double* trigger, double best,
+                      StepCounter* counter) override {
+    searcher_.AdaptK(trigger, best, counter);
+  }
+
+ private:
+  WedgeSearcher searcher_;
+};
+
+/// Wedge pruning in the LCSS similarity domain (paper Section 4.3): the
+/// engine's distance threshold 1 - L/n converts to a required match count,
+/// and the envelope bound prunes wedges that cannot reach it.
+class LcssWedgeTerminal final : public TerminalStage {
+ public:
+  LcssWedgeTerminal(const Series& query, const LcssOptions& lcss,
+                    const RotationOptions& rotation, StepCounter* counter)
+      : n_(query.size()),
+        lcss_(lcss),
+        searcher_(query, lcss, rotation, counter) {}
+
+  CandidateMatch Evaluate(const double* c, double threshold,
+                          StepCounter* counter) override {
+    CandidateMatch out;
+    const double n = static_cast<double>(n_ == 0 ? 1 : n_);
+    // Largest length whose distance is still >= threshold: Match must only
+    // find lengths strictly beyond it. Guard the floor against FP rounding
+    // at integer boundaries using the exact distance expression.
+    long bound = -1;
+    if (threshold <= 1.0) {
+      bound = static_cast<long>(std::floor(n * (1.0 - threshold)));
+      bound = std::clamp(bound, -1L, static_cast<long>(n_));
+      while (bound >= 0 && 1.0 - static_cast<double>(bound) / n < threshold) {
+        --bound;
+      }
+      while (bound < static_cast<long>(n_) &&
+             1.0 - static_cast<double>(bound + 1) / n >= threshold) {
+        ++bound;
+      }
+    }
+    if (bound < 0) {
+      // Even a zero-length match (distance exactly 1.0) beats the
+      // threshold, so nothing can be pruned: every rotation ties at
+      // distance <= 1.0 and an exact scan settles which wins.
+      const RotationMatch m = RotationInvariantLcss(
+          searcher_.tree().rotations(), c, lcss_, counter);
+      out.distance = m.distance;
+      out.shift = searcher_.tree().rotations().shift_of(m.rotation_index);
+      out.mirrored =
+          searcher_.tree().rotations().mirrored_of(m.rotation_index);
+      out.found = m.distance < threshold;
+      return out;
+    }
+    const LcssMatchResult r = searcher_.Match(
+        c, static_cast<std::size_t>(bound), counter);
+    if (!r.pruned) {
+      const RotationSet& rots = searcher_.tree().rotations();
+      out.distance = 1.0 - static_cast<double>(r.length) / n;
+      out.shift = rots.shift_of(r.rotation_index);
+      out.mirrored = rots.mirrored_of(r.rotation_index);
+      out.found = true;
+    }
+    return out;
+  }
+
+ private:
+  std::size_t n_;
+  LcssOptions lcss_;
+  LcssWedgeSearcher searcher_;
+};
+
+/// Rotation-scan terminal: full or early-abandoning evaluation of every
+/// candidate rotation, dispatched through the unified Measure layer (with
+/// the specialized ED/DTW kernels kept on the hot path for step parity
+/// with the paper's Tables 1-3).
+class ScanTerminal final : public TerminalStage {
+ public:
+  enum class Mode { kEarlyAbandon, kFull, kFullBanded };
+
+  ScanTerminal(const Series& query, const EngineOptions& options, Mode mode)
+      : mode_(mode),
+        kind_(options.kind),
+        band_(options.band),
+        rotations_(query, options.rotation) {
+    MeasureParams params;
+    params.band = options.band;
+    params.lcss = options.lcss;
+    measure_ = MakeMeasure(options.kind, params);
+  }
+
+  CandidateMatch Evaluate(const double* c, double threshold,
+                          StepCounter* counter) override {
+    RotationMatch match;
+    switch (kind_) {
+      case DistanceKind::kEuclidean:
+        match = mode_ == Mode::kEarlyAbandon
+                    ? EarlyAbandonRotationEuclidean(rotations_, c, threshold,
+                                                    counter)
+                    : RotationInvariantEuclidean(rotations_, c, counter);
+        break;
+      case DistanceKind::kDtw:
+        switch (mode_) {
+          case Mode::kEarlyAbandon:
+            match = EarlyAbandonRotationDtw(rotations_, c, band_, threshold,
+                                            counter);
+            break;
+          case Mode::kFull:
+            match = RotationInvariantDtw(rotations_, c, /*band=*/-1, counter);
+            break;
+          case Mode::kFullBanded:
+            match = RotationInvariantDtw(rotations_, c, band_, counter);
+            break;
+        }
+        break;
+      case DistanceKind::kLcss:
+        match = mode_ == Mode::kEarlyAbandon
+                    ? MeasureRotationScan(c, threshold, counter)
+                    : MeasureFullScan(c, counter);
+        break;
+    }
+
+    // Full (non-abandoning) modes report any distance; translate into the
+    // thresholded contract the drivers expect.
+    CandidateMatch out;
+    if (!match.abandoned && match.distance < threshold) {
+      out.distance = match.distance;
+      out.shift = rotations_.shift_of(match.rotation_index);
+      out.mirrored = rotations_.mirrored_of(match.rotation_index);
+      out.found = true;
+    }
+    return out;
+  }
+
+ private:
+  /// Generic early-abandoning scan over the Measure interface: the path a
+  /// new distance measure gets for free.
+  RotationMatch MeasureRotationScan(const double* c, double best_so_far,
+                                    StepCounter* counter) const {
+    RotationMatch best{best_so_far, 0, true};
+    double limit = best_so_far;
+    for (std::size_t r = 0; r < rotations_.count(); ++r) {
+      const double d = measure_->Distance(rotations_.rotation(r), c,
+                                          rotations_.length(), limit, counter);
+      if (!std::isinf(d) && d < limit) {
+        limit = d;
+        best.distance = d;
+        best.rotation_index = r;
+        best.abandoned = false;
+      }
+    }
+    if (best.abandoned) best.distance = kAbandoned;
+    return best;
+  }
+
+  RotationMatch MeasureFullScan(const double* c, StepCounter* counter) const {
+    RotationMatch best{kInf, 0, false};
+    for (std::size_t r = 0; r < rotations_.count(); ++r) {
+      const double d = measure_->FullDistance(
+          rotations_.rotation(r), c, rotations_.length(), counter);
+      if (d < best.distance) {
+        best.distance = d;
+        best.rotation_index = r;
+      }
+    }
+    return best;
+  }
+
+  Mode mode_;
+  DistanceKind kind_;
+  int band_;
+  RotationSet rotations_;
+  std::unique_ptr<Measure> measure_;
+};
+
+/// A compiled per-query cascade: ordered filters then one terminal.
+class QueryCascade {
+ public:
+  QueryCascade(const Series& query, const EngineOptions& options,
+               StepCounter* counter) {
+    for (StageKind kind : options.cascade.stages) {
+      if (IsTerminal(kind)) {
+        switch (kind) {
+          case StageKind::kWedge:
+            if (options.kind == DistanceKind::kLcss) {
+              terminal_ = std::make_unique<LcssWedgeTerminal>(
+                  query, options.lcss, options.rotation, counter);
+            } else {
+              terminal_ =
+                  std::make_unique<WedgeTerminal>(query, options, counter);
+            }
+            break;
+          case StageKind::kExactScan:
+            terminal_ = std::make_unique<ScanTerminal>(
+                query, options, ScanTerminal::Mode::kEarlyAbandon);
+            break;
+          case StageKind::kFullScan:
+            terminal_ = std::make_unique<ScanTerminal>(
+                query, options, ScanTerminal::Mode::kFull);
+            break;
+          case StageKind::kFullScanBanded:
+            terminal_ = std::make_unique<ScanTerminal>(
+                query, options, ScanTerminal::Mode::kFullBanded);
+            break;
+          case StageKind::kFftMagnitude:
+            break;  // not terminal
+        }
+        break;  // normalization guarantees the terminal is last
+      }
+      filters_.push_back(std::make_unique<FftMagnitudeFilter>(query, counter));
+    }
+    assert(terminal_ != nullptr && "cascade must be normalized");
+  }
+
+  CandidateMatch Compare(const double* c, double threshold,
+                         StepCounter* counter) {
+    for (const auto& filter : filters_) {
+      if (filter->Prune(c, threshold, counter)) return CandidateMatch{};
+    }
+    return terminal_->Evaluate(c, threshold, counter);
+  }
+
+  void NotifyImproved(const double* trigger, double best,
+                      StepCounter* counter) {
+    terminal_->NotifyImproved(trigger, best, counter);
+  }
+
+ private:
+  std::vector<std::unique_ptr<FilterStage>> filters_;
+  std::unique_ptr<TerminalStage> terminal_;
+};
+
+constexpr std::size_t kNoHoldout = std::numeric_limits<std::size_t>::max();
+
+/// The one generic driver behind 1-NN, k-NN, and range search. `Collector`
+/// supplies the pruning threshold and absorbs accepted matches:
+///   double threshold() const;
+///   bool Offer(std::size_t index, const CandidateMatch&);  // true -> improved
+template <typename GetItem, typename Collector>
+void RunScan(std::size_t db_size, const GetItem& item, std::size_t holdout,
+             QueryCascade& cascade, Collector& collector,
+             StepCounter* counter) {
+  for (std::size_t i = 0; i < db_size; ++i) {
+    if (i == holdout) continue;
+    const CandidateMatch m =
+        cascade.Compare(item(i), collector.threshold(), counter);
+    if (m.found && collector.Offer(i, m)) {
+      cascade.NotifyImproved(item(i), collector.threshold(), counter);
+    }
+  }
+}
+
+/// Best-so-far collector (1-NN).
+class BestCollector {
+ public:
+  explicit BestCollector(ScanResult* result) : result_(result) {}
+
+  double threshold() const { return best_; }
+
+  bool Offer(std::size_t index, const CandidateMatch& m) {
+    if (m.distance >= best_) return false;
+    best_ = m.distance;
+    result_->best_index = static_cast<int>(index);
+    result_->best_distance = m.distance;
+    result_->best_shift = m.shift;
+    result_->best_mirrored = m.mirrored;
+    return true;
+  }
+
+ private:
+  ScanResult* result_;
+  double best_ = kInf;
+};
+
+/// k-th-best heap collector (k-NN): a max-heap whose top is the current
+/// k-th best distance, playing best-so-far's pruning role.
+class KnnCollector {
+ public:
+  explicit KnnCollector(int k) : k_(k) {}
+
+  double threshold() const {
+    return static_cast<int>(heap_.size()) < k_ ? kInf : heap_.top().distance;
+  }
+
+  bool Offer(std::size_t index, const CandidateMatch& m) {
+    if (m.distance >= threshold()) return false;
+    heap_.push(Neighbor{static_cast<int>(index), m.distance, m.shift,
+                        m.mirrored});
+    if (static_cast<int>(heap_.size()) > k_) heap_.pop();
+    return static_cast<int>(heap_.size()) == k_;
+  }
+
+  std::vector<Neighbor> Take() {
+    std::vector<Neighbor> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct FurtherFirst {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      return a.distance < b.distance;
+    }
+  };
+
+  int k_;
+  std::priority_queue<Neighbor, std::vector<Neighbor>, FurtherFirst> heap_;
+};
+
+/// Radius collector (range search): fixed threshold, never "improves".
+class RangeCollector {
+ public:
+  explicit RangeCollector(double radius)
+      : radius_(radius),
+        // Distances exactly equal to the radius must be reported; pruning
+        // kernels use strict comparisons, so nudge the threshold one ulp
+        // outward. The floor keeps the SQUARED threshold from underflowing
+        // to zero for tiny radii (a radius-0 query must still report exact
+        // duplicates).
+        threshold_(std::max(std::nextafter(radius, kInf), 1e-150)) {}
+
+  double threshold() const { return threshold_; }
+
+  bool Offer(std::size_t index, const CandidateMatch& m) {
+    if (m.distance <= radius_) {
+      out_.push_back(Neighbor{static_cast<int>(index), m.distance, m.shift,
+                              m.mirrored});
+    }
+    return false;
+  }
+
+  std::vector<Neighbor> Take() {
+    std::sort(out_.begin(), out_.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance < b.distance;
+              });
+    return std::move(out_);
+  }
+
+ private:
+  double radius_;
+  double threshold_;
+  std::vector<Neighbor> out_;
+};
+
+}  // namespace
+
+CascadeSpec CascadeSpec::ForAlgorithm(ScanAlgorithm algorithm,
+                                      DistanceKind kind) {
+  CascadeSpec spec;
+  switch (algorithm) {
+    case ScanAlgorithm::kBruteForce:
+      spec.stages = {StageKind::kFullScan};
+      break;
+    case ScanAlgorithm::kBruteForceBanded:
+      spec.stages = {StageKind::kFullScanBanded};
+      break;
+    case ScanAlgorithm::kEarlyAbandon:
+      spec.stages = {StageKind::kExactScan};
+      break;
+    case ScanAlgorithm::kFftLowerBound:
+      // Sound for Euclidean only; other measures degrade to the
+      // early-abandoning scan (the legacy behavior, now explicit).
+      spec.stages = {StageKind::kFftMagnitude, StageKind::kExactScan};
+      break;
+    case ScanAlgorithm::kWedge:
+      spec.stages = {StageKind::kWedge};
+      break;
+  }
+  return spec.Normalized(kind);
+}
+
+CascadeSpec CascadeSpec::Normalized(DistanceKind kind) const {
+  CascadeSpec out;
+  out.stages.clear();
+  for (StageKind stage : stages) {
+    if (stage == StageKind::kFftMagnitude) {
+      if (kind != DistanceKind::kEuclidean) continue;  // unsound filter
+      out.stages.push_back(stage);
+      continue;
+    }
+    out.stages.push_back(stage);  // first terminal ends the cascade
+    return out;
+  }
+  out.stages.push_back(StageKind::kExactScan);
+  return out;
+}
+
+EngineOptions EngineOptionsFrom(const ScanOptions& options,
+                                ScanAlgorithm algorithm) {
+  EngineOptions out;
+  out.kind = options.kind;
+  out.band = options.band;
+  out.lcss = options.lcss;
+  out.rotation = options.rotation;
+  out.wedge = options.wedge;
+  out.cascade = CascadeSpec::ForAlgorithm(algorithm, options.kind);
+  return out;
+}
+
+void ParallelFor(std::size_t count, int num_threads,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const int workers = std::max(
+      1, std::min(num_threads, static_cast<int>(std::min(
+                                   count, static_cast<std::size_t>(256)))));
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+QueryEngine::QueryEngine(const FlatDataset& db, const EngineOptions& options)
+    : flat_(&db), options_(options) {
+  options_.cascade = options.cascade.Normalized(options.kind);
+}
+
+QueryEngine::QueryEngine(const std::vector<Series>& db,
+                         const EngineOptions& options)
+    : vec_(&db), options_(options) {
+  options_.cascade = options.cascade.Normalized(options.kind);
+}
+
+std::size_t QueryEngine::database_size() const {
+  return flat_ != nullptr ? flat_->size() : vec_->size();
+}
+
+std::size_t QueryEngine::database_length() const {
+  if (flat_ != nullptr) return flat_->length();
+  return vec_->empty() ? 0 : (*vec_)[0].size();
+}
+
+const double* QueryEngine::item(std::size_t i) const {
+  return flat_ != nullptr ? flat_->data(i) : (*vec_)[i].data();
+}
+
+ScanResult QueryEngine::Search(const Series& query) const {
+  return SearchLeaveOneOut(query, kNoHoldout);
+}
+
+ScanResult QueryEngine::SearchLeaveOneOut(const Series& query,
+                                          std::size_t holdout) const {
+  ScanResult result;
+  result.best_distance = kInf;
+  QueryCascade cascade(query, options_, &result.counter);
+  BestCollector collector(&result);
+  RunScan(
+      database_size(), [this](std::size_t i) { return item(i); }, holdout,
+      cascade, collector, &result.counter);
+  return result;
+}
+
+std::vector<Neighbor> QueryEngine::Knn(const Series& query, int k,
+                                       StepCounter* counter) const {
+  return KnnLeaveOneOut(query, k, kNoHoldout, counter);
+}
+
+std::vector<Neighbor> QueryEngine::KnnLeaveOneOut(const Series& query, int k,
+                                                  std::size_t holdout,
+                                                  StepCounter* counter) const {
+  StepCounter local;
+  StepCounter* cnt = counter != nullptr ? counter : &local;
+  QueryCascade cascade(query, options_, cnt);
+  KnnCollector collector(k);
+  RunScan(
+      database_size(), [this](std::size_t i) { return item(i); }, holdout,
+      cascade, collector, cnt);
+  return collector.Take();
+}
+
+std::vector<Neighbor> QueryEngine::Range(const Series& query, double radius,
+                                         StepCounter* counter) const {
+  StepCounter local;
+  StepCounter* cnt = counter != nullptr ? counter : &local;
+  QueryCascade cascade(query, options_, cnt);
+  RangeCollector collector(radius);
+  RunScan(
+      database_size(), [this](std::size_t i) { return item(i); }, kNoHoldout,
+      cascade, collector, cnt);
+  return collector.Take();
+}
+
+Status QueryEngine::ValidateQuery(const Series& query) const {
+  if (query.empty()) {
+    return Status::InvalidArgument("query is empty");
+  }
+  for (std::size_t j = 0; j < query.size(); ++j) {
+    if (!std::isfinite(query[j])) {
+      return Status::InvalidArgument("query value " + std::to_string(j) +
+                                     " is NaN or Inf");
+    }
+  }
+  if (vec_ != nullptr) {
+    // Legacy storage may be ragged; name the offending item.
+    for (std::size_t i = 0; i < vec_->size(); ++i) {
+      if ((*vec_)[i].size() != query.size()) {
+        return Status::InvalidArgument(
+            "db item " + std::to_string(i) + " has length " +
+            std::to_string((*vec_)[i].size()) + ", query has length " +
+            std::to_string(query.size()));
+      }
+    }
+  } else if (database_size() > 0 && database_length() != query.size()) {
+    return Status::InvalidArgument(
+        "query has length " + std::to_string(query.size()) +
+        ", database items have length " + std::to_string(database_length()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<ScanResult> QueryEngine::SearchChecked(const Series& query) const {
+  Status valid = ValidateQuery(query);
+  if (!valid.ok()) return valid;
+  return Search(query);
+}
+
+StatusOr<std::vector<Neighbor>> QueryEngine::KnnChecked(
+    const Series& query, int k, StepCounter* counter) const {
+  Status valid = ValidateQuery(query);
+  if (!valid.ok()) return valid;
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
+  }
+  return Knn(query, k, counter);
+}
+
+StatusOr<std::vector<Neighbor>> QueryEngine::RangeChecked(
+    const Series& query, double radius, StepCounter* counter) const {
+  Status valid = ValidateQuery(query);
+  if (!valid.ok()) return valid;
+  if (!std::isfinite(radius) || radius < 0.0) {
+    return Status::InvalidArgument("radius must be finite and >= 0, got " +
+                                   std::to_string(radius));
+  }
+  return Range(query, radius, counter);
+}
+
+std::vector<ScanResult> QueryEngine::SearchBatch(
+    const std::vector<Series>& queries, int num_threads,
+    StepCounter* merged) const {
+  std::vector<ScanResult> results(queries.size());
+  ParallelFor(queries.size(), num_threads,
+              [&](std::size_t qi) { results[qi] = Search(queries[qi]); });
+  if (merged != nullptr) {
+    for (const ScanResult& r : results) *merged += r.counter;
+  }
+  return results;
+}
+
+std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
+    const std::vector<Series>& queries, int k, int num_threads,
+    StepCounter* merged) const {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  std::vector<StepCounter> counters(queries.size());
+  ParallelFor(queries.size(), num_threads, [&](std::size_t qi) {
+    results[qi] = Knn(queries[qi], k, &counters[qi]);
+  });
+  if (merged != nullptr) {
+    for (const StepCounter& c : counters) *merged += c;
+  }
+  return results;
+}
+
+std::vector<std::vector<Neighbor>> QueryEngine::RangeSearchBatch(
+    const std::vector<Series>& queries, double radius, int num_threads,
+    StepCounter* merged) const {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  std::vector<StepCounter> counters(queries.size());
+  ParallelFor(queries.size(), num_threads, [&](std::size_t qi) {
+    results[qi] = Range(queries[qi], radius, &counters[qi]);
+  });
+  if (merged != nullptr) {
+    for (const StepCounter& c : counters) *merged += c;
+  }
+  return results;
+}
+
+}  // namespace rotind

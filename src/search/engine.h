@@ -1,0 +1,178 @@
+#ifndef ROTIND_SEARCH_ENGINE_H_
+#define ROTIND_SEARCH_ENGINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/core/flat_dataset.h"
+#include "src/core/series.h"
+#include "src/core/status.h"
+#include "src/core/step_counter.h"
+#include "src/distance/measure.h"
+#include "src/distance/rotation.h"
+#include "src/search/hmerge.h"
+#include "src/search/scan.h"
+
+namespace rotind {
+
+/// One stage of the pruning cascade. A cascade is an ordered list of
+/// filters followed by one terminal (exact) evaluator: each filter is a
+/// cheap lower bound that discards candidates provably at or above the
+/// current threshold (Lemire's two-pass principle: bounds compose as
+/// increasingly tight filters), and the terminal stage computes the exact
+/// thresholded distance. Because every filter is a true lower bound
+/// (Propositions 1-2), any composition returns exactly the same matches as
+/// brute force — only the work differs.
+enum class StageKind {
+  /// Filter: rotation-invariant FFT-magnitude lower bound (paper Section
+  /// 4.2). Sound for kEuclidean only; dropped for other measures.
+  kFftMagnitude,
+  /// Terminal: hierarchal LB_Keogh wedges + H-Merge + dynamic K (the
+  /// paper's contribution). Exact.
+  kWedge,
+  /// Terminal: early-abandoning rotation scan (paper Table 2/3).
+  kExactScan,
+  /// Terminal: full evaluation of every rotation, no abandoning
+  /// (unconstrained DTW for kDtw).
+  kFullScan,
+  /// Terminal: full evaluation with the Sakoe-Chiba band (kDtw); same as
+  /// kFullScan for other measures.
+  kFullScanBanded,
+};
+
+/// An ordered pruning pipeline. Invalid compositions are normalized, never
+/// silently misinterpreted: filters that are unsound for the configured
+/// measure are dropped, everything after the first terminal stage is
+/// ignored, and a filter-only cascade gets kExactScan appended.
+struct CascadeSpec {
+  std::vector<StageKind> stages = {StageKind::kWedge};
+
+  /// The composition equivalent to one legacy ScanAlgorithm under `kind`
+  /// (e.g. kFftLowerBound + kEuclidean -> {kFftMagnitude, kExactScan}).
+  static CascadeSpec ForAlgorithm(ScanAlgorithm algorithm, DistanceKind kind);
+
+  /// Returns the normalized form described above.
+  CascadeSpec Normalized(DistanceKind kind) const;
+};
+
+/// Full engine configuration. Distance kind, band, and rotation options are
+/// single-sourced here — the wedge policy cannot carry contradictory
+/// copies (see WedgePolicy).
+struct EngineOptions {
+  DistanceKind kind = DistanceKind::kEuclidean;
+  /// Sakoe-Chiba band for kDtw.
+  int band = 5;
+  /// LCSS knobs for kLcss (delta plays the band's role).
+  LcssOptions lcss;
+  RotationOptions rotation;
+  WedgePolicy wedge;
+  CascadeSpec cascade;
+};
+
+/// Maps a legacy (algorithm, options) pair onto the engine configuration
+/// that reproduces it exactly. Used by the scan.h adapters, benches, and
+/// the CLI during migration.
+EngineOptions EngineOptionsFrom(const ScanOptions& options,
+                                ScanAlgorithm algorithm);
+
+/// Runs fn(i) for every i in [0, count) across a small worker pool of
+/// `num_threads` threads (clamped to [1, count]). Work items must be
+/// independent and write only to per-index slots; completion order is
+/// unspecified but every item runs exactly once. With num_threads <= 1 the
+/// loop runs inline, bit-identical to the threaded path by construction.
+void ParallelFor(std::size_t count, int num_threads,
+                 const std::function<void(std::size_t)>& fn);
+
+/// The layered query engine: FlatDataset storage -> Measure -> pruning
+/// cascade -> one generic driver (parameterized by a result collector:
+/// best-so-far, k-th-best heap, or radius) -> batch execution.
+///
+/// The engine borrows its database (FlatDataset or legacy vector<Series>);
+/// the storage must outlive the engine. All search methods are const and
+/// thread-compatible: concurrent calls on one engine are safe because
+/// per-query state (rotation sets, wedge trees, signatures) is built per
+/// call — this is what SearchBatch relies on.
+class QueryEngine {
+ public:
+  /// Engine over contiguous storage (the fast path).
+  explicit QueryEngine(const FlatDataset& db, const EngineOptions& options = {});
+
+  /// Non-owning adapter over legacy storage; no copy is made. Prefer
+  /// FlatDataset for cache-friendly scans.
+  explicit QueryEngine(const std::vector<Series>& db,
+                       const EngineOptions& options = {});
+
+  /// Borrowing a temporary database would dangle immediately; forbidden.
+  explicit QueryEngine(FlatDataset&&, const EngineOptions& = {}) = delete;
+  explicit QueryEngine(std::vector<Series>&&, const EngineOptions& = {}) =
+      delete;
+
+  const EngineOptions& options() const { return options_; }
+  std::size_t database_size() const;
+  /// Common series length of the database (0 when empty).
+  std::size_t database_length() const;
+
+  /// 1-NN: the rotation-invariant nearest neighbor of `query`.
+  ScanResult Search(const Series& query) const;
+
+  /// 1-NN skipping database index `holdout` (leave-one-out protocols:
+  /// classification, the benches' query-from-database methodology).
+  /// Result indexes refer to the full database. holdout >= size() skips
+  /// nothing.
+  ScanResult SearchLeaveOneOut(const Series& query, std::size_t holdout) const;
+
+  /// k-NN, ascending by distance; the k-th best distance prunes.
+  std::vector<Neighbor> Knn(const Series& query, int k,
+                            StepCounter* counter = nullptr) const;
+
+  /// k-NN skipping database index `holdout` (see SearchLeaveOneOut).
+  std::vector<Neighbor> KnnLeaveOneOut(const Series& query, int k,
+                                       std::size_t holdout,
+                                       StepCounter* counter = nullptr) const;
+
+  /// Range query: every object within `radius`, ascending by distance.
+  std::vector<Neighbor> Range(const Series& query, double radius,
+                              StepCounter* counter = nullptr) const;
+
+  /// Validates a query against this engine's database: non-empty, finite,
+  /// and length-matching.
+  Status ValidateQuery(const Series& query) const;
+
+  /// Checked variants: the validated public entry points.
+  StatusOr<ScanResult> SearchChecked(const Series& query) const;
+  StatusOr<std::vector<Neighbor>> KnnChecked(
+      const Series& query, int k, StepCounter* counter = nullptr) const;
+  StatusOr<std::vector<Neighbor>> RangeChecked(
+      const Series& query, double radius,
+      StepCounter* counter = nullptr) const;
+
+  /// Batch 1-NN over a worker pool. Results (including each per-query
+  /// StepCounter) are BIT-IDENTICAL to running Search sequentially: queries
+  /// are independent, each runs single-threaded, and `merged` accumulates
+  /// per-query counters in query order regardless of which worker ran them.
+  std::vector<ScanResult> SearchBatch(const std::vector<Series>& queries,
+                                      int num_threads,
+                                      StepCounter* merged = nullptr) const;
+
+  /// Batch k-NN; same determinism guarantee as SearchBatch.
+  std::vector<std::vector<Neighbor>> KnnSearchBatch(
+      const std::vector<Series>& queries, int k, int num_threads,
+      StepCounter* merged = nullptr) const;
+
+  /// Batch range search; same determinism guarantee as SearchBatch.
+  std::vector<std::vector<Neighbor>> RangeSearchBatch(
+      const std::vector<Series>& queries, double radius, int num_threads,
+      StepCounter* merged = nullptr) const;
+
+ private:
+  const double* item(std::size_t i) const;
+
+  const FlatDataset* flat_ = nullptr;
+  const std::vector<Series>* vec_ = nullptr;
+  EngineOptions options_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_SEARCH_ENGINE_H_

@@ -8,15 +8,10 @@
 #include "src/core/series.h"
 #include "src/core/status.h"
 #include "src/core/step_counter.h"
+#include "src/distance/measure.h"
 #include "src/envelope/wedge_tree.h"
 
 namespace rotind {
-
-/// Which exact distance a rotation-invariant search is computing.
-enum class DistanceKind {
-  kEuclidean,
-  kDtw,
-};
 
 /// Result of comparing one database object against a query's wedge set.
 struct HMergeResult {
@@ -55,12 +50,11 @@ StatusOr<HMergeResult> HMergeChecked(const double* c, std::size_t c_length,
                                      double best_so_far,
                                      StepCounter* counter = nullptr);
 
-/// Tuning knobs for wedge-based search.
-struct WedgeSearchOptions {
-  DistanceKind kind = DistanceKind::kEuclidean;
-  /// Sakoe-Chiba band for kDtw (ignored for kEuclidean).
-  int band = 5;
-  RotationOptions rotation;
+/// Wedge-only tuning knobs. Deliberately EXCLUDES the distance kind, band,
+/// and rotation options: those are single-sourced by whoever drives the
+/// search (QueryEngine's config or WedgeSearchOptions below), so a policy
+/// cannot carry settings that contradict its context.
+struct WedgePolicy {
   Linkage linkage = Linkage::kAverage;
   WedgeHierarchy hierarchy = WedgeHierarchy::kClustered;
   /// Adapt K on every best-so-far improvement (paper Section 4.1). When
@@ -71,6 +65,15 @@ struct WedgeSearchOptions {
   /// uses 5 and reports <4% sensitivity anywhere in [3, 20].
   int probe_intervals = 5;
   int fixed_k = 2;
+};
+
+/// Full option set for driving a WedgeSearcher directly (the policy plus
+/// the distance/rotation context it runs under).
+struct WedgeSearchOptions : WedgePolicy {
+  DistanceKind kind = DistanceKind::kEuclidean;
+  /// Sakoe-Chiba band for kDtw (ignored for kEuclidean).
+  int band = 5;
+  RotationOptions rotation;
 };
 
 /// Per-query engine: owns the wedge tree over the query's rotations and the

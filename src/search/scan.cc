@@ -1,162 +1,21 @@
 #include "src/search/scan.h"
 
-#include <algorithm>
-#include <cassert>
 #include <cmath>
-#include <limits>
-#include <memory>
-#include <queue>
 
 #include "src/distance/dtw.h"
-#include "src/distance/euclidean.h"
-#include "src/fourier/spectral.h"
+#include "src/search/engine.h"
 
 namespace rotind {
-namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Per-object comparison result shared by the scan drivers.
-struct ObjectMatch {
-  double distance = kInf;
-  int shift = 0;
-  bool mirrored = false;
-  bool found = false;
-};
-
-/// Runs one rival algorithm against a single object. `threshold` is the
-/// pruning bound (best-so-far or k-th best or range radius).
-class ObjectComparator {
- public:
-  ObjectComparator(const Series& query, ScanAlgorithm algorithm,
-                   const ScanOptions& options, StepCounter* counter)
-      : algorithm_(algorithm), options_(options), n_(query.size()) {
-    if (algorithm == ScanAlgorithm::kWedge) {
-      WedgeSearchOptions w = options.wedge;
-      w.kind = options.kind;
-      w.band = options.band;
-      w.rotation = options.rotation;
-      searcher_ = std::make_unique<WedgeSearcher>(query, w, counter);
-    } else {
-      rotations_ = std::make_unique<RotationSet>(query, options.rotation);
-      if (algorithm == ScanAlgorithm::kFftLowerBound) {
-        query_signature_ = MakeSpectralSignature(query, n_ / 2);
-        AddSetupSteps(counter, FftStepCost(n_));
-      }
-    }
-  }
-
-  ObjectMatch Compare(const double* c, double threshold,
-                      StepCounter* counter) {
-    ObjectMatch out;
-    if (algorithm_ == ScanAlgorithm::kWedge) {
-      const HMergeResult r = searcher_->Distance(c, threshold, counter);
-      if (!r.abandoned) {
-        const RotationSet& rots = searcher_->tree().rotations();
-        out.distance = r.distance;
-        out.shift = rots.shift_of(r.rotation_index);
-        out.mirrored = rots.mirrored_of(r.rotation_index);
-        out.found = true;
-      }
-      return out;
-    }
-
-    RotationMatch match;
-    switch (algorithm_) {
-      case ScanAlgorithm::kBruteForce:
-        match = options_.kind == DistanceKind::kEuclidean
-                    ? RotationInvariantEuclidean(*rotations_, c, counter)
-                    : RotationInvariantDtw(*rotations_, c, /*band=*/-1,
-                                           counter);
-        break;
-      case ScanAlgorithm::kBruteForceBanded:
-        match = RotationInvariantDtw(*rotations_, c, options_.band, counter);
-        break;
-      case ScanAlgorithm::kEarlyAbandon:
-        match = options_.kind == DistanceKind::kEuclidean
-                    ? EarlyAbandonRotationEuclidean(*rotations_, c, threshold,
-                                                    counter)
-                    : EarlyAbandonRotationDtw(*rotations_, c, options_.band,
-                                              threshold, counter);
-        break;
-      case ScanAlgorithm::kFftLowerBound: {
-        // FFT magnitudes lower-bound the rotation-invariant EUCLIDEAN
-        // distance only (DTW can undercut any spectral bound); under DTW
-        // this algorithm degrades to the early-abandoning scan.
-        if (options_.kind == DistanceKind::kDtw) {
-          match = EarlyAbandonRotationDtw(*rotations_, c, options_.band,
-                                          threshold, counter);
-          break;
-        }
-        // Paper Section 5.3 cost model: the FFT lower bound is charged
-        // n*log2(n) steps per comparison; if it fails to prune, the
-        // early-abandoning rotation scan runs.
-        AddSteps(counter, FftStepCost(n_));
-        if (counter != nullptr) ++counter->lower_bound_evals;
-        const SpectralSignature sig = MakeSpectralSignature(
-            Series(c, c + n_), n_ / 2);
-        const double lb = SignatureDistance(query_signature_, sig, nullptr);
-        if (lb >= threshold) {
-          match.abandoned = true;
-          match.distance = kAbandoned;
-          break;
-        }
-        match = EarlyAbandonRotationEuclidean(*rotations_, c, threshold,
-                                              counter);
-        break;
-      }
-      case ScanAlgorithm::kWedge:
-        break;  // handled above
-    }
-
-    // Full (non-abandoning) rivals report any distance; translate into the
-    // thresholded contract the drivers expect.
-    if (!match.abandoned && match.distance < threshold) {
-      out.distance = match.distance;
-      out.shift = rotations_->shift_of(match.rotation_index);
-      out.mirrored = rotations_->mirrored_of(match.rotation_index);
-      out.found = true;
-    }
-    return out;
-  }
-
-  void NotifyImproved(const double* trigger, double best, StepCounter* counter) {
-    if (searcher_ != nullptr) searcher_->AdaptK(trigger, best, counter);
-  }
-
- private:
-  ScanAlgorithm algorithm_;
-  ScanOptions options_;
-  std::size_t n_;
-  std::unique_ptr<WedgeSearcher> searcher_;
-  std::unique_ptr<RotationSet> rotations_;
-  SpectralSignature query_signature_;
-};
-
-}  // namespace
+// The legacy scan API is a set of thin adapters: each ScanAlgorithm maps to
+// its pruning-cascade composition (CascadeSpec::ForAlgorithm) and runs
+// through QueryEngine's generic driver. The three formerly-duplicated
+// 1-NN / k-NN / range loops live in one place now (engine.cc's RunScan).
 
 ScanResult SearchDatabase(const std::vector<Series>& db, const Series& query,
                           ScanAlgorithm algorithm,
                           const ScanOptions& options) {
-  ScanResult result;
-  result.best_distance = kInf;
-  ObjectComparator comparator(query, algorithm, options, &result.counter);
-
-  double best_so_far = kInf;
-  for (std::size_t i = 0; i < db.size(); ++i) {
-    assert(db[i].size() == query.size());
-    const ObjectMatch m =
-        comparator.Compare(db[i].data(), best_so_far, &result.counter);
-    if (m.found && m.distance < best_so_far) {
-      best_so_far = m.distance;
-      result.best_index = static_cast<int>(i);
-      result.best_distance = m.distance;
-      result.best_shift = m.shift;
-      result.best_mirrored = m.mirrored;
-      comparator.NotifyImproved(db[i].data(), best_so_far, &result.counter);
-    }
-  }
-  return result;
+  return QueryEngine(db, EngineOptionsFrom(options, algorithm)).Search(query);
 }
 
 std::vector<Neighbor> KnnSearchDatabase(const std::vector<Series>& db,
@@ -164,37 +23,8 @@ std::vector<Neighbor> KnnSearchDatabase(const std::vector<Series>& db,
                                         ScanAlgorithm algorithm,
                                         const ScanOptions& options,
                                         StepCounter* counter) {
-  StepCounter local;
-  StepCounter* cnt = counter != nullptr ? counter : &local;
-  ObjectComparator comparator(query, algorithm, options, cnt);
-
-  // Max-heap on distance: top() is the current k-th best, which plays the
-  // pruning role of best-so-far.
-  auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    return a.distance < b.distance;
-  };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(cmp);
-
-  for (std::size_t i = 0; i < db.size(); ++i) {
-    const double threshold =
-        static_cast<int>(heap.size()) < k ? kInf : heap.top().distance;
-    const ObjectMatch m = comparator.Compare(db[i].data(), threshold, cnt);
-    if (!m.found || m.distance >= threshold) continue;
-    heap.push(Neighbor{static_cast<int>(i), m.distance, m.shift, m.mirrored});
-    if (static_cast<int>(heap.size()) > k) heap.pop();
-    if (static_cast<int>(heap.size()) == k) {
-      comparator.NotifyImproved(db[i].data(), heap.top().distance, cnt);
-    }
-  }
-
-  std::vector<Neighbor> out;
-  out.reserve(heap.size());
-  while (!heap.empty()) {
-    out.push_back(heap.top());
-    heap.pop();
-  }
-  std::reverse(out.begin(), out.end());
-  return out;
+  return QueryEngine(db, EngineOptionsFrom(options, algorithm))
+      .Knn(query, k, counter);
 }
 
 std::vector<Neighbor> RangeSearchDatabase(const std::vector<Series>& db,
@@ -202,85 +32,38 @@ std::vector<Neighbor> RangeSearchDatabase(const std::vector<Series>& db,
                                           ScanAlgorithm algorithm,
                                           const ScanOptions& options,
                                           StepCounter* counter) {
-  StepCounter local;
-  StepCounter* cnt = counter != nullptr ? counter : &local;
-  ObjectComparator comparator(query, algorithm, options, cnt);
-
-  // Distances exactly equal to the radius must be reported; pruning kernels
-  // use strict comparisons, so nudge the threshold one ulp outward. The
-  // floor keeps the SQUARED threshold from underflowing to zero for tiny
-  // radii (a radius-0 query must still report exact duplicates).
-  const double threshold = std::max(std::nextafter(radius, kInf), 1e-150);
-
-  std::vector<Neighbor> out;
-  for (std::size_t i = 0; i < db.size(); ++i) {
-    const ObjectMatch m = comparator.Compare(db[i].data(), threshold, cnt);
-    if (m.found && m.distance <= radius) {
-      out.push_back(
-          Neighbor{static_cast<int>(i), m.distance, m.shift, m.mirrored});
-    }
-  }
-  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
-    return a.distance < b.distance;
-  });
-  return out;
+  return QueryEngine(db, EngineOptionsFrom(options, algorithm))
+      .Range(query, radius, counter);
 }
 
 Status ValidateScanInputs(const std::vector<Series>& db, const Series& query,
                           const ScanOptions& options) {
   (void)options;  // All option values currently have defined semantics.
-  if (query.empty()) {
-    return Status::InvalidArgument("query is empty");
-  }
-  for (std::size_t j = 0; j < query.size(); ++j) {
-    if (!std::isfinite(query[j])) {
-      return Status::InvalidArgument("query value " + std::to_string(j) +
-                                     " is NaN or Inf");
-    }
-  }
-  for (std::size_t i = 0; i < db.size(); ++i) {
-    if (db[i].size() != query.size()) {
-      return Status::InvalidArgument(
-          "db item " + std::to_string(i) + " has length " +
-          std::to_string(db[i].size()) + ", query has length " +
-          std::to_string(query.size()));
-    }
-  }
-  return Status::Ok();
+  return QueryEngine(db).ValidateQuery(query);
 }
 
 StatusOr<ScanResult> SearchDatabaseChecked(const std::vector<Series>& db,
                                            const Series& query,
                                            ScanAlgorithm algorithm,
                                            const ScanOptions& options) {
-  Status valid = ValidateScanInputs(db, query, options);
-  if (!valid.ok()) return valid;
-  return SearchDatabase(db, query, algorithm, options);
+  return QueryEngine(db, EngineOptionsFrom(options, algorithm))
+      .SearchChecked(query);
 }
 
 StatusOr<std::vector<Neighbor>> KnnSearchDatabaseChecked(
     const std::vector<Series>& db, const Series& query, int k,
     ScanAlgorithm algorithm, const ScanOptions& options,
     StepCounter* counter) {
-  Status valid = ValidateScanInputs(db, query, options);
-  if (!valid.ok()) return valid;
-  if (k < 1) {
-    return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
-  }
-  return KnnSearchDatabase(db, query, k, algorithm, options, counter);
+  return QueryEngine(db, EngineOptionsFrom(options, algorithm))
+      .KnnChecked(query, k, counter);
 }
 
 StatusOr<std::vector<Neighbor>> RangeSearchDatabaseChecked(
     const std::vector<Series>& db, const Series& query, double radius,
     ScanAlgorithm algorithm, const ScanOptions& options,
     StepCounter* counter) {
-  Status valid = ValidateScanInputs(db, query, options);
-  if (!valid.ok()) return valid;
-  if (!std::isfinite(radius) || radius < 0.0) {
-    return Status::InvalidArgument("radius must be finite and >= 0, got " +
-                                   std::to_string(radius));
-  }
-  return RangeSearchDatabase(db, query, radius, algorithm, options, counter);
+  return QueryEngine(db, EngineOptionsFrom(options, algorithm))
+      .RangeChecked(query, radius, counter);
 }
 
 std::uint64_t AnalyticBruteForceSteps(std::uint64_t num_objects,

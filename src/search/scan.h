@@ -38,9 +38,13 @@ struct ScanOptions {
   /// Sakoe-Chiba band for DTW rivals other than kBruteForce.
   int band = 5;
   RotationOptions rotation;
-  /// Wedge-specific knobs (kind/band/rotation fields inside are overridden
-  /// by the outer settings for consistency).
-  WedgeSearchOptions wedge;
+  /// LCSS knobs, used only when kind == kLcss.
+  LcssOptions lcss;
+  /// Wedge-specific knobs. This is a WedgePolicy, not a WedgeSearchOptions:
+  /// kind/band/rotation live only in the outer fields above, so a
+  /// contradictory inner setting is a compile error rather than silently
+  /// overridden.
+  WedgePolicy wedge;
 };
 
 /// Outcome of a 1-nearest-neighbor database scan.
@@ -57,6 +61,11 @@ struct ScanResult {
 
 /// Finds the rotation-invariant nearest neighbor of `query` in `db`
 /// (paper Table 3 generalised over rival algorithms).
+///
+/// The Search/Knn/Range functions below are thin adapters over the layered
+/// QueryEngine (src/search/engine.h): each ScanAlgorithm maps to a pruning
+/// cascade via CascadeSpec::ForAlgorithm and runs through the engine's one
+/// generic driver. New code should use QueryEngine directly.
 ScanResult SearchDatabase(const std::vector<Series>& db, const Series& query,
                           ScanAlgorithm algorithm, const ScanOptions& options);
 

@@ -44,6 +44,22 @@ TEST(ClassifyTest, SeparableDatasetHasZeroErrorWithRotationInvariance) {
   EXPECT_DOUBLE_EQ(r.error_rate(), 0.0);
 }
 
+TEST(ClassifyTest, ThreadedClassificationBitIdenticalToSerial) {
+  const Dataset ds = EasyRotatedDataset(12, 48, 7);
+  for (DistanceKind kind : {DistanceKind::kEuclidean, DistanceKind::kDtw}) {
+    const ClassificationResult serial =
+        LeaveOneOutOneNnRotationInvariant(ds, kind, 4, {}, /*num_threads=*/1);
+    const ClassificationResult parallel =
+        LeaveOneOutOneNnRotationInvariant(ds, kind, 4, {}, /*num_threads=*/8);
+    EXPECT_EQ(serial.errors, parallel.errors);
+    EXPECT_EQ(serial.total, parallel.total);
+    // Counters merge in query order, so totals match exactly too.
+    EXPECT_EQ(serial.counter.steps, parallel.counter.steps);
+    EXPECT_EQ(serial.counter.setup_steps, parallel.counter.setup_steps);
+    EXPECT_EQ(serial.counter.full_evals, parallel.counter.full_evals);
+  }
+}
+
 TEST(ClassifyTest, NaiveAlignedDistanceFailsWhereRotationInvariantSucceeds) {
   // The paper's yoga-dataset lesson: "unless we have the best rotation then
   // nothing else matters".

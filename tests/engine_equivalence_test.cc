@@ -1,0 +1,208 @@
+/// Cross-algorithm equivalence property (the paper's exactness claim,
+/// Propositions 1-2): every ScanAlgorithm and every engine cascade
+/// composition is EXACT, so on any database they must return the same
+/// best distance (and, up to ties, the same index) as brute force — for
+/// 1-NN, k-NN, and range queries, under Euclidean and DTW, with and
+/// without mirror invariance, on shapes and on light curves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/core/flat_dataset.h"
+#include "src/datasets/synthetic.h"
+#include "src/lightcurve/lightcurve.h"
+#include "src/search/engine.h"
+#include "src/search/scan.h"
+
+namespace rotind {
+namespace {
+
+struct Workload {
+  std::string name;
+  std::vector<Series> items;
+  std::vector<std::size_t> queries;
+};
+
+std::vector<Workload> MakeWorkloads() {
+  std::vector<Workload> out;
+  out.push_back({"shapes", MakeProjectilePointsDatabase(24, 40, 301),
+                 {0, 7, 15}});
+  out.push_back(
+      {"lightcurves", MakeLightCurveDataset(6, 40, 302).items, {1, 9}});
+  out.push_back({"heterogeneous", MakeHeterogeneousDatabase(20, 40, 303),
+                 {2, 11}});
+  return out;
+}
+
+/// All cascade compositions worth checking, beyond the legacy algorithm
+/// set: the FFT filter in front of each terminal, including the novel
+/// fft+wedge pipeline no ScanAlgorithm could express. Under DTW the
+/// unbanded kFullScan computes a genuinely different (unconstrained)
+/// distance, so the full-scan terminal is the banded one there.
+std::vector<CascadeSpec> MakeCascades(DistanceKind kind) {
+  std::vector<CascadeSpec> out;
+  out.push_back({{kind == DistanceKind::kDtw ? StageKind::kFullScanBanded
+                                             : StageKind::kFullScan}});
+  out.push_back({{StageKind::kExactScan}});
+  out.push_back({{StageKind::kWedge}});
+  out.push_back({{StageKind::kFftMagnitude, StageKind::kExactScan}});
+  out.push_back({{StageKind::kFftMagnitude, StageKind::kWedge}});
+  return out;
+}
+
+std::string CascadeName(const CascadeSpec& spec) {
+  std::string name;
+  for (StageKind s : spec.stages) {
+    if (!name.empty()) name += "+";
+    switch (s) {
+      case StageKind::kFftMagnitude: name += "fft"; break;
+      case StageKind::kWedge: name += "wedge"; break;
+      case StageKind::kExactScan: name += "ea"; break;
+      case StageKind::kFullScan: name += "full"; break;
+      case StageKind::kFullScanBanded: name += "full-banded"; break;
+    }
+  }
+  return name;
+}
+
+class EngineEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<DistanceKind, bool>> {};
+
+TEST_P(EngineEquivalenceTest, AllCompositionsAgreeWithBruteForce) {
+  const DistanceKind kind = std::get<0>(GetParam());
+  const bool mirror = std::get<1>(GetParam());
+
+  for (const Workload& w : MakeWorkloads()) {
+    const FlatDataset flat = FlatDataset::FromItems(w.items);
+
+    EngineOptions reference_options;
+    reference_options.kind = kind;
+    reference_options.band = 4;
+    reference_options.rotation.mirror = mirror;
+    reference_options.cascade.stages = {kind == DistanceKind::kDtw
+                                            ? StageKind::kFullScanBanded
+                                            : StageKind::kFullScan};
+    const QueryEngine reference(flat, reference_options);
+
+    for (std::size_t qi : w.queries) {
+      const Series query = w.items[qi];
+      const ScanResult ref = reference.SearchLeaveOneOut(query, qi);
+      const auto ref_knn = reference.KnnLeaveOneOut(query, 3, qi);
+      ASSERT_EQ(ref_knn.size(), 3u);
+      const double radius = ref_knn.back().distance * 1.01;
+      const auto ref_range = reference.Range(query, radius);
+
+      for (const CascadeSpec& cascade : MakeCascades(kind)) {
+        EngineOptions options = reference_options;
+        options.cascade = cascade;
+        const QueryEngine engine(flat, options);
+        const std::string label = w.name + "/" + DistanceKindName(kind) +
+                                  (mirror ? "/mirror" : "") + "/" +
+                                  CascadeName(cascade) + "/q" +
+                                  std::to_string(qi);
+
+        // 1-NN: same best distance; same index unless tied.
+        const ScanResult got = engine.SearchLeaveOneOut(query, qi);
+        EXPECT_NEAR(got.best_distance, ref.best_distance, 1e-9) << label;
+        // A different winner is only legal at (numerically) the same
+        // distance — i.e. a tie; the distance assertion above covers it.
+
+        // k-NN: same multiset of distances, rank by rank.
+        const auto knn = engine.KnnLeaveOneOut(query, 3, qi);
+        ASSERT_EQ(knn.size(), ref_knn.size()) << label;
+        for (std::size_t r = 0; r < knn.size(); ++r) {
+          EXPECT_NEAR(knn[r].distance, ref_knn[r].distance, 1e-9)
+              << label << " rank " << r;
+        }
+
+        // Range: same hit count, same sorted distances.
+        const auto range = engine.Range(query, radius);
+        ASSERT_EQ(range.size(), ref_range.size()) << label;
+        for (std::size_t r = 0; r < range.size(); ++r) {
+          EXPECT_NEAR(range[r].distance, ref_range[r].distance, 1e-9)
+              << label << " hit " << r;
+        }
+      }
+
+      // Every legacy ScanAlgorithm, through the public adapter, on a
+      // database with the query removed (the adapters' historical shape).
+      std::vector<Series> rest;
+      for (std::size_t i = 0; i < w.items.size(); ++i) {
+        if (i != qi) rest.push_back(w.items[i]);
+      }
+      std::vector<ScanAlgorithm> algorithms = {
+          ScanAlgorithm::kBruteForceBanded, ScanAlgorithm::kEarlyAbandon,
+          ScanAlgorithm::kFftLowerBound, ScanAlgorithm::kWedge};
+      if (kind != DistanceKind::kDtw) {
+        // kBruteForce under DTW is the unconstrained warp — a different
+        // value than the banded reference, exact for every other kind.
+        algorithms.push_back(ScanAlgorithm::kBruteForce);
+      }
+      for (ScanAlgorithm algorithm : algorithms) {
+        ScanOptions options;
+        options.kind = kind;
+        options.band = 4;
+        options.rotation.mirror = mirror;
+        const ScanResult got =
+            SearchDatabase(rest, query, algorithm, options);
+        EXPECT_NEAR(got.best_distance, ref.best_distance, 1e-9)
+            << w.name << "/" << DistanceKindName(kind) << " algorithm "
+            << static_cast<int>(algorithm);
+      }
+    }
+  }
+}
+
+/// LCSS rides the same cascade: the wedge terminal (similarity-domain
+/// pruning with the distance-threshold conversion) must agree with the
+/// full rotation scan of 1 - LcssLength/n.
+TEST(EngineEquivalenceLcssTest, WedgeCascadeMatchesFullScan) {
+  for (bool mirror : {false, true}) {
+    const std::vector<Series> items =
+        MakeProjectilePointsDatabase(18, 36, 501);
+    const FlatDataset flat = FlatDataset::FromItems(items);
+    EngineOptions options;
+    options.kind = DistanceKind::kLcss;
+    options.lcss.epsilon = 0.3;
+    options.lcss.delta = 4;
+    options.rotation.mirror = mirror;
+
+    EngineOptions full = options;
+    full.cascade.stages = {StageKind::kFullScan};
+    EngineOptions wedge = options;
+    wedge.cascade.stages = {StageKind::kWedge};
+    EngineOptions ea = options;
+    ea.cascade.stages = {StageKind::kExactScan};
+
+    const QueryEngine full_engine(flat, full);
+    const QueryEngine wedge_engine(flat, wedge);
+    const QueryEngine ea_engine(flat, ea);
+    for (std::size_t qi : {0u, 5u, 11u}) {
+      const Series& query = items[qi];
+      const ScanResult ref = full_engine.SearchLeaveOneOut(query, qi);
+      const ScanResult got_wedge = wedge_engine.SearchLeaveOneOut(query, qi);
+      const ScanResult got_ea = ea_engine.SearchLeaveOneOut(query, qi);
+      EXPECT_NEAR(got_wedge.best_distance, ref.best_distance, 1e-12)
+          << "wedge q" << qi << (mirror ? " mirror" : "");
+      EXPECT_NEAR(got_ea.best_distance, ref.best_distance, 1e-12)
+          << "ea q" << qi << (mirror ? " mirror" : "");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndMirror, EngineEquivalenceTest,
+    ::testing::Combine(::testing::Values(DistanceKind::kEuclidean,
+                                         DistanceKind::kDtw),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<DistanceKind, bool>>& info) {
+      std::string name = DistanceKindName(std::get<0>(info.param));
+      name += std::get<1>(info.param) ? "_mirror" : "_plain";
+      return name;
+    });
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,248 @@
+/// QueryEngine basics: cascade normalization, storage-backend agreement,
+/// adapter parity with the legacy scan API, and the single-sourced options
+/// (the old ScanOptions::wedge kind/band/rotation footgun is now a compile
+/// error — WedgePolicy simply has no such fields).
+
+#include "src/search/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/core/flat_dataset.h"
+#include "src/datasets/synthetic.h"
+#include "src/search/scan.h"
+
+namespace rotind {
+namespace {
+
+FlatDataset MakeDb(std::size_t m, std::size_t n, std::uint64_t seed) {
+  return FlatDataset::FromItems(MakeProjectilePointsDatabase(m, n, seed));
+}
+
+// --- Cascade normalization -------------------------------------------------
+
+TEST(CascadeSpecTest, DefaultIsWedge) {
+  CascadeSpec spec;
+  ASSERT_EQ(spec.stages.size(), 1u);
+  EXPECT_EQ(spec.stages[0], StageKind::kWedge);
+}
+
+TEST(CascadeSpecTest, FftFilterDroppedForNonEuclidean) {
+  CascadeSpec spec;
+  spec.stages = {StageKind::kFftMagnitude, StageKind::kExactScan};
+  const CascadeSpec ed = spec.Normalized(DistanceKind::kEuclidean);
+  ASSERT_EQ(ed.stages.size(), 2u);
+  EXPECT_EQ(ed.stages[0], StageKind::kFftMagnitude);
+  const CascadeSpec dtw = spec.Normalized(DistanceKind::kDtw);
+  ASSERT_EQ(dtw.stages.size(), 1u);
+  EXPECT_EQ(dtw.stages[0], StageKind::kExactScan);
+}
+
+TEST(CascadeSpecTest, StagesAfterFirstTerminalAreDropped) {
+  CascadeSpec spec;
+  spec.stages = {StageKind::kWedge, StageKind::kExactScan,
+                 StageKind::kFullScan};
+  const CascadeSpec norm = spec.Normalized(DistanceKind::kEuclidean);
+  ASSERT_EQ(norm.stages.size(), 1u);
+  EXPECT_EQ(norm.stages[0], StageKind::kWedge);
+}
+
+TEST(CascadeSpecTest, FilterOnlyCascadeGetsExactScanAppended) {
+  CascadeSpec spec;
+  spec.stages = {StageKind::kFftMagnitude};
+  const CascadeSpec norm = spec.Normalized(DistanceKind::kEuclidean);
+  ASSERT_EQ(norm.stages.size(), 2u);
+  EXPECT_EQ(norm.stages[1], StageKind::kExactScan);
+}
+
+TEST(CascadeSpecTest, EmptyCascadeGetsExactScan) {
+  CascadeSpec spec;
+  spec.stages = {};
+  const CascadeSpec norm = spec.Normalized(DistanceKind::kDtw);
+  ASSERT_EQ(norm.stages.size(), 1u);
+  EXPECT_EQ(norm.stages[0], StageKind::kExactScan);
+}
+
+TEST(CascadeSpecTest, ForAlgorithmReproducesLegacyCompositions) {
+  const auto wedge =
+      CascadeSpec::ForAlgorithm(ScanAlgorithm::kWedge, DistanceKind::kDtw);
+  ASSERT_EQ(wedge.stages.size(), 1u);
+  EXPECT_EQ(wedge.stages[0], StageKind::kWedge);
+
+  const auto fft = CascadeSpec::ForAlgorithm(ScanAlgorithm::kFftLowerBound,
+                                             DistanceKind::kEuclidean);
+  ASSERT_EQ(fft.stages.size(), 2u);
+  EXPECT_EQ(fft.stages[0], StageKind::kFftMagnitude);
+  EXPECT_EQ(fft.stages[1], StageKind::kExactScan);
+
+  // Under DTW the FFT bound is unsound and degrades to the plain scan —
+  // the same behavior the legacy switch had.
+  const auto fft_dtw = CascadeSpec::ForAlgorithm(ScanAlgorithm::kFftLowerBound,
+                                                 DistanceKind::kDtw);
+  ASSERT_EQ(fft_dtw.stages.size(), 1u);
+  EXPECT_EQ(fft_dtw.stages[0], StageKind::kExactScan);
+}
+
+// --- Storage backends ------------------------------------------------------
+
+TEST(QueryEngineTest, FlatAndVectorBackendsAgreeExactly) {
+  const std::size_t n = 64;
+  const std::vector<Series> items = MakeProjectilePointsDatabase(40, n, 5);
+  const FlatDataset flat = FlatDataset::FromItems(items);
+  const Series query = items[7];
+
+  for (DistanceKind kind : {DistanceKind::kEuclidean, DistanceKind::kDtw}) {
+    EngineOptions options;
+    options.kind = kind;
+    const QueryEngine flat_engine(flat, options);
+    const QueryEngine vec_engine(items, options);
+    const ScanResult a = flat_engine.SearchLeaveOneOut(query, 7);
+    const ScanResult b = vec_engine.SearchLeaveOneOut(query, 7);
+    EXPECT_EQ(a.best_index, b.best_index);
+    EXPECT_EQ(a.best_distance, b.best_distance);
+    EXPECT_EQ(a.best_shift, b.best_shift);
+    EXPECT_EQ(a.counter.total_steps(), b.counter.total_steps());
+  }
+}
+
+TEST(QueryEngineTest, SearchFindsRotatedSelf) {
+  const std::size_t n = 32;
+  FlatDataset db = MakeDb(10, n, 9);
+  const Series item = db.Materialize(4);
+  // Query = item 4 rotated by 11 positions; exact match at that shift.
+  Series query(n);
+  for (std::size_t j = 0; j < n; ++j) query[j] = item[(j + 11) % n];
+  const QueryEngine engine(db);
+  const ScanResult hit = engine.Search(query);
+  EXPECT_EQ(hit.best_index, 4);
+  EXPECT_NEAR(hit.best_distance, 0.0, 1e-9);
+}
+
+TEST(QueryEngineTest, LeaveOneOutSkipsTheHoldout) {
+  FlatDataset db = MakeDb(12, 48, 10);
+  const QueryEngine engine(db);
+  const Series query = db.Materialize(3);
+  // Unrestricted search finds the query itself at distance 0...
+  EXPECT_EQ(engine.Search(query).best_index, 3);
+  // ...leave-one-out must find someone else.
+  EXPECT_NE(engine.SearchLeaveOneOut(query, 3).best_index, 3);
+}
+
+// --- Adapter parity --------------------------------------------------------
+
+/// The legacy scan entry points are thin adapters over the engine; the two
+/// layers must agree bit-for-bit, step counts included.
+TEST(QueryEngineTest, AdaptersMatchEngineBitForBit) {
+  const std::size_t n = 64;
+  const std::vector<Series> items = MakeProjectilePointsDatabase(30, n, 12);
+  const FlatDataset flat = FlatDataset::FromItems(items);
+  const Series query = items[0];
+
+  for (ScanAlgorithm algorithm :
+       {ScanAlgorithm::kBruteForce, ScanAlgorithm::kEarlyAbandon,
+        ScanAlgorithm::kFftLowerBound, ScanAlgorithm::kWedge}) {
+    ScanOptions options;
+    const ScanResult legacy =
+        SearchDatabase(items, query, algorithm, options);
+    const QueryEngine engine(flat, EngineOptionsFrom(options, algorithm));
+    const ScanResult direct = engine.Search(query);
+    EXPECT_EQ(legacy.best_index, direct.best_index);
+    EXPECT_EQ(legacy.best_distance, direct.best_distance);
+    EXPECT_EQ(legacy.counter.total_steps(), direct.counter.total_steps())
+        << "algorithm " << static_cast<int>(algorithm);
+  }
+}
+
+TEST(QueryEngineTest, KnnLeaveOneOutMatchesRestrictedLegacyKnn) {
+  const std::size_t n = 48;
+  const std::vector<Series> items = MakeProjectilePointsDatabase(25, n, 13);
+  const std::size_t holdout = 6;
+  std::vector<Series> rest;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != holdout) rest.push_back(items[i]);
+  }
+  const auto legacy = KnnSearchDatabase(rest, items[holdout], 5,
+                                        ScanAlgorithm::kWedge, {});
+  const FlatDataset flat = FlatDataset::FromItems(items);
+  const QueryEngine engine(flat);
+  const auto engine_knn = engine.KnnLeaveOneOut(items[holdout], 5, holdout);
+  ASSERT_EQ(legacy.size(), engine_knn.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    // Engine indexes are in full-database space; legacy ones skipped the
+    // holdout. Distances must agree exactly.
+    EXPECT_EQ(legacy[i].distance, engine_knn[i].distance) << "rank " << i;
+    const int mapped = legacy[i].index >= static_cast<int>(holdout)
+                           ? legacy[i].index + 1
+                           : legacy[i].index;
+    EXPECT_EQ(mapped, engine_knn[i].index) << "rank " << i;
+  }
+}
+
+// --- Validation ------------------------------------------------------------
+
+TEST(QueryEngineTest, ValidatesQueryLengthAgainstFlatStorage) {
+  FlatDataset db = MakeDb(5, 16, 20);
+  const QueryEngine engine(db);
+  EXPECT_TRUE(engine.ValidateQuery(Series(16, 0.5)).ok());
+  EXPECT_FALSE(engine.ValidateQuery(Series(15, 0.5)).ok());
+  EXPECT_FALSE(engine.ValidateQuery({}).ok());
+  Series nan_query(16, 0.5);
+  nan_query[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(engine.ValidateQuery(nan_query).ok());
+}
+
+TEST(QueryEngineTest, CheckedKnnRejectsBadK) {
+  FlatDataset db = MakeDb(5, 16, 21);
+  const QueryEngine engine(db);
+  EXPECT_FALSE(engine.KnnChecked(Series(16, 0.5), 0).ok());
+  EXPECT_TRUE(engine.KnnChecked(Series(16, 0.5), 2).ok());
+}
+
+TEST(QueryEngineTest, CheckedRangeRejectsBadRadius) {
+  FlatDataset db = MakeDb(5, 16, 22);
+  const QueryEngine engine(db);
+  EXPECT_FALSE(engine.RangeChecked(Series(16, 0.5), -1.0).ok());
+  EXPECT_FALSE(
+      engine
+          .RangeChecked(Series(16, 0.5),
+                        std::numeric_limits<double>::quiet_NaN())
+          .ok());
+  EXPECT_TRUE(engine.RangeChecked(Series(16, 0.5), 1.0).ok());
+}
+
+// --- Options single-sourcing (the old footgun) -----------------------------
+
+/// ScanOptions::wedge used to carry its own kind/band/rotation that the
+/// scan silently overrode. WedgePolicy has no such fields any more, so a
+/// contradiction cannot be expressed; this test documents the seam by
+/// exercising a non-default policy end to end.
+TEST(QueryEngineTest, WedgePolicyRidesAlongWithoutDuplicatingMeasure) {
+  const std::size_t n = 64;
+  const std::vector<Series> items = MakeProjectilePointsDatabase(30, n, 23);
+  ScanOptions options;
+  options.kind = DistanceKind::kDtw;
+  options.band = 3;
+  options.wedge.dynamic_k = false;
+  options.wedge.fixed_k = 4;
+  const EngineOptions engine_options =
+      EngineOptionsFrom(options, ScanAlgorithm::kWedge);
+  EXPECT_EQ(engine_options.kind, DistanceKind::kDtw);
+  EXPECT_EQ(engine_options.band, 3);
+  EXPECT_FALSE(engine_options.wedge.dynamic_k);
+
+  // And the composed search still agrees with brute force.
+  const FlatDataset flat = FlatDataset::FromItems(items);
+  const QueryEngine engine(flat, engine_options);
+  const ScanResult wedge = engine.SearchLeaveOneOut(items[2], 2);
+  std::vector<Series> rest;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 2) rest.push_back(items[i]);
+  }
+  const ScanResult ref =
+      SearchDatabase(rest, items[2], ScanAlgorithm::kBruteForceBanded, options);
+  EXPECT_DOUBLE_EQ(wedge.best_distance, ref.best_distance);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,0 +1,109 @@
+/// FlatDataset: contiguous doubled storage and zero-copy rotation views.
+
+#include "src/core/flat_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+
+namespace rotind {
+namespace {
+
+TEST(FlatDatasetTest, EmptyByDefault) {
+  FlatDataset db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.length(), 0u);
+}
+
+TEST(FlatDatasetTest, AddFixesLengthAndStoresItems) {
+  FlatDataset db;
+  db.Add({1.0, 2.0, 3.0});
+  db.Add({4.0, 5.0, 6.0});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.length(), 3u);
+  EXPECT_EQ(db.Materialize(0), (Series{1.0, 2.0, 3.0}));
+  EXPECT_EQ(db.Materialize(1), (Series{4.0, 5.0, 6.0}));
+}
+
+TEST(FlatDatasetTest, ViewAliasesStorage) {
+  FlatDataset db;
+  db.Add({1.0, 2.0, 3.0});
+  const SeriesView v = db.view(0);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.data(), db.data(0));
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(FlatDatasetTest, RotationViewsAreZeroCopyCircularShifts) {
+  FlatDataset db;
+  const Series s = {1.0, 2.0, 3.0, 4.0, 5.0};
+  db.Add(s);
+  for (std::size_t shift = 0; shift < s.size(); ++shift) {
+    const SeriesView r = db.rotation(0, shift);
+    ASSERT_EQ(r.size(), s.size());
+    // Zero copy: the view points into the doubled buffer, not a temporary.
+    EXPECT_EQ(r.data(), db.data(0) + shift);
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      EXPECT_DOUBLE_EQ(r[j], s[(j + shift) % s.size()])
+          << "shift " << shift << " position " << j;
+    }
+  }
+}
+
+TEST(FlatDatasetTest, ItemsAreContiguousAtStride2N) {
+  FlatDataset db;
+  db.Add({1.0, 2.0});
+  db.Add({3.0, 4.0});
+  db.Add({5.0, 6.0});
+  EXPECT_EQ(db.data(1), db.data(0) + 4);
+  EXPECT_EQ(db.data(2), db.data(0) + 8);
+}
+
+TEST(FlatDatasetTest, FromItemsRoundTrips) {
+  std::vector<Series> items;
+  Rng rng(11);
+  for (int i = 0; i < 7; ++i) {
+    Series s(16);
+    for (double& v : s) v = rng.Gaussian(0.0, 1.0);
+    items.push_back(s);
+  }
+  const FlatDataset db = FlatDataset::FromItems(items);
+  ASSERT_EQ(db.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(db.Materialize(i), items[i]);
+  }
+}
+
+TEST(FlatDatasetTest, FromDatasetCarriesLabelsAndNames) {
+  Dataset ds;
+  ds.items = {{1.0, 2.0}, {3.0, 4.0}};
+  ds.labels = {0, 1};
+  ds.names = {"a", "b"};
+  const FlatDataset db = FlatDataset::FromDataset(ds);
+  ASSERT_EQ(db.labels().size(), 2u);
+  EXPECT_EQ(db.label(1), 1);
+  EXPECT_EQ(db.names()[0], "a");
+}
+
+TEST(FlatDatasetTest, FromItemsCheckedRejectsRagged) {
+  const auto bad =
+      FlatDataset::FromItemsChecked({{1.0, 2.0}, {3.0, 4.0, 5.0}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("item 1"), std::string::npos);
+}
+
+TEST(FlatDatasetTest, FromItemsCheckedRejectsEmptyItem) {
+  const auto bad = FlatDataset::FromItemsChecked({{}});
+  ASSERT_FALSE(bad.ok());
+}
+
+TEST(FlatDatasetTest, FromItemsCheckedAcceptsRectangular) {
+  const auto ok = FlatDataset::FromItemsChecked({{1.0, 2.0}, {3.0, 4.0}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+}
+
+}  // namespace
+}  // namespace rotind

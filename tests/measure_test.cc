@@ -1,0 +1,135 @@
+/// The unified Measure interface: each kind agrees with its underlying
+/// kernel, honors the early-abandon contract, and reports its envelope
+/// band.
+
+#include "src/distance/measure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/core/random.h"
+#include "src/core/series.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/distance/lcss.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Series MakeSeries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Series s(n);
+  for (double& v : s) v = rng.Gaussian(0.0, 1.0);
+  return s;
+}
+
+TEST(MeasureTest, KindNamesAreStable) {
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kEuclidean), "euclidean");
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kDtw), "dtw");
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kLcss), "lcss");
+}
+
+TEST(MeasureTest, FactoryReportsItsKind) {
+  for (DistanceKind kind :
+       {DistanceKind::kEuclidean, DistanceKind::kDtw, DistanceKind::kLcss}) {
+    const auto m = MakeMeasure(kind, {});
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind(), kind);
+  }
+}
+
+TEST(MeasureTest, EuclideanMatchesKernel) {
+  const std::size_t n = 64;
+  const Series a = MakeSeries(n, 1);
+  const Series b = MakeSeries(n, 2);
+  const auto m = MakeMeasure(DistanceKind::kEuclidean, {});
+  EXPECT_DOUBLE_EQ(m->FullDistance(a.data(), b.data(), n, nullptr),
+                   std::sqrt(SquaredEuclidean(a.data(), b.data(), n)));
+  EXPECT_DOUBLE_EQ(m->Distance(a.data(), b.data(), n, kInf, nullptr),
+                   m->FullDistance(a.data(), b.data(), n, nullptr));
+}
+
+TEST(MeasureTest, DtwMatchesKernel) {
+  const std::size_t n = 64;
+  const Series a = MakeSeries(n, 3);
+  const Series b = MakeSeries(n, 4);
+  MeasureParams params;
+  params.band = 7;
+  const auto m = MakeMeasure(DistanceKind::kDtw, params);
+  EXPECT_DOUBLE_EQ(m->FullDistance(a.data(), b.data(), n, nullptr),
+                   DtwDistance(a.data(), b.data(), n, 7));
+}
+
+TEST(MeasureTest, LcssIsOneMinusNormalizedLength) {
+  const std::size_t n = 48;
+  const Series a = MakeSeries(n, 5);
+  const Series b = MakeSeries(n, 6);
+  MeasureParams params;
+  params.lcss.epsilon = 0.5;
+  params.lcss.delta = 4;
+  const auto m = MakeMeasure(DistanceKind::kLcss, params);
+  const double len =
+      static_cast<double>(LcssLength(a.data(), b.data(), n, params.lcss));
+  EXPECT_DOUBLE_EQ(m->FullDistance(a.data(), b.data(), n, nullptr),
+                   1.0 - len / static_cast<double>(n));
+}
+
+TEST(MeasureTest, SelfDistanceIsZero) {
+  const std::size_t n = 32;
+  const Series a = MakeSeries(n, 7);
+  for (DistanceKind kind :
+       {DistanceKind::kEuclidean, DistanceKind::kDtw, DistanceKind::kLcss}) {
+    const auto m = MakeMeasure(kind, {});
+    EXPECT_NEAR(m->FullDistance(a.data(), a.data(), n, nullptr), 0.0, 1e-12)
+        << DistanceKindName(kind);
+  }
+}
+
+/// The exactness contract: a value returned below the limit is exact; a
+/// distance at or above the limit comes back as kAbandoned (+inf), never as
+/// an underestimate.
+TEST(MeasureTest, EarlyAbandonContract) {
+  const std::size_t n = 96;
+  const Series a = MakeSeries(n, 8);
+  const Series b = MakeSeries(n, 9);
+  for (DistanceKind kind : {DistanceKind::kEuclidean, DistanceKind::kDtw}) {
+    const auto m = MakeMeasure(kind, {});
+    const double exact = m->FullDistance(a.data(), b.data(), n, nullptr);
+    // Generous limit: exact value comes back.
+    EXPECT_DOUBLE_EQ(m->Distance(a.data(), b.data(), n, exact * 2.0, nullptr),
+                     exact)
+        << DistanceKindName(kind);
+    // Tight limit: abandoned, reported as +inf.
+    EXPECT_EQ(m->Distance(a.data(), b.data(), n, exact * 0.5, nullptr), kInf)
+        << DistanceKindName(kind);
+  }
+}
+
+TEST(MeasureTest, EnvelopeBandPerKind) {
+  MeasureParams params;
+  params.band = 9;
+  params.lcss.delta = 3;
+  EXPECT_EQ(MakeMeasure(DistanceKind::kEuclidean, params)->envelope_band(64),
+            0);
+  EXPECT_EQ(MakeMeasure(DistanceKind::kDtw, params)->envelope_band(64), 9);
+  EXPECT_EQ(MakeMeasure(DistanceKind::kLcss, params)->envelope_band(64), 3);
+}
+
+TEST(MeasureTest, DistanceChargesSteps) {
+  const std::size_t n = 40;
+  const Series a = MakeSeries(n, 10);
+  const Series b = MakeSeries(n, 11);
+  for (DistanceKind kind :
+       {DistanceKind::kEuclidean, DistanceKind::kDtw, DistanceKind::kLcss}) {
+    StepCounter counter;
+    MakeMeasure(kind, {})->Distance(a.data(), b.data(), n, kInf, &counter);
+    EXPECT_GT(counter.total_steps(), 0u) << DistanceKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace rotind

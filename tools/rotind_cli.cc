@@ -7,7 +7,7 @@
 ///   rotind search   --db db.csv --query-index 5 [--algo wedge|brute|ea|fft]
 ///                   [--dtw --band 5] [--mirror] [--max-shift S]
 ///   rotind knn      --db db.csv --query-index 5 --k 5 [...]
-///   rotind classify --db db.csv [--dtw --band 5]
+///   rotind classify --db db.csv [--dtw --band 5] [--threads T]
 ///   rotind motif    --db db.csv [--dtw --band 5]
 ///   rotind discord  --db db.csv [--dtw --band 5]
 ///
@@ -26,11 +26,13 @@
 #include <string>
 #include <vector>
 
+#include "src/core/flat_dataset.h"
 #include "src/datasets/synthetic.h"
 #include "src/lightcurve/lightcurve.h"
 #include "src/eval/classify.h"
 #include "src/io/serialize.h"
 #include "src/mining/motif.h"
+#include "src/search/engine.h"
 #include "src/search/scan.h"
 
 namespace {
@@ -53,6 +55,7 @@ struct Args {
   bool mirror = false;
   int max_shift = -1;
   bool binary = false;
+  int threads = 1;
 };
 
 int Usage() {
@@ -137,6 +140,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--max-shift") {
       if (!next_int(-1, std::numeric_limits<int>::max(), &v)) return false;
       args->max_shift = static_cast<int>(v);
+    } else if (flag == "--threads") {
+      if (!next_int(1, 256, &v)) return false;
+      args->threads = static_cast<int>(v);
     } else if (flag == "--dtw") {
       args->dtw = true;
     } else if (flag == "--mirror") {
@@ -295,43 +301,40 @@ int CmdInfo(const Dataset& db) {
 }
 
 int CmdSearch(const Args& args, const Dataset& db) {
+  // The engine's leave-one-out scan excludes the query's own database slot
+  // directly; result indexes are already in full-database space (no copy of
+  // the database, no index remapping).
   const std::size_t qi = static_cast<std::size_t>(args.query_index);
-  std::vector<Series> rest;
-  for (std::size_t i = 0; i < db.size(); ++i) {
-    if (i != qi) rest.push_back(db.items[i]);
-  }
-  const StatusOr<ScanResult> r = SearchDatabaseChecked(
-      rest, db.items[qi], MakeAlgorithm(args), MakeScanOptions(args));
-  if (!r.ok()) {
-    std::fprintf(stderr, "search failed: %s\n", r.status().ToString().c_str());
+  const FlatDataset flat = FlatDataset::FromDataset(db);
+  const QueryEngine engine(
+      flat, EngineOptionsFrom(MakeScanOptions(args), MakeAlgorithm(args)));
+  const Status valid = engine.ValidateQuery(db.items[qi]);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "search failed: %s\n", valid.ToString().c_str());
     return 2;
   }
-  const int mapped =
-      r->best_index >= args.query_index ? r->best_index + 1 : r->best_index;
+  const ScanResult r = engine.SearchLeaveOneOut(db.items[qi], qi);
   std::printf("best match: %d  distance=%.6f  shift=%d%s  steps=%llu\n",
-              mapped, r->best_distance, r->best_shift,
-              r->best_mirrored ? " (mirrored)" : "",
-              static_cast<unsigned long long>(r->counter.total_steps()));
+              r.best_index, r.best_distance, r.best_shift,
+              r.best_mirrored ? " (mirrored)" : "",
+              static_cast<unsigned long long>(r.counter.total_steps()));
   return 0;
 }
 
 int CmdKnn(const Args& args, const Dataset& db) {
   const std::size_t qi = static_cast<std::size_t>(args.query_index);
-  std::vector<Series> rest;
-  for (std::size_t i = 0; i < db.size(); ++i) {
-    if (i != qi) rest.push_back(db.items[i]);
-  }
-  const StatusOr<std::vector<Neighbor>> knn =
-      KnnSearchDatabaseChecked(rest, db.items[qi], args.k, MakeAlgorithm(args),
-                               MakeScanOptions(args));
-  if (!knn.ok()) {
-    std::fprintf(stderr, "knn failed: %s\n", knn.status().ToString().c_str());
+  const FlatDataset flat = FlatDataset::FromDataset(db);
+  const QueryEngine engine(
+      flat, EngineOptionsFrom(MakeScanOptions(args), MakeAlgorithm(args)));
+  const Status valid = engine.ValidateQuery(db.items[qi]);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "knn failed: %s\n", valid.ToString().c_str());
     return 2;
   }
-  for (const Neighbor& nb : *knn) {
-    const int mapped =
-        nb.index >= args.query_index ? nb.index + 1 : nb.index;
-    std::printf("%6d  distance=%.6f  shift=%d%s\n", mapped, nb.distance,
+  const std::vector<Neighbor> knn =
+      engine.KnnLeaveOneOut(db.items[qi], args.k, qi);
+  for (const Neighbor& nb : knn) {
+    std::printf("%6d  distance=%.6f  shift=%d%s\n", nb.index, nb.distance,
                 nb.shift, nb.mirrored ? " (mirrored)" : "");
   }
   return 0;
@@ -344,7 +347,7 @@ int CmdClassify(const Args& args, const Dataset& db) {
   }
   const ClassificationResult r = LeaveOneOutOneNnRotationInvariant(
       db, args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean,
-      args.band, MakeScanOptions(args).rotation);
+      args.band, MakeScanOptions(args).rotation, args.threads);
   std::printf("leave-one-out 1-NN error: %d / %d = %.2f%%\n", r.errors,
               r.total, 100.0 * r.error_rate());
   return 0;
