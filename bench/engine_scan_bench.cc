@@ -3,21 +3,34 @@
 /// Runs every cascade composition (the legacy algorithm set plus the
 /// FFT-filter + wedge pipeline) over a synthetic projectile-points
 /// workload under Euclidean and DTW, then times the batch driver at 1 and
-/// N threads. Results — implementation-free step counts AND wall-clock —
-/// are written as JSON so CI can archive and diff them across commits.
+/// N threads. Results — implementation-free step counts, stage-attributed
+/// observability metrics, AND wall-clock — are written as JSON so CI can
+/// archive and diff them across commits.
 ///
-///   engine_scan_bench [output.json]      (default: BENCH_scan.json)
+///   engine_scan_bench [output.json] [--check baseline.json]
+///                     [--tolerance FRAC]
+///
+/// --check compares the run's deterministic counters (step counts and
+/// candidate-flow fields; never wall-clock or latency) against a committed
+/// baseline and exits nonzero on drift beyond --tolerance (a fraction,
+/// default 0 = exact; CI passes a small tolerance to absorb libm
+/// differences across platforms that can shift prune counts near ties).
 ///
 /// Scale: ROTIND_BENCH_SCALE=full for paper-sized inputs.
 
+#include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/datasets/synthetic.h"
+#include "src/obs/metrics.h"
 #include "src/search/engine.h"
 
 namespace rotind::bench {
@@ -35,10 +48,11 @@ struct Row {
   std::uint64_t total_steps = 0;
   double wall_seconds = 0.0;
   std::size_t queries = 0;
+  obs::QueryMetrics metrics;
 };
 
 /// Runs `queries` leave-one-out 1-NN searches through one engine
-/// configuration and records total steps + wall time.
+/// configuration and records total steps, per-stage metrics, and wall time.
 Row RunConfig(const std::string& name, const FlatDataset& db,
               const std::vector<std::size_t>& queries,
               const EngineOptions& options) {
@@ -49,15 +63,157 @@ Row RunConfig(const std::string& name, const FlatDataset& db,
   const QueryEngine engine(db, options);
   const auto t0 = Clock::now();
   for (std::size_t qi : queries) {
-    const ScanResult r = engine.SearchLeaveOneOut(db.Materialize(qi), qi);
+    const ScanResult r =
+        engine.SearchLeaveOneOut(db.Materialize(qi), qi, &row.metrics);
     row.total_steps += r.counter.total_steps();
   }
   row.wall_seconds = Seconds(t0, Clock::now());
   return row;
 }
 
+/// The deterministic counter keys a --check run compares. Everything that
+/// measures real time (wall_seconds, *_nanos, speedup) is deliberately
+/// absent: only step counts and candidate/wedge/index flow are stable
+/// across runs.
+bool IsCounterKey(const std::string& key) {
+  static const char* const kKeys[] = {
+      "total_steps",     "attributed_total_steps",
+      "queries",         "candidates_entered",
+      "candidates_pruned", "candidates_survived",
+      "steps",           "setup_steps",
+      "early_abandons",  "wedges_tested",
+      "wedges_pruned",   "wedges_descended",
+      "leaves_evaluated", "leaves_abandoned",
+      "adapt_probes",    "signature_evals",
+      "object_fetches",  "page_reads",
+      "refinements",
+  };
+  for (const char* k : kKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+struct CounterSample {
+  std::string key;
+  double value = 0.0;
+};
+
+/// Extracts every `"key": <number>` pair whose key is a deterministic
+/// counter, in document order. A full JSON parser is overkill: both sides
+/// of the diff are produced by this binary, so positional comparison of
+/// the counter stream is exact.
+std::vector<CounterSample> ExtractCounters(const std::string& text) {
+  std::vector<CounterSample> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '"') {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < text.size() && text[j] != '"') ++j;
+    if (j >= text.size()) break;
+    const std::string key = text.substr(i + 1, j - i - 1);
+    std::size_t k = j + 1;
+    while (k < text.size() && std::isspace(static_cast<unsigned char>(text[k])))
+      ++k;
+    if (k < text.size() && text[k] == ':') {
+      ++k;
+      while (k < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[k])))
+        ++k;
+      if (k < text.size() &&
+          (std::isdigit(static_cast<unsigned char>(text[k])) ||
+           text[k] == '-')) {
+        char* end = nullptr;
+        const double v = std::strtod(text.c_str() + k, &end);
+        if (end != text.c_str() + k) {
+          if (IsCounterKey(key)) out.push_back({key, v});
+          i = static_cast<std::size_t>(end - text.c_str());
+          continue;
+        }
+      }
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, got);
+  std::fclose(f);
+  return true;
+}
+
+/// Diffs the deterministic counters of `current_path` against
+/// `baseline_path`. Returns 0 when every counter is within `tolerance`
+/// (relative), 1 otherwise.
+int CheckAgainstBaseline(const std::string& current_path,
+                         const std::string& baseline_path, double tolerance) {
+  std::string current_text;
+  std::string baseline_text;
+  if (!ReadFile(current_path, &current_text)) {
+    std::fprintf(stderr, "check: cannot read %s\n", current_path.c_str());
+    return 1;
+  }
+  if (!ReadFile(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "check: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  const std::vector<CounterSample> current = ExtractCounters(current_text);
+  const std::vector<CounterSample> baseline = ExtractCounters(baseline_text);
+  if (current.size() != baseline.size()) {
+    std::fprintf(stderr,
+                 "check FAILED: counter stream length differs (current %zu "
+                 "vs baseline %zu) — schema or configuration drift\n",
+                 current.size(), baseline.size());
+    return 1;
+  }
+  int failures = 0;
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (current[i].key != baseline[i].key) {
+      std::fprintf(stderr,
+                   "check FAILED at counter %zu: key '%s' vs baseline '%s'\n",
+                   i, current[i].key.c_str(), baseline[i].key.c_str());
+      return 1;
+    }
+    const double base = baseline[i].value;
+    const double diff = std::fabs(current[i].value - base);
+    const double allowed = tolerance * std::fabs(base);
+    if (diff > allowed) {
+      std::fprintf(stderr,
+                   "check FAILED: counter %zu '%s' = %.0f, baseline %.0f "
+                   "(|diff| %.0f > allowed %.0f)\n",
+                   i, current[i].key.c_str(), current[i].value, base, diff,
+                   allowed);
+      ++failures;
+    }
+  }
+  if (failures > 0) return 1;
+  std::printf("baseline check passed: %zu counters within %.2f%% of %s\n",
+              current.size(), 100.0 * tolerance, baseline_path.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scan.json";
+  std::string out_path = "BENCH_scan.json";
+  std::string baseline_path;
+  double tolerance = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else {
+      out_path = argv[i];
+    }
+  }
   const bool full = FullScale();
   const std::size_t n = 251;
   const std::size_t m = full ? 4000 : 400;
@@ -89,6 +245,7 @@ int Run(int argc, char** argv) {
       {"dtw/wedge", DistanceKind::kDtw, {{StageKind::kWedge}}},
   };
 
+  bool attribution_exact = true;
   std::vector<Row> rows;
   for (const Config& c : configs) {
     EngineOptions options;
@@ -96,9 +253,20 @@ int Run(int argc, char** argv) {
     options.band = 5;
     options.cascade = c.cascade;
     rows.push_back(RunConfig(c.name, db, qs.query_indices, options));
-    std::printf("  %-24s %14llu steps  %8.3f s\n", rows.back().name.c_str(),
-                static_cast<unsigned long long>(rows.back().total_steps),
-                rows.back().wall_seconds);
+    const Row& row = rows.back();
+    if (row.metrics.attributed_total_steps() != row.total_steps) {
+      std::fprintf(stderr,
+                   "  %s: stage attribution leak — %llu attributed vs %llu "
+                   "counted\n",
+                   row.name.c_str(),
+                   static_cast<unsigned long long>(
+                       row.metrics.attributed_total_steps()),
+                   static_cast<unsigned long long>(row.total_steps));
+      attribution_exact = false;
+    }
+    std::printf("  %-24s %14llu steps  %8.3f s\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.total_steps),
+                row.wall_seconds);
   }
 
   // Batch driver scaling: the same wedge workload at 1 thread vs the
@@ -110,14 +278,20 @@ int Run(int argc, char** argv) {
   const QueryEngine engine(db);
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   const int threads = hw > 1 ? hw : 2;
+  obs::QueryMetrics serial_metrics;
+  obs::QueryMetrics parallel_metrics;
   const auto t1 = Clock::now();
-  const auto serial = engine.SearchBatch(batch_queries, 1);
+  const auto serial = engine.SearchBatch(batch_queries, 1, nullptr,
+                                         &serial_metrics);
   const auto t2 = Clock::now();
-  const auto parallel = engine.SearchBatch(batch_queries, threads);
+  const auto parallel = engine.SearchBatch(batch_queries, threads, nullptr,
+                                           &parallel_metrics);
   const auto t3 = Clock::now();
   const double serial_s = Seconds(t1, t2);
   const double parallel_s = Seconds(t2, t3);
-  bool identical = serial.size() == parallel.size();
+  bool identical = serial.size() == parallel.size() &&
+                   serial_metrics.attributed_total_steps() ==
+                       parallel_metrics.attributed_total_steps();
   for (std::size_t i = 0; identical && i < serial.size(); ++i) {
     identical = serial[i].best_index == parallel[i].best_index &&
                 serial[i].best_distance == parallel[i].best_distance &&
@@ -145,24 +319,32 @@ int Run(int argc, char** argv) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"kind\": \"%s\", "
                  "\"total_steps\": %llu, \"wall_seconds\": %.6f, "
-                 "\"queries\": %zu}%s\n",
+                 "\"queries\": %zu,\n"
+                 "     \"metrics\":\n%s}%s\n",
                  rows[i].name.c_str(), rows[i].kind.c_str(),
                  static_cast<unsigned long long>(rows[i].total_steps),
                  rows[i].wall_seconds, rows[i].queries,
+                 rows[i].metrics.ToJson(5).c_str(),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out,
                "  \"batch\": {\"queries\": %zu, \"threads\": %d, "
                "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
-               "\"speedup\": %.3f, \"bit_identical\": %s}\n",
+               "\"speedup\": %.3f, \"bit_identical\": %s,\n"
+               "   \"metrics\":\n%s}\n",
                batch_queries.size(), threads, serial_s, parallel_s,
                parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
-               identical ? "true" : "false");
+               identical ? "true" : "false",
+               serial_metrics.ToJson(3).c_str());
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
-  return identical ? 0 : 1;
+  if (!identical || !attribution_exact) return 1;
+  if (!baseline_path.empty()) {
+    return CheckAgainstBaseline(out_path, baseline_path, tolerance);
+  }
+  return 0;
 }
 
 }  // namespace

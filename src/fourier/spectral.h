@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/core/series.h"
+#include "src/core/status.h"
 #include "src/core/step_counter.h"
 
 namespace rotind {
@@ -34,15 +35,39 @@ struct SpectralSignature {
 /// Builds the D-dimensional magnitude signature of `s` using bins
 /// k = 1 .. D (bin 0 is skipped: z-normalised series have zero DC, and
 /// keeping low frequencies first retains most energy, paper Section 5.4).
-/// Requires D <= n/2 for the conjugate-pair weighting to be valid.
+///
+/// CONTRACT: `dims` is CLAMPED to n/2 (the conjugate-pair weighting is only
+/// valid for D <= n/2), so the returned signature may have fewer dimensions
+/// than requested. On a heterogeneous-length dataset this produces
+/// mixed-dimensionality signatures that are NOT mutually comparable —
+/// callers building signature sets over many series must either guarantee a
+/// uniform length or use MakeSpectralSignatureChecked, which makes the
+/// clamp an error instead. Requires n >= 2.
 SpectralSignature MakeSpectralSignature(const Series& s, std::size_t dims);
+
+/// Validated variant: kInvalidArgument when n < 2 or `dims` would be
+/// clamped (dims > n/2) — the footgun path that silently produced
+/// mixed-dimensionality signature sets. Never clamps.
+StatusOr<SpectralSignature> MakeSpectralSignatureChecked(const Series& s,
+                                                         std::size_t dims);
 
 /// L2 distance between signatures; a lower bound on RED(Q, C) and, for DTW
 /// callers, NOT a bound (see index/candidate_scan.h for the DTW path).
 /// Charges `dims` steps.
+///
+/// Signatures of differing dimensionality are incomparable; passing them is
+/// a hard error on ALL build types (message + abort — never the silent heap
+/// over-read the old NDEBUG assert allowed). Use SignatureDistanceChecked
+/// when the mismatch must be recoverable.
 double SignatureDistance(const SpectralSignature& a,
                          const SpectralSignature& b,
                          StepCounter* counter = nullptr);
+
+/// Validated variant: kInvalidArgument (naming both dimensionalities)
+/// instead of aborting on a dims mismatch.
+StatusOr<double> SignatureDistanceChecked(const SpectralSignature& a,
+                                          const SpectralSignature& b,
+                                          StepCounter* counter = nullptr);
 
 /// The paper's cost model charges n*log2(n) steps per FFT lower-bound use
 /// (Section 5.3). Benches call this to account a transform.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <optional>
+#include <string>
 
 #include "src/fourier/spectral.h"
 
@@ -11,6 +15,73 @@ namespace rotind {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Attributes to `outer` the remainder of a shared-counter region after
+/// subtracting whatever nested StageScopes attributed to the `inner` stages
+/// while the region ran. This is how the signature-space stage is carved
+/// out of a VP-tree search whose refine callback does kDiskFetch/kRefine
+/// work against the same StepCounter: outer = total delta - inner deltas,
+/// so the per-stage sum still equals the counter's totals exactly.
+class RemainderScope {
+ public:
+  RemainderScope(obs::StageStats* outer, const StepCounter* counter,
+                 const obs::StageStats* inner_a, const obs::StageStats* inner_b)
+      : outer_(outer), counter_(counter), inner_a_(inner_a), inner_b_(inner_b) {
+    if (outer_ == nullptr) return;
+    outer_->used = true;
+    steps0_ = counter_->steps;
+    setup0_ = counter_->setup_steps;
+    abandons0_ = counter_->early_abandons;
+    inner0_ = InnerSnapshot();
+    t0_ = std::chrono::steady_clock::now();
+  }
+
+  ~RemainderScope() {
+    if (outer_ == nullptr) return;
+    const Snapshot inner = InnerSnapshot();
+    outer_->steps += (counter_->steps - steps0_) - (inner.steps - inner0_.steps);
+    outer_->setup_steps +=
+        (counter_->setup_steps - setup0_) - (inner.setup - inner0_.setup);
+    outer_->early_abandons += (counter_->early_abandons - abandons0_) -
+                              (inner.abandons - inner0_.abandons);
+    const std::uint64_t wall = obs::NanosSince(t0_);
+    const std::uint64_t inner_wall = inner.wall - inner0_.wall;
+    outer_->wall_nanos += wall > inner_wall ? wall - inner_wall : 0;
+  }
+
+  RemainderScope(const RemainderScope&) = delete;
+  RemainderScope& operator=(const RemainderScope&) = delete;
+
+ private:
+  struct Snapshot {
+    std::uint64_t steps = 0;
+    std::uint64_t setup = 0;
+    std::uint64_t abandons = 0;
+    std::uint64_t wall = 0;
+  };
+
+  Snapshot InnerSnapshot() const {
+    Snapshot s;
+    for (const obs::StageStats* in : {inner_a_, inner_b_}) {
+      if (in == nullptr) continue;
+      s.steps += in->steps;
+      s.setup += in->setup_steps;
+      s.abandons += in->early_abandons;
+      s.wall += in->wall_nanos;
+    }
+    return s;
+  }
+
+  obs::StageStats* outer_;
+  const StepCounter* counter_;
+  const obs::StageStats* inner_a_;
+  const obs::StageStats* inner_b_;
+  std::uint64_t steps0_ = 0;
+  std::uint64_t setup0_ = 0;
+  std::uint64_t abandons0_ = 0;
+  Snapshot inner0_;
+  std::chrono::steady_clock::time_point t0_;
+};
 
 }  // namespace
 
@@ -33,84 +104,183 @@ RotationInvariantIndex::RotationInvariantIndex(const std::vector<Series>& db,
   }
 }
 
+StatusOr<std::unique_ptr<RotationInvariantIndex>>
+RotationInvariantIndex::Create(const std::vector<Series>& db,
+                               const Options& options) {
+  if (db.empty()) {
+    return Status::InvalidArgument("database is empty");
+  }
+  const std::size_t n = db[0].size();
+  for (std::size_t i = 1; i < db.size(); ++i) {
+    if (db[i].size() != n) {
+      return Status::InvalidArgument(
+          "database is ragged: object " + std::to_string(i) + " has length " +
+          std::to_string(db[i].size()) + ", expected " + std::to_string(n));
+    }
+  }
+  if (n < 2) {
+    return Status::InvalidArgument("objects must have length >= 2, got " +
+                                   std::to_string(n));
+  }
+  if (options.dims < 1) {
+    return Status::InvalidArgument("signature dims must be >= 1");
+  }
+  if (options.kind == DistanceKind::kEuclidean && options.dims > n / 2) {
+    return Status::InvalidArgument(
+        "signature dims " + std::to_string(options.dims) +
+        " exceeds the " + std::to_string(n / 2) +
+        " spectral coefficients of length-" + std::to_string(n) +
+        " objects (the unchecked constructor would silently clamp)");
+  }
+  return std::make_unique<RotationInvariantIndex>(db, options);
+}
+
 RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighbor(
-    const Series& query) {
+    const Series& query, obs::QueryMetrics* metrics) {
   disk_.ResetCounters();
+  const obs::QueryLatencyScope latency(metrics);
   return options_.kind == DistanceKind::kEuclidean
-             ? NearestNeighborEuclidean(query)
-             : NearestNeighborDtw(query);
+             ? NearestNeighborEuclidean(query, metrics)
+             : NearestNeighborDtw(query, metrics);
 }
 
 std::vector<RotationInvariantIndex::KnnEntry>
 RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
-                                          Result* stats) {
+                                          Result* stats,
+                                          obs::QueryMetrics* metrics) {
   disk_.ResetCounters();
+  const obs::QueryLatencyScope latency(metrics);
   Result local;
   Result* out = stats != nullptr ? stats : &local;
   *out = Result{};
+
+  obs::StageStats* sig_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kSignatureFilter)
+                         : nullptr;
+  obs::StageStats* fetch_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kDiskFetch) : nullptr;
+  obs::StageStats* refine_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kRefine) : nullptr;
+  obs::WedgeStats* wedge_stats =
+      metrics != nullptr ? &metrics->wedge : nullptr;
 
   WedgeSearchOptions wopts;
   wopts.kind = options_.kind;
   wopts.band = options_.band;
   wopts.rotation = options_.rotation;
-  WedgeSearcher searcher(query, wopts, &out->counter);
+  // The wedge tree is refinement machinery: its construction is kRefine
+  // setup, exactly as the engine charges terminal setup to the terminal.
+  std::optional<WedgeSearcher> searcher;
+  {
+    const obs::StageScope scope(refine_stats, &out->counter);
+    searcher.emplace(query, wopts, &out->counter);
+  }
 
+  auto refine = [&](int id, double threshold) -> double {
+    const Series* c = nullptr;
+    {
+      const obs::StageScope scope(fetch_stats, &out->counter);
+      c = &disk_.Fetch(id);
+    }
+    if (fetch_stats != nullptr) {
+      ++fetch_stats->candidates_entered;
+      ++fetch_stats->candidates_survived;
+    }
+    const obs::StageScope scope(refine_stats, &out->counter);
+    const HMergeResult r =
+        searcher->Distance(c->data(), threshold, &out->counter, wedge_stats);
+    if (refine_stats != nullptr) {
+      ++refine_stats->candidates_entered;
+      ++(r.abandoned ? refine_stats->candidates_pruned
+                     : refine_stats->candidates_survived);
+    }
+    return r.abandoned ? kInf : r.distance;
+  };
+
+  const std::size_t m = disk_.num_objects();
   std::vector<KnnEntry> neighbors;
   if (options_.kind == DistanceKind::kEuclidean) {
-    const SpectralSignature qsig =
-        MakeSpectralSignature(query, options_.dims);
-    AddSetupSteps(&out->counter, FftStepCost(query.size()));
-    auto refine = [&](int id, double threshold) -> double {
-      const Series& c = disk_.Fetch(id);
-      const HMergeResult r =
-          searcher.Distance(c.data(), threshold, &out->counter);
-      return r.abandoned ? kInf : r.distance;
-    };
-    const VpTree::KnnResult knn =
-        vptree_->KNearestNeighbors(qsig.values, k, refine, &out->counter);
+    SpectralSignature qsig;
+    {
+      // The query's signature transform is signature-space setup.
+      const obs::StageScope scope(sig_stats, &out->counter);
+      qsig = MakeSpectralSignature(query, options_.dims);
+      AddSetupSteps(&out->counter, FftStepCost(query.size()));
+    }
+    VpTree::KnnResult knn;
+    {
+      const RemainderScope scope(sig_stats, &out->counter, fetch_stats,
+                                 refine_stats);
+      knn = vptree_->KNearestNeighbors(qsig.values, k, refine, &out->counter);
+    }
+    if (sig_stats != nullptr) {
+      sig_stats->candidates_entered += m;
+      sig_stats->candidates_survived += knn.refine_calls;
+      sig_stats->candidates_pruned += m - knn.refine_calls;
+    }
+    if (metrics != nullptr) {
+      metrics->index.signature_evals += knn.metric_evals;
+      metrics->index.candidates_pruned += m - knn.refine_calls;
+      metrics->index.refinements += knn.refine_calls;
+    }
     for (const auto& [id, distance] : knn.neighbors) {
       neighbors.push_back({id, distance});
     }
   } else {
     // DTW path: LB-ordered scan with the k-th best as the threshold.
-    const WedgeTree& tree = searcher.tree();
-    const std::vector<int> wedge_ids =
-        tree.WedgeSetForK(std::max(1, options_.lower_bound_wedges));
-    std::vector<PaaEnvelope> envelopes;
-    for (int id : wedge_ids) {
-      Envelope env;
-      env.upper.assign(tree.Upper(id), tree.Upper(id) + tree.length());
-      env.lower.assign(tree.Lower(id), tree.Lower(id) + tree.length());
-      envelopes.push_back(PaaReduceEnvelope(env, options_.dims));
-    }
-    const std::size_t m = paa_signatures_.size();
-    std::vector<std::pair<double, int>> order(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      double lb = kInf;
-      for (const PaaEnvelope& env : envelopes) {
-        lb = std::min(lb, LbPaa(paa_signatures_[i], env, &out->counter));
+    const WedgeTree& tree = searcher->tree();
+    const std::size_t num_objects = paa_signatures_.size();
+    std::vector<std::pair<double, int>> order(num_objects);
+    std::size_t lb_evals = 0;
+    {
+      const obs::StageScope scope(sig_stats, &out->counter);
+      const std::vector<int> wedge_ids =
+          tree.WedgeSetForK(std::max(1, options_.lower_bound_wedges));
+      std::vector<PaaEnvelope> envelopes;
+      for (int id : wedge_ids) {
+        Envelope env;
+        env.upper.assign(tree.Upper(id), tree.Upper(id) + tree.length());
+        env.lower.assign(tree.Lower(id), tree.Lower(id) + tree.length());
+        envelopes.push_back(PaaReduceEnvelope(env, options_.dims));
       }
-      order[i] = {lb, static_cast<int>(i)};
+      for (std::size_t i = 0; i < num_objects; ++i) {
+        double lb = kInf;
+        for (const PaaEnvelope& env : envelopes) {
+          lb = std::min(lb, LbPaa(paa_signatures_[i], env, &out->counter));
+        }
+        order[i] = {lb, static_cast<int>(i)};
+      }
+      std::sort(order.begin(), order.end());
+      lb_evals = num_objects * envelopes.size();
     }
-    std::sort(order.begin(), order.end());
 
     // Max-heap of the best k by true distance.
     std::vector<std::pair<double, int>> heap;
     auto threshold = [&]() {
       return static_cast<int>(heap.size()) < k ? kInf : heap.front().first;
     };
+    std::uint64_t refined = 0;
     for (const auto& [lb, id] : order) {
       if (lb >= threshold()) break;
-      const Series& c = disk_.Fetch(id);
-      const HMergeResult r =
-          searcher.Distance(c.data(), threshold(), &out->counter);
-      if (r.abandoned || r.distance >= threshold()) continue;
-      heap.emplace_back(r.distance, id);
+      ++refined;
+      const double d = refine(id, threshold());
+      if (std::isinf(d) || d >= threshold()) continue;
+      heap.emplace_back(d, id);
       std::push_heap(heap.begin(), heap.end());
       if (static_cast<int>(heap.size()) > k) {
         std::pop_heap(heap.begin(), heap.end());
         heap.pop_back();
       }
+    }
+    if (sig_stats != nullptr) {
+      sig_stats->candidates_entered += m;
+      sig_stats->candidates_survived += refined;
+      sig_stats->candidates_pruned += m - refined;
+    }
+    if (metrics != nullptr) {
+      metrics->index.signature_evals += lb_evals;
+      metrics->index.candidates_pruned += m - refined;
+      metrics->index.refinements += refined;
     }
     std::sort(heap.begin(), heap.end());
     for (const auto& [distance, id] : heap) neighbors.push_back({id, distance});
@@ -119,6 +289,10 @@ RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
   out->object_fetches = disk_.object_fetches();
   out->page_reads = disk_.page_reads();
   out->fetch_fraction = disk_.FetchFraction();
+  if (metrics != nullptr) {
+    metrics->index.object_fetches += disk_.object_fetches();
+    metrics->index.page_reads += disk_.page_reads();
+  }
   if (!neighbors.empty()) {
     out->best_index = neighbors[0].index;
     out->best_distance = neighbors[0].distance;
@@ -127,27 +301,77 @@ RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
 }
 
 RotationInvariantIndex::Result
-RotationInvariantIndex::NearestNeighborEuclidean(const Series& query) {
+RotationInvariantIndex::NearestNeighborEuclidean(const Series& query,
+                                                 obs::QueryMetrics* metrics) {
   Result result;
+  obs::StageStats* sig_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kSignatureFilter)
+                         : nullptr;
+  obs::StageStats* fetch_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kDiskFetch) : nullptr;
+  obs::StageStats* refine_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kRefine) : nullptr;
+  obs::WedgeStats* wedge_stats =
+      metrics != nullptr ? &metrics->wedge : nullptr;
+
   WedgeSearchOptions wopts;
   wopts.kind = DistanceKind::kEuclidean;
   wopts.rotation = options_.rotation;
-  WedgeSearcher searcher(query, wopts, &result.counter);
+  std::optional<WedgeSearcher> searcher;
+  {
+    const obs::StageScope scope(refine_stats, &result.counter);
+    searcher.emplace(query, wopts, &result.counter);
+  }
 
-  const SpectralSignature qsig = MakeSpectralSignature(query, options_.dims);
-  AddSetupSteps(&result.counter, FftStepCost(query.size()));
+  SpectralSignature qsig;
+  {
+    const obs::StageScope scope(sig_stats, &result.counter);
+    qsig = MakeSpectralSignature(query, options_.dims);
+    AddSetupSteps(&result.counter, FftStepCost(query.size()));
+  }
 
   auto refine = [&](int id, double threshold) -> double {
-    const Series& c = disk_.Fetch(id);
+    const Series* c = nullptr;
+    {
+      const obs::StageScope scope(fetch_stats, &result.counter);
+      c = &disk_.Fetch(id);
+    }
+    if (fetch_stats != nullptr) {
+      ++fetch_stats->candidates_entered;
+      ++fetch_stats->candidates_survived;
+    }
+    const obs::StageScope scope(refine_stats, &result.counter);
     const HMergeResult r =
-        searcher.Distance(c.data(), threshold, &result.counter);
+        searcher->Distance(c->data(), threshold, &result.counter, wedge_stats);
+    if (refine_stats != nullptr) {
+      ++refine_stats->candidates_entered;
+      ++(r.abandoned ? refine_stats->candidates_pruned
+                     : refine_stats->candidates_survived);
+    }
     if (r.abandoned) return kInf;
-    searcher.AdaptK(c.data(), r.distance, &result.counter);
+    searcher->AdaptK(c->data(), r.distance, &result.counter, wedge_stats);
     return r.distance;
   };
 
-  const VpTree::Result vp =
-      vptree_->NearestNeighbor(qsig.values, refine, &result.counter);
+  VpTree::Result vp;
+  {
+    const RemainderScope scope(sig_stats, &result.counter, fetch_stats,
+                               refine_stats);
+    vp = vptree_->NearestNeighbor(qsig.values, refine, &result.counter);
+  }
+  const std::size_t m = disk_.num_objects();
+  if (sig_stats != nullptr) {
+    sig_stats->candidates_entered += m;
+    sig_stats->candidates_survived += vp.refine_calls;
+    sig_stats->candidates_pruned += m - vp.refine_calls;
+  }
+  if (metrics != nullptr) {
+    metrics->index.signature_evals += vp.metric_evals;
+    metrics->index.candidates_pruned += m - vp.refine_calls;
+    metrics->index.refinements += vp.refine_calls;
+    metrics->index.object_fetches += disk_.object_fetches();
+    metrics->index.page_reads += disk_.page_reads();
+  }
   result.best_index = vp.best_id;
   result.best_distance = vp.best_distance;
   result.object_fetches = disk_.object_fetches();
@@ -157,51 +381,99 @@ RotationInvariantIndex::NearestNeighborEuclidean(const Series& query) {
 }
 
 RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighborDtw(
-    const Series& query) {
+    const Series& query, obs::QueryMetrics* metrics) {
   Result result;
+  obs::StageStats* sig_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kSignatureFilter)
+                         : nullptr;
+  obs::StageStats* fetch_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kDiskFetch) : nullptr;
+  obs::StageStats* refine_stats =
+      metrics != nullptr ? &metrics->stage(obs::StageId::kRefine) : nullptr;
+  obs::WedgeStats* wedge_stats =
+      metrics != nullptr ? &metrics->wedge : nullptr;
+
   WedgeSearchOptions wopts;
   wopts.kind = DistanceKind::kDtw;
   wopts.band = options_.band;
   wopts.rotation = options_.rotation;
-  WedgeSearcher searcher(query, wopts, &result.counter);
+  std::optional<WedgeSearcher> searcher;
+  {
+    const obs::StageScope scope(refine_stats, &result.counter);
+    searcher.emplace(query, wopts, &result.counter);
+  }
 
   // PAA-reduce the band-expanded envelopes of a small wedge set over the
   // query's rotations. LB(object) = min over wedges of LB_PAA, which
   // lower-bounds the rotation-invariant DTW distance (refs [16][37]).
-  const WedgeTree& tree = searcher.tree();
-  const std::vector<int> wedge_ids = tree.WedgeSetForK(
-      std::max(1, options_.lower_bound_wedges));
-  std::vector<PaaEnvelope> envelopes;
-  envelopes.reserve(wedge_ids.size());
-  for (int id : wedge_ids) {
-    Envelope env;
-    env.upper.assign(tree.Upper(id), tree.Upper(id) + tree.length());
-    env.lower.assign(tree.Lower(id), tree.Lower(id) + tree.length());
-    envelopes.push_back(PaaReduceEnvelope(env, options_.dims));
-  }
-
-  // Lower bounds for every object, visited in ascending order.
   const std::size_t m = paa_signatures_.size();
   std::vector<std::pair<double, int>> order(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    double lb = kInf;
-    for (const PaaEnvelope& env : envelopes) {
-      lb = std::min(lb, LbPaa(paa_signatures_[i], env, &result.counter));
+  std::size_t lb_evals = 0;
+  {
+    const obs::StageScope scope(sig_stats, &result.counter);
+    const WedgeTree& tree = searcher->tree();
+    const std::vector<int> wedge_ids =
+        tree.WedgeSetForK(std::max(1, options_.lower_bound_wedges));
+    std::vector<PaaEnvelope> envelopes;
+    envelopes.reserve(wedge_ids.size());
+    for (int id : wedge_ids) {
+      Envelope env;
+      env.upper.assign(tree.Upper(id), tree.Upper(id) + tree.length());
+      env.lower.assign(tree.Lower(id), tree.Lower(id) + tree.length());
+      envelopes.push_back(PaaReduceEnvelope(env, options_.dims));
     }
-    order[i] = {lb, static_cast<int>(i)};
+
+    // Lower bounds for every object, visited in ascending order.
+    for (std::size_t i = 0; i < m; ++i) {
+      double lb = kInf;
+      for (const PaaEnvelope& env : envelopes) {
+        lb = std::min(lb, LbPaa(paa_signatures_[i], env, &result.counter));
+      }
+      order[i] = {lb, static_cast<int>(i)};
+    }
+    std::sort(order.begin(), order.end());
+    lb_evals = m * envelopes.size();
   }
-  std::sort(order.begin(), order.end());
 
   double best = kInf;
+  std::uint64_t refined = 0;
   for (const auto& [lb, id] : order) {
     if (lb >= best) break;  // every further bound is at least as large
-    const Series& c = disk_.Fetch(id);
-    const HMergeResult r = searcher.Distance(c.data(), best, &result.counter);
+    ++refined;
+    const Series* c = nullptr;
+    {
+      const obs::StageScope scope(fetch_stats, &result.counter);
+      c = &disk_.Fetch(id);
+    }
+    if (fetch_stats != nullptr) {
+      ++fetch_stats->candidates_entered;
+      ++fetch_stats->candidates_survived;
+    }
+    const obs::StageScope scope(refine_stats, &result.counter);
+    const HMergeResult r =
+        searcher->Distance(c->data(), best, &result.counter, wedge_stats);
+    if (refine_stats != nullptr) {
+      ++refine_stats->candidates_entered;
+      ++(r.abandoned ? refine_stats->candidates_pruned
+                     : refine_stats->candidates_survived);
+    }
     if (!r.abandoned && r.distance < best) {
       best = r.distance;
       result.best_index = id;
-      searcher.AdaptK(c.data(), best, &result.counter);
+      searcher->AdaptK(c->data(), best, &result.counter, wedge_stats);
     }
+  }
+  if (sig_stats != nullptr) {
+    sig_stats->candidates_entered += m;
+    sig_stats->candidates_survived += refined;
+    sig_stats->candidates_pruned += m - refined;
+  }
+  if (metrics != nullptr) {
+    metrics->index.signature_evals += lb_evals;
+    metrics->index.candidates_pruned += m - refined;
+    metrics->index.refinements += refined;
+    metrics->index.object_fetches += disk_.object_fetches();
+    metrics->index.page_reads += disk_.page_reads();
   }
   result.best_distance = best;
   result.object_fetches = disk_.object_fetches();

@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "src/core/series.h"
+#include "src/core/status.h"
 #include "src/core/step_counter.h"
 #include "src/index/disk.h"
 #include "src/index/paa.h"
 #include "src/index/vptree.h"
+#include "src/obs/metrics.h"
 #include "src/search/hmerge.h"
 
 namespace rotind {
@@ -32,7 +34,12 @@ namespace rotind {
 class RotationInvariantIndex {
  public:
   struct Options {
-    std::size_t dims = 16;  ///< signature dimensionality D
+    /// Signature dimensionality D. CONTRACT: for the Euclidean path the
+    /// spectral transform only yields n/2 coefficients for length-n
+    /// objects, and the unchecked constructor silently CLAMPS dims to that
+    /// ceiling (see MakeSpectralSignature). Use Create() to get a hard
+    /// kInvalidArgument instead of a silent clamp.
+    std::size_t dims = 16;
     DistanceKind kind = DistanceKind::kEuclidean;
     int band = 5;  ///< Sakoe-Chiba band for kDtw
     RotationOptions rotation;
@@ -44,7 +51,17 @@ class RotationInvariantIndex {
     int lower_bound_wedges = 64;
   };
 
+  /// Unchecked constructor. Preconditions (validated by Create): non-empty
+  /// db of uniform-length series with length >= 2 and dims >= 1. On the
+  /// Euclidean path, dims > n/2 is silently clamped to n/2.
   RotationInvariantIndex(const std::vector<Series>& db, const Options& options);
+
+  /// Validated factory: rejects an empty or ragged database, objects
+  /// shorter than 2 samples, dims < 1, and (Euclidean path) dims beyond the
+  /// n/2 spectral coefficients that exist — the cases the constructor would
+  /// silently clamp or mis-index on.
+  static StatusOr<std::unique_ptr<RotationInvariantIndex>> Create(
+      const std::vector<Series>& db, const Options& options);
 
   struct Result {
     int best_index = -1;
@@ -57,8 +74,13 @@ class RotationInvariantIndex {
     StepCounter counter;
   };
 
-  /// Exact rotation-invariant 1-NN.
-  Result NearestNeighbor(const Series& query);
+  /// Exact rotation-invariant 1-NN. `metrics` (nullable, zero-cost when
+  /// null) receives stage-attributed accounting: signature-space pruning →
+  /// kSignatureFilter, disk I/O → kDiskFetch, H-Merge refinement (including
+  /// wedge-tree setup) → kRefine, plus IndexStats and the per-query latency
+  /// sample. The per-stage steps sum exactly to Result::counter's totals.
+  Result NearestNeighbor(const Series& query,
+                         obs::QueryMetrics* metrics = nullptr);
 
   /// One entry of a k-NN result.
   struct KnnEntry {
@@ -70,14 +92,16 @@ class RotationInvariantIndex {
   /// entries when the database is smaller). `stats`, if given, receives
   /// the same accounting fields as NearestNeighbor's Result.
   std::vector<KnnEntry> KNearestNeighbors(const Series& query, int k,
-                                          Result* stats = nullptr);
+                                          Result* stats = nullptr,
+                                          obs::QueryMetrics* metrics = nullptr);
 
   std::size_t size() const { return disk_.num_objects(); }
   const SimulatedDisk& disk() const { return disk_; }
 
  private:
-  Result NearestNeighborEuclidean(const Series& query);
-  Result NearestNeighborDtw(const Series& query);
+  Result NearestNeighborEuclidean(const Series& query,
+                                  obs::QueryMetrics* metrics);
+  Result NearestNeighborDtw(const Series& query, obs::QueryMetrics* metrics);
 
   Options options_;
   SimulatedDisk disk_;

@@ -1,9 +1,10 @@
 #include "src/index/vptree.h"
 
 #include <algorithm>
-#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "src/core/random.h"
@@ -13,6 +14,9 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Mixed-dimensionality points would make this loop read past the shorter
+/// buffer; the constructor and the query entry points reject them on all
+/// build types, so equal sizes are an established invariant here.
 double L2(const std::vector<double>& a, const std::vector<double>& b) {
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -22,12 +26,28 @@ double L2(const std::vector<double>& a, const std::vector<double>& b) {
   return std::sqrt(acc);
 }
 
+[[noreturn]] void DieDimsMismatch(const char* what, std::size_t got,
+                                  std::size_t want) {
+  std::fprintf(stderr,
+               "rotind: VpTree: %s has %zu dimensions, tree points have %zu; "
+               "mixed-dimensionality points are not comparable\n",
+               what, got, want);
+  std::abort();
+}
+
 }  // namespace
 
 VpTree::VpTree(std::vector<std::vector<double>> points, std::uint64_t seed,
                std::size_t leaf_size)
     : points_(std::move(points)), leaf_size_(std::max<std::size_t>(1, leaf_size)) {
   if (points_.empty()) return;
+  // Hard invariant on every build type (the L2 metric reads both buffers up
+  // to the first one's size): all points share one dimensionality.
+  for (const std::vector<double>& p : points_) {
+    if (p.size() != points_[0].size()) {
+      DieDimsMismatch("a point", p.size(), points_[0].size());
+    }
+  }
   std::vector<int> ids(points_.size());
   for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
   Rng rng(seed);
@@ -130,7 +150,9 @@ VpTree::KnnResult VpTree::KNearestNeighbors(
     StepCounter* counter) const {
   KnnResult result;
   if (root_ < 0 || k < 1) return result;
-  assert(query.size() == dims());
+  if (query.size() != dims()) {
+    DieDimsMismatch("the query", query.size(), dims());
+  }
   KnnState state;
   state.k = k;
   SearchRecursive(root_, query, refine, k, &state, counter);

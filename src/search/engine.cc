@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <thread>
 
@@ -19,6 +22,21 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 bool IsTerminal(StageKind kind) { return kind != StageKind::kFftMagnitude; }
+
+/// Observability bucket for each cascade stage.
+obs::StageId StageIdFor(StageKind kind) {
+  switch (kind) {
+    case StageKind::kFftMagnitude: return obs::StageId::kFftFilter;
+    case StageKind::kWedge: return obs::StageId::kWedge;
+    case StageKind::kExactScan: return obs::StageId::kExactScan;
+    case StageKind::kFullScan: return obs::StageId::kFullScan;
+    case StageKind::kFullScanBanded: return obs::StageId::kFullScanBanded;
+  }
+  return obs::StageId::kExactScan;
+}
+
+using obs::QueryLatencyScope;
+using obs::StageScope;
 
 /// Per-candidate outcome of one cascade pass, in the thresholded contract
 /// the drivers expect: found implies distance < the threshold passed in.
@@ -82,8 +100,9 @@ class TerminalStage {
 class WedgeTerminal final : public TerminalStage {
  public:
   WedgeTerminal(const Series& query, const EngineOptions& options,
-                StepCounter* counter)
-      : searcher_(query, MakeWedgeOptions(options), counter) {}
+                StepCounter* counter, obs::WedgeStats* wedge_stats)
+      : wedge_stats_(wedge_stats),
+        searcher_(query, MakeWedgeOptions(options), counter) {}
 
   static WedgeSearchOptions MakeWedgeOptions(const EngineOptions& options) {
     WedgeSearchOptions w;
@@ -97,7 +116,8 @@ class WedgeTerminal final : public TerminalStage {
   CandidateMatch Evaluate(const double* c, double threshold,
                           StepCounter* counter) override {
     CandidateMatch out;
-    const HMergeResult r = searcher_.Distance(c, threshold, counter);
+    const HMergeResult r =
+        searcher_.Distance(c, threshold, counter, wedge_stats_);
     if (!r.abandoned) {
       const RotationSet& rots = searcher_.tree().rotations();
       out.distance = r.distance;
@@ -110,10 +130,11 @@ class WedgeTerminal final : public TerminalStage {
 
   void NotifyImproved(const double* trigger, double best,
                       StepCounter* counter) override {
-    searcher_.AdaptK(trigger, best, counter);
+    searcher_.AdaptK(trigger, best, counter, wedge_stats_);
   }
 
  private:
+  obs::WedgeStats* wedge_stats_;
   WedgeSearcher searcher_;
 };
 
@@ -281,21 +302,29 @@ class ScanTerminal final : public TerminalStage {
   std::unique_ptr<Measure> measure_;
 };
 
-/// A compiled per-query cascade: ordered filters then one terminal.
+/// A compiled per-query cascade: ordered filters then one terminal. When
+/// `metrics` is non-null, every stage's candidate flow, step-count delta,
+/// early abandons, and wall time are attributed to its obs::StageId —
+/// including setup charged during construction — so the per-stage totals
+/// sum exactly to the query's StepCounter.
 class QueryCascade {
  public:
   QueryCascade(const Series& query, const EngineOptions& options,
-               StepCounter* counter) {
+               StepCounter* counter, obs::QueryMetrics* metrics = nullptr)
+      : metrics_(metrics) {
     for (StageKind kind : options.cascade.stages) {
       if (IsTerminal(kind)) {
+        terminal_id_ = StageIdFor(kind);
+        StageScope scope(StatsFor(terminal_id_), counter);
         switch (kind) {
           case StageKind::kWedge:
             if (options.kind == DistanceKind::kLcss) {
               terminal_ = std::make_unique<LcssWedgeTerminal>(
                   query, options.lcss, options.rotation, counter);
             } else {
-              terminal_ =
-                  std::make_unique<WedgeTerminal>(query, options, counter);
+              terminal_ = std::make_unique<WedgeTerminal>(
+                  query, options, counter,
+                  metrics_ != nullptr ? &metrics_->wedge : nullptr);
             }
             break;
           case StageKind::kExactScan:
@@ -315,6 +344,7 @@ class QueryCascade {
         }
         break;  // normalization guarantees the terminal is last
       }
+      StageScope scope(StatsFor(obs::StageId::kFftFilter), counter);
       filters_.push_back(std::make_unique<FftMagnitudeFilter>(query, counter));
     }
     assert(terminal_ != nullptr && "cascade must be normalized");
@@ -323,17 +353,44 @@ class QueryCascade {
   CandidateMatch Compare(const double* c, double threshold,
                          StepCounter* counter) {
     for (const auto& filter : filters_) {
-      if (filter->Prune(c, threshold, counter)) return CandidateMatch{};
+      obs::StageStats* stats = StatsFor(obs::StageId::kFftFilter);
+      bool pruned;
+      {
+        StageScope scope(stats, counter);
+        pruned = filter->Prune(c, threshold, counter);
+      }
+      if (stats != nullptr) {
+        ++stats->candidates_entered;
+        ++(pruned ? stats->candidates_pruned : stats->candidates_survived);
+      }
+      if (pruned) return CandidateMatch{};
     }
-    return terminal_->Evaluate(c, threshold, counter);
+    obs::StageStats* stats = StatsFor(terminal_id_);
+    CandidateMatch m;
+    {
+      StageScope scope(stats, counter);
+      m = terminal_->Evaluate(c, threshold, counter);
+    }
+    if (stats != nullptr) {
+      ++stats->candidates_entered;
+      ++(m.found ? stats->candidates_survived : stats->candidates_pruned);
+    }
+    return m;
   }
 
   void NotifyImproved(const double* trigger, double best,
                       StepCounter* counter) {
+    StageScope scope(StatsFor(terminal_id_), counter);
     terminal_->NotifyImproved(trigger, best, counter);
   }
 
  private:
+  obs::StageStats* StatsFor(obs::StageId id) {
+    return metrics_ != nullptr ? &metrics_->stage(id) : nullptr;
+  }
+
+  obs::QueryMetrics* metrics_;
+  obs::StageId terminal_id_ = obs::StageId::kExactScan;
   std::vector<std::unique_ptr<FilterStage>> filters_;
   std::unique_ptr<TerminalStage> terminal_;
 };
@@ -514,25 +571,49 @@ EngineOptions EngineOptionsFrom(const ScanOptions& options,
 void ParallelFor(std::size_t count, int num_threads,
                  const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  // The 256 cap bounds thread-stack memory and creation cost when a caller
+  // passes an absurd thread count; it is documented in engine.h and
+  // mirrored by the CLI's --threads validation.
   const int workers = std::max(
       1, std::min(num_threads, static_cast<int>(std::min(
                                    count, static_cast<std::size_t>(256)))));
   if (workers == 1) {
+    // Inline path: an exception from fn propagates directly.
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  // A throwing fn must never escape a worker thread (that would
+  // std::terminate the process). Capture the first exception, let every
+  // worker drain the remaining queue without running further items, join,
+  // and rethrow on the calling thread.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int t = 0; t < workers; ++t) {
     pool.emplace_back([&] {
       for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
            i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
-        fn(i);
+        if (failed.load(std::memory_order_relaxed)) break;
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (first_error == nullptr) {
+              first_error = std::current_exception();
+            }
+          }
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
       }
     });
   }
   for (std::thread& worker : pool) worker.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 QueryEngine::QueryEngine(const FlatDataset& db, const EngineOptions& options)
@@ -559,15 +640,18 @@ const double* QueryEngine::item(std::size_t i) const {
   return flat_ != nullptr ? flat_->data(i) : (*vec_)[i].data();
 }
 
-ScanResult QueryEngine::Search(const Series& query) const {
-  return SearchLeaveOneOut(query, kNoHoldout);
+ScanResult QueryEngine::Search(const Series& query,
+                               obs::QueryMetrics* metrics) const {
+  return SearchLeaveOneOut(query, kNoHoldout, metrics);
 }
 
 ScanResult QueryEngine::SearchLeaveOneOut(const Series& query,
-                                          std::size_t holdout) const {
+                                          std::size_t holdout,
+                                          obs::QueryMetrics* metrics) const {
   ScanResult result;
   result.best_distance = kInf;
-  QueryCascade cascade(query, options_, &result.counter);
+  const QueryLatencyScope latency(metrics);
+  QueryCascade cascade(query, options_, &result.counter, metrics);
   BestCollector collector(&result);
   RunScan(
       database_size(), [this](std::size_t i) { return item(i); }, holdout,
@@ -576,16 +660,18 @@ ScanResult QueryEngine::SearchLeaveOneOut(const Series& query,
 }
 
 std::vector<Neighbor> QueryEngine::Knn(const Series& query, int k,
-                                       StepCounter* counter) const {
-  return KnnLeaveOneOut(query, k, kNoHoldout, counter);
+                                       StepCounter* counter,
+                                       obs::QueryMetrics* metrics) const {
+  return KnnLeaveOneOut(query, k, kNoHoldout, counter, metrics);
 }
 
-std::vector<Neighbor> QueryEngine::KnnLeaveOneOut(const Series& query, int k,
-                                                  std::size_t holdout,
-                                                  StepCounter* counter) const {
+std::vector<Neighbor> QueryEngine::KnnLeaveOneOut(
+    const Series& query, int k, std::size_t holdout, StepCounter* counter,
+    obs::QueryMetrics* metrics) const {
   StepCounter local;
   StepCounter* cnt = counter != nullptr ? counter : &local;
-  QueryCascade cascade(query, options_, cnt);
+  const QueryLatencyScope latency(metrics);
+  QueryCascade cascade(query, options_, cnt, metrics);
   KnnCollector collector(k);
   RunScan(
       database_size(), [this](std::size_t i) { return item(i); }, holdout,
@@ -594,10 +680,12 @@ std::vector<Neighbor> QueryEngine::KnnLeaveOneOut(const Series& query, int k,
 }
 
 std::vector<Neighbor> QueryEngine::Range(const Series& query, double radius,
-                                         StepCounter* counter) const {
+                                         StepCounter* counter,
+                                         obs::QueryMetrics* metrics) const {
   StepCounter local;
   StepCounter* cnt = counter != nullptr ? counter : &local;
-  QueryCascade cascade(query, options_, cnt);
+  const QueryLatencyScope latency(metrics);
+  QueryCascade cascade(query, options_, cnt, metrics);
   RangeCollector collector(radius);
   RunScan(
       database_size(), [this](std::size_t i) { return item(i); }, kNoHoldout,
@@ -661,41 +749,62 @@ StatusOr<std::vector<Neighbor>> QueryEngine::RangeChecked(
 }
 
 std::vector<ScanResult> QueryEngine::SearchBatch(
-    const std::vector<Series>& queries, int num_threads,
-    StepCounter* merged) const {
+    const std::vector<Series>& queries, int num_threads, StepCounter* merged,
+    obs::QueryMetrics* metrics) const {
   std::vector<ScanResult> results(queries.size());
-  ParallelFor(queries.size(), num_threads,
-              [&](std::size_t qi) { results[qi] = Search(queries[qi]); });
+  // Thread-local per-query metrics, folded back in query order below: the
+  // merged aggregate is independent of which worker ran which query.
+  std::vector<obs::QueryMetrics> query_metrics(
+      metrics != nullptr ? queries.size() : 0);
+  ParallelFor(queries.size(), num_threads, [&](std::size_t qi) {
+    results[qi] = Search(queries[qi],
+                         metrics != nullptr ? &query_metrics[qi] : nullptr);
+  });
   if (merged != nullptr) {
     for (const ScanResult& r : results) *merged += r.counter;
+  }
+  if (metrics != nullptr) {
+    for (const obs::QueryMetrics& m : query_metrics) *metrics += m;
   }
   return results;
 }
 
 std::vector<std::vector<Neighbor>> QueryEngine::KnnSearchBatch(
     const std::vector<Series>& queries, int k, int num_threads,
-    StepCounter* merged) const {
+    StepCounter* merged, obs::QueryMetrics* metrics) const {
   std::vector<std::vector<Neighbor>> results(queries.size());
   std::vector<StepCounter> counters(queries.size());
+  std::vector<obs::QueryMetrics> query_metrics(
+      metrics != nullptr ? queries.size() : 0);
   ParallelFor(queries.size(), num_threads, [&](std::size_t qi) {
-    results[qi] = Knn(queries[qi], k, &counters[qi]);
+    results[qi] = Knn(queries[qi], k, &counters[qi],
+                      metrics != nullptr ? &query_metrics[qi] : nullptr);
   });
   if (merged != nullptr) {
     for (const StepCounter& c : counters) *merged += c;
+  }
+  if (metrics != nullptr) {
+    for (const obs::QueryMetrics& m : query_metrics) *metrics += m;
   }
   return results;
 }
 
 std::vector<std::vector<Neighbor>> QueryEngine::RangeSearchBatch(
     const std::vector<Series>& queries, double radius, int num_threads,
-    StepCounter* merged) const {
+    StepCounter* merged, obs::QueryMetrics* metrics) const {
   std::vector<std::vector<Neighbor>> results(queries.size());
   std::vector<StepCounter> counters(queries.size());
+  std::vector<obs::QueryMetrics> query_metrics(
+      metrics != nullptr ? queries.size() : 0);
   ParallelFor(queries.size(), num_threads, [&](std::size_t qi) {
-    results[qi] = Range(queries[qi], radius, &counters[qi]);
+    results[qi] = Range(queries[qi], radius, &counters[qi],
+                        metrics != nullptr ? &query_metrics[qi] : nullptr);
   });
   if (merged != nullptr) {
     for (const StepCounter& c : counters) *merged += c;
+  }
+  if (metrics != nullptr) {
+    for (const obs::QueryMetrics& m : query_metrics) *metrics += m;
   }
   return results;
 }

@@ -11,6 +11,7 @@
 #include "src/core/step_counter.h"
 #include "src/distance/measure.h"
 #include "src/distance/rotation.h"
+#include "src/obs/metrics.h"
 #include "src/search/hmerge.h"
 #include "src/search/scan.h"
 
@@ -77,16 +78,36 @@ EngineOptions EngineOptionsFrom(const ScanOptions& options,
                                 ScanAlgorithm algorithm);
 
 /// Runs fn(i) for every i in [0, count) across a small worker pool of
-/// `num_threads` threads (clamped to [1, count]). Work items must be
-/// independent and write only to per-index slots; completion order is
-/// unspecified but every item runs exactly once. With num_threads <= 1 the
-/// loop runs inline, bit-identical to the threaded path by construction.
+/// `num_threads` threads (clamped to [1, count], and additionally capped at
+/// 256 — a std::thread costs a stack, and beyond the machine's core count
+/// extra workers only add scheduling overhead; the CLI exposes the same
+/// bound on --threads). Work items must be independent and write only to
+/// per-index slots; completion order is unspecified. With num_threads <= 1
+/// the loop runs inline, bit-identical to the threaded path by
+/// construction.
+///
+/// Exception safety: if fn throws, the FIRST exception (by capture order)
+/// is caught, the remaining queue is drained without running further items,
+/// all workers are joined, and the exception is rethrown to the caller —
+/// the process is never terminated by a worker-thread exception. Items
+/// after the failure may or may not have run; their output slots are
+/// unspecified.
 void ParallelFor(std::size_t count, int num_threads,
                  const std::function<void(std::size_t)>& fn);
 
 /// The layered query engine: FlatDataset storage -> Measure -> pruning
 /// cascade -> one generic driver (parameterized by a result collector:
 /// best-so-far, k-th-best heap, or radius) -> batch execution.
+///
+/// Observability: every search method also takes a nullable
+/// `obs::QueryMetrics*`. When non-null, the engine attributes candidate
+/// flow, step counts, early abandons, and wall time to each cascade stage,
+/// records wedge-level H-Merge behavior and the dynamic-K trajectory, and
+/// adds one end-to-end latency sample per query. Passing nullptr (the
+/// default) skips all of it and reproduces the uninstrumented results
+/// bit-for-bit — the same zero-cost-when-null contract StepCounter has.
+/// Stage attribution is exact: per-stage steps + setup_steps sum to the
+/// query's StepCounter::total_steps().
 ///
 /// The engine borrows its database (FlatDataset or legacy vector<Series>);
 /// the storage must outlive the engine. All search methods are const and
@@ -114,26 +135,32 @@ class QueryEngine {
   std::size_t database_length() const;
 
   /// 1-NN: the rotation-invariant nearest neighbor of `query`.
-  ScanResult Search(const Series& query) const;
+  ScanResult Search(const Series& query,
+                    obs::QueryMetrics* metrics = nullptr) const;
 
   /// 1-NN skipping database index `holdout` (leave-one-out protocols:
   /// classification, the benches' query-from-database methodology).
   /// Result indexes refer to the full database. holdout >= size() skips
   /// nothing.
-  ScanResult SearchLeaveOneOut(const Series& query, std::size_t holdout) const;
+  ScanResult SearchLeaveOneOut(const Series& query, std::size_t holdout,
+                               obs::QueryMetrics* metrics = nullptr) const;
 
   /// k-NN, ascending by distance; the k-th best distance prunes.
   std::vector<Neighbor> Knn(const Series& query, int k,
-                            StepCounter* counter = nullptr) const;
+                            StepCounter* counter = nullptr,
+                            obs::QueryMetrics* metrics = nullptr) const;
 
   /// k-NN skipping database index `holdout` (see SearchLeaveOneOut).
   std::vector<Neighbor> KnnLeaveOneOut(const Series& query, int k,
                                        std::size_t holdout,
-                                       StepCounter* counter = nullptr) const;
+                                       StepCounter* counter = nullptr,
+                                       obs::QueryMetrics* metrics = nullptr)
+      const;
 
   /// Range query: every object within `radius`, ascending by distance.
   std::vector<Neighbor> Range(const Series& query, double radius,
-                              StepCounter* counter = nullptr) const;
+                              StepCounter* counter = nullptr,
+                              obs::QueryMetrics* metrics = nullptr) const;
 
   /// Validates a query against this engine's database: non-empty, finite,
   /// and length-matching.
@@ -151,19 +178,26 @@ class QueryEngine {
   /// StepCounter) are BIT-IDENTICAL to running Search sequentially: queries
   /// are independent, each runs single-threaded, and `merged` accumulates
   /// per-query counters in query order regardless of which worker ran them.
+  /// `metrics`, when given, is merged the same way (thread-local per-query
+  /// metrics, folded in query order), so every count except wall time and
+  /// latency is independent of the thread count.
   std::vector<ScanResult> SearchBatch(const std::vector<Series>& queries,
                                       int num_threads,
-                                      StepCounter* merged = nullptr) const;
+                                      StepCounter* merged = nullptr,
+                                      obs::QueryMetrics* metrics = nullptr)
+      const;
 
   /// Batch k-NN; same determinism guarantee as SearchBatch.
   std::vector<std::vector<Neighbor>> KnnSearchBatch(
       const std::vector<Series>& queries, int k, int num_threads,
-      StepCounter* merged = nullptr) const;
+      StepCounter* merged = nullptr,
+      obs::QueryMetrics* metrics = nullptr) const;
 
   /// Batch range search; same determinism guarantee as SearchBatch.
   std::vector<std::vector<Neighbor>> RangeSearchBatch(
       const std::vector<Series>& queries, double radius, int num_threads,
-      StepCounter* merged = nullptr) const;
+      StepCounter* merged = nullptr,
+      obs::QueryMetrics* metrics = nullptr) const;
 
  private:
   const double* item(std::size_t i) const;

@@ -17,7 +17,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 HMergeResult HMerge(const double* c, const WedgeTree& tree,
                     const std::vector<int>& wedge_set, double best_so_far,
-                    StepCounter* counter) {
+                    StepCounter* counter, obs::WedgeStats* stats) {
   const std::size_t n = tree.length();
   const int band = tree.dtw_band();
 
@@ -30,16 +30,22 @@ HMergeResult HMerge(const double* c, const WedgeTree& tree,
     const int id = stack.back();
     stack.pop_back();
 
+    if (stats != nullptr) ++stats->wedges_tested;
     const double lb_sq = EarlyAbandonLbKeoghSquared(
         c, tree.Upper(id), tree.Lower(id), n, squared_limit, counter);
-    if (std::isinf(lb_sq)) continue;  // the whole wedge is pruned
+    if (std::isinf(lb_sq)) {  // the whole wedge is pruned
+      if (stats != nullptr) ++stats->wedges_pruned;
+      continue;
+    }
 
     if (!tree.IsLeaf(id)) {
+      if (stats != nullptr) ++stats->wedges_descended;
       stack.push_back(tree.LeftChild(id));
       stack.push_back(tree.RightChild(id));
       continue;
     }
 
+    if (stats != nullptr) ++stats->leaves_evaluated;
     double dist_sq;
     if (band == 0) {
       // Degenerate wedge: the lower bound IS the squared Euclidean distance.
@@ -47,7 +53,10 @@ HMergeResult HMerge(const double* c, const WedgeTree& tree,
     } else {
       const double d =
           EarlyAbandonDtw(tree.LeafSeries(id), c, n, band, limit, counter);
-      if (std::isinf(d)) continue;
+      if (std::isinf(d)) {
+        if (stats != nullptr) ++stats->leaves_abandoned;
+        continue;
+      }
       dist_sq = d * d;
     }
     if (dist_sq < squared_limit) {
@@ -128,7 +137,8 @@ void WedgeSearcher::SetK(int k) {
 }
 
 HMergeResult WedgeSearcher::Distance(const double* c, double best_so_far,
-                                     StepCounter* counter) {
+                                     StepCounter* counter,
+                                     obs::WedgeStats* stats) {
   // Reservoir of typical objects for dynamic-K probing: sample sparsely so
   // the copies are negligible next to the distance work.
   if (options_.dynamic_k && (distance_calls_ % kReservoirSampleEvery) == 0) {
@@ -141,11 +151,11 @@ HMergeResult WedgeSearcher::Distance(const double* c, double best_so_far,
     }
   }
   ++distance_calls_;
-  return HMerge(c, tree_, wedge_set_, best_so_far, counter);
+  return HMerge(c, tree_, wedge_set_, best_so_far, counter, stats);
 }
 
 void WedgeSearcher::AdaptK(const double* trigger_object, double best_so_far,
-                           StepCounter* counter) {
+                           StepCounter* counter, obs::WedgeStats* stats) {
   if (!options_.dynamic_k) return;
   // Throttle: the optimal K shifts with the magnitude of the threshold, not
   // with every small improvement. Re-probing only when best-so-far has
@@ -192,6 +202,7 @@ void WedgeSearcher::AdaptK(const double* trigger_object, double best_so_far,
     if (counter != nullptr) counter->steps += probe.steps;
   }
   SetK(best_k);
+  if (stats != nullptr) stats->RecordK(current_k_);
 }
 
 }  // namespace rotind

@@ -10,6 +10,7 @@
 #include "src/core/step_counter.h"
 #include "src/distance/measure.h"
 #include "src/envelope/wedge_tree.h"
+#include "src/obs/metrics.h"
 
 namespace rotind {
 
@@ -36,9 +37,14 @@ struct HMergeResult {
 /// otherwise an abandoned result. Exactness: LB_Keogh never overestimates
 /// (Propositions 1 and 2), so no rotation that could beat best_so_far is
 /// ever discarded.
+///
+/// `stats`, when non-null, records how the hierarchy was walked (wedges
+/// tested / pruned / descended, leaves evaluated / abandoned); nullptr
+/// skips all recording (the StepCounter contract).
 HMergeResult HMerge(const double* c, const WedgeTree& tree,
                     const std::vector<int>& wedge_set, double best_so_far,
-                    StepCounter* counter = nullptr);
+                    StepCounter* counter = nullptr,
+                    obs::WedgeStats* stats = nullptr);
 
 /// Validated H-Merge entry point: rejects a null candidate, a candidate
 /// length differing from the tree's, and wedge ids outside the tree, with a
@@ -108,9 +114,11 @@ class WedgeSearcher {
 
   /// Exact rotation-invariant distance to `c` (length() doubles), pruned
   /// against best_so_far. Also feeds the dynamic-K probe reservoir (a small
-  /// sample of recently seen objects).
+  /// sample of recently seen objects). `stats` (nullable) receives the
+  /// wedge-walk accounting of this one H-Merge pass.
   HMergeResult Distance(const double* c, double best_so_far,
-                        StepCounter* counter);
+                        StepCounter* counter,
+                        obs::WedgeStats* stats = nullptr);
 
   /// Dynamic-K re-probe (paper Section 4.1): evaluates candidate K values
   /// that evenly divide [1, K] and [K, max_K] into probe_intervals pieces by
@@ -118,8 +126,11 @@ class WedgeSearcher {
   /// prunable work — probing only the triggering near-match would optimise
   /// for the rare case), and adopts the cheapest K. Probe steps are charged
   /// to `counter` — the paper includes this overhead in all its experiments.
+  /// `stats` (nullable) records the adopted K in the dynamic-K trajectory;
+  /// probe-internal wedge walks are deliberately NOT recorded, so the wedge
+  /// stats describe the real candidate stream only.
   void AdaptK(const double* trigger_object, double best_so_far,
-              StepCounter* counter);
+              StepCounter* counter, obs::WedgeStats* stats = nullptr);
 
   int current_k() const { return current_k_; }
   const WedgeTree& tree() const { return tree_; }

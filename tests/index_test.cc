@@ -184,5 +184,57 @@ TEST(IndexTest, RepeatedQueriesResetCounters) {
   EXPECT_EQ(r1.object_fetches, r2.object_fetches);  // counters reset per query
 }
 
+/// Regression: the unchecked constructor silently clamps dims to the n/2
+/// spectral coefficients that exist and mis-indexes on ragged databases.
+/// Create() turns every such case into a hard kInvalidArgument.
+TEST(IndexCreateTest, RejectsEmptyRaggedAndDegenerateDatabases) {
+  RotationInvariantIndex::Options opts;
+  opts.dims = 8;
+
+  const auto empty = RotationInvariantIndex::Create({}, opts);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  std::vector<Series> ragged = MakeProjectilePointsDatabase(10, 32, 6);
+  ragged[4].resize(20);
+  const auto bad = RotationInvariantIndex::Create(ragged, opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("ragged"), std::string::npos);
+
+  const auto tiny =
+      RotationInvariantIndex::Create({Series{1.0}, Series{2.0}}, opts);
+  EXPECT_FALSE(tiny.ok());
+}
+
+TEST(IndexCreateTest, RejectsDimsBeyondTheSpectralCoefficients) {
+  const std::vector<Series> db = MakeProjectilePointsDatabase(10, 32, 7);
+  RotationInvariantIndex::Options opts;
+  opts.kind = DistanceKind::kEuclidean;
+  opts.dims = 17;  // > n/2 = 16: the constructor would silently clamp
+  const auto clamped = RotationInvariantIndex::Create(db, opts);
+  ASSERT_FALSE(clamped.ok());
+  EXPECT_EQ(clamped.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(clamped.status().message().find("clamp"), std::string::npos);
+
+  opts.dims = 0;
+  EXPECT_FALSE(RotationInvariantIndex::Create(db, opts).ok());
+}
+
+TEST(IndexCreateTest, ValidInputMatchesTheUncheckedConstructor) {
+  const std::vector<Series> db = MakeProjectilePointsDatabase(30, 32, 8);
+  RotationInvariantIndex::Options opts;
+  opts.dims = 8;
+  const auto created = RotationInvariantIndex::Create(db, opts);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  RotationInvariantIndex direct(db, opts);
+  const auto want = direct.NearestNeighbor(db[3]);
+  const auto got = (*created)->NearestNeighbor(db[3]);
+  EXPECT_EQ(got.best_index, want.best_index);
+  EXPECT_EQ(got.best_distance, want.best_distance);
+  EXPECT_EQ(got.counter.total_steps(), want.counter.total_steps());
+}
+
 }  // namespace
 }  // namespace rotind

@@ -1,0 +1,75 @@
+/// Regression tests for ParallelFor's exception contract: a throwing work
+/// item used to escape a worker thread and terminate the whole process.
+/// Now the first exception is captured, the remaining queue is drained
+/// without running further items, workers are joined, and the exception is
+/// rethrown to the caller. Suite name matters: CI runs `*ParallelFor*`
+/// under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "src/search/engine.h"
+
+namespace rotind {
+namespace {
+
+TEST(ParallelForTest, RunsEveryItemAcrossThreads) {
+  std::atomic<std::size_t> sum{0};
+  ParallelFor(100, 8, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelForTest, WorkerExceptionIsRethrownNotFatal) {
+  std::atomic<int> ran{0};
+  try {
+    ParallelFor(200, 8, [&](std::size_t i) {
+      if (i == 17) throw std::runtime_error("boom at 17");
+      ++ran;
+    });
+    FAIL() << "expected the worker's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "boom at 17");
+  }
+  // Workers stop claiming new items after the failure; some in-flight
+  // items may have completed, but never the full queue.
+  EXPECT_LT(ran.load(), 200);
+}
+
+TEST(ParallelForTest, EveryWorkerThrowingStillPropagatesExactlyOne) {
+  try {
+    ParallelFor(64, 8, [](std::size_t i) {
+      throw std::runtime_error("item " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("item ", 0), 0u);
+  }
+}
+
+TEST(ParallelForTest, InlinePathPropagatesAndStopsAtTheThrow) {
+  int ran = 0;
+  try {
+    ParallelFor(10, 1, [&](std::size_t i) {
+      if (i == 2) throw std::logic_error("inline failure");
+      ++ran;
+    });
+    FAIL() << "expected the inline exception to propagate";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(ParallelForTest, NonStdExceptionAlsoPropagates) {
+  EXPECT_THROW(ParallelFor(32, 4,
+                           [](std::size_t i) {
+                             if (i == 5) throw 42;
+                           }),
+               int);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -125,5 +125,59 @@ TEST(SpectralTest, CounterChargesDims) {
   EXPECT_EQ(counter.steps, 16u);
 }
 
+/// Regression: SignatureDistance over signatures of differing dims used to
+/// read past the shorter vector's heap buffer under NDEBUG (the assert
+/// compiled away). The mismatch is now a hard error on every build type.
+TEST(SpectralRegressionTest, SignatureDistanceDiesOnDimsMismatch) {
+  Rng rng(7);
+  const Series s = RandomZNormSeries(&rng, 64);
+  const SpectralSignature a = MakeSpectralSignature(s, 8);
+  const SpectralSignature b = MakeSpectralSignature(s, 4);
+  EXPECT_DEATH(SignatureDistance(a, b), "dims mismatch");
+}
+
+TEST(SpectralRegressionTest, SignatureDistanceCheckedRejectsMismatch) {
+  Rng rng(8);
+  const Series s = RandomZNormSeries(&rng, 64);
+  const SpectralSignature a = MakeSpectralSignature(s, 8);
+  const SpectralSignature b = MakeSpectralSignature(s, 4);
+  const StatusOr<double> bad = SignatureDistanceChecked(a, b);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  StepCounter counter;
+  const StatusOr<double> good = SignatureDistanceChecked(a, a, &counter);
+  ASSERT_TRUE(good.ok());
+  EXPECT_NEAR(*good, 0.0, 1e-12);
+  EXPECT_EQ(counter.steps, 8u);
+}
+
+/// Regression: MakeSpectralSignature silently clamps dims to n/2, so a
+/// caller asking for 999 dims on a length-64 series got a 32-dim signature
+/// with no signal. The checked factory surfaces the clamp as an error.
+TEST(SpectralRegressionTest, CheckedFactoryRejectsTheSilentClamp) {
+  Rng rng(9);
+  const Series s = RandomZNormSeries(&rng, 64);
+  const StatusOr<SpectralSignature> clamped =
+      MakeSpectralSignatureChecked(s, 33);
+  ASSERT_FALSE(clamped.ok());
+  EXPECT_EQ(clamped.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(clamped.status().message().find("clamp"), std::string::npos);
+
+  const StatusOr<SpectralSignature> tiny =
+      MakeSpectralSignatureChecked(Series{1.0}, 1);
+  EXPECT_FALSE(tiny.ok());
+
+  const StatusOr<SpectralSignature> ok = MakeSpectralSignatureChecked(s, 32);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->dims(), 32u);
+  // Agrees with the unchecked path when no clamp fires.
+  const SpectralSignature direct = MakeSpectralSignature(s, 32);
+  ASSERT_EQ(direct.dims(), ok->dims());
+  for (std::size_t i = 0; i < direct.dims(); ++i) {
+    EXPECT_EQ(ok->values[i], direct.values[i]);
+  }
+}
+
 }  // namespace
 }  // namespace rotind

@@ -6,13 +6,18 @@
 ///   rotind info     --db db.csv
 ///   rotind search   --db db.csv --query-index 5 [--algo wedge|brute|ea|fft]
 ///                   [--dtw --band 5] [--mirror] [--max-shift S]
+///                   [--metrics-json out.json]
 ///   rotind knn      --db db.csv --query-index 5 --k 5 [...]
+///                   [--metrics-json out.json]
 ///   rotind classify --db db.csv [--dtw --band 5] [--threads T]
 ///   rotind motif    --db db.csv [--dtw --band 5]
 ///   rotind discord  --db db.csv [--dtw --band 5]
 ///
 /// Databases are UCR-format text (label,v1,v2,...) or the binary format
 /// produced with --binary; the loader sniffs the magic bytes.
+///
+/// --metrics-json writes the query's stage-attributed observability report
+/// (candidate flow, step attribution, wedge walk, latency) as JSON.
 ///
 /// Exit codes: 0 success; 1 runtime/I-O failure (e.g. a write failed);
 /// 2 usage error or invalid input (unknown flag, malformed number, value
@@ -32,6 +37,7 @@
 #include "src/eval/classify.h"
 #include "src/io/serialize.h"
 #include "src/mining/motif.h"
+#include "src/obs/metrics.h"
 #include "src/search/engine.h"
 #include "src/search/scan.h"
 
@@ -43,6 +49,7 @@ struct Args {
   std::string command;
   std::string db_path;
   std::string out_path;
+  std::string metrics_json_path;
   std::string kind = "projectile";
   std::string algo = "wedge";
   std::size_t m = 1000;
@@ -111,6 +118,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->out_path = value;
+    } else if (flag == "--metrics-json") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->metrics_json_path = value;
     } else if (flag == "--kind") {
       const char* value = next();
       if (value == nullptr) return false;
@@ -300,6 +311,20 @@ int CmdInfo(const Dataset& db) {
   return 0;
 }
 
+/// Writes the registry to --metrics-json when requested. Returns false
+/// (after a message on stderr) when the write fails.
+bool WriteMetricsIfRequested(const Args& args,
+                             const obs::MetricsRegistry& registry) {
+  if (args.metrics_json_path.empty()) return true;
+  const Status ok = registry.WriteJsonFile(args.metrics_json_path);
+  if (!ok.ok()) {
+    std::fprintf(stderr, "cannot write metrics to %s: %s\n",
+                 args.metrics_json_path.c_str(), ok.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
 int CmdSearch(const Args& args, const Dataset& db) {
   // The engine's leave-one-out scan excludes the query's own database slot
   // directly; result indexes are already in full-database space (no copy of
@@ -313,11 +338,17 @@ int CmdSearch(const Args& args, const Dataset& db) {
     std::fprintf(stderr, "search failed: %s\n", valid.ToString().c_str());
     return 2;
   }
-  const ScanResult r = engine.SearchLeaveOneOut(db.items[qi], qi);
+  obs::MetricsRegistry registry;
+  obs::QueryMetrics* metrics =
+      args.metrics_json_path.empty()
+          ? nullptr
+          : &registry.Get("search/" + args.algo);
+  const ScanResult r = engine.SearchLeaveOneOut(db.items[qi], qi, metrics);
   std::printf("best match: %d  distance=%.6f  shift=%d%s  steps=%llu\n",
               r.best_index, r.best_distance, r.best_shift,
               r.best_mirrored ? " (mirrored)" : "",
               static_cast<unsigned long long>(r.counter.total_steps()));
+  if (!WriteMetricsIfRequested(args, registry)) return 1;
   return 0;
 }
 
@@ -331,12 +362,17 @@ int CmdKnn(const Args& args, const Dataset& db) {
     std::fprintf(stderr, "knn failed: %s\n", valid.ToString().c_str());
     return 2;
   }
+  obs::MetricsRegistry registry;
+  obs::QueryMetrics* metrics =
+      args.metrics_json_path.empty() ? nullptr
+                                     : &registry.Get("knn/" + args.algo);
   const std::vector<Neighbor> knn =
-      engine.KnnLeaveOneOut(db.items[qi], args.k, qi);
+      engine.KnnLeaveOneOut(db.items[qi], args.k, qi, nullptr, metrics);
   for (const Neighbor& nb : knn) {
     std::printf("%6d  distance=%.6f  shift=%d%s\n", nb.index, nb.distance,
                 nb.shift, nb.mirrored ? " (mirrored)" : "");
   }
+  if (!WriteMetricsIfRequested(args, registry)) return 1;
   return 0;
 }
 
