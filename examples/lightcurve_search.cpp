@@ -23,7 +23,8 @@ int main() {
   LightCurveOptions gen;
   gen.noise_sigma = 0.03;
   gen.shape_jitter = 0.03;
-  const Dataset survey = MakeLightCurveDataset(per_class, n, /*seed=*/2006, gen);
+  const Dataset survey =
+      MakeLightCurveDataset(per_class, n, /*seed=*/2006, gen);
 
   RotationInvariantIndex::Options options;
   options.dims = 16;  // FFT-magnitude signature dimensionality

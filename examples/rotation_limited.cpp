@@ -73,7 +73,8 @@ int main() {
   }
 
   // Mirror: a chiral butterfly ("d") and its reversal ("b").
-  const Series d_shape = ZNormalized(RadialProfile(ButterflySpec(&rng, 0.2), n));
+  const Series d_shape =
+      ZNormalized(RadialProfile(ButterflySpec(&rng, 0.2), n));
   const Series b_shape = Reversed(d_shape);
   std::vector<Series> letters = {b_shape};
   ScanOptions plain;

@@ -73,10 +73,9 @@ int main() {
   // ----------------------------------------------------------------- [C]
   // Articulation: three Lepidoptera and copies with a tweaked hindwing
   // (localised bump on the profile), paper Figure 18.
-  std::vector<std::string> moth_names = {"Actias-maenas",  "Actias-philippinica",
-                                         "Chorinea-amazon", "Actias-maenas*",
-                                         "Actias-philippinica*",
-                                         "Chorinea-amazon*"};
+  std::vector<std::string> moth_names = {
+      "Actias-maenas",  "Actias-philippinica",  "Chorinea-amazon",
+      "Actias-maenas*", "Actias-philippinica*", "Chorinea-amazon*"};
   std::vector<Series> moths;
   std::vector<RadialShapeSpec> specs = {ButterflySpec(&rng, 0.05),
                                         ButterflySpec(&rng, 0.12),

@@ -210,9 +210,9 @@ Dendrogram AgglomerativeCluster(int n,
         const double d_ac = d[static_cast<std::size_t>(a) * un + c];
         const double d_bc = d[static_cast<std::size_t>(b) * un + c];
         const double v = LanceWilliams(
-            linkage, d_ac, d_bc, d_ab, size_of_slot[static_cast<std::size_t>(a)],
-            size_of_slot[static_cast<std::size_t>(b)],
-            size_of_slot[c]);
+            linkage, d_ac, d_bc, d_ab,
+            size_of_slot[static_cast<std::size_t>(a)],
+            size_of_slot[static_cast<std::size_t>(b)], size_of_slot[c]);
         d[static_cast<std::size_t>(a) * un + c] = v;
         d[c * un + static_cast<std::size_t>(a)] = v;
       }

@@ -135,7 +135,8 @@ class StatusOr {
   /// Implicit from a non-OK Status (the error path reads naturally:
   /// `return Status::InvalidArgument(...)`). Constructing from an OK status
   /// without a value is a programming error and degrades to kInternal.
-  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {
     if (status_.ok()) {
       status_ = Status::Internal("StatusOr constructed from OK status");
     }

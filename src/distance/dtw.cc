@@ -29,7 +29,8 @@ double DtwCore(const double* q, const double* c, std::size_t n, int band,
     const std::size_t j_lo =
         (static_cast<long>(i) - band > 0) ? i - static_cast<std::size_t>(band)
                                           : 0;
-    const std::size_t j_hi = std::min(n - 1, i + static_cast<std::size_t>(band));
+    const std::size_t j_hi =
+        std::min(n - 1, i + static_cast<std::size_t>(band));
     double row_min = kInf;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double d = q[i] - c[j];
@@ -104,7 +105,8 @@ std::uint64_t DtwCellCount(std::size_t n, int band) {
     const std::size_t j_lo =
         (static_cast<long>(i) - band > 0) ? i - static_cast<std::size_t>(band)
                                           : 0;
-    const std::size_t j_hi = std::min(n - 1, i + static_cast<std::size_t>(band));
+    const std::size_t j_hi =
+        std::min(n - 1, i + static_cast<std::size_t>(band));
     cells += j_hi - j_lo + 1;
   }
   return cells;

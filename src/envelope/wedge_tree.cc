@@ -133,10 +133,9 @@ void WedgeTree::BuildEnvelopes() {
   if (dtw_band_ > 0) {
     // DTW mode: leaves get band-expanded degenerate wedges.
     for (int id = 0; id < count; ++id) {
+      const double* rot = rotations_.rotation(static_cast<std::size_t>(id));
       envelopes_[static_cast<std::size_t>(id)] =
-          Envelope::FromSeries(rotations_.rotation(static_cast<std::size_t>(id)),
-                               n)
-              .ExpandedForDtw(dtw_band_);
+          Envelope::FromSeries(rot, n).ExpandedForDtw(dtw_band_);
     }
   }
 

@@ -85,7 +85,8 @@ StatusOr<double> SignatureDistanceChecked(const SpectralSignature& a,
 
 std::uint64_t FftStepCost(std::size_t n) {
   if (n <= 1) return 1;
-  const double cost = static_cast<double>(n) * std::log2(static_cast<double>(n));
+  const double cost =
+      static_cast<double>(n) * std::log2(static_cast<double>(n));
   return static_cast<std::uint64_t>(std::llround(cost));
 }
 

@@ -39,7 +39,8 @@ class RemainderScope {
   ~RemainderScope() {
     if (outer_ == nullptr) return;
     const Snapshot inner = InnerSnapshot();
-    outer_->steps += (counter_->steps - steps0_) - (inner.steps - inner0_.steps);
+    outer_->steps +=
+        (counter_->steps - steps0_) - (inner.steps - inner0_.steps);
     outer_->setup_steps +=
         (counter_->setup_steps - setup0_) - (inner.setup - inner0_.setup);
     outer_->early_abandons += (counter_->early_abandons - abandons0_) -

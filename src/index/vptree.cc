@@ -39,7 +39,8 @@ double L2(const std::vector<double>& a, const std::vector<double>& b) {
 
 VpTree::VpTree(std::vector<std::vector<double>> points, std::uint64_t seed,
                std::size_t leaf_size)
-    : points_(std::move(points)), leaf_size_(std::max<std::size_t>(1, leaf_size)) {
+    : points_(std::move(points)),
+      leaf_size_(std::max<std::size_t>(1, leaf_size)) {
   if (points_.empty()) return;
   // Hard invariant on every build type (the L2 metric reads both buffers up
   // to the first one's size): all points share one dimensionality.

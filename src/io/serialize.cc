@@ -350,7 +350,8 @@ StatusOr<Dataset> ParseDatasetUcr(std::string_view text) {
       }
       if (!std::isfinite(v)) {
         return Status(StatusCode::kBadValue,
-                      where + ": value " + std::to_string(t) + " is NaN or Inf");
+                      where + ": value " + std::to_string(t) +
+                          " is NaN or Inf");
       }
       s.push_back(v);
     }

@@ -117,7 +117,8 @@ void ParallelFor(std::size_t count, int num_threads,
 class QueryEngine {
  public:
   /// Engine over contiguous storage (the fast path).
-  explicit QueryEngine(const FlatDataset& db, const EngineOptions& options = {});
+  explicit QueryEngine(const FlatDataset& db,
+                       const EngineOptions& options = {});
 
   /// Non-owning adapter over legacy storage; no copy is made. Prefer
   /// FlatDataset for cache-friendly scans.

@@ -161,7 +161,8 @@ TEST_P(ObsEngineTest, KnnAndRangeAttributeExactly) {
   StepCounter range_counter;
   obs::QueryMetrics range_metrics;
   const double radius = knn.back().distance * 1.01;
-  const auto range = engine.Range(query, radius, &range_counter, &range_metrics);
+  const auto range =
+      engine.Range(query, radius, &range_counter, &range_metrics);
   EXPECT_GE(range.size(), 3u);
   EXPECT_EQ(range_metrics.attributed_total_steps(),
             range_counter.total_steps());

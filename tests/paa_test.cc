@@ -62,7 +62,9 @@ TEST_P(LbPaaChainTest, LbPaaBelowLbKeoghBelowEuclidean) {
   for (int trial = 0; trial < 30; ++trial) {
     const std::size_t n = std::max<std::size_t>(dims, 16 + rng.NextBounded(80));
     Envelope env = Envelope::FromSeries(RandomSeries(&rng, n));
-    for (int m = 0; m < 4; ++m) env.MergeSeries(RandomSeries(&rng, n).data(), n);
+    for (int m = 0; m < 4; ++m) {
+      env.MergeSeries(RandomSeries(&rng, n).data(), n);
+    }
     const Series c = RandomSeries(&rng, n);
     const double lb_keogh = LbKeogh(c.data(), env);
     const double lb_paa = LbPaa(PaaTransform(c, dims),
