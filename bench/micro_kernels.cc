@@ -24,7 +24,7 @@
 #include "src/fourier/fft.h"
 #include "src/fourier/spectral.h"
 #include "src/search/engine.h"
-#include "src/search/lower_bound.h"
+#include "src/envelope/lower_bound.h"
 
 namespace rotind {
 namespace {

@@ -1,0 +1,79 @@
+#ifndef ROTIND_CORE_CONTRACTS_H_
+#define ROTIND_CORE_CONTRACTS_H_
+
+/// Debug contract checks for the paper's correctness invariants.
+///
+/// The headline claim of the paper is *exactness*: LB_Keogh against a wedge
+/// never exceeds the true rotation-invariant distance (Propositions 1-2).
+/// That property is easy to break silently — a subtly-wrong envelope still
+/// returns plausible neighbors, it just stops being exact. These macros let
+/// the code assert the lower-bound sandwich at the point where each
+/// invariant is established:
+///
+///   * `ROTIND_DCHECK(cond)` — an internal-consistency check (the
+///     `assert`-with-teeth used on paths where `<cassert>` is compiled out).
+///   * `ROTIND_CONTRACT(cond, msg)` — a named paper invariant (L <= U
+///     pointwise, DTW widening containment, wedge nesting, LB <= exact).
+///     The message should cite the invariant, not restate the condition.
+///
+/// Cost model: both macros compile to a no-op in ordinary Release builds —
+/// the condition is type-checked but never evaluated, so contracts cannot
+/// bit-rot and cannot slow the hot path. They are compiled in (and abort
+/// the process on violation, which is what the death tests rely on) when
+/// `ROTIND_ENABLE_CONTRACTS` is defined. CMake defines it for every
+/// sanitizer build (`ROTIND_SANITIZE` != OFF) and whenever
+/// `-DROTIND_CONTRACTS=ON` is given explicitly.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rotind {
+namespace internal {
+
+[[noreturn]] inline void ContractFailure(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const char* msg) {
+  std::fprintf(stderr, "%s failed at %s:%d: (%s)%s%s\n", kind, file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? ": " : "",
+               (msg != nullptr) ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rotind
+
+#ifdef ROTIND_ENABLE_CONTRACTS
+
+#define ROTIND_CONTRACTS_ENABLED 1
+
+#define ROTIND_CONTRACT(cond, msg)                                   \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::rotind::internal::ContractFailure("ROTIND_CONTRACT", #cond,  \
+                                          __FILE__, __LINE__, msg);  \
+    }                                                                \
+  } while (false)
+
+#define ROTIND_DCHECK(cond)                                          \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::rotind::internal::ContractFailure("ROTIND_DCHECK", #cond,    \
+                                          __FILE__, __LINE__, "");   \
+    }                                                                \
+  } while (false)
+
+#else  // !ROTIND_ENABLE_CONTRACTS
+
+#define ROTIND_CONTRACTS_ENABLED 0
+
+// `sizeof` keeps the condition an unevaluated-but-compiled operand: a
+// contract referring to a renamed member still breaks the build, but costs
+// nothing at runtime.
+#define ROTIND_CONTRACT(cond, msg) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+#define ROTIND_DCHECK(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+
+#endif  // ROTIND_ENABLE_CONTRACTS
+
+#endif  // ROTIND_CORE_CONTRACTS_H_

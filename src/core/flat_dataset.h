@@ -39,7 +39,7 @@ class FlatDataset {
   static FlatDataset FromDataset(const Dataset& dataset);
 
   /// Validated builder: rejects ragged or empty-item inputs with a Status.
-  static StatusOr<FlatDataset> FromItemsChecked(
+  [[nodiscard]] static StatusOr<FlatDataset> FromItemsChecked(
       const std::vector<Series>& items);
 
   /// Appends one series. The first Add fixes the length; later mismatches

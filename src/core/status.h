@@ -77,33 +77,40 @@ inline const char* StatusCodeName(StatusCode code) {
 /// A lightweight success-or-error value: a code plus a message. No
 /// exceptions, no allocation on the OK path. Modeled on absl::Status but
 /// self-contained (the container bakes in no abseil).
-class Status {
+///
+/// The class is [[nodiscard]]: a silently dropped Status is a swallowed
+/// load/validate error, which is exactly the bug class this type exists to
+/// prevent. Intentional discards must be spelled `(void)expr` (rotind_lint
+/// additionally requires the declaration-site attribute on every
+/// Status-returning function, so the intent survives even through
+/// references and type aliases).
+class [[nodiscard]] Status {
  public:
   /// Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "BAD_MAGIC: file does not start with 'RIND'" (or "OK").
   std::string ToString() const {
@@ -130,22 +137,25 @@ class Status {
 /// `status()`-less misuse, asserts in debug builds and returns a
 /// default-ish reference in release — callers must check ok() first.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from a non-OK Status (the error path reads naturally:
   /// `return Status::InvalidArgument(...)`). Constructing from an OK status
   /// without a value is a programming error and degrades to kInternal.
-  // NOLINTNEXTLINE(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design so the
+  // error path reads `return Status::InvalidArgument(...)`.
   StatusOr(Status status) : status_(std::move(status)) {
     if (status_.ok()) {
       status_ = Status::Internal("StatusOr constructed from OK status");
     }
   }
   /// Implicit from a value: `return dataset;`.
-  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design so the
+  // success path reads `return dataset;`.
+  StatusOr(T value) : value_(std::move(value)) {}
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     assert(ok());

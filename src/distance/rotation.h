@@ -119,16 +119,16 @@ double RotationInvariantLcss(const Series& q, const Series& c,
 /// Validates a rotation-invariant comparison pair: both series non-empty
 /// and of equal length. The convenience wrappers above assert this in debug
 /// builds; the Checked variants below return kInvalidArgument instead.
-Status ValidateRotationPair(const Series& q, const Series& c);
+[[nodiscard]] Status ValidateRotationPair(const Series& q, const Series& c);
 
 /// Validated public entry points over the one-shot wrappers.
-StatusOr<double> RotationInvariantEuclideanChecked(
+[[nodiscard]] StatusOr<double> RotationInvariantEuclideanChecked(
     const Series& q, const Series& c, const RotationOptions& options = {},
     StepCounter* counter = nullptr);
-StatusOr<double> RotationInvariantDtwChecked(
+[[nodiscard]] StatusOr<double> RotationInvariantDtwChecked(
     const Series& q, const Series& c, int band,
     const RotationOptions& options = {}, StepCounter* counter = nullptr);
-StatusOr<double> RotationInvariantLcssChecked(
+[[nodiscard]] StatusOr<double> RotationInvariantLcssChecked(
     const Series& q, const Series& c, const LcssOptions& lcss,
     const RotationOptions& options = {}, StepCounter* counter = nullptr);
 

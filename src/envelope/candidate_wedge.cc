@@ -3,9 +3,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/core/contracts.h"
 #include "src/distance/dtw.h"
 #include "src/distance/euclidean.h"
-#include "src/search/lower_bound.h"
+#include "src/envelope/lower_bound.h"
 
 namespace rotind {
 
@@ -51,6 +52,13 @@ CandidateWedgeSet::CandidateWedgeSet(std::vector<Series> candidates,
     envelopes_[id] = Envelope::Merge(
         envelopes_[static_cast<std::size_t>(node.left)],
         envelopes_[static_cast<std::size_t>(node.right)]);
+    ROTIND_CONTRACT(
+        envelopes_[id].Encloses(
+            envelopes_[static_cast<std::size_t>(node.left)]) &&
+            envelopes_[id].Encloses(
+                envelopes_[static_cast<std::size_t>(node.right)]),
+        "hierarchal nesting: a merged candidate wedge must enclose both "
+        "children, or subtree pruning discards reachable matches");
   }
 }
 
@@ -94,6 +102,9 @@ std::vector<std::pair<int, double>> CandidateWedgeSet::FilterWithinRadius(
       dist = EarlyAbandonDtw(CandidateOf(id).data(), q, length_, dtw_band_,
                              radius, counter);
       if (std::isinf(dist)) continue;
+      ROTIND_CONTRACT(lb_sq <= dist * dist * (1.0 + 1e-9) + 1e-9,
+                      "Proposition 2: LB_Keogh on a band-widened wedge "
+                      "must never exceed the exact banded DTW");
     } else {
       dist = std::sqrt(lb_sq);  // degenerate wedge: LB IS the distance
     }

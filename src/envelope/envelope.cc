@@ -4,6 +4,8 @@
 #include <cassert>
 #include <deque>
 
+#include "src/core/contracts.h"
+
 namespace rotind {
 
 Envelope Envelope::FromSeries(const double* s, std::size_t n) {
@@ -21,6 +23,9 @@ Envelope Envelope::Merge(const Envelope& a, const Envelope& b) {
 
 void Envelope::MergeInPlace(const Envelope& other) {
   assert(size() == other.size());
+  ROTIND_CONTRACT(IsOrdered() && other.IsOrdered(),
+                  "wedge invariant L <= U (Proposition 1 presupposes every "
+                  "operand of a merge is a valid envelope)");
   for (std::size_t i = 0; i < upper.size(); ++i) {
     upper[i] = std::max(upper[i], other.upper[i]);
     lower[i] = std::min(lower[i], other.lower[i]);
@@ -29,6 +34,9 @@ void Envelope::MergeInPlace(const Envelope& other) {
 
 void Envelope::MergeSeries(const double* s, std::size_t n) {
   assert(size() == n);
+  ROTIND_CONTRACT(IsOrdered(),
+                  "wedge invariant L <= U (Proposition 1 presupposes a "
+                  "valid envelope before widening by a series)");
   for (std::size_t i = 0; i < n; ++i) {
     upper[i] = std::max(upper[i], s[i]);
     lower[i] = std::min(lower[i], s[i]);
@@ -46,6 +54,25 @@ bool Envelope::Contains(const double* s, std::size_t n,
   if (n != size()) return false;
   for (std::size_t i = 0; i < n; ++i) {
     if (s[i] > upper[i] + tolerance || s[i] < lower[i] - tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Envelope::IsOrdered(double tolerance) const {
+  if (lower.size() != upper.size()) return false;
+  for (std::size_t i = 0; i < upper.size(); ++i) {
+    if (lower[i] > upper[i] + tolerance) return false;
+  }
+  return true;
+}
+
+bool Envelope::Encloses(const Envelope& inner, double tolerance) const {
+  if (inner.size() != size()) return false;
+  for (std::size_t i = 0; i < upper.size(); ++i) {
+    if (inner.upper[i] > upper[i] + tolerance ||
+        inner.lower[i] < lower[i] - tolerance) {
       return false;
     }
   }
@@ -98,6 +125,9 @@ Envelope Envelope::ExpandedForDtw(int band) const {
   Envelope out;
   out.upper = SlidingMax(upper, band);
   out.lower = SlidingMin(lower, band);
+  ROTIND_CONTRACT(out.Encloses(*this),
+                  "Proposition 2: the band-widened DTW envelope must "
+                  "contain the Euclidean envelope it was derived from");
   return out;
 }
 

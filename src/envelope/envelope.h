@@ -40,6 +40,17 @@ struct Envelope {
   /// True when L_i <= s_i <= U_i for all i (used by tests and debug checks).
   bool Contains(const double* s, std::size_t n, double tolerance = 0.0) const;
 
+  /// Structural sanity of a wedge: L_i <= U_i + tolerance for all i. Every
+  /// LB_Keogh proof (Propositions 1-2) presupposes this ordering; the
+  /// ROTIND_CONTRACT checks assert it wherever envelopes are combined.
+  bool IsOrdered(double tolerance = 0.0) const;
+
+  /// True when `inner` fits inside this wedge pointwise:
+  /// L_i <= inner.L_i and inner.U_i <= U_i (+/- tolerance) for all i.
+  /// This is the hierarchal-nesting invariant (paper Figure 7) and the
+  /// Proposition 2 containment (band-widened wedge encloses the original).
+  bool Encloses(const Envelope& inner, double tolerance = 0.0) const;
+
   /// The DTW envelope of Proposition 2: DTW_U_i = max(U_{i-band..i+band}),
   /// DTW_L_i = min(L_{i-band..i+band}) (clamped at the ends, matching the
   /// Sakoe-Chiba constraint |i-j| <= band; indices do not wrap). Computed in

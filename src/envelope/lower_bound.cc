@@ -1,13 +1,17 @@
-#include "src/search/lower_bound.h"
+#include "src/envelope/lower_bound.h"
 
 #include <cmath>
 #include <limits>
 
+#include "src/core/contracts.h"
 #include "src/distance/euclidean.h"
 
 namespace rotind {
 
 double LbKeogh(const double* q, const Envelope& wedge, StepCounter* counter) {
+  ROTIND_CONTRACT(wedge.IsOrdered(),
+                  "LB_Keogh requires a valid wedge (L <= U pointwise); a "
+                  "crossed envelope silently breaks Proposition 1");
   const std::size_t n = wedge.size();
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -31,6 +35,7 @@ double EarlyAbandonLbKeoghSquared(const double* q, const double* upper,
   if (counter != nullptr) ++counter->lower_bound_evals;
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
+    ROTIND_DCHECK(lower[i] <= upper[i]);
     // Each point performs (at most) one real-value subtraction that feeds
     // the accumulator; the comparisons against U/L mirror the paper's
     // Table 5 structure.

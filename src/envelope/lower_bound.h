@@ -1,5 +1,5 @@
-#ifndef ROTIND_SEARCH_LOWER_BOUND_H_
-#define ROTIND_SEARCH_LOWER_BOUND_H_
+#ifndef ROTIND_ENVELOPE_LOWER_BOUND_H_
+#define ROTIND_ENVELOPE_LOWER_BOUND_H_
 
 #include <cstddef>
 
@@ -40,4 +40,4 @@ double EarlyAbandonLbKeogh(const double* q, const Envelope& wedge,
 
 }  // namespace rotind
 
-#endif  // ROTIND_SEARCH_LOWER_BOUND_H_
+#endif  // ROTIND_ENVELOPE_LOWER_BOUND_H_

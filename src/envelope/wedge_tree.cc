@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 
+#include "src/core/contracts.h"
+
 namespace rotind {
 namespace {
 
@@ -164,6 +166,21 @@ void WedgeTree::BuildEnvelopes() {
     };
     absorb(l);
     absorb(r);
+    // Hierarchal nesting (paper Figure 7): every child wedge — an envelope
+    // for internal nodes / DTW leaves, the raw rotation for ED leaves —
+    // must sit inside its parent, or H-Merge's subtree pruning is unsound.
+    ROTIND_CONTRACT(
+        ([&] {
+          for (int child : {l, r}) {
+            const double* cu = Upper(child);
+            const double* cl = Lower(child);
+            for (std::size_t i = 0; i < n; ++i) {
+              if (cu[i] > env.upper[i] || cl[i] < env.lower[i]) return false;
+            }
+          }
+          return true;
+        }()),
+        "H-Merge hierarchy: child wedges must nest inside their parent");
   }
 }
 

@@ -48,6 +48,7 @@ SpectralSignature MakeSpectralSignature(const Series& s, std::size_t dims);
 /// Validated variant: kInvalidArgument when n < 2 or `dims` would be
 /// clamped (dims > n/2) — the footgun path that silently produced
 /// mixed-dimensionality signature sets. Never clamps.
+[[nodiscard]]
 StatusOr<SpectralSignature> MakeSpectralSignatureChecked(const Series& s,
                                                          std::size_t dims);
 
@@ -65,6 +66,7 @@ double SignatureDistance(const SpectralSignature& a,
 
 /// Validated variant: kInvalidArgument (naming both dimensionalities)
 /// instead of aborting on a dims mismatch.
+[[nodiscard]]
 StatusOr<double> SignatureDistanceChecked(const SpectralSignature& a,
                                           const SpectralSignature& b,
                                           StepCounter* counter = nullptr);

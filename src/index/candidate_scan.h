@@ -60,7 +60,7 @@ class RotationInvariantIndex {
   /// shorter than 2 samples, dims < 1, and (Euclidean path) dims beyond the
   /// n/2 spectral coefficients that exist — the cases the constructor would
   /// silently clamp or mis-index on.
-  static StatusOr<std::unique_ptr<RotationInvariantIndex>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<RotationInvariantIndex>> Create(
       const std::vector<Series>& db, const Options& options);
 
   struct Result {

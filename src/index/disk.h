@@ -33,10 +33,10 @@ class SimulatedDisk {
 
   /// Reads an object back, counting the access. Returns kOutOfRange for an
   /// invalid id (no access is counted).
-  StatusOr<const Series*> TryFetch(int id);
+  [[nodiscard]] StatusOr<const Series*> TryFetch(int id);
 
   /// Reads without counting (for test verification / setup).
-  StatusOr<const Series*> TryPeek(int id) const;
+  [[nodiscard]] StatusOr<const Series*> TryPeek(int id) const;
 
   /// Reference-returning conveniences for callers that already validated
   /// `id` (internal index code fetches only ids it stored). Bounds-checked:

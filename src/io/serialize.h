@@ -39,24 +39,28 @@ namespace rotind {
 /// size BEFORE any allocation, so a malicious 64-byte file cannot request a
 /// multi-GB resize.
 
+[[nodiscard]]
 Status SaveDatasetBinaryStatus(const Dataset& dataset, const std::string& path);
+[[nodiscard]]
 StatusOr<Dataset> LoadDatasetBinaryStatus(const std::string& path);
 
 /// Writes "label,v1,v2,...\n" per item (label 0 when the dataset is
 /// unlabelled).
+[[nodiscard]]
 Status SaveDatasetUcrStatus(const Dataset& dataset, const std::string& path,
                             char delimiter = ',');
 
 /// Reads a UCR-format file. Lines may be comma-, space- or tab-separated;
 /// the first field is the integer class label. Requires every series to
 /// have the same length.
-StatusOr<Dataset> LoadDatasetUcrStatus(const std::string& path);
+[[nodiscard]] StatusOr<Dataset> LoadDatasetUcrStatus(const std::string& path);
 
 /// In-memory parsers behind the file loaders. These are the fuzzing entry
 /// points (tools/rotind_fuzz_load.cc) and what the fault-injection tests
 /// drive directly; they never touch the filesystem.
+[[nodiscard]]
 StatusOr<Dataset> ParseDatasetBinary(const char* data, std::size_t size);
-StatusOr<Dataset> ParseDatasetUcr(std::string_view text);
+[[nodiscard]] StatusOr<Dataset> ParseDatasetUcr(std::string_view text);
 
 /// Legacy boolean API, kept for call sites that only need a yes/no (the
 /// detailed Status is discarded). Prefer the Status-returning functions.

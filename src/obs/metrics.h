@@ -270,7 +270,7 @@ class MetricsRegistry {
   std::string ToJson() const;
 
   /// Writes ToJson() to `path`; kIoError on failure.
-  Status WriteJsonFile(const std::string& path) const;
+  [[nodiscard]] Status WriteJsonFile(const std::string& path) const;
 
  private:
   std::vector<std::pair<std::string, QueryMetrics>> entries_;

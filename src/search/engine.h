@@ -165,13 +165,13 @@ class QueryEngine {
 
   /// Validates a query against this engine's database: non-empty, finite,
   /// and length-matching.
-  Status ValidateQuery(const Series& query) const;
+  [[nodiscard]] Status ValidateQuery(const Series& query) const;
 
   /// Checked variants: the validated public entry points.
-  StatusOr<ScanResult> SearchChecked(const Series& query) const;
-  StatusOr<std::vector<Neighbor>> KnnChecked(
+  [[nodiscard]] StatusOr<ScanResult> SearchChecked(const Series& query) const;
+  [[nodiscard]] StatusOr<std::vector<Neighbor>> KnnChecked(
       const Series& query, int k, StepCounter* counter = nullptr) const;
-  StatusOr<std::vector<Neighbor>> RangeChecked(
+  [[nodiscard]] StatusOr<std::vector<Neighbor>> RangeChecked(
       const Series& query, double radius,
       StepCounter* counter = nullptr) const;
 

@@ -4,9 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "src/core/contracts.h"
 #include "src/distance/dtw.h"
 #include "src/distance/euclidean.h"
-#include "src/search/lower_bound.h"
+#include "src/envelope/lower_bound.h"
 
 namespace rotind {
 namespace {
@@ -58,6 +59,11 @@ HMergeResult HMerge(const double* c, const WedgeTree& tree,
         continue;
       }
       dist_sq = d * d;
+      // Both sides were computed to completion (neither abandoned), so the
+      // lower-bound sandwich is directly observable here.
+      ROTIND_CONTRACT(lb_sq <= dist_sq * (1.0 + 1e-9) + 1e-9,
+                      "Proposition 2: LB_Keogh on the band-widened leaf "
+                      "wedge must never exceed the exact banded DTW");
     }
     if (dist_sq < squared_limit) {
       squared_limit = dist_sq;

@@ -50,6 +50,7 @@ HMergeResult HMerge(const double* c, const WedgeTree& tree,
 /// length differing from the tree's, and wedge ids outside the tree, with a
 /// Status instead of undefined behavior. `c_length` is the number of doubles
 /// readable at `c`.
+[[nodiscard]]
 StatusOr<HMergeResult> HMergeChecked(const double* c, std::size_t c_length,
                                      const WedgeTree& tree,
                                      const std::vector<int>& wedge_set,
@@ -95,7 +96,7 @@ struct WedgeSearchOptions : WedgePolicy {
 /// query must be non-empty with finite values (an empty query makes the
 /// rotation set, and therefore the wedge tree, degenerate). Option knobs are
 /// clamped by the searcher itself and need no validation.
-Status ValidateWedgeQuery(const Series& query,
+[[nodiscard]] Status ValidateWedgeQuery(const Series& query,
                           const WedgeSearchOptions& options);
 
 class WedgeSearcher {
@@ -108,7 +109,7 @@ class WedgeSearcher {
   /// Validated factory: the library's checked entry point for building a
   /// per-query wedge engine. Returns kInvalidArgument instead of invoking
   /// the constructor's (asserted) preconditions on bad input.
-  static StatusOr<std::unique_ptr<WedgeSearcher>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<WedgeSearcher>> Create(
       const Series& query, const WedgeSearchOptions& options,
       StepCounter* counter);
 

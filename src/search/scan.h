@@ -98,6 +98,7 @@ std::vector<Neighbor> RangeSearchDatabase(const std::vector<Series>& db,
 /// length. Returns kInvalidArgument with an actionable message otherwise.
 /// O(m + n); database VALUES are not scanned (a NaN payload yields defined
 /// but meaningless distances — loaders reject NaN at the file boundary).
+[[nodiscard]]
 Status ValidateScanInputs(const std::vector<Series>& db, const Series& query,
                           const ScanOptions& options);
 
@@ -105,19 +106,20 @@ Status ValidateScanInputs(const std::vector<Series>& db, const Series& query,
 /// entry points. The unchecked functions document their preconditions and
 /// assert them in debug builds; these return a Status instead, making
 /// malformed input a recoverable error rather than undefined behavior.
+[[nodiscard]]
 StatusOr<ScanResult> SearchDatabaseChecked(const std::vector<Series>& db,
                                            const Series& query,
                                            ScanAlgorithm algorithm,
                                            const ScanOptions& options);
 
 /// Also requires k >= 1.
-StatusOr<std::vector<Neighbor>> KnnSearchDatabaseChecked(
+[[nodiscard]] StatusOr<std::vector<Neighbor>> KnnSearchDatabaseChecked(
     const std::vector<Series>& db, const Series& query, int k,
     ScanAlgorithm algorithm, const ScanOptions& options,
     StepCounter* counter = nullptr);
 
 /// Also requires a finite radius >= 0.
-StatusOr<std::vector<Neighbor>> RangeSearchDatabaseChecked(
+[[nodiscard]] StatusOr<std::vector<Neighbor>> RangeSearchDatabaseChecked(
     const std::vector<Series>& db, const Series& query, double radius,
     ScanAlgorithm algorithm, const ScanOptions& options,
     StepCounter* counter = nullptr);

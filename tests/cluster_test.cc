@@ -95,7 +95,9 @@ TEST(DendrogramTest, CutsAreNested) {
     // Nestedness: any two leaves together at level k are together at k-1.
     for (std::size_t a = 0; a < curr.size(); ++a) {
       for (std::size_t b = a + 1; b < curr.size(); ++b) {
-        if (curr[a] == curr[b]) EXPECT_EQ(prev[a], prev[b]);
+        if (curr[a] == curr[b]) {
+          EXPECT_EQ(prev[a], prev[b]);
+        }
       }
     }
     prev = curr;

@@ -1,0 +1,220 @@
+/// Property tests for the paper's lower-bound invariants — the contracts
+/// that `ROTIND_CONTRACT` asserts inline (src/core/contracts.h) are here
+/// verified directly over randomized datasets, so the sandwich
+///
+///   LB_Keogh(C, W)  <=  min_s Measure(Q_rot_s, C)
+///
+/// (Propositions 1-2) is checked in EVERY build type, not only when
+/// contracts are compiled in. The death test at the bottom additionally
+/// proves the inline contracts have teeth: a deliberately corrupted
+/// envelope must abort the process in contract-enabled builds.
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/contracts.h"
+#include "src/core/random.h"
+#include "src/core/series.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/distance/rotation.h"
+#include "src/envelope/envelope.h"
+#include "src/envelope/lower_bound.h"
+#include "src/envelope/wedge_tree.h"
+#include "src/search/hmerge.h"
+
+namespace rotind {
+namespace {
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+/// L <= U pointwise survives any sequence of merges (Proposition 1's
+/// structural precondition).
+TEST(ContractPropertyTest, EnvelopeStaysOrderedUnderMerges) {
+  Rng rng(2006);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 8 + rng.NextBounded(64);
+    Envelope env = Envelope::FromSeries(RandomSeries(&rng, n));
+    ASSERT_TRUE(env.IsOrdered());
+    for (int m = 0; m < 6; ++m) {
+      if (m % 2 == 0) {
+        env.MergeSeries(RandomSeries(&rng, n).data(), n);
+      } else {
+        env.MergeInPlace(Envelope::FromSeries(RandomSeries(&rng, n)));
+      }
+      EXPECT_TRUE(env.IsOrdered()) << "n=" << n << " merge=" << m;
+    }
+  }
+}
+
+/// Proposition 2 containment: the band-widened envelope encloses the
+/// unwidened one, and widening is monotone in the band.
+TEST(ContractPropertyTest, DtwExpansionContainsEuclideanEnvelope) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 12 + rng.NextBounded(48);
+    Envelope env = Envelope::FromSeries(RandomSeries(&rng, n));
+    for (int m = 0; m < 3; ++m) {
+      env.MergeSeries(RandomSeries(&rng, n).data(), n);
+    }
+    Envelope prev = env;
+    for (int band : {1, 2, 5, 9}) {
+      const Envelope widened = env.ExpandedForDtw(band);
+      EXPECT_TRUE(widened.Encloses(env)) << "band=" << band;
+      EXPECT_TRUE(widened.Encloses(prev)) << "band=" << band;
+      prev = widened;
+    }
+  }
+}
+
+/// Hierarchal nesting (paper Figure 7): every internal wedge of a
+/// WedgeTree encloses the wedges — and, transitively, the raw rotations —
+/// beneath it, for both hierarchies and both measures.
+TEST(ContractPropertyTest, WedgeTreeChildrenNestInsideParents) {
+  Rng rng(11);
+  for (const WedgeHierarchy hierarchy :
+       {WedgeHierarchy::kClustered, WedgeHierarchy::kContiguous}) {
+    for (const int band : {0, 4}) {
+      const std::size_t n = 20 + rng.NextBounded(20);
+      const Series query = RandomSeries(&rng, n);
+      RotationOptions rotation;
+      rotation.mirror = (band == 0);
+      const WedgeTree tree(query, rotation, band, Linkage::kAverage,
+                           hierarchy, nullptr);
+      const int count = static_cast<int>(tree.num_rotations());
+      for (int id = count; id < tree.num_nodes(); ++id) {
+        const double* pu = tree.Upper(id);
+        const double* pl = tree.Lower(id);
+        for (const int child : {tree.LeftChild(id), tree.RightChild(id)}) {
+          const double* cu = tree.Upper(child);
+          const double* cl = tree.Lower(child);
+          for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_LE(cu[i], pu[i]) << "node=" << id << " i=" << i;
+            EXPECT_GE(cl[i], pl[i]) << "node=" << id << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The paper's headline exactness sandwich, sampled over random data: for
+/// every wedge W in the tree and every rotation s under W,
+/// LB_Keogh(C, W) <= ED(Q_rot_s, C) (Proposition 1) and, with band
+/// expansion, LB_Keogh(C, W) <= DTW_band(Q_rot_s, C) (Proposition 2).
+TEST(ContractPropertyTest, LbKeoghLowerBoundsEveryRotationDistance) {
+  Rng rng(13);
+  for (const int band : {0, 3}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::size_t n = 16 + rng.NextBounded(24);
+      const Series query = RandomSeries(&rng, n);
+      RotationOptions rotation;
+      const WedgeTree tree(query, rotation, band, nullptr);
+      const Series c = RandomSeries(&rng, n);
+
+      // Exact per-rotation distances under the configured measure.
+      std::vector<double> exact(tree.num_rotations());
+      for (std::size_t s = 0; s < tree.num_rotations(); ++s) {
+        const double* rot = tree.rotations().rotation(s);
+        exact[s] = band == 0 ? EuclideanDistance(
+                                   Series(rot, rot + n), c)
+                             : DtwDistance(rot, c.data(), n, band);
+      }
+
+      // Every wedge set the dynamic-K controller could pick.
+      for (int k = 1; k <= tree.max_k(); k += 1 + tree.max_k() / 7) {
+        for (const int id : tree.WedgeSetForK(k)) {
+          Envelope wedge;
+          wedge.upper.assign(tree.Upper(id), tree.Upper(id) + n);
+          wedge.lower.assign(tree.Lower(id), tree.Lower(id) + n);
+          const double lb = LbKeogh(c.data(), wedge);
+          // Collect the rotations under this node (leaves of its subtree).
+          std::vector<int> stack = {id};
+          while (!stack.empty()) {
+            const int node = stack.back();
+            stack.pop_back();
+            if (tree.IsLeaf(node)) {
+              EXPECT_LE(lb, exact[static_cast<std::size_t>(node)] + 1e-9)
+                  << "band=" << band << " k=" << k << " wedge=" << id
+                  << " rotation=" << node;
+              continue;
+            }
+            stack.push_back(tree.LeftChild(node));
+            stack.push_back(tree.RightChild(node));
+          }
+        }
+      }
+    }
+  }
+}
+
+/// H-Merge's result equals the brute-force min over rotations whenever it
+/// does not abandon — exactness end to end on random data.
+TEST(ContractPropertyTest, HMergeMatchesBruteForceMinOverRotations) {
+  Rng rng(17);
+  for (const int band : {0, 3}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::size_t n = 16 + rng.NextBounded(16);
+      const Series query = RandomSeries(&rng, n);
+      RotationOptions rotation;
+      const WedgeTree tree(query, rotation, band, nullptr);
+      const Series c = RandomSeries(&rng, n);
+
+      double brute = kAbandoned;
+      for (std::size_t s = 0; s < tree.num_rotations(); ++s) {
+        const double* rot = tree.rotations().rotation(s);
+        const double d = band == 0
+                             ? EuclideanDistance(Series(rot, rot + n), c)
+                             : DtwDistance(rot, c.data(), n, band);
+        brute = std::min(brute, d);
+      }
+
+      const std::vector<int> wedge_set = {tree.root()};
+      const HMergeResult r =
+          HMerge(c.data(), tree, wedge_set, kAbandoned, nullptr, nullptr);
+      ASSERT_FALSE(r.abandoned);
+      EXPECT_NEAR(r.distance, brute, 1e-9) << "band=" << band;
+    }
+  }
+}
+
+#if ROTIND_CONTRACTS_ENABLED
+
+using ContractDeathTest = ::testing::Test;
+
+/// A deliberately corrupted envelope (L > U somewhere) must trip
+/// ROTIND_CONTRACT loudly rather than silently degrade exact search into
+/// approximate search.
+TEST(ContractDeathTest, CorruptedEnvelopeTripsLbKeoghContract) {
+  Rng rng(23);
+  const std::size_t n = 32;
+  Envelope env = Envelope::FromSeries(RandomSeries(&rng, n));
+  env.MergeSeries(RandomSeries(&rng, n).data(), n);
+  // Corrupt: swap U and L where they differ — L > U afterwards.
+  std::swap(env.upper, env.lower);
+  const Series c = RandomSeries(&rng, n);
+  EXPECT_DEATH((void)LbKeogh(c.data(), env), "ROTIND_CONTRACT");
+}
+
+TEST(ContractDeathTest, CorruptedEnvelopeTripsMergeContract) {
+  Rng rng(29);
+  const std::size_t n = 16;
+  Envelope good = Envelope::FromSeries(RandomSeries(&rng, n));
+  Envelope bad = Envelope::FromSeries(RandomSeries(&rng, n));
+  bad.MergeSeries(RandomSeries(&rng, n).data(), n);
+  std::swap(bad.upper, bad.lower);
+  EXPECT_DEATH(good.MergeInPlace(bad), "ROTIND_CONTRACT");
+}
+
+#endif  // ROTIND_CONTRACTS_ENABLED
+
+}  // namespace
+}  // namespace rotind

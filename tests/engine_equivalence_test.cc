@@ -198,9 +198,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(DistanceKind::kEuclidean,
                                          DistanceKind::kDtw),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<std::tuple<DistanceKind, bool>>& info) {
-      std::string name = DistanceKindName(std::get<0>(info.param));
-      name += std::get<1>(info.param) ? "_mirror" : "_plain";
+    [](const ::testing::TestParamInfo<std::tuple<DistanceKind, bool>>& p) {
+      std::string name = DistanceKindName(std::get<0>(p.param));
+      name += std::get<1>(p.param) ? "_mirror" : "_plain";
       return name;
     });
 

@@ -1,4 +1,4 @@
-#include "src/search/lower_bound.h"
+#include "src/envelope/lower_bound.h"
 
 #include <cmath>
 

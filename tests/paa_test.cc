@@ -7,7 +7,7 @@
 #include "src/core/random.h"
 #include "src/distance/dtw.h"
 #include "src/distance/euclidean.h"
-#include "src/search/lower_bound.h"
+#include "src/envelope/lower_bound.h"
 
 namespace rotind {
 namespace {

@@ -1,0 +1,255 @@
+/// Unit tests for the project linter. Each test seeds an in-memory tree
+/// with exactly one violation and asserts the matching rule (and only it)
+/// fires — so the linter itself is held to "no false negatives on the
+/// violations it exists to catch, no false positives on idiomatic code".
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/rotind_lint.h"
+
+namespace rotind {
+namespace lint {
+namespace {
+
+std::vector<std::string> RuleNames(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> rules = RuleNames(findings);
+  return static_cast<int>(std::count(rules.begin(), rules.end(), rule));
+}
+
+TEST(StripCommentsAndStringsTest, RemovesProseKeepsCodeAndLines) {
+  const std::string in =
+      "int a; // new delete rand()\n"
+      "const char* s = \".value() new\";\n"
+      "/* rand()\n   spans lines */ int b;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find(".value"), std::string::npos);
+}
+
+TEST(StripCommentsAndStringsTest, HandlesRawStringLiterals) {
+  // A raw string holds a bare quote — the classic state-machine desync.
+  const std::string in =
+      "auto re = R\"(say \"new\" .value())\"; int after; auto s = \"x\";\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_EQ(out.find(".value"), std::string::npos);
+  EXPECT_NE(out.find("int after;"), std::string::npos);
+}
+
+TEST(StripCommentsAndStringsTest, HandlesEscapesInsideLiterals) {
+  const std::string in = "const char* s = \"a\\\"new\\\"b\"; char c = '\\''; int new_ok;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("new\\"), std::string::npos);
+  EXPECT_NE(out.find("int new_ok;"), std::string::npos);
+}
+
+/// Acceptance: a seeded layering violation is detected. envelope -> search
+/// is exactly the inversion this repository once contained (lower_bound
+/// lived in src/search/ while src/envelope/ included it).
+TEST(RotindLintTest, DetectsSeededLayeringViolation) {
+  const std::vector<SourceFile> files = {
+      {"src/envelope/bad.cc",
+       "#include \"src/search/hmerge.h\"\n#include \"src/core/series.h\"\n"},
+  };
+  const std::vector<Finding> findings = CheckLayering(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].file, "src/envelope/bad.cc");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("search"), std::string::npos);
+}
+
+TEST(RotindLintTest, AllowsDagEdgesAndSelfIncludes) {
+  const std::vector<SourceFile> files = {
+      {"src/search/ok.cc",
+       "#include \"src/search/scan.h\"\n"
+       "#include \"src/envelope/wedge_tree.h\"\n"
+       "#include \"src/fourier/spectral.h\"\n"
+       "#include \"src/core/status.h\"\n"},
+      {"src/index/ok.cc", "#include \"src/search/engine.h\"\n"},
+      // tools/tests/bench sit above the DAG and may include anything.
+      {"tools/whatever.cc", "#include \"src/index/disk.h\"\n"},
+  };
+  EXPECT_TRUE(CheckLayering(files).empty());
+}
+
+TEST(RotindLintTest, FlagsModuleMissingFromDag) {
+  const std::vector<SourceFile> files = {
+      {"src/newmodule/a.cc", "#include \"src/core/series.h\"\n"}};
+  const std::vector<Finding> findings = CheckLayering(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("layer DAG"), std::string::npos);
+}
+
+TEST(RotindLintTest, LayeringIgnoresIncludesInComments) {
+  const std::vector<SourceFile> files = {
+      {"src/envelope/ok.cc",
+       "// #include \"src/search/hmerge.h\" (moved; see history)\n"
+       "#include \"src/envelope/envelope.h\"\n"}};
+  EXPECT_TRUE(CheckLayering(files).empty());
+}
+
+/// Acceptance: a missing [[nodiscard]] on a Status-returning declaration
+/// is detected — in headers, where the contract is visible to callers.
+TEST(RotindLintTest, DetectsMissingNodiscard) {
+  const std::vector<SourceFile> files = {
+      {"src/io/bad.h",
+       "Status SaveThing(const std::string& path);\n"
+       "StatusOr<int> ParseThing(std::string_view text);\n"},
+  };
+  const std::vector<Finding> findings = CheckNodiscard(files);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "nodiscard");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+TEST(RotindLintTest, AcceptsNodiscardOnSameOrPreviousLine) {
+  const std::vector<SourceFile> files = {
+      {"src/io/ok.h",
+       "[[nodiscard]] Status SaveThing(const std::string& path);\n"
+       "[[nodiscard]] static StatusOr<int> ParseThing(std::string_view t);\n"
+       "[[nodiscard]]\n"
+       "StatusOr<std::vector<double>> LongDeclarationName(int value);\n"},
+  };
+  EXPECT_TRUE(CheckNodiscard(files).empty());
+}
+
+TEST(RotindLintTest, NodiscardIgnoresUsesAndDefinitionsInCc) {
+  const std::vector<SourceFile> files = {
+      {"src/io/ok.h",
+       "class Foo {\n"
+       "  Status status_;\n"  // member, not a declaration
+       "};\n"
+       "// Status Load(const std::string&) — documented, not declared\n"},
+      {"src/io/impl.cc",
+       // Out-of-line definitions carry the attribute at the declaration.
+       "Status SaveThing(const std::string& path) { return Status::Ok(); }\n"
+       "void f() { return Status::InvalidArgument(\"x\"); }\n"},
+  };
+  EXPECT_TRUE(CheckNodiscard(files).empty());
+}
+
+TEST(RotindLintTest, DetectsUncheckedValueOutsideTests) {
+  const std::vector<SourceFile> files = {
+      {"src/search/bad.cc", "auto v = LoadThing(path).value();\n"},
+      {"tests/ok_test.cc", "auto v = LoadThing(path).value();\n"},
+  };
+  const std::vector<Finding> findings = CheckUncheckedValue(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unchecked-value");
+  EXPECT_EQ(findings[0].file, "src/search/bad.cc");
+}
+
+TEST(RotindLintTest, DetectsRawAllocationAndRandInKernels) {
+  const std::vector<SourceFile> files = {
+      {"src/distance/bad.cc",
+       "double* buf = new double[n];\n"
+       "delete[] buf;\n"
+       "int r = rand();\n"},
+      // Same tokens outside a kernel directory are not this rule's business.
+      {"src/io/ok.cc", "double* buf = new double[n]; delete[] buf;\n"},
+  };
+  const std::vector<Finding> findings = CheckKernelHygiene(files);
+  EXPECT_EQ(CountRule(findings, "kernel-hygiene"), 3);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, "src/distance/bad.cc");
+  }
+}
+
+TEST(RotindLintTest, AllowsDeletedSpecialMembersAndIdentifiers) {
+  const std::vector<SourceFile> files = {
+      {"src/search/ok.h",
+       "struct E {\n"
+       "  E(const E&) = delete;\n"
+       "  E& operator=(const E&) =\n"
+       "      delete;\n"  // continuation line, as clang-format wraps it
+       "  int new_count = 0;\n"  // identifier containing the token
+       "  double rand_like = randomize();\n"
+       "};\n"},
+  };
+  EXPECT_TRUE(CheckKernelHygiene(files).empty());
+}
+
+/// Acceptance: an unregistered test file is detected.
+TEST(RotindLintTest, DetectsUnregisteredTest) {
+  const std::vector<SourceFile> files = {
+      {"tests/CMakeLists.txt",
+       "set(ROTIND_TEST_SOURCES\n  alpha_test.cc\n)\n"},
+      {"tests/alpha_test.cc", "TEST(A, B) {}\n"},
+      {"tests/beta_test.cc", "TEST(B, C) {}\n"},
+  };
+  const std::vector<Finding> findings = CheckTestRegistration(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unregistered-test");
+  EXPECT_EQ(findings[0].file, "tests/beta_test.cc");
+}
+
+TEST(RotindLintTest, TestRegistrationIgnoresHelpersAndSubdirs) {
+  const std::vector<SourceFile> files = {
+      {"tests/CMakeLists.txt", "set(ROTIND_TEST_SOURCES\n)\n"},
+      {"tests/testing/fault_injection.cc", "void Corrupt();\n"},
+      {"tests/testing/helper_test.cc", "TEST(H, I) {}\n"},
+  };
+  EXPECT_TRUE(CheckTestRegistration(files).empty());
+}
+
+TEST(RotindLintTest, DetectsSuppressionWithoutReason) {
+  const std::vector<SourceFile> files = {
+      {"src/core/bad.h",
+       "// NOLINTNEXTLINE\n"
+       "int a = unchecked();\n"
+       "int b = other();  // NOLINT(some-check)\n"},
+      {"src/core/ok.h",
+       "// NOLINTNEXTLINE(google-explicit-constructor): implicit by design\n"
+       "int c = conversion();\n"
+       "int d = fine();  // NOLINT(some-check): measured hot path\n"},
+  };
+  const std::vector<Finding> findings = CheckNolintReasons(files);
+  EXPECT_EQ(CountRule(findings, "nolint-reason"), 2);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, "src/core/bad.h");
+  }
+}
+
+TEST(RotindLintTest, RunAllChecksAggregatesAndSorts) {
+  const std::vector<SourceFile> files = {
+      {"src/envelope/bad.cc",
+       "#include \"src/index/disk.h\"\n"
+       "double* p = new double[4];\n"},
+      {"src/io/bad.h", "Status SaveThing(const std::string& path);\n"},
+  };
+  const std::vector<Finding> findings = RunAllChecks(files);
+  EXPECT_EQ(CountRule(findings, "layering"), 1);
+  EXPECT_EQ(CountRule(findings, "kernel-hygiene"), 1);
+  EXPECT_EQ(CountRule(findings, "nodiscard"), 1);
+  // Sorted by (file, line): both envelope findings precede the io one.
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].file, "src/envelope/bad.cc");
+  EXPECT_EQ(findings[2].file, "src/io/bad.h");
+}
+
+TEST(RotindLintTest, LoadSourceTreeRejectsNonRepository) {
+  const StatusOr<std::vector<SourceFile>> files =
+      LoadSourceTree("/nonexistent/definitely/not/a/repo");
+  EXPECT_FALSE(files.ok());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace rotind

@@ -1,0 +1,33 @@
+/// CLI wrapper for rotind_lint: lints a repository checkout and prints one
+/// line per finding in the conventional `file:line: rule: message` shape
+/// that editors and CI annotate. Exit 0 = clean, 1 = findings, 2 = could
+/// not read the tree.
+///
+///   rotind_lint [repo_root]      (default: current directory)
+
+#include <cstdio>
+#include <string>
+
+#include "tools/lint/rotind_lint.h"
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : ".";
+  const rotind::StatusOr<std::vector<rotind::lint::Finding>> findings =
+      rotind::lint::LintRepository(root);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "rotind_lint: %s\n",
+                 findings.status().message().c_str());
+    return 2;
+  }
+  for (const rotind::lint::Finding& f : *findings) {
+    std::fprintf(stderr, "%s:%d: %s: %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!findings->empty()) {
+    std::fprintf(stderr, "rotind_lint: %zu finding(s) in %s\n",
+                 findings->size(), root.c_str());
+    return 1;
+  }
+  std::printf("rotind_lint: clean\n");
+  return 0;
+}

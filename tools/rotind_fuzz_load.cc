@@ -28,7 +28,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/core/flat_dataset.h"
 #include "src/io/serialize.h"
+#include "src/search/engine.h"
 #include "src/search/scan.h"
 
 namespace {
@@ -53,6 +55,20 @@ void ExerciseParsers(const std::uint8_t* data, std::size_t size) {
     ScanOptions options;
     (void)SearchDatabaseChecked(ds.items, ds.items[0], ScanAlgorithm::kWedge,
                                 options);
+
+    // Engine-level round trip: the same parsed items through the flat
+    // storage layout and the full pruning cascade (fft + wedge, 1-NN).
+    // In contract-enabled builds this also walks the parsed data past
+    // every ROTIND_CONTRACT invariant (L <= U, wedge nesting, LB <=
+    // exact), so a loader bug that produces a structurally broken dataset
+    // aborts here instead of returning a quietly wrong neighbor.
+    StatusOr<FlatDataset> flat = FlatDataset::FromItemsChecked(ds.items);
+    if (!flat.ok()) continue;
+    EngineOptions engine_options;
+    engine_options.cascade.stages = {StageKind::kFftMagnitude,
+                                     StageKind::kWedge};
+    const QueryEngine engine(*flat, engine_options);
+    (void)engine.SearchChecked(ds.items[0]);
   }
 }
 
@@ -78,7 +94,11 @@ std::vector<std::string> BuiltInCorpus() {
   for (int i = 0; i < 3; ++i) {
     ds.items.push_back({0.5 * i, 1.0, -2.0, 0.25});
     ds.labels.push_back(i);
-    ds.names.push_back("c" + std::to_string(i));
+    // Built up in two steps: `"c" + std::to_string(i)` trips GCC 12's
+    // -Wrestrict false positive (GCC PR 105651) under -Werror.
+    std::string name = "c";
+    name += std::to_string(i);
+    ds.names.push_back(std::move(name));
   }
   // Serialize through a temp file to obtain a genuine container image.
   const std::string path =
