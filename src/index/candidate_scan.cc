@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -84,12 +85,30 @@ class RemainderScope {
   std::chrono::steady_clock::time_point t0_;
 };
 
+/// Folds a query's accumulated backend I/O into the observability layer:
+/// object/page totals into IndexStats, pool activity into the kDiskFetch
+/// stage (so --metrics-json attributes real I/O per query stage).
+void FoldFetchIo(const storage::FetchStats& io, obs::StageStats* fetch_stats,
+                 obs::QueryMetrics* metrics) {
+  if (metrics != nullptr) {
+    metrics->index.object_fetches += io.object_fetches;
+    metrics->index.page_reads += io.page_reads;
+  }
+  if (fetch_stats != nullptr) {
+    fetch_stats->pool_hits += io.pool_hits;
+    fetch_stats->pages_read += io.page_reads;
+    fetch_stats->pool_evictions += io.pool_evictions;
+    fetch_stats->io_bytes += io.bytes_read;
+  }
+}
+
 }  // namespace
 
 RotationInvariantIndex::RotationInvariantIndex(const std::vector<Series>& db,
                                                const Options& options)
-    : options_(options), disk_(options.page_size_bytes) {
-  disk_.StoreAll(db);
+    : options_(options),
+      backend_(std::make_unique<storage::SimulatedBackend>(
+          db, options.page_size_bytes)) {
   if (options_.kind == DistanceKind::kEuclidean) {
     spectral_signatures_.reserve(db.size());
     for (const Series& s : db) {
@@ -136,9 +155,65 @@ RotationInvariantIndex::Create(const std::vector<Series>& db,
   return std::make_unique<RotationInvariantIndex>(db, options);
 }
 
+StatusOr<std::unique_ptr<RotationInvariantIndex>>
+RotationInvariantIndex::OpenFromFile(const std::string& path,
+                                     const Options& options,
+                                     std::size_t pool_pages,
+                                     storage::EvictionPolicy eviction) {
+  StatusOr<std::unique_ptr<storage::FileBackend>> backend =
+      storage::FileBackend::Open(path, pool_pages, eviction);
+  if (!backend.ok()) return backend.status();
+  const storage::IndexFile& file = (*backend)->file();
+  const std::size_t count = file.num_objects();
+
+  Options opts = options;
+  if (opts.kind == DistanceKind::kEuclidean) {
+    if (file.sig_dims() == 0) {
+      return Status::InvalidArgument(
+          path + " was built without FFT signatures; the Euclidean path "
+                 "needs them (rebuild with --dims > 0)");
+    }
+    opts.dims = file.sig_dims();
+  } else {
+    if (file.paa_dims() == 0) {
+      return Status::InvalidArgument(
+          path + " was built without PAA summaries; the DTW path needs "
+                 "them (rebuild with --paa-dims > 0)");
+    }
+    opts.dims = file.paa_dims();
+  }
+
+  // The signatures were computed at build time and live in the file's
+  // resident section — reusing them (instead of re-deriving from the
+  // series) is the whole point: opening the index reads no data pages.
+  std::unique_ptr<RotationInvariantIndex> index(
+      std::make_unique<RotationInvariantIndex>(OpenKey{}, opts));
+  if (opts.kind == DistanceKind::kEuclidean) {
+    const std::vector<double>& flat = file.spectral_signatures();
+    index->spectral_signatures_.assign(count,
+                                       std::vector<double>(opts.dims));
+    for (std::size_t i = 0; i < count; ++i) {
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(i * opts.dims),
+                flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * opts.dims),
+                index->spectral_signatures_[i].begin());
+    }
+    index->vptree_ =
+        std::make_unique<VpTree>(index->spectral_signatures_, opts.seed);
+  } else {
+    const std::vector<double>& flat = file.paa_summaries();
+    index->paa_signatures_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      index->paa_signatures_[i].values.assign(
+          flat.begin() + static_cast<std::ptrdiff_t>(i * opts.dims),
+          flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * opts.dims));
+    }
+  }
+  index->backend_ = *std::move(backend);
+  return index;
+}
+
 RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighbor(
     const Series& query, obs::QueryMetrics* metrics) {
-  disk_.ResetCounters();
   const obs::QueryLatencyScope latency(metrics);
   return options_.kind == DistanceKind::kEuclidean
              ? NearestNeighborEuclidean(query, metrics)
@@ -149,7 +224,6 @@ std::vector<RotationInvariantIndex::KnnEntry>
 RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
                                           Result* stats,
                                           obs::QueryMetrics* metrics) {
-  disk_.ResetCounters();
   const obs::QueryLatencyScope latency(metrics);
   Result local;
   Result* out = stats != nullptr ? stats : &local;
@@ -164,6 +238,7 @@ RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
       metrics != nullptr ? &metrics->stage(obs::StageId::kRefine) : nullptr;
   obs::WedgeStats* wedge_stats =
       metrics != nullptr ? &metrics->wedge : nullptr;
+  storage::FetchStats fetch_io;
 
   WedgeSearchOptions wopts;
   wopts.kind = options_.kind;
@@ -178,10 +253,10 @@ RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
   }
 
   auto refine = [&](int id, double threshold) -> double {
-    const Series* c = nullptr;
+    storage::SeriesHandle c;
     {
       const obs::StageScope scope(fetch_stats, &out->counter);
-      c = &disk_.Fetch(id);
+      c = backend_->Fetch(static_cast<std::size_t>(id), &fetch_io);
     }
     if (fetch_stats != nullptr) {
       ++fetch_stats->candidates_entered;
@@ -189,7 +264,7 @@ RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
     }
     const obs::StageScope scope(refine_stats, &out->counter);
     const HMergeResult r =
-        searcher->Distance(c->data(), threshold, &out->counter, wedge_stats);
+        searcher->Distance(c.data(), threshold, &out->counter, wedge_stats);
     if (refine_stats != nullptr) {
       ++refine_stats->candidates_entered;
       ++(r.abandoned ? refine_stats->candidates_pruned
@@ -198,7 +273,7 @@ RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
     return r.abandoned ? kInf : r.distance;
   };
 
-  const std::size_t m = disk_.num_objects();
+  const std::size_t m = backend_->size();
   std::vector<KnnEntry> neighbors;
   if (options_.kind == DistanceKind::kEuclidean) {
     SpectralSignature qsig;
@@ -287,13 +362,13 @@ RotationInvariantIndex::KNearestNeighbors(const Series& query, int k,
     for (const auto& [distance, id] : heap) neighbors.push_back({id, distance});
   }
 
-  out->object_fetches = disk_.object_fetches();
-  out->page_reads = disk_.page_reads();
-  out->fetch_fraction = disk_.FetchFraction();
-  if (metrics != nullptr) {
-    metrics->index.object_fetches += disk_.object_fetches();
-    metrics->index.page_reads += disk_.page_reads();
-  }
+  out->object_fetches = fetch_io.object_fetches;
+  out->page_reads = fetch_io.page_reads;
+  out->fetch_fraction =
+      m == 0 ? 0.0
+             : static_cast<double>(fetch_io.object_fetches) /
+                   static_cast<double>(m);
+  FoldFetchIo(fetch_io, fetch_stats, metrics);
   if (!neighbors.empty()) {
     out->best_index = neighbors[0].index;
     out->best_distance = neighbors[0].distance;
@@ -314,6 +389,7 @@ RotationInvariantIndex::NearestNeighborEuclidean(const Series& query,
       metrics != nullptr ? &metrics->stage(obs::StageId::kRefine) : nullptr;
   obs::WedgeStats* wedge_stats =
       metrics != nullptr ? &metrics->wedge : nullptr;
+  storage::FetchStats fetch_io;
 
   WedgeSearchOptions wopts;
   wopts.kind = DistanceKind::kEuclidean;
@@ -332,10 +408,10 @@ RotationInvariantIndex::NearestNeighborEuclidean(const Series& query,
   }
 
   auto refine = [&](int id, double threshold) -> double {
-    const Series* c = nullptr;
+    storage::SeriesHandle c;
     {
       const obs::StageScope scope(fetch_stats, &result.counter);
-      c = &disk_.Fetch(id);
+      c = backend_->Fetch(static_cast<std::size_t>(id), &fetch_io);
     }
     if (fetch_stats != nullptr) {
       ++fetch_stats->candidates_entered;
@@ -343,14 +419,14 @@ RotationInvariantIndex::NearestNeighborEuclidean(const Series& query,
     }
     const obs::StageScope scope(refine_stats, &result.counter);
     const HMergeResult r =
-        searcher->Distance(c->data(), threshold, &result.counter, wedge_stats);
+        searcher->Distance(c.data(), threshold, &result.counter, wedge_stats);
     if (refine_stats != nullptr) {
       ++refine_stats->candidates_entered;
       ++(r.abandoned ? refine_stats->candidates_pruned
                      : refine_stats->candidates_survived);
     }
     if (r.abandoned) return kInf;
-    searcher->AdaptK(c->data(), r.distance, &result.counter, wedge_stats);
+    searcher->AdaptK(c.data(), r.distance, &result.counter, wedge_stats);
     return r.distance;
   };
 
@@ -360,7 +436,7 @@ RotationInvariantIndex::NearestNeighborEuclidean(const Series& query,
                                refine_stats);
     vp = vptree_->NearestNeighbor(qsig.values, refine, &result.counter);
   }
-  const std::size_t m = disk_.num_objects();
+  const std::size_t m = backend_->size();
   if (sig_stats != nullptr) {
     sig_stats->candidates_entered += m;
     sig_stats->candidates_survived += vp.refine_calls;
@@ -370,14 +446,16 @@ RotationInvariantIndex::NearestNeighborEuclidean(const Series& query,
     metrics->index.signature_evals += vp.metric_evals;
     metrics->index.candidates_pruned += m - vp.refine_calls;
     metrics->index.refinements += vp.refine_calls;
-    metrics->index.object_fetches += disk_.object_fetches();
-    metrics->index.page_reads += disk_.page_reads();
   }
   result.best_index = vp.best_id;
   result.best_distance = vp.best_distance;
-  result.object_fetches = disk_.object_fetches();
-  result.page_reads = disk_.page_reads();
-  result.fetch_fraction = disk_.FetchFraction();
+  result.object_fetches = fetch_io.object_fetches;
+  result.page_reads = fetch_io.page_reads;
+  result.fetch_fraction =
+      m == 0 ? 0.0
+             : static_cast<double>(fetch_io.object_fetches) /
+                   static_cast<double>(m);
+  FoldFetchIo(fetch_io, fetch_stats, metrics);
   return result;
 }
 
@@ -393,6 +471,7 @@ RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighborDtw(
       metrics != nullptr ? &metrics->stage(obs::StageId::kRefine) : nullptr;
   obs::WedgeStats* wedge_stats =
       metrics != nullptr ? &metrics->wedge : nullptr;
+  storage::FetchStats fetch_io;
 
   WedgeSearchOptions wopts;
   wopts.kind = DistanceKind::kDtw;
@@ -441,10 +520,10 @@ RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighborDtw(
   for (const auto& [lb, id] : order) {
     if (lb >= best) break;  // every further bound is at least as large
     ++refined;
-    const Series* c = nullptr;
+    storage::SeriesHandle c;
     {
       const obs::StageScope scope(fetch_stats, &result.counter);
-      c = &disk_.Fetch(id);
+      c = backend_->Fetch(static_cast<std::size_t>(id), &fetch_io);
     }
     if (fetch_stats != nullptr) {
       ++fetch_stats->candidates_entered;
@@ -452,7 +531,7 @@ RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighborDtw(
     }
     const obs::StageScope scope(refine_stats, &result.counter);
     const HMergeResult r =
-        searcher->Distance(c->data(), best, &result.counter, wedge_stats);
+        searcher->Distance(c.data(), best, &result.counter, wedge_stats);
     if (refine_stats != nullptr) {
       ++refine_stats->candidates_entered;
       ++(r.abandoned ? refine_stats->candidates_pruned
@@ -461,7 +540,7 @@ RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighborDtw(
     if (!r.abandoned && r.distance < best) {
       best = r.distance;
       result.best_index = id;
-      searcher->AdaptK(c->data(), best, &result.counter, wedge_stats);
+      searcher->AdaptK(c.data(), best, &result.counter, wedge_stats);
     }
   }
   if (sig_stats != nullptr) {
@@ -473,13 +552,15 @@ RotationInvariantIndex::Result RotationInvariantIndex::NearestNeighborDtw(
     metrics->index.signature_evals += lb_evals;
     metrics->index.candidates_pruned += m - refined;
     metrics->index.refinements += refined;
-    metrics->index.object_fetches += disk_.object_fetches();
-    metrics->index.page_reads += disk_.page_reads();
   }
   result.best_distance = best;
-  result.object_fetches = disk_.object_fetches();
-  result.page_reads = disk_.page_reads();
-  result.fetch_fraction = disk_.FetchFraction();
+  result.object_fetches = fetch_io.object_fetches;
+  result.page_reads = fetch_io.page_reads;
+  result.fetch_fraction =
+      m == 0 ? 0.0
+             : static_cast<double>(fetch_io.object_fetches) /
+                   static_cast<double>(m);
+  FoldFetchIo(fetch_io, fetch_stats, metrics);
   return result;
 }
 

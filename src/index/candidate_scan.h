@@ -9,21 +9,22 @@
 #include "src/core/series.h"
 #include "src/core/status.h"
 #include "src/core/step_counter.h"
-#include "src/index/disk.h"
 #include "src/index/paa.h"
 #include "src/index/vptree.h"
 #include "src/obs/metrics.h"
 #include "src/search/hmerge.h"
+#include "src/storage/backend.h"
 
 namespace rotind {
 
 /// Disk-aware exact rotation-invariant index (paper Section 4.2 / 5.4).
 ///
-/// Full series live on a SimulatedDisk; only D-dimensional signatures stay
-/// in memory. A query is answered by (a) pruning in signature space with a
-/// lower bound of the true rotation-invariant distance, and (b) fetching
-/// and refining the survivors with H-Merge. Both paths are exact (no false
-/// dismissals):
+/// Full series live behind a storage::StorageBackend (the paper-parity
+/// SimulatedBackend by default; a real paged FileBackend via OpenFromFile);
+/// only D-dimensional signatures stay in memory. A query is answered by
+/// (a) pruning in signature space with a lower bound of the true
+/// rotation-invariant distance, and (b) fetching and refining the
+/// survivors with H-Merge. Both paths are exact (no false dismissals):
 ///
 ///  * Euclidean: FFT-magnitude signatures (rotation-invariant, metric, and
 ///    a lower bound of RED) pruned with a VP-tree — the paper's Table 7.
@@ -63,6 +64,17 @@ class RotationInvariantIndex {
   [[nodiscard]] static StatusOr<std::unique_ptr<RotationInvariantIndex>> Create(
       const std::vector<Series>& db, const Options& options);
 
+  /// Opens a paged RIDX index file (written by BuildIndexFile /
+  /// `rotind index build`) and serves queries through a FileBackend: the
+  /// file's resident FFT/PAA signature sections feed the in-memory pruning
+  /// structures, and every refinement fetch goes through a BufferPool of
+  /// `pool_pages` frames. `options.dims` is taken from the file (the
+  /// signatures are already computed); kind/band/rotation still apply.
+  [[nodiscard]] static StatusOr<std::unique_ptr<RotationInvariantIndex>>
+  OpenFromFile(
+      const std::string& path, const Options& options, std::size_t pool_pages,
+      storage::EvictionPolicy eviction = storage::EvictionPolicy::kLru);
+
   struct Result {
     int best_index = -1;
     double best_distance = 0.0;
@@ -95,8 +107,19 @@ class RotationInvariantIndex {
                                           Result* stats = nullptr,
                                           obs::QueryMetrics* metrics = nullptr);
 
-  std::size_t size() const { return disk_.num_objects(); }
-  const SimulatedDisk& disk() const { return disk_; }
+  std::size_t size() const { return backend_->size(); }
+  /// The storage behind refinement fetches (simulated unless OpenFromFile).
+  const storage::StorageBackend& backend() const { return *backend_; }
+
+  /// Passkey for the OpenFromFile construction path: only the class can
+  /// mint an OpenKey, so this ctor (which wires no storage or signatures)
+  /// stays unusable from outside while remaining make_unique-friendly.
+  class OpenKey {
+    friend class RotationInvariantIndex;
+    OpenKey() = default;
+  };
+  RotationInvariantIndex(OpenKey, const Options& options)
+      : options_(options) {}
 
  private:
   Result NearestNeighborEuclidean(const Series& query,
@@ -104,7 +127,7 @@ class RotationInvariantIndex {
   Result NearestNeighborDtw(const Series& query, obs::QueryMetrics* metrics);
 
   Options options_;
-  SimulatedDisk disk_;
+  std::unique_ptr<storage::StorageBackend> backend_;
   /// Euclidean path: spectral signatures + VP-tree.
   std::unique_ptr<VpTree> vptree_;
   std::vector<std::vector<double>> spectral_signatures_;

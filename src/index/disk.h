@@ -1,69 +1,16 @@
 #ifndef ROTIND_INDEX_DISK_H_
 #define ROTIND_INDEX_DISK_H_
 
-#include <cstddef>
-#include <cstdint>
-#include <vector>
+// SimulatedDisk moved to the storage layer (src/storage/simulated_disk.h)
+// when the real paged storage engine landed: the simulated accounting is
+// now one StorageBackend among three (in-memory, simulated, file). This
+// forwarding header keeps existing includes and the unqualified
+// rotind::SimulatedDisk spelling working.
 
-#include "src/core/series.h"
-#include "src/core/status.h"
+#include "src/storage/simulated_disk.h"
 
 namespace rotind {
-
-/// A simulated paged object store. The paper's Section 5.4 measures "the
-/// fraction of items that must be retrieved from disk"; this class is the
-/// accounting substrate: full time series live "on disk", indexes keep only
-/// compressed signatures in memory, and every Fetch is tallied (object
-/// fetches and the page reads they imply, assuming series are stored
-/// contiguously in `page_size_bytes` pages).
-class SimulatedDisk {
- public:
-  explicit SimulatedDisk(std::size_t page_size_bytes = 4096);
-
-  /// Stores a series; returns its object id (dense, starting at 0).
-  int Store(const Series& s);
-
-  /// Stores a whole database in order.
-  void StoreAll(const std::vector<Series>& db);
-
-  /// Whether `id` names a stored object.
-  bool Contains(int id) const {
-    return id >= 0 && static_cast<std::size_t>(id) < objects_.size();
-  }
-
-  /// Reads an object back, counting the access. Returns kOutOfRange for an
-  /// invalid id (no access is counted).
-  [[nodiscard]] StatusOr<const Series*> TryFetch(int id);
-
-  /// Reads without counting (for test verification / setup).
-  [[nodiscard]] StatusOr<const Series*> TryPeek(int id) const;
-
-  /// Reference-returning conveniences for callers that already validated
-  /// `id` (internal index code fetches only ids it stored). Bounds-checked:
-  /// an invalid id returns a reference to a shared empty Series and counts
-  /// nothing — defined behavior, never UB.
-  const Series& Fetch(int id);
-  const Series& Peek(int id) const;
-
-  std::size_t num_objects() const { return objects_.size(); }
-
-  std::uint64_t object_fetches() const { return object_fetches_; }
-  std::uint64_t page_reads() const { return page_reads_; }
-
-  /// Fraction of stored objects fetched so far — Figure 24's y-axis.
-  /// (Counts fetches, not distinct objects; search algorithms fetch each
-  /// object at most once.)
-  double FetchFraction() const;
-
-  void ResetCounters();
-
- private:
-  std::size_t page_size_bytes_;
-  std::vector<Series> objects_;
-  std::uint64_t object_fetches_ = 0;
-  std::uint64_t page_reads_ = 0;
-};
-
+using storage::SimulatedDisk;
 }  // namespace rotind
 
 #endif  // ROTIND_INDEX_DISK_H_

@@ -1,0 +1,33 @@
+#include "src/io/bytes.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rotind {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed on " + path);
+  return std::move(buf).str();
+}
+
+std::uint64_t Fnv1a64Seeded(const void* data, std::size_t n,
+                            std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+std::uint64_t Fnv1a64(const void* data, std::size_t n) {
+  return Fnv1a64Seeded(data, n, kFnv1aOffset);
+}
+
+}  // namespace rotind

@@ -1,0 +1,81 @@
+#ifndef ROTIND_IO_BYTES_H_
+#define ROTIND_IO_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+#include <string>
+
+#include "src/core/status.h"
+
+namespace rotind {
+
+/// Low-level binary I/O building blocks shared by the dataset container
+/// (src/io/serialize) and the paged index-file format (src/storage). These
+/// are the only primitives that touch raw bytes; every format on top of
+/// them inherits the same bounds discipline.
+
+/// Bounds-checked cursor over an untrusted in-memory file image. Every read
+/// is validated against the remaining byte count; nothing is allocated on
+/// behalf of header fields until they have been proven to fit.
+class BufferReader {
+ public:
+  BufferReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t position() const { return pos_; }
+
+  template <typename T>
+  bool Read(T* out) {
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* out, std::size_t n) {
+    if (remaining() < n) return false;
+    if (n != 0) std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// Advances the cursor without copying. Fails (and leaves the cursor in
+  /// place) when fewer than `n` bytes remain.
+  bool Skip(std::size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes the raw object representation of a trivially-copyable value.
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Slurps a whole file into memory. kNotFound when it cannot be opened,
+/// kIoError when the read fails partway.
+[[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// 64-bit FNV-1a over a byte range. Used as the integrity checksum of the
+/// index-file header, catalog, resident sections, and data pages. Not
+/// cryptographic — it detects truncation and bit flips, not adversaries.
+std::uint64_t Fnv1a64(const void* data, std::size_t n);
+
+/// Chained variant for checksumming discontiguous ranges: pass the previous
+/// result as `seed`. `Fnv1a64(p, n) == Fnv1a64Seeded(p, n, kFnv1aOffset)`.
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+std::uint64_t Fnv1a64Seeded(const void* data, std::size_t n,
+                            std::uint64_t seed);
+
+}  // namespace rotind
+
+#endif  // ROTIND_IO_BYTES_H_

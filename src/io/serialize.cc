@@ -10,6 +10,8 @@
 #include <sstream>
 #include <vector>
 
+#include "src/io/bytes.h"
+
 namespace rotind {
 namespace {
 
@@ -20,45 +22,10 @@ constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 1 + 1;
 /// Per-item name strings longer than this are considered corrupt.
 constexpr std::uint32_t kMaxNameBytes = 1u << 20;
 
-template <typename T>
-void WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
 void WriteString(std::ostream& out, const std::string& s) {
   WritePod(out, static_cast<std::uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
-
-/// Bounds-checked cursor over an untrusted in-memory file image. Every read
-/// is validated against the remaining byte count; nothing is allocated on
-/// behalf of header fields until they have been proven to fit.
-class BufferReader {
- public:
-  BufferReader(const char* data, std::size_t size) : data_(data), size_(size) {}
-
-  std::size_t remaining() const { return size_ - pos_; }
-
-  template <typename T>
-  bool Read(T* out) {
-    if (remaining() < sizeof(T)) return false;
-    std::memcpy(out, data_ + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
-  }
-
-  bool ReadBytes(void* out, std::size_t n) {
-    if (remaining() < n) return false;
-    std::memcpy(out, data_ + pos_, n);
-    pos_ += n;
-    return true;
-  }
-
- private:
-  const char* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
 
 Status ValidateDatasetForSave(const Dataset& dataset) {
   for (std::size_t i = 0; i < dataset.size(); ++i) {
@@ -77,15 +44,6 @@ Status ValidateDatasetForSave(const Dataset& dataset) {
     }
   }
   return Status::Ok();
-}
-
-StatusOr<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) return Status::IoError("read failed on " + path);
-  return std::move(buf).str();
 }
 
 /// Quote an untrusted token for an error message: cap the length and

@@ -70,6 +70,10 @@ StageStats& StageStats::operator+=(const StageStats& o) {
   setup_steps += o.setup_steps;
   early_abandons += o.early_abandons;
   wall_nanos += o.wall_nanos;
+  pool_hits += o.pool_hits;
+  pages_read += o.pages_read;
+  pool_evictions += o.pool_evictions;
+  io_bytes += o.io_bytes;
   used = used || o.used;
   return *this;
 }
@@ -191,7 +195,16 @@ std::string QueryMetrics::ToJson(int indent) const {
     AppendU64(&out, p3, "steps", s.steps, true);
     AppendU64(&out, p3, "setup_steps", s.setup_steps, true);
     AppendU64(&out, p3, "early_abandons", s.early_abandons, true);
-    AppendU64(&out, p3, "wall_nanos", s.wall_nanos, false);
+    AppendU64(&out, p3, "wall_nanos", s.wall_nanos, s.has_io());
+    // Storage I/O keys appear only when the stage did real I/O, so
+    // in-memory runs (and the committed BENCH_scan baseline) keep their
+    // exact JSON shape.
+    if (s.has_io()) {
+      AppendU64(&out, p3, "pool_hits", s.pool_hits, true);
+      AppendU64(&out, p3, "pages_read", s.pages_read, true);
+      AppendU64(&out, p3, "pool_evictions", s.pool_evictions, true);
+      AppendU64(&out, p3, "io_bytes", s.io_bytes, false);
+    }
     out += p2 + "}";
   }
   out += "\n" + p1 + "],\n";

@@ -68,10 +68,22 @@ struct StageStats {
   /// stage setup). Only meaningful on the machine that recorded it; never
   /// compared across runs.
   std::uint64_t wall_nanos = 0;
+  /// Storage I/O attributed to this stage (populated for kDiskFetch when a
+  /// query runs over a real StorageBackend; all zero otherwise and then
+  /// omitted from the JSON). pages_read counts pages fetched from the
+  /// medium — buffer-pool misses on the file backend, simulated page reads
+  /// on the accounting backend.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pages_read = 0;
+  std::uint64_t pool_evictions = 0;
+  std::uint64_t io_bytes = 0;
   /// Whether this stage participated in at least one query.
   bool used = false;
 
   std::uint64_t total_steps() const { return steps + setup_steps; }
+  bool has_io() const {
+    return (pool_hits | pages_read | pool_evictions | io_bytes) != 0;
+  }
   StageStats& operator+=(const StageStats& o);
 };
 

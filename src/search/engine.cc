@@ -12,6 +12,7 @@
 #include <queue>
 #include <thread>
 
+#include "src/core/contracts.h"
 #include "src/distance/euclidean.h"
 #include "src/fourier/spectral.h"
 #include "src/search/lcss_search.h"
@@ -397,20 +398,47 @@ class QueryCascade {
 
 constexpr std::size_t kNoHoldout = std::numeric_limits<std::size_t>::max();
 
-/// The one generic driver behind 1-NN, k-NN, and range search. `Collector`
-/// supplies the pruning threshold and absorbs accepted matches:
+/// Folds a query's accumulated backend I/O into the observability layer:
+/// object/page totals into IndexStats, pool activity into the kDiskFetch
+/// stage. Called only for backends that do real I/O, so in-memory runs
+/// keep their exact metrics shape.
+void FoldFetchIo(const storage::FetchStats& io, obs::StageStats* fetch_stats,
+                 obs::QueryMetrics* metrics) {
+  if (metrics != nullptr) {
+    metrics->index.object_fetches += io.object_fetches;
+    metrics->index.page_reads += io.page_reads;
+  }
+  if (fetch_stats != nullptr) {
+    fetch_stats->candidates_entered += io.object_fetches;
+    fetch_stats->candidates_survived += io.object_fetches;
+    fetch_stats->pool_hits += io.pool_hits;
+    fetch_stats->pages_read += io.page_reads;
+    fetch_stats->pool_evictions += io.pool_evictions;
+    fetch_stats->io_bytes += io.bytes_read;
+  }
+}
+
+/// The one generic driver behind 1-NN, k-NN, and range search. `Fetch`
+/// maps a database index to a storage::SeriesHandle (fetched exactly once
+/// per candidate and held alive across the cascade pass plus the improve
+/// hook); `Collector` supplies the pruning threshold and absorbs accepted
+/// matches:
 ///   double threshold() const;
 ///   bool Offer(std::size_t index, const CandidateMatch&);  // true -> improved
-template <typename GetItem, typename Collector>
-void RunScan(std::size_t db_size, const GetItem& item, std::size_t holdout,
+template <typename Fetch, typename Collector>
+void RunScan(std::size_t db_size, const Fetch& fetch, std::size_t holdout,
              QueryCascade& cascade, Collector& collector,
              StepCounter* counter) {
   for (std::size_t i = 0; i < db_size; ++i) {
     if (i == holdout) continue;
+    const storage::SeriesHandle h = fetch(i);
+    // An invalid handle means a storage I/O failure; the backend has
+    // latched the Status (surfaced by the Checked entry points).
+    if (!h.valid()) continue;
     const CandidateMatch m =
-        cascade.Compare(item(i), collector.threshold(), counter);
+        cascade.Compare(h.data(), collector.threshold(), counter);
     if (m.found && collector.Offer(i, m)) {
-      cascade.NotifyImproved(item(i), collector.threshold(), counter);
+      cascade.NotifyImproved(h.data(), collector.threshold(), counter);
     }
   }
 }
@@ -617,8 +645,19 @@ void ParallelFor(std::size_t count, int num_threads,
 }
 
 QueryEngine::QueryEngine(const FlatDataset& db, const EngineOptions& options)
-    : flat_(&db), options_(options) {
+    : options_(options) {
   options_.cascade = options.cascade.Normalized(options.kind);
+  ROTIND_CONTRACT(
+      options_.storage.backend != storage::BackendKind::kFile,
+      "opening an index file can fail; the borrowing constructor cannot "
+      "report it — use QueryEngine::Open for the file backend");
+  StatusOr<std::unique_ptr<storage::StorageBackend>> opened =
+      storage::OpenBackend(options_.storage, &db);
+  // In-memory and simulated kinds cannot fail with a non-null source; the
+  // release-build escape hatch for a (contract-violating) file request is
+  // the zero-copy default.
+  backend_ = opened.ok() ? *std::move(opened)
+                         : std::make_unique<storage::InMemoryBackend>(db);
 }
 
 QueryEngine::QueryEngine(const std::vector<Series>& db,
@@ -627,17 +666,43 @@ QueryEngine::QueryEngine(const std::vector<Series>& db,
   options_.cascade = options.cascade.Normalized(options.kind);
 }
 
+QueryEngine::QueryEngine(std::unique_ptr<storage::StorageBackend> backend,
+                         const EngineOptions& options)
+    : backend_(std::move(backend)), options_(options) {
+  options_.cascade = options.cascade.Normalized(options.kind);
+  ROTIND_CONTRACT(backend_ != nullptr,
+                  "the backend-owning constructor needs a backend");
+}
+
+StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
+    const EngineOptions& options, const FlatDataset* in_memory_source) {
+  StatusOr<std::unique_ptr<storage::StorageBackend>> backend =
+      storage::OpenBackend(options.storage, in_memory_source);
+  if (!backend.ok()) return backend.status();
+  return std::make_unique<QueryEngine>(*std::move(backend), options);
+}
+
 std::size_t QueryEngine::database_size() const {
-  return flat_ != nullptr ? flat_->size() : vec_->size();
+  return vec_ != nullptr ? vec_->size() : backend_->size();
 }
 
 std::size_t QueryEngine::database_length() const {
-  if (flat_ != nullptr) return flat_->length();
-  return vec_->empty() ? 0 : (*vec_)[0].size();
+  if (vec_ != nullptr) return vec_->empty() ? 0 : (*vec_)[0].size();
+  return backend_->length();
 }
 
-const double* QueryEngine::item(std::size_t i) const {
-  return flat_ != nullptr ? flat_->data(i) : (*vec_)[i].data();
+storage::SeriesHandle QueryEngine::FetchCandidate(
+    std::size_t i, storage::FetchStats* io) const {
+  if (vec_ != nullptr) {
+    return storage::SeriesHandle::Borrowed((*vec_)[i].data(),
+                                           (*vec_)[i].size());
+  }
+  return backend_->Fetch(i, io);
+}
+
+bool QueryEngine::BackendDoesIo() const {
+  return backend_ != nullptr &&
+         backend_->backend_kind() != storage::BackendKind::kInMemory;
 }
 
 ScanResult QueryEngine::Search(const Series& query,
@@ -653,9 +718,19 @@ ScanResult QueryEngine::SearchLeaveOneOut(const Series& query,
   const QueryLatencyScope latency(metrics);
   QueryCascade cascade(query, options_, &result.counter, metrics);
   BestCollector collector(&result);
+  storage::FetchStats fetch_io;
+  obs::StageStats* fetch_stats =
+      metrics != nullptr && BackendDoesIo()
+          ? &metrics->stage(obs::StageId::kDiskFetch)
+          : nullptr;
   RunScan(
-      database_size(), [this](std::size_t i) { return item(i); }, holdout,
-      cascade, collector, &result.counter);
+      database_size(),
+      [&](std::size_t i) {
+        const StageScope scope(fetch_stats, &result.counter);
+        return FetchCandidate(i, &fetch_io);
+      },
+      holdout, cascade, collector, &result.counter);
+  if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
   return result;
 }
 
@@ -673,9 +748,19 @@ std::vector<Neighbor> QueryEngine::KnnLeaveOneOut(
   const QueryLatencyScope latency(metrics);
   QueryCascade cascade(query, options_, cnt, metrics);
   KnnCollector collector(k);
+  storage::FetchStats fetch_io;
+  obs::StageStats* fetch_stats =
+      metrics != nullptr && BackendDoesIo()
+          ? &metrics->stage(obs::StageId::kDiskFetch)
+          : nullptr;
   RunScan(
-      database_size(), [this](std::size_t i) { return item(i); }, holdout,
-      cascade, collector, cnt);
+      database_size(),
+      [&](std::size_t i) {
+        const StageScope scope(fetch_stats, cnt);
+        return FetchCandidate(i, &fetch_io);
+      },
+      holdout, cascade, collector, cnt);
+  if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
   return collector.Take();
 }
 
@@ -687,9 +772,19 @@ std::vector<Neighbor> QueryEngine::Range(const Series& query, double radius,
   const QueryLatencyScope latency(metrics);
   QueryCascade cascade(query, options_, cnt, metrics);
   RangeCollector collector(radius);
+  storage::FetchStats fetch_io;
+  obs::StageStats* fetch_stats =
+      metrics != nullptr && BackendDoesIo()
+          ? &metrics->stage(obs::StageId::kDiskFetch)
+          : nullptr;
   RunScan(
-      database_size(), [this](std::size_t i) { return item(i); }, kNoHoldout,
-      cascade, collector, cnt);
+      database_size(),
+      [&](std::size_t i) {
+        const StageScope scope(fetch_stats, cnt);
+        return FetchCandidate(i, &fetch_io);
+      },
+      kNoHoldout, cascade, collector, cnt);
+  if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
   return collector.Take();
 }
 
@@ -724,7 +819,14 @@ Status QueryEngine::ValidateQuery(const Series& query) const {
 StatusOr<ScanResult> QueryEngine::SearchChecked(const Series& query) const {
   Status valid = ValidateQuery(query);
   if (!valid.ok()) return valid;
-  return Search(query);
+  ScanResult result = Search(query);
+  if (backend_ != nullptr) {
+    // A storage failure mid-scan silently skips candidates in the
+    // unchecked path; here it must invalidate the result.
+    Status io = backend_->error();
+    if (!io.ok()) return io;
+  }
+  return result;
 }
 
 StatusOr<std::vector<Neighbor>> QueryEngine::KnnChecked(
@@ -734,7 +836,12 @@ StatusOr<std::vector<Neighbor>> QueryEngine::KnnChecked(
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
   }
-  return Knn(query, k, counter);
+  std::vector<Neighbor> result = Knn(query, k, counter);
+  if (backend_ != nullptr) {
+    Status io = backend_->error();
+    if (!io.ok()) return io;
+  }
+  return result;
 }
 
 StatusOr<std::vector<Neighbor>> QueryEngine::RangeChecked(
@@ -745,7 +852,12 @@ StatusOr<std::vector<Neighbor>> QueryEngine::RangeChecked(
     return Status::InvalidArgument("radius must be finite and >= 0, got " +
                                    std::to_string(radius));
   }
-  return Range(query, radius, counter);
+  std::vector<Neighbor> result = Range(query, radius, counter);
+  if (backend_ != nullptr) {
+    Status io = backend_->error();
+    if (!io.ok()) return io;
+  }
+  return result;
 }
 
 std::vector<ScanResult> QueryEngine::SearchBatch(

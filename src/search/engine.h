@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/core/flat_dataset.h"
@@ -14,6 +15,7 @@
 #include "src/obs/metrics.h"
 #include "src/search/hmerge.h"
 #include "src/search/scan.h"
+#include "src/storage/backend.h"
 
 namespace rotind {
 
@@ -69,6 +71,11 @@ struct EngineOptions {
   RotationOptions rotation;
   WedgePolicy wedge;
   CascadeSpec cascade;
+  /// Where candidate series live: in-memory borrow (default), the paper's
+  /// simulated-disk accounting, or a paged RIDX index file behind a
+  /// BufferPool (file selection requires QueryEngine::Open — the borrowing
+  /// constructors cannot report an open failure).
+  storage::StorageOptions storage;
 };
 
 /// Maps a legacy (algorithm, options) pair onto the engine configuration
@@ -109,21 +116,44 @@ void ParallelFor(std::size_t count, int num_threads,
 /// Stage attribution is exact: per-stage steps + setup_steps sum to the
 /// query's StepCounter::total_steps().
 ///
-/// The engine borrows its database (FlatDataset or legacy vector<Series>);
-/// the storage must outlive the engine. All search methods are const and
-/// thread-compatible: concurrent calls on one engine are safe because
+/// Candidate series are fetched through a storage::StorageBackend: a
+/// zero-copy in-memory borrow by default, the paper's simulated-disk
+/// accounting, or a real paged index file behind a BufferPool — selected by
+/// EngineOptions::storage. The borrowed source (FlatDataset or legacy
+/// vector<Series>) must outlive the engine. All search methods are const
+/// and thread-compatible: concurrent calls on one engine are safe because
 /// per-query state (rotation sets, wedge trees, signatures) is built per
-/// call — this is what SearchBatch relies on.
+/// call and the backends are internally synchronized — this is what
+/// SearchBatch relies on.
 class QueryEngine {
  public:
-  /// Engine over contiguous storage (the fast path).
+  /// Engine over contiguous storage (the fast path). Honors
+  /// options.storage for the in-memory and simulated backends; asking for
+  /// the file backend here is a contract violation (open can fail) — use
+  /// Open().
   explicit QueryEngine(const FlatDataset& db,
                        const EngineOptions& options = {});
 
   /// Non-owning adapter over legacy storage; no copy is made. Prefer
-  /// FlatDataset for cache-friendly scans.
+  /// FlatDataset for cache-friendly scans. Always direct borrows
+  /// (options.storage is ignored — ragged legacy storage predates the
+  /// backend abstraction).
   explicit QueryEngine(const std::vector<Series>& db,
                        const EngineOptions& options = {});
+
+  /// Engine owning an explicit backend (the composition root for tests and
+  /// Open()).
+  QueryEngine(std::unique_ptr<storage::StorageBackend> backend,
+              const EngineOptions& options = {});
+
+  /// Builds the backend options.storage asks for and the engine over it.
+  /// This is the only way to get a file-backed engine: opening the index
+  /// can fail (kNotFound, kBadMagic, ...) and the Status must reach the
+  /// caller. `in_memory_source` feeds the in-memory/simulated kinds and is
+  /// ignored for kFile.
+  [[nodiscard]] static StatusOr<std::unique_ptr<QueryEngine>> Open(
+      const EngineOptions& options,
+      const FlatDataset* in_memory_source = nullptr);
 
   /// Borrowing a temporary database would dangle immediately; forbidden.
   explicit QueryEngine(FlatDataset&&, const EngineOptions& = {}) = delete;
@@ -131,6 +161,9 @@ class QueryEngine {
       delete;
 
   const EngineOptions& options() const { return options_; }
+  /// The storage candidates are fetched from (null only for the legacy
+  /// vector<Series> adapter).
+  const storage::StorageBackend* backend() const { return backend_.get(); }
   std::size_t database_size() const;
   /// Common series length of the database (0 when empty).
   std::size_t database_length() const;
@@ -201,10 +234,17 @@ class QueryEngine {
       obs::QueryMetrics* metrics = nullptr) const;
 
  private:
-  const double* item(std::size_t i) const;
+  /// One candidate fetch: a borrow for legacy vector storage, a backend
+  /// fetch (with I/O accounting into `io`) otherwise.
+  storage::SeriesHandle FetchCandidate(std::size_t i,
+                                       storage::FetchStats* io) const;
+  /// True when fetches do attributable I/O (simulated or file backend) —
+  /// gates the kDiskFetch stage so purely in-memory runs keep their
+  /// metrics shape.
+  bool BackendDoesIo() const;
 
-  const FlatDataset* flat_ = nullptr;
   const std::vector<Series>* vec_ = nullptr;
+  std::unique_ptr<storage::StorageBackend> backend_;
   EngineOptions options_;
 };
 

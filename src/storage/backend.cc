@@ -1,0 +1,186 @@
+#include "src/storage/backend.h"
+
+#include <cstring>
+#include <utility>
+
+namespace rotind::storage {
+
+StatusOr<SeriesHandle> StorageBackend::TryFetch(std::size_t i,
+                                                FetchStats* stats) const {
+  if (i >= size()) {
+    return Status::OutOfRange("object id " + std::to_string(i) +
+                              " not in [0, " + std::to_string(size()) + ")");
+  }
+  SeriesHandle handle = Fetch(i, stats);
+  if (!handle.valid()) {
+    Status latched = error();
+    if (!latched.ok()) return latched;
+    return Status::Internal("backend returned an invalid handle");
+  }
+  return handle;
+}
+
+int StorageBackend::label(std::size_t) const { return 0; }
+
+// --------------------------------------------------------------------------
+// InMemoryBackend
+
+SeriesHandle InMemoryBackend::Fetch(std::size_t i, FetchStats* stats) const {
+  if (stats != nullptr) ++stats->object_fetches;
+  return SeriesHandle::Borrowed(flat_->data(i), flat_->length());
+}
+
+int InMemoryBackend::label(std::size_t i) const {
+  return i < flat_->labels().size() ? flat_->labels()[i] : 0;
+}
+
+// --------------------------------------------------------------------------
+// SimulatedBackend
+
+SimulatedBackend::SimulatedBackend(const std::vector<Series>& db,
+                                   std::size_t page_size_bytes)
+    : disk_(page_size_bytes) {
+  disk_.StoreAll(db);
+  length_ = db.empty() ? 0 : db[0].size();
+}
+
+SimulatedBackend::SimulatedBackend(const FlatDataset& flat,
+                                   std::size_t page_size_bytes)
+    : disk_(page_size_bytes), length_(flat.length()) {
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    (void)disk_.Store(flat.Materialize(i));
+  }
+}
+
+SeriesHandle SimulatedBackend::Fetch(std::size_t i, FetchStats* stats) const {
+  const int id = static_cast<int>(i);
+  if (stats != nullptr) {
+    ++stats->object_fetches;
+    const std::uint64_t pages = disk_.PagesSpanned(id);
+    stats->page_reads += pages;
+    stats->bytes_read += pages * disk_.page_size_bytes();
+  }
+  // Fetch() (not Peek) so the disk's own cumulative counters advance in
+  // lockstep with the per-call stats — parity with the pre-backend code.
+  const Series& s = disk_.Fetch(id);
+  return SeriesHandle::Borrowed(s.data(), s.size());
+}
+
+// --------------------------------------------------------------------------
+// FileBackend
+
+FileBackend::FileBackend(std::unique_ptr<IndexFile> file,
+                         std::size_t pool_pages, EvictionPolicy eviction)
+    : file_(std::move(file)), pool_(*file_, pool_pages, eviction) {}
+
+StatusOr<std::unique_ptr<FileBackend>> FileBackend::Open(
+    const std::string& path, std::size_t pool_pages,
+    EvictionPolicy eviction) {
+  StatusOr<std::unique_ptr<IndexFile>> file = IndexFile::Open(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<FileBackend>(
+      new FileBackend(*std::move(file), pool_pages, eviction));
+}
+
+std::unique_ptr<FileBackend> FileBackend::FromIndex(
+    std::unique_ptr<IndexFile> file, std::size_t pool_pages,
+    EvictionPolicy eviction) {
+  return std::unique_ptr<FileBackend>(
+      new FileBackend(std::move(file), pool_pages, eviction));
+}
+
+StatusOr<SeriesHandle> FileBackend::TryFetch(std::size_t i,
+                                             FetchStats* stats) const {
+  if (i >= file_->num_objects()) {
+    return Status::OutOfRange("object id " + std::to_string(i) +
+                              " not in [0, " +
+                              std::to_string(file_->num_objects()) + ")");
+  }
+  const IndexFile::Extent extent = file_->extent(i);
+  const std::size_t page_size = file_->page_size_bytes();
+  const std::size_t first = extent.offset / page_size;
+  const std::size_t last = (extent.offset + extent.bytes - 1) / page_size;
+
+  std::vector<double> values(extent.bytes / sizeof(double));
+  char* dst = reinterpret_cast<char*>(values.data());
+  std::uint64_t copied = 0;
+  for (std::size_t page = first; page <= last; ++page) {
+    BufferPool::PinOutcome outcome;
+    StatusOr<BufferPool::Pinned> pinned = pool_.Pin(page, &outcome);
+    if (!pinned.ok()) return pinned.status();
+    if (stats != nullptr) {
+      if (outcome.hit) {
+        ++stats->pool_hits;
+      } else {
+        ++stats->page_reads;
+      }
+      if (outcome.evicted) ++stats->pool_evictions;
+      stats->bytes_read += outcome.bytes_read;
+    }
+    const std::uint64_t page_start =
+        static_cast<std::uint64_t>(page) * page_size;
+    const std::uint64_t from =
+        page == first ? extent.offset - page_start : 0;
+    const std::uint64_t until =
+        page == last ? extent.offset + extent.bytes - page_start : page_size;
+    std::memcpy(dst + copied, pinned->data() + from, until - from);
+    copied += until - from;
+  }
+  if (stats != nullptr) ++stats->object_fetches;
+  return SeriesHandle::TakeOwned(std::move(values));
+}
+
+SeriesHandle FileBackend::Fetch(std::size_t i, FetchStats* stats) const {
+  StatusOr<SeriesHandle> handle = TryFetch(i, stats);
+  if (handle.ok()) return *std::move(handle);
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (error_.ok()) error_ = handle.status();
+  return SeriesHandle();
+}
+
+int FileBackend::label(std::size_t i) const {
+  const std::vector<int>& labels = file_->labels();
+  return i < labels.size() ? labels[i] : 0;
+}
+
+Status FileBackend::error() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return error_;
+}
+
+// --------------------------------------------------------------------------
+// OpenBackend
+
+StatusOr<std::unique_ptr<StorageBackend>> OpenBackend(
+    const StorageOptions& options, const FlatDataset* in_memory_source) {
+  switch (options.backend) {
+    case BackendKind::kInMemory:
+      if (in_memory_source == nullptr) {
+        return Status::InvalidArgument(
+            "in-memory backend needs a source dataset");
+      }
+      return std::unique_ptr<StorageBackend>(
+          std::make_unique<InMemoryBackend>(*in_memory_source));
+    case BackendKind::kSimulated:
+      if (in_memory_source == nullptr) {
+        return Status::InvalidArgument(
+            "simulated backend needs a source dataset");
+      }
+      return std::unique_ptr<StorageBackend>(
+          std::make_unique<SimulatedBackend>(*in_memory_source,
+                                             options.page_size_bytes));
+    case BackendKind::kFile: {
+      if (options.index_path.empty()) {
+        return Status::InvalidArgument(
+            "file backend needs EngineOptions storage.index_path");
+      }
+      StatusOr<std::unique_ptr<FileBackend>> backend = FileBackend::Open(
+          options.index_path, options.pool_pages, options.eviction);
+      if (!backend.ok()) return backend.status();
+      return std::unique_ptr<StorageBackend>(*std::move(backend));
+    }
+  }
+  return Status::InvalidArgument("unknown backend kind");
+}
+
+}  // namespace rotind::storage

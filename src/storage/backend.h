@@ -1,0 +1,208 @@
+#ifndef ROTIND_STORAGE_BACKEND_H_
+#define ROTIND_STORAGE_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/flat_dataset.h"
+#include "src/core/series.h"
+#include "src/core/status.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/index_file.h"
+#include "src/storage/simulated_disk.h"
+
+namespace rotind::storage {
+
+/// Pluggable candidate-series storage behind the QueryEngine and
+/// RotationInvariantIndex: every refinement fetch goes through one of
+/// these instead of poking a `std::vector<Series>` directly.
+///
+///   kInMemory   zero-copy borrow from a FlatDataset — today's behavior,
+///               no I/O, no accounting beyond the fetch count.
+///   kSimulated  the paper's Section 5.4 accounting stub (SimulatedDisk):
+///               bytes live in RAM but page reads are tallied as if the
+///               series were packed contiguously into fixed-size pages.
+///   kFile       a real paged RIDX index file read with pread through a
+///               BufferPool (pin -> copy -> unpin per page).
+enum class BackendKind { kInMemory, kSimulated, kFile };
+
+/// Per-fetch (or per-query, when accumulated) I/O accounting. The engine
+/// folds these into obs::StageStats under the kDiskFetch stage so
+/// --metrics-json attributes real I/O per query.
+struct FetchStats {
+  std::uint64_t object_fetches = 0;
+  std::uint64_t page_reads = 0;      ///< Pages read from the medium.
+  std::uint64_t pool_hits = 0;       ///< Pages served by the buffer pool.
+  std::uint64_t pool_evictions = 0;  ///< Frames recycled to serve misses.
+  std::uint64_t bytes_read = 0;      ///< Bytes read from the medium.
+
+  FetchStats& operator+=(const FetchStats& other) {
+    object_fetches += other.object_fetches;
+    page_reads += other.page_reads;
+    pool_hits += other.pool_hits;
+    pool_evictions += other.pool_evictions;
+    bytes_read += other.bytes_read;
+    return *this;
+  }
+};
+
+/// A fetched series: either a zero-copy borrow (in-memory and simulated
+/// backends) or an owned buffer assembled from pool pages (file backend).
+/// The pointer stays valid while the handle lives.
+class SeriesHandle {
+ public:
+  SeriesHandle() = default;
+
+  static SeriesHandle Borrowed(const double* data, std::size_t n) {
+    SeriesHandle h;
+    h.borrowed_ = data;
+    h.n_ = n;
+    return h;
+  }
+
+  static SeriesHandle TakeOwned(std::vector<double> values) {
+    SeriesHandle h;
+    h.owned_ = std::move(values);
+    h.n_ = h.owned_.size();
+    return h;
+  }
+
+  bool valid() const { return borrowed_ != nullptr || !owned_.empty(); }
+  const double* data() const {
+    return borrowed_ != nullptr ? borrowed_ : owned_.data();
+  }
+  std::size_t length() const { return n_; }
+
+ private:
+  const double* borrowed_ = nullptr;
+  std::vector<double> owned_;
+  std::size_t n_ = 0;
+};
+
+/// Uniform read interface over the three storages. All methods are const
+/// and thread-safe (SearchBatch shares one backend across workers).
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  virtual BackendKind backend_kind() const = 0;
+  /// Short stable name for logs and JSON: "memory" / "simulated" / "file".
+  virtual const char* name() const = 0;
+  virtual std::size_t size() const = 0;
+  virtual std::size_t length() const = 0;
+
+  /// Fetches object `i` (precondition: i < size()). `stats`, when non-null,
+  /// accumulates the I/O this fetch performed. On an I/O failure the file
+  /// backend returns an invalid handle and latches the Status (see
+  /// error()); the in-memory backends cannot fail.
+  virtual SeriesHandle Fetch(std::size_t i, FetchStats* stats) const = 0;
+
+  /// Validated fetch for tools and untrusted callers: bounds-checked,
+  /// surfaces I/O errors as a Status instead of latching.
+  [[nodiscard]] virtual StatusOr<SeriesHandle> TryFetch(
+      std::size_t i, FetchStats* stats) const;
+
+  /// Class label of object `i` (0 when the backend carries no labels).
+  virtual int label(std::size_t i) const;
+
+  /// First I/O error latched by an unchecked Fetch; OK for healthy
+  /// backends. Engines check this once per query, not per candidate.
+  [[nodiscard]] virtual Status error() const { return Status::Ok(); }
+};
+
+/// Zero-copy over a FlatDataset (which must outlive the backend).
+class InMemoryBackend final : public StorageBackend {
+ public:
+  explicit InMemoryBackend(const FlatDataset& flat) : flat_(&flat) {}
+
+  BackendKind backend_kind() const override { return BackendKind::kInMemory; }
+  const char* name() const override { return "memory"; }
+  std::size_t size() const override { return flat_->size(); }
+  std::size_t length() const override { return flat_->length(); }
+  SeriesHandle Fetch(std::size_t i, FetchStats* stats) const override;
+  int label(std::size_t i) const override;
+
+ private:
+  const FlatDataset* flat_;
+};
+
+/// Wraps SimulatedDisk: real bytes in RAM, paper-parity page accounting.
+class SimulatedBackend final : public StorageBackend {
+ public:
+  SimulatedBackend(const std::vector<Series>& db, std::size_t page_size_bytes);
+  SimulatedBackend(const FlatDataset& flat, std::size_t page_size_bytes);
+
+  BackendKind backend_kind() const override { return BackendKind::kSimulated; }
+  const char* name() const override { return "simulated"; }
+  std::size_t size() const override { return disk_.num_objects(); }
+  std::size_t length() const override { return length_; }
+  SeriesHandle Fetch(std::size_t i, FetchStats* stats) const override;
+
+  const SimulatedDisk& disk() const { return disk_; }
+
+ private:
+  SimulatedDisk disk_;
+  std::size_t length_ = 0;
+};
+
+/// pread-backed RIDX index file behind a BufferPool. Each fetch pins the
+/// pages the object's catalog extent touches, copies the slices into an
+/// owned buffer, and unpins — so a handle never holds pool frames hostage.
+class FileBackend final : public StorageBackend {
+ public:
+  [[nodiscard]] static StatusOr<std::unique_ptr<FileBackend>> Open(
+      const std::string& path, std::size_t pool_pages,
+      EvictionPolicy eviction);
+
+  /// Adopts an already-parsed index (file- or memory-backed); used by
+  /// tests and the fuzzer.
+  static std::unique_ptr<FileBackend> FromIndex(
+      std::unique_ptr<IndexFile> file, std::size_t pool_pages,
+      EvictionPolicy eviction);
+
+  BackendKind backend_kind() const override { return BackendKind::kFile; }
+  const char* name() const override { return "file"; }
+  std::size_t size() const override { return file_->num_objects(); }
+  std::size_t length() const override { return file_->series_length(); }
+  SeriesHandle Fetch(std::size_t i, FetchStats* stats) const override;
+  [[nodiscard]] StatusOr<SeriesHandle> TryFetch(
+      std::size_t i, FetchStats* stats) const override;
+  int label(std::size_t i) const override;
+  [[nodiscard]] Status error() const override;
+
+  const IndexFile& file() const { return *file_; }
+  const BufferPool& pool() const { return pool_; }
+
+ private:
+  FileBackend(std::unique_ptr<IndexFile> file, std::size_t pool_pages,
+              EvictionPolicy eviction);
+
+  std::unique_ptr<IndexFile> file_;
+  mutable BufferPool pool_;
+  mutable std::mutex error_mutex_;
+  mutable Status error_;  ///< First failure from an unchecked Fetch.
+};
+
+/// Backend selection, carried inside EngineOptions. kInMemory and
+/// kSimulated build over the caller's dataset; kFile opens `index_path`.
+struct StorageOptions {
+  BackendKind backend = BackendKind::kInMemory;
+  std::string index_path;               ///< kFile: RIDX file to open.
+  std::size_t pool_pages = 64;          ///< kFile: BufferPool capacity.
+  EvictionPolicy eviction = EvictionPolicy::kLru;
+  std::size_t page_size_bytes = 4096;   ///< kSimulated page size.
+};
+
+/// Builds the backend `options` asks for. `in_memory_source` is required
+/// for kInMemory (borrowed — must outlive the backend) and kSimulated
+/// (copied); it is ignored for kFile.
+[[nodiscard]] StatusOr<std::unique_ptr<StorageBackend>> OpenBackend(
+    const StorageOptions& options, const FlatDataset* in_memory_source);
+
+}  // namespace rotind::storage
+
+#endif  // ROTIND_STORAGE_BACKEND_H_

@@ -1,0 +1,140 @@
+#ifndef ROTIND_STORAGE_BUFFER_POOL_H_
+#define ROTIND_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/status.h"
+
+namespace rotind::storage {
+
+/// Anything that can produce fixed-size pages by index. IndexFile is the
+/// production implementation (pread + checksum verify); tests substitute
+/// in-memory and fault-injecting sources.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+  virtual std::size_t page_size_bytes() const = 0;
+  virtual std::size_t num_pages() const = 0;
+  /// Fills `out` (page_size_bytes() bytes) with page `page`.
+  [[nodiscard]] virtual Status ReadPage(std::size_t page, char* out) const = 0;
+};
+
+/// Which frame to sacrifice when the pool is full and a new page faults in.
+enum class EvictionPolicy {
+  kLru,    ///< Evict the unpinned frame touched least recently.
+  kClock,  ///< Second-chance sweep: clear reference bits until one is cold.
+};
+
+/// Cumulative pool activity since construction. Snapshot via counters().
+struct PoolCounters {
+  std::uint64_t hits = 0;        ///< Pins served from a resident frame.
+  std::uint64_t misses = 0;      ///< Pins that had to read from the source.
+  std::uint64_t evictions = 0;   ///< Occupied frames recycled for a miss.
+  std::uint64_t bytes_read = 0;  ///< Bytes fetched from the source.
+};
+
+/// A fixed-capacity page cache with pin counts.
+///
+/// Frames are preallocated at construction (capacity * page_size bytes), so
+/// a frame's data pointer is stable for the pool's lifetime and a Pinned
+/// handle can be held across other Pin calls. A pinned frame is never
+/// evicted; when every frame is pinned and a new page faults, Pin fails
+/// with kInvalidArgument rather than exceed capacity.
+///
+/// Thread safety: all operations are serialized on one internal mutex
+/// (including the source read on a miss — simple and correct; the scale
+/// this library targets does not need lock-free page faults). Safe for the
+/// deterministic SearchBatch path: concurrent pins of the same page share
+/// the frame, and counters are totals, not per-thread.
+class BufferPool {
+ public:
+  /// `source` must outlive the pool. `capacity_pages` is clamped to >= 1.
+  BufferPool(const PageSource& source, std::size_t capacity_pages,
+             EvictionPolicy policy);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Per-call outcome, for callers that attribute I/O to a query stage.
+  struct PinOutcome {
+    bool hit = false;
+    bool evicted = false;
+    std::uint64_t bytes_read = 0;
+  };
+
+  /// RAII pin: the page stays resident while any Pinned for it lives.
+  class Pinned {
+   public:
+    Pinned() = default;
+    Pinned(Pinned&& other) noexcept { *this = static_cast<Pinned&&>(other); }
+    Pinned& operator=(Pinned&& other) noexcept;
+    Pinned(const Pinned&) = delete;
+    Pinned& operator=(const Pinned&) = delete;
+    ~Pinned() { Release(); }
+
+    bool valid() const { return pool_ != nullptr; }
+    /// Page bytes; valid while this handle lives.
+    const char* data() const { return data_; }
+    std::size_t page() const { return page_; }
+    /// Unpins early (idempotent).
+    void Release();
+
+   private:
+    friend class BufferPool;
+    Pinned(BufferPool* pool, std::size_t frame, const char* data,
+           std::size_t page)
+        : pool_(pool), frame_(frame), data_(data), page_(page) {}
+    BufferPool* pool_ = nullptr;
+    std::size_t frame_ = 0;
+    const char* data_ = nullptr;
+    std::size_t page_ = 0;
+  };
+
+  /// Pins `page`, faulting it in from the source if absent. Fails with
+  /// kOutOfRange for a page the source does not have, kInvalidArgument
+  /// when every frame is pinned (capacity would be exceeded), or the
+  /// source's own error when the read fails.
+  [[nodiscard]] StatusOr<Pinned> Pin(std::size_t page,
+                                     PinOutcome* outcome = nullptr);
+
+  std::size_t capacity_pages() const { return frames_.size(); }
+  std::size_t page_size_bytes() const { return page_size_; }
+  EvictionPolicy policy() const { return policy_; }
+  /// Frames currently holding a page (pinned or not).
+  std::size_t resident_pages() const;
+  /// Frames with at least one live pin. Never exceeds capacity_pages().
+  std::size_t pinned_pages() const;
+  PoolCounters counters() const;
+
+ private:
+  struct Frame {
+    std::vector<char> data;
+    std::size_t page = 0;
+    bool occupied = false;
+    std::uint32_t pins = 0;
+    std::uint64_t last_use = 0;  ///< LRU recency stamp.
+    bool referenced = false;     ///< Clock second-chance bit.
+  };
+
+  void Unpin(std::size_t frame);
+  /// Picks the frame to receive a faulted page: a free frame if any,
+  /// otherwise an unpinned victim per the policy. Requires lock held.
+  [[nodiscard]] StatusOr<std::size_t> PickFrameLocked();
+
+  const PageSource& source_;
+  const std::size_t page_size_;
+  const EvictionPolicy policy_;
+  mutable std::mutex mutex_;
+  std::vector<Frame> frames_;
+  std::unordered_map<std::size_t, std::size_t> page_to_frame_;
+  std::uint64_t tick_ = 0;   ///< Monotonic use counter for LRU.
+  std::size_t hand_ = 0;     ///< Clock sweep position.
+  PoolCounters counters_;
+};
+
+}  // namespace rotind::storage
+
+#endif  // ROTIND_STORAGE_BUFFER_POOL_H_

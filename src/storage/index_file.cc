@@ -1,0 +1,471 @@
+#include "src/storage/index_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/io/bytes.h"
+
+namespace rotind::storage {
+namespace {
+
+std::uint64_t AlignUp(std::uint64_t value, std::uint64_t alignment) {
+  const std::uint64_t rem = value % alignment;
+  return rem == 0 ? value : value + (alignment - rem);
+}
+
+/// Header fields plus every derived size, all validated against the actual
+/// container size BEFORE any allocation (same discipline as the dataset
+/// loader: a malicious 64-byte file cannot request a multi-GB resize).
+struct HeaderInfo {
+  std::uint64_t page_size = 0;
+  std::uint64_t count = 0;
+  std::uint64_t length = 0;
+  std::uint64_t sig_dims = 0;
+  std::uint64_t paa_dims = 0;
+  std::uint64_t flags = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t data_pages = 0;
+  std::uint64_t resident_end = 0;
+  std::uint64_t data_offset = 0;
+};
+
+StatusOr<HeaderInfo> ParseHeader(const char* data, std::size_t size,
+                                 std::uint64_t file_size) {
+  BufferReader reader(data, size);
+  char magic[4];
+  if (!reader.ReadBytes(magic, sizeof(magic))) {
+    return Status(StatusCode::kTruncated, "file too small to hold the magic");
+  }
+  if (std::memcmp(magic, kIndexMagic, sizeof(magic)) != 0) {
+    return Status(StatusCode::kBadMagic, "file does not start with 'RIDX'");
+  }
+  std::uint32_t version = 0;
+  if (!reader.Read(&version)) {
+    return Status(StatusCode::kTruncated, "file ends inside the version field");
+  }
+  if (version != kIndexVersion) {
+    return Status(StatusCode::kVersionMismatch,
+                  "index version " + std::to_string(version) +
+                      "; this build reads version " +
+                      std::to_string(kIndexVersion));
+  }
+  HeaderInfo info;
+  std::uint64_t stored_checksum = 0;
+  if (!reader.Read(&info.page_size) || !reader.Read(&info.count) ||
+      !reader.Read(&info.length) || !reader.Read(&info.sig_dims) ||
+      !reader.Read(&info.paa_dims) || !reader.Read(&info.flags) ||
+      !reader.Read(&stored_checksum)) {
+    return Status(StatusCode::kTruncated, "file ends inside the header");
+  }
+  if (Fnv1a64(data, kIndexHeaderBytes - sizeof(std::uint64_t)) !=
+      stored_checksum) {
+    return Status(StatusCode::kCorruptHeader, "header checksum mismatch");
+  }
+  if (info.page_size < kMinPageSize || info.page_size > kMaxPageSize) {
+    return Status(StatusCode::kCorruptHeader,
+                  "page size " + std::to_string(info.page_size) +
+                      " outside [" + std::to_string(kMinPageSize) + ", " +
+                      std::to_string(kMaxPageSize) + "]");
+  }
+  if (info.count == 0) {
+    return Status(StatusCode::kEmptyDataset, "index holds zero series");
+  }
+  if (info.length == 0) {
+    return Status(StatusCode::kCorruptHeader,
+                  "zero series length with nonzero count");
+  }
+  if ((info.flags & ~kIndexFlagHasLabels) != 0) {
+    return Status(StatusCode::kCorruptHeader, "unknown flag bits set");
+  }
+  if (info.sig_dims > info.length || info.paa_dims > info.length) {
+    return Status(StatusCode::kCorruptHeader,
+                  "signature dims exceed the series length");
+  }
+  // Caps derived from the ACTUAL container size. count and length are each
+  // bounded by file_size/8, which (real files being < 2^61 bytes) keeps
+  // every product below computed here overflow-free; the explicit guard
+  // covers hostile in-memory images too.
+  if (info.count > file_size / sizeof(double) ||
+      info.length > file_size / sizeof(double)) {
+    return Status(StatusCode::kCorruptHeader,
+                  "count/length cannot fit in a file of " +
+                      std::to_string(file_size) + " bytes");
+  }
+  if (info.length > UINT64_MAX / (info.count * sizeof(double))) {
+    return Status(StatusCode::kCorruptHeader, "count*length overflows");
+  }
+  info.data_bytes = info.count * info.length * sizeof(double);
+  info.data_pages = (info.data_bytes + info.page_size - 1) / info.page_size;
+
+  const std::uint64_t checksum = sizeof(std::uint64_t);
+  std::uint64_t resident = kIndexHeaderBytes;
+  resident += info.count * 16 + checksum;                           // catalog
+  resident += info.data_pages * 8 + checksum;               // page checksums
+  resident += info.count * info.sig_dims * sizeof(double) + checksum;
+  resident += info.count * info.paa_dims * sizeof(double) + checksum;
+  if ((info.flags & kIndexFlagHasLabels) != 0) {
+    resident += info.count * sizeof(std::int32_t) + checksum;
+  }
+  info.resident_end = resident;
+  if (info.resident_end > file_size) {
+    return Status(StatusCode::kTruncated,
+                  "file ends inside the resident region (" +
+                      std::to_string(info.resident_end) + " bytes needed, " +
+                      std::to_string(file_size) + " present)");
+  }
+  info.data_offset = AlignUp(info.resident_end, info.page_size);
+  const std::uint64_t total =
+      info.data_offset + info.data_pages * info.page_size;
+  if (total > file_size) {
+    return Status(StatusCode::kTruncated,
+                  "file ends inside the data section (" +
+                      std::to_string(total) + " bytes needed, " +
+                      std::to_string(file_size) + " present)");
+  }
+  if (total < file_size) {
+    return Status(StatusCode::kCorruptHeader,
+                  std::to_string(file_size - total) +
+                      " trailing bytes after the data section");
+  }
+  return info;
+}
+
+/// Verifies the stored FNV-1a of `[start, start+bytes)` within `image`.
+/// The reader must be positioned at the checksum field.
+bool SectionChecksumOk(const std::string& image, std::size_t start,
+                       std::size_t bytes, BufferReader& reader) {
+  std::uint64_t stored = 0;
+  if (!reader.Read(&stored)) return false;
+  return Fnv1a64(image.data() + start, bytes) == stored;
+}
+
+Status CorruptSection(const std::string& name) {
+  return Status(StatusCode::kCorruptHeader, name + " checksum mismatch");
+}
+
+}  // namespace
+
+Status WriteIndexFile(const Dataset& db, const IndexBuildData& extras,
+                      std::size_t page_size_bytes, const std::string& path) {
+  const std::size_t count = db.size();
+  const std::size_t length = db.length();
+  if (count == 0 || length == 0) {
+    return Status::InvalidArgument("refusing to write an empty index");
+  }
+  if (page_size_bytes < kMinPageSize || page_size_bytes > kMaxPageSize) {
+    return Status::InvalidArgument(
+        "page size " + std::to_string(page_size_bytes) + " outside [" +
+        std::to_string(kMinPageSize) + ", " + std::to_string(kMaxPageSize) +
+        "]");
+  }
+  if (extras.sig_dims > length || extras.paa_dims > length) {
+    return Status::InvalidArgument("signature dims exceed the series length");
+  }
+  if (extras.signatures.size() != count * extras.sig_dims ||
+      extras.paa.size() != count * extras.paa_dims) {
+    return Status::InvalidArgument(
+        "signature matrix shape does not match count x dims");
+  }
+  if (!extras.labels.empty() && extras.labels.size() != count) {
+    return Status::InvalidArgument("label count does not match series count");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (db.items[i].size() != length) {
+      return Status::InvalidArgument(
+          "dataset is ragged: item " + std::to_string(i) + " has length " +
+          std::to_string(db.items[i].size()) + ", expected " +
+          std::to_string(length));
+    }
+    for (double v : db.items[i]) {
+      if (!std::isfinite(v)) {
+        return Status(StatusCode::kBadValue,
+                      "item " + std::to_string(i) +
+                          " contains a non-finite value; refusing to write");
+      }
+    }
+  }
+  for (double v : extras.signatures) {
+    if (!std::isfinite(v)) {
+      return Status(StatusCode::kBadValue, "non-finite FFT signature value");
+    }
+  }
+  for (double v : extras.paa) {
+    if (!std::isfinite(v)) {
+      return Status(StatusCode::kBadValue, "non-finite PAA summary value");
+    }
+  }
+
+  const std::uint64_t data_bytes =
+      static_cast<std::uint64_t>(count) * length * sizeof(double);
+  const std::uint64_t data_pages =
+      (data_bytes + page_size_bytes - 1) / page_size_bytes;
+
+  // Materialize the padded data section to checksum its pages.
+  std::string data(static_cast<std::size_t>(data_pages * page_size_bytes),
+                   '\0');
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memcpy(data.data() + i * length * sizeof(double), db.items[i].data(),
+                length * sizeof(double));
+  }
+  std::vector<std::uint64_t> page_checksums(
+      static_cast<std::size_t>(data_pages));
+  for (std::size_t p = 0; p < page_checksums.size(); ++p) {
+    page_checksums[p] =
+        Fnv1a64(data.data() + p * page_size_bytes, page_size_bytes);
+  }
+
+  std::ostringstream header_buf;
+  header_buf.write(kIndexMagic, sizeof(kIndexMagic));
+  WritePod(header_buf, kIndexVersion);
+  WritePod(header_buf, static_cast<std::uint64_t>(page_size_bytes));
+  WritePod(header_buf, static_cast<std::uint64_t>(count));
+  WritePod(header_buf, static_cast<std::uint64_t>(length));
+  WritePod(header_buf, static_cast<std::uint64_t>(extras.sig_dims));
+  WritePod(header_buf, static_cast<std::uint64_t>(extras.paa_dims));
+  const std::uint64_t flags = extras.labels.empty() ? 0 : kIndexFlagHasLabels;
+  WritePod(header_buf, flags);
+  const std::string header = std::move(header_buf).str();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  const std::uint64_t header_checksum = Fnv1a64(header.data(), header.size());
+  WritePod(out, header_checksum);
+  std::uint64_t written = kIndexHeaderBytes;
+
+  // Each resident section is written, then its checksum. WriteSection
+  // returns the byte count so the caller tracks the padding target.
+  const auto write_section = [&](const void* bytes, std::size_t n) {
+    if (n != 0) {
+      out.write(static_cast<const char*>(bytes),
+                static_cast<std::streamsize>(n));
+    }
+    WritePod(out, Fnv1a64(bytes, n));
+    written += n + sizeof(std::uint64_t);
+  };
+
+  std::vector<std::uint64_t> catalog(count * 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    catalog[2 * i] = static_cast<std::uint64_t>(i) * length * sizeof(double);
+    catalog[2 * i + 1] = length * sizeof(double);
+  }
+  write_section(catalog.data(), catalog.size() * sizeof(std::uint64_t));
+  write_section(page_checksums.data(),
+                page_checksums.size() * sizeof(std::uint64_t));
+  write_section(extras.signatures.data(),
+                extras.signatures.size() * sizeof(double));
+  write_section(extras.paa.data(), extras.paa.size() * sizeof(double));
+  if (!extras.labels.empty()) {
+    std::vector<std::int32_t> labels32(extras.labels.begin(),
+                                       extras.labels.end());
+    write_section(labels32.data(), labels32.size() * sizeof(std::int32_t));
+  }
+
+  const std::uint64_t data_offset = AlignUp(written, page_size_bytes);
+  const std::string padding(static_cast<std::size_t>(data_offset - written),
+                            '\0');
+  out.write(padding.data(), static_cast<std::streamsize>(padding.size()));
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IoError("write failed on " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<IndexFile>> IndexFile::ParseResident(
+    const std::string& resident, std::uint64_t file_size) {
+  StatusOr<HeaderInfo> parsed =
+      ParseHeader(resident.data(), resident.size(), file_size);
+  if (!parsed.ok()) return parsed.status();
+  const HeaderInfo& info = *parsed;
+  if (resident.size() < info.resident_end) {
+    return Status(StatusCode::kTruncated,
+                  "resident region ends before its sections");
+  }
+
+  std::unique_ptr<IndexFile> file(new IndexFile());
+  file->count_ = static_cast<std::size_t>(info.count);
+  file->length_ = static_cast<std::size_t>(info.length);
+  file->page_size_ = static_cast<std::size_t>(info.page_size);
+  file->data_pages_ = static_cast<std::size_t>(info.data_pages);
+  file->data_offset_ = info.data_offset;
+  file->sig_dims_ = static_cast<std::size_t>(info.sig_dims);
+  file->paa_dims_ = static_cast<std::size_t>(info.paa_dims);
+
+  BufferReader reader(resident.data(), resident.size());
+  (void)reader.Skip(kIndexHeaderBytes);  // header already verified
+
+  std::size_t start = reader.position();
+  file->catalog_.resize(file->count_);
+  const std::uint64_t data_size = info.data_pages * info.page_size;
+  for (std::size_t i = 0; i < file->count_; ++i) {
+    Extent& e = file->catalog_[i];
+    (void)reader.Read(&e.offset);  // resident_end check proved these fit
+    (void)reader.Read(&e.bytes);
+  }
+  if (!SectionChecksumOk(resident, start, file->count_ * 16, reader)) {
+    return CorruptSection("catalog");
+  }
+  for (std::size_t i = 0; i < file->count_; ++i) {
+    const Extent& e = file->catalog_[i];
+    if (e.bytes != info.length * sizeof(double) || e.offset > data_size ||
+        e.bytes > data_size - e.offset) {
+      return Status(StatusCode::kCorruptHeader,
+                    "catalog entry " + std::to_string(i) +
+                        " points outside the data section");
+    }
+  }
+
+  start = reader.position();
+  file->page_checksums_.resize(file->data_pages_);
+  for (std::uint64_t& sum : file->page_checksums_) (void)reader.Read(&sum);
+  if (!SectionChecksumOk(resident, start, file->data_pages_ * 8, reader)) {
+    return CorruptSection("page checksum table");
+  }
+
+  start = reader.position();
+  file->sigs_.resize(file->count_ * file->sig_dims_);
+  (void)reader.ReadBytes(file->sigs_.data(),
+                         file->sigs_.size() * sizeof(double));
+  if (!SectionChecksumOk(resident, start, file->sigs_.size() * sizeof(double),
+                         reader)) {
+    return CorruptSection("FFT signature section");
+  }
+
+  start = reader.position();
+  file->paa_.resize(file->count_ * file->paa_dims_);
+  (void)reader.ReadBytes(file->paa_.data(),
+                         file->paa_.size() * sizeof(double));
+  if (!SectionChecksumOk(resident, start, file->paa_.size() * sizeof(double),
+                         reader)) {
+    return CorruptSection("PAA summary section");
+  }
+  for (double v : file->sigs_) {
+    if (!std::isfinite(v)) {
+      return Status(StatusCode::kBadValue, "non-finite FFT signature value");
+    }
+  }
+  for (double v : file->paa_) {
+    if (!std::isfinite(v)) {
+      return Status(StatusCode::kBadValue, "non-finite PAA summary value");
+    }
+  }
+
+  if ((info.flags & kIndexFlagHasLabels) != 0) {
+    start = reader.position();
+    file->labels_.resize(file->count_);
+    for (int& label : file->labels_) {
+      std::int32_t v = 0;
+      (void)reader.Read(&v);
+      label = v;
+    }
+    if (!SectionChecksumOk(resident, start, file->count_ * 4, reader)) {
+      return CorruptSection("label section");
+    }
+  }
+  return file;
+}
+
+StatusOr<std::unique_ptr<IndexFile>> IndexFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open " + path);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  const std::uint64_t file_size = static_cast<std::uint64_t>(end);
+
+  // Two-phase open: read just the fixed header to learn the resident
+  // region's size, then read exactly that region. The data section is
+  // never slurped — it is served page-at-a-time through ReadPage.
+  std::string header(kIndexHeaderBytes, '\0');
+  const std::size_t header_bytes =
+      std::min<std::uint64_t>(file_size, kIndexHeaderBytes);
+  ssize_t got = ::pread(fd, header.data(), header_bytes, 0);
+  if (got < 0 || static_cast<std::size_t>(got) != header_bytes) {
+    ::close(fd);
+    return Status::IoError("short read on " + path + " header");
+  }
+  StatusOr<HeaderInfo> info =
+      ParseHeader(header.data(), header_bytes, file_size);
+  if (!info.ok()) {
+    ::close(fd);
+    return info.status();
+  }
+
+  std::string resident(static_cast<std::size_t>(info->resident_end), '\0');
+  got = ::pread(fd, resident.data(), resident.size(), 0);
+  if (got < 0 || static_cast<std::size_t>(got) != resident.size()) {
+    ::close(fd);
+    return Status::IoError("short read on " + path + " resident region");
+  }
+  StatusOr<std::unique_ptr<IndexFile>> file =
+      ParseResident(resident, file_size);
+  if (!file.ok()) {
+    ::close(fd);
+    return file.status();
+  }
+  (*file)->fd_ = fd;
+  (*file)->path_ = path;
+  return file;
+}
+
+StatusOr<std::unique_ptr<IndexFile>> IndexFile::FromMemory(std::string bytes) {
+  StatusOr<std::unique_ptr<IndexFile>> file =
+      ParseResident(bytes, bytes.size());
+  if (!file.ok()) return file.status();
+  (*file)->memory_ = std::move(bytes);
+  return file;
+}
+
+IndexFile::~IndexFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status IndexFile::ReadPage(std::size_t page, char* out) const {
+  if (page >= data_pages_) {
+    return Status::OutOfRange("page " + std::to_string(page) +
+                              " out of range; index has " +
+                              std::to_string(data_pages_) + " data pages");
+  }
+  const std::uint64_t offset =
+      data_offset_ + static_cast<std::uint64_t>(page) * page_size_;
+  if (fd_ >= 0) {
+    std::size_t done = 0;
+    while (done < page_size_) {
+      const ssize_t got =
+          ::pread(fd_, out + done, page_size_ - done,
+                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("pread failed on " + path_ + " page " +
+                               std::to_string(page));
+      }
+      if (got == 0) {
+        return Status(StatusCode::kTruncated,
+                      "file ends inside data page " + std::to_string(page));
+      }
+      done += static_cast<std::size_t>(got);
+    }
+  } else {
+    if (offset + page_size_ > memory_.size()) {
+      return Status(StatusCode::kTruncated,
+                    "image ends inside data page " + std::to_string(page));
+    }
+    std::memcpy(out, memory_.data() + offset, page_size_);
+  }
+  if (Fnv1a64(out, page_size_) != page_checksums_[page]) {
+    return Status(StatusCode::kCorruptHeader,
+                  "data page " + std::to_string(page) +
+                      " checksum mismatch (bit rot or torn write)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rotind::storage

@@ -1,0 +1,156 @@
+#ifndef ROTIND_STORAGE_INDEX_FILE_H_
+#define ROTIND_STORAGE_INDEX_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/status.h"
+#include "src/storage/buffer_pool.h"
+
+namespace rotind::storage {
+
+/// Paged on-disk index file ("RIDX" container, version 1).
+///
+/// Layout (little-endian, all checksums 64-bit FNV-1a):
+///
+///   +--------------------------------------------------------------+
+///   | header (64 bytes, fixed)                                     |
+///   |   magic "RIDX" | version u32 | page_size u64 | count u64     |
+///   |   length u64 | sig_dims u64 | paa_dims u64 | flags u64       |
+///   |   header checksum u64 (over the 56 bytes before it)          |
+///   +--------------------------------------------------------------+
+///   | catalog: count x {offset u64, bytes u64}    + checksum u64   |
+///   | page checksums: data_pages x u64            + checksum u64   |
+///   | FFT magnitude signatures: count*sig_dims f64 + checksum u64  |
+///   | PAA summaries: count*paa_dims f64           + checksum u64   |
+///   | labels (flags bit 0): count x i32           + checksum u64   |
+///   |   ... zero padding to the next page_size boundary ...        |
+///   +--------------------------------------------------------------+
+///   | data section: data_pages pages of page_size bytes each;      |
+///   | series i occupies bytes [catalog[i].offset,                  |
+///   | catalog[i].offset + catalog[i].bytes) of the section          |
+///   +--------------------------------------------------------------+
+///
+/// Everything above the data section is the RESIDENT region: it is read,
+/// checksum-verified, and held in memory at open time (signatures and
+/// summaries must be scanned for every query, so paging them would defeat
+/// the lower-bound cascade). The data section is read page-at-a-time
+/// through a BufferPool, each page verified against its resident checksum.
+///
+/// Error taxonomy mirrors the dataset container (src/io/serialize.h):
+///   kBadMagic         not a RIDX file
+///   kVersionMismatch  written by an incompatible version
+///   kTruncated        file ends before a section its header promises
+///   kCorruptHeader    checksum mismatch or internally absurd fields
+///   kIoError          pread/write failure on an otherwise valid file
+
+inline constexpr char kIndexMagic[4] = {'R', 'I', 'D', 'X'};
+inline constexpr std::uint32_t kIndexVersion = 1;
+inline constexpr std::size_t kIndexHeaderBytes = 64;
+inline constexpr std::uint64_t kIndexFlagHasLabels = 1;
+/// Accepted page sizes: anything in [64 bytes, 64 MiB]. The default
+/// matches SimulatedDisk's 4096-byte page.
+inline constexpr std::uint64_t kMinPageSize = 64;
+inline constexpr std::uint64_t kMaxPageSize = 64ull << 20;
+
+/// Everything the writer needs besides the raw series: signature matrices
+/// are precomputed by the caller (src/index/index_io computes them via the
+/// fourier/paa kernels — storage itself stays below those layers).
+struct IndexBuildData {
+  std::size_t sig_dims = 0;        ///< Columns of `signatures` (0 = none).
+  std::vector<double> signatures;  ///< count x sig_dims, row-major.
+  std::size_t paa_dims = 0;        ///< Columns of `paa` (0 = none).
+  std::vector<double> paa;         ///< count x paa_dims, row-major.
+  std::vector<int> labels;         ///< Optional; empty or count entries.
+};
+
+/// Writes `db` plus its signature sections to `path` in the RIDX format.
+/// Fails with kInvalidArgument on shape mismatches (ragged matrices, bad
+/// page size) and kIoError on write failure.
+[[nodiscard]] Status WriteIndexFile(const Dataset& db,
+                                    const IndexBuildData& extras,
+                                    std::size_t page_size_bytes,
+                                    const std::string& path);
+
+/// An opened RIDX file: resident sections in memory, data section readable
+/// page-at-a-time. Implements PageSource so a BufferPool can cache pages.
+///
+/// Thread safety: all accessors and ReadPage are const and safe to call
+/// concurrently (file mode uses pread, which carries no shared cursor).
+class IndexFile final : public PageSource {
+ public:
+  /// Opens `path`, reading and verifying the resident region. The file
+  /// descriptor stays open for the lifetime of the IndexFile.
+  [[nodiscard]] static StatusOr<std::unique_ptr<IndexFile>> Open(
+      const std::string& path);
+
+  /// Parses an in-memory image. This is the fuzzing entry point
+  /// (tools/rotind_fuzz_load.cc): any byte string must map to a Status or
+  /// a usable IndexFile, never a crash.
+  [[nodiscard]] static StatusOr<std::unique_ptr<IndexFile>> FromMemory(
+      std::string bytes);
+
+  ~IndexFile() override;
+  IndexFile(const IndexFile&) = delete;
+  IndexFile& operator=(const IndexFile&) = delete;
+
+  std::size_t num_objects() const { return count_; }
+  std::size_t series_length() const { return length_; }
+  std::size_t sig_dims() const { return sig_dims_; }
+  std::size_t paa_dims() const { return paa_dims_; }
+  bool has_labels() const { return !labels_.empty(); }
+
+  /// FFT magnitude signatures, count x sig_dims row-major (empty when the
+  /// file was written without them). Resident; no page I/O.
+  const std::vector<double>& spectral_signatures() const { return sigs_; }
+  /// PAA summaries, count x paa_dims row-major.
+  const std::vector<double>& paa_summaries() const { return paa_; }
+  /// Class labels (empty when the file was written without them).
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// Byte extent of object `i` within the data section.
+  struct Extent {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+  Extent extent(std::size_t i) const { return catalog_[i]; }
+
+  // PageSource:
+  std::size_t page_size_bytes() const override { return page_size_; }
+  std::size_t num_pages() const override { return data_pages_; }
+  [[nodiscard]] Status ReadPage(std::size_t page, char* out) const override;
+
+ private:
+  IndexFile() = default;
+
+  /// Parses header + resident region out of `resident` (at least the
+  /// resident byte count long, or the whole file for memory images).
+  /// `file_size` is the total container size for truncation checks.
+  [[nodiscard]] static StatusOr<std::unique_ptr<IndexFile>> ParseResident(
+      const std::string& resident, std::uint64_t file_size);
+
+  std::size_t count_ = 0;
+  std::size_t length_ = 0;
+  std::size_t page_size_ = 0;
+  std::size_t data_pages_ = 0;
+  std::uint64_t data_offset_ = 0;  ///< Byte offset of the data section.
+  std::vector<Extent> catalog_;
+  std::vector<std::uint64_t> page_checksums_;
+  std::size_t sig_dims_ = 0;
+  std::size_t paa_dims_ = 0;
+  std::vector<double> sigs_;
+  std::vector<double> paa_;
+  std::vector<int> labels_;
+
+  int fd_ = -1;              ///< File mode: descriptor for pread.
+  std::string path_;         ///< File mode: for error messages.
+  std::string memory_;       ///< Memory mode: the whole image.
+};
+
+}  // namespace rotind::storage
+
+#endif  // ROTIND_STORAGE_INDEX_FILE_H_

@@ -1,0 +1,110 @@
+#include "src/storage/simulated_disk.h"
+
+#include <string>
+#include <utility>
+
+namespace rotind::storage {
+namespace {
+
+const Series& EmptySeries() {
+  static const Series empty;
+  return empty;
+}
+
+}  // namespace
+
+SimulatedDisk::SimulatedDisk(std::size_t page_size_bytes)
+    : page_size_bytes_(page_size_bytes == 0 ? 4096 : page_size_bytes) {}
+
+SimulatedDisk::SimulatedDisk(SimulatedDisk&& other) noexcept
+    : page_size_bytes_(other.page_size_bytes_),
+      objects_(std::move(other.objects_)),
+      offsets_(std::move(other.offsets_)),
+      next_offset_(other.next_offset_),
+      object_fetches_(other.object_fetches_.load(std::memory_order_relaxed)),
+      page_reads_(other.page_reads_.load(std::memory_order_relaxed)) {}
+
+SimulatedDisk& SimulatedDisk::operator=(SimulatedDisk&& other) noexcept {
+  if (this != &other) {
+    page_size_bytes_ = other.page_size_bytes_;
+    objects_ = std::move(other.objects_);
+    offsets_ = std::move(other.offsets_);
+    next_offset_ = other.next_offset_;
+    object_fetches_.store(
+        other.object_fetches_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    page_reads_.store(other.page_reads_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+int SimulatedDisk::Store(const Series& s) {
+  objects_.push_back(s);
+  offsets_.push_back(next_offset_);
+  next_offset_ += s.size() * sizeof(double);
+  return static_cast<int>(objects_.size()) - 1;
+}
+
+void SimulatedDisk::StoreAll(const std::vector<Series>& db) {
+  objects_.reserve(objects_.size() + db.size());
+  offsets_.reserve(offsets_.size() + db.size());
+  for (const Series& s : db) (void)Store(s);
+}
+
+std::uint64_t SimulatedDisk::PagesSpanned(int id) const {
+  if (!Contains(id)) return 0;
+  const std::size_t i = static_cast<std::size_t>(id);
+  const std::uint64_t bytes = objects_[i].size() * sizeof(double);
+  if (bytes == 0) return 0;
+  // Offset-aware: count every page the byte range touches, from the
+  // page-aligned start. A series that straddles a boundary reads one page
+  // more than ceil(bytes / page_size) alone would suggest.
+  const std::uint64_t first = offsets_[i] / page_size_bytes_;
+  const std::uint64_t last = (offsets_[i] + bytes - 1) / page_size_bytes_;
+  return last - first + 1;
+}
+
+StatusOr<const Series*> SimulatedDisk::TryFetch(int id) const {
+  if (!Contains(id)) {
+    return Status::OutOfRange("object id " + std::to_string(id) +
+                              " not in [0, " + std::to_string(objects_.size()) +
+                              ")");
+  }
+  const Series& s = objects_[static_cast<std::size_t>(id)];
+  object_fetches_.fetch_add(1, std::memory_order_relaxed);
+  page_reads_.fetch_add(PagesSpanned(id), std::memory_order_relaxed);
+  return &s;
+}
+
+StatusOr<const Series*> SimulatedDisk::TryPeek(int id) const {
+  if (!Contains(id)) {
+    return Status::OutOfRange("object id " + std::to_string(id) +
+                              " not in [0, " + std::to_string(objects_.size()) +
+                              ")");
+  }
+  return &objects_[static_cast<std::size_t>(id)];
+}
+
+const Series& SimulatedDisk::Fetch(int id) const {
+  StatusOr<const Series*> s = TryFetch(id);
+  return s.ok() ? **s : EmptySeries();
+}
+
+const Series& SimulatedDisk::Peek(int id) const {
+  StatusOr<const Series*> s = TryPeek(id);
+  return s.ok() ? **s : EmptySeries();
+}
+
+double SimulatedDisk::FetchFraction() const {
+  if (objects_.empty()) return 0.0;
+  return static_cast<double>(object_fetches()) /
+         static_cast<double>(objects_.size());
+}
+
+void SimulatedDisk::ResetCounters() {
+  object_fetches_.store(0, std::memory_order_relaxed);
+  page_reads_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rotind::storage

@@ -1,0 +1,96 @@
+#ifndef ROTIND_STORAGE_SIMULATED_DISK_H_
+#define ROTIND_STORAGE_SIMULATED_DISK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/status.h"
+
+namespace rotind::storage {
+
+/// A simulated paged object store. The paper's Section 5.4 measures "the
+/// fraction of items that must be retrieved from disk"; this class is the
+/// accounting substrate: full time series live "on disk", indexes keep only
+/// compressed signatures in memory, and every Fetch is tallied (object
+/// fetches and the page reads they imply, assuming series are stored
+/// contiguously in `page_size_bytes` pages).
+///
+/// Page accounting is offset-aware: object i starts at the byte offset
+/// where object i-1 ended, and a fetch reads every page its byte range
+/// touches — so a series straddling a page boundary costs one page more
+/// than its size alone implies, exactly as a real paged store would.
+///
+/// Thread safety: counters are atomic, so concurrent Fetches from the
+/// deterministic SearchBatch path tally correctly. Store/StoreAll are not
+/// thread-safe and must happen-before any concurrent Fetch.
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(std::size_t page_size_bytes = 4096);
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+  SimulatedDisk(SimulatedDisk&& other) noexcept;
+  SimulatedDisk& operator=(SimulatedDisk&& other) noexcept;
+
+  /// Stores a series; returns its object id (dense, starting at 0).
+  int Store(const Series& s);
+
+  /// Stores a whole database in order.
+  void StoreAll(const std::vector<Series>& db);
+
+  /// Whether `id` names a stored object.
+  bool Contains(int id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < objects_.size();
+  }
+
+  /// Reads an object back, counting the access. Returns kOutOfRange for an
+  /// invalid id (no access is counted).
+  [[nodiscard]] StatusOr<const Series*> TryFetch(int id) const;
+
+  /// Reads without counting (for test verification / setup).
+  [[nodiscard]] StatusOr<const Series*> TryPeek(int id) const;
+
+  /// Reference-returning conveniences for callers that already validated
+  /// `id` (internal index code fetches only ids it stored). Bounds-checked:
+  /// an invalid id returns a reference to a shared empty Series and counts
+  /// nothing — defined behavior, never UB.
+  const Series& Fetch(int id) const;
+  const Series& Peek(int id) const;
+
+  std::size_t num_objects() const { return objects_.size(); }
+  std::size_t page_size_bytes() const { return page_size_bytes_; }
+
+  /// Pages a fetch of `id` reads: every page its byte range [offset,
+  /// offset + bytes) touches. 0 for an invalid id or an empty series.
+  std::uint64_t PagesSpanned(int id) const;
+
+  std::uint64_t object_fetches() const {
+    return object_fetches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t page_reads() const {
+    return page_reads_.load(std::memory_order_relaxed);
+  }
+
+  /// Fraction of stored objects fetched so far — Figure 24's y-axis.
+  /// (Counts fetches, not distinct objects; search algorithms fetch each
+  /// object at most once.)
+  double FetchFraction() const;
+
+  void ResetCounters();
+
+ private:
+  std::size_t page_size_bytes_;
+  std::vector<Series> objects_;
+  /// Byte offset of each object in the contiguous simulated layout.
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t next_offset_ = 0;
+  mutable std::atomic<std::uint64_t> object_fetches_{0};
+  mutable std::atomic<std::uint64_t> page_reads_{0};
+};
+
+}  // namespace rotind::storage
+
+#endif  // ROTIND_STORAGE_SIMULATED_DISK_H_

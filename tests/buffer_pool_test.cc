@@ -1,0 +1,230 @@
+/// BufferPool behavior: capacity is a hard bound (property-tested), pinned
+/// frames are never evicted, LRU and Clock pick sane victims, hit/miss/
+/// eviction counters add up, and source failures surface as Status without
+/// wedging the pool.
+
+#include "src/storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/random.h"
+#include "src/core/status.h"
+
+namespace rotind::storage {
+namespace {
+
+/// Deterministic in-memory page source: page p is filled with the byte
+/// pattern f(p, i) so any stale or misrouted frame is detectable.
+class PatternSource : public PageSource {
+ public:
+  PatternSource(std::size_t page_size, std::size_t pages)
+      : page_size_(page_size), pages_(pages) {}
+
+  std::size_t page_size_bytes() const override { return page_size_; }
+  std::size_t num_pages() const override { return pages_; }
+  Status ReadPage(std::size_t page, char* out) const override {
+    if (page == failing_page_) {
+      return Status::IoError("injected failure on page " +
+                             std::to_string(page));
+    }
+    for (std::size_t i = 0; i < page_size_; ++i) {
+      out[i] = static_cast<char>((page * 131 + i * 7) & 0xFF);
+    }
+    return Status::Ok();
+  }
+
+  void FailPage(std::size_t page) { failing_page_ = page; }
+  void Heal() { failing_page_ = num_pages(); }
+
+  bool PageBytesCorrect(std::size_t page, const char* data) const {
+    for (std::size_t i = 0; i < page_size_; ++i) {
+      if (data[i] != static_cast<char>((page * 131 + i * 7) & 0xFF)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::size_t page_size_;
+  std::size_t pages_;
+  std::size_t failing_page_ = static_cast<std::size_t>(-1);
+};
+
+TEST(BufferPoolTest, MissThenHitWithCorrectBytes) {
+  const PatternSource source(64, 8);
+  BufferPool pool(source, 4, EvictionPolicy::kLru);
+
+  BufferPool::PinOutcome first;
+  auto a = pool.Pin(3, &first);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(first.hit);
+  EXPECT_EQ(first.bytes_read, 64u);
+  EXPECT_TRUE(source.PageBytesCorrect(3, a->data()));
+
+  BufferPool::PinOutcome second;
+  auto b = pool.Pin(3, &second);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.bytes_read, 0u);
+  EXPECT_EQ(a->data(), b->data());  // same frame, stable pointer
+
+  const PoolCounters c = pool.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(c.bytes_read, 64u);
+}
+
+TEST(BufferPoolTest, PinFailsWhenEveryFrameIsPinnedAndRecovers) {
+  const PatternSource source(64, 8);
+  BufferPool pool(source, 2, EvictionPolicy::kLru);
+
+  auto a = pool.Pin(0);
+  auto b = pool.Pin(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(pool.pinned_pages(), 2u);
+
+  auto c = pool.Pin(2);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+
+  a->Release();
+  auto d = pool.Pin(2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(source.PageBytesCorrect(2, d->data()));
+  EXPECT_EQ(pool.counters().evictions, 1u);  // page 0's frame was recycled
+}
+
+TEST(BufferPoolTest, PinnedFramesAreNeverEvictedUnderEitherPolicy) {
+  for (const EvictionPolicy policy :
+       {EvictionPolicy::kLru, EvictionPolicy::kClock}) {
+    const PatternSource source(64, 8);
+    BufferPool pool(source, 2, policy);
+
+    auto held = pool.Pin(0);  // stays pinned for the whole test
+    ASSERT_TRUE(held.ok());
+    for (std::size_t page = 1; page < 8; ++page) {
+      auto p = pool.Pin(page);  // each one evicts the previous unpinned page
+      ASSERT_TRUE(p.ok());
+      EXPECT_TRUE(source.PageBytesCorrect(page, p->data()));
+    }
+    // Page 0 never left: pinning it again is a hit and the bytes survived
+    // six evictions around it.
+    BufferPool::PinOutcome outcome;
+    auto again = pool.Pin(0, &outcome);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(outcome.hit);
+    EXPECT_TRUE(source.PageBytesCorrect(0, again->data()));
+  }
+}
+
+TEST(BufferPoolTest, LruEvictsTheLeastRecentlyUsedPage) {
+  const PatternSource source(64, 8);
+  BufferPool pool(source, 2, EvictionPolicy::kLru);
+
+  pool.Pin(0).value().Release();
+  pool.Pin(1).value().Release();
+  pool.Pin(0).value().Release();  // 0 is now more recent than 1
+  pool.Pin(2).value().Release();  // must evict 1, not 0
+
+  BufferPool::PinOutcome outcome;
+  auto zero = pool.Pin(0, &outcome);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(outcome.hit) << "LRU evicted the recently-touched page";
+  zero->Release();
+  auto one = pool.Pin(1, &outcome);
+  ASSERT_TRUE(one.ok());
+  EXPECT_FALSE(outcome.hit);
+}
+
+TEST(BufferPoolTest, ClockClearsReferenceBitsAndEvictsInHandOrder) {
+  const PatternSource source(64, 4);
+  BufferPool pool(source, 2, EvictionPolicy::kClock);
+
+  pool.Pin(0).value().Release();  // frame 0, referenced
+  pool.Pin(1).value().Release();  // frame 1, referenced
+  // Faulting page 2 sweeps from the hand at frame 0: both frames get
+  // their second chance (reference bits cleared), then the second pass
+  // evicts frame 0. Page 1 must still be resident afterwards.
+  BufferPool::PinOutcome fault;
+  pool.Pin(2, &fault).value().Release();
+  EXPECT_FALSE(fault.hit);
+  EXPECT_TRUE(fault.evicted);
+  BufferPool::PinOutcome one_out;
+  pool.Pin(1, &one_out).value().Release();
+  EXPECT_TRUE(one_out.hit) << "the frame the sweep passed over was evicted";
+  const PoolCounters c = pool.counters();
+  EXPECT_EQ(c.evictions, 1u);
+}
+
+TEST(BufferPoolTest, OutOfRangePageIsRejected) {
+  const PatternSource source(64, 4);
+  BufferPool pool(source, 2, EvictionPolicy::kLru);
+  auto p = pool.Pin(4);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pool.counters().misses, 0u);
+}
+
+TEST(BufferPoolTest, SourceFailurePropagatesAndPoolStaysUsable) {
+  PatternSource source(64, 4);
+  BufferPool pool(source, 2, EvictionPolicy::kLru);
+
+  source.FailPage(1);
+  auto bad = pool.Pin(1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIoError);
+
+  source.Heal();
+  auto good = pool.Pin(1);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(source.PageBytesCorrect(1, good->data()));
+}
+
+/// Property: across a random pin/hold/release workload far larger than the
+/// pool, resident and pinned frame counts never exceed capacity, every pin
+/// that succeeds serves bit-correct bytes, and the counter identities hold
+/// (misses account for every byte read; evictions never exceed misses).
+TEST(BufferPoolPropertyTest, CapacityIsAHardBoundUnderRandomWorkload) {
+  const std::size_t kPages = 16;
+  const std::size_t kCapacity = 4;
+  const PatternSource source(64, kPages);
+  BufferPool pool(source, kCapacity, EvictionPolicy::kLru);
+
+  Rng rng(20060806);
+  std::vector<BufferPool::Pinned> held;
+  for (int step = 0; step < 2000; ++step) {
+    const bool release = !held.empty() &&
+                         (held.size() >= kCapacity - 1 ||
+                          rng.NextBounded(3) == 0);
+    if (release) {
+      const std::size_t victim = rng.NextBounded(held.size());
+      held[victim].Release();
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const std::size_t page = rng.NextBounded(kPages);
+      auto pin = pool.Pin(page);
+      // With at most capacity-1 handles held, a pin can always succeed.
+      ASSERT_TRUE(pin.ok()) << pin.status().message();
+      ASSERT_TRUE(source.PageBytesCorrect(page, pin->data()));
+      held.push_back(*std::move(pin));
+    }
+    ASSERT_LE(pool.resident_pages(), kCapacity);
+    ASSERT_LE(pool.pinned_pages(), kCapacity);
+    ASSERT_LE(pool.pinned_pages(), pool.resident_pages());
+  }
+  const PoolCounters c = pool.counters();
+  EXPECT_EQ(c.bytes_read, c.misses * 64u);
+  EXPECT_LE(c.evictions, c.misses);
+  EXPECT_GT(c.hits, 0u);
+  EXPECT_GT(c.evictions, 0u) << "workload was meant to overflow the pool";
+}
+
+}  // namespace
+}  // namespace rotind::storage

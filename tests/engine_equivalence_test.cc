@@ -5,17 +5,22 @@
 /// 1-NN, k-NN, and range queries, under Euclidean and DTW, with and
 /// without mirror invariance, on shapes and on light curves.
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/core/flat_dataset.h"
 #include "src/datasets/synthetic.h"
+#include "src/index/index_io.h"
 #include "src/lightcurve/lightcurve.h"
 #include "src/search/engine.h"
 #include "src/search/scan.h"
+#include "src/storage/backend.h"
 
 namespace rotind {
 namespace {
@@ -192,6 +197,102 @@ TEST(EngineEquivalenceLcssTest, WedgeCascadeMatchesFullScan) {
     }
   }
 }
+
+/// Storage backends are invisible to exactness: for every cascade and
+/// measure, engines fetching candidates from the simulated-disk backend
+/// and from a real paged RIDX file return BIT-IDENTICAL results (same
+/// indexes, same distances with ==, same step counts) as the default
+/// in-memory borrow — for 1-NN, k-NN, and range queries. This is the
+/// acceptance gate for the storage engine: a backend may change I/O
+/// accounting, never answers.
+class BackendEquivalenceTest
+    : public ::testing::TestWithParam<DistanceKind> {};
+
+TEST_P(BackendEquivalenceTest, AllBackendsReturnBitIdenticalResults) {
+  const DistanceKind kind = GetParam();
+  const std::vector<Series> items =
+      MakeProjectilePointsDatabase(20, 36, 601);
+  const FlatDataset flat = FlatDataset::FromItems(items);
+
+  Dataset ds;
+  ds.items = items;
+  IndexBuildOptions build;
+  build.sig_dims = 4;
+  build.paa_dims = 4;
+  build.page_size_bytes = 128;  // 36 doubles = 288 bytes: extents straddle
+  const std::string path = "/tmp/rotind_equiv_test." +
+                           std::to_string(::getpid()) + ".ridx";
+  ASSERT_TRUE(BuildIndexFile(ds, build, path).ok());
+
+  for (const CascadeSpec& cascade : MakeCascades(kind)) {
+    EngineOptions options;
+    options.kind = kind;
+    options.band = 4;
+    options.cascade = cascade;
+
+    const QueryEngine memory(flat, options);
+
+    EngineOptions sim_options = options;
+    sim_options.storage.backend = storage::BackendKind::kSimulated;
+    sim_options.storage.page_size_bytes = 128;
+    auto simulated = QueryEngine::Open(sim_options, &flat);
+    ASSERT_TRUE(simulated.ok()) << simulated.status().message();
+
+    EngineOptions file_options = options;
+    file_options.storage.backend = storage::BackendKind::kFile;
+    file_options.storage.index_path = path;
+    file_options.storage.pool_pages = 3;  // smaller than any working set
+    auto file = QueryEngine::Open(file_options);
+    ASSERT_TRUE(file.ok()) << file.status().message();
+
+    const QueryEngine* engines[] = {simulated->get(), file->get()};
+    for (const std::size_t qi : {0u, 9u, 17u}) {
+      const Series& query = items[qi];
+      const ScanResult ref = memory.SearchLeaveOneOut(query, qi);
+      const auto ref_knn = memory.KnnLeaveOneOut(query, 3, qi);
+      const double radius = ref_knn.back().distance * 1.01;
+      const auto ref_range = memory.Range(query, radius);
+
+      for (const QueryEngine* engine : engines) {
+        const std::string label =
+            std::string(DistanceKindName(kind)) + "/" +
+            CascadeName(cascade) + "/" + engine->backend()->name() + "/q" +
+            std::to_string(qi);
+
+        const ScanResult got = engine->SearchLeaveOneOut(query, qi);
+        EXPECT_EQ(got.best_index, ref.best_index) << label;
+        EXPECT_EQ(got.best_distance, ref.best_distance) << label;
+        EXPECT_EQ(got.counter.total_steps(), ref.counter.total_steps())
+            << label;
+
+        const auto knn = engine->KnnLeaveOneOut(query, 3, qi);
+        ASSERT_EQ(knn.size(), ref_knn.size()) << label;
+        for (std::size_t r = 0; r < knn.size(); ++r) {
+          EXPECT_EQ(knn[r].index, ref_knn[r].index) << label << " rank " << r;
+          EXPECT_EQ(knn[r].distance, ref_knn[r].distance)
+              << label << " rank " << r;
+        }
+
+        const auto range = engine->Range(query, radius);
+        ASSERT_EQ(range.size(), ref_range.size()) << label;
+        for (std::size_t r = 0; r < range.size(); ++r) {
+          EXPECT_EQ(range[r].index, ref_range[r].index)
+              << label << " hit " << r;
+          EXPECT_EQ(range[r].distance, ref_range[r].distance)
+              << label << " hit " << r;
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BackendEquivalenceTest,
+                         ::testing::Values(DistanceKind::kEuclidean,
+                                           DistanceKind::kDtw),
+                         [](const ::testing::TestParamInfo<DistanceKind>& p) {
+                           return std::string(DistanceKindName(p.param));
+                         });
 
 INSTANTIATE_TEST_SUITE_P(
     KindsAndMirror, EngineEquivalenceTest,

@@ -31,6 +31,25 @@ TEST(SimulatedDiskTest, CountsFetchesAndPages) {
   EXPECT_DOUBLE_EQ(disk.FetchFraction(), 0.0);
 }
 
+// Regression: PagesSpanned used to be computed from the series size alone
+// (ceil(bytes / page_size)), ignoring where the object starts. A series
+// whose byte range straddles a page boundary reads one page more than its
+// size implies, exactly as a real paged store would.
+TEST(SimulatedDiskTest, PagesSpannedIsOffsetAware) {
+  SimulatedDisk disk(/*page_size_bytes=*/4096);
+  // 300 doubles = 2400 bytes. Object 0 occupies [0, 2400): page 0 only.
+  // Object 1 occupies [2400, 4800): straddles pages 0 and 1 — two pages,
+  // where the size-alone formula says ceil(2400/4096) = 1.
+  const int first = disk.Store(Series(300, 1.0));
+  const int second = disk.Store(Series(300, 2.0));
+  EXPECT_EQ(disk.PagesSpanned(first), 1u);
+  EXPECT_EQ(disk.PagesSpanned(second), 2u);
+
+  disk.Fetch(second);
+  EXPECT_EQ(disk.page_reads(), 2u);
+  EXPECT_EQ(disk.object_fetches(), 1u);
+}
+
 TEST(SimulatedDiskTest, PeekDoesNotCount) {
   SimulatedDisk disk;
   disk.Store(Series(4, 1.0));

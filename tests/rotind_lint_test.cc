@@ -88,6 +88,38 @@ TEST(RotindLintTest, AllowsDagEdgesAndSelfIncludes) {
   EXPECT_TRUE(CheckLayering(files).empty());
 }
 
+/// The storage layer sits between io and the consumers that fetch through
+/// it: io -> storage -> {index, search}. Upward includes from storage into
+/// its consumers are the inversions the DAG must reject.
+TEST(RotindLintTest, StorageLayerEdges) {
+  const std::vector<SourceFile> allowed = {
+      {"src/storage/ok.cc",
+       "#include \"src/storage/backend.h\"\n"
+       "#include \"src/io/serialize.h\"\n"
+       "#include \"src/core/status.h\"\n"},
+      {"src/index/ok.cc", "#include \"src/storage/backend.h\"\n"},
+      {"src/search/ok.cc", "#include \"src/storage/buffer_pool.h\"\n"},
+  };
+  EXPECT_TRUE(CheckLayering(allowed).empty());
+}
+
+TEST(RotindLintTest, DetectsStorageIncludingItsConsumers) {
+  const std::vector<SourceFile> files = {
+      {"src/storage/bad_search.cc", "#include \"src/search/engine.h\"\n"},
+      {"src/storage/bad_index.cc",
+       "#include \"src/index/candidate_scan.h\"\n"},
+      // storage is below obs too: I/O accounting flows up via FetchStats,
+      // never by storage reaching into the metrics registry.
+      {"src/storage/bad_obs.cc", "#include \"src/obs/metrics.h\"\n"},
+  };
+  const std::vector<Finding> findings = CheckLayering(files);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "layering");
+    EXPECT_EQ(f.line, 1);
+  }
+}
+
 TEST(RotindLintTest, FlagsModuleMissingFromDag) {
   const std::vector<SourceFile> files = {
       {"src/newmodule/a.cc", "#include \"src/core/series.h\"\n"}};

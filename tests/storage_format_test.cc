@@ -1,0 +1,243 @@
+/// RIDX on-disk format: write/read roundtrip fidelity (bytes, signatures,
+/// labels), the header/section corruption taxonomy, and the two regression
+/// cases the fuzzer found interesting enough to pin — a corrupted catalog
+/// section and a data-page checksum mismatch, which must surface as Status
+/// from the exact layer that detects them.
+
+#include "src/storage/index_file.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/status.h"
+#include "src/fourier/spectral.h"
+#include "src/index/index_io.h"
+#include "src/index/paa.h"
+#include "src/storage/backend.h"
+
+namespace rotind::storage {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return "/tmp/rotind_format_test." + std::to_string(::getpid()) + "." + tag +
+         ".ridx";
+}
+
+Dataset MakeDataset(std::size_t count, std::size_t length) {
+  Dataset ds;
+  for (std::size_t i = 0; i < count; ++i) {
+    Series s(length);
+    for (std::size_t j = 0; j < length; ++j) {
+      s[j] = 0.25 * static_cast<double>(i) -
+             1.5 * static_cast<double>(j % 7) + 0.125;
+    }
+    ds.items.push_back(std::move(s));
+    ds.labels.push_back(static_cast<int>(i % 3));
+  }
+  return ds;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Builds a small labelled index and returns its byte image.
+std::string BuildImage(std::size_t count, std::size_t length,
+                       std::size_t page_size) {
+  const std::string path = TempPath("image");
+  IndexBuildOptions build;
+  build.sig_dims = 4;
+  build.paa_dims = 4;
+  build.page_size_bytes = page_size;
+  const Status s = BuildIndexFile(MakeDataset(count, length), build, path);
+  EXPECT_TRUE(s.ok()) << s.message();
+  std::string image = ReadAll(path);
+  std::remove(path.c_str());
+  return image;
+}
+
+TEST(StorageFormatTest, RoundtripPreservesBytesSignaturesAndLabels) {
+  const Dataset ds = MakeDataset(7, 40);
+  const std::string path = TempPath("roundtrip");
+  IndexBuildOptions build;
+  build.sig_dims = 8;
+  build.paa_dims = 5;
+  build.page_size_bytes = 128;  // 40 doubles = 320 bytes: extents straddle
+  ASSERT_TRUE(BuildIndexFile(ds, build, path).ok());
+
+  auto file = IndexFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  EXPECT_EQ((*file)->num_objects(), 7u);
+  EXPECT_EQ((*file)->series_length(), 40u);
+  EXPECT_EQ((*file)->sig_dims(), 8u);
+  EXPECT_EQ((*file)->paa_dims(), 5u);
+  ASSERT_TRUE((*file)->has_labels());
+  EXPECT_EQ((*file)->labels(), ds.labels);
+
+  // Resident signatures are exactly what the kernels produce.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto sig = MakeSpectralSignature(ds.items[i], 8);
+    const auto paa = PaaTransform(ds.items[i], 5);
+    for (std::size_t d = 0; d < 8; ++d) {
+      EXPECT_EQ((*file)->spectral_signatures()[i * 8 + d], sig.values[d]);
+    }
+    for (std::size_t d = 0; d < 5; ++d) {
+      EXPECT_EQ((*file)->paa_summaries()[i * 5 + d], paa.values[d]);
+    }
+  }
+
+  // Paged data section returns bit-identical series through the backend.
+  auto backend = FileBackend::FromIndex(*std::move(file), 2,
+                                        EvictionPolicy::kLru);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    FetchStats io;
+    auto h = backend->TryFetch(i, &io);
+    ASSERT_TRUE(h.ok()) << h.status().message();
+    ASSERT_EQ(h->length(), 40u);
+    for (std::size_t j = 0; j < 40; ++j) {
+      EXPECT_EQ(h->data()[j], ds.items[i][j]) << "object " << i;
+    }
+  }
+  EXPECT_TRUE(backend->error().ok());
+}
+
+TEST(StorageFormatTest, FromMemoryParsesTheSameImage) {
+  const std::string image = BuildImage(5, 24, 64);
+  auto file = IndexFile::FromMemory(image);
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  EXPECT_EQ((*file)->num_objects(), 5u);
+  EXPECT_EQ((*file)->series_length(), 24u);
+}
+
+TEST(StorageFormatTest, CorruptionTaxonomy) {
+  const std::string image = BuildImage(5, 24, 64);
+
+  {
+    std::string bad = image;
+    bad[0] = 'X';
+    EXPECT_EQ(IndexFile::FromMemory(bad).status().code(),
+              StatusCode::kBadMagic);
+  }
+  {
+    std::string bad = image;
+    bad[4] = 99;  // version field, checked before the header checksum
+    EXPECT_EQ(IndexFile::FromMemory(bad).status().code(),
+              StatusCode::kVersionMismatch);
+  }
+  {
+    // Any header field flip past the version trips the header checksum.
+    std::string bad = image;
+    bad[16] = static_cast<char>(bad[16] ^ 0x01);  // count field
+    EXPECT_EQ(IndexFile::FromMemory(bad).status().code(),
+              StatusCode::kCorruptHeader);
+  }
+  {
+    // Truncations anywhere must be kTruncated or another error — never a
+    // success over missing bytes, never a crash.
+    for (const std::size_t cut : {0u, 3u, 8u, 63u, 64u, 200u}) {
+      if (cut >= image.size()) continue;
+      const auto parsed = IndexFile::FromMemory(image.substr(0, cut));
+      EXPECT_FALSE(parsed.ok()) << "cut at " << cut;
+    }
+    // Cutting inside the data section specifically reports truncation.
+    const auto short_data =
+        IndexFile::FromMemory(image.substr(0, image.size() - 1));
+    EXPECT_EQ(short_data.status().code(), StatusCode::kTruncated);
+  }
+}
+
+/// Regression: a flipped byte inside the catalog section must fail the
+/// catalog checksum at parse time — before any extent is trusted.
+TEST(StorageFormatTest, CorruptedCatalogSectionIsRejectedAtParse) {
+  const std::string image = BuildImage(5, 24, 64);
+  std::string bad = image;
+  // The catalog starts immediately after the 64-byte header.
+  bad[kIndexHeaderBytes + 3] = static_cast<char>(bad[kIndexHeaderBytes + 3] ^
+                                                 0x40);
+  const auto parsed = IndexFile::FromMemory(bad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+  EXPECT_NE(parsed.status().message().find("catalog"), std::string::npos)
+      << parsed.status().message();
+}
+
+/// Regression: bit rot inside a data page parses fine (pages are verified
+/// lazily) but the first read of that page must fail its checksum, and the
+/// failure must surface through every fetch layer — ReadPage, TryFetch,
+/// and the unchecked Fetch's latched error().
+TEST(StorageFormatTest, DataPageChecksumMismatchSurfacesOnRead) {
+  const std::string image = BuildImage(5, 24, 64);
+  auto clean = IndexFile::FromMemory(image);
+  ASSERT_TRUE(clean.ok());
+  const std::size_t page_size = (*clean)->page_size_bytes();
+  const std::size_t num_pages = (*clean)->num_pages();
+  // The strict total-size check means the data section is exactly the
+  // image's tail.
+  const std::size_t data_start = image.size() - num_pages * page_size;
+
+  std::string bad = image;
+  bad[data_start + 5] = static_cast<char>(bad[data_start + 5] ^ 0x10);
+  auto file = IndexFile::FromMemory(bad);
+  ASSERT_TRUE(file.ok()) << "data pages are verified on read, not parse";
+
+  std::vector<char> buf(page_size);
+  const Status read = (*file)->ReadPage(0, buf.data());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kCorruptHeader);
+  EXPECT_NE(read.message().find("checksum mismatch"), std::string::npos);
+
+  auto backend = FileBackend::FromIndex(*std::move(file), 2,
+                                        EvictionPolicy::kLru);
+  FetchStats io;
+  const auto fetched = backend->TryFetch(0, &io);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kCorruptHeader);
+
+  // Unchecked fetch path: invalid handle + latched error.
+  EXPECT_TRUE(backend->error().ok());
+  const SeriesHandle h = backend->Fetch(0, &io);
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(backend->error().ok());
+}
+
+TEST(StorageFormatTest, WriterValidatesShapesAndPageSize) {
+  const Dataset ds = MakeDataset(3, 16);
+  const std::string path = TempPath("invalid");
+
+  IndexBuildOptions tiny_pages;
+  tiny_pages.page_size_bytes = 32;  // below kMinPageSize
+  EXPECT_EQ(BuildIndexFile(ds, tiny_pages, path).code(),
+            StatusCode::kInvalidArgument);
+
+  IndexBuildOptions sig_too_wide;
+  sig_too_wide.sig_dims = 9;  // only n/2 = 8 spectral coefficients exist
+  EXPECT_EQ(BuildIndexFile(ds, sig_too_wide, path).code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(BuildIndexFile(Dataset{}, IndexBuildOptions{}, path).code(),
+            StatusCode::kInvalidArgument);
+
+  Dataset ragged = ds;
+  ragged.items[1].pop_back();
+  EXPECT_EQ(BuildIndexFile(ragged, IndexBuildOptions{}, path).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(StorageFormatTest, OpenMissingFileIsNotFound) {
+  const auto file = IndexFile::Open("/nonexistent/rotind.ridx");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rotind::storage

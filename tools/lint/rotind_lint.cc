@@ -31,6 +31,7 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"distance", {"core"}},
       {"obs", {"core"}},
       {"io", {"core"}},
+      {"storage", {"core", "io"}},
       {"shape", {"core"}},
       {"fourier", {"core", "distance"}},
       {"envelope", {"core", "cluster", "distance"}},
@@ -38,9 +39,9 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"datasets", {"core", "shape", "lightcurve"}},
       {"stream", {"core", "cluster", "distance", "envelope"}},
       {"search", {"core", "cluster", "distance", "envelope", "fourier",
-                  "obs"}},
+                  "obs", "storage"}},
       {"index", {"core", "cluster", "distance", "envelope", "fourier", "obs",
-                 "search"}},
+                 "search", "storage"}},
       {"mining", {"core", "distance", "envelope", "fourier", "search"}},
       {"eval", {"core", "distance", "envelope", "fourier", "obs", "search"}},
   };

@@ -1,7 +1,8 @@
-/// Fuzzing entry point for the dataset loaders — the library's primary
-/// untrusted-input surface. One input image is fed to BOTH parsers (binary
-/// container and UCR text); any crash, sanitizer report, or runaway
-/// allocation is a bug, since every malformed input must map to a Status.
+/// Fuzzing entry point for the untrusted-input surfaces: the dataset
+/// loaders (binary container and UCR text) and the paged RIDX index
+/// reader. One input image is fed to ALL parsers; any crash, sanitizer
+/// report, or runaway allocation is a bug, since every malformed input
+/// must map to a Status.
 ///
 /// Two build modes:
 ///
@@ -29,9 +30,12 @@
 #include <vector>
 
 #include "src/core/flat_dataset.h"
+#include "src/index/index_io.h"
 #include "src/io/serialize.h"
 #include "src/search/engine.h"
 #include "src/search/scan.h"
+#include "src/storage/backend.h"
+#include "src/storage/index_file.h"
 
 namespace {
 
@@ -69,6 +73,31 @@ void ExerciseParsers(const std::uint8_t* data, std::size_t size) {
                                      StageKind::kWedge};
     const QueryEngine engine(*flat, engine_options);
     (void)engine.SearchChecked(ds.items[0]);
+  }
+
+  // Paged RIDX index container: the storage engine's untrusted surface.
+  // FromMemory must map every byte string to a Status or a fully usable
+  // IndexFile — and "usable" is exercised here: every page is read back
+  // (checksum verification path) and every object is fetched through a
+  // deliberately tiny BufferPool (eviction + pin churn), all of which must
+  // return Status, never crash.
+  StatusOr<std::unique_ptr<storage::IndexFile>> ridx =
+      storage::IndexFile::FromMemory(std::string(bytes, size));
+  if (ridx.ok()) {
+    const storage::IndexFile& file = **ridx;
+    if (file.num_objects() <= 64 && file.series_length() <= 1024 &&
+        file.page_size_bytes() <= (1u << 16) && file.num_pages() <= 256) {
+      std::vector<char> page(file.page_size_bytes());
+      for (std::size_t p = 0; p < file.num_pages(); ++p) {
+        (void)file.ReadPage(p, page.data());
+      }
+      const auto backend = storage::FileBackend::FromIndex(
+          *std::move(ridx), /*pool_pages=*/2, storage::EvictionPolicy::kLru);
+      storage::FetchStats io;
+      for (std::size_t i = 0; i < backend->size(); ++i) {
+        (void)backend->TryFetch(i, &io);
+      }
+    }
   }
 }
 
@@ -120,8 +149,47 @@ std::vector<std::string> BuiltInCorpus() {
     }
   }
 
+  // A genuine RIDX index image (tiny 64-byte pages keep the sweep cheap):
+  // every prefix, plus bit-flips across the header and strided through the
+  // resident sections and data pages — the corruption taxonomy the index
+  // reader's checksums must catch without crashing.
+  {
+    Dataset small;
+    for (int i = 0; i < 4; ++i) {
+      small.items.push_back({0.25 * i, -1.0, 2.0, 0.5, -0.5, 1.5, 0.0, 3.0});
+      small.labels.push_back(i % 2);
+    }
+    IndexBuildOptions build;
+    build.sig_dims = 4;
+    build.paa_dims = 4;
+    build.page_size_bytes = 64;
+    const std::string ridx_path =
+        "/tmp/rotind_fuzz_seed." + std::to_string(::getpid()) + ".ridx";
+    if (BuildIndexFile(small, build, ridx_path).ok()) {
+      std::ifstream in(ridx_path, std::ios::binary);
+      std::string image((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      std::remove(ridx_path.c_str());
+      for (std::size_t cut = 0; cut <= image.size(); cut += 7) {
+        corpus.push_back(image.substr(0, cut));
+      }
+      for (std::size_t i = 0; i < 64 && i < image.size(); ++i) {
+        std::string mutated = image;
+        mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+        corpus.push_back(std::move(mutated));
+      }
+      for (std::size_t i = 64; i < image.size(); i += 13) {
+        std::string mutated = image;
+        mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+        corpus.push_back(std::move(mutated));
+      }
+      corpus.push_back(std::move(image));
+    }
+  }
+
   corpus.push_back("");
   corpus.push_back("RIND");
+  corpus.push_back("RIDX");
   corpus.push_back(std::string(4096, '\0'));
   corpus.push_back("1,2,3\n4,5,6\n");
   corpus.push_back("1,2,3\n4,5\n");          // ragged
