@@ -1,0 +1,414 @@
+/// Open-loop load generator for the `rotind serve` stack: a QueryServer
+/// over a real file-backed QueryEngine, driven by a Poisson arrival
+/// process with zipf-skewed query ids and a mixed 1-NN / k-NN / range
+/// workload, run twice — once clean and once with a seeded storage fault
+/// schedule (transient read errors, torn pages, latency spikes) and
+/// bounded retry enabled.
+///
+///   serve_load_bench [BENCH_serve.json]
+///
+/// The JSON records, per phase: request counts by outcome (ok / degraded
+/// / shed / deadline_exceeded / cancelled / failed), throughput,
+/// end-to-end latency percentiles (p50/p95/p99, queue wait included), and
+/// the storage resilience counters (retries, absorbed faults).
+///
+/// The bench is also the wrong-answer gate CI relies on: every OK
+/// response is checked against ground truth precomputed on a clean
+/// in-memory engine, and the process exits 1 if any served answer —
+/// including under injected faults — is not exact. Degraded k-NN
+/// responses are held to the same bar for their REPORTED effective_k:
+/// robustness may narrow an answer, never corrupt one.
+///
+/// SIGINT/SIGTERM mid-load stops the generator, drains the server, and
+/// still writes the JSON — exercising the same graceful-shutdown path the
+/// CLI server uses.
+///
+/// Scale: ROTIND_BENCH_SCALE=full for a longer run; the default finishes
+/// in seconds.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/datasets/synthetic.h"
+#include "src/index/index_io.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/storage/backend.h"
+
+namespace rotind::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStop(int /*signum*/) { g_stop = 1; }
+
+/// The query-id universe is capped so ground truth stays cheap to
+/// precompute; zipf skew concentrates traffic on the low ranks, which
+/// keeps the buffer pool hot for popular objects and cold for the tail.
+constexpr std::size_t kQueryUniverse = 64;
+constexpr int kMaxK = 8;
+constexpr double kRangeRadius = 2.5;
+
+struct ZipfSampler {
+  std::vector<double> cdf;
+  explicit ZipfSampler(std::size_t universe) {
+    cdf.reserve(universe);
+    double total = 0.0;
+    for (std::size_t r = 0; r < universe; ++r) {
+      total += 1.0 / static_cast<double>(r + 1);
+      cdf.push_back(total);
+    }
+    for (double& c : cdf) c /= total;
+  }
+  std::size_t Sample(Rng* rng) const {
+    const double u = rng->NextDouble();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+  }
+};
+
+/// Exact answers from a clean in-memory engine: the reference every
+/// served OK response is diffed against. Keyed by query id.
+struct GroundTruth {
+  std::map<std::size_t, std::vector<Neighbor>> knn;    ///< kMaxK deep.
+  std::map<std::size_t, std::vector<Neighbor>> range;  ///< kRangeRadius.
+};
+
+GroundTruth ComputeGroundTruth(const FlatDataset& flat,
+                               const EngineOptions& options,
+                               std::size_t universe) {
+  const QueryEngine engine(flat, options);
+  GroundTruth truth;
+  for (std::size_t id = 0; id < universe && id < flat.size(); ++id) {
+    const Series query(flat.data(id), flat.data(id) + flat.length());
+    truth.knn[id] = engine.Knn(query, kMaxK);
+    truth.range[id] = engine.Range(query, kRangeRadius);
+  }
+  return truth;
+}
+
+bool SameNeighbors(const std::vector<Neighbor>& got,
+                   const std::vector<Neighbor>& want) {
+  if (got.size() != want.size()) return false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].index != want[i].index ||
+        got[i].distance != want[i].distance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One completed (request, response) pair, captured from the worker
+/// callback for post-drain verification.
+struct Outcome {
+  serve::Request request;
+  serve::Response response;
+};
+
+struct PhaseResult {
+  std::string name;
+  std::size_t requests = 0;
+  double wall_seconds = 0.0;
+  serve::ServerStats stats;
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_faults_absorbed = 0;
+  std::uint64_t wrong_answers = 0;
+  std::uint64_t verified_ok = 0;
+};
+
+/// Checks one OK response against ground truth. A degraded k-NN response
+/// is verified against the truth prefix of its reported effective_k.
+bool VerifyOutcome(const Outcome& o, const GroundTruth& truth) {
+  const std::size_t id = o.request.query_id;
+  switch (o.request.op) {
+    case serve::RequestOp::kNearest: {
+      const auto it = truth.knn.find(id);
+      if (it == truth.knn.end() || it->second.empty()) {
+        return o.response.neighbors.empty();
+      }
+      return o.response.neighbors.size() == 1 &&
+             o.response.neighbors[0].index == it->second[0].index &&
+             o.response.neighbors[0].distance == it->second[0].distance;
+    }
+    case serve::RequestOp::kKnn: {
+      const auto it = truth.knn.find(id);
+      if (it == truth.knn.end()) return false;
+      const std::size_t k = static_cast<std::size_t>(o.response.effective_k);
+      std::vector<Neighbor> want(
+          it->second.begin(),
+          it->second.begin() +
+              static_cast<long>(std::min(k, it->second.size())));
+      return SameNeighbors(o.response.neighbors, want);
+    }
+    case serve::RequestOp::kRange: {
+      const auto it = truth.range.find(id);
+      if (it == truth.range.end()) return false;
+      return SameNeighbors(o.response.neighbors, it->second);
+    }
+  }
+  return false;
+}
+
+/// Runs one load phase against a fresh engine + server. The arrival
+/// process is open-loop (sleep is scheduled, not response-gated) with a
+/// periodic 24-deep burst that overflows the 16-deep queue on purpose:
+/// load shedding and degradation are part of what the phase measures.
+PhaseResult RunPhase(const std::string& name, const std::string& index_path,
+                     const EngineOptions& engine_options,
+                     const GroundTruth& truth, std::size_t num_requests,
+                     std::uint64_t seed) {
+  PhaseResult result;
+  result.name = name;
+
+  StatusOr<std::unique_ptr<QueryEngine>> engine =
+      QueryEngine::Open(engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s: cannot open %s: %s\n", name.c_str(),
+                 index_path.c_str(), engine.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  serve::ServerOptions server_options;
+  server_options.num_workers = 4;
+  server_options.queue_capacity = 16;
+  server_options.default_deadline = std::chrono::milliseconds(500);
+  server_options.degraded_k = 1;
+  serve::QueryServer server(**engine, server_options);
+  server.Start();
+
+  std::mutex outcomes_mutex;
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(num_requests);
+  const auto on_done = [&](const serve::Request& request,
+                           const serve::Response& response) {
+    std::lock_guard<std::mutex> lock(outcomes_mutex);
+    outcomes.push_back({request, response});
+  };
+
+  Rng rng(seed);
+  const ZipfSampler zipf(kQueryUniverse);
+  const double mean_gap_us = 1200.0;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < num_requests && g_stop == 0; ++i) {
+    serve::Request request;
+    request.query_id = zipf.Sample(&rng);
+    const double mix = rng.NextDouble();
+    if (mix < 0.6) {
+      request.op = serve::RequestOp::kNearest;
+    } else if (mix < 0.9) {
+      request.op = serve::RequestOp::kKnn;
+      request.k = 2 + static_cast<int>(rng.NextBounded(kMaxK - 1));
+    } else {
+      request.op = serve::RequestOp::kRange;
+      request.radius = kRangeRadius;
+    }
+    // A slice of the traffic carries deadlines too tight to meet: the
+    // phase must show them failing TYPED, not slow or wrong.
+    if (rng.NextDouble() < 0.05) {
+      request.deadline = std::chrono::microseconds(1);
+    }
+    ++result.requests;
+    (void)server.Submit(request, on_done);  // Sheds are counted server-side.
+    if (i % 50 == 49) {
+      for (int b = 0; b < 24 && result.requests < num_requests; ++b) {
+        serve::Request burst = request;
+        burst.deadline = std::chrono::nanoseconds(0);
+        burst.query_id = zipf.Sample(&rng);
+        ++result.requests;
+        (void)server.Submit(burst, on_done);
+      }
+    } else {
+      const double gap =
+          -std::log(1.0 - rng.NextDouble()) * mean_gap_us;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<std::int64_t>(gap)));
+    }
+  }
+  server.Shutdown();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  result.stats = server.stats();
+  for (const obs::StageStats& stage : result.stats.engine_metrics.stages) {
+    result.io_retries += stage.io_retries;
+    result.io_faults_absorbed += stage.io_faults_absorbed;
+  }
+
+  for (const Outcome& o : outcomes) {
+    if (!o.response.status.ok()) continue;
+    if (VerifyOutcome(o, truth)) {
+      ++result.verified_ok;
+    } else {
+      ++result.wrong_answers;
+      std::fprintf(stderr,
+                   "%s: WRONG ANSWER op=%s id=%zu effective_k=%d n=%zu\n",
+                   name.c_str(), serve::OpName(o.request.op),
+                   o.request.query_id, o.response.effective_k,
+                   o.response.neighbors.size());
+    }
+  }
+  return result;
+}
+
+void PrintPhase(const PhaseResult& r) {
+  const auto& s = r.stats;
+  const double qps =
+      r.wall_seconds > 0.0
+          ? static_cast<double>(s.completed_ok) / r.wall_seconds
+          : 0.0;
+  std::printf(
+      "%-8s  %6zu req  %7.2f qps  p50=%llu p95=%llu p99=%llu us  "
+      "ok=%llu degraded=%llu shed=%llu deadline=%llu failed=%llu  "
+      "retries=%llu absorbed=%llu  wrong=%llu\n",
+      r.name.c_str(), r.requests, qps,
+      static_cast<unsigned long long>(
+          s.e2e_latency.PercentileNanos(50.0) / 1000),
+      static_cast<unsigned long long>(
+          s.e2e_latency.PercentileNanos(95.0) / 1000),
+      static_cast<unsigned long long>(
+          s.e2e_latency.PercentileNanos(99.0) / 1000),
+      static_cast<unsigned long long>(s.completed_ok),
+      static_cast<unsigned long long>(s.degraded),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(r.io_retries),
+      static_cast<unsigned long long>(r.io_faults_absorbed),
+      static_cast<unsigned long long>(r.wrong_answers));
+}
+
+void WriteJson(const std::string& out_path, std::size_t m, std::size_t n,
+               bool full, const std::vector<PhaseResult>& phases) {
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"scale\": \"%s\", \"database_m\": %zu, "
+               "\"database_n\": %zu,\n",
+               full ? "full" : "quick", m, n);
+  std::fprintf(out, "  \"phases\": [\n");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& r = phases[i];
+    const auto& s = r.stats;
+    const double qps =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(s.completed_ok) / r.wall_seconds
+            : 0.0;
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"requests\": %zu, \"wall_seconds\": "
+        "%.6f,\n"
+        "     \"throughput_qps\": %.3f, \"p50_us\": %llu, \"p95_us\": "
+        "%llu, \"p99_us\": %llu, \"max_us\": %llu,\n"
+        "     \"completed_ok\": %llu, \"degraded\": %llu, \"shed\": %llu, "
+        "\"deadline_exceeded\": %llu, \"cancelled\": %llu, \"failed\": "
+        "%llu,\n"
+        "     \"io_retries\": %llu, \"io_faults_absorbed\": %llu, "
+        "\"verified_ok\": %llu, \"wrong_answers\": %llu}%s\n",
+        r.name.c_str(), r.requests, r.wall_seconds, qps,
+        static_cast<unsigned long long>(
+            s.e2e_latency.PercentileNanos(50.0) / 1000),
+        static_cast<unsigned long long>(
+            s.e2e_latency.PercentileNanos(95.0) / 1000),
+        static_cast<unsigned long long>(
+            s.e2e_latency.PercentileNanos(99.0) / 1000),
+        static_cast<unsigned long long>(s.e2e_latency.max_nanos() / 1000),
+        static_cast<unsigned long long>(s.completed_ok),
+        static_cast<unsigned long long>(s.degraded),
+        static_cast<unsigned long long>(s.shed),
+        static_cast<unsigned long long>(s.deadline_exceeded),
+        static_cast<unsigned long long>(s.cancelled),
+        static_cast<unsigned long long>(s.failed),
+        static_cast<unsigned long long>(r.io_retries),
+        static_cast<unsigned long long>(r.io_faults_absorbed),
+        static_cast<unsigned long long>(r.verified_ok),
+        static_cast<unsigned long long>(r.wrong_answers),
+        i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const bool full = FullScale();
+  const std::size_t m = full ? 2000 : 400;
+  const std::size_t n = full ? 251 : 128;
+  const std::size_t num_requests = full ? 3000 : 400;
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+
+  const std::vector<Series> db = MakeProjectilePointsDatabase(m, n, 24);
+  const FlatDataset flat = RestrictFlat(db, m);
+  Dataset dataset;
+  dataset.items = db;
+  const std::string index_path = out_path + ".ridx";
+  const Status built = BuildIndexFile(dataset, IndexBuildOptions(),
+                                      index_path);
+  if (!built.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 built.message().c_str());
+    return 1;
+  }
+
+  EngineOptions engine_options;
+  engine_options.storage.backend = storage::BackendKind::kFile;
+  engine_options.storage.index_path = index_path;
+  engine_options.storage.pool_pages = 32;
+  const GroundTruth truth =
+      ComputeGroundTruth(flat, EngineOptions(), kQueryUniverse);
+
+  std::printf("serve load bench: m=%zu n=%zu, %zu requests per phase%s\n",
+              m, n, num_requests, full ? " (full scale)" : "");
+  std::vector<PhaseResult> phases;
+
+  phases.push_back(RunPhase("clean", index_path, engine_options, truth,
+                            num_requests, 1001));
+  PrintPhase(phases.back());
+
+  EngineOptions faulted = engine_options;
+  faulted.storage.retry.max_attempts = 4;
+  faulted.storage.faults.seed = 77;
+  faulted.storage.faults.transient_read_prob = 0.05;
+  faulted.storage.faults.transient_burst = 2;
+  faulted.storage.faults.torn_page_prob = 0.01;
+  faulted.storage.faults.latency_spike_prob = 0.02;
+  faulted.storage.faults.latency_spike = std::chrono::microseconds(500);
+  phases.push_back(RunPhase("faulted", index_path, faulted, truth,
+                            num_requests, 2002));
+  PrintPhase(phases.back());
+
+  std::remove(index_path.c_str());
+  WriteJson(out_path, m, n, full, phases);
+
+  std::uint64_t wrong = 0;
+  for (const PhaseResult& r : phases) wrong += r.wrong_answers;
+  if (wrong > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu wrong answers served (exactness gate)\n",
+                 static_cast<unsigned long long>(wrong));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rotind::bench
+
+int main(int argc, char** argv) { return rotind::bench::Run(argc, argv); }

@@ -1,0 +1,115 @@
+#ifndef ROTIND_CORE_CANCEL_H_
+#define ROTIND_CORE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "src/core/status.h"
+
+namespace rotind {
+
+/// Cooperative cancellation token for long-running query work.
+///
+/// A token carries (a) an optional absolute deadline, (b) a local cancel
+/// flag, and (c) an optional pointer to an external kill-switch (a shared
+/// atomic owned by e.g. a server's shutdown path, so one flag can cancel
+/// every in-flight query at once). Work that honors the token polls
+/// `Check()` at natural stage boundaries; a fired token maps to a *typed*
+/// Status — kDeadlineExceeded or kCancelled — never to a partial result.
+///
+/// Polling cost: when a deadline is set, every Check() samples the steady
+/// clock (~tens of ns). This is deliberate — an already-expired deadline
+/// must fire at the *first* boundary after expiry so deadline semantics are
+/// deterministic under test, and the cascade's per-candidate work dwarfs a
+/// clock read. Tokens are cheap to copy; copies share the external
+/// kill-switch but not the local flag.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that never fires (the default for non-server call sites).
+  CancelToken() = default;
+
+  /// A token that fires once `Clock::now() >= deadline`.
+  static CancelToken WithDeadline(Clock::time_point deadline) {
+    CancelToken token;
+    token.deadline_ = deadline;
+    token.has_deadline_ = true;
+    return token;
+  }
+
+  /// A token that fires `timeout` from now. Non-positive timeouts produce a
+  /// token that is already expired, which is a legitimate way to probe the
+  /// first stage boundary.
+  static CancelToken WithTimeout(std::chrono::nanoseconds timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  /// Attaches an external kill-switch. The pointee must outlive every
+  /// Check() on this token and its copies; `true` means "cancel now".
+  void AttachKillSwitch(const std::atomic<bool>* kill_switch) {
+    kill_switch_ = kill_switch;
+  }
+
+  /// Requests local cancellation. Affects this token only (copies made
+  /// before the call are independent); for fleet-wide cancellation use the
+  /// kill-switch.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool has_deadline() const { return has_deadline_; }
+  [[nodiscard]] Clock::time_point deadline() const { return deadline_; }
+
+  /// True iff the token has fired (deadline passed, local Cancel(), or
+  /// kill-switch set). Never true for a default token.
+  [[nodiscard]] bool Fired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (kill_switch_ != nullptr &&
+        kill_switch_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// OK while the token has not fired; otherwise the typed failure the
+  /// caller must return verbatim. Deadline expiry wins over cancellation
+  /// when both hold, so a drain-deadline kill reports honestly as
+  /// kDeadlineExceeded from the query's perspective.
+  [[nodiscard]] Status Check() const {
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline expired");
+    }
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (kill_switch_ != nullptr &&
+        kill_switch_->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("server kill-switch set");
+    }
+    return Status::Ok();
+  }
+
+  CancelToken(const CancelToken& other)
+      : deadline_(other.deadline_),
+        has_deadline_(other.has_deadline_),
+        kill_switch_(other.kill_switch_),
+        cancelled_(other.cancelled_.load(std::memory_order_relaxed)) {}
+  CancelToken& operator=(const CancelToken& other) {
+    deadline_ = other.deadline_;
+    has_deadline_ = other.has_deadline_;
+    kill_switch_ = other.kill_switch_;
+    cancelled_.store(other.cancelled_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const std::atomic<bool>* kill_switch_ = nullptr;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_CORE_CANCEL_H_

@@ -51,6 +51,18 @@ enum class StatusCode {
   kParseError,
   /// The file contains no series at all.
   kEmptyDataset,
+
+  // --- Serving / cooperative-cancellation errors -------------------------
+  /// A query's deadline expired before the cascade finished. The result is
+  /// intentionally withheld: a partially-scanned candidate set must never be
+  /// presented as an exact answer.
+  kDeadlineExceeded,
+  /// The query was cancelled (shutdown kill-switch or caller request)
+  /// before the cascade finished.
+  kCancelled,
+  /// Admission control rejected the request: the server's bounded queue was
+  /// full. The request was never started; retrying later is safe.
+  kOverloaded,
 };
 
 /// Human-readable name of a StatusCode ("kBadMagic" -> "BAD_MAGIC").
@@ -70,6 +82,9 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kRaggedRow: return "RAGGED_ROW";
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kEmptyDataset: return "EMPTY_DATASET";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -106,6 +121,15 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

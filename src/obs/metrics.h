@@ -77,12 +77,18 @@ struct StageStats {
   std::uint64_t pages_read = 0;
   std::uint64_t pool_evictions = 0;
   std::uint64_t io_bytes = 0;
+  /// Transient-fault absorption by the storage retry loop: page pins that
+  /// were re-attempted, and pins that eventually succeeded on a retry.
+  /// Nonzero only under storage faults, so healthy runs keep their shape.
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_faults_absorbed = 0;
   /// Whether this stage participated in at least one query.
   bool used = false;
 
   std::uint64_t total_steps() const { return steps + setup_steps; }
   bool has_io() const {
-    return (pool_hits | pages_read | pool_evictions | io_bytes) != 0;
+    return (pool_hits | pages_read | pool_evictions | io_bytes | io_retries |
+            io_faults_absorbed) != 0;
   }
   StageStats& operator+=(const StageStats& o);
 };

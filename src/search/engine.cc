@@ -311,8 +311,9 @@ class ScanTerminal final : public TerminalStage {
 class QueryCascade {
  public:
   QueryCascade(const Series& query, const EngineOptions& options,
-               StepCounter* counter, obs::QueryMetrics* metrics = nullptr)
-      : metrics_(metrics) {
+               StepCounter* counter, obs::QueryMetrics* metrics = nullptr,
+               const CancelToken* cancel = nullptr)
+      : metrics_(metrics), cancel_(cancel) {
     for (StageKind kind : options.cascade.stages) {
       if (IsTerminal(kind)) {
         terminal_id_ = StageIdFor(kind);
@@ -353,6 +354,12 @@ class QueryCascade {
 
   CandidateMatch Compare(const double* c, double threshold,
                          StepCounter* counter) {
+    // Cooperative cancellation: the token is polled at every stage
+    // boundary — before each filter and before the terminal — so a fired
+    // deadline stops the cascade within one stage's work. Once fired, the
+    // cascade stays cancelled and every later Compare is a no-op; the
+    // driver checks cancelled() and abandons the scan.
+    if (CheckCancelBoundary()) return CandidateMatch{};
     for (const auto& filter : filters_) {
       obs::StageStats* stats = StatsFor(obs::StageId::kFftFilter);
       bool pruned;
@@ -365,6 +372,7 @@ class QueryCascade {
         ++(pruned ? stats->candidates_pruned : stats->candidates_survived);
       }
       if (pruned) return CandidateMatch{};
+      if (CheckCancelBoundary()) return CandidateMatch{};
     }
     obs::StageStats* stats = StatsFor(terminal_id_);
     CandidateMatch m;
@@ -379,6 +387,10 @@ class QueryCascade {
     return m;
   }
 
+  /// True once the token has fired; stays true (the scan result is void).
+  bool cancelled() const { return !cancel_status_.ok(); }
+  const Status& cancel_status() const { return cancel_status_; }
+
   void NotifyImproved(const double* trigger, double best,
                       StepCounter* counter) {
     StageScope scope(StatsFor(terminal_id_), counter);
@@ -390,7 +402,19 @@ class QueryCascade {
     return metrics_ != nullptr ? &metrics_->stage(id) : nullptr;
   }
 
+  /// Polls the token (if any), latches the first failure, and reports
+  /// whether the cascade is (now) cancelled.
+  bool CheckCancelBoundary() {
+    if (cancel_ != nullptr && cancel_status_.ok()) {
+      Status s = cancel_->Check();
+      if (!s.ok()) cancel_status_ = std::move(s);
+    }
+    return !cancel_status_.ok();
+  }
+
   obs::QueryMetrics* metrics_;
+  const CancelToken* cancel_;
+  Status cancel_status_;
   obs::StageId terminal_id_ = obs::StageId::kExactScan;
   std::vector<std::unique_ptr<FilterStage>> filters_;
   std::unique_ptr<TerminalStage> terminal_;
@@ -415,6 +439,8 @@ void FoldFetchIo(const storage::FetchStats& io, obs::StageStats* fetch_stats,
     fetch_stats->pages_read += io.page_reads;
     fetch_stats->pool_evictions += io.pool_evictions;
     fetch_stats->io_bytes += io.bytes_read;
+    fetch_stats->io_retries += io.retries;
+    fetch_stats->io_faults_absorbed += io.faults_absorbed;
   }
 }
 
@@ -437,6 +463,10 @@ void RunScan(std::size_t db_size, const Fetch& fetch, std::size_t holdout,
     if (!h.valid()) continue;
     const CandidateMatch m =
         cascade.Compare(h.data(), collector.threshold(), counter);
+    // A fired cancellation token voids the whole scan: stop immediately,
+    // leaving whatever partial state the collector holds for the caller to
+    // DISCARD (the Checked entry points return the typed cancel Status).
+    if (cascade.cancelled()) return;
     if (m.found && collector.Offer(i, m)) {
       cascade.NotifyImproved(h.data(), collector.threshold(), counter);
     }
@@ -713,10 +743,18 @@ ScanResult QueryEngine::Search(const Series& query,
 ScanResult QueryEngine::SearchLeaveOneOut(const Series& query,
                                           std::size_t holdout,
                                           obs::QueryMetrics* metrics) const {
+  return SearchImpl(query, holdout, metrics, nullptr, nullptr, nullptr);
+}
+
+ScanResult QueryEngine::SearchImpl(const Series& query, std::size_t holdout,
+                                   obs::QueryMetrics* metrics,
+                                   const CancelToken* cancel,
+                                   Status* interrupted,
+                                   bool* fetch_failed) const {
   ScanResult result;
   result.best_distance = kInf;
   const QueryLatencyScope latency(metrics);
-  QueryCascade cascade(query, options_, &result.counter, metrics);
+  QueryCascade cascade(query, options_, &result.counter, metrics, cancel);
   BestCollector collector(&result);
   storage::FetchStats fetch_io;
   obs::StageStats* fetch_stats =
@@ -727,10 +765,15 @@ ScanResult QueryEngine::SearchLeaveOneOut(const Series& query,
       database_size(),
       [&](std::size_t i) {
         const StageScope scope(fetch_stats, &result.counter);
-        return FetchCandidate(i, &fetch_io);
+        storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
+        if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
+        return h;
       },
       holdout, cascade, collector, &result.counter);
   if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
+  if (interrupted != nullptr && cascade.cancelled()) {
+    *interrupted = cascade.cancel_status();
+  }
   return result;
 }
 
@@ -743,10 +786,21 @@ std::vector<Neighbor> QueryEngine::Knn(const Series& query, int k,
 std::vector<Neighbor> QueryEngine::KnnLeaveOneOut(
     const Series& query, int k, std::size_t holdout, StepCounter* counter,
     obs::QueryMetrics* metrics) const {
+  return KnnImpl(query, k, holdout, counter, metrics, nullptr, nullptr,
+                 nullptr);
+}
+
+std::vector<Neighbor> QueryEngine::KnnImpl(const Series& query, int k,
+                                           std::size_t holdout,
+                                           StepCounter* counter,
+                                           obs::QueryMetrics* metrics,
+                                           const CancelToken* cancel,
+                                           Status* interrupted,
+                                           bool* fetch_failed) const {
   StepCounter local;
   StepCounter* cnt = counter != nullptr ? counter : &local;
   const QueryLatencyScope latency(metrics);
-  QueryCascade cascade(query, options_, cnt, metrics);
+  QueryCascade cascade(query, options_, cnt, metrics, cancel);
   KnnCollector collector(k);
   storage::FetchStats fetch_io;
   obs::StageStats* fetch_stats =
@@ -757,20 +811,36 @@ std::vector<Neighbor> QueryEngine::KnnLeaveOneOut(
       database_size(),
       [&](std::size_t i) {
         const StageScope scope(fetch_stats, cnt);
-        return FetchCandidate(i, &fetch_io);
+        storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
+        if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
+        return h;
       },
       holdout, cascade, collector, cnt);
   if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
+  if (interrupted != nullptr && cascade.cancelled()) {
+    *interrupted = cascade.cancel_status();
+  }
   return collector.Take();
 }
 
 std::vector<Neighbor> QueryEngine::Range(const Series& query, double radius,
                                          StepCounter* counter,
                                          obs::QueryMetrics* metrics) const {
+  return RangeImpl(query, radius, counter, metrics, nullptr, nullptr,
+                   nullptr);
+}
+
+std::vector<Neighbor> QueryEngine::RangeImpl(const Series& query,
+                                             double radius,
+                                             StepCounter* counter,
+                                             obs::QueryMetrics* metrics,
+                                             const CancelToken* cancel,
+                                             Status* interrupted,
+                                             bool* fetch_failed) const {
   StepCounter local;
   StepCounter* cnt = counter != nullptr ? counter : &local;
   const QueryLatencyScope latency(metrics);
-  QueryCascade cascade(query, options_, cnt, metrics);
+  QueryCascade cascade(query, options_, cnt, metrics, cancel);
   RangeCollector collector(radius);
   storage::FetchStats fetch_io;
   obs::StageStats* fetch_stats =
@@ -781,10 +851,15 @@ std::vector<Neighbor> QueryEngine::Range(const Series& query, double radius,
       database_size(),
       [&](std::size_t i) {
         const StageScope scope(fetch_stats, cnt);
-        return FetchCandidate(i, &fetch_io);
+        storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
+        if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
+        return h;
       },
       kNoHoldout, cascade, collector, cnt);
   if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
+  if (interrupted != nullptr && cascade.cancelled()) {
+    *interrupted = cascade.cancel_status();
+  }
   return collector.Take();
 }
 
@@ -816,13 +891,32 @@ Status QueryEngine::ValidateQuery(const Series& query) const {
   return Status::Ok();
 }
 
-StatusOr<ScanResult> QueryEngine::SearchChecked(const Series& query) const {
+StatusOr<ScanResult> QueryEngine::SearchChecked(
+    const Series& query, const CancelToken* cancel,
+    obs::QueryMetrics* metrics) const {
   Status valid = ValidateQuery(query);
   if (!valid.ok()) return valid;
-  ScanResult result = Search(query);
+  if (cancel != nullptr) {
+    // An already-fired token must not pay for cascade setup (the wedge
+    // tree build is real work).
+    Status early = cancel->Check();
+    if (!early.ok()) return early;
+  }
+  Status interrupted;
+  bool fetch_failed = false;
+  ScanResult result = SearchImpl(query, kNoHoldout, metrics, cancel,
+                                 &interrupted, &fetch_failed);
+  if (!interrupted.ok()) return interrupted;
+  // A storage failure mid-scan silently skips candidates in the unchecked
+  // path; here it must invalidate the result. The per-query flag is
+  // authoritative (the shared latch can be cleared by a concurrent
+  // query's error handling); the latch is kept as a fallback detail.
+  if (fetch_failed) {
+    Status io = backend_ != nullptr ? backend_->error() : Status::Ok();
+    if (io.ok()) io = Status::IoError("candidate fetch failed during scan");
+    return io;
+  }
   if (backend_ != nullptr) {
-    // A storage failure mid-scan silently skips candidates in the
-    // unchecked path; here it must invalidate the result.
     Status io = backend_->error();
     if (!io.ok()) return io;
   }
@@ -830,13 +924,28 @@ StatusOr<ScanResult> QueryEngine::SearchChecked(const Series& query) const {
 }
 
 StatusOr<std::vector<Neighbor>> QueryEngine::KnnChecked(
-    const Series& query, int k, StepCounter* counter) const {
+    const Series& query, int k, StepCounter* counter,
+    const CancelToken* cancel, obs::QueryMetrics* metrics) const {
   Status valid = ValidateQuery(query);
   if (!valid.ok()) return valid;
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
   }
-  std::vector<Neighbor> result = Knn(query, k, counter);
+  if (cancel != nullptr) {
+    Status early = cancel->Check();
+    if (!early.ok()) return early;
+  }
+  Status interrupted;
+  bool fetch_failed = false;
+  std::vector<Neighbor> result = KnnImpl(query, k, kNoHoldout, counter,
+                                         metrics, cancel, &interrupted,
+                                         &fetch_failed);
+  if (!interrupted.ok()) return interrupted;
+  if (fetch_failed) {
+    Status io = backend_ != nullptr ? backend_->error() : Status::Ok();
+    if (io.ok()) io = Status::IoError("candidate fetch failed during scan");
+    return io;
+  }
   if (backend_ != nullptr) {
     Status io = backend_->error();
     if (!io.ok()) return io;
@@ -845,14 +954,29 @@ StatusOr<std::vector<Neighbor>> QueryEngine::KnnChecked(
 }
 
 StatusOr<std::vector<Neighbor>> QueryEngine::RangeChecked(
-    const Series& query, double radius, StepCounter* counter) const {
+    const Series& query, double radius, StepCounter* counter,
+    const CancelToken* cancel, obs::QueryMetrics* metrics) const {
   Status valid = ValidateQuery(query);
   if (!valid.ok()) return valid;
   if (!std::isfinite(radius) || radius < 0.0) {
     return Status::InvalidArgument("radius must be finite and >= 0, got " +
                                    std::to_string(radius));
   }
-  std::vector<Neighbor> result = Range(query, radius, counter);
+  if (cancel != nullptr) {
+    Status early = cancel->Check();
+    if (!early.ok()) return early;
+  }
+  Status interrupted;
+  bool fetch_failed = false;
+  std::vector<Neighbor> result =
+      RangeImpl(query, radius, counter, metrics, cancel, &interrupted,
+                &fetch_failed);
+  if (!interrupted.ok()) return interrupted;
+  if (fetch_failed) {
+    Status io = backend_ != nullptr ? backend_->error() : Status::Ok();
+    if (io.ok()) io = Status::IoError("candidate fetch failed during scan");
+    return io;
+  }
   if (backend_ != nullptr) {
     Status io = backend_->error();
     if (!io.ok()) return io;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/cancel.h"
 #include "src/core/flat_dataset.h"
 #include "src/core/series.h"
 #include "src/core/status.h"
@@ -200,13 +201,23 @@ class QueryEngine {
   /// and length-matching.
   [[nodiscard]] Status ValidateQuery(const Series& query) const;
 
-  /// Checked variants: the validated public entry points.
-  [[nodiscard]] StatusOr<ScanResult> SearchChecked(const Series& query) const;
+  /// Checked variants: the validated public entry points. `cancel`, when
+  /// non-null, is polled cooperatively at every cascade stage boundary
+  /// (fetch / filter / terminal, per candidate); a fired token aborts the
+  /// scan and the call returns the token's typed Status (kDeadlineExceeded
+  /// or kCancelled) — NEVER a partial result presented as exact. `metrics`
+  /// has the same contract as on the unchecked entry points.
+  [[nodiscard]] StatusOr<ScanResult> SearchChecked(
+      const Series& query, const CancelToken* cancel = nullptr,
+      obs::QueryMetrics* metrics = nullptr) const;
   [[nodiscard]] StatusOr<std::vector<Neighbor>> KnnChecked(
-      const Series& query, int k, StepCounter* counter = nullptr) const;
+      const Series& query, int k, StepCounter* counter = nullptr,
+      const CancelToken* cancel = nullptr,
+      obs::QueryMetrics* metrics = nullptr) const;
   [[nodiscard]] StatusOr<std::vector<Neighbor>> RangeChecked(
-      const Series& query, double radius,
-      StepCounter* counter = nullptr) const;
+      const Series& query, double radius, StepCounter* counter = nullptr,
+      const CancelToken* cancel = nullptr,
+      obs::QueryMetrics* metrics = nullptr) const;
 
   /// Batch 1-NN over a worker pool. Results (including each per-query
   /// StepCounter) are BIT-IDENTICAL to running Search sequentially: queries
@@ -234,6 +245,30 @@ class QueryEngine {
       obs::QueryMetrics* metrics = nullptr) const;
 
  private:
+  /// Scan cores shared by the unchecked entry points (cancel == nullptr)
+  /// and the Checked ones. When `cancel` fires mid-scan its typed Status
+  /// lands in `*interrupted` and the (partial, meaningless) value result
+  /// must be discarded by the caller. `fetch_failed`, when non-null, is
+  /// set if any candidate fetch of THIS query returned an invalid handle
+  /// — a per-query signal, unlike the backend's shared error latch, so
+  /// concurrent queries on one backend cannot mask each other's skipped
+  /// candidates.
+  ScanResult SearchImpl(const Series& query, std::size_t holdout,
+                        obs::QueryMetrics* metrics, const CancelToken* cancel,
+                        Status* interrupted, bool* fetch_failed) const;
+  std::vector<Neighbor> KnnImpl(const Series& query, int k,
+                                std::size_t holdout, StepCounter* counter,
+                                obs::QueryMetrics* metrics,
+                                const CancelToken* cancel,
+                                Status* interrupted,
+                                bool* fetch_failed) const;
+  std::vector<Neighbor> RangeImpl(const Series& query, double radius,
+                                  StepCounter* counter,
+                                  obs::QueryMetrics* metrics,
+                                  const CancelToken* cancel,
+                                  Status* interrupted,
+                                  bool* fetch_failed) const;
+
   /// One candidate fetch: a borrow for legacy vector storage, a backend
   /// fetch (with I/O accounting into `io`) otherwise.
   storage::SeriesHandle FetchCandidate(std::size_t i,

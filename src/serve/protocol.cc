@@ -1,0 +1,197 @@
+#include "src/serve/protocol.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rotind::serve {
+namespace {
+
+constexpr std::size_t kMaxLineBytes = 4096;
+constexpr int kMaxK = 1 << 20;
+constexpr double kMaxDeadlineMs = 86'400'000.0;  // one day
+
+/// Splits `line` into space-separated tokens. Exactly one space between
+/// tokens; leading/trailing spaces are rejected by the empty-token check.
+Status Tokenize(std::string_view line, std::vector<std::string_view>* out) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ' ') {
+      if (i == start) {
+        return Status::InvalidArgument("empty token (stray space?)");
+      }
+      out->push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParseSize(std::string_view token, const char* what,
+                 std::size_t* out) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument(std::string(what) + " '" +
+                                   std::string(token) +
+                                   "' is not a valid non-negative integer");
+  }
+  *out = value;
+  return Status::Ok();
+}
+
+Status ParseDouble(std::string_view token, const char* what, double* out) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size() ||
+      !std::isfinite(value)) {
+    return Status::InvalidArgument(std::string(what) + " '" +
+                                   std::string(token) +
+                                   "' is not a finite number");
+  }
+  *out = value;
+  return Status::Ok();
+}
+
+/// Parses the optional trailing `deadline_ms=<float>` token.
+Status ParseDeadline(std::string_view token, Request* request) {
+  constexpr std::string_view kPrefix = "deadline_ms=";
+  if (token.substr(0, kPrefix.size()) != kPrefix) {
+    return Status::InvalidArgument("unexpected token '" + std::string(token) +
+                                   "' (want deadline_ms=<float>)");
+  }
+  double ms = 0.0;
+  Status s = ParseDouble(token.substr(kPrefix.size()), "deadline_ms", &ms);
+  if (!s.ok()) return s;
+  if (ms <= 0.0 || ms > kMaxDeadlineMs) {
+    return Status::InvalidArgument("deadline_ms must be in (0, " +
+                                   std::to_string(kMaxDeadlineMs) + "]");
+  }
+  request->deadline = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(ms * 1'000'000.0));
+  return Status::Ok();
+}
+
+void AppendNeighbor(std::string* out, const Neighbor& n) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d:%.17g:%d:%d", n.index, n.distance,
+                n.shift, n.mirrored ? 1 : 0);
+  *out += buf;
+}
+
+}  // namespace
+
+const char* OpName(RequestOp op) {
+  switch (op) {
+    case RequestOp::kNearest: return "nn";
+    case RequestOp::kKnn: return "knn";
+    case RequestOp::kRange: return "range";
+  }
+  return "unknown";
+}
+
+StatusOr<Request> ParseRequest(std::string_view line) {
+  if (line.size() > kMaxLineBytes) {
+    return Status::InvalidArgument("request line exceeds " +
+                                   std::to_string(kMaxLineBytes) + " bytes");
+  }
+  // Strip one trailing CR or LF pair (teleconsole-friendly), then reject
+  // any remaining control bytes — this is a single-line protocol.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) return Status::InvalidArgument("empty request line");
+  for (char c : line) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return Status::InvalidArgument("control byte in request line");
+    }
+  }
+
+  std::vector<std::string_view> tokens;
+  Status split = Tokenize(line, &tokens);
+  if (!split.ok()) return split;
+
+  Request request;
+  std::size_t positional = 0;  // tokens after the op, before deadline_ms
+  if (tokens[0] == "nn") {
+    request.op = RequestOp::kNearest;
+    positional = 1;
+  } else if (tokens[0] == "knn") {
+    request.op = RequestOp::kKnn;
+    positional = 2;
+  } else if (tokens[0] == "range") {
+    request.op = RequestOp::kRange;
+    positional = 2;
+  } else {
+    return Status::InvalidArgument("unknown op '" + std::string(tokens[0]) +
+                                   "' (want nn | knn | range)");
+  }
+  if (tokens.size() < 1 + positional || tokens.size() > 2 + positional) {
+    return Status::InvalidArgument(std::string("op '") + OpName(request.op) +
+                                   "' takes " + std::to_string(positional) +
+                                   " arguments plus an optional deadline");
+  }
+
+  Status s = ParseSize(tokens[1], "query_id", &request.query_id);
+  if (!s.ok()) return s;
+  if (request.op == RequestOp::kKnn) {
+    std::size_t k = 0;
+    s = ParseSize(tokens[2], "k", &k);
+    if (!s.ok()) return s;
+    if (k < 1 || k > static_cast<std::size_t>(kMaxK)) {
+      return Status::InvalidArgument("k must be in [1, " +
+                                     std::to_string(kMaxK) + "]");
+    }
+    request.k = static_cast<int>(k);
+  } else if (request.op == RequestOp::kRange) {
+    s = ParseDouble(tokens[2], "radius", &request.radius);
+    if (!s.ok()) return s;
+    if (request.radius < 0.0) {
+      return Status::InvalidArgument("radius must be >= 0");
+    }
+  }
+  if (tokens.size() == 2 + positional) {
+    s = ParseDeadline(tokens[1 + positional], &request);
+    if (!s.ok()) return s;
+  }
+  return request;
+}
+
+std::string FormatResponse(const Request& request, const Response& response) {
+  std::string out;
+  out.reserve(64 + response.neighbors.size() * 32);
+  if (!response.status.ok()) {
+    out += "ERR ";
+    out += StatusCodeName(response.status.code());
+    out += " op=";
+    out += OpName(request.op);
+    out += " id=" + std::to_string(request.query_id);
+    out += " msg=" + response.status.message();
+    return out;
+  }
+  out += "OK op=";
+  out += OpName(request.op);
+  out += " id=" + std::to_string(request.query_id);
+  if (request.op == RequestOp::kKnn) {
+    out += " k=" + std::to_string(request.k);
+    out += " effective_k=" + std::to_string(response.effective_k);
+    out += " degraded=";
+    out += response.degraded ? '1' : '0';
+  }
+  out += " n=" + std::to_string(response.neighbors.size());
+  out += " latency_us=" +
+         std::to_string(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 response.latency)
+                 .count());
+  out += " results=";
+  for (std::size_t i = 0; i < response.neighbors.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendNeighbor(&out, response.neighbors[i]);
+  }
+  return out;
+}
+
+}  // namespace rotind::serve

@@ -1,0 +1,323 @@
+#include "src/serve/server.h"
+
+#include <utility>
+
+#include "src/core/contracts.h"
+
+namespace rotind::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t NanosToMicros(std::uint64_t nanos) { return nanos / 1000; }
+
+void AppendU64(std::string* out, const std::string& pad, const char* key,
+               std::uint64_t value, bool comma) {
+  *out += pad + "\"" + key + "\": " + std::to_string(value) +
+          (comma ? ",\n" : "\n");
+}
+
+}  // namespace
+
+std::string ServerStats::ToJson(int indent) const {
+  const std::string p0(indent, ' ');
+  const std::string p1(indent + 2, ' ');
+  const std::string p2(indent + 4, ' ');
+  std::string out = p0 + "{\n";
+  AppendU64(&out, p1, "submitted", submitted, true);
+  AppendU64(&out, p1, "admitted", admitted, true);
+  AppendU64(&out, p1, "shed", shed, true);
+  AppendU64(&out, p1, "rejected_draining", rejected_draining, true);
+  AppendU64(&out, p1, "completed_ok", completed_ok, true);
+  AppendU64(&out, p1, "degraded", degraded, true);
+  AppendU64(&out, p1, "deadline_exceeded", deadline_exceeded, true);
+  AppendU64(&out, p1, "cancelled", cancelled, true);
+  AppendU64(&out, p1, "failed", failed, true);
+  out += p1 + "\"e2e_latency\": {\n";
+  AppendU64(&out, p2, "count", e2e_latency.count(), true);
+  AppendU64(&out, p2, "p50_us",
+            NanosToMicros(e2e_latency.PercentileNanos(50.0)), true);
+  AppendU64(&out, p2, "p95_us",
+            NanosToMicros(e2e_latency.PercentileNanos(95.0)), true);
+  AppendU64(&out, p2, "p99_us",
+            NanosToMicros(e2e_latency.PercentileNanos(99.0)), true);
+  AppendU64(&out, p2, "max_us", NanosToMicros(e2e_latency.max_nanos()),
+            false);
+  out += p1 + "},\n";
+  out += p1 + "\"engine\":\n";
+  out += engine_metrics.ToJson(indent + 2);
+  out += "\n" + p0 + "}";
+  return out;
+}
+
+QueryServer::QueryServer(const QueryEngine& engine,
+                         const ServerOptions& options)
+    : engine_(engine), options_(options) {
+  ROTIND_CONTRACT(engine.backend() != nullptr,
+                  "QueryServer needs an engine with a StorageBackend; the "
+                  "legacy vector adapter is not servable");
+  ROTIND_CONTRACT(options.num_workers >= 1, "num_workers must be >= 1");
+  ROTIND_CONTRACT(options.queue_capacity >= 1,
+                  "queue_capacity must be >= 1");
+}
+
+QueryServer::~QueryServer() { (void)Shutdown(); }
+
+void QueryServer::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Status QueryServer::Submit(const Request& request, ResponseCallback done) {
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  Item item;
+  item.request = request;
+  item.done = std::move(done);
+  item.admitted = Clock::now();
+  const std::chrono::nanoseconds budget =
+      request.deadline.count() > 0 ? request.deadline
+                                   : options_.default_deadline;
+  if (budget.count() > 0) {
+    item.deadline = item.admitted + budget;
+    item.has_deadline = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.rejected_draining;
+      return Status::Cancelled("server is draining; admission stopped");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      // Load shedding: fail FAST and typed, do not queue beyond capacity.
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.shed;
+      return Status::Overloaded(
+          "request queue full (" + std::to_string(options_.queue_capacity) +
+          " deep); retry later");
+    }
+    queue_.push_back(std::move(item));
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.admitted;
+  }
+  work_cv_.notify_one();
+  return Status::Ok();
+}
+
+void QueryServer::BeginShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+bool QueryServer::Drain(std::chrono::nanoseconds deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto idle = [this] { return queue_.empty() && in_flight_ == 0; };
+  if (!started_) {
+    // No workers to drain through: complete queued items as cancelled so
+    // every admitted request still gets exactly one callback.
+    std::deque<Item> orphans;
+    orphans.swap(queue_);
+    lock.unlock();
+    for (Item& item : orphans) {
+      Response response;
+      response.status =
+          Status::Cancelled("server stopped before the request ran");
+      response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - item.admitted);
+      if (item.done) item.done(item.request, response);
+      RecordOutcome(item, response, obs::QueryMetrics());
+    }
+    return true;
+  }
+  if (drain_cv_.wait_until(lock, Clock::now() + deadline, idle)) {
+    return true;
+  }
+  // Drain deadline expired: hard-cancel. Every in-flight query observes
+  // the kill-switch at its next cascade stage boundary and unwinds with a
+  // typed status; queued items fail their admission-time token check.
+  kill_switch_.store(true, std::memory_order_relaxed);
+  drain_cv_.wait(lock, idle);
+  return false;
+}
+
+bool QueryServer::Shutdown() {
+  BeginShutdown();
+  const bool clean = Drain(options_.drain_deadline);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) return clean;
+    joined_ = true;
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  return clean;
+}
+
+ServerStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::size_t QueryServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool QueryServer::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    Item item;
+    std::size_t depth_at_dequeue = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      depth_at_dequeue = queue_.size();
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    obs::QueryMetrics metrics;
+    const Response response = Execute(item, depth_at_dequeue, &metrics);
+    if (item.done) item.done(item.request, response);
+    RecordOutcome(item, response, metrics);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+Response QueryServer::Execute(const Item& item, std::size_t depth_at_dequeue,
+                              obs::QueryMetrics* metrics) const {
+  const Request& request = item.request;
+  Response response;
+  response.effective_k = request.k;
+
+  // Graceful degradation, decided at dequeue time: sustained overload
+  // shows up as standing queue depth. The honesty rule: the narrowed k is
+  // reported in the response, never silently substituted.
+  if (options_.degrade_under_overload && request.op == RequestOp::kKnn &&
+      request.k > options_.degraded_k &&
+      depth_at_dequeue >=
+          static_cast<std::size_t>(options_.degrade_depth_fraction *
+                                   static_cast<double>(
+                                       options_.queue_capacity))) {
+    response.effective_k = options_.degraded_k;
+    response.degraded = true;
+  }
+
+  CancelToken token = item.has_deadline
+                          ? CancelToken::WithDeadline(item.deadline)
+                          : CancelToken();
+  token.AttachKillSwitch(&kill_switch_);
+
+  const auto finish = [&](Status status) {
+    response.status = std::move(status);
+    response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - item.admitted);
+    // A failed query may have latched an error on the shared backend;
+    // consume it so one transient fault cannot poison later queries.
+    if (!response.status.ok()) engine_.backend()->ClearError();
+    return response;
+  };
+
+  // A request that waited out its whole deadline in the queue fails here
+  // without touching the engine (and a kill-switch drain unwinds the
+  // entire queue this way).
+  Status pre = token.Check();
+  if (!pre.ok()) return finish(std::move(pre));
+
+  if (request.query_id >= engine_.database_size()) {
+    return finish(Status::OutOfRange(
+        "query_id " + std::to_string(request.query_id) + " not in [0, " +
+        std::to_string(engine_.database_size()) + ")"));
+  }
+  StatusOr<storage::SeriesHandle> handle =
+      engine_.backend()->TryFetch(request.query_id, nullptr);
+  if (!handle.ok()) return finish(handle.status());
+  const Series query(handle->data(), handle->data() + handle->length());
+
+  switch (request.op) {
+    case RequestOp::kNearest: {
+      StatusOr<ScanResult> result =
+          engine_.SearchChecked(query, &token, metrics);
+      if (!result.ok()) return finish(result.status());
+      if (result->best_index >= 0) {
+        response.neighbors.push_back(Neighbor{result->best_index,
+                                              result->best_distance,
+                                              result->best_shift,
+                                              result->best_mirrored});
+      }
+      return finish(Status::Ok());
+    }
+    case RequestOp::kKnn: {
+      StatusOr<std::vector<Neighbor>> result = engine_.KnnChecked(
+          query, response.effective_k, nullptr, &token, metrics);
+      if (!result.ok()) return finish(result.status());
+      response.neighbors = *std::move(result);
+      return finish(Status::Ok());
+    }
+    case RequestOp::kRange: {
+      StatusOr<std::vector<Neighbor>> result = engine_.RangeChecked(
+          query, request.radius, nullptr, &token, metrics);
+      if (!result.ok()) return finish(result.status());
+      response.neighbors = *std::move(result);
+      return finish(Status::Ok());
+    }
+  }
+  return finish(Status::Internal("unhandled request op"));
+}
+
+void QueryServer::RecordOutcome(const Item& item, const Response& response,
+                                const obs::QueryMetrics& metrics) {
+  (void)item;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.engine_metrics += metrics;
+  stats_.e2e_latency.Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(response.latency)
+          .count()));
+  switch (response.status.code()) {
+    case StatusCode::kOk:
+      ++stats_.completed_ok;
+      if (response.degraded) ++stats_.degraded;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++stats_.deadline_exceeded;
+      break;
+    case StatusCode::kCancelled:
+      ++stats_.cancelled;
+      break;
+    default:
+      ++stats_.failed;
+      break;
+  }
+}
+
+}  // namespace rotind::serve

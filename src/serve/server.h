@@ -1,0 +1,162 @@
+#ifndef ROTIND_SERVE_SERVER_H_
+#define ROTIND_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/cancel.h"
+#include "src/core/status.h"
+#include "src/obs/metrics.h"
+#include "src/search/engine.h"
+#include "src/serve/protocol.h"
+
+namespace rotind::serve {
+
+/// Server configuration: the robustness knobs of ISSUE 6.
+struct ServerOptions {
+  /// Worker threads draining the request queue.
+  int num_workers = 4;
+  /// Bounded queue depth; a Submit beyond it is shed with kOverloaded.
+  std::size_t queue_capacity = 64;
+  /// Deadline applied to requests that carry none (zero = no deadline).
+  std::chrono::nanoseconds default_deadline{0};
+  /// How long Shutdown lets in-flight + queued work finish before the
+  /// kill-switch hard-cancels the remainder.
+  std::chrono::nanoseconds drain_deadline{std::chrono::seconds(5)};
+  /// Graceful degradation under sustained overload: when a k-NN request
+  /// is dequeued while queue depth >= degrade_depth_fraction * capacity,
+  /// its k is narrowed to degraded_k. The response carries degraded=1 and
+  /// the effective k — the answer is exact FOR THAT k and is never
+  /// presented as the full answer (the honesty rule).
+  bool degrade_under_overload = true;
+  double degrade_depth_fraction = 0.75;
+  int degraded_k = 1;
+};
+
+/// Cumulative server accounting. Every admitted request ends in exactly
+/// one terminal counter (ok / deadline_exceeded / cancelled / failed);
+/// shed requests never enter the queue.
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;               ///< kOverloaded fast-rejects.
+  std::uint64_t rejected_draining = 0;  ///< Submits after BeginShutdown.
+  std::uint64_t completed_ok = 0;
+  std::uint64_t degraded = 0;           ///< OK responses with narrowed k.
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;             ///< I/O or validation failures.
+  /// Merged per-stage engine metrics (cascade attribution, storage I/O
+  /// with retry counters, engine-side latency).
+  obs::QueryMetrics engine_metrics;
+  /// End-to-end latency: admission to completion, queue wait included.
+  obs::LatencyHistogram e2e_latency;
+
+  /// {"submitted": ..., "e2e_latency_p99_us": ..., "engine": {...}}
+  std::string ToJson(int indent = 0) const;
+};
+
+/// A long-running concurrent query server over one QueryEngine.
+///
+/// Lifecycle: construct -> (optionally Submit while stopped, for
+/// deterministic tests) -> Start() -> Submit()/callbacks -> Shutdown().
+/// Submit is thread-safe and non-blocking: it either enqueues (bounded
+/// queue) or fast-rejects with kOverloaded / kCancelled. Worker threads
+/// dequeue, run the query through the engine's Checked entry points with
+/// a per-query CancelToken (deadline measured from ADMISSION, so queue
+/// wait counts), and invoke the completion callback from the worker.
+///
+/// Shutdown(): stops admission, drains under drain_deadline, then flips
+/// the shared kill-switch so stragglers abort at their next cascade
+/// stage boundary with a typed status. Returns true for a clean drain.
+/// The engine must outlive the server and have a StorageBackend (the
+/// legacy vector adapter is not servable).
+class QueryServer {
+ public:
+  /// Completion callback; runs on a worker thread. Must not call back
+  /// into the server (Submit from a callback would deadlock on drain).
+  using ResponseCallback =
+      std::function<void(const Request&, const Response&)>;
+
+  QueryServer(const QueryEngine& engine, const ServerOptions& options);
+  ~QueryServer();
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Launches the worker pool. Idempotent.
+  void Start();
+
+  /// Admission control. OK: enqueued, `done` will run exactly once.
+  /// kOverloaded: queue full, request shed, `done` never runs.
+  /// kCancelled: server is draining, `done` never runs.
+  [[nodiscard]] Status Submit(const Request& request, ResponseCallback done);
+
+  /// Stops admission; queued and in-flight work continues.
+  void BeginShutdown();
+
+  /// Waits for the queue and in-flight set to empty. If `deadline`
+  /// passes first, sets the kill-switch (in-flight queries return
+  /// kCancelled at their next stage boundary) and waits for the fast
+  /// unwind. Returns true iff the drain completed without the
+  /// kill-switch.
+  bool Drain(std::chrono::nanoseconds deadline);
+
+  /// BeginShutdown + Drain(options.drain_deadline) + worker join.
+  /// Returns Drain's verdict. Idempotent.
+  bool Shutdown();
+
+  ServerStats stats() const;
+  std::size_t queue_depth() const;
+  bool draining() const;
+
+ private:
+  struct Item {
+    Request request;
+    ResponseCallback done;
+    std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void WorkerLoop();
+  /// Runs one admitted request through the engine and fills the
+  /// response. `depth_at_dequeue` drives the degradation decision;
+  /// per-query engine metrics land in `*metrics` for the stats merge.
+  Response Execute(const Item& item, std::size_t depth_at_dequeue,
+                   obs::QueryMetrics* metrics) const;
+  void RecordOutcome(const Item& item, const Response& response,
+                     const obs::QueryMetrics& metrics);
+
+  const QueryEngine& engine_;
+  const ServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< Queue became non-empty / stop.
+  std::condition_variable drain_cv_;  ///< Queue + in-flight hit zero.
+  std::deque<Item> queue_;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;  ///< Admission stopped.
+  bool stopping_ = false;  ///< Workers exit once the queue is empty.
+  bool started_ = false;
+  bool joined_ = false;
+  std::vector<std::thread> workers_;
+
+  /// Shared hard-cancel flag, attached to every in-flight CancelToken.
+  std::atomic<bool> kill_switch_{false};
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace rotind::serve
+
+#endif  // ROTIND_SERVE_SERVER_H_

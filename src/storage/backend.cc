@@ -1,9 +1,17 @@
 #include "src/storage/backend.h"
 
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace rotind::storage {
+
+bool IsRetryableStorageError(StatusCode code) {
+  // kIoError: the read itself failed (transient EIO class).
+  // kCorruptHeader: a torn page — the checksum caught bytes from a
+  // half-completed write; a re-read may observe the completed write.
+  return code == StatusCode::kIoError || code == StatusCode::kCorruptHeader;
+}
 
 StatusOr<SeriesHandle> StorageBackend::TryFetch(std::size_t i,
                                                 FetchStats* stats) const {
@@ -70,23 +78,71 @@ SeriesHandle SimulatedBackend::Fetch(std::size_t i, FetchStats* stats) const {
 // FileBackend
 
 FileBackend::FileBackend(std::unique_ptr<IndexFile> file,
-                         std::size_t pool_pages, EvictionPolicy eviction)
-    : file_(std::move(file)), pool_(*file_, pool_pages, eviction) {}
+                         std::size_t pool_pages, EvictionPolicy eviction,
+                         const Tuning& tuning)
+    : file_(std::move(file)),
+      retry_(tuning.retry),
+      fault_schedule_(tuning.faults.enabled()
+                          ? std::make_unique<FaultSchedule>(tuning.faults)
+                          : nullptr),
+      fault_source_(fault_schedule_ != nullptr
+                        ? std::make_unique<FaultInjectingSource>(
+                              *file_, *fault_schedule_)
+                        : nullptr),
+      pool_(fault_source_ != nullptr
+                ? static_cast<const PageSource&>(*fault_source_)
+                : static_cast<const PageSource&>(*file_),
+            pool_pages, eviction) {}
 
 StatusOr<std::unique_ptr<FileBackend>> FileBackend::Open(
-    const std::string& path, std::size_t pool_pages,
-    EvictionPolicy eviction) {
+    const std::string& path, std::size_t pool_pages, EvictionPolicy eviction,
+    const Tuning& tuning) {
   StatusOr<std::unique_ptr<IndexFile>> file = IndexFile::Open(path);
   if (!file.ok()) return file.status();
   return std::unique_ptr<FileBackend>(
-      new FileBackend(*std::move(file), pool_pages, eviction));
+      new FileBackend(*std::move(file), pool_pages, eviction, tuning));
 }
 
 std::unique_ptr<FileBackend> FileBackend::FromIndex(
     std::unique_ptr<IndexFile> file, std::size_t pool_pages,
-    EvictionPolicy eviction) {
+    EvictionPolicy eviction, const Tuning& tuning) {
   return std::unique_ptr<FileBackend>(
-      new FileBackend(std::move(file), pool_pages, eviction));
+      new FileBackend(std::move(file), pool_pages, eviction, tuning));
+}
+
+FaultCounters FileBackend::fault_counters() const {
+  return fault_schedule_ != nullptr ? fault_schedule_->counters()
+                                    : FaultCounters();
+}
+
+StatusOr<BufferPool::Pinned> FileBackend::PinWithRetry(
+    std::size_t page, FetchStats* stats) const {
+  std::chrono::nanoseconds backoff = retry_.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    BufferPool::PinOutcome outcome;
+    StatusOr<BufferPool::Pinned> pinned = pool_.Pin(page, &outcome);
+    if (pinned.ok()) {
+      if (stats != nullptr) {
+        if (outcome.hit) {
+          ++stats->pool_hits;
+        } else {
+          ++stats->page_reads;
+        }
+        if (outcome.evicted) ++stats->pool_evictions;
+        stats->bytes_read += outcome.bytes_read;
+        if (attempt > 1) ++stats->faults_absorbed;
+      }
+      return pinned;
+    }
+    if (!IsRetryableStorageError(pinned.status().code()) ||
+        attempt >= retry_.max_attempts) {
+      return pinned;  // permanent, or the retry budget is spent: surface.
+    }
+    if (stats != nullptr) ++stats->retries;
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff = std::chrono::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(backoff.count()) * retry_.backoff_multiplier));
+  }
 }
 
 StatusOr<SeriesHandle> FileBackend::TryFetch(std::size_t i,
@@ -105,18 +161,8 @@ StatusOr<SeriesHandle> FileBackend::TryFetch(std::size_t i,
   char* dst = reinterpret_cast<char*>(values.data());
   std::uint64_t copied = 0;
   for (std::size_t page = first; page <= last; ++page) {
-    BufferPool::PinOutcome outcome;
-    StatusOr<BufferPool::Pinned> pinned = pool_.Pin(page, &outcome);
+    StatusOr<BufferPool::Pinned> pinned = PinWithRetry(page, stats);
     if (!pinned.ok()) return pinned.status();
-    if (stats != nullptr) {
-      if (outcome.hit) {
-        ++stats->pool_hits;
-      } else {
-        ++stats->page_reads;
-      }
-      if (outcome.evicted) ++stats->pool_evictions;
-      stats->bytes_read += outcome.bytes_read;
-    }
     const std::uint64_t page_start =
         static_cast<std::uint64_t>(page) * page_size;
     const std::uint64_t from =
@@ -148,6 +194,67 @@ Status FileBackend::error() const {
   return error_;
 }
 
+void FileBackend::ClearError() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  error_ = Status::Ok();
+}
+
+// --------------------------------------------------------------------------
+// FaultInjectingBackend
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::unique_ptr<StorageBackend> inner, const FaultScheduleSpec& spec)
+    : owned_(std::move(inner)), inner_(owned_.get()), schedule_(spec) {}
+
+FaultInjectingBackend::FaultInjectingBackend(const StorageBackend& inner,
+                                             const FaultScheduleSpec& spec)
+    : inner_(&inner), schedule_(spec) {}
+
+StatusOr<SeriesHandle> FaultInjectingBackend::TryFetch(
+    std::size_t i, FetchStats* stats) const {
+  const FaultAction action = schedule_.Decide(i);
+  switch (action.kind) {
+    case FaultKind::kTransientRead:
+      return Status::IoError("injected transient read error on object " +
+                             std::to_string(i));
+    case FaultKind::kTornPage:
+      return Status(StatusCode::kCorruptHeader,
+                    "injected torn page under object " + std::to_string(i) +
+                        ": checksum mismatch");
+    case FaultKind::kLatencySpike:
+      std::this_thread::sleep_for(action.latency);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  return inner_->TryFetch(i, stats);
+}
+
+SeriesHandle FaultInjectingBackend::Fetch(std::size_t i,
+                                          FetchStats* stats) const {
+  StatusOr<SeriesHandle> handle = TryFetch(i, stats);
+  if (handle.ok()) return *std::move(handle);
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (error_.ok()) error_ = handle.status();
+  return SeriesHandle();
+}
+
+Status FaultInjectingBackend::error() const {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_.ok()) return error_;
+  }
+  return inner_->error();
+}
+
+void FaultInjectingBackend::ClearError() const {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error_ = Status::Ok();
+  }
+  inner_->ClearError();
+}
+
 // --------------------------------------------------------------------------
 // OpenBackend
 
@@ -174,8 +281,11 @@ StatusOr<std::unique_ptr<StorageBackend>> OpenBackend(
         return Status::InvalidArgument(
             "file backend needs EngineOptions storage.index_path");
       }
+      FileBackend::Tuning tuning;
+      tuning.retry = options.retry;
+      tuning.faults = options.faults;
       StatusOr<std::unique_ptr<FileBackend>> backend = FileBackend::Open(
-          options.index_path, options.pool_pages, options.eviction);
+          options.index_path, options.pool_pages, options.eviction, tuning);
       if (!backend.ok()) return backend.status();
       return std::unique_ptr<StorageBackend>(*std::move(backend));
     }

@@ -1,6 +1,7 @@
 #ifndef ROTIND_STORAGE_BACKEND_H_
 #define ROTIND_STORAGE_BACKEND_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "src/core/series.h"
 #include "src/core/status.h"
 #include "src/storage/buffer_pool.h"
+#include "src/storage/fault_injection.h"
 #include "src/storage/index_file.h"
 #include "src/storage/simulated_disk.h"
 
@@ -39,6 +41,8 @@ struct FetchStats {
   std::uint64_t pool_hits = 0;       ///< Pages served by the buffer pool.
   std::uint64_t pool_evictions = 0;  ///< Frames recycled to serve misses.
   std::uint64_t bytes_read = 0;      ///< Bytes read from the medium.
+  std::uint64_t retries = 0;         ///< Re-attempted page pins.
+  std::uint64_t faults_absorbed = 0; ///< Pins that succeeded on a retry.
 
   FetchStats& operator+=(const FetchStats& other) {
     object_fetches += other.object_fetches;
@@ -46,9 +50,25 @@ struct FetchStats {
     pool_hits += other.pool_hits;
     pool_evictions += other.pool_evictions;
     bytes_read += other.bytes_read;
+    retries += other.retries;
+    faults_absorbed += other.faults_absorbed;
     return *this;
   }
 };
+
+/// Bounded retry-with-backoff for transient storage faults. Only the
+/// transient codes (kIoError, kCorruptHeader — a failed read and a torn
+/// page) are retried; everything else surfaces immediately.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< Total attempts; 1 disables retry.
+  std::chrono::nanoseconds initial_backoff{100'000};  // 100 us
+  double backoff_multiplier = 2.0;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+/// True for Status codes a retry may clear (the transient fault classes).
+[[nodiscard]] bool IsRetryableStorageError(StatusCode code);
 
 /// A fetched series: either a zero-copy borrow (in-memory and simulated
 /// backends) or an owned buffer assembled from pool pages (file backend).
@@ -112,6 +132,12 @@ class StorageBackend {
   /// First I/O error latched by an unchecked Fetch; OK for healthy
   /// backends. Engines check this once per query, not per candidate.
   [[nodiscard]] virtual Status error() const { return Status::Ok(); }
+
+  /// Resets the latched error. A long-running server calls this after
+  /// reporting a failed query, so one transient fault does not poison
+  /// every later query on the shared backend. No-op for backends that
+  /// cannot fail.
+  virtual void ClearError() const {}
 };
 
 /// Zero-copy over a FlatDataset (which must outlive the backend).
@@ -154,15 +180,24 @@ class SimulatedBackend final : public StorageBackend {
 /// owned buffer, and unpins — so a handle never holds pool frames hostage.
 class FileBackend final : public StorageBackend {
  public:
+  /// Per-backend knobs beyond pool sizing: the retry budget for transient
+  /// page faults and an optional seeded fault schedule installed *under*
+  /// the pool (FaultInjectingSource), so injected faults travel the exact
+  /// path real disk errors take.
+  struct Tuning {
+    RetryPolicy retry;
+    FaultScheduleSpec faults;
+  };
+
   [[nodiscard]] static StatusOr<std::unique_ptr<FileBackend>> Open(
       const std::string& path, std::size_t pool_pages,
-      EvictionPolicy eviction);
+      EvictionPolicy eviction, const Tuning& tuning = Tuning());
 
   /// Adopts an already-parsed index (file- or memory-backed); used by
   /// tests and the fuzzer.
   static std::unique_ptr<FileBackend> FromIndex(
       std::unique_ptr<IndexFile> file, std::size_t pool_pages,
-      EvictionPolicy eviction);
+      EvictionPolicy eviction, const Tuning& tuning = Tuning());
 
   BackendKind backend_kind() const override { return BackendKind::kFile; }
   const char* name() const override { return "file"; }
@@ -173,18 +208,69 @@ class FileBackend final : public StorageBackend {
       std::size_t i, FetchStats* stats) const override;
   int label(std::size_t i) const override;
   [[nodiscard]] Status error() const override;
+  void ClearError() const override;
 
   const IndexFile& file() const { return *file_; }
   const BufferPool& pool() const { return pool_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  /// Injected-fault totals; all-zero when no fault schedule is installed.
+  FaultCounters fault_counters() const;
 
  private:
   FileBackend(std::unique_ptr<IndexFile> file, std::size_t pool_pages,
-              EvictionPolicy eviction);
+              EvictionPolicy eviction, const Tuning& tuning);
+
+  /// Pins `page` with bounded retry-with-backoff; transient failures
+  /// (IsRetryableStorageError) are re-attempted up to the policy budget,
+  /// accumulating per-attempt I/O into `stats`.
+  [[nodiscard]] StatusOr<BufferPool::Pinned> PinWithRetry(
+      std::size_t page, FetchStats* stats) const;
 
   std::unique_ptr<IndexFile> file_;
+  RetryPolicy retry_;
+  std::unique_ptr<FaultSchedule> fault_schedule_;   ///< Null when disabled.
+  std::unique_ptr<FaultInjectingSource> fault_source_;
   mutable BufferPool pool_;
   mutable std::mutex error_mutex_;
   mutable Status error_;  ///< First failure from an unchecked Fetch.
+};
+
+/// StorageBackend decorator that injects faults at the *object fetch*
+/// boundary — above any pool or retry machinery — so engine- and
+/// server-level error handling can be driven deterministically over any
+/// inner backend (including the in-memory ones that cannot otherwise
+/// fail). Fault keys are object ids.
+class FaultInjectingBackend final : public StorageBackend {
+ public:
+  /// Owning: the decorator keeps `inner` alive.
+  FaultInjectingBackend(std::unique_ptr<StorageBackend> inner,
+                        const FaultScheduleSpec& spec);
+  /// Borrowing: `inner` must outlive the decorator.
+  FaultInjectingBackend(const StorageBackend& inner,
+                        const FaultScheduleSpec& spec);
+
+  BackendKind backend_kind() const override {
+    return inner_->backend_kind();
+  }
+  const char* name() const override { return "fault-injecting"; }
+  std::size_t size() const override { return inner_->size(); }
+  std::size_t length() const override { return inner_->length(); }
+  SeriesHandle Fetch(std::size_t i, FetchStats* stats) const override;
+  [[nodiscard]] StatusOr<SeriesHandle> TryFetch(
+      std::size_t i, FetchStats* stats) const override;
+  int label(std::size_t i) const override { return inner_->label(i); }
+  [[nodiscard]] Status error() const override;
+  void ClearError() const override;
+
+  FaultCounters fault_counters() const { return schedule_.counters(); }
+  const StorageBackend& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<StorageBackend> owned_;
+  const StorageBackend* inner_;
+  mutable FaultSchedule schedule_;
+  mutable std::mutex error_mutex_;
+  mutable Status error_;  ///< First injected failure from unchecked Fetch.
 };
 
 /// Backend selection, carried inside EngineOptions. kInMemory and
@@ -195,6 +281,8 @@ struct StorageOptions {
   std::size_t pool_pages = 64;          ///< kFile: BufferPool capacity.
   EvictionPolicy eviction = EvictionPolicy::kLru;
   std::size_t page_size_bytes = 4096;   ///< kSimulated page size.
+  RetryPolicy retry;                    ///< kFile: transient-fault retry.
+  FaultScheduleSpec faults;             ///< kFile: injected-fault schedule.
 };
 
 /// Builds the backend `options` asks for. `in_memory_source` is required

@@ -108,10 +108,17 @@ StatusOr<BufferPool::Pinned> BufferPool::Pin(std::size_t page,
     if (outcome != nullptr) outcome->evicted = true;
   }
   // The source read happens under the pool mutex: correctness first.
-  // ReadPage failure leaves the frame free, so a transient I/O error does
-  // not poison the pool.
+  // ReadPage failure leaves the frame free (unoccupied, unpinned, and not
+  // in page_to_frame_), so a transient I/O error does not poison the pool:
+  // the Status propagates to the caller and the very next Pin of the same
+  // page retries the read into a clean frame.
   Status read = source_.ReadPage(page, frame.data.data());
-  if (!read.ok()) return read;
+  if (!read.ok()) {
+    ROTIND_DCHECK(!frame.occupied && frame.pins == 0);
+    ROTIND_DCHECK(page_to_frame_.find(page) == page_to_frame_.end());
+    ++counters_.failed_reads;
+    return read;
+  }
   frame.page = page;
   frame.occupied = true;
   frame.pins = 1;

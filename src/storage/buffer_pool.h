@@ -35,6 +35,7 @@ struct PoolCounters {
   std::uint64_t misses = 0;      ///< Pins that had to read from the source.
   std::uint64_t evictions = 0;   ///< Occupied frames recycled for a miss.
   std::uint64_t bytes_read = 0;  ///< Bytes fetched from the source.
+  std::uint64_t failed_reads = 0;  ///< Source reads that returned non-OK.
 };
 
 /// A fixed-capacity page cache with pin counts.

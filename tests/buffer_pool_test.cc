@@ -13,6 +13,7 @@
 
 #include "src/core/random.h"
 #include "src/core/status.h"
+#include "src/storage/fault_injection.h"
 
 namespace rotind::storage {
 namespace {
@@ -185,6 +186,64 @@ TEST(BufferPoolTest, SourceFailurePropagatesAndPoolStaysUsable) {
   auto good = pool.Pin(1);
   ASSERT_TRUE(good.ok());
   EXPECT_TRUE(source.PageBytesCorrect(1, good->data()));
+}
+
+TEST(BufferPoolTest, FailedReadsAreCountedAndNeverConsumeAFrame) {
+  PatternSource source(64, 4);
+  BufferPool pool(source, 2, EvictionPolicy::kLru);
+
+  source.FailPage(3);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_FALSE(pool.Pin(3).ok());
+  }
+  const PoolCounters c = pool.counters();
+  EXPECT_EQ(c.failed_reads, 3u);
+  EXPECT_EQ(pool.resident_pages(), 0u)
+      << "a failed read must not leave a frame claiming to hold the page";
+}
+
+/// Regression for the serve fault-injection path: a FaultInjectingSource
+/// sits under the pool exactly where a real disk error would, and its
+/// injected Status must propagate through Pin — typed, counted, and
+/// without wedging the pool for healthy pages.
+TEST(BufferPoolTest, InjectedPermanentFaultPropagatesThroughPin) {
+  const PatternSource inner(64, 8);
+  FaultScheduleSpec spec;
+  spec.permanent_fail_key = 5;
+  FaultSchedule schedule(spec);
+  const FaultInjectingSource source(inner, schedule);
+  BufferPool pool(source, 4, EvictionPolicy::kLru);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto bad = pool.Pin(5);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(pool.counters().failed_reads, 2u);
+
+  // Healthy pages are unaffected before, between, and after the faults.
+  for (const std::size_t page : {0u, 4u, 6u}) {
+    auto good = pool.Pin(page);
+    ASSERT_TRUE(good.ok()) << good.status().message();
+    EXPECT_TRUE(inner.PageBytesCorrect(page, good->data()));
+  }
+}
+
+TEST(BufferPoolTest, InjectedTornPageSurfacesAsCorruptHeaderThroughPin) {
+  const PatternSource inner(64, 8);
+  FaultScheduleSpec spec;
+  spec.torn_page_prob = 1.0;
+  FaultSchedule schedule(spec);
+  const FaultInjectingSource source(inner, schedule);
+  BufferPool pool(source, 4, EvictionPolicy::kLru);
+
+  auto torn = pool.Pin(0);
+  ASSERT_FALSE(torn.ok());
+  // The checksum-mismatch taxonomy survives the pin path: torn pages keep
+  // the same typed code IndexFile uses for a real checksum failure.
+  EXPECT_EQ(torn.status().code(), StatusCode::kCorruptHeader);
+  EXPECT_EQ(pool.counters().failed_reads, 1u);
+  EXPECT_EQ(schedule.counters().torn_pages, 1u);
 }
 
 /// Property: across a random pin/hold/release workload far larger than the

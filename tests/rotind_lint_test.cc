@@ -103,6 +103,33 @@ TEST(RotindLintTest, StorageLayerEdges) {
   EXPECT_TRUE(CheckLayering(allowed).empty());
 }
 
+TEST(RotindLintTest, ServeLayerEdges) {
+  // serve sits at the top of the DAG: it may reach down into search,
+  // storage, obs, and core, but nothing below may reach up into serve.
+  const std::vector<SourceFile> allowed = {
+      {"src/serve/ok.cc",
+       "#include \"src/serve/server.h\"\n"
+       "#include \"src/search/engine.h\"\n"
+       "#include \"src/storage/backend.h\"\n"
+       "#include \"src/obs/metrics.h\"\n"
+       "#include \"src/core/status.h\"\n"},
+  };
+  EXPECT_TRUE(CheckLayering(allowed).empty());
+}
+
+TEST(RotindLintTest, DetectsServeBeingIncludedFromBelow) {
+  const std::vector<SourceFile> files = {
+      {"src/search/bad.cc", "#include \"src/serve/server.h\"\n"},
+      {"src/storage/bad.cc", "#include \"src/serve/protocol.h\"\n"},
+  };
+  const std::vector<Finding> findings = CheckLayering(files);
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "layering");
+    EXPECT_EQ(f.line, 1);
+  }
+}
+
 TEST(RotindLintTest, DetectsStorageIncludingItsConsumers) {
   const std::vector<SourceFile> files = {
       {"src/storage/bad_search.cc", "#include \"src/search/engine.h\"\n"},

@@ -1,0 +1,382 @@
+/// QueryServer + wire protocol: parsing is strict and crash-free on
+/// arbitrary bytes, admission control sheds deterministically at the
+/// queue bound, degradation narrows k HONESTLY (flagged, exact for the
+/// reported k), deadlines are measured from admission, an 8-worker pool
+/// drains leak-free, and the kill-switch unwinds stragglers typed.
+
+#include "src/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/flat_dataset.h"
+#include "src/core/random.h"
+#include "src/core/status.h"
+#include "src/datasets/synthetic.h"
+#include "src/search/engine.h"
+#include "src/serve/protocol.h"
+
+namespace rotind::serve {
+namespace {
+
+TEST(ProtocolTest, ParsesEveryOpWithAndWithoutDeadline) {
+  auto nn = ParseRequest("nn 12");
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(static_cast<int>(nn->op), static_cast<int>(RequestOp::kNearest));
+  EXPECT_EQ(nn->query_id, 12u);
+  EXPECT_EQ(nn->deadline.count(), 0);
+
+  auto knn = ParseRequest("knn 3 7 deadline_ms=2.5");
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(static_cast<int>(knn->op), static_cast<int>(RequestOp::kKnn));
+  EXPECT_EQ(knn->query_id, 3u);
+  EXPECT_EQ(knn->k, 7);
+  EXPECT_EQ(knn->deadline, std::chrono::microseconds(2500));
+
+  auto range = ParseRequest("range 0 1.25\r\n");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(static_cast<int>(range->op),
+            static_cast<int>(RequestOp::kRange));
+  EXPECT_DOUBLE_EQ(range->radius, 1.25);
+}
+
+TEST(ProtocolTest, RejectsMalformedLinesTyped) {
+  const char* bad[] = {
+      "",                     // empty
+      "teleport 3",           // unknown op
+      "nn",                   // missing id
+      "nn -1",                // negative id
+      "nn 1 2",               // trailing garbage (not a deadline)
+      "nn  1",                // double space
+      " nn 1",                // leading space
+      "knn 1",                // missing k
+      "knn 1 0",              // k out of range
+      "knn 1 99999999",       // k out of range
+      "range 1 -2",           // negative radius
+      "range 1 nan",          // non-finite radius
+      "nn 1 deadline_ms=0",   // zero deadline
+      "nn 1 deadline_ms=oops",
+      "nn 1\x01",             // control byte
+  };
+  for (const char* line : bad) {
+    const auto r = ParseRequest(line);
+    EXPECT_FALSE(r.ok()) << "accepted: '" << line << "'";
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+    }
+  }
+  EXPECT_FALSE(ParseRequest(std::string(5000, 'a')).ok());
+}
+
+TEST(ProtocolTest, ArbitraryBytesNeverCrashTheParser) {
+  Rng rng(20260809);
+  for (int i = 0; i < 2000; ++i) {
+    std::string line;
+    const std::size_t len = rng.NextBounded(40);
+    for (std::size_t j = 0; j < len; ++j) {
+      line.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    const auto r = ParseRequest(line);  // Must return, never crash.
+    if (r.ok()) {
+      // Anything accepted must round-trip through the formatter too.
+      Response response;
+      response.status = Status::Ok();
+      response.effective_k = r->k;
+      (void)FormatResponse(*r, response);
+    }
+  }
+}
+
+TEST(ProtocolTest, FormatsOkAndErrorResponses) {
+  Request request;
+  request.op = RequestOp::kKnn;
+  request.query_id = 9;
+  request.k = 5;
+  Response response;
+  response.status = Status::Ok();
+  response.degraded = true;
+  response.effective_k = 1;
+  response.neighbors.push_back(Neighbor{4, 1.5, 3, true});
+  response.latency = std::chrono::microseconds(250);
+  const std::string ok = FormatResponse(request, response);
+  EXPECT_EQ(ok,
+            "OK op=knn id=9 k=5 effective_k=1 degraded=1 n=1 "
+            "latency_us=250 results=4:1.5:3:1");
+
+  response.status = Status::DeadlineExceeded("too slow");
+  const std::string err = FormatResponse(request, response);
+  EXPECT_EQ(err, "ERR DEADLINE_EXCEEDED op=knn id=9 msg=too slow");
+}
+
+/// Shared fixture: a small in-memory engine (the server contract needs a
+/// backend, which the FlatDataset constructor provides).
+class QueryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::vector<Series> items =
+        MakeProjectilePointsDatabase(60, 48, 515);
+    flat_ = FlatDataset::FromItems(items);
+    engine_ = std::make_unique<QueryEngine>(flat_, EngineOptions());
+  }
+
+  Request Nn(std::size_t id) {
+    Request r;
+    r.op = RequestOp::kNearest;
+    r.query_id = id;
+    return r;
+  }
+
+  Request Knn(std::size_t id, int k) {
+    Request r;
+    r.op = RequestOp::kKnn;
+    r.query_id = id;
+    r.k = k;
+    return r;
+  }
+
+  FlatDataset flat_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+/// Submitting to a stopped server is the deterministic admission test:
+/// the queue fills to exactly its capacity, then sheds typed.
+TEST_F(QueryServerTest, AdmissionShedsExactlyAtCapacity) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  QueryServer server(*engine_, options);
+
+  std::atomic<int> callbacks{0};
+  const auto done = [&](const Request&, const Response&) { ++callbacks; };
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(server.Submit(Nn(static_cast<std::size_t>(i)), done).ok());
+  }
+  EXPECT_EQ(server.queue_depth(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    const Status s = server.Submit(Nn(0), done);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kOverloaded);
+  }
+
+  server.Start();
+  EXPECT_TRUE(server.Shutdown());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 7u);
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.shed, 3u);
+  EXPECT_EQ(stats.completed_ok, 4u);
+  EXPECT_EQ(callbacks.load(), 4);
+}
+
+TEST_F(QueryServerTest, SubmitAfterBeginShutdownIsRejectedTyped) {
+  QueryServer server(*engine_, ServerOptions());
+  server.Start();
+  server.BeginShutdown();
+  const Status s = server.Submit(Nn(0), nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(server.Shutdown());
+  EXPECT_EQ(server.stats().rejected_draining, 1u);
+}
+
+/// Degradation honesty, deterministically: one worker dequeues a full
+/// 8-deep queue whose depth decays 8,7,6,5,... — with the default 0.75
+/// threshold exactly the first three k-NN requests are narrowed. Each
+/// degraded response must carry the flag, report effective_k, and be
+/// EXACT for that effective_k; the rest must be full exact answers.
+TEST_F(QueryServerTest, DegradationNarrowsHonestlyUnderStandingLoad) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  options.degraded_k = 1;
+  QueryServer server(*engine_, options);
+
+  std::mutex mutex;
+  std::vector<std::pair<Request, Response>> outcomes;
+  const auto done = [&](const Request& rq, const Response& rs) {
+    std::lock_guard<std::mutex> lock(mutex);
+    outcomes.emplace_back(rq, rs);
+  };
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(server.Submit(Knn(i, 5), done).ok());
+  }
+  server.Start();
+  ASSERT_TRUE(server.Shutdown());
+
+  ASSERT_EQ(outcomes.size(), 8u);
+  int degraded = 0;
+  for (const auto& [rq, rs] : outcomes) {
+    ASSERT_TRUE(rs.status.ok()) << rs.status.message();
+    const Series query(flat_.data(rq.query_id),
+                       flat_.data(rq.query_id) + flat_.length());
+    const int want_k = rs.degraded ? 1 : 5;
+    EXPECT_EQ(rs.effective_k, want_k);
+    const std::vector<Neighbor> truth = engine_->Knn(query, want_k);
+    ASSERT_EQ(rs.neighbors.size(), truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(rs.neighbors[i].index, truth[i].index);
+      EXPECT_EQ(rs.neighbors[i].distance, truth[i].distance);
+    }
+    if (rs.degraded) ++degraded;
+  }
+  EXPECT_EQ(degraded, 3) << "depths 8,7,6 are at or above 0.75 * 8";
+  EXPECT_EQ(server.stats().degraded, 3u);
+}
+
+TEST_F(QueryServerTest, DegradationCanBeDisabled) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  options.degrade_under_overload = false;
+  QueryServer server(*engine_, options);
+  std::atomic<int> degraded{0};
+  const auto done = [&](const Request&, const Response& rs) {
+    if (rs.degraded) ++degraded;
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server.Submit(Knn(i, 5), done).ok());
+  }
+  server.Start();
+  ASSERT_TRUE(server.Shutdown());
+  EXPECT_EQ(degraded.load(), 0);
+}
+
+/// Deadlines run from ADMISSION: a request that waits out its whole
+/// budget in the queue fails typed without touching the engine.
+TEST_F(QueryServerTest, QueueWaitCountsAgainstTheDeadline) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  QueryServer server(*engine_, options);
+
+  std::mutex mutex;
+  std::vector<Response> responses;
+  const auto done = [&](const Request&, const Response& rs) {
+    std::lock_guard<std::mutex> lock(mutex);
+    responses.push_back(rs);
+  };
+  Request rushed = Nn(1);
+  rushed.deadline = std::chrono::nanoseconds(1);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(server.Submit(rushed, done).ok());
+  server.Start();
+  ASSERT_TRUE(server.Shutdown());
+
+  ASSERT_EQ(responses.size(), 4u);
+  for (const Response& rs : responses) {
+    EXPECT_EQ(rs.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(rs.neighbors.empty())
+        << "an expired query must not carry a partial answer";
+  }
+  EXPECT_EQ(server.stats().deadline_exceeded, 4u);
+}
+
+TEST_F(QueryServerTest, OutOfRangeQueryIdFailsTyped) {
+  QueryServer server(*engine_, ServerOptions());
+  server.Start();
+  std::atomic<int> out_of_range{0};
+  const auto done = [&](const Request&, const Response& rs) {
+    if (rs.status.code() == StatusCode::kOutOfRange) ++out_of_range;
+  };
+  ASSERT_TRUE(server.Submit(Nn(10'000), done).ok());
+  ASSERT_TRUE(server.Shutdown());
+  EXPECT_EQ(out_of_range.load(), 1);
+  EXPECT_EQ(server.stats().failed, 1u);
+}
+
+/// The ASan/TSan drain target: 8 workers, continuous mixed submissions,
+/// graceful shutdown. Every admitted request gets exactly one callback
+/// and the terminal counters partition the admissions.
+TEST_F(QueryServerTest, EightWorkerDrainIsLeakFreeAndAccountedExactly) {
+  ServerOptions options;
+  options.num_workers = 8;
+  options.queue_capacity = 16;
+  QueryServer server(*engine_, options);
+  server.Start();
+
+  std::atomic<std::uint64_t> callbacks{0};
+  const auto done = [&](const Request&, const Response&) { ++callbacks; };
+  Rng rng(99);
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    Request request = rng.NextDouble() < 0.5
+                          ? Nn(rng.NextBounded(flat_.size()))
+                          : Knn(rng.NextBounded(flat_.size()), 3);
+    if (server.Submit(request, done).ok()) ++accepted;
+  }
+  EXPECT_TRUE(server.Shutdown());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(callbacks.load(), stats.admitted);
+  EXPECT_EQ(stats.admitted, accepted);
+  EXPECT_EQ(stats.submitted, 200u);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.shed);
+  EXPECT_EQ(stats.admitted, stats.completed_ok + stats.deadline_exceeded +
+                                stats.cancelled + stats.failed);
+  EXPECT_EQ(stats.e2e_latency.count(), stats.admitted);
+  EXPECT_TRUE(server.Shutdown()) << "Shutdown must be idempotent";
+}
+
+/// Drain deadline expiry flips the kill-switch: queued work unwinds with
+/// kCancelled (typed, no partial answers), nothing deadlocks, and every
+/// admitted request still gets its callback.
+TEST_F(QueryServerTest, KillSwitchUnwindsStragglersTyped) {
+  const std::vector<Series> big =
+      MakeProjectilePointsDatabase(1500, 96, 717);
+  const FlatDataset flat = FlatDataset::FromItems(big);
+  const QueryEngine engine(flat, EngineOptions());
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 64;
+  options.drain_deadline = std::chrono::milliseconds(1);
+  QueryServer server(engine, options);
+
+  std::atomic<std::uint64_t> callbacks{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  const auto done = [&](const Request&, const Response& rs) {
+    ++callbacks;
+    if (rs.status.code() == StatusCode::kCancelled) {
+      ++cancelled;
+    } else if (rs.status.ok()) {
+      EXPECT_FALSE(rs.neighbors.empty());
+    }
+  };
+  for (std::size_t i = 0; i < 64; ++i) {
+    Request r;
+    r.op = RequestOp::kNearest;
+    r.query_id = i;
+    ASSERT_TRUE(server.Submit(r, done).ok());
+  }
+  server.Start();
+  // 64 queued queries over a 1500-object database cannot finish within
+  // the 1 ms drain budget; the kill-switch must fire.
+  EXPECT_FALSE(server.Shutdown());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(callbacks.load(), stats.admitted);
+  EXPECT_GT(cancelled.load(), 0u);
+  EXPECT_EQ(stats.cancelled, cancelled.load());
+}
+
+TEST_F(QueryServerTest, ShutdownBeforeStartCancelsOrphansWithCallbacks) {
+  ServerOptions options;
+  options.queue_capacity = 4;
+  QueryServer server(*engine_, options);
+  std::atomic<int> cancelled{0};
+  const auto done = [&](const Request&, const Response& rs) {
+    if (rs.status.code() == StatusCode::kCancelled) ++cancelled;
+  };
+  ASSERT_TRUE(server.Submit(Nn(0), done).ok());
+  ASSERT_TRUE(server.Submit(Nn(1), done).ok());
+  EXPECT_TRUE(server.Shutdown());
+  EXPECT_EQ(cancelled.load(), 2);
+}
+
+}  // namespace
+}  // namespace rotind::serve

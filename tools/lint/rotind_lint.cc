@@ -40,6 +40,7 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"stream", {"core", "cluster", "distance", "envelope"}},
       {"search", {"core", "cluster", "distance", "envelope", "fourier",
                   "obs", "storage"}},
+      {"serve", {"core", "obs", "search", "storage"}},
       {"index", {"core", "cluster", "distance", "envelope", "fourier", "obs",
                  "search", "storage"}},
       {"mining", {"core", "distance", "envelope", "fourier", "search"}},

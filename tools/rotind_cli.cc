@@ -19,6 +19,13 @@
 ///                       [--db db.csv (memory/simulated)] [--pool-pages 64]
 ///                       [--eviction lru|clock] [--dtw --band 5] [--mirror]
 ///                       [--metrics-json out.json]
+///   rotind serve    --index db.ridx [--workers 4] [--queue-capacity 64]
+///                   [--default-deadline-ms D] [--drain-deadline-ms 5000]
+///                   [--no-degrade] [--degraded-k 1] [--retry-attempts 3]
+///                   [--fault-transient-prob p] [--fault-torn-prob p]
+///                   [--fault-latency-prob p] [--fault-seed s]
+///                   [--pool-pages 64] [--eviction lru|clock]
+///                   [--dtw --band 5] [--mirror] [--metrics-json out.json]
 ///
 /// `index build` writes the paged RIDX container (resident FFT/PAA
 /// signatures + paged series data); `index search` answers exact
@@ -35,15 +42,31 @@
 /// --metrics-json writes the query's stage-attributed observability report
 /// (candidate flow, step attribution, wedge walk, latency) as JSON.
 ///
-/// Exit codes: 0 success; 1 runtime/I-O failure (e.g. a write failed);
-/// 2 usage error or invalid input (unknown flag, malformed number, value
-/// out of range for the loaded database, unreadable/corrupt database).
+/// `serve` runs a long-lived concurrent query server over the file
+/// backend: requests are read one per line from stdin (see
+/// src/serve/protocol.h for the grammar), responses are written one per
+/// line to stdout, and SIGINT/SIGTERM (or stdin EOF) triggers a graceful
+/// shutdown — admission stops, in-flight and queued work drains under
+/// --drain-deadline-ms, and the final server stats are dumped as JSON to
+/// stderr (or --metrics-json). The --fault-* flags wire a seeded fault
+/// schedule into the backend for resilience testing.
+///
+/// Exit codes: 0 success; 1 runtime/I-O failure (e.g. a write failed, or
+/// `serve` could not open the index); 2 usage error or invalid input
+/// (unknown flag, malformed number, value out of range for the loaded
+/// database, unreadable/corrupt database). A signal-triggered `serve`
+/// drain exits 0: shutdown-by-request is the server working as designed.
+
+#include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,6 +81,8 @@
 #include "src/obs/metrics.h"
 #include "src/search/engine.h"
 #include "src/search/scan.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
 #include "src/storage/backend.h"
 
 namespace {
@@ -92,13 +117,25 @@ struct Args {
   std::size_t dims = 16;
   std::size_t paa_dims = 16;
   std::size_t pool_pages = 64;
+  // `serve` only.
+  int workers = 4;
+  std::size_t queue_capacity = 64;
+  double default_deadline_ms = 0.0;
+  double drain_deadline_ms = 5000.0;
+  bool no_degrade = false;
+  int degraded_k = 1;
+  int retry_attempts = 3;
+  double fault_transient_prob = 0.0;
+  double fault_torn_prob = 0.0;
+  double fault_latency_prob = 0.0;
+  std::uint64_t fault_seed = 1;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: rotind <generate|info|search|knn|classify|motif|"
-               "discord|index build|index search> [flags]\n  see the header "
-               "of tools/rotind_cli.cc for the flag list\n");
+               "discord|index build|index search|serve> [flags]\n  see the "
+               "header of tools/rotind_cli.cc for the flag list\n");
   return 2;
 }
 
@@ -120,6 +157,29 @@ bool ParseInt(const char* flag, const char* text, long min, long max,
   }
   if (v < min || v > max) {
     std::fprintf(stderr, "%s: %ld is out of range [%ld, %ld]\n", flag, v, min,
+                 max);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Same strictness for floating-point flags (probabilities, deadlines).
+bool ParseDoubleFlag(const char* flag, const char* text, double min,
+                     double max, double* out) {
+  if (text == nullptr || *text == '\0') {
+    std::fprintf(stderr, "%s needs a value\n", flag);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno == ERANGE || end != text + std::strlen(text)) {
+    std::fprintf(stderr, "%s: '%s' is not a valid number\n", flag, text);
+    return false;
+  }
+  if (!(v >= min && v <= max)) {  // NaN fails too.
+    std::fprintf(stderr, "%s: %g is out of range [%g, %g]\n", flag, v, min,
                  max);
     return false;
   }
@@ -232,6 +292,48 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--pool-pages") {
       if (!next_int(1, std::numeric_limits<int>::max(), &v)) return false;
       args->pool_pages = static_cast<std::size_t>(v);
+    } else if (flag == "--workers") {
+      if (!next_int(1, 256, &v)) return false;
+      args->workers = static_cast<int>(v);
+    } else if (flag == "--queue-capacity") {
+      if (!next_int(1, 1 << 20, &v)) return false;
+      args->queue_capacity = static_cast<std::size_t>(v);
+    } else if (flag == "--default-deadline-ms") {
+      if (!ParseDoubleFlag(flag.c_str(), next(), 0.0, 86'400'000.0,
+                           &args->default_deadline_ms)) {
+        return false;
+      }
+    } else if (flag == "--drain-deadline-ms") {
+      if (!ParseDoubleFlag(flag.c_str(), next(), 1.0, 86'400'000.0,
+                           &args->drain_deadline_ms)) {
+        return false;
+      }
+    } else if (flag == "--no-degrade") {
+      args->no_degrade = true;
+    } else if (flag == "--degraded-k") {
+      if (!next_int(1, std::numeric_limits<int>::max(), &v)) return false;
+      args->degraded_k = static_cast<int>(v);
+    } else if (flag == "--retry-attempts") {
+      if (!next_int(1, 16, &v)) return false;
+      args->retry_attempts = static_cast<int>(v);
+    } else if (flag == "--fault-transient-prob") {
+      if (!ParseDoubleFlag(flag.c_str(), next(), 0.0, 1.0,
+                           &args->fault_transient_prob)) {
+        return false;
+      }
+    } else if (flag == "--fault-torn-prob") {
+      if (!ParseDoubleFlag(flag.c_str(), next(), 0.0, 1.0,
+                           &args->fault_torn_prob)) {
+        return false;
+      }
+    } else if (flag == "--fault-latency-prob") {
+      if (!ParseDoubleFlag(flag.c_str(), next(), 0.0, 1.0,
+                           &args->fault_latency_prob)) {
+        return false;
+      }
+    } else if (flag == "--fault-seed") {
+      if (!next_int(0, std::numeric_limits<long>::max(), &v)) return false;
+      args->fault_seed = static_cast<std::uint64_t>(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -661,6 +763,157 @@ int CmdMotif(const Args& args, const Dataset& db, bool discord) {
   return 0;
 }
 
+/// Set by the SIGINT/SIGTERM handler; polled by the serve read loop.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleShutdownSignal(int /*signum*/) { g_shutdown_requested = 1; }
+
+/// Installs `HandleShutdownSignal` WITHOUT SA_RESTART: the blocking
+/// read(2) on stdin must fail with EINTR so the serve loop can notice the
+/// signal and begin the drain instead of sleeping until the next request.
+bool InstallShutdownHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  return sigaction(SIGINT, &action, nullptr) == 0 &&
+         sigaction(SIGTERM, &action, nullptr) == 0;
+}
+
+int CmdServe(const Args& args) {
+  if (args.index_path.empty()) {
+    std::fprintf(stderr, "serve needs --index\n");
+    return 2;
+  }
+  EngineOptions options;
+  options.kind = args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean;
+  options.band = args.band;
+  options.rotation.mirror = args.mirror;
+  options.rotation.max_shift = args.max_shift;
+  options.storage.backend = storage::BackendKind::kFile;
+  options.storage.index_path = args.index_path;
+  options.storage.pool_pages = args.pool_pages;
+  options.storage.eviction = args.eviction == "clock"
+                                 ? storage::EvictionPolicy::kClock
+                                 : storage::EvictionPolicy::kLru;
+  options.storage.retry.max_attempts = args.retry_attempts;
+  options.storage.faults.seed = args.fault_seed;
+  options.storage.faults.transient_read_prob = args.fault_transient_prob;
+  options.storage.faults.torn_page_prob = args.fault_torn_prob;
+  options.storage.faults.latency_spike_prob = args.fault_latency_prob;
+
+  StatusOr<std::unique_ptr<QueryEngine>> engine = QueryEngine::Open(options);
+  if (!engine.ok()) {
+    // Server-mode contract: a fatal open failure is exit 1, not 2 — the
+    // flags were fine, the storage was not.
+    std::fprintf(stderr, "serve: cannot open index %s: %s\n",
+                 args.index_path.c_str(),
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions server_options;
+  server_options.num_workers = args.workers;
+  server_options.queue_capacity = args.queue_capacity;
+  server_options.default_deadline = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(args.default_deadline_ms * 1'000'000.0));
+  server_options.drain_deadline = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(args.drain_deadline_ms * 1'000'000.0));
+  server_options.degrade_under_overload = !args.no_degrade;
+  server_options.degraded_k = args.degraded_k;
+
+  serve::QueryServer server(**engine, server_options);
+  server.Start();
+
+  // Responses arrive on worker threads; rejections are printed inline from
+  // this thread. One mutex keeps the output line-atomic either way.
+  std::mutex stdout_mutex;
+  const auto print_line = [&stdout_mutex](const std::string& line) {
+    std::lock_guard<std::mutex> lock(stdout_mutex);
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+  const auto on_done = [&print_line](const serve::Request& request,
+                                     const serve::Response& response) {
+    print_line(serve::FormatResponse(request, response));
+  };
+
+  if (!InstallShutdownHandlers()) {
+    std::fprintf(stderr, "serve: cannot install signal handlers\n");
+    return 1;
+  }
+
+  // Raw read(2) loop, not iostreams: the signal handler interrupts the
+  // syscall (EINTR) so a SIGTERM with no traffic still drains promptly.
+  std::string pending;
+  char buf[4096];
+  bool eof = false;
+  while (!eof && g_shutdown_requested == 0) {
+    const ssize_t got = read(STDIN_FILENO, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;  // Re-check g_shutdown_requested.
+      std::fprintf(stderr, "serve: stdin read failed: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    if (got == 0) {
+      eof = true;
+      if (pending.empty()) break;
+      pending.push_back('\n');  // Flush an unterminated final line.
+    } else {
+      pending.append(buf, static_cast<std::size_t>(got));
+    }
+    std::size_t start = 0;
+    for (std::size_t nl = pending.find('\n', start);
+         nl != std::string::npos; nl = pending.find('\n', start)) {
+      const std::string_view line(pending.data() + start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      StatusOr<serve::Request> request = serve::ParseRequest(line);
+      if (!request.ok()) {
+        print_line("ERR " +
+                   std::string(StatusCodeName(request.status().code())) +
+                   " msg=" + request.status().message());
+        continue;
+      }
+      Status admitted = server.Submit(*request, on_done);
+      if (!admitted.ok()) {
+        serve::Response rejected;
+        rejected.status = admitted;
+        print_line(serve::FormatResponse(*request, rejected));
+      }
+    }
+    pending.erase(0, start);
+  }
+
+  const bool clean = server.Shutdown();
+  const serve::ServerStats stats = server.stats();
+  const std::string report = stats.ToJson();
+  if (!args.metrics_json_path.empty()) {
+    std::FILE* f = std::fopen(args.metrics_json_path.c_str(), "w");
+    if (f == nullptr || std::fputs(report.c_str(), f) == EOF ||
+        std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "serve: cannot write %s\n",
+                   args.metrics_json_path.c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "%s\n", report.c_str());
+  }
+  if (!clean) {
+    std::fprintf(stderr,
+                 "serve: drain deadline expired; %llu in-flight queries "
+                 "were hard-cancelled\n",
+                 static_cast<unsigned long long>(stats.cancelled));
+  }
+  // Shutdown-by-signal or by EOF is the server working as designed: the
+  // drain ran and every admitted request got a typed response. Exit 0.
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -668,6 +921,7 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) return Usage();
 
   if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "serve") return CmdServe(args);
   if (args.command == "index") {
     return args.subcommand == "build" ? CmdIndexBuild(args)
                                       : CmdIndexSearch(args);

@@ -1,8 +1,8 @@
 /// Fuzzing entry point for the untrusted-input surfaces: the dataset
-/// loaders (binary container and UCR text) and the paged RIDX index
-/// reader. One input image is fed to ALL parsers; any crash, sanitizer
-/// report, or runaway allocation is a bug, since every malformed input
-/// must map to a Status.
+/// loaders (binary container and UCR text), the paged RIDX index
+/// reader, and the serve wire protocol's request parser. One input image
+/// is fed to ALL parsers; any crash, sanitizer report, or runaway
+/// allocation is a bug, since every malformed input must map to a Status.
 ///
 /// Two build modes:
 ///
@@ -34,6 +34,7 @@
 #include "src/io/serialize.h"
 #include "src/search/engine.h"
 #include "src/search/scan.h"
+#include "src/serve/protocol.h"
 #include "src/storage/backend.h"
 #include "src/storage/index_file.h"
 
@@ -73,6 +74,27 @@ void ExerciseParsers(const std::uint8_t* data, std::size_t size) {
                                      StageKind::kWedge};
     const QueryEngine engine(*flat, engine_options);
     (void)engine.SearchChecked(ds.items[0]);
+  }
+
+  // Serve wire protocol: the request parser is the server's only
+  // network-facing untrusted surface. Each line of the input is one
+  // request; an accepted request must also format cleanly.
+  {
+    std::string_view rest(bytes, size);
+    for (int lines = 0; !rest.empty() && lines < 64; ++lines) {
+      const std::size_t eol = rest.find('\n');
+      const std::string_view line =
+          eol == std::string_view::npos ? rest : rest.substr(0, eol);
+      StatusOr<serve::Request> request = serve::ParseRequest(line);
+      if (request.ok()) {
+        serve::Response response;
+        response.status = Status::Ok();
+        response.effective_k = request->k;
+        (void)serve::FormatResponse(*request, response);
+      }
+      if (eol == std::string_view::npos) break;
+      rest.remove_prefix(eol + 1);
+    }
   }
 
   // Paged RIDX index container: the storage engine's untrusted surface.
@@ -197,6 +219,25 @@ std::vector<std::string> BuiltInCorpus() {
   corpus.push_back("label,not,numbers\n");   // text garbage
   corpus.push_back("1e308,1e308,1e308\n");   // near-overflow values
   corpus.push_back("1,2,3");                 // no trailing newline
+
+  // Serve request-parser seeds: the valid grammar, every near-miss the
+  // parser must reject typed, and hostile shapes (overlong, control
+  // bytes, numeric extremes).
+  corpus.push_back("nn 0\n");
+  corpus.push_back("knn 3 7 deadline_ms=2.5\n");
+  corpus.push_back("range 1 0.75\nnn 2 deadline_ms=100\nknn 0 1\n");
+  corpus.push_back("nn\nknn 1\nrange 1\n");              // missing args
+  corpus.push_back("nn -1\nknn 1 0\nrange 1 -2\n");      // out of range
+  corpus.push_back("nn 18446744073709551616\n");         // u64 overflow
+  corpus.push_back("knn 1 1048577\n");                   // k > max
+  corpus.push_back("range 0 nan\nrange 0 inf\n");        // non-finite
+  corpus.push_back("nn 1 deadline_ms=0\nnn 1 deadline_ms=-5\n");
+  corpus.push_back("nn 1 deadline_ms=1e400\n");          // deadline inf
+  corpus.push_back("NN 1\n nn 1\nnn  1\nnn 1 \n");       // case / spacing
+  corpus.push_back("nn 1 extra tokens here\n");
+  corpus.push_back("nn 1\r\nknn 2 3\r\n");               // CRLF endings
+  corpus.push_back(std::string("nn 1\x01\x7f\n"));       // control bytes
+  corpus.push_back("nn " + std::string(4200, '9') + "\n");  // overlong
   return corpus;
 }
 
