@@ -32,6 +32,7 @@
 #include "src/datasets/synthetic.h"
 #include "src/obs/metrics.h"
 #include "src/search/engine.h"
+#include "src/simd/simd.h"
 
 namespace rotind::bench {
 namespace {
@@ -312,8 +313,9 @@ int Run(int argc, char** argv) {
   std::fprintf(out, "{\n");
   std::fprintf(out,
                "  \"dataset\": {\"generator\": \"projectile-points\", "
-               "\"m\": %zu, \"n\": %zu, \"queries\": %zu},\n",
-               m, n, num_queries);
+               "\"m\": %zu, \"n\": %zu, \"queries\": %zu, "
+               "\"simd\": \"%s\"},\n",
+               m, n, num_queries, simd::ActiveTierName());
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,

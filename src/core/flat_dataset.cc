@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/core/contracts.h"
+
 namespace rotind {
 
 FlatDataset FlatDataset::FromItems(const std::vector<Series>& items) {
@@ -10,6 +12,8 @@ FlatDataset FlatDataset::FromItems(const std::vector<Series>& items) {
   if (items.empty()) return out;
   out.n_ = items[0].size();
   out.buffer_.reserve(items.size() * 2 * out.n_);
+  out.tiles_.reserve(((items.size() + kTileLanes - 1) / kTileLanes) *
+                     kTileLanes * out.n_);
   for (const Series& s : items) out.Add(s);
   return out;
 }
@@ -45,7 +49,20 @@ void FlatDataset::Add(const Series& s) {
   buffer_.resize(old + 2 * n_);
   std::memcpy(buffer_.data() + old, s.data(), n_ * sizeof(double));
   std::memcpy(buffer_.data() + old + n_, s.data(), n_ * sizeof(double));
+
+  // Mirror the new item into its SoA tile column. The tile group is
+  // zero-filled on allocation (AlignedBuffer::resize), so tail lanes of a
+  // partial group already hold the finite padding the kernels rely on.
+  const std::size_t group = count_ / kTileLanes;
+  const std::size_t lane = count_ % kTileLanes;
+  tiles_.resize((group + 1) * kTileLanes * n_);
+  double* t = tiles_.data() + group * kTileLanes * n_;
+  for (std::size_t i = 0; i < n_; ++i) t[i * kTileLanes + lane] = s[i];
   ++count_;
+
+  ROTIND_CONTRACT(IsSimdAligned(buffer_.data()) && IsSimdAligned(tiles_.data()),
+                  "FlatDataset backing storage must stay 64-byte aligned — "
+                  "the src/simd/ kernels issue aligned tile loads");
 }
 
 Series FlatDataset::Materialize(std::size_t i) const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/aligned.h"
 #include "src/core/series.h"
 #include "src/core/status.h"
 
@@ -25,10 +26,22 @@ using SeriesView = std::span<const double>;
 ///    — a zero-copy SeriesView, the same trick RotationSet plays for query
 ///    rotations, now available database-side.
 ///
+/// Alongside the per-series (AoS) layout, the same data is mirrored as
+/// 64-byte-aligned TRANSPOSED tiles (structure-of-arrays): tile group g
+/// packs items [g*kTileLanes, g*kTileLanes + kTileLanes) lane-interleaved,
+/// with element t of lane l at `tile(g)[t * kTileLanes + l]`. One aligned
+/// load therefore fetches element t of eight consecutive candidates — the
+/// feed shape the src/simd/ blocked-scoring kernels want. Tail lanes past
+/// size() are zero-filled (finite, so padded lanes compute garbage safely;
+/// callers ignore them). Both layouts are 64-byte aligned (AlignedBuffer).
+///
 /// Labels and names ride along (empty when absent), making FlatDataset a
 /// drop-in for the `Dataset` aggregate in engine-facing code.
 class FlatDataset {
  public:
+  /// Candidates per SoA tile group — the blocked-scoring lane width.
+  static constexpr std::size_t kTileLanes = 8;
+
   FlatDataset() = default;
 
   /// Builds from owned series. All items must share one length; asserted in
@@ -66,6 +79,18 @@ class FlatDataset {
     return {data(i) + shift, n_};
   }
 
+  /// Number of SoA tile groups (ceil(size / kTileLanes)).
+  std::size_t tile_groups() const {
+    return (count_ + kTileLanes - 1) / kTileLanes;
+  }
+
+  /// 64-byte-aligned SoA tile for group g: n * kTileLanes doubles, element
+  /// t of lane l at index t * kTileLanes + l, lanes past size() zero.
+  /// Valid until the next Add.
+  const double* tile(std::size_t g) const {
+    return tiles_.data() + g * kTileLanes * n_;
+  }
+
   /// Item i as an owned Series (for callers that need a value).
   Series Materialize(std::size_t i) const;
 
@@ -77,7 +102,10 @@ class FlatDataset {
   std::size_t n_ = 0;
   std::size_t count_ = 0;
   /// 2n doubles per item: item i occupies [i*2n, (i+1)*2n) as s ++ s.
-  std::vector<double> buffer_;
+  AlignedBuffer buffer_;
+  /// Transposed mirror of the first halves: kTileLanes * n doubles per
+  /// group, see tile().
+  AlignedBuffer tiles_;
   std::vector<int> labels_;
   std::vector<std::string> names_;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/distance/euclidean.h"
+#include "src/simd/simd.h"
 
 namespace rotind {
 namespace {
@@ -20,9 +21,12 @@ double DtwCore(const double* q, const double* c, std::size_t n, int band,
   if (n == 0) return 0.0;
   band = ClampBand(n, band);
 
-  // Two rolling rows over j in [0, n), padded with +inf outside the band.
+  // Two rolling rows over j in [0, n), padded with +inf outside the band,
+  // plus kernel scratch for the row-update's min(prev[j], prev[j-1]) pass.
   std::vector<double> prev(n, kInf);
   std::vector<double> curr(n, kInf);
+  std::vector<double> scratch(n);
+  const simd::KernelTable& kernels = simd::Kernels();
   std::uint64_t cells = 0;
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -31,24 +35,29 @@ double DtwCore(const double* q, const double* c, std::size_t n, int band,
                                           : 0;
     const std::size_t j_hi =
         std::min(n - 1, i + static_cast<std::size_t>(band));
-    double row_min = kInf;
-    for (std::size_t j = j_lo; j <= j_hi; ++j) {
-      const double d = q[i] - c[j];
-      const double cost = d * d;
-      ++cells;
-      double best;
-      if (i == 0 && j == 0) {
-        best = 0.0;
-      } else {
-        best = prev[j];  // insertion (i-1, j)
-        if (j > 0) {
+    double row_min;
+    if (i == 0) {
+      // Base row keeps the (0, 0) anchor special case inline.
+      row_min = kInf;
+      for (std::size_t j = j_lo; j <= j_hi; ++j) {
+        const double d = q[0] - c[j];
+        const double cost = d * d;
+        double best;
+        if (j == 0) {
+          best = 0.0;
+        } else {
+          best = prev[j];                      // insertion (i-1, j)
           best = std::min(best, curr[j - 1]);  // deletion (i, j-1)
           best = std::min(best, prev[j - 1]);  // match (i-1, j-1)
         }
+        curr[j] = best + cost;
+        row_min = std::min(row_min, curr[j]);
       }
-      curr[j] = best + cost;
-      row_min = std::min(row_min, curr[j]);
+    } else {
+      row_min = kernels.dtw_row(q[i], c, prev.data(), curr.data(), j_lo, j_hi,
+                                scratch.data());
     }
+    cells += j_hi - j_lo + 1;
     if (row_min > squared_limit) {
       if (counter != nullptr) {
         counter->steps += cells;

@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+
+#include "src/simd/simd.h"
 
 namespace rotind {
 
@@ -40,6 +43,30 @@ double EarlyAbandonSquaredEuclidean(const double* q, const double* c,
   }
   AddSteps(counter, n);
   return acc;
+}
+
+void SquaredEuclideanBlock(const double* q, const double* tile, std::size_t n,
+                           std::size_t valid, double* out_sq,
+                           StepCounter* counter) {
+  simd::Kernels().ed_block_full(q, tile, n, out_sq);
+  AddSteps(counter, valid * n);
+}
+
+void EarlyAbandonSquaredEuclideanBlock(const double* q, const double* tile,
+                                       std::size_t n, std::size_t valid,
+                                       const double* sq_limits, double* out_sq,
+                                       StepCounter* counter) {
+  std::uint64_t lane_steps[simd::kBlockLanes];
+  unsigned abandoned = 0;
+  simd::Kernels().ed_block_ea(q, tile, n, sq_limits, out_sq, lane_steps,
+                              &abandoned);
+  if (counter != nullptr) {
+    counter->full_evals += valid;
+    for (std::size_t l = 0; l < valid; ++l) {
+      counter->steps += lane_steps[l];
+      if ((abandoned >> l) & 1u) ++counter->early_abandons;
+    }
+  }
 }
 
 double EarlyAbandonEuclidean(const double* q, const double* c, std::size_t n,

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "src/core/contracts.h"
+#include "src/simd/simd.h"
 
 namespace rotind {
 
@@ -26,10 +27,8 @@ void Envelope::MergeInPlace(const Envelope& other) {
   ROTIND_CONTRACT(IsOrdered() && other.IsOrdered(),
                   "wedge invariant L <= U (Proposition 1 presupposes every "
                   "operand of a merge is a valid envelope)");
-  for (std::size_t i = 0; i < upper.size(); ++i) {
-    upper[i] = std::max(upper[i], other.upper[i]);
-    lower[i] = std::min(lower[i], other.lower[i]);
-  }
+  simd::Kernels().env_merge(upper.data(), lower.data(), other.upper.data(),
+                            other.lower.data(), upper.size());
 }
 
 void Envelope::MergeSeries(const double* s, std::size_t n) {
@@ -37,10 +36,7 @@ void Envelope::MergeSeries(const double* s, std::size_t n) {
   ROTIND_CONTRACT(IsOrdered(),
                   "wedge invariant L <= U (Proposition 1 presupposes a "
                   "valid envelope before widening by a series)");
-  for (std::size_t i = 0; i < n; ++i) {
-    upper[i] = std::max(upper[i], s[i]);
-    lower[i] = std::min(lower[i], s[i]);
-  }
+  simd::Kernels().env_merge_series(upper.data(), lower.data(), s, n);
 }
 
 double Envelope::Area() const {

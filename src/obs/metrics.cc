@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/simd/simd.h"
+
 namespace rotind::obs {
 namespace {
 
@@ -264,7 +266,12 @@ QueryMetrics& MetricsRegistry::Get(const std::string& name) {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::string out = "{\n  \"metrics\": {\n";
+  // The dispatched kernel tier makes every exported report self-describing:
+  // two bench artifacts can only be compared apples-to-apples when both say
+  // which tier produced them.
+  std::string out = "{\n  \"simd\": \"";
+  out += simd::ActiveTierName();
+  out += "\",\n  \"metrics\": {\n";
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     out += "    \"";
     AppendEscaped(&out, entries_[i].first);

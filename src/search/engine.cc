@@ -16,11 +16,17 @@
 #include "src/distance/euclidean.h"
 #include "src/fourier/spectral.h"
 #include "src/search/lcss_search.h"
+#include "src/simd/simd.h"
 
 namespace rotind {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The blocked drivers hand FlatDataset tiles straight to the blocked ED
+// kernels; the two lane widths are one constant seen from two layers.
+static_assert(FlatDataset::kTileLanes == simd::kBlockLanes,
+              "SoA tile width must match the simd kernel lane width");
 
 bool IsTerminal(StageKind kind) { return kind != StageKind::kFftMagnitude; }
 
@@ -93,6 +99,27 @@ class TerminalStage {
                               StepCounter* counter) {
     (void)trigger;
     (void)best;
+    (void)counter;
+  }
+
+  /// Whether this terminal can score a whole SoA tile group at once under
+  /// the given driver options. Default: per-candidate only.
+  virtual bool SupportsBlocked(const SimdOptions& simd) const {
+    (void)simd;
+    return false;
+  }
+  /// Scores the first `valid` lanes of one tile (FlatDataset::tile).
+  /// out[l].distance must be the lane's exact distance (or kAbandoned for
+  /// an early-abandoned lane) with shift/mirrored resolved; out[l].found is
+  /// left false — the DRIVER resolves it against the live threshold so the
+  /// stats attribution matches the per-candidate path exactly.
+  virtual void EvaluateBlock(const double* tile, std::size_t valid,
+                             double threshold, CandidateMatch* out,
+                             StepCounter* counter) {
+    (void)tile;
+    (void)valid;
+    (void)threshold;
+    (void)out;
     (void)counter;
   }
 };
@@ -262,6 +289,62 @@ class ScanTerminal final : public TerminalStage {
     return out;
   }
 
+  bool SupportsBlocked(const SimdOptions& simd) const override {
+    if (kind_ != DistanceKind::kEuclidean) return false;
+    return mode_ == Mode::kEarlyAbandon ? simd.blocked_early_abandon
+                                        : simd.blocked_full_scan;
+  }
+
+  // Blocked ED over one SoA tile, per-lane identical to the scalar
+  // rotation drivers in src/distance/rotation.cc: each lane tracks its own
+  // best SQUARED distance across rotations (strict <, first rotation wins
+  // ties) and takes one sqrt at the end. Vectorizing across candidates
+  // instead of within one keeps every lane's accumulation chain in scalar
+  // order, so distances — and therefore answers — are bit-identical.
+  void EvaluateBlock(const double* tile, std::size_t valid, double threshold,
+                     CandidateMatch* out, StepCounter* counter) override {
+    const std::size_t n = rotations_.length();
+    double sq_best[simd::kBlockLanes];
+    std::size_t best_r[simd::kBlockLanes];
+    bool lane_found[simd::kBlockLanes];
+    double out_sq[simd::kBlockLanes];
+    const bool ea = mode_ == Mode::kEarlyAbandon;
+    const double sq_threshold =
+        std::isinf(threshold) ? kInf : threshold * threshold;
+    for (std::size_t l = 0; l < simd::kBlockLanes; ++l) {
+      sq_best[l] = ea ? sq_threshold : kInf;
+      best_r[l] = 0;
+      lane_found[l] = false;
+    }
+    for (std::size_t r = 0; r < rotations_.count(); ++r) {
+      const double* rot = rotations_.rotation(r);
+      if (ea) {
+        // Per-lane limits tighten as the lane's own best improves —
+        // exactly EarlyAbandonRotationEuclidean with this tile group's
+        // entry threshold as best-so-far.
+        EarlyAbandonSquaredEuclideanBlock(rot, tile, n, valid, sq_best,
+                                          out_sq, counter);
+      } else {
+        SquaredEuclideanBlock(rot, tile, n, valid, out_sq, counter);
+        if (counter != nullptr) counter->full_evals += valid;
+      }
+      for (std::size_t l = 0; l < simd::kBlockLanes; ++l) {
+        if (out_sq[l] < sq_best[l]) {
+          sq_best[l] = out_sq[l];
+          best_r[l] = r;
+          lane_found[l] = true;
+        }
+      }
+    }
+    for (std::size_t l = 0; l < simd::kBlockLanes; ++l) {
+      out[l] = CandidateMatch{};
+      if (ea && !lane_found[l]) continue;  // distance stays kAbandoned/kInf
+      out[l].distance = std::sqrt(sq_best[l]);
+      out[l].shift = rotations_.shift_of(best_r[l]);
+      out[l].mirrored = rotations_.mirrored_of(best_r[l]);
+    }
+  }
+
  private:
   /// Generic early-abandoning scan over the Measure interface: the path a
   /// new distance measure gets for free.
@@ -387,6 +470,34 @@ class QueryCascade {
     return m;
   }
 
+  /// Whether the whole cascade can score SoA tile groups: no filter stages
+  /// (a blocked pass would bypass them) and a terminal that opted in.
+  bool SupportsBlocked(const SimdOptions& simd) const {
+    return filters_.empty() && terminal_->SupportsBlocked(simd);
+  }
+
+  /// Blocked counterpart of Compare for one tile group. Cancellation is
+  /// polled once per group (the per-candidate path polls per candidate; a
+  /// fired token still stops within one group's work). Stats attribution:
+  /// step deltas land on the terminal stage here, and the DRIVER calls
+  /// RecordTerminalOutcome per lane once it resolves found against the
+  /// live threshold — summing to exactly the per-candidate totals.
+  void CompareBlock(const double* tile, std::size_t valid, double threshold,
+                    CandidateMatch* out, StepCounter* counter) {
+    if (CheckCancelBoundary()) return;
+    StageScope scope(StatsFor(terminal_id_), counter);
+    terminal_->EvaluateBlock(tile, valid, threshold, out, counter);
+  }
+
+  /// Candidate-flow bookkeeping for one blocked-scored lane.
+  void RecordTerminalOutcome(bool found) {
+    obs::StageStats* stats = StatsFor(terminal_id_);
+    if (stats != nullptr) {
+      ++stats->candidates_entered;
+      ++(found ? stats->candidates_survived : stats->candidates_pruned);
+    }
+  }
+
   /// True once the token has fired; stays true (the scan result is void).
   bool cancelled() const { return !cancel_status_.ok(); }
   const Status& cancel_status() const { return cancel_status_; }
@@ -469,6 +580,57 @@ void RunScan(std::size_t db_size, const Fetch& fetch, std::size_t holdout,
     if (cascade.cancelled()) return;
     if (m.found && collector.Offer(i, m)) {
       cascade.NotifyImproved(h.data(), collector.threshold(), counter);
+    }
+  }
+}
+
+/// Blocked driver: scores SoA tile groups 8 candidates at a time against
+/// the cascade terminal, used when the candidates live in an in-memory
+/// FlatDataset (fetches are free borrows there, so skipping them is
+/// observationally identical) and the cascade opted in. Lane outcomes are
+/// resolved against the LIVE collector threshold in candidate order, so
+/// answers, counters, and per-stage stats match RunScan exactly for the
+/// full-scan terminals (see SimdOptions for the early-abandon caveat).
+template <typename Collector>
+void RunBlockedScan(const FlatDataset& flat, std::size_t holdout,
+                    QueryCascade& cascade, Collector& collector,
+                    StepCounter* counter) {
+  constexpr std::size_t kLanes = FlatDataset::kTileLanes;
+  const std::size_t db_size = flat.size();
+  for (std::size_t g = 0; g < flat.tile_groups(); ++g) {
+    const std::size_t base = g * kLanes;
+    const std::size_t valid = std::min(kLanes, db_size - base);
+    if (holdout >= base && holdout < base + valid) {
+      // The held-out candidate shares this tile group: score its
+      // groupmates through the per-candidate path (the reference
+      // semantics) rather than teaching the kernels about gaps.
+      for (std::size_t i = base; i < base + valid; ++i) {
+        if (i == holdout) continue;
+        const CandidateMatch m =
+            cascade.Compare(flat.data(i), collector.threshold(), counter);
+        if (cascade.cancelled()) return;
+        if (m.found && collector.Offer(i, m)) {
+          cascade.NotifyImproved(flat.data(i), collector.threshold(),
+                                 counter);
+        }
+      }
+      continue;
+    }
+    CandidateMatch block[kLanes];
+    cascade.CompareBlock(flat.tile(g), valid, collector.threshold(), block,
+                         counter);
+    if (cascade.cancelled()) return;
+    for (std::size_t l = 0; l < valid; ++l) {
+      CandidateMatch m = block[l];
+      // Resolve found against the LIVE threshold (a lane earlier in this
+      // group may have improved it), exactly as the per-candidate terminal
+      // would have compared.
+      m.found = m.distance < collector.threshold();
+      cascade.RecordTerminalOutcome(m.found);
+      if (m.found && collector.Offer(base + l, m)) {
+        cascade.NotifyImproved(flat.data(base + l), collector.threshold(),
+                               counter);
+      }
     }
   }
 }
@@ -721,6 +883,18 @@ std::size_t QueryEngine::database_length() const {
   return backend_->length();
 }
 
+const FlatDataset* QueryEngine::BlockedSource() const {
+  if (vec_ != nullptr) return nullptr;
+  // Only the plain in-memory borrow qualifies: its fetches charge nothing,
+  // so reading tiles directly is observationally identical. A
+  // dynamic_cast, not a kind check — FaultInjectingBackend forwards the
+  // inner backend_kind() while its fetches inject faults, and those must
+  // keep flowing through FetchCandidate.
+  const auto* mem =
+      dynamic_cast<const storage::InMemoryBackend*>(backend_.get());
+  return mem != nullptr ? mem->flat() : nullptr;
+}
+
 storage::SeriesHandle QueryEngine::FetchCandidate(
     std::size_t i, storage::FetchStats* io) const {
   if (vec_ != nullptr) {
@@ -761,15 +935,21 @@ ScanResult QueryEngine::SearchImpl(const Series& query, std::size_t holdout,
       metrics != nullptr && BackendDoesIo()
           ? &metrics->stage(obs::StageId::kDiskFetch)
           : nullptr;
-  RunScan(
-      database_size(),
-      [&](std::size_t i) {
-        const StageScope scope(fetch_stats, &result.counter);
-        storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
-        if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
-        return h;
-      },
-      holdout, cascade, collector, &result.counter);
+  const FlatDataset* blocked = BlockedSource();
+  if (blocked != nullptr && blocked->length() == query.size() &&
+      cascade.SupportsBlocked(options_.simd)) {
+    RunBlockedScan(*blocked, holdout, cascade, collector, &result.counter);
+  } else {
+    RunScan(
+        database_size(),
+        [&](std::size_t i) {
+          const StageScope scope(fetch_stats, &result.counter);
+          storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
+          if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
+          return h;
+        },
+        holdout, cascade, collector, &result.counter);
+  }
   if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
   if (interrupted != nullptr && cascade.cancelled()) {
     *interrupted = cascade.cancel_status();
@@ -807,15 +987,21 @@ std::vector<Neighbor> QueryEngine::KnnImpl(const Series& query, int k,
       metrics != nullptr && BackendDoesIo()
           ? &metrics->stage(obs::StageId::kDiskFetch)
           : nullptr;
-  RunScan(
-      database_size(),
-      [&](std::size_t i) {
-        const StageScope scope(fetch_stats, cnt);
-        storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
-        if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
-        return h;
-      },
-      holdout, cascade, collector, cnt);
+  const FlatDataset* blocked = BlockedSource();
+  if (blocked != nullptr && blocked->length() == query.size() &&
+      cascade.SupportsBlocked(options_.simd)) {
+    RunBlockedScan(*blocked, holdout, cascade, collector, cnt);
+  } else {
+    RunScan(
+        database_size(),
+        [&](std::size_t i) {
+          const StageScope scope(fetch_stats, cnt);
+          storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
+          if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
+          return h;
+        },
+        holdout, cascade, collector, cnt);
+  }
   if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
   if (interrupted != nullptr && cascade.cancelled()) {
     *interrupted = cascade.cancel_status();
@@ -847,15 +1033,21 @@ std::vector<Neighbor> QueryEngine::RangeImpl(const Series& query,
       metrics != nullptr && BackendDoesIo()
           ? &metrics->stage(obs::StageId::kDiskFetch)
           : nullptr;
-  RunScan(
-      database_size(),
-      [&](std::size_t i) {
-        const StageScope scope(fetch_stats, cnt);
-        storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
-        if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
-        return h;
-      },
-      kNoHoldout, cascade, collector, cnt);
+  const FlatDataset* blocked = BlockedSource();
+  if (blocked != nullptr && blocked->length() == query.size() &&
+      cascade.SupportsBlocked(options_.simd)) {
+    RunBlockedScan(*blocked, kNoHoldout, cascade, collector, cnt);
+  } else {
+    RunScan(
+        database_size(),
+        [&](std::size_t i) {
+          const StageScope scope(fetch_stats, cnt);
+          storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
+          if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
+          return h;
+        },
+        kNoHoldout, cascade, collector, cnt);
+  }
   if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
   if (interrupted != nullptr && cascade.cancelled()) {
     *interrupted = cascade.cancel_status();

@@ -60,6 +60,26 @@ struct CascadeSpec {
   CascadeSpec Normalized(DistanceKind kind) const;
 };
 
+/// Blocked (structure-of-arrays, 8-candidates-at-a-time) scoring knobs for
+/// the cascade terminals, fed by FlatDataset's aligned SoA tiles and the
+/// src/simd/ kernels. Which kernel tier runs (AVX2 vs scalar) is a separate,
+/// process-wide decision (simd::ActiveTier, ROTIND_SIMD) — these flags
+/// choose the DRIVER shape, and every tier/driver combination returns
+/// identical query answers.
+struct SimdOptions {
+  /// Blocked full-scan ED terminals (kFullScan/kFullScanBanded under
+  /// kEuclidean). Observationally identical to the per-candidate path —
+  /// same answers, same step counts, same per-stage attribution — so on by
+  /// default.
+  bool blocked_full_scan = true;
+  /// Blocked early-abandoning ED terminal (kExactScan under kEuclidean).
+  /// Answers are identical, but lanes abandon against the block-entry
+  /// threshold instead of the live one, so step counts can drift from the
+  /// scalar reference. Off by default to keep counter parity (benches,
+  /// step-count tests); opt in where only answers and wall time matter.
+  bool blocked_early_abandon = false;
+};
+
 /// Full engine configuration. Distance kind, band, and rotation options are
 /// single-sourced here — the wedge policy cannot carry contradictory
 /// copies (see WedgePolicy).
@@ -72,6 +92,7 @@ struct EngineOptions {
   RotationOptions rotation;
   WedgePolicy wedge;
   CascadeSpec cascade;
+  SimdOptions simd;
   /// Where candidate series live: in-memory borrow (default), the paper's
   /// simulated-disk accounting, or a paged RIDX index file behind a
   /// BufferPool (file selection requires QueryEngine::Open — the borrowing
@@ -268,6 +289,12 @@ class QueryEngine {
                                   const CancelToken* cancel,
                                   Status* interrupted,
                                   bool* fetch_failed) const;
+
+  /// The FlatDataset whose SoA tiles the blocked drivers may scan
+  /// directly, or nullptr when candidates must go through per-candidate
+  /// fetches (legacy vector storage, simulated/file/fault-injecting
+  /// backends — anything whose Fetch does accountable work).
+  const FlatDataset* BlockedSource() const;
 
   /// One candidate fetch: a borrow for legacy vector storage, a backend
   /// fetch (with I/O accounting into `io`) otherwise.

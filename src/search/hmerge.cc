@@ -32,6 +32,10 @@ HMergeResult HMerge(const double* c, const WedgeTree& tree,
     stack.pop_back();
 
     if (stats != nullptr) ++stats->wedges_tested;
+    // The LB_Keogh leaf kernel dispatches through simd::Kernels() inside
+    // EarlyAbandonLbKeoghSquared; both tiers are bit- and step-exact, so the
+    // wedge walk (prune/descend decisions, counter totals) is identical
+    // whichever tier the process dispatched at startup.
     const double lb_sq = EarlyAbandonLbKeoghSquared(
         c, tree.Upper(id), tree.Lower(id), n, squared_limit, counter);
     if (std::isinf(lb_sq)) {  // the whole wedge is pruned

@@ -1,0 +1,72 @@
+#include <cstdlib>
+#include <cstring>
+
+#include "src/simd/kernels_internal.h"
+
+namespace rotind {
+namespace simd {
+namespace {
+
+Tier Resolve() {
+  if (const char* env = std::getenv("ROTIND_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return Tier::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      return TierAvailable(Tier::kAvx2) ? Tier::kAvx2 : Tier::kScalar;
+    }
+    // Unknown value: ignore and auto-detect rather than abort — the
+    // override is a tuning knob, not configuration.
+  }
+  return TierAvailable(Tier::kAvx2) ? Tier::kAvx2 : Tier::kScalar;
+}
+
+}  // namespace
+
+bool TierAvailable(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(ROTIND_HAVE_AVX2_KERNELS)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Tier ActiveTier() {
+  static const Tier tier = Resolve();
+  return tier;
+}
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+const char* ActiveTierName() { return TierName(ActiveTier()); }
+
+const KernelTable& KernelsFor(Tier tier) {
+#if defined(ROTIND_HAVE_AVX2_KERNELS)
+  if (tier == Tier::kAvx2 && TierAvailable(Tier::kAvx2)) {
+    return internal::Avx2Table();
+  }
+#else
+  static_cast<void>(tier);
+#endif
+  return internal::ScalarTable();
+}
+
+const KernelTable& Kernels() {
+  static const KernelTable& table = KernelsFor(ActiveTier());
+  return table;
+}
+
+}  // namespace simd
+}  // namespace rotind

@@ -1,0 +1,23 @@
+#ifndef ROTIND_SIMD_KERNELS_INTERNAL_H_
+#define ROTIND_SIMD_KERNELS_INTERNAL_H_
+
+#include "src/simd/simd.h"
+
+namespace rotind {
+namespace simd {
+namespace internal {
+
+/// Per-tier kernel tables. The scalar table is the reference semantics;
+/// the AVX2 table exists only in builds that compile the -mavx2 TU
+/// (ROTIND_HAVE_AVX2_KERNELS) and is bit-identical to scalar by contract.
+const KernelTable& ScalarTable();
+
+#if defined(ROTIND_HAVE_AVX2_KERNELS)
+const KernelTable& Avx2Table();
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace rotind
+
+#endif  // ROTIND_SIMD_KERNELS_INTERNAL_H_

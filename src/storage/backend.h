@@ -152,6 +152,12 @@ class InMemoryBackend final : public StorageBackend {
   SeriesHandle Fetch(std::size_t i, FetchStats* stats) const override;
   int label(std::size_t i) const override;
 
+  /// The borrowed dataset, exposing the SoA tiles for blocked scoring
+  /// (QueryEngine's 8-candidates-at-a-time cascade terminals). Fetch on
+  /// this backend is a free borrow, so a driver that reads tiles directly
+  /// is observationally identical to one that fetches per candidate.
+  const FlatDataset* flat() const { return flat_; }
+
  private:
   const FlatDataset* flat_;
 };

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/aligned.h"
 #include "src/core/random.h"
 
 namespace rotind {
@@ -103,6 +104,87 @@ TEST(FlatDatasetTest, FromItemsCheckedAcceptsRectangular) {
   const auto ok = FlatDataset::FromItemsChecked({{1.0, 2.0}, {3.0, 4.0}});
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok->size(), 2u);
+}
+
+/// The SIMD kernels issue 64-byte aligned loads against both the doubled
+/// buffer and the SoA tiles; the dataset owns that guarantee.
+TEST(FlatDatasetTest, BackingStorageIsSimdAligned) {
+  FlatDataset db;
+  for (int i = 0; i < 11; ++i) {
+    db.Add({1.0 * i, 2.0 * i, 3.0 * i});
+  }
+  EXPECT_TRUE(IsSimdAligned(db.data(0)));
+  ASSERT_GT(db.tile_groups(), 0u);
+  for (std::size_t g = 0; g < db.tile_groups(); ++g) {
+    EXPECT_TRUE(IsSimdAligned(db.tile(g))) << "group " << g;
+  }
+}
+
+/// SoA layout: element t of candidate `base + l` lives at
+/// tile(g)[t * kTileLanes + l]. Built incrementally via Add, which is the
+/// path FromItems also uses.
+TEST(FlatDatasetTest, TilesTransposeCandidatesIntoLanes) {
+  const std::size_t n = 5;
+  std::vector<Series> items;
+  Rng rng(29);
+  for (int i = 0; i < 19; ++i) {  // 19 = 2 full groups + a 3-lane tail
+    Series s(n);
+    for (double& v : s) v = rng.Gaussian(0.0, 1.0);
+    items.push_back(s);
+  }
+  FlatDataset db;
+  for (const Series& s : items) db.Add(s);
+
+  ASSERT_EQ(db.tile_groups(), 3u);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::size_t g = i / FlatDataset::kTileLanes;
+    const std::size_t lane = i % FlatDataset::kTileLanes;
+    const double* tile = db.tile(g);
+    for (std::size_t t = 0; t < n; ++t) {
+      EXPECT_EQ(tile[t * FlatDataset::kTileLanes + lane], items[i][t])
+          << "item " << i << " element " << t;
+    }
+  }
+}
+
+/// Tail lanes past `size()` are zero-filled so blocked kernels can compute
+/// them unconditionally and the caller can ignore the results.
+TEST(FlatDatasetTest, TileTailLanesAreZero) {
+  FlatDataset db;
+  db.Add({1.0, 2.0});
+  db.Add({3.0, 4.0});
+  db.Add({5.0, 6.0});  // 3 candidates: lanes 3..7 of the only group unused
+  ASSERT_EQ(db.tile_groups(), 1u);
+  const double* tile = db.tile(0);
+  for (std::size_t t = 0; t < db.length(); ++t) {
+    for (std::size_t lane = db.size(); lane < FlatDataset::kTileLanes;
+         ++lane) {
+      EXPECT_EQ(tile[t * FlatDataset::kTileLanes + lane], 0.0)
+          << "element " << t << " lane " << lane;
+    }
+  }
+}
+
+/// The tile mirror stays consistent as Add crosses group boundaries: the
+/// SoA view must match the per-series view after every single insertion.
+TEST(FlatDatasetTest, TilesStayConsistentAcrossIncrementalAdds) {
+  const std::size_t n = 3;
+  FlatDataset db;
+  Rng rng(31);
+  for (std::size_t i = 0; i < 2 * FlatDataset::kTileLanes + 1; ++i) {
+    Series s(n);
+    for (double& v : s) v = rng.Gaussian(0.0, 1.0);
+    db.Add(s);
+    for (std::size_t j = 0; j <= i; ++j) {
+      const std::size_t g = j / FlatDataset::kTileLanes;
+      const std::size_t lane = j % FlatDataset::kTileLanes;
+      for (std::size_t t = 0; t < n; ++t) {
+        ASSERT_EQ(db.tile(g)[t * FlatDataset::kTileLanes + lane],
+                  db.data(j)[t])
+            << "after add " << i << ": item " << j << " element " << t;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -245,6 +245,66 @@ TEST(RotindLintTest, AllowsDeletedSpecialMembersAndIdentifiers) {
   EXPECT_TRUE(CheckKernelHygiene(files).empty());
 }
 
+/// Acceptance: intrinsics outside src/simd/ are detected — both the
+/// *intrin.h includes and the _mm*/__m* tokens. This is the rule that keeps
+/// the bit-exact scalar twin honest: vector code anywhere else would have
+/// no scalar reference to be compared against.
+TEST(RotindLintTest, DetectsIntrinsicsOutsideSimd) {
+  const std::vector<SourceFile> files = {
+      {"src/distance/bad.cc",
+       "#include <immintrin.h>\n"
+       "__m256d v = _mm256_setzero_pd();\n"
+       "auto w = _mm256_add_pd(v, v);\n"},
+  };
+  const std::vector<Finding> findings = CheckIntrinsicsOutsideSimd(files);
+  EXPECT_EQ(CountRule(findings, "intrinsics-outside-simd"),
+            static_cast<int>(findings.size()));
+  ASSERT_GE(findings.size(), 3u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, "src/distance/bad.cc");
+  }
+}
+
+TEST(RotindLintTest, AllowsIntrinsicsInsideSimdAndIgnoresProse) {
+  const std::vector<SourceFile> files = {
+      // The same content inside src/simd/ is exactly where it belongs.
+      {"src/simd/kernels_avx2.cc",
+       "#include <immintrin.h>\n"
+       "__m256d v = _mm256_setzero_pd();\n"},
+      // Mentions in comments and strings are not code.
+      {"src/search/ok.cc",
+       "// engine.cc never calls _mm256_add_pd directly; see src/simd/\n"
+       "const char* s = \"__m256d\";\n"},
+      // Identifiers merely containing the prefix are not intrinsics.
+      {"src/distance/ok.cc", "int comm_mmap = 0; double m256 = 0.0;\n"},
+  };
+  EXPECT_TRUE(CheckIntrinsicsOutsideSimd(files).empty());
+}
+
+/// simd sits between core and the numeric layers: distance/envelope/search
+/// may call down into it, core may not reach up.
+TEST(RotindLintTest, SimdLayerEdges) {
+  const std::vector<SourceFile> allowed = {
+      {"src/simd/ok.cc",
+       "#include \"src/simd/simd.h\"\n"
+       "#include \"src/core/aligned.h\"\n"},
+      {"src/distance/ok.cc", "#include \"src/simd/simd.h\"\n"},
+      {"src/envelope/ok.cc", "#include \"src/simd/simd.h\"\n"},
+      {"src/search/ok.cc", "#include \"src/simd/simd.h\"\n"},
+  };
+  EXPECT_TRUE(CheckLayering(allowed).empty());
+
+  const std::vector<SourceFile> bad = {
+      {"src/core/bad.cc", "#include \"src/simd/simd.h\"\n"},
+      {"src/simd/bad.cc", "#include \"src/distance/euclidean.h\"\n"},
+  };
+  const std::vector<Finding> findings = CheckLayering(bad);
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "layering");
+  }
+}
+
 /// Acceptance: an unregistered test file is detected.
 TEST(RotindLintTest, DetectsUnregisteredTest) {
   const std::vector<SourceFile> files = {

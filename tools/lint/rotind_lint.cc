@@ -20,26 +20,29 @@ namespace {
 namespace fs = std::filesystem;
 
 /// The module layering DAG: which `src/` modules each module may include.
-/// A module may always include itself; `core` is the shared foundation.
-/// Order of tiers (low to high): core -> {cluster, distance, obs, io,
-/// shape} -> fourier/envelope/lightcurve -> search/stream/datasets ->
+/// A module may always include itself; `core` is the shared foundation and
+/// `simd` sits just above it (the dispatched kernel tables: distance/
+/// envelope/search/obs -> simd -> core). Order of tiers (low to high):
+/// core -> simd -> {cluster, distance, obs, io, shape} ->
+/// fourier/envelope/lightcurve -> search/stream/datasets ->
 /// index/mining/eval.
 const std::map<std::string, std::set<std::string>>& AllowedDeps() {
   static const std::map<std::string, std::set<std::string>> kDeps = {
       {"core", {}},
+      {"simd", {"core"}},
       {"cluster", {"core"}},
-      {"distance", {"core"}},
-      {"obs", {"core"}},
+      {"distance", {"core", "simd"}},
+      {"obs", {"core", "simd"}},
       {"io", {"core"}},
       {"storage", {"core", "io"}},
       {"shape", {"core"}},
       {"fourier", {"core", "distance"}},
-      {"envelope", {"core", "cluster", "distance"}},
+      {"envelope", {"core", "cluster", "distance", "simd"}},
       {"lightcurve", {"core", "shape"}},
       {"datasets", {"core", "shape", "lightcurve"}},
       {"stream", {"core", "cluster", "distance", "envelope"}},
       {"search", {"core", "cluster", "distance", "envelope", "fourier",
-                  "obs", "storage"}},
+                  "obs", "simd", "storage"}},
       {"serve", {"core", "obs", "search", "storage"}},
       {"index", {"core", "cluster", "distance", "envelope", "fourier", "obs",
                  "search", "storage"}},
@@ -52,8 +55,9 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
 /// Directories whose code is a numeric kernel: tight loops, RAII-only
 /// memory, reproducible randomness.
 bool IsKernelPath(const std::string& path) {
-  for (const char* dir : {"src/core/", "src/distance/", "src/envelope/",
-                          "src/fourier/", "src/search/", "src/index/"}) {
+  for (const char* dir : {"src/core/", "src/simd/", "src/distance/",
+                          "src/envelope/", "src/fourier/", "src/search/",
+                          "src/index/"}) {
     if (path.rfind(dir, 0) == 0) return true;
   }
   return false;
@@ -345,6 +349,46 @@ std::vector<Finding> CheckKernelHygiene(const std::vector<SourceFile>& files) {
   return findings;
 }
 
+std::vector<Finding> CheckIntrinsicsOutsideSimd(
+    const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  // x86 SIMD surfaces: the umbrella/vendor intrinsic headers, the _mm*
+  // intrinsic call prefixes, and the __m* register types. Everything else
+  // must go through the simd::KernelTable so scalar parity, dispatch, and
+  // the no-FMA build flags stay enforceable in ONE directory.
+  static const std::regex kHeader(
+      R"(^\s*#\s*include\s*[<"][A-Za-z0-9_/]*)"
+      R"((immintrin|x86intrin|[a-z]mmintrin|avx[0-9a-z]*intrin)\.h[>"])");
+  static const std::regex kToken(
+      R"(\b_mm(256|512)?_[A-Za-z0-9_]+|\b__m(64|128|256|512)[di]?\b)");
+  for (const SourceFile& file : files) {
+    if (StartsWith(file.path, "src/simd/")) continue;
+    // Includes are string-ish tokens; keep strings for the header scan.
+    const std::string with_strings = FilterSource(
+        file.content, /*keep_comments=*/false, /*keep_strings=*/true);
+    const std::vector<std::string> lines = SplitLines(with_strings);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!std::regex_search(lines[i], kHeader)) continue;
+      findings.push_back(
+          {"intrinsics-outside-simd", file.path, static_cast<int>(i + 1),
+           "intrinsic header included outside src/simd/; vector code lives "
+           "behind simd::KernelTable so every kernel has a bit-exact scalar "
+           "twin and one dispatch point"});
+    }
+    const std::string code = StripCommentsAndStrings(file.content);
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kToken);
+         it != std::sregex_iterator(); ++it) {
+      findings.push_back(
+          {"intrinsics-outside-simd", file.path,
+           LineOfOffset(code, static_cast<std::size_t>(it->position())),
+           "x86 intrinsic used outside src/simd/; call through "
+           "simd::Kernels() (add a kernel entry if none fits) so the scalar "
+           "tier and parity tests stay complete"});
+    }
+  }
+  return findings;
+}
+
 std::vector<Finding> CheckTestRegistration(
     const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
@@ -405,7 +449,8 @@ std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (auto* check :
        {CheckLayering, CheckNodiscard, CheckUncheckedValue,
-        CheckKernelHygiene, CheckTestRegistration, CheckNolintReasons}) {
+        CheckKernelHygiene, CheckIntrinsicsOutsideSimd, CheckTestRegistration,
+        CheckNolintReasons}) {
     std::vector<Finding> f = check(files);
     findings.insert(findings.end(), std::make_move_iterator(f.begin()),
                     std::make_move_iterator(f.end()));

@@ -5,9 +5,9 @@
 /// compiler cannot express. Four families of rules:
 ///
 ///  1. Layering. `src/` is a DAG of modules
-///     (core <- distance <- envelope <- fourier <- search <- index, with
-///     cluster/obs/io/shape as low-level leaves and datasets/eval/mining/
-///     stream as top consumers). An `#include "src/<dep>/..."` from a
+///     (core <- simd <- distance <- envelope <- fourier <- search <- index,
+///     with cluster/obs/io/shape as low-level leaves and datasets/eval/
+///     mining/stream as top consumers). An `#include "src/<dep>/..."` from a
 ///     module not permitted to depend on <dep> is an error: layering
 ///     violations are how envelope code grows a search dependency and the
 ///     build becomes un-refactorable.
@@ -17,10 +17,14 @@
 ///     survives aliasing and documents intent), and `.value()` is banned
 ///     outside `tests/` — production code must branch on `ok()` instead of
 ///     asserting success.
-///  3. Kernel hygiene. The numeric kernels (core, distance, envelope,
+///  3. Kernel hygiene. The numeric kernels (core, simd, distance, envelope,
 ///     fourier, search, index) may not use raw `new`/`delete` (RAII only;
 ///     `= delete`d functions are fine) nor `rand()` (all randomness goes
 ///     through the seeded `rotind::Rng` so experiments stay reproducible).
+///     Additionally, x86 intrinsics (the *intrin.h headers, `_mm*` calls,
+///     `__m*` types) are confined to src/simd/ — everything else calls
+///     through `simd::KernelTable`, which is how the bit-exact scalar twin
+///     and the single dispatch point stay enforceable.
 ///  4. Process. Every `tests/*_test.cc` must be registered in
 ///     `tests/CMakeLists.txt` (the list is deliberately explicit, not a
 ///     glob), and every clang-tidy suppression comment must carry a
@@ -72,6 +76,11 @@ struct Finding {
 
 /// Rule 3: no raw new/delete/rand() in kernel directories.
 [[nodiscard]] std::vector<Finding> CheckKernelHygiene(
+    const std::vector<SourceFile>& files);
+
+/// Rule 3b: x86 intrinsics (*intrin.h includes, _mm*/__m* tokens) only
+/// inside src/simd/.
+[[nodiscard]] std::vector<Finding> CheckIntrinsicsOutsideSimd(
     const std::vector<SourceFile>& files);
 
 /// Rule 4a: every tests/*_test.cc appears in tests/CMakeLists.txt.

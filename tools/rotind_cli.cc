@@ -19,6 +19,8 @@
 ///                       [--db db.csv (memory/simulated)] [--pool-pages 64]
 ///                       [--eviction lru|clock] [--dtw --band 5] [--mirror]
 ///                       [--metrics-json out.json]
+///   rotind version  (prints the build version and the dispatched SIMD
+///                    kernel tier; honours ROTIND_SIMD=avx2|scalar)
 ///   rotind serve    --index db.ridx [--workers 4] [--queue-capacity 64]
 ///                   [--default-deadline-ms D] [--drain-deadline-ms 5000]
 ///                   [--no-degrade] [--degraded-k 1] [--retry-attempts 3]
@@ -81,6 +83,7 @@
 #include "src/obs/metrics.h"
 #include "src/search/engine.h"
 #include "src/search/scan.h"
+#include "src/simd/simd.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
 #include "src/storage/backend.h"
@@ -134,8 +137,8 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: rotind <generate|info|search|knn|classify|motif|"
-               "discord|index build|index search|serve> [flags]\n  see the "
-               "header of tools/rotind_cli.cc for the flag list\n");
+               "discord|index build|index search|serve|version> [flags]\n"
+               "  see the header of tools/rotind_cli.cc for the flag list\n");
   return 2;
 }
 
@@ -920,6 +923,12 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
 
+  if (args.command == "version") {
+    // The dispatched kernel tier is part of the build's identity: two runs
+    // can only be compared apples-to-apples when both report the same tier.
+    std::printf("rotind 1.0.0\nsimd: %s\n", rotind::simd::ActiveTierName());
+    return 0;
+  }
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "serve") return CmdServe(args);
   if (args.command == "index") {
