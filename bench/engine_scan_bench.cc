@@ -230,6 +230,13 @@ int Run(int argc, char** argv) {
     const char* name;
     DistanceKind kind;
     CascadeSpec cascade;
+    /// Pooled-embedding width for kVecSignature (0 = engine default). On
+    /// this dataset band-pooling collapses the bound fast (reverse
+    /// triangle inequality per band: similar band energies => tiny lower
+    /// bound), so the bench runs the filter at full spectral resolution
+    /// n/2, where it actually prunes; coarse dims pay off only on the
+    /// stored-row (RIDX v2) path, where each comparison is O(dims).
+    std::size_t vec_sig_dims = 0;
   };
   const std::vector<Config> configs = {
       {"ed/full-scan", DistanceKind::kEuclidean, {{StageKind::kFullScan}}},
@@ -240,9 +247,20 @@ int Run(int argc, char** argv) {
       {"ed/wedge", DistanceKind::kEuclidean, {{StageKind::kWedge}}},
       {"ed/fft+wedge", DistanceKind::kEuclidean,
        {{StageKind::kFftMagnitude, StageKind::kWedge}}},
+      {"ed/vecsig+early-abandon", DistanceKind::kEuclidean,
+       {{StageKind::kVecSignature, StageKind::kExactScan}},
+       /*vec_sig_dims=*/125},
+      {"ed/lbimproved+early-abandon", DistanceKind::kEuclidean,
+       {{StageKind::kLbImproved, StageKind::kExactScan}}},
+      {"ed/vecsig+fft+lbimproved+early-abandon", DistanceKind::kEuclidean,
+       {{StageKind::kVecSignature, StageKind::kFftMagnitude,
+         StageKind::kLbImproved, StageKind::kExactScan}},
+       /*vec_sig_dims=*/125},
       {"dtw/full-scan-banded", DistanceKind::kDtw,
        {{StageKind::kFullScanBanded}}},
       {"dtw/early-abandon", DistanceKind::kDtw, {{StageKind::kExactScan}}},
+      {"dtw/lbimproved+early-abandon", DistanceKind::kDtw,
+       {{StageKind::kLbImproved, StageKind::kExactScan}}},
       {"dtw/wedge", DistanceKind::kDtw, {{StageKind::kWedge}}},
   };
 
@@ -253,6 +271,7 @@ int Run(int argc, char** argv) {
     options.kind = c.kind;
     options.band = 5;
     options.cascade = c.cascade;
+    if (c.vec_sig_dims != 0) options.vec_sig_dims = c.vec_sig_dims;
     rows.push_back(RunConfig(c.name, db, qs.query_indices, options));
     const Row& row = rows.back();
     if (row.metrics.attributed_total_steps() != row.total_steps) {
@@ -265,9 +284,27 @@ int Run(int argc, char** argv) {
                    static_cast<unsigned long long>(row.total_steps));
       attribution_exact = false;
     }
-    std::printf("  %-24s %14llu steps  %8.3f s\n", row.name.c_str(),
+    // Per-stage pruning power: what fraction of the candidates entering
+    // each stage it removed — the paper's Figure 19-23 metric, per stage
+    // instead of per cascade. Terminals never prune (they decide), so
+    // only stages that pruned at least once are shown.
+    std::string pruning;
+    for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+      const obs::StageStats& st = row.metrics.stages[s];
+      if (!st.used || st.candidates_entered == 0 ||
+          st.candidates_pruned == 0) {
+        continue;
+      }
+      char cell[64];
+      std::snprintf(cell, sizeof cell, "  %s=%.1f%%",
+                    obs::StageName(static_cast<obs::StageId>(s)),
+                    100.0 * static_cast<double>(st.candidates_pruned) /
+                        static_cast<double>(st.candidates_entered));
+      pruning += cell;
+    }
+    std::printf("  %-40s %14llu steps  %8.3f s%s\n", row.name.c_str(),
                 static_cast<unsigned long long>(row.total_steps),
-                row.wall_seconds);
+                row.wall_seconds, pruning.c_str());
   }
 
   // Batch driver scaling: the same wedge workload at 1 thread vs the

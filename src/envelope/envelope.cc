@@ -82,6 +82,15 @@ enum class Extremum { kMax, kMin };
 Series SlidingExtremum(const Series& s, int band, Extremum which) {
   const std::size_t n = s.size();
   if (band <= 0 || n == 0) return s;
+  // A window radius of n-1 already covers the whole array from any i, so
+  // clamp larger bands up front. This keeps the window arithmetic below
+  // (`i + band` as size_t, `i - band` as long) inside the ranges the deque
+  // logic assumes even for band values near INT_MAX, instead of relying on
+  // each call site to pass a sane radius.
+  if (static_cast<std::size_t>(band) >= n) {
+    band = static_cast<int>(n - 1);
+    if (band == 0) return s;  // n == 1: the window is the single element.
+  }
   Series out(n);
   // Monotonic deque of indices; front always holds the extremum of the
   // current window [i-band, i+band] (clamped).
@@ -118,6 +127,13 @@ Series SlidingMin(const Series& s, int band) {
 }
 
 Envelope Envelope::ExpandedForDtw(int band) const {
+  ROTIND_CONTRACT(band >= 0,
+                  "ExpandedForDtw: the Sakoe-Chiba band radius cannot be "
+                  "negative; a negative band silently degenerates to a "
+                  "copy and breaks the Proposition 2 containment proof");
+  ROTIND_CONTRACT(IsOrdered(),
+                  "ExpandedForDtw: the source wedge must satisfy L <= U; "
+                  "sliding max/min of a crossed envelope is not a wedge");
   Envelope out;
   out.upper = SlidingMax(upper, band);
   out.lower = SlidingMin(lower, band);

@@ -16,6 +16,13 @@ namespace rotind {
 struct IndexBuildOptions {
   std::size_t sig_dims = 16;   ///< FFT magnitude signature dimensionality.
   std::size_t paa_dims = 16;   ///< PAA summary dimensionality.
+  /// Rotation-invariant pooled VecSignature dimensionality (the RIDX v2
+  /// section feeding the engine's vec-signature pre-filter). Unlike
+  /// sig_dims this is CLAMPED to n/2 rather than rejected: every row in one
+  /// file shares the same length, so a per-file clamp cannot produce the
+  /// mixed-dimensionality footgun, and the default keeps working on short
+  /// series. 0 omits the section and the file stays a version-1 container.
+  std::size_t ri_dims = 8;
   std::size_t page_size_bytes = 4096;
 };
 

@@ -60,6 +60,8 @@ const char* StageName(StageId id) {
     case StageId::kSignatureFilter: return "signature_filter";
     case StageId::kDiskFetch: return "disk_fetch";
     case StageId::kRefine: return "refine";
+    case StageId::kLbImproved: return "lb_improved";
+    case StageId::kVecSignature: return "vec_signature";
   }
   return "unknown";
 }

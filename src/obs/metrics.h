@@ -33,8 +33,10 @@ namespace rotind::obs {
 /// (asserted by tests/obs_engine_test.cc over the equivalence corpus).
 
 /// Identity of one attribution bucket along the query path. The first five
-/// mirror the engine's cascade StageKinds; the last three belong to the
-/// disk-backed RotationInvariantIndex.
+/// mirror the engine's original cascade StageKinds, the next three belong
+/// to the disk-backed RotationInvariantIndex, and the trailing two are the
+/// cascade filter stages added later (appended so the numeric ids of
+/// every earlier stage — and therefore old JSON baselines — are stable).
 enum class StageId {
   kFftFilter = 0,      ///< cascade: FFT-magnitude lower-bound filter
   kWedge,              ///< cascade terminal: LB_Keogh wedges + H-Merge
@@ -44,8 +46,10 @@ enum class StageId {
   kSignatureFilter,    ///< index: signature-space lower-bound pruning
   kDiskFetch,          ///< index: object fetches from the simulated disk
   kRefine,             ///< index: H-Merge refinement of fetched objects
+  kLbImproved,         ///< cascade: two-pass LB_Improved wedge filter
+  kVecSignature,       ///< cascade: pooled rotation-invariant vector filter
 };
-inline constexpr std::size_t kNumStages = 8;
+inline constexpr std::size_t kNumStages = 10;
 
 /// Stable machine-readable name ("fft_filter", "wedge", ...).
 const char* StageName(StageId id);

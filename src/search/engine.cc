@@ -14,6 +14,7 @@
 
 #include "src/core/contracts.h"
 #include "src/distance/euclidean.h"
+#include "src/envelope/lower_bound.h"
 #include "src/fourier/spectral.h"
 #include "src/search/lcss_search.h"
 #include "src/simd/simd.h"
@@ -28,12 +29,17 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 static_assert(FlatDataset::kTileLanes == simd::kBlockLanes,
               "SoA tile width must match the simd kernel lane width");
 
-bool IsTerminal(StageKind kind) { return kind != StageKind::kFftMagnitude; }
+bool IsTerminal(StageKind kind) {
+  return kind != StageKind::kFftMagnitude &&
+         kind != StageKind::kVecSignature && kind != StageKind::kLbImproved;
+}
 
 /// Observability bucket for each cascade stage.
 obs::StageId StageIdFor(StageKind kind) {
   switch (kind) {
     case StageKind::kFftMagnitude: return obs::StageId::kFftFilter;
+    case StageKind::kVecSignature: return obs::StageId::kVecSignature;
+    case StageKind::kLbImproved: return obs::StageId::kLbImproved;
     case StageKind::kWedge: return obs::StageId::kWedge;
     case StageKind::kExactScan: return obs::StageId::kExactScan;
     case StageKind::kFullScan: return obs::StageId::kFullScan;
@@ -55,12 +61,17 @@ struct CandidateMatch {
 };
 
 /// A cheap lower-bound filter: returns true when the candidate provably
-/// cannot beat `threshold`.
+/// cannot beat `threshold`. `index` is the candidate's database position —
+/// filters backed by resident per-object sections (stored RIDX v2
+/// signature rows) key off it; purely computational filters ignore it.
 class FilterStage {
  public:
   virtual ~FilterStage() = default;
-  virtual bool Prune(const double* c, double threshold,
+  virtual bool Prune(std::size_t index, const double* c, double threshold,
                      StepCounter* counter) const = 0;
+  /// The observability bucket this filter's work and candidate flow land
+  /// in, so a multi-filter cascade attributes pruning power per stage.
+  virtual obs::StageId stage_id() const = 0;
 };
 
 /// Rotation-invariant FFT-magnitude lower bound (paper Sections 4.2/5.3):
@@ -73,7 +84,7 @@ class FftMagnitudeFilter final : public FilterStage {
     AddSetupSteps(counter, FftStepCost(n_));
   }
 
-  bool Prune(const double* c, double threshold,
+  bool Prune(std::size_t /*index*/, const double* c, double threshold,
              StepCounter* counter) const override {
     AddSteps(counter, FftStepCost(n_));
     if (counter != nullptr) ++counter->lower_bound_evals;
@@ -82,9 +93,123 @@ class FftMagnitudeFilter final : public FilterStage {
     return SignatureDistance(signature_, sig, nullptr) >= threshold;
   }
 
+  obs::StageId stage_id() const override { return obs::StageId::kFftFilter; }
+
  private:
   std::size_t n_;
   SpectralSignature signature_;
+};
+
+/// Band-pooled rotation/mirror-invariant vector pre-filter (the VecSignature
+/// embedding): ||v(Q) - v(C)||_2 <= RED(Q, C), sound for Euclidean only.
+/// Two candidate paths with bit-identical distances: stored RIDX v2 rows
+/// (an O(dims) resident lookup) or an on-the-fly embedding (one FFT) —
+/// identical because the stored rows were produced by the same
+/// MakeVecSignature over the same candidate bytes.
+class VecSignatureFilter final : public FilterStage {
+ public:
+  VecSignatureFilter(const Series& query, std::size_t dims,
+                     const double* stored_rows, std::size_t stored_dims,
+                     StepCounter* counter)
+      : n_(query.size()), rows_(stored_rows) {
+    if (n_ < 2) return;  // no spectrum to pool; Prune never fires
+    // The stored dimensionality is authoritative when rows exist — both
+    // sides of the distance must live in the same pooled space.
+    dims_ = rows_ != nullptr
+                ? stored_dims
+                : std::min(std::max<std::size_t>(dims, 1), n_ / 2);
+    signature_ = MakeVecSignature(query, dims_);
+    AddSetupSteps(counter, FftStepCost(n_));
+  }
+
+  bool Prune(std::size_t index, const double* c, double threshold,
+             StepCounter* counter) const override {
+    if (counter != nullptr) ++counter->lower_bound_evals;
+    if (n_ < 2) return false;
+    double d;
+    if (rows_ != nullptr) {
+      // Same accumulation order as VecSignatureDistance (query minus
+      // candidate, ascending band), so the two paths agree bit-for-bit.
+      const double* row = rows_ + index * dims_;
+      double acc = 0.0;
+      for (std::size_t b = 0; b < dims_; ++b) {
+        const double diff = signature_.values[b] - row[b];
+        acc += diff * diff;
+      }
+      AddSteps(counter, dims_);
+      d = std::sqrt(acc);
+    } else {
+      AddSteps(counter, FftStepCost(n_));
+      const VecSignature sig = MakeVecSignature(Series(c, c + n_), dims_);
+      d = VecSignatureDistance(signature_, sig, nullptr);
+    }
+    return d >= threshold;
+  }
+
+  obs::StageId stage_id() const override {
+    return obs::StageId::kVecSignature;
+  }
+
+ private:
+  std::size_t n_;
+  const double* rows_ = nullptr;  ///< count x dims_ resident matrix or null.
+  std::size_t dims_ = 0;
+  VecSignature signature_;
+};
+
+/// Two-pass LB_Improved second-chance filter (see envelope/lower_bound.h):
+/// pass 1 is LB_Keogh of the candidate against the band-expanded rotation
+/// wedge, pass 2 adds the gap between the UNexpanded wedge and the sliding
+/// envelope of the candidate's projection. Tightness ordering makes it a
+/// strict second chance: every candidate LB_Keogh would prune, this prunes
+/// too, plus some LB_Keogh misses. Sound for kEuclidean (band 0) and for
+/// banded DTW terminals; CascadeSpec::Normalized drops the unsound
+/// compositions.
+class LbImprovedFilter final : public FilterStage {
+ public:
+  LbImprovedFilter(const Series& query, const EngineOptions& options,
+                   StepCounter* counter) {
+    const RotationSet rots(query, options.rotation);
+    const std::size_t n = rots.length();
+    if (options.kind == DistanceKind::kDtw) {
+      // A negative band means the terminal warps without constraint; the
+      // full-width band keeps the bound sound there (DTW_{n-1} is the
+      // unconstrained distance), and ExpandedForDtw clamps oversized bands.
+      band_ = options.band < 0 ? static_cast<int>(n == 0 ? 0 : n - 1)
+                               : options.band;
+    }
+    if (n == 0 || rots.count() == 0) return;  // nothing to bound
+    // The wedge encloses EVERY rotation (and mirror) the terminal will
+    // consider, so one envelope bounds the whole orbit (paper Section 4.1).
+    wedge_ = Envelope::FromSeries(rots.rotation(0), n);
+    for (std::size_t r = 1; r < rots.count(); ++r) {
+      wedge_.MergeSeries(rots.rotation(r), n);
+    }
+    AddSetupSteps(counter, rots.count() * n);
+    expanded_ = wedge_.ExpandedForDtw(band_);
+    AddSetupSteps(counter, 2 * n);
+  }
+
+  bool Prune(std::size_t /*index*/, const double* c, double threshold,
+             StepCounter* counter) const override {
+    if (wedge_.size() == 0) return false;
+    const double sq_threshold =
+        std::isinf(threshold) ? threshold : threshold * threshold;
+    const double sq =
+        LbImprovedSquared(c, wedge_, expanded_, band_, sq_threshold, counter);
+    // kAbandoned means the accumulator tripped the limit mid-pass; a
+    // finite result prunes on >= exactly like the other filters.
+    return std::isinf(sq) || sq >= sq_threshold;
+  }
+
+  obs::StageId stage_id() const override {
+    return obs::StageId::kLbImproved;
+  }
+
+ private:
+  int band_ = 0;
+  Envelope wedge_;
+  Envelope expanded_;
 };
 
 /// The exact terminal evaluator at the end of every cascade.
@@ -393,9 +518,13 @@ class ScanTerminal final : public TerminalStage {
 /// sum exactly to the query's StepCounter.
 class QueryCascade {
  public:
+  /// `stored_vec_sigs`/`stored_vec_sig_dims` feed the kVecSignature filter
+  /// its resident RIDX v2 rows (nullptr/0 → embed candidates on the fly).
   QueryCascade(const Series& query, const EngineOptions& options,
                StepCounter* counter, obs::QueryMetrics* metrics = nullptr,
-               const CancelToken* cancel = nullptr)
+               const CancelToken* cancel = nullptr,
+               const double* stored_vec_sigs = nullptr,
+               std::size_t stored_vec_sig_dims = 0)
       : metrics_(metrics), cancel_(cancel) {
     for (StageKind kind : options.cascade.stages) {
       if (IsTerminal(kind)) {
@@ -425,17 +554,40 @@ class QueryCascade {
                 query, options, ScanTerminal::Mode::kFullBanded);
             break;
           case StageKind::kFftMagnitude:
+          case StageKind::kVecSignature:
+          case StageKind::kLbImproved:
             break;  // not terminal
         }
         break;  // normalization guarantees the terminal is last
       }
-      StageScope scope(StatsFor(obs::StageId::kFftFilter), counter);
-      filters_.push_back(std::make_unique<FftMagnitudeFilter>(query, counter));
+      switch (kind) {
+        case StageKind::kFftMagnitude: {
+          StageScope scope(StatsFor(obs::StageId::kFftFilter), counter);
+          filters_.push_back(
+              std::make_unique<FftMagnitudeFilter>(query, counter));
+          break;
+        }
+        case StageKind::kVecSignature: {
+          StageScope scope(StatsFor(obs::StageId::kVecSignature), counter);
+          filters_.push_back(std::make_unique<VecSignatureFilter>(
+              query, options.vec_sig_dims, stored_vec_sigs,
+              stored_vec_sig_dims, counter));
+          break;
+        }
+        case StageKind::kLbImproved: {
+          StageScope scope(StatsFor(obs::StageId::kLbImproved), counter);
+          filters_.push_back(
+              std::make_unique<LbImprovedFilter>(query, options, counter));
+          break;
+        }
+        default:
+          break;  // terminals handled above
+      }
     }
     assert(terminal_ != nullptr && "cascade must be normalized");
   }
 
-  CandidateMatch Compare(const double* c, double threshold,
+  CandidateMatch Compare(std::size_t index, const double* c, double threshold,
                          StepCounter* counter) {
     // Cooperative cancellation: the token is polled at every stage
     // boundary — before each filter and before the terminal — so a fired
@@ -444,11 +596,11 @@ class QueryCascade {
     // driver checks cancelled() and abandons the scan.
     if (CheckCancelBoundary()) return CandidateMatch{};
     for (const auto& filter : filters_) {
-      obs::StageStats* stats = StatsFor(obs::StageId::kFftFilter);
+      obs::StageStats* stats = StatsFor(filter->stage_id());
       bool pruned;
       {
         StageScope scope(stats, counter);
-        pruned = filter->Prune(c, threshold, counter);
+        pruned = filter->Prune(index, c, threshold, counter);
       }
       if (stats != nullptr) {
         ++stats->candidates_entered;
@@ -573,7 +725,7 @@ void RunScan(std::size_t db_size, const Fetch& fetch, std::size_t holdout,
     // latched the Status (surfaced by the Checked entry points).
     if (!h.valid()) continue;
     const CandidateMatch m =
-        cascade.Compare(h.data(), collector.threshold(), counter);
+        cascade.Compare(i, h.data(), collector.threshold(), counter);
     // A fired cancellation token voids the whole scan: stop immediately,
     // leaving whatever partial state the collector holds for the caller to
     // DISCARD (the Checked entry points return the typed cancel Status).
@@ -607,7 +759,7 @@ void RunBlockedScan(const FlatDataset& flat, std::size_t holdout,
       for (std::size_t i = base; i < base + valid; ++i) {
         if (i == holdout) continue;
         const CandidateMatch m =
-            cascade.Compare(flat.data(i), collector.threshold(), counter);
+            cascade.Compare(i, flat.data(i), collector.threshold(), counter);
         if (cascade.cancelled()) return;
         if (m.found && collector.Offer(i, m)) {
           cascade.NotifyImproved(flat.data(i), collector.threshold(),
@@ -764,15 +916,39 @@ CascadeSpec CascadeSpec::Normalized(DistanceKind kind) const {
   CascadeSpec out;
   out.stages.clear();
   for (StageKind stage : stages) {
-    if (stage == StageKind::kFftMagnitude) {
-      if (kind != DistanceKind::kEuclidean) continue;  // unsound filter
+    if (!IsTerminal(stage)) {
+      switch (stage) {
+        case StageKind::kFftMagnitude:
+        case StageKind::kVecSignature:
+          // Magnitude-spectrum bounds hold for Euclidean distance only.
+          if (kind != DistanceKind::kEuclidean) continue;
+          break;
+        case StageKind::kLbImproved:
+          // LCSS similarity is not bounded by envelope gap sums.
+          if (kind == DistanceKind::kLcss) continue;
+          break;
+        default:
+          break;
+      }
       out.stages.push_back(stage);
       continue;
     }
     out.stages.push_back(stage);  // first terminal ends the cascade
-    return out;
+    break;
   }
-  out.stages.push_back(StageKind::kExactScan);
+  if (out.stages.empty() || !IsTerminal(out.stages.back())) {
+    out.stages.push_back(StageKind::kExactScan);
+  }
+  // A BANDED lower bound does not lower-bound UNCONSTRAINED DTW (the
+  // kFullScan terminal computes band -1): keeping kLbImproved there would
+  // falsely dismiss true matches. kFullScanBanded and the other DTW
+  // terminals warp inside the configured band, where the bound is exact.
+  if (kind == DistanceKind::kDtw &&
+      out.stages.back() == StageKind::kFullScan) {
+    out.stages.erase(std::remove(out.stages.begin(), out.stages.end(),
+                                 StageKind::kLbImproved),
+                     out.stages.end());
+  }
   return out;
 }
 
@@ -909,6 +1085,25 @@ bool QueryEngine::BackendDoesIo() const {
          backend_->backend_kind() != storage::BackendKind::kInMemory;
 }
 
+void QueryEngine::ResolveStoredVecSigs(std::size_t query_length,
+                                       const double** rows,
+                                       std::size_t* dims) const {
+  *rows = nullptr;
+  *dims = 0;
+  // dynamic_cast, not a kind check: FaultInjectingBackend forwards the
+  // inner backend_kind() but its fetches inject faults; its candidates
+  // must be embedded from the fetched bytes, not trusted resident rows.
+  const auto* fb = dynamic_cast<const storage::FileBackend*>(backend_.get());
+  if (fb == nullptr) return;
+  const storage::IndexFile& file = fb->file();
+  if (file.ri_dims() == 0) return;
+  // The stored dimensionality must fit the query's pooled space
+  // (dims <= n/2) or the two embedding sides would be incomparable.
+  if (query_length < 2 || file.ri_dims() > query_length / 2) return;
+  *rows = file.ri_signatures().data();
+  *dims = file.ri_dims();
+}
+
 ScanResult QueryEngine::Search(const Series& query,
                                obs::QueryMetrics* metrics) const {
   return SearchLeaveOneOut(query, kNoHoldout, metrics);
@@ -928,7 +1123,11 @@ ScanResult QueryEngine::SearchImpl(const Series& query, std::size_t holdout,
   ScanResult result;
   result.best_distance = kInf;
   const QueryLatencyScope latency(metrics);
-  QueryCascade cascade(query, options_, &result.counter, metrics, cancel);
+  const double* vec_sig_rows = nullptr;
+  std::size_t vec_sig_dims = 0;
+  ResolveStoredVecSigs(query.size(), &vec_sig_rows, &vec_sig_dims);
+  QueryCascade cascade(query, options_, &result.counter, metrics, cancel,
+                       vec_sig_rows, vec_sig_dims);
   BestCollector collector(&result);
   storage::FetchStats fetch_io;
   obs::StageStats* fetch_stats =
@@ -980,7 +1179,11 @@ std::vector<Neighbor> QueryEngine::KnnImpl(const Series& query, int k,
   StepCounter local;
   StepCounter* cnt = counter != nullptr ? counter : &local;
   const QueryLatencyScope latency(metrics);
-  QueryCascade cascade(query, options_, cnt, metrics, cancel);
+  const double* vec_sig_rows = nullptr;
+  std::size_t vec_sig_dims = 0;
+  ResolveStoredVecSigs(query.size(), &vec_sig_rows, &vec_sig_dims);
+  QueryCascade cascade(query, options_, cnt, metrics, cancel, vec_sig_rows,
+                       vec_sig_dims);
   KnnCollector collector(k);
   storage::FetchStats fetch_io;
   obs::StageStats* fetch_stats =
@@ -1026,7 +1229,11 @@ std::vector<Neighbor> QueryEngine::RangeImpl(const Series& query,
   StepCounter local;
   StepCounter* cnt = counter != nullptr ? counter : &local;
   const QueryLatencyScope latency(metrics);
-  QueryCascade cascade(query, options_, cnt, metrics, cancel);
+  const double* vec_sig_rows = nullptr;
+  std::size_t vec_sig_dims = 0;
+  ResolveStoredVecSigs(query.size(), &vec_sig_rows, &vec_sig_dims);
+  QueryCascade cascade(query, options_, cnt, metrics, cancel, vec_sig_rows,
+                       vec_sig_dims);
   RangeCollector collector(radius);
   storage::FetchStats fetch_io;
   obs::StageStats* fetch_stats =

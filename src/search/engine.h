@@ -32,6 +32,18 @@ enum class StageKind {
   /// Filter: rotation-invariant FFT-magnitude lower bound (paper Section
   /// 4.2). Sound for kEuclidean only; dropped for other measures.
   kFftMagnitude,
+  /// Filter: band-pooled rotation/mirror-invariant vector embedding
+  /// (fourier::VecSignature) — cheaper per candidate than the FFT filter
+  /// when the database carries a RIDX v2 signature section (the stored
+  /// rows are compared directly; otherwise candidates are embedded on the
+  /// fly). Sound for kEuclidean only; dropped for other measures.
+  kVecSignature,
+  /// Filter: two-pass LB_Improved (Lemire) against the query's rotation
+  /// wedge — the second-chance stage after LB_Keogh fails to prune. Sound
+  /// for kEuclidean (band 0) and banded kDtw; dropped for kLcss and for
+  /// the unconstrained-DTW terminal (kFullScan under kDtw), which a banded
+  /// bound does not lower-bound.
+  kLbImproved,
   /// Terminal: hierarchal LB_Keogh wedges + H-Merge + dynamic K (the
   /// paper's contribution). Exact.
   kWedge,
@@ -93,6 +105,11 @@ struct EngineOptions {
   WedgePolicy wedge;
   CascadeSpec cascade;
   SimdOptions simd;
+  /// Dimensionality of the kVecSignature filter's pooled embedding when the
+  /// backend has no stored RIDX v2 rows (clamped to n/2 per query). A
+  /// file backend with a signature section overrides this: the stored
+  /// dimensionality is authoritative, since both sides must agree.
+  std::size_t vec_sig_dims = 8;
   /// Where candidate series live: in-memory borrow (default), the paper's
   /// simulated-disk accounting, or a paged RIDX index file behind a
   /// BufferPool (file selection requires QueryEngine::Open — the borrowing
@@ -304,6 +321,15 @@ class QueryEngine {
   /// gates the kDiskFetch stage so purely in-memory runs keep their
   /// metrics shape.
   bool BackendDoesIo() const;
+
+  /// Resolves the RIDX v2 rotation-invariant signature rows for the
+  /// kVecSignature filter: points `*rows` at the file backend's resident
+  /// count x *dims matrix when one exists (and its dimensionality fits the
+  /// query length), else nullptr/0 — the filter then embeds candidates on
+  /// the fly, which returns bit-identical distances since the stored rows
+  /// were produced by the same MakeVecSignature over the same bytes.
+  void ResolveStoredVecSigs(std::size_t query_length, const double** rows,
+                            std::size_t* dims) const;
 
   const std::vector<Series>* vec_ = nullptr;
   std::unique_ptr<storage::StorageBackend> backend_;

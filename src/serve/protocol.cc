@@ -65,7 +65,11 @@ Status ParseDeadline(std::string_view token, Request* request) {
   double ms = 0.0;
   Status s = ParseDouble(token.substr(kPrefix.size()), "deadline_ms", &ms);
   if (!s.ok()) return s;
-  if (ms <= 0.0 || ms > kMaxDeadlineMs) {
+  // Positive phrasing: every comparison with NaN is false, so a NaN that
+  // slips past upstream validation is rejected here instead of silently
+  // converting to a nonsense deadline. The negated form (`ms <= 0.0 ||
+  // ms > kMax`) accepts NaN — both disjuncts are false.
+  if (!(ms > 0.0 && ms <= kMaxDeadlineMs)) {
     return Status::InvalidArgument("deadline_ms must be in (0, " +
                                    std::to_string(kMaxDeadlineMs) + "]");
   }

@@ -24,11 +24,14 @@ std::uint64_t AlignUp(std::uint64_t value, std::uint64_t alignment) {
 /// container size BEFORE any allocation (same discipline as the dataset
 /// loader: a malicious 64-byte file cannot request a multi-GB resize).
 struct HeaderInfo {
+  std::uint32_t version = 0;
   std::uint64_t page_size = 0;
   std::uint64_t count = 0;
   std::uint64_t length = 0;
   std::uint64_t sig_dims = 0;
   std::uint64_t paa_dims = 0;
+  std::uint64_t ri_dims = 0;      ///< v2 extension header; 0 for v1 files.
+  std::uint64_t header_bytes = 0; ///< 64 for v1, 128 for v2.
   std::uint64_t flags = 0;
   std::uint64_t data_bytes = 0;
   std::uint64_t data_pages = 0;
@@ -50,13 +53,15 @@ StatusOr<HeaderInfo> ParseHeader(const char* data, std::size_t size,
   if (!reader.Read(&version)) {
     return Status(StatusCode::kTruncated, "file ends inside the version field");
   }
-  if (version != kIndexVersion) {
+  if (version != kIndexVersionV1 && version != kIndexVersion) {
     return Status(StatusCode::kVersionMismatch,
                   "index version " + std::to_string(version) +
-                      "; this build reads version " +
+                      "; this build reads versions " +
+                      std::to_string(kIndexVersionV1) + " through " +
                       std::to_string(kIndexVersion));
   }
   HeaderInfo info;
+  info.version = version;
   std::uint64_t stored_checksum = 0;
   if (!reader.Read(&info.page_size) || !reader.Read(&info.count) ||
       !reader.Read(&info.length) || !reader.Read(&info.sig_dims) ||
@@ -67,6 +72,33 @@ StatusOr<HeaderInfo> ParseHeader(const char* data, std::size_t size,
   if (Fnv1a64(data, kIndexHeaderBytes - sizeof(std::uint64_t)) !=
       stored_checksum) {
     return Status(StatusCode::kCorruptHeader, "header checksum mismatch");
+  }
+  info.header_bytes = kIndexHeaderBytes;
+  if (version >= 2) {
+    // Version 2 carries a fixed-size extension header directly after the
+    // base header. Its reserved bytes must be zero so a future version can
+    // assign them meaning without v2 readers silently accepting the result.
+    info.header_bytes += kIndexExtHeaderBytes;
+    std::uint64_t reserved[6] = {};
+    std::uint64_t ext_checksum = 0;
+    if (!reader.Read(&info.ri_dims) ||
+        !reader.ReadBytes(reserved, sizeof reserved) ||
+        !reader.Read(&ext_checksum)) {
+      return Status(StatusCode::kTruncated,
+                    "file ends inside the v2 extension header");
+    }
+    if (Fnv1a64(data + kIndexHeaderBytes,
+                kIndexExtHeaderBytes - sizeof(std::uint64_t)) !=
+        ext_checksum) {
+      return Status(StatusCode::kCorruptHeader,
+                    "extension header checksum mismatch");
+    }
+    for (std::uint64_t r : reserved) {
+      if (r != 0) {
+        return Status(StatusCode::kCorruptHeader,
+                      "nonzero reserved bytes in the extension header");
+      }
+    }
   }
   if (info.page_size < kMinPageSize || info.page_size > kMaxPageSize) {
     return Status(StatusCode::kCorruptHeader,
@@ -81,10 +113,21 @@ StatusOr<HeaderInfo> ParseHeader(const char* data, std::size_t size,
     return Status(StatusCode::kCorruptHeader,
                   "zero series length with nonzero count");
   }
-  if ((info.flags & ~kIndexFlagHasLabels) != 0) {
+  // Flag bits are version-gated: a v1 header claiming the v2 RI section is
+  // exactly as corrupt as one claiming any other unknown bit.
+  const std::uint64_t allowed_flags =
+      info.version == kIndexVersionV1
+          ? kIndexFlagHasLabels
+          : (kIndexFlagHasLabels | kIndexFlagHasRiSig);
+  if ((info.flags & ~allowed_flags) != 0) {
     return Status(StatusCode::kCorruptHeader, "unknown flag bits set");
   }
-  if (info.sig_dims > info.length || info.paa_dims > info.length) {
+  if (((info.flags & kIndexFlagHasRiSig) != 0) != (info.ri_dims > 0)) {
+    return Status(StatusCode::kCorruptHeader,
+                  "RI signature flag and ri_dims disagree");
+  }
+  if (info.sig_dims > info.length || info.paa_dims > info.length ||
+      info.ri_dims > info.length) {
     return Status(StatusCode::kCorruptHeader,
                   "signature dims exceed the series length");
   }
@@ -105,11 +148,14 @@ StatusOr<HeaderInfo> ParseHeader(const char* data, std::size_t size,
   info.data_pages = (info.data_bytes + info.page_size - 1) / info.page_size;
 
   const std::uint64_t checksum = sizeof(std::uint64_t);
-  std::uint64_t resident = kIndexHeaderBytes;
+  std::uint64_t resident = info.header_bytes;
   resident += info.count * 16 + checksum;                           // catalog
   resident += info.data_pages * 8 + checksum;               // page checksums
   resident += info.count * info.sig_dims * sizeof(double) + checksum;
   resident += info.count * info.paa_dims * sizeof(double) + checksum;
+  if ((info.flags & kIndexFlagHasRiSig) != 0) {
+    resident += info.count * info.ri_dims * sizeof(double) + checksum;
+  }
   if ((info.flags & kIndexFlagHasLabels) != 0) {
     resident += info.count * sizeof(std::int32_t) + checksum;
   }
@@ -165,11 +211,13 @@ Status WriteIndexFile(const Dataset& db, const IndexBuildData& extras,
         std::to_string(kMinPageSize) + ", " + std::to_string(kMaxPageSize) +
         "]");
   }
-  if (extras.sig_dims > length || extras.paa_dims > length) {
+  if (extras.sig_dims > length || extras.paa_dims > length ||
+      extras.ri_dims > length) {
     return Status::InvalidArgument("signature dims exceed the series length");
   }
   if (extras.signatures.size() != count * extras.sig_dims ||
-      extras.paa.size() != count * extras.paa_dims) {
+      extras.paa.size() != count * extras.paa_dims ||
+      extras.ri_signatures.size() != count * extras.ri_dims) {
     return Status::InvalidArgument(
         "signature matrix shape does not match count x dims");
   }
@@ -201,6 +249,11 @@ Status WriteIndexFile(const Dataset& db, const IndexBuildData& extras,
       return Status(StatusCode::kBadValue, "non-finite PAA summary value");
     }
   }
+  for (double v : extras.ri_signatures) {
+    if (!std::isfinite(v)) {
+      return Status(StatusCode::kBadValue, "non-finite RI signature value");
+    }
+  }
 
   const std::uint64_t data_bytes =
       static_cast<std::uint64_t>(count) * length * sizeof(double);
@@ -221,15 +274,20 @@ Status WriteIndexFile(const Dataset& db, const IndexBuildData& extras,
         Fnv1a64(data.data() + p * page_size_bytes, page_size_bytes);
   }
 
+  // Emit the OLDEST version that can represent the payload: v1 (and a
+  // byte-identical file to pre-v2 builds) unless the RI section is present.
+  const bool has_ri = extras.ri_dims > 0;
+  const std::uint32_t version = has_ri ? kIndexVersion : kIndexVersionV1;
   std::ostringstream header_buf;
   header_buf.write(kIndexMagic, sizeof(kIndexMagic));
-  WritePod(header_buf, kIndexVersion);
+  WritePod(header_buf, version);
   WritePod(header_buf, static_cast<std::uint64_t>(page_size_bytes));
   WritePod(header_buf, static_cast<std::uint64_t>(count));
   WritePod(header_buf, static_cast<std::uint64_t>(length));
   WritePod(header_buf, static_cast<std::uint64_t>(extras.sig_dims));
   WritePod(header_buf, static_cast<std::uint64_t>(extras.paa_dims));
-  const std::uint64_t flags = extras.labels.empty() ? 0 : kIndexFlagHasLabels;
+  std::uint64_t flags = extras.labels.empty() ? 0 : kIndexFlagHasLabels;
+  if (has_ri) flags |= kIndexFlagHasRiSig;
   WritePod(header_buf, flags);
   const std::string header = std::move(header_buf).str();
 
@@ -239,6 +297,17 @@ Status WriteIndexFile(const Dataset& db, const IndexBuildData& extras,
   const std::uint64_t header_checksum = Fnv1a64(header.data(), header.size());
   WritePod(out, header_checksum);
   std::uint64_t written = kIndexHeaderBytes;
+  if (has_ri) {
+    std::ostringstream ext_buf;
+    WritePod(ext_buf, static_cast<std::uint64_t>(extras.ri_dims));
+    const std::string reserved(48, '\0');
+    ext_buf.write(reserved.data(),
+                  static_cast<std::streamsize>(reserved.size()));
+    const std::string ext = std::move(ext_buf).str();
+    out.write(ext.data(), static_cast<std::streamsize>(ext.size()));
+    WritePod(out, Fnv1a64(ext.data(), ext.size()));
+    written += kIndexExtHeaderBytes;
+  }
 
   // Each resident section is written, then its checksum. WriteSection
   // returns the byte count so the caller tracks the padding target.
@@ -262,6 +331,10 @@ Status WriteIndexFile(const Dataset& db, const IndexBuildData& extras,
   write_section(extras.signatures.data(),
                 extras.signatures.size() * sizeof(double));
   write_section(extras.paa.data(), extras.paa.size() * sizeof(double));
+  if (has_ri) {
+    write_section(extras.ri_signatures.data(),
+                  extras.ri_signatures.size() * sizeof(double));
+  }
   if (!extras.labels.empty()) {
     std::vector<std::int32_t> labels32(extras.labels.begin(),
                                        extras.labels.end());
@@ -298,7 +371,8 @@ StatusOr<std::unique_ptr<IndexFile>> IndexFile::ParseResident(
   file->paa_dims_ = static_cast<std::size_t>(info.paa_dims);
 
   BufferReader reader(resident.data(), resident.size());
-  (void)reader.Skip(kIndexHeaderBytes);  // header already verified
+  // Header (and, for v2, extension header) already verified.
+  (void)reader.Skip(static_cast<std::size_t>(info.header_bytes));
 
   std::size_t start = reader.position();
   file->catalog_.resize(file->count_);
@@ -356,6 +430,23 @@ StatusOr<std::unique_ptr<IndexFile>> IndexFile::ParseResident(
     }
   }
 
+  if ((info.flags & kIndexFlagHasRiSig) != 0) {
+    file->ri_dims_ = static_cast<std::size_t>(info.ri_dims);
+    start = reader.position();
+    file->ri_sigs_.resize(file->count_ * file->ri_dims_);
+    (void)reader.ReadBytes(file->ri_sigs_.data(),
+                           file->ri_sigs_.size() * sizeof(double));
+    if (!SectionChecksumOk(resident, start,
+                           file->ri_sigs_.size() * sizeof(double), reader)) {
+      return CorruptSection("RI signature section");
+    }
+    for (double v : file->ri_sigs_) {
+      if (!std::isfinite(v)) {
+        return Status(StatusCode::kBadValue, "non-finite RI signature value");
+      }
+    }
+  }
+
   if ((info.flags & kIndexFlagHasLabels) != 0) {
     start = reader.position();
     file->labels_.resize(file->count_);
@@ -381,12 +472,13 @@ StatusOr<std::unique_ptr<IndexFile>> IndexFile::Open(const std::string& path) {
   }
   const std::uint64_t file_size = static_cast<std::uint64_t>(end);
 
-  // Two-phase open: read just the fixed header to learn the resident
-  // region's size, then read exactly that region. The data section is
-  // never slurped — it is served page-at-a-time through ReadPage.
-  std::string header(kIndexHeaderBytes, '\0');
+  // Two-phase open: read the fixed header region (base header plus the
+  // possible v2 extension) to learn the resident region's size, then read
+  // exactly that region. The data section is never slurped — it is served
+  // page-at-a-time through ReadPage.
+  std::string header(kIndexHeaderBytes + kIndexExtHeaderBytes, '\0');
   const std::size_t header_bytes =
-      std::min<std::uint64_t>(file_size, kIndexHeaderBytes);
+      std::min<std::uint64_t>(file_size, header.size());
   ssize_t got = ::pread(fd, header.data(), header_bytes, 0);
   if (got < 0 || static_cast<std::size_t>(got) != header_bytes) {
     ::close(fd);

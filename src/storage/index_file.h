@@ -13,7 +13,7 @@
 
 namespace rotind::storage {
 
-/// Paged on-disk index file ("RIDX" container, version 1).
+/// Paged on-disk index file ("RIDX" container, versions 1 and 2).
 ///
 /// Layout (little-endian, all checksums 64-bit FNV-1a):
 ///
@@ -23,10 +23,16 @@ namespace rotind::storage {
 ///   |   length u64 | sig_dims u64 | paa_dims u64 | flags u64       |
 ///   |   header checksum u64 (over the 56 bytes before it)          |
 ///   +--------------------------------------------------------------+
+///   | v2 only: extension header (64 bytes, fixed)                  |
+///   |   ri_dims u64 | 48 reserved bytes (must be zero)             |
+///   |   extension checksum u64 (over the 56 bytes before it)       |
+///   +--------------------------------------------------------------+
 ///   | catalog: count x {offset u64, bytes u64}    + checksum u64   |
 ///   | page checksums: data_pages x u64            + checksum u64   |
 ///   | FFT magnitude signatures: count*sig_dims f64 + checksum u64  |
 ///   | PAA summaries: count*paa_dims f64           + checksum u64   |
+///   | v2, flags bit 1: rotation-invariant pooled signatures,       |
+///   |   count*ri_dims f64                         + checksum u64   |
 ///   | labels (flags bit 0): count x i32           + checksum u64   |
 ///   |   ... zero padding to the next page_size boundary ...        |
 ///   +--------------------------------------------------------------+
@@ -34,6 +40,14 @@ namespace rotind::storage {
 ///   | series i occupies bytes [catalog[i].offset,                  |
 ///   | catalog[i].offset + catalog[i].bytes) of the section          |
 ///   +--------------------------------------------------------------+
+///
+/// VERSIONING RULE: the writer emits the OLDEST version that can represent
+/// the payload — version 1 whenever no rotation-invariant signature section
+/// is requested (ri_dims == 0), byte-identical to files written before v2
+/// existed — and the reader accepts both versions. Flag bits are
+/// version-gated: bit 1 (RI signatures) is "unknown flag bits set"
+/// corruption in a version-1 header, so a v1 reader's rejection behaviour
+/// is preserved exactly.
 ///
 /// Everything above the data section is the RESIDENT region: it is read,
 /// checksum-verified, and held in memory at open time (signatures and
@@ -49,9 +63,17 @@ namespace rotind::storage {
 ///   kIoError          pread/write failure on an otherwise valid file
 
 inline constexpr char kIndexMagic[4] = {'R', 'I', 'D', 'X'};
-inline constexpr std::uint32_t kIndexVersion = 1;
+/// Newest version this build writes/accepts; files carry 1 or 2.
+inline constexpr std::uint32_t kIndexVersion = 2;
+inline constexpr std::uint32_t kIndexVersionV1 = 1;
 inline constexpr std::size_t kIndexHeaderBytes = 64;
+/// Version-2 extension header size; a v2 resident region starts at
+/// kIndexHeaderBytes + kIndexExtHeaderBytes.
+inline constexpr std::size_t kIndexExtHeaderBytes = 64;
 inline constexpr std::uint64_t kIndexFlagHasLabels = 1;
+/// Version 2: the resident rotation-invariant signature section is present.
+/// Unknown (corrupt) in a version-1 header.
+inline constexpr std::uint64_t kIndexFlagHasRiSig = 2;
 /// Accepted page sizes: anything in [64 bytes, 64 MiB]. The default
 /// matches SimulatedDisk's 4096-byte page.
 inline constexpr std::uint64_t kMinPageSize = 64;
@@ -65,7 +87,11 @@ struct IndexBuildData {
   std::vector<double> signatures;  ///< count x sig_dims, row-major.
   std::size_t paa_dims = 0;        ///< Columns of `paa` (0 = none).
   std::vector<double> paa;         ///< count x paa_dims, row-major.
-  std::vector<int> labels;         ///< Optional; empty or count entries.
+  /// Columns of `ri_signatures` (0 = none). Any non-zero value upgrades the
+  /// written container to version 2; zero keeps it bit-identical to v1.
+  std::size_t ri_dims = 0;
+  std::vector<double> ri_signatures;  ///< count x ri_dims, row-major.
+  std::vector<int> labels;            ///< Optional; empty or count entries.
 };
 
 /// Writes `db` plus its signature sections to `path` in the RIDX format.
@@ -102,6 +128,9 @@ class IndexFile final : public PageSource {
   std::size_t series_length() const { return length_; }
   std::size_t sig_dims() const { return sig_dims_; }
   std::size_t paa_dims() const { return paa_dims_; }
+  /// Columns of the rotation-invariant signature matrix; 0 for v1 files and
+  /// v2 files written without the section.
+  std::size_t ri_dims() const { return ri_dims_; }
   bool has_labels() const { return !labels_.empty(); }
 
   /// FFT magnitude signatures, count x sig_dims row-major (empty when the
@@ -109,6 +138,10 @@ class IndexFile final : public PageSource {
   const std::vector<double>& spectral_signatures() const { return sigs_; }
   /// PAA summaries, count x paa_dims row-major.
   const std::vector<double>& paa_summaries() const { return paa_; }
+  /// Rotation-invariant pooled signatures (fourier VecSignature rows),
+  /// count x ri_dims row-major; empty unless the file carries the v2
+  /// section. Resident; no page I/O.
+  const std::vector<double>& ri_signatures() const { return ri_sigs_; }
   /// Class labels (empty when the file was written without them).
   const std::vector<int>& labels() const { return labels_; }
 
@@ -142,8 +175,10 @@ class IndexFile final : public PageSource {
   std::vector<std::uint64_t> page_checksums_;
   std::size_t sig_dims_ = 0;
   std::size_t paa_dims_ = 0;
+  std::size_t ri_dims_ = 0;
   std::vector<double> sigs_;
   std::vector<double> paa_;
+  std::vector<double> ri_sigs_;
   std::vector<int> labels_;
 
   int fd_ = -1;              ///< File mode: descriptor for pread.

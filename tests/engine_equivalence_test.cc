@@ -55,6 +55,18 @@ std::vector<CascadeSpec> MakeCascades(DistanceKind kind) {
   out.push_back({{StageKind::kWedge}});
   out.push_back({{StageKind::kFftMagnitude, StageKind::kExactScan}});
   out.push_back({{StageKind::kFftMagnitude, StageKind::kWedge}});
+  // LB_Improved second-chance stage in front of each exact terminal.
+  out.push_back({{StageKind::kLbImproved, StageKind::kExactScan}});
+  out.push_back({{StageKind::kLbImproved, StageKind::kWedge}});
+  // Vec-signature pre-filter (normalization drops it under DTW — the
+  // degenerate cascades double as a check that the drop preserves
+  // exactness), and the full four-stage pipeline.
+  out.push_back({{StageKind::kVecSignature, StageKind::kExactScan}});
+  out.push_back({{StageKind::kVecSignature, StageKind::kFftMagnitude,
+                  StageKind::kLbImproved, StageKind::kExactScan}});
+  if (kind == DistanceKind::kDtw) {
+    out.push_back({{StageKind::kLbImproved, StageKind::kFullScanBanded}});
+  }
   return out;
 }
 
@@ -64,6 +76,8 @@ std::string CascadeName(const CascadeSpec& spec) {
     if (!name.empty()) name += "+";
     switch (s) {
       case StageKind::kFftMagnitude: name += "fft"; break;
+      case StageKind::kVecSignature: name += "vecsig"; break;
+      case StageKind::kLbImproved: name += "lbi"; break;
       case StageKind::kWedge: name += "wedge"; break;
       case StageKind::kExactScan: name += "ea"; break;
       case StageKind::kFullScan: name += "full"; break;
@@ -71,6 +85,13 @@ std::string CascadeName(const CascadeSpec& spec) {
     }
   }
   return name;
+}
+
+bool HasStage(const CascadeSpec& spec, StageKind kind) {
+  for (StageKind s : spec.stages) {
+    if (s == kind) return true;
+  }
+  return false;
 }
 
 class EngineEquivalenceTest
@@ -262,8 +283,17 @@ TEST_P(BackendEquivalenceTest, AllBackendsReturnBitIdenticalResults) {
         const ScanResult got = engine->SearchLeaveOneOut(query, qi);
         EXPECT_EQ(got.best_index, ref.best_index) << label;
         EXPECT_EQ(got.best_distance, ref.best_distance) << label;
-        EXPECT_EQ(got.counter.total_steps(), ref.counter.total_steps())
-            << label;
+        // The vec-signature filter reads stored RIDX v2 rows on the file
+        // backend (O(dims) per candidate) but embeds on the fly elsewhere
+        // (one FFT per candidate): answers are bit-identical — the stored
+        // rows hold the very doubles the embedding recomputes — but step
+        // ACCOUNTING legitimately differs, so only that assert is gated.
+        const bool steps_comparable =
+            !HasStage(cascade, StageKind::kVecSignature);
+        if (steps_comparable) {
+          EXPECT_EQ(got.counter.total_steps(), ref.counter.total_steps())
+              << label;
+        }
 
         const auto knn = engine->KnnLeaveOneOut(query, 3, qi);
         ASSERT_EQ(knn.size(), ref_knn.size()) << label;

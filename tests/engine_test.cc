@@ -64,6 +64,58 @@ TEST(CascadeSpecTest, EmptyCascadeGetsExactScan) {
   EXPECT_EQ(norm.stages[0], StageKind::kExactScan);
 }
 
+TEST(CascadeSpecTest, VecSignatureIsEuclideanOnly) {
+  CascadeSpec spec;
+  spec.stages = {StageKind::kVecSignature, StageKind::kExactScan};
+  const CascadeSpec ed = spec.Normalized(DistanceKind::kEuclidean);
+  ASSERT_EQ(ed.stages.size(), 2u);
+  EXPECT_EQ(ed.stages[0], StageKind::kVecSignature);
+  // The pooled-spectrum bound only holds for RED: dropped for DTW/LCSS.
+  for (const DistanceKind kind : {DistanceKind::kDtw, DistanceKind::kLcss}) {
+    const CascadeSpec other = spec.Normalized(kind);
+    ASSERT_EQ(other.stages.size(), 1u);
+    EXPECT_EQ(other.stages[0], StageKind::kExactScan);
+  }
+}
+
+TEST(CascadeSpecTest, LbImprovedSoundnessRules) {
+  CascadeSpec spec;
+  spec.stages = {StageKind::kLbImproved, StageKind::kExactScan};
+
+  // Sound for Euclidean (band-0 specialization) and kept.
+  const CascadeSpec ed = spec.Normalized(DistanceKind::kEuclidean);
+  ASSERT_EQ(ed.stages.size(), 2u);
+  EXPECT_EQ(ed.stages[0], StageKind::kLbImproved);
+
+  // Sound for banded DTW terminals.
+  const CascadeSpec dtw = spec.Normalized(DistanceKind::kDtw);
+  ASSERT_EQ(dtw.stages.size(), 2u);
+  EXPECT_EQ(dtw.stages[0], StageKind::kLbImproved);
+
+  // No LCSS lower bound exists: dropped.
+  const CascadeSpec lcss = spec.Normalized(DistanceKind::kLcss);
+  ASSERT_EQ(lcss.stages.size(), 1u);
+  EXPECT_EQ(lcss.stages[0], StageKind::kExactScan);
+
+  // A banded bound does NOT bound UNCONSTRAINED DTW: when the DTW terminal
+  // is kFullScan (which ignores the band), the filter must vanish.
+  CascadeSpec full;
+  full.stages = {StageKind::kLbImproved, StageKind::kFullScan};
+  const CascadeSpec dtw_full = full.Normalized(DistanceKind::kDtw);
+  ASSERT_EQ(dtw_full.stages.size(), 1u);
+  EXPECT_EQ(dtw_full.stages[0], StageKind::kFullScan);
+  // ...but stays ahead of the BANDED full scan, which it does bound.
+  CascadeSpec banded;
+  banded.stages = {StageKind::kLbImproved, StageKind::kFullScanBanded};
+  const CascadeSpec dtw_banded = banded.Normalized(DistanceKind::kDtw);
+  ASSERT_EQ(dtw_banded.stages.size(), 2u);
+  EXPECT_EQ(dtw_banded.stages[0], StageKind::kLbImproved);
+  // Under Euclidean, kFullScan has no band to ignore: the filter stays.
+  const CascadeSpec ed_full = full.Normalized(DistanceKind::kEuclidean);
+  ASSERT_EQ(ed_full.stages.size(), 2u);
+  EXPECT_EQ(ed_full.stages[0], StageKind::kLbImproved);
+}
+
 TEST(CascadeSpecTest, ForAlgorithmReproducesLegacyCompositions) {
   const auto wedge =
       CascadeSpec::ForAlgorithm(ScanAlgorithm::kWedge, DistanceKind::kDtw);

@@ -137,5 +137,47 @@ TEST(EnvelopeTest, DtwExpansionContainsShiftedMembers) {
   }
 }
 
+/// Band values at and past the series length clamp to n-1 (the widest
+/// meaningful window): ExpandedForDtw(n-1), (n), and (2n) must all produce
+/// the same fully-degenerate envelope — constant global max / global min —
+/// instead of overflowing the window arithmetic.
+TEST(EnvelopeTest, DtwExpansionClampsOversizedBands) {
+  Rng rng(7);
+  for (const std::size_t n : {1u, 2u, 5u, 30u}) {
+    Envelope env = Envelope::FromSeries(RandomSeries(&rng, n));
+    env.MergeSeries(RandomSeries(&rng, n).data(), n);
+    const int nn = static_cast<int>(n);
+    const Envelope widest = env.ExpandedForDtw(nn - 1);
+    for (const int band : {nn, 2 * nn}) {
+      const Envelope e = env.ExpandedForDtw(band);
+      EXPECT_EQ(e.upper, widest.upper) << "n=" << n << " band=" << band;
+      EXPECT_EQ(e.lower, widest.lower) << "n=" << n << " band=" << band;
+    }
+    const double global_max =
+        *std::max_element(env.upper.begin(), env.upper.end());
+    const double global_min =
+        *std::min_element(env.lower.begin(), env.lower.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(widest.upper[i], global_max) << "n=" << n << " i=" << i;
+      EXPECT_EQ(widest.lower[i], global_min) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+/// Proposition 2 containment survives the clamp: a band past n still
+/// yields an envelope enclosing the original wedge (the contract
+/// ExpandedForDtw itself asserts), and LB_Keogh against it stays a valid
+/// DTW bound at the equivalent clamped band.
+TEST(EnvelopeTest, OversizedBandStillEnclosesTheWedge) {
+  Rng rng(8);
+  const std::size_t n = 24;
+  Envelope env = Envelope::FromSeries(RandomSeries(&rng, n));
+  env.MergeSeries(RandomSeries(&rng, n).data(), n);
+  for (const int band : {static_cast<int>(n), 3 * static_cast<int>(n)}) {
+    const Envelope wide = env.ExpandedForDtw(band);
+    EXPECT_TRUE(wide.Encloses(env)) << "band=" << band;
+  }
+}
+
 }  // namespace
 }  // namespace rotind

@@ -1,0 +1,211 @@
+/// LB_Improved exactness properties (Lemire's two-pass bound generalized
+/// to rotation wedges, src/envelope/lower_bound.h):
+///
+///  * tightness ordering — LB_Keogh(C, W^band) <= LB_Improved <=
+///    DTW_band(C, Q) for every member Q of the wedge, with the first
+///    inequality exact in FLOATING POINT (pass 2 only adds non-negative
+///    terms), and ED on the right at band 0;
+///  * rotation soundness — a wedge merged over every rotation (and mirror)
+///    of the query bounds the rotation-invariant distance itself;
+///  * adversarial inputs — constant, sawtooth, and signed-zero series,
+///    where clamping and tie-breaking rules earn their keep;
+///  * early abandonment returns kAbandoned iff the full bound exceeds the
+///    limit, and never changes the surviving value.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/random.h"
+#include "src/distance/dtw.h"
+#include "src/distance/euclidean.h"
+#include "src/distance/rotation.h"
+#include "src/envelope/lower_bound.h"
+
+namespace rotind {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Series RandomSeries(Rng* rng, std::size_t n) {
+  Series s(n);
+  for (double& v : s) v = rng->Gaussian(0.0, 1.0);
+  return s;
+}
+
+/// Builds the wedge of a set of member series.
+Envelope WedgeOf(const std::vector<Series>& members) {
+  Envelope env = Envelope::FromSeries(members[0]);
+  for (std::size_t m = 1; m < members.size(); ++m) {
+    env.MergeSeries(members[m].data(), members[m].size());
+  }
+  return env;
+}
+
+/// One check of the full ordering chain for candidate `c` against a wedge
+/// and its members: LB_Keogh (expanded) <= LB_Improved <= min member DTW.
+void ExpectOrdering(const Series& c, const Envelope& wedge,
+                    const std::vector<Series>& members, int band,
+                    const char* label) {
+  const std::size_t n = c.size();
+  const Envelope expanded = wedge.ExpandedForDtw(band);
+
+  // Pass-1-only bound: squared LB_Keogh of the candidate against the
+  // EXPANDED wedge, exactly what LbImprovedSquared computes before pass 2.
+  const double lb_keogh_sq = EarlyAbandonLbKeoghSquared(
+      c.data(), expanded.upper.data(), expanded.lower.data(), n, kInf);
+  const double lbi_sq =
+      LbImprovedSquared(c.data(), wedge, expanded, band, kInf);
+  ASSERT_FALSE(std::isinf(lbi_sq)) << label;
+  const double lbi = std::sqrt(lbi_sq);
+
+  // The first inequality is exact in floating point, not just in the
+  // reals: pass 2 starts from the pass-1 accumulator and only adds
+  // non-negative terms. No epsilon. (sqrt is monotone, so the unsquared
+  // ordering follows exactly too.)
+  EXPECT_LE(lb_keogh_sq, lbi_sq) << label;
+  EXPECT_LE(LbKeogh(c.data(), expanded), lbi) << label;
+
+  // The unsquared convenience agrees with the squared core.
+  EXPECT_NEAR(LbImproved(c.data(), wedge, band, kInf), lbi, 1e-12) << label;
+
+  for (const Series& q : members) {
+    if (band == 0) {
+      EXPECT_LE(lbi, EuclideanDistance(c, q) + 1e-9) << label;
+    }
+    EXPECT_LE(lbi, DtwDistance(c.data(), q.data(), n, band) + 1e-9) << label;
+  }
+}
+
+class LbImprovedOrderingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LbImprovedOrderingTest, OrderingHoldsOnRandomWedges) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 8 + rng.NextBounded(48);
+    const int band = static_cast<int>(rng.NextBounded(7));  // 0 = ED case
+    const std::size_t members = 1 + rng.NextBounded(8);
+    std::vector<Series> ms;
+    for (std::size_t m = 0; m < members; ++m) {
+      ms.push_back(RandomSeries(&rng, n));
+    }
+    const Envelope wedge = WedgeOf(ms);
+    const Series c = RandomSeries(&rng, n);
+    ExpectOrdering(c, wedge, ms, band, "random");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbImprovedOrderingTest,
+                         ::testing::Range(1, 9));
+
+/// The engine's actual use: the wedge encloses EVERY rotation (and mirror)
+/// of the query, so the bound must not exceed the rotation-invariant
+/// distance — the min over all rotations.
+TEST(LbImprovedRotationTest, BoundsRotationInvariantDistances) {
+  Rng rng(2026);
+  for (const bool mirror : {false, true}) {
+    for (int trial = 0; trial < 12; ++trial) {
+      const std::size_t n = 10 + rng.NextBounded(30);
+      const int band = static_cast<int>(rng.NextBounded(5));
+      const Series q = RandomSeries(&rng, n);
+      RotationOptions ropts;
+      ropts.mirror = mirror;
+      const RotationSet rots(q, ropts);
+      std::vector<Series> members;
+      for (std::size_t r = 0; r < rots.count(); ++r) {
+        members.push_back(rots.Materialize(r));
+      }
+      const Envelope wedge = WedgeOf(members);
+      const Series c = RandomSeries(&rng, n);
+      ExpectOrdering(c, wedge, members, band, mirror ? "mirror" : "plain");
+
+      // Against the rotation-invariant distances themselves.
+      const double lbi = LbImproved(c.data(), wedge, band, kInf);
+      EXPECT_LE(lbi, RotationInvariantDtw(c, q, band, ropts) + 1e-9);
+      if (band == 0) {
+        EXPECT_LE(lbi, RotationInvariantEuclidean(c, q, ropts) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(LbImprovedAdversarialTest, ConstantSawtoothAndSignedZeroSeries) {
+  const std::size_t n = 24;
+  std::vector<Series> shapes;
+  shapes.push_back(Series(n, 0.0));    // constant zero
+  shapes.push_back(Series(n, -3.25));  // constant offset
+  Series saw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    saw[i] = (i % 4 == 3) ? -2.0 : static_cast<double>(i % 4);
+  }
+  shapes.push_back(saw);
+  Series zeros(n, 0.0);
+  for (std::size_t i = 0; i < n; i += 2) zeros[i] = -0.0;
+  shapes.push_back(zeros);  // mixed +/-0.0: clamp ties must stay benign
+
+  for (const Series& a : shapes) {
+    for (const Series& b : shapes) {
+      for (const int band : {0, 1, 3}) {
+        const Envelope wedge = WedgeOf({a});
+        ExpectOrdering(b, wedge, {a}, band, "adversarial");
+      }
+    }
+  }
+}
+
+/// Degenerate wedge at band 0: pass 1 is already exact Euclidean, so the
+/// two-pass bound must equal it (pass 2 contributes zero — the projection
+/// IS the wedge).
+TEST(LbImprovedAdversarialTest, DegenerateWedgeBandZeroEqualsEuclidean) {
+  Rng rng(77);
+  const std::size_t n = 32;
+  const Series q = RandomSeries(&rng, n);
+  const Series c = RandomSeries(&rng, n);
+  const Envelope wedge = Envelope::FromSeries(q);
+  const double lbi = LbImproved(c.data(), wedge, 0, kInf);
+  EXPECT_NEAR(lbi, EuclideanDistance(q, c), 1e-12);
+}
+
+TEST(LbImprovedAbandonTest, AbandonsIffBoundExceedsLimit) {
+  Rng rng(88);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 8 + rng.NextBounded(40);
+    const int band = static_cast<int>(rng.NextBounded(5));
+    Envelope wedge = Envelope::FromSeries(RandomSeries(&rng, n));
+    wedge.MergeSeries(RandomSeries(&rng, n).data(), n);
+    const Envelope expanded = wedge.ExpandedForDtw(band);
+    const Series c = RandomSeries(&rng, n);
+
+    const double full_sq = LbImprovedSquared(c.data(), wedge, expanded, band, kInf);
+    const double limit_sq = rng.Uniform(0.0, 2.0 * full_sq + 0.01);
+    const double got = LbImprovedSquared(c.data(), wedge, expanded, band, limit_sq);
+    if (full_sq > limit_sq) {
+      EXPECT_EQ(got, kAbandoned) << "n=" << n << " band=" << band;
+    } else {
+      // Surviving evaluations are bit-identical to the unlimited run.
+      EXPECT_EQ(got, full_sq) << "n=" << n << " band=" << band;
+    }
+  }
+}
+
+/// Step accounting: a full evaluation charges both passes plus the 2n
+/// projection-envelope build; lower_bound_evals ticks once per call.
+TEST(LbImprovedAbandonTest, ChargesStepsForBothPasses) {
+  const std::size_t n = 16;
+  Rng rng(99);
+  const Envelope wedge = Envelope::FromSeries(RandomSeries(&rng, n));
+  const Envelope expanded = wedge.ExpandedForDtw(2);
+  const Series c = RandomSeries(&rng, n);
+  StepCounter counter;
+  const double sq = LbImprovedSquared(c.data(), wedge, expanded, 2, kInf, &counter);
+  ASSERT_FALSE(std::isinf(sq));
+  // Pass 1 examines n points; pass 2 examines n gaps; the sliding min/max
+  // projection envelope build costs 2n.
+  EXPECT_EQ(counter.steps, 4 * n);
+}
+
+}  // namespace
+}  // namespace rotind

@@ -1,6 +1,7 @@
 #include "src/envelope/lower_bound.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -143,6 +144,32 @@ TEST(EarlyAbandonLbKeoghTest, CountsPartialSteps) {
   // 25 + 25 + 25 + 25 = 100 is not > 100; the 5th point pushes past.
   EXPECT_EQ(counter.steps, 5u);
   EXPECT_EQ(counter.early_abandons, 1u);
+}
+
+/// Pins the abandonment sentinel contract documented in lower_bound.h:
+/// kAbandoned IS +infinity (one value, not two sentinels), every
+/// early-abandoning entry point returns exactly it, and std::isinf is a
+/// valid abandonment test for both squared and unsquared variants.
+TEST(AbandonSentinelTest, KAbandonedIsPositiveInfinityEverywhere) {
+  EXPECT_EQ(kAbandoned, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isinf(kAbandoned));
+  EXPECT_GT(kAbandoned, 0.0);
+
+  // An impossible limit forces abandonment in every variant.
+  Envelope env;
+  env.upper = Series(8, 0.0);
+  env.lower = Series(8, 0.0);
+  const Series q(8, 5.0);
+  const double sq = EarlyAbandonLbKeoghSquared(q.data(), env.upper.data(),
+                                               env.lower.data(), 8, 1.0);
+  EXPECT_EQ(sq, kAbandoned);
+  const double lb = EarlyAbandonLbKeogh(q.data(), env, 1.0);
+  EXPECT_EQ(lb, kAbandoned);
+  const double lbi = LbImproved(q.data(), env, 0, 1.0);
+  EXPECT_EQ(lbi, kAbandoned);
+  const Envelope expanded = env.ExpandedForDtw(2);
+  const double lbi_sq = LbImprovedSquared(q.data(), env, expanded, 2, 1.0);
+  EXPECT_EQ(lbi_sq, kAbandoned);
 }
 
 TEST(LbKeoghTest, TighterWedgeGivesTighterBound) {

@@ -63,6 +63,13 @@ TEST(ProtocolTest, RejectsMalformedLinesTyped) {
       "range 1 nan",          // non-finite radius
       "nn 1 deadline_ms=0",   // zero deadline
       "nn 1 deadline_ms=oops",
+      "nn 1 deadline_ms=nan",     // NaN compares false to every bound
+      "nn 1 deadline_ms=-nan",
+      "nn 1 deadline_ms=inf",     // non-finite
+      "nn 1 deadline_ms=-inf",
+      "nn 1 deadline_ms=-5",      // negative
+      "nn 1 deadline_ms=1e400",   // overflows double
+      "nn 1 deadline_ms=1e9",     // beyond kMaxDeadlineMs
       "nn 1\x01",             // control byte
   };
   for (const char* line : bad) {

@@ -1,5 +1,6 @@
 #include "src/fourier/spectral.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -177,6 +178,96 @@ TEST(SpectralRegressionTest, CheckedFactoryRejectsTheSilentClamp) {
   for (std::size_t i = 0; i < direct.dims(); ++i) {
     EXPECT_EQ(ok->values[i], direct.values[i]);
   }
+}
+
+TEST(VecSignatureTest, InvariantToRotationAndMirror) {
+  Rng rng(11);
+  for (std::size_t n : {40u, 251u}) {
+    const Series s = RandomZNormSeries(&rng, n);
+    const VecSignature base = MakeVecSignature(s, 8);
+    ASSERT_EQ(base.dims(), 8u);
+    for (long shift : {1L, 7L, static_cast<long>(n - 1)}) {
+      const VecSignature rot = MakeVecSignature(RotateLeft(s, shift), 8);
+      EXPECT_NEAR(VecSignatureDistance(base, rot), 0.0, 1e-7);
+    }
+    const VecSignature mir = MakeVecSignature(Reversed(s), 8);
+    EXPECT_NEAR(VecSignatureDistance(base, mir), 0.0, 1e-7);
+  }
+}
+
+/// The exactness-critical property behind StageKind::kVecSignature:
+/// ||v(Q) - v(C)|| <= RED(Q, C) at every pooled dimensionality, mirrors
+/// included (the embedding is invariant to both, so one vector bounds the
+/// whole rotation x mirror orbit).
+class VecSignatureBoundTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VecSignatureBoundTest, LowerBoundsRotationInvariantEuclidean) {
+  const std::size_t dims = GetParam();
+  Rng rng(1000 + dims);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 16 + rng.NextBounded(64);
+    const Series q = RandomZNormSeries(&rng, n);
+    const Series c = RandomZNormSeries(&rng, n);
+    const std::size_t d = std::min(dims, n / 2);
+    const VecSignature vq = MakeVecSignature(q, d);
+    const VecSignature vc = MakeVecSignature(c, d);
+    const double lb = VecSignatureDistance(vq, vc);
+    for (const bool mirror : {false, true}) {
+      RotationOptions ropts;
+      ropts.mirror = mirror;
+      EXPECT_LE(lb, RotationInvariantEuclidean(q, c, ropts) + 1e-9)
+          << "n=" << n << " dims=" << d << " mirror=" << mirror;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, VecSignatureBoundTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(VecSignatureTest, DistanceDiesOnDimsMismatch) {
+  Rng rng(12);
+  const Series s = RandomZNormSeries(&rng, 64);
+  const VecSignature a = MakeVecSignature(s, 8);
+  const VecSignature b = MakeVecSignature(s, 4);
+  EXPECT_DEATH(VecSignatureDistance(a, b), "dims mismatch");
+}
+
+TEST(VecSignatureTest, CheckedVariantsRejectMisuse) {
+  Rng rng(13);
+  const Series s = RandomZNormSeries(&rng, 64);
+
+  const StatusOr<VecSignature> clamped = MakeVecSignatureChecked(s, 33);
+  ASSERT_FALSE(clamped.ok());
+  EXPECT_EQ(clamped.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(MakeVecSignatureChecked(Series{1.0}, 1).ok());
+  EXPECT_FALSE(MakeVecSignatureChecked(s, 0).ok());
+
+  const StatusOr<double> bad = VecSignatureDistanceChecked(
+      MakeVecSignature(s, 8), MakeVecSignature(s, 4));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  StepCounter counter;
+  const VecSignature a = MakeVecSignature(s, 8);
+  const StatusOr<double> good = VecSignatureDistanceChecked(a, a, &counter);
+  ASSERT_TRUE(good.ok());
+  EXPECT_NEAR(*good, 0.0, 1e-12);
+  EXPECT_EQ(counter.steps, 8u);  // charges dims steps, like SignatureDistance
+}
+
+/// Pooling at dims == n/2 degenerates to one bin per band: the pooled
+/// vector IS the |.|-weighted magnitude spectrum, so the two embeddings'
+/// distances coincide there.
+TEST(VecSignatureTest, FullDimsMatchesSpectralSignatureDistance) {
+  Rng rng(14);
+  const std::size_t n = 48;
+  const Series q = RandomZNormSeries(&rng, n);
+  const Series c = RandomZNormSeries(&rng, n);
+  const VecSignature vq = MakeVecSignature(q, n / 2);
+  const VecSignature vc = MakeVecSignature(c, n / 2);
+  const SpectralSignature sq = MakeSpectralSignature(q, n / 2);
+  const SpectralSignature sc = MakeSpectralSignature(c, n / 2);
+  EXPECT_NEAR(VecSignatureDistance(vq, vc), SignatureDistance(sq, sc), 1e-9);
 }
 
 }  // namespace

@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -20,6 +23,7 @@
 #include "src/fourier/spectral.h"
 #include "src/index/index_io.h"
 #include "src/index/paa.h"
+#include "src/io/bytes.h"
 #include "src/storage/backend.h"
 
 namespace rotind::storage {
@@ -160,9 +164,10 @@ TEST(StorageFormatTest, CorruptionTaxonomy) {
 TEST(StorageFormatTest, CorruptedCatalogSectionIsRejectedAtParse) {
   const std::string image = BuildImage(5, 24, 64);
   std::string bad = image;
-  // The catalog starts immediately after the 64-byte header.
-  bad[kIndexHeaderBytes + 3] = static_cast<char>(bad[kIndexHeaderBytes + 3] ^
-                                                 0x40);
+  // BuildIndexFile writes RI signatures by default, so the image is a
+  // version-2 container: the catalog starts after both 64-byte headers.
+  const std::size_t catalog = kIndexHeaderBytes + kIndexExtHeaderBytes;
+  bad[catalog + 3] = static_cast<char>(bad[catalog + 3] ^ 0x40);
   const auto parsed = IndexFile::FromMemory(bad);
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
@@ -231,6 +236,214 @@ TEST(StorageFormatTest, WriterValidatesShapesAndPageSize) {
   EXPECT_EQ(BuildIndexFile(ragged, IndexBuildOptions{}, path).code(),
             StatusCode::kInvalidArgument);
   std::remove(path.c_str());
+}
+
+/// Overwrites the little-endian u64 at `off`.
+void PatchU64(std::string& image, std::size_t off, std::uint64_t v) {
+  std::memcpy(&image[off], &v, sizeof v);
+}
+
+/// Recomputes the base-header checksum after a deliberate field edit, so a
+/// test exercises the semantic check behind the checksum rather than the
+/// checksum itself.
+void FixBaseHeaderChecksum(std::string& image) {
+  PatchU64(image, kIndexHeaderBytes - 8,
+           Fnv1a64(image.data(), kIndexHeaderBytes - 8));
+}
+
+/// Same for the v2 extension header at bytes [64, 128).
+void FixExtHeaderChecksum(std::string& image) {
+  PatchU64(image, kIndexHeaderBytes + kIndexExtHeaderBytes - 8,
+           Fnv1a64(image.data() + kIndexHeaderBytes,
+                   kIndexExtHeaderBytes - 8));
+}
+
+TEST(StorageFormatTest, V2RoundtripPreservesRiSignatures) {
+  const Dataset ds = MakeDataset(6, 24);
+  const std::string path = TempPath("v2roundtrip");
+  IndexBuildOptions build;
+  build.sig_dims = 4;
+  build.paa_dims = 4;
+  build.ri_dims = 6;
+  build.page_size_bytes = 64;
+  ASSERT_TRUE(BuildIndexFile(ds, build, path).ok());
+  const std::string image = ReadAll(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(static_cast<unsigned char>(image[4]), kIndexVersion);
+  auto file = IndexFile::FromMemory(image);
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  ASSERT_EQ((*file)->ri_dims(), 6u);
+  ASSERT_EQ((*file)->ri_signatures().size(), ds.size() * 6u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const VecSignature ri = MakeVecSignature(ds.items[i], 6);
+    for (std::size_t d = 0; d < 6; ++d) {
+      EXPECT_EQ((*file)->ri_signatures()[i * 6 + d], ri.values[d])
+          << "object " << i << " dim " << d;
+    }
+  }
+}
+
+/// The writer emits the OLDEST version that can represent the payload: no
+/// RI section means a version-1 container whose resident region starts at
+/// byte 64, exactly like files written before v2 existed.
+TEST(StorageFormatTest, WriterWithoutRiSectionEmitsVersion1) {
+  const std::string path = TempPath("v1compat");
+  IndexBuildOptions build;
+  build.sig_dims = 4;
+  build.paa_dims = 4;
+  build.ri_dims = 0;
+  build.page_size_bytes = 64;
+  ASSERT_TRUE(BuildIndexFile(MakeDataset(5, 24), build, path).ok());
+  const std::string image = ReadAll(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(static_cast<unsigned char>(image[4]), kIndexVersionV1);
+  auto file = IndexFile::FromMemory(image);
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  EXPECT_EQ((*file)->ri_dims(), 0u);
+  EXPECT_TRUE((*file)->ri_signatures().empty());
+
+  // v1 resident region starts right after the 64-byte header: a flip there
+  // must land in the catalog, not in any extension header.
+  std::string bad = image;
+  bad[kIndexHeaderBytes + 3] =
+      static_cast<char>(bad[kIndexHeaderBytes + 3] ^ 0x40);
+  const auto parsed = IndexFile::FromMemory(bad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("catalog"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(StorageFormatTest, BuilderClampsRiDimsToHalfLength) {
+  const std::string path = TempPath("riclamp");
+  IndexBuildOptions build;  // default ri_dims = 8, but n/2 = 4 here
+  build.sig_dims = 4;
+  build.paa_dims = 4;
+  build.page_size_bytes = 64;
+  ASSERT_TRUE(BuildIndexFile(MakeDataset(4, 8), build, path).ok());
+  auto file = IndexFile::Open(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  EXPECT_EQ((*file)->ri_dims(), 4u);
+}
+
+TEST(StorageFormatTest, ExtensionHeaderCorruptionTaxonomy) {
+  const std::string image = BuildImage(5, 24, 64);  // v2: default ri_dims
+  ASSERT_EQ(static_cast<unsigned char>(image[4]), kIndexVersion);
+
+  {
+    // Any byte flip inside the extension header trips its checksum.
+    std::string bad = image;
+    bad[kIndexHeaderBytes] = static_cast<char>(bad[kIndexHeaderBytes] ^ 0x01);
+    const auto parsed = IndexFile::FromMemory(bad);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+    EXPECT_NE(parsed.status().message().find("extension header checksum"),
+              std::string::npos)
+        << parsed.status().message();
+  }
+  {
+    // A nonzero reserved byte is rejected even under a VALID checksum, so a
+    // future version can assign the bytes meaning without v2 readers
+    // silently accepting the result.
+    std::string bad = image;
+    bad[kIndexHeaderBytes + 8] = 1;
+    FixExtHeaderChecksum(bad);
+    const auto parsed = IndexFile::FromMemory(bad);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+    EXPECT_NE(parsed.status().message().find("reserved"), std::string::npos)
+        << parsed.status().message();
+  }
+  {
+    // RI flag set but ri_dims zero: internally inconsistent.
+    std::string bad = image;
+    PatchU64(bad, kIndexHeaderBytes, 0);  // ri_dims field
+    FixExtHeaderChecksum(bad);
+    const auto parsed = IndexFile::FromMemory(bad);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+    EXPECT_NE(parsed.status().message().find("disagree"), std::string::npos)
+        << parsed.status().message();
+  }
+  {
+    // Truncation inside the extension header is reported as such.
+    const auto parsed =
+        IndexFile::FromMemory(image.substr(0, kIndexHeaderBytes + 40));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kTruncated);
+  }
+}
+
+/// Flag bits are version-gated: a v1 header claiming the v2-only RI section
+/// is exactly as corrupt as one claiming any other unknown bit, preserving
+/// the pre-v2 reader's rejection behaviour bit-for-bit.
+TEST(StorageFormatTest, V1HeaderWithRiFlagIsUnknownFlagCorruption) {
+  const std::string path = TempPath("v1flag");
+  IndexBuildOptions build;
+  build.sig_dims = 4;
+  build.paa_dims = 4;
+  build.ri_dims = 0;
+  build.page_size_bytes = 64;
+  ASSERT_TRUE(BuildIndexFile(MakeDataset(5, 24), build, path).ok());
+  std::string image = ReadAll(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(static_cast<unsigned char>(image[4]), kIndexVersionV1);
+
+  std::uint64_t flags = 0;
+  std::memcpy(&flags, &image[48], sizeof flags);
+  PatchU64(image, 48, flags | kIndexFlagHasRiSig);
+  FixBaseHeaderChecksum(image);
+  const auto parsed = IndexFile::FromMemory(image);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+  EXPECT_NE(parsed.status().message().find("unknown flag"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(StorageFormatTest, RiSectionCorruptionIsDetected) {
+  const std::string image = BuildImage(5, 24, 64);  // v2: default ri_dims
+  auto clean = IndexFile::FromMemory(image);
+  ASSERT_TRUE(clean.ok()) << clean.status().message();
+  const IndexFile& f = **clean;
+  ASSERT_GT(f.ri_dims(), 0u);
+
+  // Walk the resident layout to the RI payload: headers, then catalog,
+  // page-checksum table, FFT signatures, and PAA summaries, each carrying
+  // a trailing u64 checksum.
+  std::size_t off = kIndexHeaderBytes + kIndexExtHeaderBytes;
+  off += f.num_objects() * 16 + 8;
+  off += f.num_pages() * 8 + 8;
+  off += f.num_objects() * f.sig_dims() * 8 + 8;
+  off += f.num_objects() * f.paa_dims() * 8 + 8;
+  const std::size_t payload = f.num_objects() * f.ri_dims() * 8;
+
+  {
+    // Bit rot inside the RI payload fails the section checksum at parse.
+    std::string bad = image;
+    bad[off + 3] = static_cast<char>(bad[off + 3] ^ 0x20);
+    const auto parsed = IndexFile::FromMemory(bad);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+    EXPECT_NE(parsed.status().message().find("RI signature section"),
+              std::string::npos)
+        << parsed.status().message();
+  }
+  {
+    // A NaN row entry under a VALID section checksum is still rejected:
+    // non-finite signatures would poison every lower-bound comparison.
+    std::string bad = image;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(&bad[off], &nan, sizeof nan);
+    PatchU64(bad, off + payload, Fnv1a64(bad.data() + off, payload));
+    const auto parsed = IndexFile::FromMemory(bad);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kBadValue);
+    EXPECT_NE(parsed.status().message().find("non-finite RI signature"),
+              std::string::npos)
+        << parsed.status().message();
+  }
 }
 
 TEST(StorageFormatTest, OpenMissingFileIsNotFound) {

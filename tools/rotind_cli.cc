@@ -5,10 +5,10 @@
 ///                   --m 1000 --n 251 --seed 1 --out db.csv [--binary]
 ///   rotind info     --db db.csv
 ///   rotind search   --db db.csv --query-index 5 [--algo wedge|brute|ea|fft]
-///                   [--dtw --band 5] [--mirror] [--max-shift S]
-///                   [--metrics-json out.json]
+///                   [--cascade vecsig,fft,lbi,ea] [--dtw --band 5]
+///                   [--mirror] [--max-shift S] [--metrics-json out.json]
 ///   rotind knn      --db db.csv --query-index 5 --k 5 [...]
-///                   [--metrics-json out.json]
+///                   [--cascade ...] [--metrics-json out.json]
 ///   rotind classify --db db.csv [--dtw --band 5] [--threads T]
 ///   rotind motif    --db db.csv [--dtw --band 5]
 ///   rotind discord  --db db.csv [--dtw --band 5]
@@ -37,6 +37,15 @@
 /// paper's Section 5.4 page accounting). All three return bit-identical
 /// matches; only the `io:` line differs — diffing the `match:` lines across
 /// backends is the storage-roundtrip check CI runs.
+///
+/// --cascade overrides --algo for `search` and `knn` with an explicit
+/// pruning pipeline: a comma-separated list of stages from vecsig (pooled
+/// rotation-invariant signature filter), fft (FFT-magnitude filter), lbi
+/// (two-pass LB_Improved filter), wedge (hierarchal wedge terminal), ea
+/// (early-abandoning scan terminal), full / fullband (exhaustive
+/// terminals). Unsound compositions are normalized, not rejected: filters
+/// that do not lower-bound the configured measure are dropped and a
+/// filter-only list gets `ea` appended, so the answers stay exact.
 ///
 /// Databases are UCR-format text (label,v1,v2,...) or the binary format
 /// produced with --binary; the loader sniffs the magic bytes.
@@ -100,6 +109,8 @@ struct Args {
   std::string metrics_json_path;
   std::string kind = "projectile";
   std::string algo = "wedge";
+  std::string cascade;  ///< Comma-separated stage list; empty = use --algo.
+  CascadeSpec cascade_spec;  ///< Parsed form of `cascade` (when non-empty).
   std::size_t m = 1000;
   std::size_t n = 251;
   std::uint64_t seed = 1;
@@ -190,6 +201,50 @@ bool ParseDoubleFlag(const char* flag, const char* text, double min,
   return true;
 }
 
+/// Parses a comma-separated --cascade stage list into a CascadeSpec.
+/// Stage names mirror the StageKind enum: filters vecsig|fft|lbi, terminals
+/// wedge|ea|full|fullband. Soundness normalization (dropping filters that
+/// do not lower-bound the configured measure) is the engine's job, not the
+/// parser's — the CLI only rejects names it does not know.
+bool ParseCascadeFlag(const std::string& text, CascadeSpec* out) {
+  out->stages.clear();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (token == "vecsig") {
+      out->stages.push_back(StageKind::kVecSignature);
+    } else if (token == "fft") {
+      out->stages.push_back(StageKind::kFftMagnitude);
+    } else if (token == "lbi") {
+      out->stages.push_back(StageKind::kLbImproved);
+    } else if (token == "wedge") {
+      out->stages.push_back(StageKind::kWedge);
+    } else if (token == "ea") {
+      out->stages.push_back(StageKind::kExactScan);
+    } else if (token == "full") {
+      out->stages.push_back(StageKind::kFullScan);
+    } else if (token == "fullband") {
+      out->stages.push_back(StageKind::kFullScanBanded);
+    } else {
+      std::fprintf(stderr,
+                   "--cascade: unknown stage '%s' (use "
+                   "vecsig|fft|lbi|wedge|ea|full|fullband)\n",
+                   token.c_str());
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out->stages.empty()) {
+    std::fprintf(stderr, "--cascade needs at least one stage\n");
+    return false;
+  }
+  return true;
+}
+
 bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
   args->command = argv[1];
@@ -237,6 +292,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->algo = value;
+    } else if (flag == "--cascade") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->cascade = value;
     } else if (flag == "--m") {
       if (!next_int(1, std::numeric_limits<long>::max(), &v)) return false;
       args->m = static_cast<std::size_t>(v);
@@ -349,6 +408,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                  args->algo.c_str());
     return false;
   }
+  if (!args->cascade.empty() &&
+      !ParseCascadeFlag(args->cascade, &args->cascade_spec)) {
+    return false;
+  }
   if (args->backend != "file" && args->backend != "memory" &&
       args->backend != "simulated") {
     std::fprintf(stderr,
@@ -446,6 +509,23 @@ ScanAlgorithm MakeAlgorithm(const Args& args) {
   return ScanAlgorithm::kWedge;
 }
 
+/// Engine configuration for `search`/`knn`: the legacy --algo mapping,
+/// with --cascade (when given) overriding the pruning pipeline. The engine
+/// normalizes the spec for the configured measure, so an unsound filter is
+/// dropped rather than producing wrong answers.
+EngineOptions MakeEngineOptions(const Args& args) {
+  EngineOptions options =
+      EngineOptionsFrom(MakeScanOptions(args), MakeAlgorithm(args));
+  if (!args.cascade.empty()) options.cascade = args.cascade_spec;
+  return options;
+}
+
+/// Metrics-registry key suffix: the explicit cascade string when one was
+/// given, the legacy algorithm name otherwise.
+std::string PipelineLabel(const Args& args) {
+  return args.cascade.empty() ? args.algo : "cascade:" + args.cascade;
+}
+
 int CmdGenerate(const Args& args) {
   Dataset ds;
   if (args.kind == "projectile") {
@@ -520,8 +600,7 @@ int CmdSearch(const Args& args, const Dataset& db) {
   // the database, no index remapping).
   const std::size_t qi = static_cast<std::size_t>(args.query_index);
   const FlatDataset flat = FlatDataset::FromDataset(db);
-  const QueryEngine engine(
-      flat, EngineOptionsFrom(MakeScanOptions(args), MakeAlgorithm(args)));
+  const QueryEngine engine(flat, MakeEngineOptions(args));
   const Status valid = engine.ValidateQuery(db.items[qi]);
   if (!valid.ok()) {
     std::fprintf(stderr, "search failed: %s\n", valid.ToString().c_str());
@@ -531,7 +610,7 @@ int CmdSearch(const Args& args, const Dataset& db) {
   obs::QueryMetrics* metrics =
       args.metrics_json_path.empty()
           ? nullptr
-          : &registry.Get("search/" + args.algo);
+          : &registry.Get("search/" + PipelineLabel(args));
   const ScanResult r = engine.SearchLeaveOneOut(db.items[qi], qi, metrics);
   std::printf("best match: %d  distance=%.6f  shift=%d%s  steps=%llu\n",
               r.best_index, r.best_distance, r.best_shift,
@@ -544,8 +623,7 @@ int CmdSearch(const Args& args, const Dataset& db) {
 int CmdKnn(const Args& args, const Dataset& db) {
   const std::size_t qi = static_cast<std::size_t>(args.query_index);
   const FlatDataset flat = FlatDataset::FromDataset(db);
-  const QueryEngine engine(
-      flat, EngineOptionsFrom(MakeScanOptions(args), MakeAlgorithm(args)));
+  const QueryEngine engine(flat, MakeEngineOptions(args));
   const Status valid = engine.ValidateQuery(db.items[qi]);
   if (!valid.ok()) {
     std::fprintf(stderr, "knn failed: %s\n", valid.ToString().c_str());
@@ -553,8 +631,9 @@ int CmdKnn(const Args& args, const Dataset& db) {
   }
   obs::MetricsRegistry registry;
   obs::QueryMetrics* metrics =
-      args.metrics_json_path.empty() ? nullptr
-                                     : &registry.Get("knn/" + args.algo);
+      args.metrics_json_path.empty()
+          ? nullptr
+          : &registry.Get("knn/" + PipelineLabel(args));
   const std::vector<Neighbor> knn =
       engine.KnnLeaveOneOut(db.items[qi], args.k, qi, nullptr, metrics);
   for (const Neighbor& nb : knn) {

@@ -233,6 +233,11 @@ std::vector<std::string> BuiltInCorpus() {
   corpus.push_back("range 0 nan\nrange 0 inf\n");        // non-finite
   corpus.push_back("nn 1 deadline_ms=0\nnn 1 deadline_ms=-5\n");
   corpus.push_back("nn 1 deadline_ms=1e400\n");          // deadline inf
+  // NaN deadlines: every comparison with NaN is false, so only a
+  // positively-phrased range check rejects these.
+  corpus.push_back("nn 1 deadline_ms=nan\nnn 1 deadline_ms=-nan\n");
+  corpus.push_back("nn 1 deadline_ms=inf\nnn 1 deadline_ms=-inf\n");
+  corpus.push_back("nn 1 deadline_ms=86400001\n");       // past the 1-day cap
   corpus.push_back("NN 1\n nn 1\nnn  1\nnn 1 \n");       // case / spacing
   corpus.push_back("nn 1 extra tokens here\n");
   corpus.push_back("nn 1\r\nknn 2 3\r\n");               // CRLF endings
