@@ -32,7 +32,7 @@ class CancelToken {
   CancelToken() = default;
 
   /// A token that fires once `Clock::now() >= deadline`.
-  static CancelToken WithDeadline(Clock::time_point deadline) {
+  [[nodiscard]] static CancelToken WithDeadline(Clock::time_point deadline) {
     CancelToken token;
     token.deadline_ = deadline;
     token.has_deadline_ = true;
@@ -42,7 +42,8 @@ class CancelToken {
   /// A token that fires `timeout` from now. Non-positive timeouts produce a
   /// token that is already expired, which is a legitimate way to probe the
   /// first stage boundary.
-  static CancelToken WithTimeout(std::chrono::nanoseconds timeout) {
+  [[nodiscard]] static CancelToken WithTimeout(
+      std::chrono::nanoseconds timeout) {
     return WithDeadline(Clock::now() + timeout);
   }
 

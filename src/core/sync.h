@@ -1,0 +1,244 @@
+#ifndef ROTIND_CORE_SYNC_H_
+#define ROTIND_CORE_SYNC_H_
+
+/// Annotated synchronization primitives: the static concurrency-safety
+/// layer.
+///
+/// Every mutex in src/ is a `rotind::Mutex`, every scoped acquisition a
+/// `rotind::MutexLock`, every wait a `rotind::CondVar` — raw std::mutex /
+/// std::lock_guard / std::condition_variable are banned in src/ outside
+/// this header (enforced by rotind_lint's raw-sync-primitive rule). The
+/// wrappers carry Clang thread-safety capability attributes, so a Clang
+/// build with `-Wthread-safety -Wthread-safety-beta` (promoted to errors
+/// in CI) *proves* the lock discipline: a `ROTIND_GUARDED_BY(mutex_)`
+/// field touched without the mutex, a `ROTIND_REQUIRES(mutex_)` helper
+/// called unlocked, or a lock leaked out of scope is a compile error, not
+/// an interleaving TSan may or may not catch. On non-Clang compilers the
+/// attribute macros expand to nothing and the wrappers are zero-overhead
+/// shims over the std primitives.
+///
+/// Lock-order hierarchy (deadlock freedom by construction): every Mutex
+/// has a `LockRank`; a thread may acquire a mutex only while holding
+/// nothing of equal or lower rank — i.e. locks are taken in strictly
+/// DECREASING rank order. The ranks mirror the call graph's nesting
+/// (outermost first):
+///
+///   kServeQueue (5)    QueryServer admission/drain mutex
+///     > kServeStats (4)    ServerStats accounting mutex
+///     > kBackendError (3)  FileBackend/FaultInjectingBackend latched error
+///     > kBufferPool (2)    BufferPool frame-table mutex
+///     > kFaultSchedule (1) FaultSchedule burst/rng state (reached from a
+///                          pool miss through FaultInjectingSource)
+///     > kLeaf (0)          terminal: acquire nothing while holding one
+///
+/// The hierarchy is asserted at runtime in contract-enabled builds
+/// (sanitizer CI jobs, -DROTIND_CONTRACTS=ON) via a thread-local held-rank
+/// stack; ordinary Release builds compile the check out entirely.
+/// DESIGN.md documents the full thread-capability map.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "src/core/contracts.h"
+
+// Clang thread-safety attribute shims. See
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
+#if defined(__clang__)
+#define ROTIND_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define ROTIND_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a type to be a capability (lockable resource).
+#define ROTIND_CAPABILITY(x) ROTIND_THREAD_ANNOTATION__(capability(x))
+/// Declares an RAII type that acquires on construction, releases on
+/// destruction.
+#define ROTIND_SCOPED_CAPABILITY ROTIND_THREAD_ANNOTATION__(scoped_lockable)
+/// Field may only be read/written while holding `x`.
+#define ROTIND_GUARDED_BY(x) ROTIND_THREAD_ANNOTATION__(guarded_by(x))
+/// Pointer field whose POINTEE may only be accessed while holding `x`.
+#define ROTIND_PT_GUARDED_BY(x) ROTIND_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Function body runs with the listed capabilities already held.
+#define ROTIND_REQUIRES(...) \
+  ROTIND_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities and does not release them.
+#define ROTIND_ACQUIRE(...) \
+  ROTIND_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define ROTIND_RELEASE(...) \
+  ROTIND_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+/// Function tries to acquire; returns `b` on success.
+#define ROTIND_TRY_ACQUIRE(b, ...) \
+  ROTIND_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+/// Caller must NOT hold the listed capabilities (self-deadlock guard).
+#define ROTIND_EXCLUDES(...) \
+  ROTIND_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Asserts (to the analysis) that the capability is held here.
+#define ROTIND_ASSERT_CAPABILITY(x) \
+  ROTIND_THREAD_ANNOTATION__(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define ROTIND_RETURN_CAPABILITY(x) \
+  ROTIND_THREAD_ANNOTATION__(lock_returned(x))
+/// Escape hatch: body is not analyzed. Use only with a written reason.
+#define ROTIND_NO_THREAD_SAFETY_ANALYSIS \
+  ROTIND_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace rotind {
+
+/// Position in the lock-order hierarchy; see the header comment. A mutex
+/// may be acquired only while every held mutex has a strictly GREATER
+/// rank. kLeaf is the default and the terminal rank: a thread holding a
+/// kLeaf mutex must acquire nothing further.
+enum class LockRank : int {
+  kLeaf = 0,
+  kFaultSchedule = 1,
+  kBufferPool = 2,
+  kBackendError = 3,
+  kServeStats = 4,
+  kServeQueue = 5,
+};
+
+namespace sync_internal {
+
+#if ROTIND_CONTRACTS_ENABLED
+
+/// Ranks of the mutexes this thread currently holds, acquisition order.
+inline std::vector<int>& HeldRanks() {
+  thread_local std::vector<int> held;
+  return held;
+}
+
+/// Checked BEFORE blocking on the mutex, so a hierarchy violation aborts
+/// with a clean message instead of (sometimes) deadlocking first.
+inline void CheckRankBeforeLock(int rank) {
+  for (const int held : HeldRanks()) {
+    ROTIND_CONTRACT(rank < held,
+                    "lock-order hierarchy violated: acquiring a mutex whose "
+                    "LockRank is not strictly below every held rank "
+                    "(order: serve queue > serve stats > backend error > "
+                    "buffer pool > fault schedule > leaf)");
+  }
+}
+
+inline void NoteLocked(int rank) { HeldRanks().push_back(rank); }
+
+inline void NoteUnlocked(int rank) {
+  std::vector<int>& held = HeldRanks();
+  for (std::size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1] == rank) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  ROTIND_CONTRACT(false, "released a ranked mutex this thread does not hold");
+}
+
+#else  // !ROTIND_CONTRACTS_ENABLED
+
+inline void CheckRankBeforeLock(int) {}
+inline void NoteLocked(int) {}
+inline void NoteUnlocked(int) {}
+
+#endif  // ROTIND_CONTRACTS_ENABLED
+
+}  // namespace sync_internal
+
+/// A std::mutex carrying (a) the Clang `capability` attribute so fields
+/// can be ROTIND_GUARDED_BY it, and (b) a LockRank checked against the
+/// thread's held set in contract-enabled builds.
+///
+/// Method names are lowercase because Mutex satisfies the standard
+/// BasicLockable concept — that is what lets CondVar (a
+/// std::condition_variable_any) wait on it directly, and what keeps
+/// `std::scoped_lock`-style generic code usable in tests.
+class ROTIND_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kLeaf)
+      : rank_(static_cast<int>(rank)) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ROTIND_ACQUIRE() {
+    sync_internal::CheckRankBeforeLock(rank_);
+    mu_.lock();
+    sync_internal::NoteLocked(rank_);
+  }
+
+  void unlock() ROTIND_RELEASE() {
+    sync_internal::NoteUnlocked(rank_);
+    mu_.unlock();
+  }
+
+  [[nodiscard]] bool try_lock() ROTIND_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // try_lock never blocks, so an out-of-order acquisition cannot
+    // deadlock — but it still violates the discipline; check after the
+    // fact so the contract message fires in debug builds.
+    sync_internal::CheckRankBeforeLock(rank_);
+    sync_internal::NoteLocked(rank_);
+    return true;
+  }
+
+  [[nodiscard]] LockRank rank() const {
+    return static_cast<LockRank>(rank_);
+  }
+
+ private:
+  std::mutex mu_;
+  const int rank_;
+};
+
+/// RAII scoped acquisition of a Mutex — the only way annotated code should
+/// hold one (the analysis tracks the capability for exactly this scope).
+class ROTIND_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ROTIND_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() ROTIND_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits directly on a rotind::Mutex (via
+/// condition_variable_any over BasicLockable), so the rank bookkeeping
+/// stays consistent across the internal unlock/relock of a wait.
+///
+/// No predicate-taking overloads on purpose: the thread-safety analysis
+/// cannot see through a predicate functor's captured capabilities, so
+/// callers write the standard `while (!cond) cv.Wait(mu);` loop in a scope
+/// where the analysis knows `mu` is held (spurious wakeups are therefore
+/// handled at every call site by construction).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously
+  /// woken), and reacquires `mu` before returning.
+  void Wait(Mutex& mu) ROTIND_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Wait(), bounded by `deadline`. Returns false iff the deadline passed
+  /// before a notification; `mu` is held again either way.
+  template <typename Clock, typename Duration>
+  [[nodiscard]] bool WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      ROTIND_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline) == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_CORE_SYNC_H_

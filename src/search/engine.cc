@@ -8,11 +8,11 @@
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 
 #include "src/core/contracts.h"
+#include "src/core/sync.h"
 #include "src/distance/euclidean.h"
 #include "src/envelope/lower_bound.h"
 #include "src/fourier/spectral.h"
@@ -985,7 +985,7 @@ void ParallelFor(std::size_t count, int num_threads,
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;  // kLeaf: nothing else is acquired under it.
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int t = 0; t < workers; ++t) {
@@ -997,7 +997,7 @@ void ParallelFor(std::size_t count, int num_threads,
           fn(i);
         } catch (...) {
           {
-            const std::lock_guard<std::mutex> lock(error_mutex);
+            MutexLock lock(error_mutex);
             if (first_error == nullptr) {
               first_error = std::current_exception();
             }

@@ -64,7 +64,7 @@ QueryServer::QueryServer(const QueryEngine& engine,
 QueryServer::~QueryServer() { (void)Shutdown(); }
 
 void QueryServer::Start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (started_) return;
   started_ = true;
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
@@ -75,7 +75,7 @@ void QueryServer::Start() {
 
 Status QueryServer::Submit(const Request& request, ResponseCallback done) {
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    MutexLock stats_lock(stats_mutex_);
     ++stats_.submitted;
   }
   Item item;
@@ -90,98 +90,111 @@ Status QueryServer::Submit(const Request& request, ResponseCallback done) {
     item.has_deadline = true;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // stats_mutex_ (kServeStats) nests inside mutex_ (kServeQueue) here —
+    // the one sanctioned nesting in the serve layer.
+    MutexLock lock(mutex_);
     if (draining_) {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      MutexLock stats_lock(stats_mutex_);
       ++stats_.rejected_draining;
       return Status::Cancelled("server is draining; admission stopped");
     }
     if (queue_.size() >= options_.queue_capacity) {
       // Load shedding: fail FAST and typed, do not queue beyond capacity.
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      MutexLock stats_lock(stats_mutex_);
       ++stats_.shed;
       return Status::Overloaded(
           "request queue full (" + std::to_string(options_.queue_capacity) +
           " deep); retry later");
     }
     queue_.push_back(std::move(item));
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    MutexLock stats_lock(stats_mutex_);
     ++stats_.admitted;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::Ok();
 }
 
 void QueryServer::BeginShutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     draining_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 bool QueryServer::Drain(std::chrono::nanoseconds deadline) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto idle = [this] { return queue_.empty() && in_flight_ == 0; };
-  if (!started_) {
-    // No workers to drain through: complete queued items as cancelled so
-    // every admitted request still gets exactly one callback.
-    std::deque<Item> orphans;
-    orphans.swap(queue_);
-    lock.unlock();
-    for (Item& item : orphans) {
-      Response response;
-      response.status =
-          Status::Cancelled("server stopped before the request ran");
-      response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
-          Clock::now() - item.admitted);
-      if (item.done) item.done(item.request, response);
-      RecordOutcome(item, response, obs::QueryMetrics());
+  std::deque<Item> orphans;
+  {
+    MutexLock lock(mutex_);
+    if (started_) {
+      const auto until = Clock::now() + deadline;
+      bool timed_out = false;
+      while (!IdleLocked() && !timed_out) {
+        timed_out = !drain_cv_.WaitUntil(mutex_, until);
+      }
+      if (IdleLocked()) return true;
+      // Drain deadline expired: hard-cancel. Every in-flight query
+      // observes the kill-switch at its next cascade stage boundary and
+      // unwinds with a typed status; queued items fail their
+      // admission-time token check.
+      kill_switch_.store(true, std::memory_order_relaxed);
+      while (!IdleLocked()) drain_cv_.Wait(mutex_);
+      return false;
     }
-    return true;
+    // No workers to drain through: complete queued items as cancelled so
+    // every admitted request still gets exactly one callback. Callbacks
+    // and stats run after the swap, outside the queue mutex.
+    orphans.swap(queue_);
   }
-  if (drain_cv_.wait_until(lock, Clock::now() + deadline, idle)) {
-    return true;
+  for (Item& item : orphans) {
+    Response response;
+    response.status =
+        Status::Cancelled("server stopped before the request ran");
+    response.latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - item.admitted);
+    if (item.done) item.done(item.request, response);
+    RecordOutcome(item, response, obs::QueryMetrics());
   }
-  // Drain deadline expired: hard-cancel. Every in-flight query observes
-  // the kill-switch at its next cascade stage boundary and unwinds with a
-  // typed status; queued items fail their admission-time token check.
-  kill_switch_.store(true, std::memory_order_relaxed);
-  drain_cv_.wait(lock, idle);
-  return false;
+  return true;
 }
 
 bool QueryServer::Shutdown() {
   BeginShutdown();
   const bool clean = Drain(options_.drain_deadline);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (joined_) return clean;
     joined_ = true;
+    // Swap the pool out under the mutex that Start() mutates it under —
+    // joining workers_ in place raced a concurrent Start() — then join
+    // outside the lock: exiting workers take mutex_ for their final
+    // drain notification.
+    workers.swap(workers_);
   }
-  for (std::thread& worker : workers_) {
+  for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
   return clean;
 }
 
 ServerStats QueryServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return stats_;
 }
 
 std::size_t QueryServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 bool QueryServer::draining() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return draining_;
 }
 
@@ -190,13 +203,9 @@ void QueryServer::WorkerLoop() {
     Item item;
     std::size_t depth_at_dequeue = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mutex_);
+      if (queue_.empty()) return;  // stopping_, and nothing left to run.
       depth_at_dequeue = queue_.size();
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -207,9 +216,9 @@ void QueryServer::WorkerLoop() {
     if (item.done) item.done(item.request, response);
     RecordOutcome(item, response, metrics);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+      if (IdleLocked()) drain_cv_.NotifyAll();
     }
   }
 }
@@ -298,7 +307,7 @@ Response QueryServer::Execute(const Item& item, std::size_t depth_at_dequeue,
 void QueryServer::RecordOutcome(const Item& item, const Response& response,
                                 const obs::QueryMetrics& metrics) {
   (void)item;
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   stats_.engine_metrics += metrics;
   stats_.e2e_latency.Record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(response.latency)

@@ -3,18 +3,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/core/cancel.h"
 #include "src/core/status.h"
+#include "src/core/sync.h"
 #include "src/obs/metrics.h"
 #include "src/search/engine.h"
 #include "src/serve/protocol.h"
@@ -62,7 +61,7 @@ struct ServerStats {
   obs::LatencyHistogram e2e_latency;
 
   /// {"submitted": ..., "e2e_latency_p99_us": ..., "engine": {...}}
-  std::string ToJson(int indent = 0) const;
+  [[nodiscard]] std::string ToJson(int indent = 0) const;
 };
 
 /// A long-running concurrent query server over one QueryEngine.
@@ -93,30 +92,32 @@ class QueryServer {
   QueryServer& operator=(const QueryServer&) = delete;
 
   /// Launches the worker pool. Idempotent.
-  void Start();
+  void Start() ROTIND_EXCLUDES(mutex_);
 
   /// Admission control. OK: enqueued, `done` will run exactly once.
   /// kOverloaded: queue full, request shed, `done` never runs.
   /// kCancelled: server is draining, `done` never runs.
-  [[nodiscard]] Status Submit(const Request& request, ResponseCallback done);
+  [[nodiscard]] Status Submit(const Request& request, ResponseCallback done)
+      ROTIND_EXCLUDES(mutex_, stats_mutex_);
 
   /// Stops admission; queued and in-flight work continues.
-  void BeginShutdown();
+  void BeginShutdown() ROTIND_EXCLUDES(mutex_);
 
   /// Waits for the queue and in-flight set to empty. If `deadline`
   /// passes first, sets the kill-switch (in-flight queries return
   /// kCancelled at their next stage boundary) and waits for the fast
   /// unwind. Returns true iff the drain completed without the
   /// kill-switch.
-  bool Drain(std::chrono::nanoseconds deadline);
+  bool Drain(std::chrono::nanoseconds deadline)
+      ROTIND_EXCLUDES(mutex_, stats_mutex_);
 
   /// BeginShutdown + Drain(options.drain_deadline) + worker join.
   /// Returns Drain's verdict. Idempotent.
-  bool Shutdown();
+  bool Shutdown() ROTIND_EXCLUDES(mutex_, stats_mutex_);
 
-  ServerStats stats() const;
-  std::size_t queue_depth() const;
-  bool draining() const;
+  [[nodiscard]] ServerStats stats() const ROTIND_EXCLUDES(stats_mutex_);
+  [[nodiscard]] std::size_t queue_depth() const ROTIND_EXCLUDES(mutex_);
+  [[nodiscard]] bool draining() const ROTIND_EXCLUDES(mutex_);
 
  private:
   struct Item {
@@ -127,34 +128,48 @@ class QueryServer {
     bool has_deadline = false;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() ROTIND_EXCLUDES(mutex_, stats_mutex_);
   /// Runs one admitted request through the engine and fills the
   /// response. `depth_at_dequeue` drives the degradation decision;
   /// per-query engine metrics land in `*metrics` for the stats merge.
   Response Execute(const Item& item, std::size_t depth_at_dequeue,
                    obs::QueryMetrics* metrics) const;
   void RecordOutcome(const Item& item, const Response& response,
-                     const obs::QueryMetrics& metrics);
+                     const obs::QueryMetrics& metrics)
+      ROTIND_EXCLUDES(stats_mutex_);
+  /// The drain condition: nothing queued, nothing running.
+  [[nodiscard]] bool IdleLocked() const ROTIND_REQUIRES(mutex_) {
+    return queue_.empty() && in_flight_ == 0;
+  }
 
   const QueryEngine& engine_;
   const ServerOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< Queue became non-empty / stop.
-  std::condition_variable drain_cv_;  ///< Queue + in-flight hit zero.
-  std::deque<Item> queue_;
-  std::size_t in_flight_ = 0;
-  bool draining_ = false;  ///< Admission stopped.
-  bool stopping_ = false;  ///< Workers exit once the queue is empty.
-  bool started_ = false;
-  bool joined_ = false;
-  std::vector<std::thread> workers_;
+  /// kServeQueue is the top of the lock-order hierarchy: Submit holds it
+  /// while taking stats_mutex_, and workers reach storage-layer mutexes
+  /// only after releasing it.
+  mutable Mutex mutex_{LockRank::kServeQueue};
+  CondVar work_cv_;   ///< Queue became non-empty / stop.
+  CondVar drain_cv_;  ///< Queue + in-flight hit zero.
+  std::deque<Item> queue_ ROTIND_GUARDED_BY(mutex_);
+  std::size_t in_flight_ ROTIND_GUARDED_BY(mutex_) = 0;
+  /// Admission stopped.
+  bool draining_ ROTIND_GUARDED_BY(mutex_) = false;
+  /// Workers exit once the queue is empty.
+  bool stopping_ ROTIND_GUARDED_BY(mutex_) = false;
+  bool started_ ROTIND_GUARDED_BY(mutex_) = false;
+  bool joined_ ROTIND_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_ ROTIND_GUARDED_BY(mutex_);
 
   /// Shared hard-cancel flag, attached to every in-flight CancelToken.
+  /// SYNC-EXEMPT: lock-free by design — workers poll it at cascade stage
+  /// boundaries without taking mutex_; relaxed flag, no ordering needed.
   std::atomic<bool> kill_switch_{false};
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  /// kServeStats nests INSIDE mutex_ (Submit's admission accounting), so
+  /// it ranks strictly below kServeQueue.
+  mutable Mutex stats_mutex_{LockRank::kServeStats};
+  ServerStats stats_ ROTIND_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace rotind::serve

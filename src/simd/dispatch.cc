@@ -1,5 +1,7 @@
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/simd/kernels_internal.h"
 
@@ -9,17 +11,44 @@ namespace {
 
 Tier Resolve() {
   if (const char* env = std::getenv("ROTIND_SIMD")) {
-    if (std::strcmp(env, "scalar") == 0) return Tier::kScalar;
-    if (std::strcmp(env, "avx2") == 0) {
+    StatusOr<Tier> tier = TierFromName(env);
+    if (!tier.ok()) {
+      // An unknown override is misconfiguration, not a tuning preference:
+      // silently auto-detecting would run a different kernel set than the
+      // operator asked for and skew any benchmark built on the override.
+      // The CLI validates earlier (ValidateEnvOverride -> exit 2); a
+      // library embedder who skipped that check fails fast here.
+      std::fprintf(stderr, "fatal: %s\n", tier.status().ToString().c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+    if (*tier == Tier::kAvx2) {
       return TierAvailable(Tier::kAvx2) ? Tier::kAvx2 : Tier::kScalar;
     }
-    // Unknown value: ignore and auto-detect rather than abort — the
-    // override is a tuning knob, not configuration.
+    return *tier;
   }
   return TierAvailable(Tier::kAvx2) ? Tier::kAvx2 : Tier::kScalar;
 }
 
 }  // namespace
+
+StatusOr<Tier> TierFromName(const char* name) {
+  if (name != nullptr) {
+    if (std::strcmp(name, "scalar") == 0) return Tier::kScalar;
+    if (std::strcmp(name, "avx2") == 0) return Tier::kAvx2;
+  }
+  return Status::InvalidArgument(
+      "unknown ROTIND_SIMD value \"" + std::string(name ? name : "") +
+      "\"; valid values are \"scalar\" and \"avx2\"");
+}
+
+Status ValidateEnvOverride() {
+  if (const char* env = std::getenv("ROTIND_SIMD")) {
+    StatusOr<Tier> tier = TierFromName(env);
+    if (!tier.ok()) return tier.status();
+  }
+  return Status::Ok();
+}
 
 bool TierAvailable(Tier tier) {
   switch (tier) {

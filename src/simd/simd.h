@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/core/status.h"
+
 namespace rotind {
 namespace simd {
 
@@ -104,23 +106,36 @@ struct KernelTable {
 };
 
 /// Whether `tier` can run on this machine/build (kScalar always can).
-bool TierAvailable(Tier tier);
+[[nodiscard]] bool TierAvailable(Tier tier);
+
+/// Parses a ROTIND_SIMD override value: "scalar" and "avx2" name tiers,
+/// anything else is a typed kInvalidArgument naming the accepted values.
+[[nodiscard]] StatusOr<Tier> TierFromName(const char* name);
+
+/// Validates the ROTIND_SIMD environment override without resolving the
+/// active tier: OK when the variable is unset or names a known tier, the
+/// TierFromName error otherwise. The CLI calls this first thing in main()
+/// and maps a failure to its usage-error exit code (2); library users who
+/// skip it hit the same check fatally at first kernel dispatch.
+[[nodiscard]] Status ValidateEnvOverride();
 
 /// The tier selected once at first use: the best available, overridable
 /// with ROTIND_SIMD=scalar|avx2 (an unavailable request degrades to
-/// scalar; ActiveTierName() reports what actually runs).
-Tier ActiveTier();
+/// scalar; ActiveTierName() reports what actually runs). An unknown
+/// ROTIND_SIMD value is a hard startup error (stderr + abort), never a
+/// silent fallback — validate early with ValidateEnvOverride().
+[[nodiscard]] Tier ActiveTier();
 
 /// Stable lowercase tier name ("scalar", "avx2") for logs and bench JSON.
-const char* TierName(Tier tier);
-const char* ActiveTierName();
+[[nodiscard]] const char* TierName(Tier tier);
+[[nodiscard]] const char* ActiveTierName();
 
 /// The kernel table for ActiveTier().
-const KernelTable& Kernels();
+[[nodiscard]] const KernelTable& Kernels();
 
 /// The kernel table for an explicit tier (parity tests). Requesting an
 /// unavailable tier returns the scalar table.
-const KernelTable& KernelsFor(Tier tier);
+[[nodiscard]] const KernelTable& KernelsFor(Tier tier);
 
 }  // namespace simd
 }  // namespace rotind

@@ -179,7 +179,7 @@ StatusOr<SeriesHandle> FileBackend::TryFetch(std::size_t i,
 SeriesHandle FileBackend::Fetch(std::size_t i, FetchStats* stats) const {
   StatusOr<SeriesHandle> handle = TryFetch(i, stats);
   if (handle.ok()) return *std::move(handle);
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   if (error_.ok()) error_ = handle.status();
   return SeriesHandle();
 }
@@ -190,12 +190,12 @@ int FileBackend::label(std::size_t i) const {
 }
 
 Status FileBackend::error() const {
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   return error_;
 }
 
 void FileBackend::ClearError() const {
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   error_ = Status::Ok();
 }
 
@@ -234,14 +234,16 @@ SeriesHandle FaultInjectingBackend::Fetch(std::size_t i,
                                           FetchStats* stats) const {
   StatusOr<SeriesHandle> handle = TryFetch(i, stats);
   if (handle.ok()) return *std::move(handle);
-  std::lock_guard<std::mutex> lock(error_mutex_);
+  MutexLock lock(error_mutex_);
   if (error_.ok()) error_ = handle.status();
   return SeriesHandle();
 }
 
 Status FaultInjectingBackend::error() const {
+  // Scoped: the inner backend's error_mutex_ shares this rank, so it must
+  // not be acquired while ours is held.
   {
-    std::lock_guard<std::mutex> lock(error_mutex_);
+    MutexLock lock(error_mutex_);
     if (!error_.ok()) return error_;
   }
   return inner_->error();
@@ -249,7 +251,7 @@ Status FaultInjectingBackend::error() const {
 
 void FaultInjectingBackend::ClearError() const {
   {
-    std::lock_guard<std::mutex> lock(error_mutex_);
+    MutexLock lock(error_mutex_);
     error_ = Status::Ok();
   }
   inner_->ClearError();

@@ -5,13 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/flat_dataset.h"
 #include "src/core/series.h"
 #include "src/core/status.h"
+#include "src/core/sync.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/fault_injection.h"
 #include "src/storage/index_file.h"
@@ -64,7 +64,7 @@ struct RetryPolicy {
   std::chrono::nanoseconds initial_backoff{100'000};  // 100 us
   double backoff_multiplier = 2.0;
 
-  bool enabled() const { return max_attempts > 1; }
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
 };
 
 /// True for Status codes a retry may clear (the transient fault classes).
@@ -91,11 +91,13 @@ class SeriesHandle {
     return h;
   }
 
-  bool valid() const { return borrowed_ != nullptr || !owned_.empty(); }
-  const double* data() const {
+  [[nodiscard]] bool valid() const {
+    return borrowed_ != nullptr || !owned_.empty();
+  }
+  [[nodiscard]] const double* data() const {
     return borrowed_ != nullptr ? borrowed_ : owned_.data();
   }
-  std::size_t length() const { return n_; }
+  [[nodiscard]] std::size_t length() const { return n_; }
 
  private:
   const double* borrowed_ = nullptr;
@@ -201,7 +203,7 @@ class FileBackend final : public StorageBackend {
 
   /// Adopts an already-parsed index (file- or memory-backed); used by
   /// tests and the fuzzer.
-  static std::unique_ptr<FileBackend> FromIndex(
+  [[nodiscard]] static std::unique_ptr<FileBackend> FromIndex(
       std::unique_ptr<IndexFile> file, std::size_t pool_pages,
       EvictionPolicy eviction, const Tuning& tuning = Tuning());
 
@@ -216,11 +218,11 @@ class FileBackend final : public StorageBackend {
   [[nodiscard]] Status error() const override;
   void ClearError() const override;
 
-  const IndexFile& file() const { return *file_; }
-  const BufferPool& pool() const { return pool_; }
-  const RetryPolicy& retry_policy() const { return retry_; }
+  [[nodiscard]] const IndexFile& file() const { return *file_; }
+  [[nodiscard]] const BufferPool& pool() const { return pool_; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
   /// Injected-fault totals; all-zero when no fault schedule is installed.
-  FaultCounters fault_counters() const;
+  [[nodiscard]] FaultCounters fault_counters() const;
 
  private:
   FileBackend(std::unique_ptr<IndexFile> file, std::size_t pool_pages,
@@ -232,13 +234,19 @@ class FileBackend final : public StorageBackend {
   [[nodiscard]] StatusOr<BufferPool::Pinned> PinWithRetry(
       std::size_t page, FetchStats* stats) const;
 
-  std::unique_ptr<IndexFile> file_;
-  RetryPolicy retry_;
-  std::unique_ptr<FaultSchedule> fault_schedule_;   ///< Null when disabled.
-  std::unique_ptr<FaultInjectingSource> fault_source_;
+  const std::unique_ptr<IndexFile> file_;
+  const RetryPolicy retry_;
+  /// Null when disabled; set once in the constructor.
+  const std::unique_ptr<FaultSchedule> fault_schedule_;
+  const std::unique_ptr<FaultInjectingSource> fault_source_;
+  /// SYNC-EXEMPT: internally synchronized — BufferPool owns its own Mutex.
   mutable BufferPool pool_;
-  mutable std::mutex error_mutex_;
-  mutable Status error_;  ///< First failure from an unchecked Fetch.
+  /// kBackendError rank: acquired with no other lock held (PinWithRetry
+  /// releases the pool pin before Fetch latches a failure), and strictly
+  /// above the pool so error() may never be called from inside a pin.
+  mutable Mutex error_mutex_{LockRank::kBackendError};
+  /// First failure from an unchecked Fetch.
+  mutable Status error_ ROTIND_GUARDED_BY(error_mutex_);
 };
 
 /// StorageBackend decorator that injects faults at the *object fetch*
@@ -268,15 +276,20 @@ class FaultInjectingBackend final : public StorageBackend {
   [[nodiscard]] Status error() const override;
   void ClearError() const override;
 
-  FaultCounters fault_counters() const { return schedule_.counters(); }
-  const StorageBackend& inner() const { return *inner_; }
+  [[nodiscard]] FaultCounters fault_counters() const {
+    return schedule_.counters();
+  }
+  [[nodiscard]] const StorageBackend& inner() const { return *inner_; }
 
  private:
-  std::unique_ptr<StorageBackend> owned_;
-  const StorageBackend* inner_;
+  const std::unique_ptr<StorageBackend> owned_;
+  const StorageBackend* const inner_;
+  /// SYNC-EXEMPT: internally synchronized — FaultSchedule owns its own
+  /// Mutex.
   mutable FaultSchedule schedule_;
-  mutable std::mutex error_mutex_;
-  mutable Status error_;  ///< First injected failure from unchecked Fetch.
+  mutable Mutex error_mutex_{LockRank::kBackendError};
+  /// First injected failure from unchecked Fetch.
+  mutable Status error_ ROTIND_GUARDED_BY(error_mutex_);
 };
 
 /// Backend selection, carried inside EngineOptions. kInMemory and

@@ -31,13 +31,14 @@ BufferPool::BufferPool(const PageSource& source, std::size_t capacity_pages,
                        EvictionPolicy policy)
     : source_(source),
       page_size_(source.page_size_bytes()),
-      policy_(policy) {
-  frames_.resize(capacity_pages == 0 ? 1 : capacity_pages);
+      policy_(policy),
+      capacity_(capacity_pages == 0 ? 1 : capacity_pages) {
+  frames_.resize(capacity_);
   for (Frame& frame : frames_) frame.data.resize(page_size_);
 }
 
 void BufferPool::Unpin(std::size_t frame) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ROTIND_DCHECK(frames_[frame].pins > 0);
   --frames_[frame].pins;
 }
@@ -79,7 +80,7 @@ StatusOr<std::size_t> BufferPool::PickFrameLocked() {
 StatusOr<BufferPool::Pinned> BufferPool::Pin(std::size_t page,
                                              PinOutcome* outcome) {
   if (outcome != nullptr) *outcome = PinOutcome{};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (page >= source_.num_pages()) {
     return Status::OutOfRange("page " + std::to_string(page) +
                               " out of range; source has " +
@@ -132,12 +133,12 @@ StatusOr<BufferPool::Pinned> BufferPool::Pin(std::size_t page,
 }
 
 std::size_t BufferPool::resident_pages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return page_to_frame_.size();
 }
 
 std::size_t BufferPool::pinned_pages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t pinned = 0;
   for (const Frame& frame : frames_) {
     if (frame.occupied && frame.pins > 0) ++pinned;
@@ -146,7 +147,7 @@ std::size_t BufferPool::pinned_pages() const {
 }
 
 PoolCounters BufferPool::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 

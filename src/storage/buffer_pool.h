@@ -3,11 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/status.h"
+#include "src/core/sync.h"
 
 namespace rotind::storage {
 
@@ -50,7 +50,10 @@ struct PoolCounters {
 /// (including the source read on a miss — simple and correct; the scale
 /// this library targets does not need lock-free page faults). Safe for the
 /// deterministic SearchBatch path: concurrent pins of the same page share
-/// the frame, and counters are totals, not per-thread.
+/// the frame, and counters are totals, not per-thread. The mutex is a
+/// rotind::Mutex at LockRank::kBufferPool, and every mutable field is
+/// ROTIND_GUARDED_BY it — Clang's thread-safety analysis proves the
+/// discipline at compile time (see src/core/sync.h).
 class BufferPool {
  public:
   /// `source` must outlive the pool. `capacity_pages` is clamped to >= 1.
@@ -99,16 +102,17 @@ class BufferPool {
   /// when every frame is pinned (capacity would be exceeded), or the
   /// source's own error when the read fails.
   [[nodiscard]] StatusOr<Pinned> Pin(std::size_t page,
-                                     PinOutcome* outcome = nullptr);
+                                     PinOutcome* outcome = nullptr)
+      ROTIND_EXCLUDES(mutex_);
 
-  std::size_t capacity_pages() const { return frames_.size(); }
-  std::size_t page_size_bytes() const { return page_size_; }
-  EvictionPolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t capacity_pages() const { return capacity_; }
+  [[nodiscard]] std::size_t page_size_bytes() const { return page_size_; }
+  [[nodiscard]] EvictionPolicy policy() const { return policy_; }
   /// Frames currently holding a page (pinned or not).
-  std::size_t resident_pages() const;
+  [[nodiscard]] std::size_t resident_pages() const ROTIND_EXCLUDES(mutex_);
   /// Frames with at least one live pin. Never exceeds capacity_pages().
-  std::size_t pinned_pages() const;
-  PoolCounters counters() const;
+  [[nodiscard]] std::size_t pinned_pages() const ROTIND_EXCLUDES(mutex_);
+  [[nodiscard]] PoolCounters counters() const ROTIND_EXCLUDES(mutex_);
 
  private:
   struct Frame {
@@ -120,20 +124,25 @@ class BufferPool {
     bool referenced = false;     ///< Clock second-chance bit.
   };
 
-  void Unpin(std::size_t frame);
+  void Unpin(std::size_t frame) ROTIND_EXCLUDES(mutex_);
   /// Picks the frame to receive a faulted page: a free frame if any,
-  /// otherwise an unpinned victim per the policy. Requires lock held.
-  [[nodiscard]] StatusOr<std::size_t> PickFrameLocked();
+  /// otherwise an unpinned victim per the policy.
+  [[nodiscard]] StatusOr<std::size_t> PickFrameLocked()
+      ROTIND_REQUIRES(mutex_);
 
   const PageSource& source_;
   const std::size_t page_size_;
   const EvictionPolicy policy_;
-  mutable std::mutex mutex_;
-  std::vector<Frame> frames_;
-  std::unordered_map<std::size_t, std::size_t> page_to_frame_;
-  std::uint64_t tick_ = 0;   ///< Monotonic use counter for LRU.
-  std::size_t hand_ = 0;     ///< Clock sweep position.
-  PoolCounters counters_;
+  /// Fixed at construction; kept outside the guard so capacity_pages()
+  /// stays lock-free (frames_.size() never changes but IS guarded).
+  const std::size_t capacity_;
+  mutable Mutex mutex_{LockRank::kBufferPool};
+  std::vector<Frame> frames_ ROTIND_GUARDED_BY(mutex_);
+  std::unordered_map<std::size_t, std::size_t> page_to_frame_
+      ROTIND_GUARDED_BY(mutex_);
+  std::uint64_t tick_ ROTIND_GUARDED_BY(mutex_) = 0;  ///< LRU use counter.
+  std::size_t hand_ ROTIND_GUARDED_BY(mutex_) = 0;  ///< Clock sweep position.
+  PoolCounters counters_ ROTIND_GUARDED_BY(mutex_);
 };
 
 }  // namespace rotind::storage

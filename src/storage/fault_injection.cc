@@ -8,7 +8,7 @@ FaultSchedule::FaultSchedule(const FaultScheduleSpec& spec)
     : spec_(spec), rng_(spec.seed) {}
 
 FaultAction FaultSchedule::Decide(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   FaultAction action;
   if (spec_.permanent_fail_key >= 0 &&
       key == static_cast<std::uint64_t>(spec_.permanent_fail_key)) {
@@ -43,7 +43,7 @@ FaultAction FaultSchedule::Decide(std::uint64_t key) {
 }
 
 FaultCounters FaultSchedule::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 

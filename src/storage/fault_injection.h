@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/core/random.h"
 #include "src/core/status.h"
+#include "src/core/sync.h"
 #include "src/storage/buffer_pool.h"
 
 namespace rotind::storage {
@@ -37,7 +37,7 @@ struct FaultCounters {
   std::uint64_t torn_pages = 0;
   std::uint64_t latency_spikes = 0;
 
-  std::uint64_t total() const {
+  [[nodiscard]] std::uint64_t total() const {
     return transient_errors + torn_pages + latency_spikes;
   }
 };
@@ -63,7 +63,7 @@ struct FaultScheduleSpec {
   /// the "disk went bad" case retries must NOT absorb.
   std::int64_t permanent_fail_key = -1;
 
-  bool enabled() const {
+  [[nodiscard]] bool enabled() const {
     return transient_read_prob > 0.0 || torn_page_prob > 0.0 ||
            latency_spike_prob > 0.0 || permanent_fail_key >= 0;
   }
@@ -76,17 +76,21 @@ class FaultSchedule {
  public:
   explicit FaultSchedule(const FaultScheduleSpec& spec);
 
-  FaultAction Decide(std::uint64_t key);
-  FaultCounters counters() const;
-  const FaultScheduleSpec& spec() const { return spec_; }
+  FaultAction Decide(std::uint64_t key) ROTIND_EXCLUDES(mutex_);
+  [[nodiscard]] FaultCounters counters() const ROTIND_EXCLUDES(mutex_);
+  [[nodiscard]] const FaultScheduleSpec& spec() const { return spec_; }
 
  private:
   const FaultScheduleSpec spec_;
-  mutable std::mutex mutex_;
-  Rng rng_;
+  /// kFaultSchedule rank: Decide is reached from inside the BufferPool's
+  /// miss path (pool mutex held), so this mutex must rank strictly below
+  /// LockRank::kBufferPool.
+  mutable Mutex mutex_{LockRank::kFaultSchedule};
+  Rng rng_ ROTIND_GUARDED_BY(mutex_);
   /// Remaining failures in an in-progress transient burst, per key.
-  std::unordered_map<std::uint64_t, int> burst_remaining_;
-  FaultCounters counters_;
+  std::unordered_map<std::uint64_t, int> burst_remaining_
+      ROTIND_GUARDED_BY(mutex_);
+  FaultCounters counters_ ROTIND_GUARDED_BY(mutex_);
 };
 
 /// PageSource decorator: sits *under* the BufferPool so injected faults

@@ -346,6 +346,150 @@ TEST(RotindLintTest, DetectsSuppressionWithoutReason) {
   }
 }
 
+TEST(RotindLintTest, NodiscardCatchesWrappedDeclarations) {
+  // clang-format wraps long declarations after the return type; the
+  // attribute must still be present on the first line.
+  const std::vector<SourceFile> files = {
+      {"src/io/bad.h",
+       "StatusOr<std::vector<double>>\n"
+       "ReallyLongFactoryFunctionName(const std::string& path);\n"},
+  };
+  const std::vector<Finding> findings = CheckNodiscard(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nodiscard");
+  EXPECT_EQ(findings[0].line, 1);
+
+  const std::vector<SourceFile> ok = {
+      {"src/io/ok.h",
+       "[[nodiscard]] StatusOr<std::vector<double>>\n"
+       "ReallyLongFactoryFunctionName(const std::string& path);\n"},
+  };
+  EXPECT_TRUE(CheckNodiscard(ok).empty());
+}
+
+/// Acceptance: a raw std sync primitive in src/ is detected — the rule
+/// that funnels all locking through the annotated layer in core/sync.h
+/// where Clang's thread-safety analysis can see it.
+TEST(RotindLintTest, DetectsRawSyncPrimitivesInSrc) {
+  const std::vector<SourceFile> files = {
+      {"src/search/bad.cc",
+       "#include <mutex>\n"
+       "std::mutex mu;\n"
+       "std::lock_guard<std::mutex> lock(mu);\n"
+       "std::condition_variable cv;\n"
+       "std::unique_lock<std::mutex> ul(mu);\n"},
+  };
+  const std::vector<Finding> findings = CheckSyncPrimitives(files);
+  // One finding per line: the include, then the first token of each line.
+  EXPECT_EQ(CountRule(findings, "raw-sync-primitive"), 5);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, "src/search/bad.cc");
+  }
+}
+
+TEST(RotindLintTest, AllowsSyncPrimitivesInSyncHeaderAndOutsideSrc) {
+  const std::vector<SourceFile> files = {
+      // The wrapping layer itself is the one sanctioned user.
+      {"src/core/sync.h", "#include <mutex>\nstd::mutex mu_;\n"},
+      // tests/tools/bench sit outside the annotated world.
+      {"tests/ok_test.cc", "std::mutex mu;\n"},
+      {"tools/ok.cc", "std::lock_guard<std::mutex> lock(mu);\n"},
+      // Prose mentions are not code.
+      {"src/search/ok.cc", "// never hold a std::mutex across Score()\n"},
+      // rotind::Mutex and MutexLock are not std primitives.
+      {"src/storage/ok.cc", "Mutex mu_;\nMutexLock lock(mu_);\n"},
+  };
+  EXPECT_TRUE(CheckSyncPrimitives(files).empty());
+}
+
+/// Acceptance: a member sharing a class with a rotind::Mutex but carrying
+/// neither a guard annotation nor a SYNC-EXEMPT justification is detected.
+TEST(RotindLintTest, DetectsUnannotatedMemberBesideMutex) {
+  const std::vector<SourceFile> files = {
+      {"src/storage/bad.h",
+       "class Pool {\n"
+       " private:\n"
+       "  mutable Mutex mutex_;\n"
+       "  std::size_t hits_ = 0;\n"
+       "};\n"},
+  };
+  const std::vector<Finding> findings = CheckGuardedMembers(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "guarded-by");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("hits_"), std::string::npos);
+}
+
+TEST(RotindLintTest, GuardedByAcceptsAnnotatedConstAndExemptMembers) {
+  const std::vector<SourceFile> files = {
+      {"src/storage/ok.h",
+       "class Pool {\n"
+       " private:\n"
+       "  mutable Mutex mutex_{LockRank::kBufferPool};\n"
+       "  CondVar cv_;\n"
+       "  std::size_t hits_ ROTIND_GUARDED_BY(mutex_) = 0;\n"
+       "  Status* err_ ROTIND_PT_GUARDED_BY(mutex_) = nullptr;\n"
+       "  const std::size_t capacity_;\n"
+       "  static constexpr int kMax = 8;\n"
+       "  /// SYNC-EXEMPT: internally synchronized — owns its own Mutex.\n"
+       "  BufferPool pool_;\n"
+       "  std::map<PageId,\n"
+       "           Frame*>\n"
+       "      frames_ ROTIND_GUARDED_BY(mutex_);\n"
+       "};\n"
+       "class NoLocks {\n"
+       "  std::size_t fine_without_annotations_ = 0;\n"
+       "};\n"},
+  };
+  EXPECT_TRUE(CheckGuardedMembers(files).empty());
+}
+
+TEST(RotindLintTest, GuardedByScopesToTheOwningClassOnly) {
+  // A Mutex in one class places no obligation on a sibling class, and a
+  // nested struct is a different block than its enclosing class.
+  const std::vector<SourceFile> files = {
+      {"src/serve/ok.h",
+       "class Server {\n"
+       "  struct Item {\n"
+       "    std::uint64_t id_ = 0;\n"
+       "  };\n"
+       "  Mutex mutex_;\n"
+       "  std::deque<int> queue_ ROTIND_GUARDED_BY(mutex_);\n"
+       "};\n"},
+  };
+  EXPECT_TRUE(CheckGuardedMembers(files).empty());
+
+  const std::vector<SourceFile> bad = {
+      {"src/serve/bad.h",
+       "class Server {\n"
+       "  Mutex mutex_;\n"
+       "  struct Inner {\n"
+       "    int x_ = 0;\n"
+       "  };\n"
+       "  std::size_t depth_ = 0;\n"
+       "};\n"},
+  };
+  const std::vector<Finding> findings = CheckGuardedMembers(bad);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 6);  // depth_, not Inner::x_
+}
+
+/// Acceptance: std::atomic outside the allowlist is detected — atomics
+/// are invisible to -Wthread-safety, so each use needs a standing entry.
+TEST(RotindLintTest, DetectsAtomicOutsideAllowlist) {
+  const std::vector<SourceFile> files = {
+      {"src/index/bad.cc", "std::atomic<int> hits{0};\n"},
+      // Allowlisted files and non-src trees may use atomics freely.
+      {"src/core/cancel.h", "std::atomic<bool> cancelled_{false};\n"},
+      {"tests/ok_test.cc", "std::atomic<int> done{0};\n"},
+      {"src/search/ok.cc", "// counter was std::atomic before the Mutex\n"},
+  };
+  const std::vector<Finding> findings = CheckAtomicAllowlist(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "atomic-allowlist");
+  EXPECT_EQ(findings[0].file, "src/index/bad.cc");
+}
+
 TEST(RotindLintTest, RunAllChecksAggregatesAndSorts) {
   const std::vector<SourceFile> files = {
       {"src/envelope/bad.cc",

@@ -1,0 +1,99 @@
+/// Strict ROTIND_SIMD validation: the override either names a real tier
+/// or is a typed kInvalidArgument that names the accepted values — never
+/// a silent fallback that would run different kernels than the operator
+/// asked for. The CLI maps the failure to exit code 2 (asserted by a CI
+/// step: `ROTIND_SIMD=bogus rotind version`); these tests pin the parsing
+/// and validation underneath, which EXPECT_DEATH on the memoized
+/// ActiveTier() could not do reliably.
+
+#include "src/simd/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/status.h"
+
+namespace rotind::simd {
+namespace {
+
+/// Saves ROTIND_SIMD on construction and restores it on destruction, so
+/// tests can mutate the process environment without leaking state into
+/// whatever gtest runs next.
+class ScopedSimdEnv {
+ public:
+  ScopedSimdEnv() {
+    if (const char* prior = std::getenv("ROTIND_SIMD")) {
+      had_prior_ = true;
+      prior_ = prior;
+    }
+  }
+  ScopedSimdEnv(const ScopedSimdEnv&) = delete;
+  ScopedSimdEnv& operator=(const ScopedSimdEnv&) = delete;
+  ~ScopedSimdEnv() {
+    if (had_prior_) {
+      ::setenv("ROTIND_SIMD", prior_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv("ROTIND_SIMD");
+    }
+  }
+
+ private:
+  bool had_prior_ = false;
+  std::string prior_;
+};
+
+TEST(TierFromNameTest, AcceptsTheTwoTierNames) {
+  const StatusOr<Tier> scalar = TierFromName("scalar");
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(*scalar, Tier::kScalar);
+  const StatusOr<Tier> avx2 = TierFromName("avx2");
+  ASSERT_TRUE(avx2.ok());
+  EXPECT_EQ(*avx2, Tier::kAvx2);
+}
+
+TEST(TierFromNameTest, RejectsUnknownValuesWithATypedError) {
+  for (const char* bad : {"bogus", "", "Scalar", "AVX2", "avx", "sse2"}) {
+    const StatusOr<Tier> tier = TierFromName(bad);
+    ASSERT_FALSE(tier.ok()) << "accepted \"" << bad << "\"";
+    EXPECT_EQ(tier.status().code(), StatusCode::kInvalidArgument);
+    // The message must carry the offending value and the accepted ones:
+    // it is what the operator sees on stderr next to exit code 2.
+    EXPECT_NE(tier.status().message().find(bad), std::string::npos);
+    EXPECT_NE(tier.status().message().find("scalar"), std::string::npos);
+    EXPECT_NE(tier.status().message().find("avx2"), std::string::npos);
+  }
+}
+
+TEST(TierFromNameTest, RejectsNullWithoutCrashing) {
+  const StatusOr<Tier> tier = TierFromName(nullptr);
+  ASSERT_FALSE(tier.ok());
+  EXPECT_EQ(tier.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateEnvOverrideTest, UnsetEnvironmentIsOk) {
+  const ScopedSimdEnv restore;
+  ::unsetenv("ROTIND_SIMD");
+  EXPECT_TRUE(ValidateEnvOverride().ok());
+}
+
+TEST(ValidateEnvOverrideTest, KnownTierNamesAreOk) {
+  const ScopedSimdEnv restore;
+  for (const char* good : {"scalar", "avx2"}) {
+    ASSERT_EQ(::setenv("ROTIND_SIMD", good, /*overwrite=*/1), 0);
+    EXPECT_TRUE(ValidateEnvOverride().ok()) << good;
+  }
+}
+
+TEST(ValidateEnvOverrideTest, UnknownValueSurfacesTheParseError) {
+  const ScopedSimdEnv restore;
+  ASSERT_EQ(::setenv("ROTIND_SIMD", "turbo9000", /*overwrite=*/1), 0);
+  const Status s = ValidateEnvOverride();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("turbo9000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rotind::simd

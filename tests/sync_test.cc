@@ -1,0 +1,172 @@
+/// Unit tests for the annotated sync primitives (src/core/sync.h): Mutex
+/// mutual exclusion and try_lock, MutexLock RAII, CondVar wait/notify and
+/// deadline semantics, and — in contract-enabled builds — the lock-order
+/// hierarchy: acquiring a mutex whose rank is not strictly below every
+/// held rank must abort, in ANY interleaving, which is what makes the
+/// check stronger than a TSan run that happens not to deadlock.
+
+#include "src/core/sync.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rotind {
+namespace {
+
+TEST(MutexTest, ExcludesOtherThreadsWhileHeld) {
+  Mutex mu;
+  mu.lock();
+  bool acquired = true;
+  std::thread prober([&] {
+    acquired = mu.try_lock();
+    if (acquired) mu.unlock();
+  });
+  prober.join();
+  EXPECT_FALSE(acquired) << "try_lock succeeded against a held mutex";
+  mu.unlock();
+
+  std::thread retaker([&] {
+    acquired = mu.try_lock();
+    if (acquired) mu.unlock();
+  });
+  retaker.join();
+  EXPECT_TRUE(acquired) << "try_lock failed against a free mutex";
+}
+
+TEST(MutexTest, CarriesItsLockRank) {
+  const Mutex leaf;
+  const Mutex pool(LockRank::kBufferPool);
+  EXPECT_EQ(leaf.rank(), LockRank::kLeaf);
+  EXPECT_EQ(pool.rank(), LockRank::kBufferPool);
+}
+
+TEST(MutexLockTest, SerializesConcurrentIncrements) {
+  Mutex mu;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    observed = true;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(CondVarTest, WaitUntilReportsTimeout) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  // Nobody notifies: the wait must come back false with the lock reheld.
+  EXPECT_FALSE(cv.WaitUntil(mu, deadline));
+}
+
+TEST(CondVarTest, WaitUntilWakesBeforeTheDeadlineWhenNotified) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread notifier([&] {
+    {
+      MutexLock lock(mu);
+      ready = true;
+    }
+    cv.NotifyAll();
+  });
+  bool saw_ready = false;
+  {
+    MutexLock lock(mu);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    bool timed_out = false;
+    while (!ready && !timed_out) {
+      timed_out = !cv.WaitUntil(mu, deadline);
+    }
+    saw_ready = ready;
+  }
+  notifier.join();
+  EXPECT_TRUE(saw_ready) << "notified wait reported a timeout";
+}
+
+/// The documented discipline — locks acquired in strictly decreasing rank
+/// order — must be accepted in every build type.
+TEST(LockRankTest, DescendingAcquisitionIsAllowed) {
+  Mutex outer(LockRank::kServeQueue);
+  Mutex middle(LockRank::kBackendError);
+  Mutex leaf;  // kLeaf
+  MutexLock a(outer);
+  MutexLock b(middle);
+  MutexLock c(leaf);
+  SUCCEED();
+}
+
+#if ROTIND_CONTRACTS_ENABLED
+
+using SyncDeathTest = ::testing::Test;
+
+/// Acquiring UP the hierarchy is the shape every deadlock cycle contains;
+/// contract-enabled builds refuse it before blocking on the lock.
+TEST(SyncDeathTest, AscendingRankAcquisitionAborts) {
+  Mutex low(LockRank::kFaultSchedule);
+  Mutex high(LockRank::kBufferPool);
+  EXPECT_DEATH(
+      {
+        MutexLock a(low);
+        MutexLock b(high);
+      },
+      "lock-order hierarchy");
+}
+
+/// Equal ranks are also refused: two kLeaf mutexes taken together by two
+/// threads in opposite orders is the textbook AB/BA deadlock.
+TEST(SyncDeathTest, EqualRankAcquisitionAborts) {
+  Mutex a;
+  Mutex b;
+  EXPECT_DEATH(
+      {
+        MutexLock first(a);
+        MutexLock second(b);
+      },
+      "lock-order hierarchy");
+}
+
+TEST(SyncDeathTest, ReleasingAnUnheldMutexAborts) {
+  Mutex mu;
+  // The rank bookkeeping trips loudly before std::mutex undefined
+  // behavior could.
+  EXPECT_DEATH(mu.unlock(), "does not hold");
+}
+
+#endif  // ROTIND_CONTRACTS_ENABLED
+
+}  // namespace
+}  // namespace rotind

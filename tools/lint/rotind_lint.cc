@@ -265,12 +265,22 @@ std::vector<Finding> CheckNodiscard(const std::vector<SourceFile>& files) {
   static const std::regex kDecl(
       R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:friend\s+|static\s+|virtual\s+)*)"
       R"((?:Status|StatusOr\s*<[^;{}()]*>)\s+[A-Za-z_]\w*\s*\()");
+  // The wrapped form: the return type alone on one line, the declarator
+  // opening on the next (how clang-format breaks a long declaration).
+  static const std::regex kRetTypeOnly(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:friend\s+|static\s+|virtual\s+)*)"
+      R"((?:Status|StatusOr\s*<[^;{}()]*>)\s*$)");
+  static const std::regex kDeclaratorNext(R"(^\s*[A-Za-z_]\w*\s*\()");
   for (const SourceFile& file : files) {
     if (!EndsWith(file.path, ".h")) continue;
     const std::vector<std::string> lines =
         SplitLines(StripCommentsAndStrings(file.content));
     for (std::size_t i = 0; i < lines.size(); ++i) {
-      if (!std::regex_search(lines[i], kDecl)) continue;
+      const bool same_line = std::regex_search(lines[i], kDecl);
+      const bool wrapped = !same_line && i + 1 < lines.size() &&
+                           std::regex_search(lines[i], kRetTypeOnly) &&
+                           std::regex_search(lines[i + 1], kDeclaratorNext);
+      if (!same_line && !wrapped) continue;
       const bool attributed =
           lines[i].find("[[nodiscard]]") != std::string::npos ||
           (i > 0 && lines[i - 1].find("[[nodiscard]]") != std::string::npos);
@@ -445,12 +455,176 @@ std::vector<Finding> CheckNolintReasons(const std::vector<SourceFile>& files) {
   return findings;
 }
 
+std::vector<Finding> CheckSyncPrimitives(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  // The std vocabulary that bypasses the annotated layer. CondVar wraps
+  // condition_variable_any; the generic lock adapters are covered so a
+  // rotind::Mutex cannot be driven through an unannotated std guard.
+  static const std::regex kToken(
+      R"(\bstd\s*::\s*(condition_variable_any|condition_variable|mutex|)"
+      R"(recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex|)"
+      R"(shared_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock)\b)");
+  static const std::regex kInclude(
+      R"(^\s*#\s*include\s*<(mutex|condition_variable|shared_mutex)>)");
+  for (const SourceFile& file : files) {
+    if (!StartsWith(file.path, "src/")) continue;
+    if (file.path == "src/core/sync.h") continue;  // the one wrapping TU
+    const std::string code = StripCommentsAndStrings(file.content);
+    const std::vector<std::string> lines = SplitLines(code);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::smatch m;
+      std::string what;
+      if (std::regex_search(lines[i], m, kToken)) {
+        what = "std::" + m[1].str();
+      } else if (std::regex_search(lines[i], m, kInclude)) {
+        what = "#include <" + m[1].str() + ">";
+      } else {
+        continue;
+      }
+      findings.push_back(
+          {"raw-sync-primitive", file.path, static_cast<int>(i + 1),
+           what +
+               " in src/ outside core/sync.h; use rotind::Mutex / "
+               "MutexLock / CondVar so Clang -Wthread-safety can prove the "
+               "lock discipline (tests/, bench/, tools/ are exempt)"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckGuardedMembers(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  // A rotind::Mutex member declaration marks its enclosing brace block as
+  // a synchronized class. Member names end in '_' by convention, which is
+  // what separates them from locals in function bodies.
+  static const std::regex kMutexMember(
+      R"(\b(?:rotind\s*::\s*)?Mutex\s+[A-Za-z_]\w*_\s*[;{])");
+  static const std::regex kMemberDecl(R"(([A-Za-z_]\w*_)\s*(?:;|=[^=]|\{))");
+  // Lines that are not mutable instance state (or not state at all).
+  static const std::regex kSkipLead(
+      R"(^\s*(?:const\b|static\b|constexpr\b|using\b|typedef\b|friend\b|)"
+      R"(enum\b|struct\b|class\b|public\s*:|private\s*:|protected\s*:))");
+  for (const SourceFile& file : files) {
+    if (!StartsWith(file.path, "src/")) continue;
+    if (file.path == "src/core/sync.h") continue;
+    const std::vector<std::string> code =
+        SplitLines(StripCommentsAndStrings(file.content));
+    const std::vector<std::string> comments = SplitLines(FilterSource(
+        file.content, /*keep_comments=*/true, /*keep_strings=*/false));
+    // Brace-block id at the start of each line: two lines share an id iff
+    // the same unclosed '{' encloses both. Nested structs are therefore
+    // different blocks and never inherit the outer class's mutex.
+    std::vector<int> block_of_line(code.size(), 0);
+    {
+      std::vector<int> stack{0};
+      int next_id = 1;
+      for (std::size_t i = 0; i < code.size(); ++i) {
+        block_of_line[i] = stack.back();
+        for (const char c : code[i]) {
+          if (c == '{') {
+            stack.push_back(next_id++);
+          } else if (c == '}' && stack.size() > 1) {
+            stack.pop_back();
+          }
+        }
+      }
+    }
+    std::set<int> synchronized;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (std::regex_search(code[i], kMutexMember)) {
+        synchronized.insert(block_of_line[i]);
+      }
+    }
+    if (synchronized.empty()) continue;
+    const auto is_blank = [](const std::string& s) {
+      for (const char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+      }
+      return true;
+    };
+    // SYNC-EXEMPT on the declaration line itself, or anywhere in the
+    // contiguous comment block directly above it.
+    const auto exempt = [&](std::size_t i) {
+      if (i < comments.size() &&
+          comments[i].find("SYNC-EXEMPT:") != std::string::npos) {
+        return true;
+      }
+      for (std::size_t j = i; j > 0;) {
+        --j;
+        if (!is_blank(code[j])) return false;  // real code ends the block
+        if (j >= comments.size() || is_blank(comments[j])) return false;
+        if (comments[j].find("SYNC-EXEMPT:") != std::string::npos) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (synchronized.count(block_of_line[i]) == 0) continue;
+      const std::string& line = code[i];
+      if (line.find("ROTIND_GUARDED_BY(") != std::string::npos ||
+          line.find("ROTIND_PT_GUARDED_BY(") != std::string::npos) {
+        continue;
+      }
+      if (std::regex_search(line, kMutexMember)) continue;  // the guard
+      if (line.find("CondVar") != std::string::npos) continue;
+      if (std::regex_search(line, kSkipLead)) continue;
+      // A '(' means a function declaration or a paren initializer — out of
+      // this heuristic's scope (the Clang analysis still covers the field).
+      if (line.find('(') != std::string::npos) continue;
+      std::smatch m;
+      if (!std::regex_search(line, m, kMemberDecl)) continue;
+      if (exempt(i)) continue;
+      findings.push_back(
+          {"guarded-by", file.path, static_cast<int>(i + 1),
+           "member '" + m[1].str() +
+               "' shares a class with a rotind::Mutex but is neither "
+               "ROTIND_GUARDED_BY / ROTIND_PT_GUARDED_BY, const, nor "
+               "'// SYNC-EXEMPT: <reason>'; every field of a synchronized "
+               "class must name its guard or justify not having one"});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckAtomicAllowlist(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  // std::atomic is invisible to the thread-safety analysis, so each file
+  // using one carries a standing justification here:
+  //   core/cancel.h        lock-free cancel flag + shared kill-switch
+  //   core/sync.h          the sync layer itself
+  //   search/engine.cc     ParallelFor work counter / failure latch
+  //   serve/server.h       the server kill-switch (SYNC-EXEMPT'd member)
+  //   storage/simulated_disk.h  concurrent fetch tallies
+  static const std::set<std::string> kAllowed = {
+      "src/core/cancel.h", "src/core/sync.h", "src/search/engine.cc",
+      "src/serve/server.h", "src/storage/simulated_disk.h"};
+  static const std::regex kToken(R"(\bstd\s*::\s*atomic\b)");
+  for (const SourceFile& file : files) {
+    if (!StartsWith(file.path, "src/")) continue;
+    if (kAllowed.count(file.path) != 0) continue;
+    const std::string code = StripCommentsAndStrings(file.content);
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kToken);
+         it != std::sregex_iterator(); ++it) {
+      findings.push_back(
+          {"atomic-allowlist", file.path,
+           LineOfOffset(code, static_cast<std::size_t>(it->position())),
+           "std::atomic outside the allowlist: atomics bypass the "
+           "thread-safety analysis, so prefer a rotind::Mutex-guarded "
+           "field, or add this file to CheckAtomicAllowlist's list with a "
+           "written justification"});
+    }
+  }
+  return findings;
+}
+
 std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (auto* check :
        {CheckLayering, CheckNodiscard, CheckUncheckedValue,
         CheckKernelHygiene, CheckIntrinsicsOutsideSimd, CheckTestRegistration,
-        CheckNolintReasons}) {
+        CheckNolintReasons, CheckSyncPrimitives, CheckGuardedMembers,
+        CheckAtomicAllowlist}) {
     std::vector<Finding> f = check(files);
     findings.insert(findings.end(), std::make_move_iterator(f.begin()),
                     std::make_move_iterator(f.end()));

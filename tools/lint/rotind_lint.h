@@ -29,6 +29,15 @@
 ///     `tests/CMakeLists.txt` (the list is deliberately explicit, not a
 ///     glob), and every clang-tidy suppression comment must carry a
 ///     written reason ("NOLINT(check): why").
+///  5. Lock discipline. Concurrency in `src/` goes through the annotated
+///     primitives in src/core/sync.h so Clang's thread-safety analysis can
+///     prove the locking: raw std::mutex / std::lock_guard /
+///     std::unique_lock / std::condition_variable (and their includes) are
+///     banned outside that header; in any class that owns a rotind::Mutex,
+///     every member must carry ROTIND_GUARDED_BY / ROTIND_PT_GUARDED_BY,
+///     be const, or document why not with `// SYNC-EXEMPT: <reason>`; and
+///     `std::atomic` — invisible to the analysis — is confined to an
+///     explicit per-file allowlist.
 ///
 /// The checks run over an in-memory `SourceFile` list so the unit tests
 /// can seed violations without touching the filesystem; `LintRepository`
@@ -89,6 +98,22 @@ struct Finding {
 
 /// Rule 4b: every clang-tidy suppression comment carries a reason.
 [[nodiscard]] std::vector<Finding> CheckNolintReasons(
+    const std::vector<SourceFile>& files);
+
+/// Rule 5a: raw std sync primitives (mutex/lock/condition_variable types
+/// and their headers) banned in src/ outside src/core/sync.h.
+[[nodiscard]] std::vector<Finding> CheckSyncPrimitives(
+    const std::vector<SourceFile>& files);
+
+/// Rule 5b: in src/ classes owning a rotind::Mutex, every member is
+/// annotated (ROTIND_GUARDED_BY / ROTIND_PT_GUARDED_BY), const, or
+/// carries a `// SYNC-EXEMPT: <reason>` comment.
+[[nodiscard]] std::vector<Finding> CheckGuardedMembers(
+    const std::vector<SourceFile>& files);
+
+/// Rule 5c: std::atomic only in the per-file allowlist (atomics bypass
+/// the thread-safety analysis, so each use needs a standing justification).
+[[nodiscard]] std::vector<Finding> CheckAtomicAllowlist(
     const std::vector<SourceFile>& files);
 
 /// All rules, findings ordered by (file, line).

@@ -999,6 +999,18 @@ int CmdServe(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Environment is configuration too: an unknown ROTIND_SIMD value is the
+  // same class of operator error as a bad flag, so it gets the same typed
+  // message and usage exit code (2) — before any kernel dispatch can
+  // resolve (and hard-abort on) the bad override.
+  {
+    rotind::Status simd_env = rotind::simd::ValidateEnvOverride();
+    if (!simd_env.ok()) {
+      std::fprintf(stderr, "%s\n", simd_env.ToString().c_str());
+      return 2;
+    }
+  }
+
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
 
