@@ -23,8 +23,14 @@
 /// DECREASING rank order. The ranks mirror the call graph's nesting
 /// (outermost first):
 ///
-///   kServeQueue (5)    QueryServer admission/drain mutex
-///     > kServeStats (4)    ServerStats accounting mutex
+///   kServeQueue (8)    QueryServer admission/drain mutex
+///     > kServeStats (7)    ServerStats accounting mutex
+///     > kEngineGen (6)     QueryServer generation/engine pointer (swapped
+///                          under the queue mutex during reload, read by
+///                          workers per dequeued item)
+///     > kShardView (5)     ShardedIndex manifest/shard-set/snapshot cache
+///     > kDeltaSegment (4)  DeltaSegment rows/tombstones/epoch (snapshot
+///                          rebuilds read it under kShardView)
 ///     > kBackendError (3)  FileBackend/FaultInjectingBackend latched error
 ///     > kBufferPool (2)    BufferPool frame-table mutex
 ///     > kFaultSchedule (1) FaultSchedule burst/rng state (reached from a
@@ -97,8 +103,11 @@ enum class LockRank : int {
   kFaultSchedule = 1,
   kBufferPool = 2,
   kBackendError = 3,
-  kServeStats = 4,
-  kServeQueue = 5,
+  kDeltaSegment = 4,
+  kShardView = 5,
+  kEngineGen = 6,
+  kServeStats = 7,
+  kServeQueue = 8,
 };
 
 namespace sync_internal {
@@ -118,7 +127,8 @@ inline void CheckRankBeforeLock(int rank) {
     ROTIND_CONTRACT(rank < held,
                     "lock-order hierarchy violated: acquiring a mutex whose "
                     "LockRank is not strictly below every held rank "
-                    "(order: serve queue > serve stats > backend error > "
+                    "(order: serve queue > serve stats > engine gen > "
+                    "shard view > delta segment > backend error > "
                     "buffer pool > fault schedule > leaf)");
   }
 }

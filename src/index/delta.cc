@@ -1,0 +1,98 @@
+#include "src/index/delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace rotind {
+
+DeltaSegment::DeltaSegment(std::size_t length) : length_(length) {}
+
+StatusOr<std::size_t> DeltaSegment::Insert(const Series& values, int label) {
+  if (values.size() != length_) {
+    return Status::InvalidArgument(
+        "delta insert has length " + std::to_string(values.size()) +
+        ", the shard set's series length is " + std::to_string(length_));
+  }
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    if (!std::isfinite(values[j])) {
+      return Status(StatusCode::kBadValue,
+                    "delta insert value " + std::to_string(j) +
+                        " is NaN or Inf");
+    }
+  }
+  MutexLock lock(mutex_);
+  rows_.push_back(values);
+  labels_.push_back(label);
+  dead_.push_back(false);
+  ++epoch_;
+  return rows_.size() - 1;
+}
+
+Status DeltaSegment::TombstoneDeltaRow(std::size_t ordinal) {
+  MutexLock lock(mutex_);
+  if (ordinal >= rows_.size()) {
+    return Status::OutOfRange("delta ordinal " + std::to_string(ordinal) +
+                              " not in [0, " + std::to_string(rows_.size()) +
+                              ")");
+  }
+  if (!dead_[ordinal]) {
+    dead_[ordinal] = true;
+    ++epoch_;
+  }
+  return Status::Ok();
+}
+
+void DeltaSegment::TombstoneShardRow(std::uint64_t global_row) {
+  MutexLock lock(mutex_);
+  if (shard_tombstones_.insert(global_row).second) ++epoch_;
+}
+
+std::size_t DeltaSegment::live_count() const {
+  MutexLock lock(mutex_);
+  std::size_t live = 0;
+  for (bool dead : dead_) {
+    if (!dead) ++live;
+  }
+  return live;
+}
+
+std::shared_ptr<const DeltaSnapshot> DeltaSegment::Snapshot() const {
+  MutexLock lock(mutex_);
+  if (cached_ != nullptr && cached_->epoch == epoch_) return cached_;
+  auto snapshot = std::make_shared<DeltaSnapshot>();
+  snapshot->length = length_;
+  snapshot->epoch = epoch_;
+  snapshot->rows_seen = rows_.size();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (dead_[i]) continue;
+    snapshot->values.insert(snapshot->values.end(), rows_[i].begin(),
+                            rows_[i].end());
+    snapshot->labels.push_back(labels_[i]);
+    snapshot->ordinals.push_back(i);
+  }
+  snapshot->shard_tombstones.assign(shard_tombstones_.begin(),
+                                    shard_tombstones_.end());
+  cached_ = std::move(snapshot);
+  return cached_;
+}
+
+void DeltaSegment::DropCompacted(const DeltaSnapshot& compacted) {
+  MutexLock lock(mutex_);
+  const std::size_t drop =
+      std::min(compacted.rows_seen, rows_.size());
+  rows_.erase(rows_.begin(),
+              rows_.begin() + static_cast<std::ptrdiff_t>(drop));
+  labels_.erase(labels_.begin(),
+                labels_.begin() + static_cast<std::ptrdiff_t>(drop));
+  dead_.erase(dead_.begin(),
+              dead_.begin() + static_cast<std::ptrdiff_t>(drop));
+  for (std::uint64_t t : compacted.shard_tombstones) {
+    shard_tombstones_.erase(t);
+  }
+  ++epoch_;
+  cached_.reset();
+}
+
+}  // namespace rotind

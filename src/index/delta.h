@@ -1,0 +1,104 @@
+#ifndef ROTIND_INDEX_DELTA_H_
+#define ROTIND_INDEX_DELTA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/series.h"
+#include "src/core/status.h"
+#include "src/core/sync.h"
+
+namespace rotind {
+
+/// Immutable view of a DeltaSegment at one instant: the LIVE delta rows
+/// flattened into contiguous storage (so a search can borrow row pointers
+/// zero-copy for the snapshot's lifetime), plus the shard-row tombstones
+/// accumulated since the last compaction. Snapshots are shared_ptr-owned
+/// and self-contained — a query or compaction holding one is unaffected by
+/// concurrent inserts, deletes, or a DropCompacted.
+struct DeltaSnapshot {
+  std::size_t length = 0;  ///< Common series length.
+  /// Mutation counter at capture time; two equal epochs mean identical
+  /// contents, which is what lets callers cache derived state per epoch.
+  std::uint64_t epoch = 0;
+  /// Total delta rows EVER inserted (live + tombstoned) at capture time —
+  /// the prefix a compaction built from this snapshot consumes.
+  std::size_t rows_seen = 0;
+  std::vector<double> values;  ///< live_count() x length, row-major.
+  std::vector<int> labels;     ///< One per live row.
+  /// live row -> its delta ordinal (insertion position), ascending.
+  std::vector<std::size_t> ordinals;
+  /// Deleted global shard-row ids, strictly ascending.
+  std::vector<std::uint64_t> shard_tombstones;
+
+  std::size_t live_count() const { return labels.size(); }
+  const double* row(std::size_t i) const {
+    return values.data() + i * length;
+  }
+};
+
+/// The mutable in-memory segment of a sharded index: accepts inserts and
+/// tombstone deletes between compactions, and is searched alongside the
+/// immutable RIDX shards via an exact scan over its snapshot. Internally
+/// synchronized (LockRank::kDeltaSegment); all methods are safe to call
+/// concurrently, and Snapshot() is cheap when nothing changed (the built
+/// snapshot is cached per epoch).
+///
+/// Ids: a delta row is named by its ORDINAL — its insertion position,
+/// counted from the last compaction. ShardedIndex maps ordinals into its
+/// global id space (shard rows first, delta rows after).
+class DeltaSegment {
+ public:
+  /// `length` is the series length every insert must match (the shard
+  /// set's common length).
+  explicit DeltaSegment(std::size_t length);
+
+  std::size_t length() const { return length_; }
+
+  /// Appends a row; returns its delta ordinal. kInvalidArgument on a
+  /// length mismatch, kBadValue on non-finite values.
+  [[nodiscard]] StatusOr<std::size_t> Insert(const Series& values,
+                                             int label = 0);
+
+  /// Tombstones delta row `ordinal`. kOutOfRange for unknown ordinals;
+  /// tombstoning an already-dead row is a harmless no-op.
+  [[nodiscard]] Status TombstoneDeltaRow(std::size_t ordinal);
+
+  /// Tombstones a global SHARD row (validated against the shard set by the
+  /// caller — the segment just accumulates the set for the next manifest).
+  /// Idempotent.
+  void TombstoneShardRow(std::uint64_t global_row);
+
+  /// Number of live (not tombstoned) delta rows.
+  [[nodiscard]] std::size_t live_count() const;
+
+  /// Captures the current contents. Cached: repeated calls without an
+  /// intervening mutation return the same shared_ptr.
+  [[nodiscard]] std::shared_ptr<const DeltaSnapshot> Snapshot() const;
+
+  /// Retires state a compaction consumed: the first `compacted.rows_seen`
+  /// delta rows (now either in the new shard or gone) and the shard
+  /// tombstones the new manifest absorbed. Rows inserted and tombstones
+  /// added AFTER the snapshot was captured survive, with their ordinals
+  /// shifted down by rows_seen.
+  void DropCompacted(const DeltaSnapshot& compacted);
+
+ private:
+  const std::size_t length_;
+
+  mutable Mutex mutex_{LockRank::kDeltaSegment};
+  std::vector<Series> rows_ ROTIND_GUARDED_BY(mutex_);
+  std::vector<int> labels_ ROTIND_GUARDED_BY(mutex_);
+  std::vector<bool> dead_ ROTIND_GUARDED_BY(mutex_);
+  std::set<std::uint64_t> shard_tombstones_ ROTIND_GUARDED_BY(mutex_);
+  std::uint64_t epoch_ ROTIND_GUARDED_BY(mutex_) = 0;
+  mutable std::shared_ptr<const DeltaSnapshot> cached_
+      ROTIND_GUARDED_BY(mutex_);
+};
+
+}  // namespace rotind
+
+#endif  // ROTIND_INDEX_DELTA_H_

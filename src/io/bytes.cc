@@ -14,6 +14,17 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return std::move(buf).str();
 }
 
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
 std::uint64_t Fnv1a64Seeded(const void* data, std::size_t n,
                             std::uint64_t seed) {
   constexpr std::uint64_t kPrime = 0x100000001b3ull;

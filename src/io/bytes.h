@@ -65,6 +65,15 @@ void WritePod(std::ostream& out, const T& value) {
 /// kIoError when the read fails partway.
 [[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
 
+/// Writes `content` to `path`, replacing any existing file. kIoError when
+/// the file cannot be opened or the write/flush fails partway. This is the
+/// sanctioned file-mutation primitive for layers above io/storage —
+/// rotind_lint bans direct fopen/rename outside those two directories, so
+/// every ad-hoc writer inherits one error contract instead of growing its
+/// own stdio handling.
+[[nodiscard]] Status WriteStringToFile(const std::string& path,
+                                       const std::string& content);
+
 /// 64-bit FNV-1a over a byte range. Used as the integrity checksum of the
 /// index-file header, catalog, resident sections, and data pages. Not
 /// cryptographic — it detects truncation and bit flips, not adversaries.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/io/bytes.h"
 #include "src/simd/simd.h"
 
 namespace rotind::obs {
@@ -286,17 +287,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
-  const std::string json = ToJson();
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool close_ok = std::fclose(f) == 0;
-  if (written != json.size() || !close_ok) {
-    return Status::IoError("short write to " + path);
-  }
-  return Status::Ok();
+  return WriteStringToFile(path, ToJson());
 }
 
 }  // namespace rotind::obs

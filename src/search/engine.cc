@@ -849,6 +849,37 @@ class KnnCollector {
   std::priority_queue<Neighbor, std::vector<Neighbor>, FurtherFirst> heap_;
 };
 
+/// Wraps a collector so its pruning threshold also honors a cross-engine
+/// SharedBound (ShardedIndex's parallel shard search). The effective
+/// threshold is min(inner, nextafter(shared, +inf)): the one-ulp outward
+/// nudge means a candidate EQUAL to a foreign bound still reaches the
+/// inner collector, so tie-breaking stays local-scan-order and sharded
+/// answers replay to the monolithic result exactly (see SharedBound).
+/// Acceptance and result bookkeeping are delegated untouched; every inner
+/// improvement is published.
+template <typename Inner>
+class SharedBoundCollector {
+ public:
+  SharedBoundCollector(Inner& inner, SharedBound* shared)
+      : inner_(inner), shared_(shared) {}
+
+  double threshold() const {
+    // nextafter(+inf, +inf) == +inf, so an unpublished bound is a no-op.
+    return std::min(inner_.threshold(),
+                    std::nextafter(shared_->load(), kInf));
+  }
+
+  bool Offer(std::size_t index, const CandidateMatch& m) {
+    const bool improved = inner_.Offer(index, m);
+    if (improved) shared_->Publish(inner_.threshold());
+    return improved;
+  }
+
+ private:
+  Inner& inner_;
+  SharedBound* shared_;
+};
+
 /// Radius collector (range search): fixed threshold, never "improves".
 class RangeCollector {
  public:
@@ -1112,14 +1143,24 @@ ScanResult QueryEngine::Search(const Series& query,
 ScanResult QueryEngine::SearchLeaveOneOut(const Series& query,
                                           std::size_t holdout,
                                           obs::QueryMetrics* metrics) const {
-  return SearchImpl(query, holdout, metrics, nullptr, nullptr, nullptr);
+  return SearchImpl(query, holdout, metrics, nullptr, nullptr, nullptr,
+                    nullptr);
+}
+
+ScanResult QueryEngine::SearchShared(const Series& query, std::size_t holdout,
+                                     SharedBound* shared,
+                                     obs::QueryMetrics* metrics) const {
+  ROTIND_CONTRACT(shared != nullptr, "SearchShared needs a SharedBound");
+  return SearchImpl(query, holdout, metrics, nullptr, nullptr, nullptr,
+                    shared);
 }
 
 ScanResult QueryEngine::SearchImpl(const Series& query, std::size_t holdout,
                                    obs::QueryMetrics* metrics,
                                    const CancelToken* cancel,
                                    Status* interrupted,
-                                   bool* fetch_failed) const {
+                                   bool* fetch_failed,
+                                   SharedBound* shared) const {
   ScanResult result;
   result.best_distance = kInf;
   const QueryLatencyScope latency(metrics);
@@ -1128,26 +1169,34 @@ ScanResult QueryEngine::SearchImpl(const Series& query, std::size_t holdout,
   ResolveStoredVecSigs(query.size(), &vec_sig_rows, &vec_sig_dims);
   QueryCascade cascade(query, options_, &result.counter, metrics, cancel,
                        vec_sig_rows, vec_sig_dims);
-  BestCollector collector(&result);
+  BestCollector inner(&result);
   storage::FetchStats fetch_io;
   obs::StageStats* fetch_stats =
       metrics != nullptr && BackendDoesIo()
           ? &metrics->stage(obs::StageId::kDiskFetch)
           : nullptr;
   const FlatDataset* blocked = BlockedSource();
-  if (blocked != nullptr && blocked->length() == query.size() &&
-      cascade.SupportsBlocked(options_.simd)) {
-    RunBlockedScan(*blocked, holdout, cascade, collector, &result.counter);
+  const auto drive = [&](auto& collector) {
+    if (blocked != nullptr && blocked->length() == query.size() &&
+        cascade.SupportsBlocked(options_.simd)) {
+      RunBlockedScan(*blocked, holdout, cascade, collector, &result.counter);
+    } else {
+      RunScan(
+          database_size(),
+          [&](std::size_t i) {
+            const StageScope scope(fetch_stats, &result.counter);
+            storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
+            if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
+            return h;
+          },
+          holdout, cascade, collector, &result.counter);
+    }
+  };
+  if (shared != nullptr) {
+    SharedBoundCollector<BestCollector> wrapped(inner, shared);
+    drive(wrapped);
   } else {
-    RunScan(
-        database_size(),
-        [&](std::size_t i) {
-          const StageScope scope(fetch_stats, &result.counter);
-          storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
-          if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
-          return h;
-        },
-        holdout, cascade, collector, &result.counter);
+    drive(inner);
   }
   if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
   if (interrupted != nullptr && cascade.cancelled()) {
@@ -1166,7 +1215,15 @@ std::vector<Neighbor> QueryEngine::KnnLeaveOneOut(
     const Series& query, int k, std::size_t holdout, StepCounter* counter,
     obs::QueryMetrics* metrics) const {
   return KnnImpl(query, k, holdout, counter, metrics, nullptr, nullptr,
-                 nullptr);
+                 nullptr, nullptr);
+}
+
+std::vector<Neighbor> QueryEngine::KnnShared(
+    const Series& query, int k, std::size_t holdout, SharedBound* shared,
+    StepCounter* counter, obs::QueryMetrics* metrics) const {
+  ROTIND_CONTRACT(shared != nullptr, "KnnShared needs a SharedBound");
+  return KnnImpl(query, k, holdout, counter, metrics, nullptr, nullptr,
+                 nullptr, shared);
 }
 
 std::vector<Neighbor> QueryEngine::KnnImpl(const Series& query, int k,
@@ -1175,7 +1232,8 @@ std::vector<Neighbor> QueryEngine::KnnImpl(const Series& query, int k,
                                            obs::QueryMetrics* metrics,
                                            const CancelToken* cancel,
                                            Status* interrupted,
-                                           bool* fetch_failed) const {
+                                           bool* fetch_failed,
+                                           SharedBound* shared) const {
   StepCounter local;
   StepCounter* cnt = counter != nullptr ? counter : &local;
   const QueryLatencyScope latency(metrics);
@@ -1184,32 +1242,40 @@ std::vector<Neighbor> QueryEngine::KnnImpl(const Series& query, int k,
   ResolveStoredVecSigs(query.size(), &vec_sig_rows, &vec_sig_dims);
   QueryCascade cascade(query, options_, cnt, metrics, cancel, vec_sig_rows,
                        vec_sig_dims);
-  KnnCollector collector(k);
+  KnnCollector inner(k);
   storage::FetchStats fetch_io;
   obs::StageStats* fetch_stats =
       metrics != nullptr && BackendDoesIo()
           ? &metrics->stage(obs::StageId::kDiskFetch)
           : nullptr;
   const FlatDataset* blocked = BlockedSource();
-  if (blocked != nullptr && blocked->length() == query.size() &&
-      cascade.SupportsBlocked(options_.simd)) {
-    RunBlockedScan(*blocked, holdout, cascade, collector, cnt);
+  const auto drive = [&](auto& collector) {
+    if (blocked != nullptr && blocked->length() == query.size() &&
+        cascade.SupportsBlocked(options_.simd)) {
+      RunBlockedScan(*blocked, holdout, cascade, collector, cnt);
+    } else {
+      RunScan(
+          database_size(),
+          [&](std::size_t i) {
+            const StageScope scope(fetch_stats, cnt);
+            storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
+            if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
+            return h;
+          },
+          holdout, cascade, collector, cnt);
+    }
+  };
+  if (shared != nullptr) {
+    SharedBoundCollector<KnnCollector> wrapped(inner, shared);
+    drive(wrapped);
   } else {
-    RunScan(
-        database_size(),
-        [&](std::size_t i) {
-          const StageScope scope(fetch_stats, cnt);
-          storage::SeriesHandle h = FetchCandidate(i, &fetch_io);
-          if (!h.valid() && fetch_failed != nullptr) *fetch_failed = true;
-          return h;
-        },
-        holdout, cascade, collector, cnt);
+    drive(inner);
   }
   if (BackendDoesIo()) FoldFetchIo(fetch_io, fetch_stats, metrics);
   if (interrupted != nullptr && cascade.cancelled()) {
     *interrupted = cascade.cancel_status();
   }
-  return collector.Take();
+  return inner.Take();
 }
 
 std::vector<Neighbor> QueryEngine::Range(const Series& query, double radius,
@@ -1304,7 +1370,7 @@ StatusOr<ScanResult> QueryEngine::SearchChecked(
   Status interrupted;
   bool fetch_failed = false;
   ScanResult result = SearchImpl(query, kNoHoldout, metrics, cancel,
-                                 &interrupted, &fetch_failed);
+                                 &interrupted, &fetch_failed, nullptr);
   if (!interrupted.ok()) return interrupted;
   // A storage failure mid-scan silently skips candidates in the unchecked
   // path; here it must invalidate the result. The per-query flag is
@@ -1338,7 +1404,7 @@ StatusOr<std::vector<Neighbor>> QueryEngine::KnnChecked(
   bool fetch_failed = false;
   std::vector<Neighbor> result = KnnImpl(query, k, kNoHoldout, counter,
                                          metrics, cancel, &interrupted,
-                                         &fetch_failed);
+                                         &fetch_failed, nullptr);
   if (!interrupted.ok()) return interrupted;
   if (fetch_failed) {
     Status io = backend_ != nullptr ? backend_->error() : Status::Ok();

@@ -163,6 +163,47 @@ StatusOr<Request> ParseRequest(std::string_view line) {
   return request;
 }
 
+bool IsAdminRequest(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  return line == "reload" || line.substr(0, 7) == "reload ";
+}
+
+StatusOr<AdminRequest> ParseAdminRequest(std::string_view line) {
+  if (line.size() > kMaxLineBytes) {
+    return Status::InvalidArgument("request line exceeds " +
+                                   std::to_string(kMaxLineBytes) + " bytes");
+  }
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) return Status::InvalidArgument("empty admin line");
+  for (char c : line) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return Status::InvalidArgument("control byte in admin line");
+    }
+  }
+
+  std::vector<std::string_view> tokens;
+  Status split = Tokenize(line, &tokens);
+  if (!split.ok()) return split;
+
+  if (tokens[0] != "reload") {
+    return Status::InvalidArgument("unknown admin verb '" +
+                                   std::string(tokens[0]) +
+                                   "' (want reload)");
+  }
+  if (tokens.size() > 2) {
+    return Status::InvalidArgument(
+        "reload takes at most one argument (a manifest path)");
+  }
+  AdminRequest admin;
+  admin.op = AdminRequest::Op::kReload;
+  if (tokens.size() == 2) admin.path = std::string(tokens[1]);
+  return admin;
+}
+
 std::string FormatResponse(const Request& request, const Response& response) {
   std::string out;
   out.reserve(64 + response.neighbors.size() * 32);

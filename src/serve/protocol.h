@@ -71,6 +71,31 @@ struct Response {
 /// Renders one response line (no trailing newline).
 std::string FormatResponse(const Request& request, const Response& response);
 
+/// Admin verbs ride the same line protocol but never reach the query
+/// queue — the CLI intercepts them before ParseRequest. Grammar:
+///
+///   reload [<manifest_path>]
+///
+/// omitting the path re-opens the manifest the server was started with
+/// (picking up whatever generation compaction has since published).
+/// Response: `OK op=reload generation=<g>` or `ERR <CODE> op=reload
+/// msg=<text>`.
+struct AdminRequest {
+  enum class Op { kReload };
+  Op op = Op::kReload;
+  std::string path;  ///< Empty: reload the manifest already being served.
+};
+
+/// True iff `line` starts with an admin verb (after CR/LF stripping) —
+/// the dispatch test, deliberately cheap and never failing.
+[[nodiscard]] bool IsAdminRequest(std::string_view line);
+
+/// Parses one admin line with the same strictness as ParseRequest
+/// (length cap, control-byte rejection, exact token arity). Fuzz-fed
+/// alongside ParseRequest: any byte string maps to an AdminRequest or a
+/// typed Status, never a crash.
+[[nodiscard]] StatusOr<AdminRequest> ParseAdminRequest(std::string_view line);
+
 }  // namespace rotind::serve
 
 #endif  // ROTIND_SERVE_PROTOCOL_H_

@@ -33,6 +33,7 @@ std::string ServerStats::ToJson(int indent) const {
   AppendU64(&out, p1, "deadline_exceeded", deadline_exceeded, true);
   AppendU64(&out, p1, "cancelled", cancelled, true);
   AppendU64(&out, p1, "failed", failed, true);
+  AppendU64(&out, p1, "reloads", reloads, true);
   out += p1 + "\"e2e_latency\": {\n";
   AppendU64(&out, p2, "count", e2e_latency.count(), true);
   AppendU64(&out, p2, "p50_us",
@@ -52,8 +53,18 @@ std::string ServerStats::ToJson(int indent) const {
 
 QueryServer::QueryServer(const QueryEngine& engine,
                          const ServerOptions& options)
-    : engine_(engine), options_(options) {
-  ROTIND_CONTRACT(engine.backend() != nullptr,
+    // Non-owning alias: an empty control block with a raw pointer — the
+    // caller's lifetime promise is unchanged from the pre-reload API.
+    : QueryServer(std::shared_ptr<const QueryEngine>(
+                      std::shared_ptr<const QueryEngine>(), &engine),
+                  options, 0) {}
+
+QueryServer::QueryServer(std::shared_ptr<const QueryEngine> engine,
+                         const ServerOptions& options,
+                         std::uint64_t generation)
+    : options_(options), engine_(std::move(engine)),
+      generation_(generation) {
+  ROTIND_CONTRACT(engine_ != nullptr && engine_->backend() != nullptr,
                   "QueryServer needs an engine with a StorageBackend; the "
                   "legacy vector adapter is not servable");
   ROTIND_CONTRACT(options.num_workers >= 1, "num_workers must be >= 1");
@@ -198,32 +209,95 @@ bool QueryServer::draining() const {
   return draining_;
 }
 
+std::uint64_t QueryServer::generation() const {
+  MutexLock lock(engine_mutex_);
+  return generation_;
+}
+
+Status QueryServer::SwapEngine(std::shared_ptr<const QueryEngine> next,
+                               std::uint64_t generation) {
+  if (next == nullptr || next->backend() == nullptr) {
+    return Status::InvalidArgument(
+        "SwapEngine needs an engine with a StorageBackend");
+  }
+  {
+    MutexLock lock(mutex_);
+    if (draining_ || stopping_) {
+      return Status::Cancelled("server is shutting down; reload refused");
+    }
+    if (reloading_) {
+      return Status::Overloaded("another reload is already in progress");
+    }
+    {
+      // engine_mutex_ (kEngineGen) nests inside mutex_ (kServeQueue).
+      MutexLock engine_lock(engine_mutex_);
+      if (generation <= generation_) {
+        return Status::InvalidArgument(
+            "reload generation " + std::to_string(generation) +
+            " does not advance live generation " +
+            std::to_string(generation_) + "; rollback refused");
+      }
+    }
+    // Barrier up: workers park instead of dequeuing, then the in-flight
+    // set drains. Queued requests are RETAINED — they resume against the
+    // new generation once the barrier drops.
+    reloading_ = true;
+    while (in_flight_ > 0) drain_cv_.Wait(mutex_);
+    {
+      MutexLock engine_lock(engine_mutex_);
+      engine_ = std::move(next);
+      generation_ = generation;
+    }
+    reloading_ = false;
+    MutexLock stats_lock(stats_mutex_);
+    ++stats_.reloads;
+  }
+  work_cv_.NotifyAll();
+  return Status::Ok();
+}
+
 void QueryServer::WorkerLoop() {
   for (;;) {
     Item item;
     std::size_t depth_at_dequeue = 0;
     {
       MutexLock lock(mutex_);
-      while (!stopping_ && queue_.empty()) work_cv_.Wait(mutex_);
+      // A raised reload barrier parks the worker even when work is
+      // queued: dequeuing would re-grow the in-flight set SwapEngine is
+      // waiting to drain.
+      while (reloading_ || (!stopping_ && queue_.empty())) {
+        work_cv_.Wait(mutex_);
+      }
       if (queue_.empty()) return;  // stopping_, and nothing left to run.
       depth_at_dequeue = queue_.size();
       item = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
+    // Pin the live engine snapshot for this item. The shared_ptr keeps a
+    // swapped-out generation alive until its last in-flight query ends.
+    std::shared_ptr<const QueryEngine> engine;
+    {
+      MutexLock engine_lock(engine_mutex_);
+      engine = engine_;
+    }
     obs::QueryMetrics metrics;
-    const Response response = Execute(item, depth_at_dequeue, &metrics);
+    const Response response =
+        Execute(*engine, item, depth_at_dequeue, &metrics);
     if (item.done) item.done(item.request, response);
     RecordOutcome(item, response, metrics);
     {
       MutexLock lock(mutex_);
       --in_flight_;
-      if (IdleLocked()) drain_cv_.NotifyAll();
+      // The reload barrier waits on in_flight_ alone (the queue may be
+      // non-empty behind it), so notify on that, not on IdleLocked().
+      if (in_flight_ == 0) drain_cv_.NotifyAll();
     }
   }
 }
 
-Response QueryServer::Execute(const Item& item, std::size_t depth_at_dequeue,
+Response QueryServer::Execute(const QueryEngine& engine, const Item& item,
+                              std::size_t depth_at_dequeue,
                               obs::QueryMetrics* metrics) const {
   const Request& request = item.request;
   Response response;
@@ -253,7 +327,7 @@ Response QueryServer::Execute(const Item& item, std::size_t depth_at_dequeue,
         Clock::now() - item.admitted);
     // A failed query may have latched an error on the shared backend;
     // consume it so one transient fault cannot poison later queries.
-    if (!response.status.ok()) engine_.backend()->ClearError();
+    if (!response.status.ok()) engine.backend()->ClearError();
     return response;
   };
 
@@ -263,20 +337,20 @@ Response QueryServer::Execute(const Item& item, std::size_t depth_at_dequeue,
   Status pre = token.Check();
   if (!pre.ok()) return finish(std::move(pre));
 
-  if (request.query_id >= engine_.database_size()) {
+  if (request.query_id >= engine.database_size()) {
     return finish(Status::OutOfRange(
         "query_id " + std::to_string(request.query_id) + " not in [0, " +
-        std::to_string(engine_.database_size()) + ")"));
+        std::to_string(engine.database_size()) + ")"));
   }
   StatusOr<storage::SeriesHandle> handle =
-      engine_.backend()->TryFetch(request.query_id, nullptr);
+      engine.backend()->TryFetch(request.query_id, nullptr);
   if (!handle.ok()) return finish(handle.status());
   const Series query(handle->data(), handle->data() + handle->length());
 
   switch (request.op) {
     case RequestOp::kNearest: {
       StatusOr<ScanResult> result =
-          engine_.SearchChecked(query, &token, metrics);
+          engine.SearchChecked(query, &token, metrics);
       if (!result.ok()) return finish(result.status());
       if (result->best_index >= 0) {
         response.neighbors.push_back(Neighbor{result->best_index,
@@ -287,14 +361,14 @@ Response QueryServer::Execute(const Item& item, std::size_t depth_at_dequeue,
       return finish(Status::Ok());
     }
     case RequestOp::kKnn: {
-      StatusOr<std::vector<Neighbor>> result = engine_.KnnChecked(
+      StatusOr<std::vector<Neighbor>> result = engine.KnnChecked(
           query, response.effective_k, nullptr, &token, metrics);
       if (!result.ok()) return finish(result.status());
       response.neighbors = *std::move(result);
       return finish(Status::Ok());
     }
     case RequestOp::kRange: {
-      StatusOr<std::vector<Neighbor>> result = engine_.RangeChecked(
+      StatusOr<std::vector<Neighbor>> result = engine.RangeChecked(
           query, request.radius, nullptr, &token, metrics);
       if (!result.ok()) return finish(result.status());
       response.neighbors = *std::move(result);

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,6 +55,7 @@ struct ServerStats {
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;             ///< I/O or validation failures.
+  std::uint64_t reloads = 0;            ///< Completed engine swaps.
   /// Merged per-stage engine metrics (cascade attribution, storage I/O
   /// with retry counters, engine-side latency).
   obs::QueryMetrics engine_metrics;
@@ -79,6 +81,14 @@ struct ServerStats {
 /// stage boundary with a typed status. Returns true for a clean drain.
 /// The engine must outlive the server and have a StorageBackend (the
 /// legacy vector adapter is not servable).
+///
+/// Online reload (ISSUE 10): the engine is held as a generation-stamped
+/// shared_ptr swapped by SwapEngine. A swap is a barrier, not a restart:
+/// admission stays open (requests queue behind the reload), workers stop
+/// dequeuing, in-flight queries drain, the pointer flips atomically
+/// under engine_mutex_, and the queue resumes against the new
+/// generation. Queued requests are therefore answered by whichever
+/// generation is live when they are DEQUEUED — never by a mix.
 class QueryServer {
  public:
   /// Completion callback; runs on a worker thread. Must not call back
@@ -86,7 +96,14 @@ class QueryServer {
   using ResponseCallback =
       std::function<void(const Request&, const Response&)>;
 
+  /// Legacy non-owning binding: the caller keeps the engine alive for
+  /// the server's lifetime. SwapEngine still works (the swapped-in
+  /// engine is owned; the original is simply released unobserved).
   QueryServer(const QueryEngine& engine, const ServerOptions& options);
+  /// Owning binding for reloadable deployments; `generation` stamps the
+  /// initial snapshot (a later SwapEngine must advance past it).
+  QueryServer(std::shared_ptr<const QueryEngine> engine,
+              const ServerOptions& options, std::uint64_t generation = 0);
   ~QueryServer();
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
@@ -115,6 +132,21 @@ class QueryServer {
   /// Returns Drain's verdict. Idempotent.
   bool Shutdown() ROTIND_EXCLUDES(mutex_, stats_mutex_);
 
+  /// Atomic engine swap: rejects generation rollbacks (kInvalidArgument)
+  /// and swaps during shutdown (kCancelled); a concurrent swap returns
+  /// kOverloaded. Otherwise pauses dequeuing, waits for in-flight work
+  /// to drain (queued requests are retained), flips the engine pointer
+  /// + generation, and wakes the workers. Blocks the caller for at most
+  /// the tail latency of the in-flight set. `next` must have a
+  /// StorageBackend, like the constructor argument.
+  [[nodiscard]] Status SwapEngine(std::shared_ptr<const QueryEngine> next,
+                                  std::uint64_t generation)
+      ROTIND_EXCLUDES(mutex_, stats_mutex_, engine_mutex_);
+
+  /// Generation stamp of the live engine.
+  [[nodiscard]] std::uint64_t generation() const
+      ROTIND_EXCLUDES(engine_mutex_);
+
   [[nodiscard]] ServerStats stats() const ROTIND_EXCLUDES(stats_mutex_);
   [[nodiscard]] std::size_t queue_depth() const ROTIND_EXCLUDES(mutex_);
   [[nodiscard]] bool draining() const ROTIND_EXCLUDES(mutex_);
@@ -128,11 +160,14 @@ class QueryServer {
     bool has_deadline = false;
   };
 
-  void WorkerLoop() ROTIND_EXCLUDES(mutex_, stats_mutex_);
-  /// Runs one admitted request through the engine and fills the
-  /// response. `depth_at_dequeue` drives the degradation decision;
-  /// per-query engine metrics land in `*metrics` for the stats merge.
-  Response Execute(const Item& item, std::size_t depth_at_dequeue,
+  void WorkerLoop() ROTIND_EXCLUDES(mutex_, stats_mutex_, engine_mutex_);
+  /// Runs one admitted request through `engine` and fills the response.
+  /// The worker pins the engine snapshot it dequeued under, so a swap
+  /// completing mid-query cannot pull the engine out from under it.
+  /// `depth_at_dequeue` drives the degradation decision; per-query
+  /// engine metrics land in `*metrics` for the stats merge.
+  Response Execute(const QueryEngine& engine, const Item& item,
+                   std::size_t depth_at_dequeue,
                    obs::QueryMetrics* metrics) const;
   void RecordOutcome(const Item& item, const Response& response,
                      const obs::QueryMetrics& metrics)
@@ -142,19 +177,28 @@ class QueryServer {
     return queue_.empty() && in_flight_ == 0;
   }
 
-  const QueryEngine& engine_;
   const ServerOptions options_;
+
+  /// kEngineGen nests inside kServeQueue (SwapEngine holds mutex_ across
+  /// the drain barrier and flips the pointer under both) and inside
+  /// nothing else: workers copy the shared_ptr with only engine_mutex_
+  /// held, then run the query lock-free.
+  mutable Mutex engine_mutex_{LockRank::kEngineGen};
+  std::shared_ptr<const QueryEngine> engine_ ROTIND_GUARDED_BY(engine_mutex_);
+  std::uint64_t generation_ ROTIND_GUARDED_BY(engine_mutex_) = 0;
 
   /// kServeQueue is the top of the lock-order hierarchy: Submit holds it
   /// while taking stats_mutex_, and workers reach storage-layer mutexes
   /// only after releasing it.
   mutable Mutex mutex_{LockRank::kServeQueue};
-  CondVar work_cv_;   ///< Queue became non-empty / stop.
-  CondVar drain_cv_;  ///< Queue + in-flight hit zero.
+  CondVar work_cv_;   ///< Queue became non-empty / stop / reload done.
+  CondVar drain_cv_;  ///< In-flight hit zero (drain + reload barrier).
   std::deque<Item> queue_ ROTIND_GUARDED_BY(mutex_);
   std::size_t in_flight_ ROTIND_GUARDED_BY(mutex_) = 0;
   /// Admission stopped.
   bool draining_ ROTIND_GUARDED_BY(mutex_) = false;
+  /// A SwapEngine barrier is up: workers park instead of dequeuing.
+  bool reloading_ ROTIND_GUARDED_BY(mutex_) = false;
   /// Workers exit once the queue is empty.
   bool stopping_ ROTIND_GUARDED_BY(mutex_) = false;
   bool started_ ROTIND_GUARDED_BY(mutex_) = false;

@@ -1,0 +1,128 @@
+#ifndef ROTIND_STORAGE_MANIFEST_H_
+#define ROTIND_STORAGE_MANIFEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+
+namespace rotind::storage {
+
+/// Shard-set manifest ("RMAN" container, version 1): the single small file
+/// that names which RIDX shards make up one index GENERATION, plus the
+/// tombstone set masking deleted shard rows. The manifest is the unit of
+/// atomic publication — a new generation (after compaction or ingest)
+/// becomes visible by atomically renaming a fully-written temp file over
+/// the old manifest, so readers observe either the old complete generation
+/// or the new complete generation, never a mixture.
+///
+/// Layout (little-endian, both checksums 64-bit FNV-1a):
+///
+///   +--------------------------------------------------------------+
+///   | header (44 bytes, fixed)                                     |
+///   |   magic "RMAN" | version u32 | generation u64                |
+///   |   shard_count u64 | tombstone_count u64                      |
+///   |   header checksum u64 (over the 36 bytes before it)          |
+///   +--------------------------------------------------------------+
+///   | shard table: shard_count x                                   |
+///   |   {name_len u32, name bytes, count u64, length u64}          |
+///   | tombstones: tombstone_count x u64, strictly ascending,       |
+///   |   each < the sum of shard counts                             |
+///   | body checksum u64 (over everything between the header        |
+///   |   checksum and this field)                                   |
+///   +--------------------------------------------------------------+
+///
+/// Shard names are paths RELATIVE to the manifest's own directory (no '/'
+/// allowed, no NUL, 1..255 bytes), so a shard set moves as one directory.
+/// Tombstones address GLOBAL shard rows: shard s's rows occupy positions
+/// [sum(count of shards < s), ...) of the concatenated set.
+///
+/// Error taxonomy mirrors the RIDX container (src/storage/index_file.h):
+///   kBadMagic         not a RMAN file
+///   kVersionMismatch  written by an incompatible version
+///   kTruncated        file ends before the sections its header promises
+///   kCorruptHeader    checksum mismatch or internally absurd fields
+///   kIoError          read/write/rename failure on the filesystem
+///
+/// A generation ROLLBACK (opening a manifest whose generation is not
+/// greater than the generation already being served) is deliberately NOT a
+/// parse error — the bytes are well-formed — it is a reload-policy
+/// rejection, enforced where a generation is swapped in (ShardedIndex
+/// reopen, QueryServer::SwapEngine).
+
+inline constexpr char kManifestMagic[4] = {'R', 'M', 'A', 'N'};
+inline constexpr std::uint32_t kManifestVersion = 1;
+/// Fixed header size: magic (4) + version (4) + generation (8) +
+/// shard_count (8) + tombstone_count (8) + header checksum (8).
+inline constexpr std::size_t kManifestHeaderBytes = 40;
+/// Shard-name length cap; also the absurdity bound for name_len fields.
+inline constexpr std::size_t kMaxShardNameBytes = 255;
+/// Absurdity bound on shard_count: no real deployment approaches it, and
+/// it keeps a corrupt count field from driving a giant allocation before
+/// the truncation check can fire.
+inline constexpr std::uint64_t kMaxManifestShards = 1u << 20;
+
+/// One shard entry: a RIDX file (relative to the manifest directory) and
+/// the shape the manifest writer recorded for it. The recorded count and
+/// length let a reader cross-check the opened shard against what the
+/// generation expects (a swapped-out shard file is a corruption, not a
+/// surprise).
+struct ManifestShard {
+  std::string file;
+  std::uint64_t count = 0;   ///< Series in the shard.
+  std::uint64_t length = 0;  ///< Common series length.
+};
+
+struct Manifest {
+  std::uint64_t generation = 0;
+  std::vector<ManifestShard> shards;
+  /// Deleted global shard-row ids, strictly ascending, each < total_count().
+  std::vector<std::uint64_t> tombstones;
+
+  /// Sum of shard counts (the global shard-row id space).
+  [[nodiscard]] std::uint64_t total_count() const;
+};
+
+/// Parses an in-memory manifest image. This is the fuzzing entry point
+/// (tools/rotind_fuzz_load.cc): any byte string must map to a Status or a
+/// Manifest, never a crash or an unbounded allocation.
+[[nodiscard]] StatusOr<Manifest> ParseManifest(const char* data,
+                                               std::size_t size);
+
+/// Reads and parses `path`. kNotFound when the file cannot be opened.
+[[nodiscard]] StatusOr<Manifest> LoadManifest(const std::string& path);
+
+/// Renders `manifest` to its on-disk byte image. Validates shard names and
+/// the tombstone invariants (the writer refuses to produce an image its
+/// own parser would reject).
+[[nodiscard]] StatusOr<std::string> SerializeManifest(
+    const Manifest& manifest);
+
+/// Crash-injection hook for WriteManifest, exercising the two places an
+/// interrupted publication can die. Either way the OLD manifest at `path`
+/// must remain untouched and loadable — that is the property the swap
+/// tests pin down.
+enum class ManifestWriteFault {
+  kNone,
+  /// Die after the temp file is fully written but before the rename: the
+  /// publication never happened; a stale temp file may remain.
+  kCrashBeforeRename,
+  /// Die mid-write: the temp file holds a torn prefix and the rename never
+  /// runs.
+  kTornTempWrite,
+};
+
+/// Atomically publishes `manifest` at `path`: serializes, writes
+/// `path + ".tmp"`, and renames it over `path`. With a non-kNone fault the
+/// write stops at the corresponding point and returns kIoError, leaving
+/// any previous manifest at `path` intact.
+[[nodiscard]] Status WriteManifest(const Manifest& manifest,
+                                   const std::string& path,
+                                   ManifestWriteFault fault =
+                                       ManifestWriteFault::kNone);
+
+}  // namespace rotind::storage
+
+#endif  // ROTIND_STORAGE_MANIFEST_H_

@@ -17,10 +17,12 @@
 #include "src/core/flat_dataset.h"
 #include "src/datasets/synthetic.h"
 #include "src/index/index_io.h"
+#include "src/index/sharded_index.h"
 #include "src/lightcurve/lightcurve.h"
 #include "src/search/engine.h"
 #include "src/search/scan.h"
 #include "src/storage/backend.h"
+#include "src/storage/manifest.h"
 
 namespace rotind {
 namespace {
@@ -316,6 +318,167 @@ TEST_P(BackendEquivalenceTest, AllBackendsReturnBitIdenticalResults) {
   }
   std::remove(path.c_str());
 }
+
+/// Sharding is invisible to exactness: a ShardedIndex over ANY shard
+/// split of the database — with or without a delta segment and
+/// tombstones — answers 1-NN, k-NN, and range queries identically to one
+/// monolithic in-memory engine over the same live rows, for every
+/// cascade and measure, in both search modes. Serial mode is bit-exact
+/// including step counts (one engine over the concatenated view);
+/// parallel mode is bit-exact on answers (the SharedBound exchange only
+/// tightens pruning) — its step counts legitimately differ with
+/// interleaving, and its k-NN index choice could differ from the
+/// monolithic heap's only under exact k-th-distance ties, which this
+/// tie-free workload does not produce.
+class ShardEquivalenceTest : public ::testing::TestWithParam<DistanceKind> {};
+
+TEST_P(ShardEquivalenceTest, ShardedMatchesMonolithicOverLiveRows) {
+  const DistanceKind kind = GetParam();
+  const std::vector<Series> base = MakeProjectilePointsDatabase(21, 36, 701);
+  const std::vector<Series> extra = MakeProjectilePointsDatabase(4, 36, 702);
+  const std::string prefix = "/tmp/rotind_shardeq." +
+                             std::to_string(::getpid()) + "." +
+                             DistanceKindName(kind);
+  IndexBuildOptions build;
+  build.sig_dims = 4;
+  build.paa_dims = 4;
+  build.page_size_bytes = 256;
+
+  std::vector<std::string> scratch_files;
+  for (const std::size_t shard_count : {1u, 2u, 4u, 7u}) {
+    // Uneven contiguous split: the first `extra_rows` shards take one more.
+    const std::string manifest_path =
+        prefix + ".s" + std::to_string(shard_count) + ".rman";
+    scratch_files.push_back(manifest_path);
+    storage::Manifest manifest;
+    manifest.generation = 1;
+    std::size_t row = 0;
+    const std::size_t per = base.size() / shard_count;
+    const std::size_t extra_rows = base.size() % shard_count;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const std::size_t count = per + (s < extra_rows ? 1 : 0);
+      const std::string file = "rotind_shardeq." + std::to_string(::getpid()) +
+                               "." + std::string(DistanceKindName(kind)) +
+                               ".s" + std::to_string(shard_count) + "." +
+                               std::to_string(s) + ".ridx";
+      Dataset part;
+      part.items.assign(base.begin() + static_cast<std::ptrdiff_t>(row),
+                        base.begin() +
+                            static_cast<std::ptrdiff_t>(row + count));
+      ASSERT_TRUE(BuildIndexFile(part, build, "/tmp/" + file).ok());
+      scratch_files.push_back("/tmp/" + file);
+      manifest.shards.push_back(storage::ManifestShard{
+          file, static_cast<std::uint64_t>(count), 36});
+      row += count;
+    }
+    ASSERT_TRUE(storage::WriteManifest(manifest, manifest_path).ok());
+
+    for (const bool parallel : {false, true}) {
+      for (const CascadeSpec& cascade : MakeCascades(kind)) {
+        ShardedOptions options;
+        options.parallel_search = parallel;
+        options.num_threads = 3;
+        options.pool_pages = 4;
+        options.engine.kind = kind;
+        options.engine.band = 4;
+        options.engine.cascade = cascade;
+        StatusOr<std::unique_ptr<ShardedIndex>> opened =
+            ShardedIndex::Open(manifest_path, options);
+        ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+        ShardedIndex& index = **opened;
+
+        // Three cumulative mutation stages: pristine shards, plus delta
+        // inserts, plus tombstones over both shard and delta rows.
+        std::vector<Series> all_rows = base;
+        std::vector<bool> dead(base.size(), false);
+        for (int stage = 0; stage < 3; ++stage) {
+          if (stage == 1) {
+            for (const Series& s : extra) {
+              ASSERT_TRUE(index.Insert(s).ok());
+              all_rows.push_back(s);
+              dead.push_back(false);
+            }
+          } else if (stage == 2) {
+            for (const std::uint64_t id : {3u, 15u, 22u}) {
+              ASSERT_TRUE(index.Remove(id).ok());
+              dead[id] = true;
+            }
+          }
+
+          // Monolithic reference over the live rows, ordinal order.
+          std::vector<Series> live;
+          std::vector<int> live_ids;
+          for (std::size_t i = 0; i < all_rows.size(); ++i) {
+            if (dead[i]) continue;
+            live.push_back(all_rows[i]);
+            live_ids.push_back(static_cast<int>(i));
+          }
+          const FlatDataset flat = FlatDataset::FromItems(live);
+          const QueryEngine reference(flat, options.engine);
+
+          for (const std::size_t qi : {2u, 13u}) {
+            const Series& query = base[qi];
+            const std::string label =
+                std::string(DistanceKindName(kind)) + "/s" +
+                std::to_string(shard_count) +
+                (parallel ? "/parallel" : "/serial") + "/" +
+                CascadeName(cascade) + "/stage" + std::to_string(stage) +
+                "/q" + std::to_string(qi);
+
+            const ScanResult ref = reference.Search(query);
+            StatusOr<ScanResult> got = index.Search(query);
+            ASSERT_TRUE(got.ok()) << label;
+            ASSERT_GE(ref.best_index, 0) << label;
+            EXPECT_EQ(got->best_index, live_ids[static_cast<std::size_t>(
+                                           ref.best_index)])
+                << label;
+            EXPECT_EQ(got->best_distance, ref.best_distance) << label;
+            if (!parallel) {
+              EXPECT_EQ(got->counter.total_steps(),
+                        ref.counter.total_steps())
+                  << label;
+            }
+
+            const auto ref_knn = reference.Knn(query, 3);
+            StatusOr<std::vector<Neighbor>> knn = index.Knn(query, 3);
+            ASSERT_TRUE(knn.ok()) << label;
+            ASSERT_EQ(knn->size(), ref_knn.size()) << label;
+            for (std::size_t r = 0; r < knn->size(); ++r) {
+              EXPECT_EQ((*knn)[r].index,
+                        live_ids[static_cast<std::size_t>(ref_knn[r].index)])
+                  << label << " rank " << r;
+              EXPECT_EQ((*knn)[r].distance, ref_knn[r].distance)
+                  << label << " rank " << r;
+            }
+
+            const double radius = ref_knn.back().distance * 1.01;
+            const auto ref_range = reference.Range(query, radius);
+            StatusOr<std::vector<Neighbor>> range =
+                index.Range(query, radius);
+            ASSERT_TRUE(range.ok()) << label;
+            ASSERT_EQ(range->size(), ref_range.size()) << label;
+            for (std::size_t r = 0; r < range->size(); ++r) {
+              EXPECT_EQ((*range)[r].index,
+                        live_ids[static_cast<std::size_t>(
+                            ref_range[r].index)])
+                  << label << " hit " << r;
+              EXPECT_EQ((*range)[r].distance, ref_range[r].distance)
+                  << label << " hit " << r;
+            }
+          }
+        }
+      }
+    }
+  }
+  for (const std::string& path : scratch_files) std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ShardEquivalenceTest,
+                         ::testing::Values(DistanceKind::kEuclidean,
+                                           DistanceKind::kDtw),
+                         [](const ::testing::TestParamInfo<DistanceKind>& p) {
+                           return std::string(DistanceKindName(p.param));
+                         });
 
 INSTANTIATE_TEST_SUITE_P(Kinds, BackendEquivalenceTest,
                          ::testing::Values(DistanceKind::kEuclidean,

@@ -1,0 +1,253 @@
+/// Shard-set manifest (RMAN): serialize/parse roundtrip fidelity, the
+/// corruption taxonomy (truncation, bad magic, checksum, version, count
+/// absurdities, trailing bytes), writer-side validation, and the
+/// crash-safety contract of WriteManifest — a writer killed between the
+/// temp write and the rename must leave the previous generation loadable.
+
+#include "src/storage/manifest.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/io/bytes.h"
+
+namespace rotind::storage {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return "/tmp/rotind_manifest_test." + std::to_string(::getpid()) + "." +
+         tag + ".rman";
+}
+
+Manifest MakeManifest() {
+  Manifest m;
+  m.generation = 7;
+  m.shards.push_back(ManifestShard{"shard-0.ridx", 5, 16});
+  m.shards.push_back(ManifestShard{"shard-1.ridx", 3, 16});
+  m.shards.push_back(ManifestShard{"shard-g6.ridx", 2, 16});
+  m.tombstones = {0, 4, 9};
+  return m;
+}
+
+std::string MustSerialize(const Manifest& m) {
+  StatusOr<std::string> image = SerializeManifest(m);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  return image.ok() ? *image : std::string();
+}
+
+TEST(ManifestTest, RoundtripPreservesEveryField) {
+  const Manifest m = MakeManifest();
+  const std::string image = MustSerialize(m);
+  StatusOr<Manifest> parsed = ParseManifest(image.data(), image.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->generation, 7u);
+  ASSERT_EQ(parsed->shards.size(), 3u);
+  EXPECT_EQ(parsed->shards[0].file, "shard-0.ridx");
+  EXPECT_EQ(parsed->shards[0].count, 5u);
+  EXPECT_EQ(parsed->shards[2].file, "shard-g6.ridx");
+  EXPECT_EQ(parsed->shards[2].length, 16u);
+  EXPECT_EQ(parsed->tombstones, (std::vector<std::uint64_t>{0, 4, 9}));
+  EXPECT_EQ(parsed->total_count(), 10u);
+}
+
+TEST(ManifestTest, EmptyTombstoneListRoundtrips) {
+  Manifest m = MakeManifest();
+  m.tombstones.clear();
+  const std::string image = MustSerialize(m);
+  StatusOr<Manifest> parsed = ParseManifest(image.data(), image.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->tombstones.empty());
+}
+
+/// Every proper prefix of a valid image must be a typed error — never a
+/// crash, never a silently-parsed partial manifest.
+TEST(ManifestTest, EveryTruncationIsTypedNeverAccepted) {
+  const std::string image = MustSerialize(MakeManifest());
+  for (std::size_t cut = 0; cut < image.size(); ++cut) {
+    StatusOr<Manifest> parsed = ParseManifest(image.data(), cut);
+    ASSERT_FALSE(parsed.ok()) << "prefix of " << cut << " bytes parsed";
+    const StatusCode code = parsed.status().code();
+    EXPECT_TRUE(code == StatusCode::kTruncated ||
+                code == StatusCode::kBadMagic ||
+                code == StatusCode::kCorruptHeader)
+        << "prefix " << cut << ": " << parsed.status().ToString();
+  }
+}
+
+TEST(ManifestTest, CorruptionTaxonomy) {
+  const std::string image = MustSerialize(MakeManifest());
+
+  {  // Wrong magic.
+    std::string bad = image;
+    bad[0] = 'X';
+    StatusOr<Manifest> parsed = ParseManifest(bad.data(), bad.size());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kBadMagic);
+  }
+  {  // A flipped generation byte breaks the header checksum FIRST —
+     // corruption must not masquerade as a plausible other generation.
+    std::string bad = image;
+    bad[8] = static_cast<char>(bad[8] ^ 0x01);
+    StatusOr<Manifest> parsed = ParseManifest(bad.data(), bad.size());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+  }
+  {  // Version check runs under an intact checksum: rewrite version AND
+     // recompute the checksum to isolate the version verdict.
+    std::string bad = image;
+    const std::uint32_t version = 99;
+    std::memcpy(bad.data() + 4, &version, sizeof version);
+    const std::uint64_t checksum =
+        Fnv1a64(bad.data(), kManifestHeaderBytes - sizeof(std::uint64_t));
+    std::memcpy(bad.data() + kManifestHeaderBytes - sizeof(std::uint64_t),
+                &checksum, sizeof checksum);
+    StatusOr<Manifest> parsed = ParseManifest(bad.data(), bad.size());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kVersionMismatch);
+  }
+  {  // Body corruption: flip a shard-name byte.
+    std::string bad = image;
+    bad[kManifestHeaderBytes + 5] =
+        static_cast<char>(bad[kManifestHeaderBytes + 5] ^ 0xFF);
+    StatusOr<Manifest> parsed = ParseManifest(bad.data(), bad.size());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+  }
+  {  // Trailing bytes after the body checksum.
+    const std::string bad = image + "x";
+    StatusOr<Manifest> parsed = ParseManifest(bad.data(), bad.size());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+  }
+  {  // Empty input.
+    StatusOr<Manifest> parsed = ParseManifest(image.data(), 0);
+    EXPECT_EQ(parsed.status().code(), StatusCode::kTruncated);
+  }
+}
+
+/// Every single-byte flip anywhere in the image must be caught by one of
+/// the two checksums (or an earlier structural check).
+TEST(ManifestTest, EverySingleByteFlipIsDetected) {
+  const std::string image = MustSerialize(MakeManifest());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::string bad = image;
+    bad[i] = static_cast<char>(bad[i] ^ 0xFF);
+    StatusOr<Manifest> parsed = ParseManifest(bad.data(), bad.size());
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(ManifestTest, WriterRefusesInvalidManifests) {
+  {  // Shard name with a path separator.
+    Manifest m = MakeManifest();
+    m.shards[1].file = "../escape.ridx";
+    EXPECT_FALSE(SerializeManifest(m).ok());
+  }
+  {  // Zero-count shard.
+    Manifest m = MakeManifest();
+    m.shards[0].count = 0;
+    EXPECT_FALSE(SerializeManifest(m).ok());
+  }
+  {  // Shards disagreeing on series length.
+    Manifest m = MakeManifest();
+    m.shards[2].length = 32;
+    EXPECT_FALSE(SerializeManifest(m).ok());
+  }
+  {  // Tombstone outside the shard-row id space.
+    Manifest m = MakeManifest();
+    m.tombstones = {10};
+    EXPECT_FALSE(SerializeManifest(m).ok());
+  }
+  {  // Tombstones not strictly ascending.
+    Manifest m = MakeManifest();
+    m.tombstones = {4, 4};
+    EXPECT_FALSE(SerializeManifest(m).ok());
+  }
+}
+
+TEST(ManifestTest, WriteLoadRoundtripThroughDisk) {
+  const std::string path = TempPath("roundtrip");
+  const Manifest m = MakeManifest();
+  ASSERT_TRUE(WriteManifest(m, path).ok());
+  StatusOr<Manifest> loaded = LoadManifest(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->generation, m.generation);
+  EXPECT_EQ(loaded->shards.size(), m.shards.size());
+  std::remove(path.c_str());
+}
+
+TEST(ManifestTest, LoadMissingFileIsNotFound) {
+  StatusOr<Manifest> loaded = LoadManifest(TempPath("nonexistent"));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+/// The crash-safety contract: a writer that dies mid-temp-write (torn
+/// image in the .tmp file, rename never ran) leaves the previously
+/// published generation byte-for-byte intact and loadable.
+TEST(ManifestTest, TornTempWriteLeavesPreviousGenerationLoadable) {
+  const std::string path = TempPath("torn");
+  Manifest gen1 = MakeManifest();
+  gen1.generation = 1;
+  ASSERT_TRUE(WriteManifest(gen1, path).ok());
+
+  Manifest gen2 = MakeManifest();
+  gen2.generation = 2;
+  const Status crashed =
+      WriteManifest(gen2, path, ManifestWriteFault::kTornTempWrite);
+  EXPECT_EQ(crashed.code(), StatusCode::kIoError);
+
+  StatusOr<Manifest> survivor = LoadManifest(path);
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+  EXPECT_EQ(survivor->generation, 1u);
+  // And the torn temp image itself must parse as a typed error, not a
+  // manifest (a recovery scan must not adopt it).
+  StatusOr<std::string> torn = ReadFileToString(path + ".tmp");
+  ASSERT_TRUE(torn.ok());
+  EXPECT_FALSE(ParseManifest(torn->data(), torn->size()).ok());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+/// Crash AFTER the complete temp write but BEFORE the rename: the new
+/// generation was never published; the old one still serves. A retry of
+/// the same write (the recovery path) then publishes cleanly.
+TEST(ManifestTest, CrashBeforeRenameNeverPublishesThenRetrySucceeds) {
+  const std::string path = TempPath("prerename");
+  Manifest gen1 = MakeManifest();
+  gen1.generation = 1;
+  ASSERT_TRUE(WriteManifest(gen1, path).ok());
+
+  Manifest gen2 = MakeManifest();
+  gen2.generation = 2;
+  const Status crashed =
+      WriteManifest(gen2, path, ManifestWriteFault::kCrashBeforeRename);
+  EXPECT_EQ(crashed.code(), StatusCode::kIoError);
+
+  StatusOr<Manifest> before_retry = LoadManifest(path);
+  ASSERT_TRUE(before_retry.ok());
+  EXPECT_EQ(before_retry->generation, 1u);
+
+  ASSERT_TRUE(WriteManifest(gen2, path).ok());
+  StatusOr<Manifest> after_retry = LoadManifest(path);
+  ASSERT_TRUE(after_retry.ok());
+  EXPECT_EQ(after_retry->generation, 2u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+/// First-ever publication (no previous generation on disk): a torn write
+/// leaves NO manifest at `path` — absence, not garbage.
+TEST(ManifestTest, TornFirstWriteLeavesNoManifest) {
+  const std::string path = TempPath("first");
+  Manifest m = MakeManifest();
+  const Status crashed =
+      WriteManifest(m, path, ManifestWriteFault::kTornTempWrite);
+  EXPECT_EQ(crashed.code(), StatusCode::kIoError);
+  EXPECT_EQ(LoadManifest(path).status().code(), StatusCode::kNotFound);
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace rotind::storage

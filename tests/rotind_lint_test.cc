@@ -490,6 +490,70 @@ TEST(RotindLintTest, DetectsAtomicOutsideAllowlist) {
   EXPECT_EQ(findings[0].file, "src/index/bad.cc");
 }
 
+/// The sharded-index edges: serve -> index (server opens shard sets via
+/// ShardedIndex) and index -> storage (manifest + backends) are legal;
+/// the inversions — index reaching up into serve, io reaching up into
+/// storage — are the seeded violations.
+TEST(RotindLintTest, ShardedIndexLayerEdges) {
+  const std::vector<SourceFile> allowed = {
+      {"src/serve/ok.cc",
+       "#include \"src/index/sharded_index.h\"\n"
+       "#include \"src/serve/protocol.h\"\n"},
+      {"src/index/ok.cc",
+       "#include \"src/storage/manifest.h\"\n"
+       "#include \"src/storage/backend.h\"\n"},
+      {"src/storage/ok.cc", "#include \"src/io/bytes.h\"\n"},
+  };
+  EXPECT_TRUE(CheckLayering(allowed).empty());
+
+  const std::vector<SourceFile> seeded = {
+      {"src/index/bad.cc", "#include \"src/serve/server.h\"\n"},
+      {"src/io/bad.cc", "#include \"src/storage/manifest.h\"\n"},
+  };
+  const std::vector<Finding> findings = CheckLayering(seeded);
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "layering");
+}
+
+/// Rule 6 acceptance: a stray fopen/std::rename in src/ outside the
+/// sanctioned io + storage layers is a finding — a raw rename can publish
+/// state the manifest never blessed.
+TEST(RotindLintTest, DetectsRawFileMutationOutsideStorage) {
+  const std::vector<SourceFile> files = {
+      {"src/search/bad.cc",
+       "void Dump() {\n"
+       "  FILE* f = fopen(\"x.bin\", \"wb\");\n"
+       "  std::rename(\"x.bin.tmp\", \"x.bin\");\n"
+       "}\n"},
+  };
+  const std::vector<Finding> findings = CheckRawFileMutation(files);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "raw-file-mutation");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_NE(findings[1].message.find("WriteManifest"), std::string::npos);
+}
+
+TEST(RotindLintTest, RawFileMutationExemptionsAreScoped) {
+  const std::vector<SourceFile> files = {
+      // The two sanctioned layers own the primitives.
+      {"src/storage/manifest.cc",
+       "std::rename(tmp.c_str(), path.c_str());\n"},
+      {"src/io/bytes.cc", "FILE* f = fopen(path.c_str(), \"wb\");\n"},
+      // Member calls and other libraries' qualified names are not libc.
+      {"src/index/ok.cc",
+       "journal.rename(\"a\", \"b\");\n"
+       "fs::rename(a, b);\n"},
+      // Prose and string literals never trip the rule.
+      {"src/search/ok.cc",
+       "// compaction does a rename (see storage/manifest.cc)\n"
+       "const char* kHint = \"fopen(3) semantics\";\n"},
+      // Tools/tests sit outside src/ and may do as they like.
+      {"tools/scratch.cc", "std::rename(\"a\", \"b\");\n"},
+  };
+  EXPECT_TRUE(CheckRawFileMutation(files).empty());
+}
+
 TEST(RotindLintTest, RunAllChecksAggregatesAndSorts) {
   const std::vector<SourceFile> files = {
       {"src/envelope/bad.cc",

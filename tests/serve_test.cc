@@ -122,6 +122,36 @@ TEST(ProtocolTest, FormatsOkAndErrorResponses) {
   EXPECT_EQ(err, "ERR DEADLINE_EXCEEDED op=knn id=9 msg=too slow");
 }
 
+TEST(ProtocolTest, AdminReloadLineParsesStrictly) {
+  EXPECT_TRUE(IsAdminRequest("reload"));
+  EXPECT_TRUE(IsAdminRequest("reload\r\n"));
+  EXPECT_TRUE(IsAdminRequest("reload db.rman"));
+  EXPECT_FALSE(IsAdminRequest("reloadx"));
+  EXPECT_FALSE(IsAdminRequest(" reload"));
+  EXPECT_FALSE(IsAdminRequest("RELOAD"));
+  EXPECT_FALSE(IsAdminRequest("nn 1"));
+
+  auto bare = ParseAdminRequest("reload\n");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(static_cast<int>(bare->op),
+            static_cast<int>(AdminRequest::Op::kReload));
+  EXPECT_TRUE(bare->path.empty());
+
+  auto with_path = ParseAdminRequest("reload snapshots/db.rman\r\n");
+  ASSERT_TRUE(with_path.ok());
+  EXPECT_EQ(with_path->path, "snapshots/db.rman");
+
+  // Same strictness as the query grammar: token count, control bytes,
+  // and the line-length cap are all enforced.
+  EXPECT_FALSE(ParseAdminRequest("reload a b").ok());
+  std::string control_byte = "reload ";
+  control_byte.push_back('\x01');
+  control_byte += "bad";
+  EXPECT_FALSE(ParseAdminRequest(control_byte).ok());
+  EXPECT_FALSE(ParseAdminRequest("reload  two-spaces").ok());
+  EXPECT_FALSE(ParseAdminRequest("reload " + std::string(5000, 'a')).ok());
+}
+
 /// Shared fixture: a small in-memory engine (the server contract needs a
 /// backend, which the FlatDataset constructor provides).
 class QueryServerTest : public ::testing::Test {
@@ -369,6 +399,102 @@ TEST_F(QueryServerTest, KillSwitchUnwindsStragglersTyped) {
   EXPECT_EQ(callbacks.load(), stats.admitted);
   EXPECT_GT(cancelled.load(), 0u);
   EXPECT_EQ(stats.cancelled, cancelled.load());
+}
+
+/// The atomic-swap contract under load: with queries streaming through a
+/// 4-worker pool, SwapEngine flips to a new generation mid-stream and
+/// EVERY successful answer is bit-exact for exactly one of the two
+/// generations — no torn reads, no query spanning both engines. The old
+/// generation's engine stays pinned by in-flight queries until their
+/// callbacks fire, then the swap barrier releases the queue onto the new
+/// one.
+TEST_F(QueryServerTest, ReloadSwapsAtomicallyUnderLoad) {
+  // Generation 2 is a "compacted" view: the first 30 rows of the same
+  // database. Self-queries answer distance 0 under both generations, so
+  // the discriminator is the SECOND-nearest neighbour's distance, which
+  // changes whenever a query's runner-up lived in rows 30..59.
+  const std::vector<Series> all = MakeProjectilePointsDatabase(60, 48, 515);
+  const std::vector<Series> subset(all.begin(), all.begin() + 30);
+  const FlatDataset flat2 = FlatDataset::FromItems(subset);
+  auto eng1 = std::make_shared<const QueryEngine>(flat_, EngineOptions());
+  auto eng2 = std::make_shared<const QueryEngine>(flat2, EngineOptions());
+
+  std::vector<double> second_nn_gen1(30), second_nn_gen2(30);
+  for (std::size_t q = 0; q < 30; ++q) {
+    second_nn_gen1[q] = eng1->Knn(all[q], 2)[1].distance;
+    second_nn_gen2[q] = eng2->Knn(all[q], 2)[1].distance;
+  }
+
+  ServerOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 32;
+  // Degradation would narrow k under queue pressure; this test needs the
+  // full k=2 answer to read the runner-up discriminator.
+  options.degrade_under_overload = false;
+  QueryServer server(eng1, options, 1);
+  EXPECT_EQ(server.generation(), 1u);
+  server.Start();
+
+  std::atomic<std::uint64_t> callbacks{0};
+  std::atomic<std::uint64_t> ok_answers{0};
+  std::atomic<int> torn{0};
+  const auto done = [&](const Request& rq, const Response& rs) {
+    ++callbacks;
+    if (!rs.status.ok()) return;
+    ++ok_answers;
+    ASSERT_EQ(rs.neighbors.size(), 2u);
+    const double d = rs.neighbors[1].distance;
+    const std::size_t q = rq.query_id;
+    if (d != second_nn_gen1[q] && d != second_nn_gen2[q]) ++torn;
+  };
+
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (i == 150) {
+      ASSERT_TRUE(server.SwapEngine(eng2, 2).ok());
+      EXPECT_EQ(server.generation(), 2u);
+    }
+    if (server.Submit(Knn(static_cast<std::size_t>(i) % 30, 2), done).ok()) {
+      ++accepted;
+    }
+  }
+  EXPECT_TRUE(server.Shutdown());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(callbacks.load(), stats.admitted);
+  EXPECT_EQ(stats.admitted, accepted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_GT(ok_answers.load(), 0u);
+  EXPECT_EQ(server.generation(), 2u);
+}
+
+/// Reload guard rails: generation rollback is refused typed (a stale
+/// manifest must never replace a newer live one), a null engine is
+/// refused, and a reload against a shut-down server is kCancelled.
+TEST_F(QueryServerTest, ReloadRefusesRollbackNullAndShutdown) {
+  auto next = std::make_shared<const QueryEngine>(flat_, EngineOptions());
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(
+      std::make_shared<const QueryEngine>(flat_, EngineOptions()), options, 5);
+  server.Start();
+
+  EXPECT_EQ(server.SwapEngine(next, 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.SwapEngine(next, 4).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.SwapEngine(nullptr, 9).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.generation(), 5u);
+  EXPECT_EQ(server.stats().reloads, 0u);
+
+  ASSERT_TRUE(server.SwapEngine(next, 6).ok());
+  EXPECT_EQ(server.generation(), 6u);
+  EXPECT_EQ(server.stats().reloads, 1u);
+
+  EXPECT_TRUE(server.Shutdown());
+  EXPECT_EQ(server.SwapEngine(next, 7).code(), StatusCode::kCancelled);
+  EXPECT_EQ(server.generation(), 6u);
 }
 
 TEST_F(QueryServerTest, ShutdownBeforeStartCancelsOrphansWithCallbacks) {

@@ -25,6 +25,7 @@
 #include "src/index/paa.h"
 #include "src/io/bytes.h"
 #include "src/storage/backend.h"
+#include "src/storage/manifest.h"
 
 namespace rotind::storage {
 namespace {
@@ -450,6 +451,54 @@ TEST(StorageFormatTest, OpenMissingFileIsNotFound) {
   const auto file = IndexFile::Open("/nonexistent/rotind.ridx");
   ASSERT_FALSE(file.ok());
   EXPECT_EQ(file.status().code(), StatusCode::kNotFound);
+}
+
+/// The shard-set manifest (RMAN) rides on the same corruption-taxonomy
+/// discipline as the RIDX format it points at: a torn or bit-flipped
+/// manifest is a TYPED refusal, and the atomic-rename publication protocol
+/// means a crash mid-swap leaves the previous generation byte-for-byte
+/// loadable. (manifest_test.cc holds the exhaustive taxonomy; this is the
+/// storage-format-level contract check.)
+TEST(StorageFormatTest, ManifestSharesTheCorruptionTaxonomy) {
+  Manifest m;
+  m.generation = 3;
+  m.shards.push_back(ManifestShard{"shard-0.ridx", 4, 8});
+  m.shards.push_back(ManifestShard{"shard-1.ridx", 2, 8});
+  const StatusOr<std::string> image = SerializeManifest(m);
+  ASSERT_TRUE(image.ok());
+
+  {  // Torn mid-header: kTruncated, same verdict family as RIDX.
+    const auto parsed = ParseManifest(image->data(), 10);
+    EXPECT_EQ(parsed.status().code(), StatusCode::kTruncated);
+  }
+  {  // RIDX magic in a manifest slot: kBadMagic, not a parse attempt.
+    std::string bad = *image;
+    std::memcpy(bad.data(), "RIDX", 4);
+    const auto parsed = ParseManifest(bad.data(), bad.size());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kBadMagic);
+  }
+  {  // Body bit-flip: caught by the body checksum as kCorruptHeader.
+    std::string bad = *image;
+    bad[bad.size() - 12] = static_cast<char>(bad[bad.size() - 12] ^ 0x40);
+    const auto parsed = ParseManifest(bad.data(), bad.size());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+  }
+
+  // Crash-mid-swap: generation 4's torn temp write must not disturb the
+  // published generation 3 image.
+  const std::string path = "/tmp/rotind_format_manifest." +
+                           std::to_string(::getpid()) + ".rman";
+  ASSERT_TRUE(WriteManifest(m, path).ok());
+  Manifest next = m;
+  next.generation = 4;
+  EXPECT_EQ(WriteManifest(next, path, ManifestWriteFault::kTornTempWrite)
+                .code(),
+            StatusCode::kIoError);
+  const StatusOr<Manifest> survivor = LoadManifest(path);
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_EQ(survivor->generation, 3u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 }  // namespace

@@ -32,7 +32,7 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"simd", {"core"}},
       {"cluster", {"core"}},
       {"distance", {"core", "simd"}},
-      {"obs", {"core", "simd"}},
+      {"obs", {"core", "io", "simd"}},
       {"io", {"core"}},
       {"storage", {"core", "io"}},
       {"shape", {"core"}},
@@ -43,7 +43,7 @@ const std::map<std::string, std::set<std::string>>& AllowedDeps() {
       {"stream", {"core", "cluster", "distance", "envelope"}},
       {"search", {"core", "cluster", "distance", "envelope", "fourier",
                   "obs", "simd", "storage"}},
-      {"serve", {"core", "obs", "search", "storage"}},
+      {"serve", {"core", "index", "obs", "search", "storage"}},
       {"index", {"core", "cluster", "distance", "envelope", "fourier", "obs",
                  "search", "storage"}},
       {"mining", {"core", "distance", "envelope", "fourier", "search"}},
@@ -593,12 +593,16 @@ std::vector<Finding> CheckAtomicAllowlist(const std::vector<SourceFile>& files) 
   // using one carries a standing justification here:
   //   core/cancel.h        lock-free cancel flag + shared kill-switch
   //   core/sync.h          the sync layer itself
+  //   search/engine.h      SharedBound: the cross-shard best-so-far CAS-min
+  //                        (a mutex would serialize the parallel scans it
+  //                        exists to speed up)
   //   search/engine.cc     ParallelFor work counter / failure latch
   //   serve/server.h       the server kill-switch (SYNC-EXEMPT'd member)
   //   storage/simulated_disk.h  concurrent fetch tallies
   static const std::set<std::string> kAllowed = {
-      "src/core/cancel.h", "src/core/sync.h", "src/search/engine.cc",
-      "src/serve/server.h", "src/storage/simulated_disk.h"};
+      "src/core/cancel.h", "src/core/sync.h", "src/search/engine.h",
+      "src/search/engine.cc", "src/serve/server.h",
+      "src/storage/simulated_disk.h"};
   static const std::regex kToken(R"(\bstd\s*::\s*atomic\b)");
   for (const SourceFile& file : files) {
     if (!StartsWith(file.path, "src/")) continue;
@@ -618,13 +622,56 @@ std::vector<Finding> CheckAtomicAllowlist(const std::vector<SourceFile>& files) 
   return findings;
 }
 
+std::vector<Finding> CheckRawFileMutation(
+    const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  // Direct libc file mutation outside the storage/io layers defeats the
+  // crash-safety story: a stray fopen can tear a file no checksum guards,
+  // and a stray rename can publish state the manifest never blessed. The
+  // sanctioned primitives are io::WriteStringToFile (temp-free whole-file
+  // write) and storage::WriteManifest (temp write + atomic rename).
+  static const std::regex kToken(R"(\b(?:std\s*::\s*)?(fopen|rename)\s*\()");
+  for (const SourceFile& file : files) {
+    if (!StartsWith(file.path, "src/")) continue;
+    if (StartsWith(file.path, "src/io/") ||
+        StartsWith(file.path, "src/storage/")) {
+      continue;
+    }
+    const std::string code = StripCommentsAndStrings(file.content);
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kToken);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t pos = static_cast<std::size_t>(it->position());
+      // Member calls (x.rename(...), p->rename(...)) and non-std qualified
+      // names (fs::rename matches with its qualifier OUTSIDE the token)
+      // are someone else's API, not the libc call.
+      std::size_t before = pos;
+      while (before > 0 && std::isspace(static_cast<unsigned char>(
+                               code[before - 1]))) {
+        --before;
+      }
+      if (before > 0 && (code[before - 1] == '.' || code[before - 1] == '>' ||
+                         code[before - 1] == ':')) {
+        continue;
+      }
+      findings.push_back(
+          {"raw-file-mutation", file.path, LineOfOffset(code, pos),
+           (*it)[1].str() +
+               "() in src/ outside src/io/ + src/storage/; write files "
+               "through io::WriteStringToFile and publish multi-file state "
+               "through storage::WriteManifest (temp write + atomic rename) "
+               "so crash safety stays provable in one place"});
+    }
+  }
+  return findings;
+}
+
 std::vector<Finding> RunAllChecks(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (auto* check :
        {CheckLayering, CheckNodiscard, CheckUncheckedValue,
         CheckKernelHygiene, CheckIntrinsicsOutsideSimd, CheckTestRegistration,
         CheckNolintReasons, CheckSyncPrimitives, CheckGuardedMembers,
-        CheckAtomicAllowlist}) {
+        CheckAtomicAllowlist, CheckRawFileMutation}) {
     std::vector<Finding> f = check(files);
     findings.insert(findings.end(), std::make_move_iterator(f.begin()),
                     std::make_move_iterator(f.end()));

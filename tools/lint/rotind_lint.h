@@ -116,6 +116,14 @@ struct Finding {
 [[nodiscard]] std::vector<Finding> CheckAtomicAllowlist(
     const std::vector<SourceFile>& files);
 
+/// Rule 6: direct libc file mutation (fopen / rename, plain or
+/// std-qualified) banned in src/ outside src/io/ + src/storage/ — file
+/// writes go through io::WriteStringToFile, atomic publication through
+/// storage::WriteManifest, so crash safety is auditable in one place.
+/// Member calls (x.rename(...)) and non-std qualified names are exempt.
+[[nodiscard]] std::vector<Finding> CheckRawFileMutation(
+    const std::vector<SourceFile>& files);
+
 /// All rules, findings ordered by (file, line).
 [[nodiscard]] std::vector<Finding> RunAllChecks(
     const std::vector<SourceFile>& files);

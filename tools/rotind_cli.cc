@@ -14,6 +14,11 @@
 ///   rotind discord  --db db.csv [--dtw --band 5]
 ///   rotind index build  --db db.csv --index db.ridx [--page-size 4096]
 ///                       [--dims 16] [--paa-dims 16]
+///   rotind index shard-build --db db.csv --manifest db.rman --shards 4
+///                       [--page-size 4096] [--dims 16] [--paa-dims 16]
+///   rotind index compact --manifest db.rman [--inserts more.csv]
+///                       [--tombstones 3,17,42] [--page-size 4096]
+///                       [--dims 16] [--paa-dims 16]
 ///   rotind index search --index db.ridx --query-db q.csv --query-index 5
 ///                       [--k 1] [--backend file|memory|simulated]
 ///                       [--db db.csv (memory/simulated)] [--pool-pages 64]
@@ -21,7 +26,8 @@
 ///                       [--metrics-json out.json]
 ///   rotind version  (prints the build version and the dispatched SIMD
 ///                    kernel tier; honours ROTIND_SIMD=avx2|scalar)
-///   rotind serve    --index db.ridx [--workers 4] [--queue-capacity 64]
+///   rotind serve    --index db.ridx | --manifest db.rman
+///                   [--workers 4] [--queue-capacity 64]
 ///                   [--default-deadline-ms D] [--drain-deadline-ms 5000]
 ///                   [--no-degrade] [--degraded-k 1] [--retry-attempts 3]
 ///                   [--fault-transient-prob p] [--fault-torn-prob p]
@@ -52,6 +58,16 @@
 ///
 /// --metrics-json writes the query's stage-attributed observability report
 /// (candidate flow, step attribution, wedge walk, latency) as JSON.
+///
+/// `index shard-build` splits the database into --shards contiguous RIDX
+/// shards (uneven split: the first `m % shards` shards get one extra row)
+/// next to a checksummed manifest published by atomic rename; `index
+/// compact` opens a manifest, stages --inserts / --tombstones in the delta
+/// segment, and folds them into a new manifest generation. `serve
+/// --manifest` serves a sharded index and accepts the admin line
+/// `reload [<manifest>]` on stdin: the server re-opens the manifest,
+/// drains in-flight queries, and atomically swaps the engine — a reload
+/// that does not advance the generation (rollback) is refused.
 ///
 /// `serve` runs a long-lived concurrent query server over the file
 /// backend: requests are read one per line from stdin (see
@@ -87,6 +103,7 @@
 #include "src/eval/classify.h"
 #include "src/index/candidate_scan.h"
 #include "src/index/index_io.h"
+#include "src/index/sharded_index.h"
 #include "src/io/serialize.h"
 #include "src/mining/motif.h"
 #include "src/obs/metrics.h"
@@ -96,6 +113,7 @@
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
 #include "src/storage/backend.h"
+#include "src/storage/manifest.h"
 
 namespace {
 
@@ -125,6 +143,11 @@ struct Args {
   // `index` subcommands.
   std::string index_path;
   std::string query_db_path;
+  // Sharded-index subcommands + `serve --manifest`.
+  std::string manifest_path;
+  std::string inserts_path;
+  std::string tombstones;  ///< Comma-separated global ids.
+  int shards = 4;
   std::string backend = "file";
   std::string eviction = "lru";
   std::size_t page_size = 4096;
@@ -255,9 +278,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
     args->subcommand = argv[2];
-    if (args->subcommand != "build" && args->subcommand != "search") {
+    if (args->subcommand != "build" && args->subcommand != "search" &&
+        args->subcommand != "shard-build" && args->subcommand != "compact") {
       std::fprintf(stderr,
-                   "unknown index subcommand '%s' (use build|search)\n",
+                   "unknown index subcommand '%s' (use "
+                   "build|search|shard-build|compact)\n",
                    args->subcommand.c_str());
       return false;
     }
@@ -334,6 +359,21 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* value = next();
       if (value == nullptr) return false;
       args->query_db_path = value;
+    } else if (flag == "--manifest") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->manifest_path = value;
+    } else if (flag == "--inserts") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->inserts_path = value;
+    } else if (flag == "--tombstones") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->tombstones = value;
+    } else if (flag == "--shards") {
+      if (!next_int(1, 1 << 20, &v)) return false;
+      args->shards = static_cast<int>(v);
     } else if (flag == "--backend") {
       const char* value = next();
       if (value == nullptr) return false;
@@ -681,6 +721,168 @@ int CmdIndexBuild(const Args& args) {
   return 0;
 }
 
+/// Directory of `path` for resolving manifest-relative shard files.
+std::string DirName(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Parses the --tombstones comma-separated global-id list.
+bool ParseIdList(const std::string& text, std::vector<std::uint64_t>* out) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    long v = 0;
+    if (!ParseInt("--tombstones", token.c_str(), 0,
+                  std::numeric_limits<long>::max(), &v)) {
+      return false;
+    }
+    out->push_back(static_cast<std::uint64_t>(v));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+int CmdIndexShardBuild(const Args& args) {
+  if (args.db_path.empty() || args.manifest_path.empty()) {
+    std::fprintf(stderr, "index shard-build needs --db and --manifest\n");
+    return 2;
+  }
+  Dataset db;
+  if (!LoadDb(args.db_path, &db)) return 2;
+  const std::size_t shards = static_cast<std::size_t>(args.shards);
+  if (db.size() < shards) {
+    std::fprintf(stderr,
+                 "--shards %zu exceeds the %zu series in %s (every shard "
+                 "must be non-empty)\n",
+                 shards, db.size(), args.db_path.c_str());
+    return 2;
+  }
+  IndexBuildOptions build;
+  build.sig_dims = args.dims;
+  build.paa_dims = args.paa_dims;
+  build.page_size_bytes = args.page_size;
+
+  // Contiguous uneven split: base rows per shard, the first `extra`
+  // shards take one more. Global ids are manifest order, so row g of the
+  // database keeps global id g.
+  const std::string dir = DirName(args.manifest_path);
+  const std::size_t base = db.size() / shards;
+  const std::size_t extra = db.size() % shards;
+  storage::Manifest manifest;
+  manifest.generation = 1;
+  std::size_t row = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t count = base + (s < extra ? 1 : 0);
+    Dataset part;
+    part.items.assign(db.items.begin() + static_cast<std::ptrdiff_t>(row),
+                      db.items.begin() +
+                          static_cast<std::ptrdiff_t>(row + count));
+    if (db.labels.size() == db.size()) {
+      part.labels.assign(
+          db.labels.begin() + static_cast<std::ptrdiff_t>(row),
+          db.labels.begin() + static_cast<std::ptrdiff_t>(row + count));
+    }
+    const std::string shard_file = "shard-" + std::to_string(s) + ".ridx";
+    const Status ok = BuildIndexFile(part, build, dir + "/" + shard_file);
+    if (!ok.ok()) {
+      std::fprintf(stderr, "shard %zu build failed: %s\n", s,
+                   ok.ToString().c_str());
+      return ok.code() == StatusCode::kInvalidArgument ? 2 : 1;
+    }
+    manifest.shards.push_back(storage::ManifestShard{
+        shard_file, static_cast<std::uint64_t>(count),
+        static_cast<std::uint64_t>(db.length())});
+    row += count;
+  }
+  const Status published = storage::WriteManifest(manifest,
+                                                  args.manifest_path);
+  if (!published.ok()) {
+    std::fprintf(stderr, "manifest write failed: %s\n",
+                 published.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s: generation=1, %zu shards, %zu series of length %zu "
+      "(split %zu+%zu)\n",
+      args.manifest_path.c_str(), shards, db.size(), db.length(),
+      base + (extra > 0 ? 1 : 0), base);
+  return 0;
+}
+
+int CmdIndexCompact(const Args& args) {
+  if (args.manifest_path.empty()) {
+    std::fprintf(stderr, "index compact needs --manifest\n");
+    return 2;
+  }
+  StatusOr<std::unique_ptr<ShardedIndex>> opened =
+      ShardedIndex::Open(args.manifest_path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open manifest %s: %s\n",
+                 args.manifest_path.c_str(),
+                 opened.status().ToString().c_str());
+    return 2;
+  }
+  ShardedIndex& index = **opened;
+
+  std::size_t inserted = 0;
+  if (!args.inserts_path.empty()) {
+    Dataset more;
+    if (!LoadDb(args.inserts_path, &more)) return 2;
+    for (std::size_t i = 0; i < more.size(); ++i) {
+      const int label = more.labels.size() == more.size() ? more.labels[i]
+                                                          : 0;
+      StatusOr<std::uint64_t> id = index.Insert(more.items[i], label);
+      if (!id.ok()) {
+        std::fprintf(stderr, "insert %zu from %s failed: %s\n", i,
+                     args.inserts_path.c_str(),
+                     id.status().ToString().c_str());
+        return 2;
+      }
+      ++inserted;
+    }
+  }
+  std::size_t removed = 0;
+  if (!args.tombstones.empty()) {
+    std::vector<std::uint64_t> ids;
+    if (!ParseIdList(args.tombstones, &ids)) return 2;
+    for (const std::uint64_t id : ids) {
+      const Status gone = index.Remove(id);
+      if (!gone.ok()) {
+        std::fprintf(stderr, "tombstone %llu failed: %s\n",
+                     static_cast<unsigned long long>(id),
+                     gone.ToString().c_str());
+        return 2;
+      }
+      ++removed;
+    }
+  }
+
+  IndexBuildOptions build;
+  build.sig_dims = args.dims;
+  build.paa_dims = args.paa_dims;
+  build.page_size_bytes = args.page_size;
+  StatusOr<std::uint64_t> generation = index.Compact(build);
+  if (!generation.ok()) {
+    std::fprintf(stderr, "compaction failed: %s\n",
+                 generation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "compacted %s: generation=%llu, %zu shards, live=%zu "
+      "(+%zu inserts, -%zu tombstones)\n",
+      args.manifest_path.c_str(),
+      static_cast<unsigned long long>(*generation), index.shard_count(),
+      index.live_size(), inserted, removed);
+  return 0;
+}
+
 int CmdIndexSearch(const Args& args) {
   if (args.index_path.empty() && args.backend == "file") {
     std::fprintf(stderr, "index search --backend file needs --index\n");
@@ -863,36 +1065,78 @@ bool InstallShutdownHandlers() {
          sigaction(SIGTERM, &action, nullptr) == 0;
 }
 
+/// Sharded-serve configuration shared by startup and `reload`.
+ShardedOptions MakeShardedOptions(const Args& args) {
+  ShardedOptions options;
+  options.pool_pages = args.pool_pages;
+  options.eviction = args.eviction == "clock"
+                         ? storage::EvictionPolicy::kClock
+                         : storage::EvictionPolicy::kLru;
+  options.tuning.retry.max_attempts = args.retry_attempts;
+  options.tuning.faults.seed = args.fault_seed;
+  options.tuning.faults.transient_read_prob = args.fault_transient_prob;
+  options.tuning.faults.torn_page_prob = args.fault_torn_prob;
+  options.tuning.faults.latency_spike_prob = args.fault_latency_prob;
+  options.engine.kind =
+      args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean;
+  options.engine.band = args.band;
+  options.engine.rotation.mirror = args.mirror;
+  options.engine.rotation.max_shift = args.max_shift;
+  return options;
+}
+
 int CmdServe(const Args& args) {
-  if (args.index_path.empty()) {
-    std::fprintf(stderr, "serve needs --index\n");
+  if (args.index_path.empty() == args.manifest_path.empty()) {
+    std::fprintf(stderr,
+                 "serve needs exactly one of --index or --manifest\n");
     return 2;
   }
-  EngineOptions options;
-  options.kind = args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean;
-  options.band = args.band;
-  options.rotation.mirror = args.mirror;
-  options.rotation.max_shift = args.max_shift;
-  options.storage.backend = storage::BackendKind::kFile;
-  options.storage.index_path = args.index_path;
-  options.storage.pool_pages = args.pool_pages;
-  options.storage.eviction = args.eviction == "clock"
-                                 ? storage::EvictionPolicy::kClock
-                                 : storage::EvictionPolicy::kLru;
-  options.storage.retry.max_attempts = args.retry_attempts;
-  options.storage.faults.seed = args.fault_seed;
-  options.storage.faults.transient_read_prob = args.fault_transient_prob;
-  options.storage.faults.torn_page_prob = args.fault_torn_prob;
-  options.storage.faults.latency_spike_prob = args.fault_latency_prob;
 
-  StatusOr<std::unique_ptr<QueryEngine>> engine = QueryEngine::Open(options);
-  if (!engine.ok()) {
-    // Server-mode contract: a fatal open failure is exit 1, not 2 — the
-    // flags were fine, the storage was not.
-    std::fprintf(stderr, "serve: cannot open index %s: %s\n",
-                 args.index_path.c_str(),
-                 engine.status().ToString().c_str());
-    return 1;
+  // Server-mode contract: a fatal open failure is exit 1, not 2 — the
+  // flags were fine, the storage was not.
+  std::shared_ptr<const QueryEngine> engine;
+  std::uint64_t generation = 0;
+  if (!args.manifest_path.empty()) {
+    StatusOr<std::unique_ptr<ShardedIndex>> sharded =
+        ShardedIndex::Open(args.manifest_path, MakeShardedOptions(args));
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "serve: cannot open manifest %s: %s\n",
+                   args.manifest_path.c_str(),
+                   sharded.status().ToString().c_str());
+      return 1;
+    }
+    // The engine owns its snapshot (shards included); the ShardedIndex
+    // handle itself is not needed once the engine is built — reloads
+    // re-open the manifest from scratch.
+    engine = (*sharded)->SnapshotEngine();
+    generation = (*sharded)->generation();
+  } else {
+    EngineOptions options;
+    options.kind = args.dtw ? DistanceKind::kDtw : DistanceKind::kEuclidean;
+    options.band = args.band;
+    options.rotation.mirror = args.mirror;
+    options.rotation.max_shift = args.max_shift;
+    options.storage.backend = storage::BackendKind::kFile;
+    options.storage.index_path = args.index_path;
+    options.storage.pool_pages = args.pool_pages;
+    options.storage.eviction = args.eviction == "clock"
+                                   ? storage::EvictionPolicy::kClock
+                                   : storage::EvictionPolicy::kLru;
+    options.storage.retry.max_attempts = args.retry_attempts;
+    options.storage.faults.seed = args.fault_seed;
+    options.storage.faults.transient_read_prob = args.fault_transient_prob;
+    options.storage.faults.torn_page_prob = args.fault_torn_prob;
+    options.storage.faults.latency_spike_prob = args.fault_latency_prob;
+
+    StatusOr<std::unique_ptr<QueryEngine>> opened =
+        QueryEngine::Open(options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "serve: cannot open index %s: %s\n",
+                   args.index_path.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::shared_ptr<const QueryEngine>(*std::move(opened));
   }
 
   serve::ServerOptions server_options;
@@ -905,7 +1149,7 @@ int CmdServe(const Args& args) {
   server_options.degrade_under_overload = !args.no_degrade;
   server_options.degraded_k = args.degraded_k;
 
-  serve::QueryServer server(**engine, server_options);
+  serve::QueryServer server(std::move(engine), server_options, generation);
   server.Start();
 
   // Responses arrive on worker threads; rejections are printed inline from
@@ -929,6 +1173,7 @@ int CmdServe(const Args& args) {
 
   // Raw read(2) loop, not iostreams: the signal handler interrupts the
   // syscall (EINTR) so a SIGTERM with no traffic still drains promptly.
+  std::string current_manifest = args.manifest_path;
   std::string pending;
   char buf[4096];
   bool eof = false;
@@ -953,6 +1198,46 @@ int CmdServe(const Args& args) {
       const std::string_view line(pending.data() + start, nl - start);
       start = nl + 1;
       if (line.empty()) continue;
+      // Admin verbs never enter the query queue: `reload` re-opens the
+      // manifest and swaps the engine under the server's drain barrier.
+      if (serve::IsAdminRequest(line)) {
+        const auto reload_err = [&print_line](const Status& status) {
+          print_line("ERR " +
+                     std::string(StatusCodeName(status.code())) +
+                     " op=reload msg=" + status.message());
+        };
+        StatusOr<serve::AdminRequest> admin =
+            serve::ParseAdminRequest(line);
+        if (!admin.ok()) {
+          reload_err(admin.status());
+          continue;
+        }
+        if (current_manifest.empty() && admin->path.empty()) {
+          reload_err(Status::InvalidArgument(
+              "reload needs a manifest (server was started with --index; "
+              "pass `reload <manifest>` or restart with --manifest)"));
+          continue;
+        }
+        const std::string target =
+            admin->path.empty() ? current_manifest : admin->path;
+        StatusOr<std::unique_ptr<ShardedIndex>> next =
+            ShardedIndex::Open(target, MakeShardedOptions(args));
+        if (!next.ok()) {
+          reload_err(next.status());
+          continue;
+        }
+        const std::uint64_t next_generation = (*next)->generation();
+        const Status swapped =
+            server.SwapEngine((*next)->SnapshotEngine(), next_generation);
+        if (!swapped.ok()) {
+          reload_err(swapped);
+          continue;
+        }
+        current_manifest = target;
+        print_line("OK op=reload generation=" +
+                   std::to_string(next_generation));
+        continue;
+      }
       StatusOr<serve::Request> request = serve::ParseRequest(line);
       if (!request.ok()) {
         print_line("ERR " +
@@ -1023,8 +1308,10 @@ int main(int argc, char** argv) {
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "serve") return CmdServe(args);
   if (args.command == "index") {
-    return args.subcommand == "build" ? CmdIndexBuild(args)
-                                      : CmdIndexSearch(args);
+    if (args.subcommand == "build") return CmdIndexBuild(args);
+    if (args.subcommand == "shard-build") return CmdIndexShardBuild(args);
+    if (args.subcommand == "compact") return CmdIndexCompact(args);
+    return CmdIndexSearch(args);
   }
 
   if (args.command != "info" && args.command != "search" &&

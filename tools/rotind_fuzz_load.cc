@@ -1,8 +1,9 @@
 /// Fuzzing entry point for the untrusted-input surfaces: the dataset
 /// loaders (binary container and UCR text), the paged RIDX index
-/// reader, and the serve wire protocol's request parser. One input image
-/// is fed to ALL parsers; any crash, sanitizer report, or runaway
-/// allocation is a bug, since every malformed input must map to a Status.
+/// reader, the shard-set manifest parser, and the serve wire protocol's
+/// request + admin parsers. One input image is fed to ALL parsers; any
+/// crash, sanitizer report, or runaway allocation is a bug, since every
+/// malformed input must map to a Status.
 ///
 /// Two build modes:
 ///
@@ -37,6 +38,7 @@
 #include "src/serve/protocol.h"
 #include "src/storage/backend.h"
 #include "src/storage/index_file.h"
+#include "src/storage/manifest.h"
 
 namespace {
 
@@ -92,8 +94,27 @@ void ExerciseParsers(const std::uint8_t* data, std::size_t size) {
         response.effective_k = request->k;
         (void)serve::FormatResponse(*request, response);
       }
+      // Admin grammar rides the same line transport; both the dispatch
+      // test and the strict parse must hold for arbitrary bytes.
+      if (serve::IsAdminRequest(line)) {
+        (void)serve::ParseAdminRequest(line);
+      }
       if (eol == std::string_view::npos) break;
       rest.remove_prefix(eol + 1);
+    }
+  }
+
+  // Shard-set manifest: the reload path's untrusted surface. A manifest
+  // that parses must also re-serialize (writer/parser agreement) — and
+  // the serialized image must parse back to the same logical manifest.
+  {
+    StatusOr<storage::Manifest> manifest =
+        storage::ParseManifest(bytes, size);
+    if (manifest.ok()) {
+      StatusOr<std::string> image = storage::SerializeManifest(*manifest);
+      if (image.ok()) {
+        (void)storage::ParseManifest(image->data(), image->size());
+      }
     }
   }
 
@@ -208,6 +229,57 @@ std::vector<std::string> BuiltInCorpus() {
       corpus.push_back(std::move(image));
     }
   }
+
+  // Shard-set manifest seeds: a genuine two-shard image with tombstones,
+  // every truncation prefix, a bit-flip sweep (header checksum, version,
+  // generation-rollback bait, shard-count mismatches), and structural
+  // near-misses.
+  {
+    storage::Manifest manifest;
+    manifest.generation = 3;
+    manifest.shards.push_back(storage::ManifestShard{"shard-0.ridx", 5, 8});
+    manifest.shards.push_back(storage::ManifestShard{"shard-1.ridx", 3, 8});
+    manifest.tombstones = {1, 6};
+    StatusOr<std::string> serialized = storage::SerializeManifest(manifest);
+    if (serialized.ok()) {
+      const std::string& image = *serialized;
+      for (std::size_t cut = 0; cut <= image.size(); ++cut) {
+        corpus.push_back(image.substr(0, cut));
+      }
+      for (std::size_t i = 0; i < image.size(); ++i) {
+        std::string mutated = image;
+        mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+        corpus.push_back(std::move(mutated));
+      }
+      // Generation rollback bait: zero the generation field (offset 8)
+      // outright — parses fine, rejected only at the swap point.
+      std::string rollback = image;
+      for (std::size_t i = 8; i < 16 && i < rollback.size(); ++i) {
+        rollback[i] = '\0';
+      }
+      corpus.push_back(std::move(rollback));
+      // Shard-count mismatch: a count field promising more shards than
+      // the body holds (truncation-class), and fewer (trailing-bytes).
+      for (const char count : {'\x7f', '\x01', '\x00'}) {
+        std::string miscount = image;
+        if (miscount.size() > 16) miscount[16] = count;
+        corpus.push_back(std::move(miscount));
+      }
+      corpus.push_back(image + "garbage");
+      corpus.push_back(image);
+    }
+  }
+  corpus.push_back("RMAN");
+  corpus.push_back(std::string("RMAN") + std::string(36, '\0'));
+  corpus.push_back(std::string("RMAN") + std::string(4096, '\xff'));
+
+  // Admin-verb seeds: the valid grammar and its near-misses.
+  corpus.push_back("reload\n");
+  corpus.push_back("reload db.rman\n");
+  corpus.push_back("reload db.rman extra\n");
+  corpus.push_back("reload \n");
+  corpus.push_back("reloadx\nreload\x01\n RELOAD\n");
+  corpus.push_back("reload " + std::string(4200, 'a') + "\n");
 
   corpus.push_back("");
   corpus.push_back("RIND");
