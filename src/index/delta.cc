@@ -78,8 +78,18 @@ std::shared_ptr<const DeltaSnapshot> DeltaSegment::Snapshot() const {
   return cached_;
 }
 
-void DeltaSegment::DropCompacted(const DeltaSnapshot& compacted) {
+void DeltaSegment::DropCompacted(const DeltaSnapshot& compacted,
+                                 std::uint64_t new_shard_base) {
   MutexLock lock(mutex_);
+  // A row live in the snapshot went into the new shard as live. If it was
+  // tombstoned here AFTER the snapshot was captured, the delete must
+  // follow it: its new global id is new_shard_base + its live position.
+  for (std::size_t i = 0; i < compacted.ordinals.size(); ++i) {
+    const std::size_t ordinal = compacted.ordinals[i];
+    if (ordinal < dead_.size() && dead_[ordinal]) {
+      shard_tombstones_.insert(new_shard_base + i);
+    }
+  }
   const std::size_t drop =
       std::min(compacted.rows_seen, rows_.size());
   rows_.erase(rows_.begin(),

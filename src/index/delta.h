@@ -83,8 +83,13 @@ class DeltaSegment {
   /// delta rows (now either in the new shard or gone) and the shard
   /// tombstones the new manifest absorbed. Rows inserted and tombstones
   /// added AFTER the snapshot was captured survive, with their ordinals
-  /// shifted down by rows_seen.
-  void DropCompacted(const DeltaSnapshot& compacted);
+  /// shifted down by rows_seen — except a post-snapshot tombstone on a
+  /// row the compaction carried into the new shard, which is translated
+  /// into a shard tombstone of that row's new global id
+  /// (`new_shard_base` + its live position in the snapshot) so an
+  /// acknowledged delete is never silently resurrected.
+  void DropCompacted(const DeltaSnapshot& compacted,
+                     std::uint64_t new_shard_base);
 
  private:
   const std::size_t length_;

@@ -214,9 +214,13 @@ std::uint64_t ShardedIndex::shard_total() const {
 std::size_t ShardedIndex::live_size() const { return Snapshot()->live_total(); }
 
 StatusOr<std::uint64_t> ShardedIndex::Insert(const Series& values, int label) {
+  // One critical section for the append AND the id computation: a
+  // compaction swap completing in between would shift the delta ordinal
+  // and the shard total out from under the sum, returning an id that
+  // names a different row.
+  MutexLock lock(view_mutex_);
   StatusOr<std::size_t> ordinal = delta_.Insert(values, label);
   if (!ordinal.ok()) return ordinal.status();
-  MutexLock lock(view_mutex_);
   return manifest_.total_count() + *ordinal;
 }
 
@@ -541,6 +545,7 @@ StatusOr<std::uint64_t> ShardedIndex::Compact(const IndexBuildOptions& build,
   // Everything below runs lock-free against queries: they keep scanning
   // their snapshots while the new shard is built and the manifest swapped.
   std::shared_ptr<const DeltaSnapshot> delta = delta_.Snapshot();
+  if (pause_after_snapshot_for_tests_) pause_after_snapshot_for_tests_();
   storage::Manifest next;
   {
     MutexLock lock(view_mutex_);
@@ -586,16 +591,21 @@ StatusOr<std::uint64_t> ShardedIndex::Compact(const IndexBuildOptions& build,
     if (!wrote.ok()) outcome = wrote;
   }
   if (outcome.ok()) {
-    {
-      MutexLock lock(view_mutex_);
-      manifest_ = std::move(next);
-      if (opened != nullptr) shards_.push_back(std::move(opened));
-      cached_.reset();
-    }
-    // Rows inserted and deletes issued after the snapshot survive in the
-    // delta with shifted ordinals; everything the new generation absorbed
-    // is retired.
-    delta_.DropCompacted(*delta);
+    // Swap and retire ATOMICALLY under view_mutex_ (kShardView nests over
+    // kDeltaSegment): a Snapshot() taken at any instant sees either the
+    // old manifest with the full delta or the new manifest with the delta
+    // drained — never the new shard PLUS the un-retired delta rows it was
+    // built from, which would double-count every compacted row. Rows
+    // inserted and deletes issued after the snapshot survive in the delta
+    // with shifted ordinals; everything the new generation absorbed is
+    // retired, and a post-snapshot delete of a compacted row follows it
+    // into the new shard as a tombstone of its new global id.
+    MutexLock lock(view_mutex_);
+    const std::uint64_t new_shard_base = manifest_.total_count();
+    manifest_ = std::move(next);
+    if (opened != nullptr) shards_.push_back(std::move(opened));
+    cached_.reset();
+    delta_.DropCompacted(*delta, new_shard_base);
   }
   {
     MutexLock lock(view_mutex_);

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -212,8 +213,14 @@ class ShardedIndex {
   /// (`shard-g<gen+1>.ridx` beside the manifest, built by BuildIndexFile),
   /// publishes manifest generation gen+1 (old shards + the new one, delta
   /// shard-tombstones absorbed into the manifest tombstone list) by atomic
-  /// temp-write + rename, swaps the new shard set in, and retires the
-  /// compacted delta prefix. With an empty delta and no new tombstones this
+  /// temp-write + rename, then swaps the new shard set in and retires the
+  /// compacted delta prefix in ONE critical section — a concurrent
+  /// Snapshot() never sees the compacted rows both in the new shard and in
+  /// the delta. Mutations racing the compaction are preserved: inserts and
+  /// deletes landing after the delta snapshot was captured carry over into
+  /// the new generation (a delete of a row the compaction absorbed becomes
+  /// a tombstone of that row's new global id). With an empty delta and no
+  /// new tombstones this
   /// still publishes a (trivial) new generation. Returns the new
   /// generation. On any failure the previous generation remains intact and
   /// fully queryable. `fault` injects a crash at the manifest swap point
@@ -225,6 +232,14 @@ class ShardedIndex {
   ShardedIndex(Private, std::string manifest_path, std::string dir,
                const ShardedOptions& options, storage::Manifest manifest,
                std::vector<std::shared_ptr<storage::FileBackend>> shards);
+
+  /// Test-only: runs inside Compact right after the delta snapshot is
+  /// captured, with no locks held — the window where online mutations race
+  /// the compaction. Set before any compaction is triggered (unsynchronized
+  /// by design; it is test scaffolding, not API).
+  void set_pause_after_snapshot_for_tests(std::function<void()> hook) {
+    pause_after_snapshot_for_tests_ = std::move(hook);
+  }
 
  private:
   /// Parallel-mode cores (serial mode drives one engine directly).
@@ -255,6 +270,8 @@ class ShardedIndex {
       ROTIND_GUARDED_BY(view_mutex_);
   /// Rejects a second concurrent Compact.
   bool compacting_ ROTIND_GUARDED_BY(view_mutex_) = false;
+  /// SYNC-EXEMPT: test scaffolding, set once before compactions start.
+  std::function<void()> pause_after_snapshot_for_tests_;
   mutable std::shared_ptr<const ShardedSnapshot> cached_
       ROTIND_GUARDED_BY(view_mutex_);
 };

@@ -1,9 +1,26 @@
 #include "src/io/bytes.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 
 namespace rotind {
+namespace {
+
+/// fsyncs `path` through a fresh read-only descriptor (fsync flushes the
+/// inode's dirty pages regardless of the fd's access mode).
+Status FsyncPath(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags | O_CLOEXEC);
+  if (fd < 0) return Status::IoError("cannot open " + path + " for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed on " + path);
+  return Status::Ok();
+}
+
+}  // namespace
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -14,15 +31,24 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return std::move(buf).str();
 }
 
-Status WriteStringToFile(const std::string& path,
-                         const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(content.data(),
-            static_cast<std::streamsize>(content.size()));
-  out.flush();
-  if (!out) return Status::IoError("short write to " + path);
+Status WriteStringToFile(const std::string& path, const std::string& content,
+                         WriteDurability durability) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + path + " for writing");
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) return Status::IoError("short write to " + path);
+  }
+  if (durability == WriteDurability::kFsync) {
+    return FsyncPath(path, O_RDONLY);
+  }
   return Status::Ok();
+}
+
+Status SyncDirectory(const std::string& dir) {
+  return FsyncPath(dir, O_RDONLY | O_DIRECTORY);
 }
 
 std::uint64_t Fnv1a64Seeded(const void* data, std::size_t n,

@@ -65,14 +65,31 @@ void WritePod(std::ostream& out, const T& value) {
 /// kIoError when the read fails partway.
 [[nodiscard]] StatusOr<std::string> ReadFileToString(const std::string& path);
 
+/// Durability a WriteStringToFile call guarantees on success.
+enum class WriteDurability {
+  /// Flushed to the OS: the bytes survive a process crash, but after a
+  /// power loss the file may be empty or torn. The default — right for
+  /// artifacts a rebuild can regenerate.
+  kFlush,
+  /// fsync'd before returning: the bytes are on stable storage. For an
+  /// atomically-published file (temp write + rename), pair with
+  /// SyncDirectory on the parent so the rename itself survives power loss.
+  kFsync,
+};
+
 /// Writes `content` to `path`, replacing any existing file. kIoError when
-/// the file cannot be opened or the write/flush fails partway. This is the
-/// sanctioned file-mutation primitive for layers above io/storage —
+/// the file cannot be opened or the write/flush/fsync fails partway. This
+/// is the sanctioned file-mutation primitive for layers above io/storage —
 /// rotind_lint bans direct fopen/rename outside those two directories, so
 /// every ad-hoc writer inherits one error contract instead of growing its
 /// own stdio handling.
-[[nodiscard]] Status WriteStringToFile(const std::string& path,
-                                       const std::string& content);
+[[nodiscard]] Status WriteStringToFile(
+    const std::string& path, const std::string& content,
+    WriteDurability durability = WriteDurability::kFlush);
+
+/// fsyncs the directory `dir` so renames/creates inside it are on stable
+/// storage — the second half of a power-loss-durable atomic publication.
+[[nodiscard]] Status SyncDirectory(const std::string& dir);
 
 /// 64-bit FNV-1a over a byte range. Used as the integrity checksum of the
 /// index-file header, catalog, resident sections, and data pages. Not

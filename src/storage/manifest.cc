@@ -23,6 +23,16 @@ Status Truncated(const std::string& what) {
   return {StatusCode::kTruncated, what};
 }
 
+/// Directory prefix of `path` ("." when the path has no separator) — the
+/// directory whose entry must be fsync'd for a rename inside it to be
+/// durable.
+std::string DirOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
 /// Shard names must survive a round trip through "manifest directory +
 /// name": non-empty, bounded, single path component, no NUL.
 Status ValidateShardName(const std::string& name) {
@@ -118,8 +128,16 @@ StatusOr<Manifest> ParseManifest(const char* data, std::size_t size) {
                    " exceeds the " + std::to_string(kMaxManifestShards) +
                    " cap");
   }
-  // Every tombstone costs 8 body bytes; a count the remaining bytes cannot
-  // hold is absurd before any allocation happens.
+  // Size-based absurdity bounds, BEFORE any count-driven allocation: every
+  // shard entry costs at least 21 body bytes (name_len u32 + a 1-byte name
+  // + count u64 + length u64) and every tombstone 8, so a count the file
+  // cannot physically hold is rejected without reserving for it.
+  constexpr std::uint64_t kMinShardEntryBytes = 21;
+  if (shard_count > size / kMinShardEntryBytes) {
+    return Corrupt("shard count " + std::to_string(shard_count) +
+                   " cannot fit in a " + std::to_string(size) +
+                   "-byte manifest");
+  }
   if (tombstone_count > size / sizeof(std::uint64_t)) {
     return Corrupt("tombstone count " + std::to_string(tombstone_count) +
                    " cannot fit in a " + std::to_string(size) +
@@ -227,7 +245,10 @@ Status WriteManifest(const Manifest& manifest, const std::string& path,
     if (!write.ok()) return write;
     return Status::IoError("injected crash: torn temp-file write of " + tmp);
   }
-  Status write = WriteStringToFile(tmp, *image);
+  // fsync'd BEFORE the rename: without it the rename could land on disk
+  // ahead of the temp file's data after a power loss, publishing an empty
+  // or torn manifest under the final name.
+  Status write = WriteStringToFile(tmp, *image, WriteDurability::kFsync);
   if (!write.ok()) return write;
   if (fault == ManifestWriteFault::kCrashBeforeRename) {
     // Simulated crash between the complete temp write and the rename: the
@@ -241,7 +262,9 @@ Status WriteManifest(const Manifest& manifest, const std::string& path,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IoError("rename " + tmp + " -> " + path + " failed");
   }
-  return Status::Ok();
+  // The rename is durable only once the directory entry is on stable
+  // storage too.
+  return SyncDirectory(DirOf(path));
 }
 
 }  // namespace rotind::storage

@@ -14,14 +14,15 @@ namespace rotind::storage {
 /// that names which RIDX shards make up one index GENERATION, plus the
 /// tombstone set masking deleted shard rows. The manifest is the unit of
 /// atomic publication — a new generation (after compaction or ingest)
-/// becomes visible by atomically renaming a fully-written temp file over
-/// the old manifest, so readers observe either the old complete generation
-/// or the new complete generation, never a mixture.
+/// becomes visible by atomically renaming a fully-written, fsync'd temp
+/// file over the old manifest (then fsyncing the directory), so readers
+/// observe either the old complete generation or the new complete
+/// generation, never a mixture — across process crashes AND power loss.
 ///
 /// Layout (little-endian, both checksums 64-bit FNV-1a):
 ///
 ///   +--------------------------------------------------------------+
-///   | header (44 bytes, fixed)                                     |
+///   | header (40 bytes, fixed)                                     |
 ///   |   magic "RMAN" | version u32 | generation u64                |
 ///   |   shard_count u64 | tombstone_count u64                      |
 ///   |   header checksum u64 (over the 36 bytes before it)          |
@@ -114,10 +115,12 @@ enum class ManifestWriteFault {
   kTornTempWrite,
 };
 
-/// Atomically publishes `manifest` at `path`: serializes, writes
-/// `path + ".tmp"`, and renames it over `path`. With a non-kNone fault the
-/// write stops at the corresponding point and returns kIoError, leaving
-/// any previous manifest at `path` intact.
+/// Atomically publishes `manifest` at `path`: serializes, writes AND
+/// fsyncs `path + ".tmp"`, renames it over `path`, and fsyncs the parent
+/// directory — so the publication survives power loss, not just process
+/// death. With a non-kNone fault the write stops at the corresponding
+/// point and returns kIoError, leaving any previous manifest at `path`
+/// intact.
 [[nodiscard]] Status WriteManifest(const Manifest& manifest,
                                    const std::string& path,
                                    ManifestWriteFault fault =

@@ -139,6 +139,22 @@ TEST(ManifestTest, EverySingleByteFlipIsDetected) {
   }
 }
 
+/// A checksum-valid shard count the file cannot physically hold (each
+/// entry costs at least 21 body bytes) must be rejected before the parser
+/// reserves for it — a ~100-byte image must not drive a megabyte-scale
+/// allocation.
+TEST(ManifestTest, ShardCountBeyondFileSizeIsRejectedBeforeAllocation) {
+  std::string image = MustSerialize(MakeManifest());
+  const std::uint64_t huge = 1u << 19;  // under kMaxManifestShards
+  std::memcpy(image.data() + 16, &huge, sizeof huge);
+  const std::uint64_t checksum =
+      Fnv1a64(image.data(), kManifestHeaderBytes - sizeof(std::uint64_t));
+  std::memcpy(image.data() + kManifestHeaderBytes - sizeof(std::uint64_t),
+              &checksum, sizeof checksum);
+  StatusOr<Manifest> parsed = ParseManifest(image.data(), image.size());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptHeader);
+}
+
 TEST(ManifestTest, WriterRefusesInvalidManifests) {
   {  // Shard name with a path separator.
     Manifest m = MakeManifest();
@@ -235,6 +251,20 @@ TEST(ManifestTest, CrashBeforeRenameNeverPublishesThenRetrySucceeds) {
   EXPECT_EQ(after_retry->generation, 2u);
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
+}
+
+/// Durable-publication smoke test: the fsync'd write path and directory
+/// sync succeed on a real filesystem, and a missing directory surfaces as
+/// a typed error (power loss itself cannot be unit-tested; the contract
+/// is that the sync syscalls are issued and their failures surface).
+TEST(ManifestTest, DurableWriteAndDirectorySyncSucceed) {
+  const std::string path = TempPath("durable");
+  ASSERT_TRUE(
+      WriteStringToFile(path, "payload", WriteDurability::kFsync).ok());
+  EXPECT_TRUE(SyncDirectory("/tmp").ok());
+  EXPECT_EQ(SyncDirectory(path + ".no-such-dir").code(),
+            StatusCode::kIoError);
+  std::remove(path.c_str());
 }
 
 /// First-ever publication (no previous generation on disk): a torn write

@@ -21,6 +21,7 @@
 
 #include "src/core/series.h"
 #include "src/core/status.h"
+#include "src/index/delta.h"
 #include "src/index/index_io.h"
 #include "src/storage/manifest.h"
 
@@ -266,6 +267,72 @@ TEST_F(ShardedIndexTest, CompactionCrashLeavesPreviousGenerationServing) {
   EXPECT_EQ(index.live_size(), 9u);
 }
 
+/// DropCompacted must carry a post-snapshot delete of a compacted row
+/// into the new generation: the row went into the new shard as LIVE, so
+/// the delete becomes a shard tombstone of its new global id
+/// (new_shard_base + the row's live position in the snapshot).
+TEST(DeltaSegmentTest, DropCompactedTranslatesPostSnapshotTombstones) {
+  DeltaSegment delta(4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(delta.Insert(Series(4, static_cast<double>(i))).ok());
+  }
+  ASSERT_TRUE(delta.TombstoneDeltaRow(1).ok());  // dead IN the snapshot
+  std::shared_ptr<const DeltaSnapshot> snap = delta.Snapshot();
+  ASSERT_EQ(snap->live_count(), 2u);  // ordinals {0, 2}
+
+  // Race the compaction: after the snapshot is captured, delete the row
+  // at live position 1 (ordinal 2) and insert a fresh one.
+  ASSERT_TRUE(delta.TombstoneDeltaRow(2).ok());
+  ASSERT_TRUE(delta.Insert(Series(4, 9.0)).ok());
+
+  delta.DropCompacted(*snap, /*new_shard_base=*/100);
+  std::shared_ptr<const DeltaSnapshot> after = delta.Snapshot();
+  // The post-snapshot delete followed its row into the new shard...
+  EXPECT_EQ(after->shard_tombstones, (std::vector<std::uint64_t>{101}));
+  // ...and the post-snapshot insert survives at shifted ordinal 0.
+  ASSERT_EQ(after->live_count(), 1u);
+  EXPECT_EQ(after->ordinals[0], 0u);
+}
+
+/// A delete acknowledged while a compaction sits between its delta
+/// snapshot and the generation swap must survive the compaction — the
+/// lost-delete window: the row was carried into the new shard as live,
+/// so resurrecting it would break the Remove() contract.
+TEST_F(ShardedIndexTest, DeleteDuringCompactionIsNotResurrected) {
+  const std::string path = BuildShardSet(dir_, {4}, 16);
+  StatusOr<std::unique_ptr<ShardedIndex>> opened = ShardedIndex::Open(path);
+  ASSERT_TRUE(opened.ok());
+  ShardedIndex& index = **opened;
+  ASSERT_TRUE(index.Insert(MakeRow(800, 16)).ok());
+  StatusOr<std::uint64_t> doomed = index.Insert(MakeRow(801, 16));
+  ASSERT_TRUE(doomed.ok());
+
+  index.set_pause_after_snapshot_for_tests(
+      [&] { ASSERT_TRUE(index.Remove(*doomed).ok()); });
+  StatusOr<std::uint64_t> generation = index.Compact(SmallBuild());
+  ASSERT_TRUE(generation.ok()) << generation.status().ToString();
+  index.set_pause_after_snapshot_for_tests({});
+
+  // 4 shard rows + the kept insert; row 801 sits in the new shard at
+  // global id 5 but stays hidden behind its translated tombstone.
+  EXPECT_EQ(index.live_size(), 5u);
+  StatusOr<ScanResult> hit = index.Search(MakeRow(801, 16));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_NE(hit->best_index, 5);
+
+  // The next compaction absorbs the translated tombstone into the
+  // manifest; a fresh reader of the published generation agrees.
+  ASSERT_TRUE(index.Compact(SmallBuild()).ok());
+  EXPECT_EQ(index.live_size(), 5u);
+  StatusOr<std::unique_ptr<ShardedIndex>> reopened =
+      ShardedIndex::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->live_size(), 5u);
+  StatusOr<ScanResult> rehit = (*reopened)->Search(MakeRow(801, 16));
+  ASSERT_TRUE(rehit.ok());
+  EXPECT_NE(rehit->best_index, 5);
+}
+
 TEST_F(ShardedIndexTest, BackgroundCompactorCoalescesTriggers) {
   const std::string path = BuildShardSet(dir_, {4}, 16);
   StatusOr<std::unique_ptr<ShardedIndex>> opened = ShardedIndex::Open(path);
@@ -303,6 +370,11 @@ TEST_F(ShardedIndexTest, ConcurrentQueriesSurviveMutationAndCompaction) {
       if (!hit.ok() || hit->best_index < 0) failures.fetch_add(1);
       StatusOr<std::vector<Neighbor>> knn = index.Knn(MakeRow(7, 16), 3);
       if (!knn.ok() || knn->size() != 3) failures.fetch_add(1);
+      // Duplicate-visibility probe: a snapshot that ever saw compacted
+      // rows both in the new shard and in the un-retired delta would
+      // inflate the live count past 11 initial + 20 inserted rows.
+      const std::size_t live = index.live_size();
+      if (live < 11 || live > 31) failures.fetch_add(1);
     }
   });
   {

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -32,6 +33,7 @@
 
 #include "src/core/flat_dataset.h"
 #include "src/index/index_io.h"
+#include "src/io/bytes.h"
 #include "src/io/serialize.h"
 #include "src/search/engine.h"
 #include "src/search/scan.h"
@@ -265,6 +267,22 @@ std::vector<std::string> BuiltInCorpus() {
         if (miscount.size() > 16) miscount[16] = count;
         corpus.push_back(std::move(miscount));
       }
+      // Checksum-valid absurd shard count: under the hard cap but far
+      // beyond what the bytes can hold, header checksum recomputed so the
+      // size bound (not the checksum) is what rejects it — the allocation
+      // bomb a fuzzer would otherwise find.
+      std::string absurd = image;
+      if (absurd.size() >= storage::kManifestHeaderBytes) {
+        const std::uint64_t huge = 1u << 19;
+        std::memcpy(absurd.data() + 16, &huge, sizeof huge);
+        const std::uint64_t checksum =
+            Fnv1a64(absurd.data(),
+                    storage::kManifestHeaderBytes - sizeof(std::uint64_t));
+        std::memcpy(absurd.data() + storage::kManifestHeaderBytes -
+                        sizeof(std::uint64_t),
+                    &checksum, sizeof checksum);
+      }
+      corpus.push_back(std::move(absurd));
       corpus.push_back(image + "garbage");
       corpus.push_back(image);
     }
